@@ -1,0 +1,112 @@
+//! Criterion benches: one group per paper figure/claim experiment
+//! (quick scale), plus microbenchmarks of the engine primitives the
+//! experiments exercise.
+//!
+//! Each `figN_*` / `eN_*` bench runs its experiment end to end at
+//! [`Scale::Quick`], so `cargo bench` both regenerates every result's
+//! shape and tracks the harness's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pioeval_bench::{experiments, Scale};
+use pioeval_trace::{encode_records, RePair, TokenStream};
+use pioeval_types::{FileId, IoKind, Layer, LayerRecord, Rank, RecordOp, SimTime};
+
+fn experiment_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    type Exp = (&'static str, fn(Scale) -> pioeval_bench::ExpOutput);
+    let cases: Vec<Exp> = vec![
+        ("fig1_endtoend", experiments::fig1),
+        ("fig2_layers", experiments::fig2),
+        ("fig3_corpus", experiments::fig3),
+        ("fig4_loop", experiments::fig4),
+        ("e1_readwrite", experiments::e1),
+        ("e2_dlio", experiments::e2),
+        ("e3_burstbuffer", experiments::e3),
+        ("e4_metadata", experiments::e4),
+        ("e5_nn_vs_linear", experiments::e5),
+        ("e6_forest", experiments::e6),
+        ("e7_extrapolation", experiments::e7),
+        ("e8_compression", experiments::e8),
+        ("e9_overhead", experiments::e9),
+        ("e10_grammar", experiments::e10),
+        ("e11_pdes", experiments::e11),
+        ("e12_gap", experiments::e12),
+        ("e13_interference", experiments::e13),
+        ("e14_characterization", experiments::e14),
+        ("x1_straggler", experiments::x1),
+        ("x2_sieving", experiments::x2),
+        ("x3_collective", experiments::x3),
+        ("x4_stripe", experiments::x4),
+        ("x5_classify", experiments::x5),
+        ("x6_mds_scaling", experiments::x6),
+    ];
+    for (name, f) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = f(Scale::Quick);
+                std::hint::black_box(out.table.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn synthetic_records(n: usize) -> Vec<LayerRecord> {
+    (0..n)
+        .map(|i| LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new((i % 8) as u32),
+            file: FileId::new((i % 4) as u32),
+            op: RecordOp::Data(if i % 3 == 0 {
+                IoKind::Read
+            } else {
+                IoKind::Write
+            }),
+            offset: (i as u64 % 64) * 4096,
+            len: 4096,
+            start: SimTime::from_micros(i as u64),
+            end: SimTime::from_micros(i as u64 + 1),
+        })
+        .collect()
+}
+
+fn primitive_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let records = synthetic_records(10_000);
+
+    group.bench_function("profile_build_10k_records", |b| {
+        b.iter(|| pioeval_trace::JobProfile::from_records(std::hint::black_box(&records)))
+    });
+    group.bench_function("binary_encode_10k_records", |b| {
+        b.iter(|| encode_records(std::hint::black_box(&records)).len())
+    });
+    let stream = TokenStream::from_records(&records);
+    group.bench_function("repair_compress_10k_symbols", |b| {
+        b.iter(|| {
+            RePair::compress(
+                std::hint::black_box(&stream.symbols),
+                stream.tokenizer.num_symbols(),
+            )
+            .size()
+        })
+    });
+    group.bench_function("striping_map_1000_extents", |b| {
+        let layout = pioeval_pfs::Layout::new(1 << 20, 4, 0, 8);
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1000u64 {
+                total += layout.map(i * 123_456, 777_777, 8).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, experiment_benches, primitive_benches);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs every experiment in DESIGN.md's index at full scale and prints
+//! the complete report (F1-F4, E1-E14, X1-X6). Takes a few minutes.
+
+fn main() {
+    for out in pioeval_bench::experiments::all(pioeval_bench::Scale::Full) {
+        out.print();
+        println!();
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E1 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e1(pioeval_bench::Scale::Full).print();
+}

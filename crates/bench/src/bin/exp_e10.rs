@@ -1,0 +1,5 @@
+//! Regenerates experiment E10 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e10(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E11 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e11(pioeval_bench::Scale::Full).print();
+}

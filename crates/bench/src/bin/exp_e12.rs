@@ -1,0 +1,5 @@
+//! Regenerates experiment E12 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e12(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E13 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e13(pioeval_bench::Scale::Full).print();
+}

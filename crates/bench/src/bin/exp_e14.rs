@@ -1,0 +1,5 @@
+//! Regenerates experiment E14 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e14(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E2 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e2(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E3 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e3(pioeval_bench::Scale::Full).print();
+}

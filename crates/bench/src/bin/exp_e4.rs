@@ -1,0 +1,5 @@
+//! Regenerates experiment E4 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e4(pioeval_bench::Scale::Full).print();
+}

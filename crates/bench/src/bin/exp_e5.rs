@@ -1,0 +1,5 @@
+//! Regenerates experiment E5 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e5(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E6 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e6(pioeval_bench::Scale::Full).print();
+}

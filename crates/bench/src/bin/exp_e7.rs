@@ -1,0 +1,5 @@
+//! Regenerates experiment E7 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e7(pioeval_bench::Scale::Full).print();
+}

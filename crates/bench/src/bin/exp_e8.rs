@@ -1,0 +1,5 @@
+//! Regenerates experiment E8 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e8(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E9 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::e9(pioeval_bench::Scale::Full).print();
+}

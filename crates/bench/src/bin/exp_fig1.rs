@@ -1,0 +1,5 @@
+//! Regenerates experiment FIG1 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::fig1(pioeval_bench::Scale::Full).print();
+}

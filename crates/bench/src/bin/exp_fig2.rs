@@ -1,0 +1,5 @@
+//! Regenerates experiment FIG2 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::fig2(pioeval_bench::Scale::Full).print();
+}

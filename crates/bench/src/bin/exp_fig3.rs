@@ -1,0 +1,5 @@
+//! Regenerates experiment FIG3 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::fig3(pioeval_bench::Scale::Full).print();
+}

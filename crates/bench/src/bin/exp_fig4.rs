@@ -1,0 +1,5 @@
+//! Regenerates experiment FIG4 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::fig4(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates extension experiment X1 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::x1(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates extension experiment X4 (see DESIGN.md's experiment index).
+
+fn main() {
+    pioeval_bench::experiments::x4(pioeval_bench::Scale::Full).print();
+}

@@ -1,0 +1,595 @@
+//! Experiments E8–E14: quantitative claims from Sec. IV–VI, part B.
+
+use super::{base_cluster, run};
+use crate::{ExpOutput, Scale};
+use pioeval_core::{measure, Table, WorkloadSource};
+use pioeval_des::{run_parallel, ParallelConfig};
+use pioeval_iostack::{CaptureConfig, StackConfig};
+use pioeval_model::{MarkovChain, PpmPredictor};
+use pioeval_monitor::interference_report;
+use pioeval_pfs::{Cluster, ClusterConfig};
+use pioeval_replay::generate_benchmark;
+use pioeval_trace::{encode_records, profile_to_json, records_to_json, TokenStream};
+use pioeval_types::{bytes, ByteSize, SimDuration, SimTime};
+use pioeval_workloads::{
+    AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorLike, Workload,
+    WorkflowDag,
+};
+
+/// E8 — Hao et al.: grammar compression of traces and the generated
+/// benchmark's size.
+pub fn e8(scale: Scale) -> ExpOutput {
+    let nranks = scale.pick(4, 2);
+    let cases: Vec<(&str, Box<dyn Workload>)> = vec![
+        (
+            "ior (loopy)",
+            Box::new(IorLike {
+                block_size: scale.pick(bytes::mib(32), bytes::mib(4)),
+                transfer_size: bytes::kib(256),
+                fsync: false,
+                ..IorLike::default()
+            }),
+        ),
+        (
+            "checkpoint (periodic)",
+            Box::new(CheckpointLike {
+                bytes_per_rank: scale.pick(bytes::mib(8), bytes::mib(1)),
+                transfer_size: bytes::kib(256),
+                steps: 4,
+                collective: false,
+                compute: SimDuration::from_millis(5),
+                ..CheckpointLike::default()
+            }),
+        ),
+        (
+            "dlio (shuffled)",
+            Box::new(DlioLike {
+                num_samples: scale.pick(256, 32),
+                compute_per_batch: SimDuration::ZERO,
+                ..DlioLike::default()
+            }),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "workload",
+        "trace ops",
+        "grammar size",
+        "compression",
+        "binary KiB",
+        "json KiB",
+    ]);
+    for (name, w) in cases {
+        let report = run(&base_cluster(), w, nranks, 1);
+        let bench = generate_benchmark(&report.job.records[0]);
+        let all = report.job.all_records();
+        table.row(vec![
+            name.to_string(),
+            bench.original_ops.to_string(),
+            bench.compressed_size.to_string(),
+            format!("{:.1}x", bench.compression_ratio()),
+            format!("{:.1}", encode_records(&all).len() as f64 / 1024.0),
+            format!("{:.1}", records_to_json(&all).len() as f64 / 1024.0),
+        ]);
+    }
+    ExpOutput {
+        id: "E8",
+        title: "trace compression and benchmark generation",
+        paper: "Hao et al. [15]: loop-structured traces compress by large \
+                factors via grammar rules; shuffled (DL) traces barely \
+                compress",
+        table,
+        notes: vec![],
+    }
+}
+
+/// E9 — Sec. IV-A2: traces produce much more log data than profiles, and
+/// collection overhead can perturb the application.
+pub fn e9(scale: Scale) -> ExpOutput {
+    // One rank: isolates collection overhead from the contention
+    // perturbation that staggered issue causes in multi-rank runs (at
+    // scale, tracing overhead additionally distorts cross-rank timing —
+    // noted below).
+    let nranks = 1;
+    let workload = || CheckpointLike {
+        bytes_per_rank: scale.pick(bytes::mib(8), bytes::mib(1)),
+        transfer_size: bytes::kib(128),
+        steps: 3,
+        collective: false,
+        compute: SimDuration::from_millis(10),
+        ..CheckpointLike::default()
+    };
+    let mut table = Table::new(vec![
+        "capture mode",
+        "records kept",
+        "log bytes",
+        "makespan",
+        "slowdown %",
+    ]);
+    let mut baseline = None;
+    for (name, capture) in [
+        ("profile (counters only)", CaptureConfig::profile_only()),
+        ("tracing, free", CaptureConfig::tracing(SimDuration::ZERO)),
+        (
+            "tracing, 200us/record",
+            CaptureConfig::tracing(SimDuration::from_micros(200)),
+        ),
+    ] {
+        let stack = StackConfig {
+            capture,
+            ..StackConfig::default()
+        };
+        let report = measure(
+            &base_cluster(),
+            &WorkloadSource::Synthetic(Box::new(workload())),
+            nranks,
+            stack,
+            1,
+        )
+        .expect("run failed");
+        let makespan = report.makespan().unwrap();
+        let records = report.job.all_records();
+        let log_bytes = if records.is_empty() {
+            // Profile mode's product is the counter file a Darshan-style
+            // tool writes per job.
+            profile_to_json(&report.profile).len()
+        } else {
+            encode_records(&records).len()
+        };
+        let base = *baseline.get_or_insert(makespan.as_secs_f64());
+        table.row(vec![
+            name.to_string(),
+            records.len().to_string(),
+            format!("{}", ByteSize(log_bytes as u64)),
+            format!("{makespan}"),
+            format!("{:.1}", (makespan.as_secs_f64() / base - 1.0) * 100.0),
+        ]);
+    }
+    ExpOutput {
+        id: "E9",
+        title: "profiling vs. tracing: log volume and overhead",
+        paper: "Sec. IV-A2: traces record the full execution chronology, \
+                producing much more log data and potentially degrading \
+                performance while collecting",
+        table,
+        notes: vec![
+            "single-rank run isolates pure collection overhead; in \
+             multi-rank runs the same overhead also staggers request \
+             issue and perturbs contention — the timing distortion the \
+             record-and-replay literature warns about"
+                .into(),
+        ],
+    }
+}
+
+/// E10 — Omnisc'IO: grammar/longest-context prediction of the next I/O
+/// operation converges on periodic HPC patterns.
+pub fn e10(scale: Scale) -> ExpOutput {
+    let nranks = scale.pick(4, 2);
+    let cases: Vec<(&str, Box<dyn Workload>)> = vec![
+        (
+            "checkpoint (periodic)",
+            Box::new(CheckpointLike {
+                bytes_per_rank: scale.pick(bytes::mib(4), bytes::mib(1)),
+                transfer_size: bytes::kib(256),
+                steps: 6,
+                collective: false,
+                compute: SimDuration::from_millis(5),
+                ..CheckpointLike::default()
+            }),
+        ),
+        (
+            "btio (strided periodic)",
+            Box::new(BtIoLike {
+                timesteps: 6,
+                compute: SimDuration::from_millis(5),
+                ..BtIoLike::default()
+            }),
+        ),
+        (
+            "dlio (shuffled)",
+            Box::new(DlioLike {
+                num_samples: scale.pick(256, 64),
+                compute_per_batch: SimDuration::ZERO,
+                ..DlioLike::default()
+            }),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "workload",
+        "symbols",
+        "alphabet",
+        "PPM accuracy %",
+        "markov-1 held-out %",
+    ]);
+    for (name, w) in cases {
+        let report = run(&base_cluster(), w, nranks, 1);
+        let stream = TokenStream::from_records(&report.job.records[0]);
+        let ppm = PpmPredictor::online_accuracy(&stream.symbols, 4);
+        // Markov baseline trained on the first half, tested on the held-out
+        // second half (training-set accuracy would just reward memorizing
+        // one-off symbols).
+        let half = stream.symbols.len() / 2;
+        let markov = MarkovChain::fit(
+            &stream.symbols[..half],
+            stream.tokenizer.num_symbols() as usize,
+        )
+        .map(|m| m.accuracy(&stream.symbols[half..]))
+        .unwrap_or(0.0);
+        table.row(vec![
+            name.to_string(),
+            stream.len().to_string(),
+            stream.tokenizer.num_symbols().to_string(),
+            format!("{:.1}", ppm * 100.0),
+            format!("{:.1}", markov * 100.0),
+        ]);
+    }
+    ExpOutput {
+        id: "E10",
+        title: "grammar-based next-operation prediction",
+        paper: "Omnisc'IO [55]: formal-grammar models predict the I/O \
+                behaviour of periodic HPC applications nearly perfectly; \
+                randomized access defeats sequence models",
+        table,
+        notes: vec!["markov-1 trains on the first half and predicts the \
+                     second; PPM is evaluated online like Omnisc'IO"
+            .into()],
+    }
+}
+
+/// E11 — ROSS: conservative parallel DES matches sequential results and
+/// gains wall-clock speedup on dense models (PHOLD, the standard PDES
+/// benchmark), while staying bit-identical on the storage model.
+pub fn e11(scale: Scale) -> ExpOutput {
+    use pioeval_des::{build_phold, phold_fingerprint, PholdConfig};
+    let phold_cfg = PholdConfig {
+        lps: scale.pick(1024, 64),
+        population: scale.pick(8_192, 512),
+        horizon: pioeval_types::SimTime::from_millis(scale.pick(5, 2)),
+        ..PholdConfig::default()
+    };
+
+    let mut table = Table::new(vec![
+        "model / executor",
+        "events",
+        "wall ms",
+        "speedup",
+        "identical",
+    ]);
+    let mut notes = Vec::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 2 {
+        notes.push(format!(
+            "HOST LIMITATION: this machine exposes {cores} core(s); \
+             wall-clock speedup > 1 is physically impossible here, so this \
+             run verifies determinism and measures synchronization \
+             overhead. On multi-core hosts the dense PHOLD model is the \
+             regime where conservative PDES gains (ROSS)."
+        ));
+    }
+
+    // PHOLD: dense event population, the regime PDES is built for.
+    let mut seq = build_phold(&phold_cfg);
+    let t0 = std::time::Instant::now();
+    let seq_res = seq.run();
+    let seq_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let seq_fp = phold_fingerprint(&seq, phold_cfg.lps);
+    table.row(vec![
+        "phold / sequential".to_string(),
+        seq_res.events.to_string(),
+        format!("{seq_wall:.1}"),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]);
+    for threads in [2usize, 4, 8] {
+        let mut par = build_phold(&phold_cfg);
+        let t0 = std::time::Instant::now();
+        let par_res = run_parallel(&mut par, ParallelConfig { threads });
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = par_res.events == seq_res.events
+            && phold_fingerprint(&par, phold_cfg.lps) == seq_fp;
+        table.row(vec![
+            format!("phold / parallel x{threads}"),
+            par_res.events.to_string(),
+            format!("{wall:.1}"),
+            format!("{:.2}", seq_wall / wall.max(1e-9)),
+            identical.to_string(),
+        ]);
+    }
+    notes.push(format!(
+        "PHOLD: {} LPs, {} messages in flight, {} lookahead",
+        phold_cfg.lps, phold_cfg.population, phold_cfg.lookahead
+    ));
+
+    // The storage model: sparse events, so conservative sync dominates —
+    // included to show determinism holds there too (and that PDES gains
+    // depend on event density, the classic PDES trade-off).
+    let nranks = scale.pick(32u32, 4);
+    let cluster = ClusterConfig {
+        num_clients: nranks as usize,
+        ..ClusterConfig::default()
+    };
+    let build = || {
+        let w = IorLike {
+            block_size: scale.pick(bytes::mib(4), bytes::mib(1)),
+            shared_file: false,
+            fsync: false,
+            ..IorLike::default()
+        };
+        let mut c = Cluster::new(cluster.clone()).expect("cluster");
+        let source = WorkloadSource::Synthetic(Box::new(w));
+        let handle = pioeval_iostack::launch(
+            &mut c,
+            &pioeval_iostack::JobSpec {
+                programs: source.programs(nranks, 1),
+                stack: StackConfig::default(),
+                start: SimTime::ZERO,
+            },
+        );
+        (c, handle)
+    };
+    let (mut s_cluster, s_handle) = build();
+    let t0 = std::time::Instant::now();
+    let s_res = s_cluster.run();
+    let s_wall = t0.elapsed().as_secs_f64() * 1e3;
+    let s_job = pioeval_iostack::collect(&s_cluster, &s_handle);
+    table.row(vec![
+        "storage / sequential".to_string(),
+        s_res.events.to_string(),
+        format!("{s_wall:.1}"),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]);
+    let (mut p_cluster, p_handle) = build();
+    let t0 = std::time::Instant::now();
+    let p_res = run_parallel(&mut p_cluster.sim, ParallelConfig { threads: 4 });
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let p_job = pioeval_iostack::collect(&p_cluster, &p_handle);
+    let identical = p_res.events == s_res.events
+        && p_job.makespan() == s_job.makespan()
+        && p_job.bytes_written() == s_job.bytes_written();
+    table.row(vec![
+        "storage / parallel x4".to_string(),
+        p_res.events.to_string(),
+        format!("{wall:.1}"),
+        format!("{:.2}", s_wall / wall.max(1e-9)),
+        identical.to_string(),
+    ]);
+    notes.push(
+        "the sparse storage model pays more in window synchronization than \
+         it gains — parallel DES needs event density (PHOLD) to win, the \
+         classic conservative-synchronization trade-off"
+            .into(),
+    );
+
+    ExpOutput {
+        id: "E11",
+        title: "parallel vs. sequential discrete-event simulation",
+        paper: "ROSS [60] / Sec. IV-C1: parallel DES executes dense models \
+                faster; conservative synchronization preserves results \
+                exactly",
+        table,
+        notes,
+    }
+}
+
+/// E12 — Sec. I: the compute-storage gap — scaling clients against fixed
+/// storage collapses per-client bandwidth.
+pub fn e12(scale: Scale) -> ExpOutput {
+    let counts: Vec<u32> = scale.pick(vec![2, 4, 8, 16, 32, 64], vec![2, 4]);
+    let mut table = Table::new(vec![
+        "clients",
+        "aggregate MiB/s",
+        "per-client MiB/s",
+        "mean OSS queue ms",
+    ]);
+    for nranks in counts {
+        let cluster = ClusterConfig {
+            num_clients: nranks as usize,
+            ..base_cluster()
+        };
+        let w = IorLike {
+            block_size: scale.pick(bytes::mib(16), bytes::mib(2)),
+            shared_file: false,
+            fsync: false,
+            ..IorLike::default()
+        };
+        let report = run(&cluster, Box::new(w), nranks, 1);
+        let agg = report.job.write_throughput_mib_s();
+        let queue: f64 = report
+            .servers
+            .iter()
+            .map(|s| s.mean_queue_wait().as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / report.servers.len() as f64;
+        table.row(vec![
+            nranks.to_string(),
+            format!("{agg:.0}"),
+            format!("{:.1}", agg / nranks as f64),
+            format!("{queue:.1}"),
+        ]);
+    }
+    ExpOutput {
+        id: "E12",
+        title: "the compute-storage gap: clients scale, storage does not",
+        paper: "Sec. I: the ever-increasing gap between compute and storage \
+                performance — aggregate bandwidth saturates at the storage \
+                ceiling while per-client share collapses",
+        table,
+        notes: vec![],
+    }
+}
+
+/// E13 — Yildiz et al.: cross-application interference on shared storage.
+pub fn e13(scale: Scale) -> ExpOutput {
+    let nranks = scale.pick(8u32, 2);
+    let per_rank = scale.pick(bytes::mib(16), bytes::mib(2));
+    let ckpt = || CheckpointLike {
+        bytes_per_rank: per_rank,
+        steps: 1,
+        compute: SimDuration::ZERO,
+        collective: false,
+        base_file: 2000,
+        ..CheckpointLike::default()
+    };
+    let dlio = || DlioLike {
+        num_samples: scale.pick(512, 64),
+        sample_bytes: bytes::kib(128),
+        compute_per_batch: SimDuration::ZERO,
+        base_file: 20_000,
+        ..DlioLike::default()
+    };
+
+    // Isolated runs.
+    let iso_a = run(&base_cluster(), Box::new(ckpt()), nranks, 1)
+        .makespan()
+        .unwrap();
+    let iso_b = run(&base_cluster(), Box::new(dlio()), nranks, 1)
+        .makespan()
+        .unwrap();
+
+    // Co-located: both jobs on one cluster.
+    let mut cluster = Cluster::new(base_cluster()).expect("cluster");
+    let src_a = WorkloadSource::Synthetic(Box::new(ckpt()));
+    let src_b = WorkloadSource::Synthetic(Box::new(dlio()));
+    let ha = pioeval_iostack::launch(
+        &mut cluster,
+        &pioeval_iostack::JobSpec {
+            programs: src_a.programs(nranks, 1),
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        },
+    );
+    let hb = pioeval_iostack::launch(
+        &mut cluster,
+        &pioeval_iostack::JobSpec {
+            programs: src_b.programs(nranks, 1),
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        },
+    );
+    cluster.run();
+    let co_a = pioeval_iostack::collect(&cluster, &ha).makespan().unwrap();
+    let co_b = pioeval_iostack::collect(&cluster, &hb).makespan().unwrap();
+
+    let report = interference_report(&[iso_a, iso_b], &[co_a, co_b]);
+    let mut table = Table::new(vec!["application", "isolated", "co-located", "slowdown"]);
+    for (name, iso, co, s) in [
+        ("checkpoint writer", iso_a, co_a, report.slowdowns[0]),
+        ("DL reader", iso_b, co_b, report.slowdowns[1]),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{iso}"),
+            format!("{co}"),
+            format!("{s:.2}x"),
+        ]);
+    }
+    ExpOutput {
+        id: "E13",
+        title: "cross-application interference on shared storage",
+        paper: "Yildiz et al. [40]: co-running applications interfere along \
+                the shared I/O path; both suffer, and efficiency drops",
+        table,
+        notes: vec![format!(
+            "mean slowdown {:.2}x, sharing efficiency {:.2}",
+            report.mean_slowdown, report.efficiency
+        )],
+    }
+}
+
+/// E14 — Sec. VI finding 2: what characterization shows about emerging
+/// vs. traditional workloads.
+pub fn e14(scale: Scale) -> ExpOutput {
+    let nranks = scale.pick(8u32, 2);
+    let cases: Vec<(&str, Box<dyn Workload>)> = vec![
+        (
+            "ior",
+            Box::new(IorLike {
+                block_size: scale.pick(bytes::mib(16), bytes::mib(2)),
+                read: true,
+                ..IorLike::default()
+            }),
+        ),
+        (
+            "checkpoint",
+            Box::new(CheckpointLike {
+                bytes_per_rank: scale.pick(bytes::mib(16), bytes::mib(2)),
+                steps: 2,
+                collective: false,
+                ..CheckpointLike::default()
+            }),
+        ),
+        (
+            "btio",
+            Box::new(BtIoLike {
+                timesteps: scale.pick(4, 2),
+                ..BtIoLike::default()
+            }),
+        ),
+        (
+            "dlio",
+            Box::new(DlioLike {
+                num_samples: scale.pick(512, 64),
+                compute_per_batch: SimDuration::ZERO,
+                ..DlioLike::default()
+            }),
+        ),
+        (
+            "analytics",
+            Box::new(AnalyticsLike {
+                partition_bytes: scale.pick(bytes::mib(16), bytes::mib(2)),
+                ..AnalyticsLike::default()
+            }),
+        ),
+        (
+            "workflow",
+            Box::new(WorkflowDag::three_stage_default(bytes::kib(512))),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "workload",
+        "read frac",
+        "mean xfer",
+        "meta/data",
+        "files",
+        "seq frac",
+    ]);
+    for (name, w) in cases {
+        let report = run(&base_cluster(), w, nranks, 1);
+        let p = &report.profile;
+        let data_ops = p.data_ops().max(1);
+        let mean_xfer = (p.bytes_read() + p.bytes_written()) / data_ops;
+        // Aggregate pattern across all (rank, file) streams.
+        let mut merged = pioeval_types::PatternDetector::new();
+        for rec in p.records.values() {
+            merged.merge(&rec.pattern);
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", p.read_fraction()),
+            format!("{}", ByteSize(mean_xfer)),
+            format!("{:.2}", p.meta_per_data_op()),
+            p.num_files().to_string(),
+            format!("{:.2}", merged.sequential_fraction()),
+        ]);
+    }
+    ExpOutput {
+        id: "E14",
+        title: "Darshan-style characterization across the workload zoo",
+        paper: "Sec. VI: emerging workloads need in-depth characterization — \
+                their read-heavy, small-transfer, metadata-intensive, \
+                many-file signatures differ from the synthetic benchmarks \
+                evaluations traditionally rely on",
+        table,
+        notes: vec![
+            "dlio's randomness hides in the seq-frac column because \
+             file-per-sample streams are one access per file; it shows up \
+             as 512 files at 128 KiB with 2 metadata ops per read — \
+             exactly why fine-grained characterization of emerging \
+             workloads matters (Sec. VI)"
+                .into(),
+        ],
+    }
+}

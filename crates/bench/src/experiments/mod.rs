@@ -1,0 +1,73 @@
+//! The experiment implementations, indexed in DESIGN.md.
+
+mod claims_a;
+mod claims_b;
+mod extensions;
+mod figures;
+
+pub use claims_a::{e1, e2, e3, e4, e5, e6, e7};
+pub use claims_b::{e10, e11, e12, e13, e14, e8, e9};
+pub use extensions::{x1, x2, x3, x4, x5, x6};
+pub use figures::{fig1, fig2, fig3, fig4};
+
+use crate::{ExpOutput, Scale};
+use pioeval_core::{measure, MeasurementReport, WorkloadSource};
+use pioeval_iostack::StackConfig;
+use pioeval_pfs::ClusterConfig;
+use pioeval_workloads::Workload;
+
+/// The shared cluster preset: 64 clients, 4 OSS × 2 HDD OSTs, no burst
+/// buffers unless an experiment adds them.
+pub fn base_cluster() -> ClusterConfig {
+    ClusterConfig {
+        num_clients: 64,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Run a synthetic workload on a cluster and collect the full report.
+pub fn run(
+    cluster: &ClusterConfig,
+    workload: Box<dyn Workload>,
+    nranks: u32,
+    seed: u64,
+) -> MeasurementReport {
+    measure(
+        cluster,
+        &WorkloadSource::Synthetic(workload),
+        nranks,
+        StackConfig::default(),
+        seed,
+    )
+    .expect("experiment simulation failed")
+}
+
+/// All experiments, in index order.
+pub fn all(scale: Scale) -> Vec<ExpOutput> {
+    vec![
+        fig1(scale),
+        fig2(scale),
+        fig3(scale),
+        fig4(scale),
+        e1(scale),
+        e2(scale),
+        e3(scale),
+        e4(scale),
+        e5(scale),
+        e6(scale),
+        e7(scale),
+        e8(scale),
+        e9(scale),
+        e10(scale),
+        e11(scale),
+        e12(scale),
+        e13(scale),
+        e14(scale),
+        x1(scale),
+        x2(scale),
+        x3(scale),
+        x4(scale),
+        x5(scale),
+        x6(scale),
+    ]
+}

@@ -1,0 +1,276 @@
+//! Multi-job campaigns: a stream of jobs sharing one storage system.
+//!
+//! Production log studies (Patel et al.'s year of NERSC logs, Lockwood's
+//! "year in the life") analyze *campaigns* — many jobs arriving over
+//! time on one shared system — not single runs. [`Campaign`] submits a
+//! set of jobs with staggered start times to one cluster, runs them to
+//! completion, and produces every system-level data product: per-job
+//! results and profiles, the scheduler log, server statistics, and the
+//! temporal/spatial analysis over the whole window.
+
+use crate::source::WorkloadSource;
+use pioeval_iostack::{collect, launch, JobHandle, JobResult, JobSpec, StackConfig};
+use pioeval_monitor::{JobLog, SchedulerLog, SystemAnalysis};
+use pioeval_pfs::{Cluster, ClusterConfig, ServerStats};
+use pioeval_trace::JobProfile;
+use pioeval_types::{JobId, Result, SimTime};
+
+/// One job submission in a campaign.
+pub struct Submission {
+    /// Workload source for the job.
+    pub source: WorkloadSource,
+    /// Ranks.
+    pub nranks: u32,
+    /// Submit (= start) time.
+    pub start: SimTime,
+    /// Stack configuration.
+    pub stack: StackConfig,
+}
+
+impl Submission {
+    /// A submission with default stack configuration.
+    pub fn new(source: WorkloadSource, nranks: u32, start: SimTime) -> Self {
+        Submission {
+            source,
+            nranks,
+            start,
+            stack: StackConfig::default(),
+        }
+    }
+}
+
+/// Results of a completed campaign.
+pub struct CampaignResult {
+    /// Per-job results, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Per-job merged profiles.
+    pub profiles: Vec<JobProfile>,
+    /// The workload-manager log.
+    pub scheduler: SchedulerLog,
+    /// Per-OSS server statistics over the whole campaign.
+    pub servers: Vec<ServerStats>,
+    /// System-level analysis over the whole campaign window.
+    pub analysis: SystemAnalysis,
+    /// Total metadata operations served.
+    pub mds_ops: u64,
+}
+
+impl CampaignResult {
+    /// Campaign makespan: first submit to last completion.
+    pub fn makespan(&self) -> Option<SimTime> {
+        let mut latest = SimTime::ZERO;
+        for job in &self.jobs {
+            for f in &job.finished {
+                latest = latest.max((*f)?);
+            }
+        }
+        Some(latest)
+    }
+}
+
+/// Draw `n` Poisson-process arrival times with the given mean
+/// inter-arrival gap (exponential sampling via inverse CDF) — the
+/// standard arrival model for synthetic job streams.
+pub fn poisson_starts(
+    n: usize,
+    mean_interarrival: pioeval_types::SimDuration,
+    seed: u64,
+) -> Vec<SimTime> {
+    use rand::Rng;
+    let mut r = pioeval_types::rng(pioeval_types::split_seed(seed, 4242));
+    let mean = mean_interarrival.as_secs_f64();
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = r.gen_range(f64::EPSILON..1.0);
+            t += -mean * u.ln();
+            SimTime::from_nanos((t * 1e9) as u64)
+        })
+        .collect()
+}
+
+/// A set of jobs to run against one cluster.
+pub struct Campaign {
+    cluster: ClusterConfig,
+    submissions: Vec<Submission>,
+    seed: u64,
+}
+
+impl Campaign {
+    /// A new campaign on the given cluster configuration.
+    pub fn new(cluster: ClusterConfig, seed: u64) -> Self {
+        Campaign {
+            cluster,
+            submissions: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a job.
+    pub fn submit(&mut self, submission: Submission) -> &mut Self {
+        self.submissions.push(submission);
+        self
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// True when no jobs were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.submissions.is_empty()
+    }
+
+    /// Launch everything, run to completion, and collect the campaign's
+    /// data products.
+    pub fn run(&self) -> Result<CampaignResult> {
+        let mut cluster = Cluster::new(self.cluster.clone())?;
+        let mut handles: Vec<JobHandle> = Vec::new();
+        for (i, sub) in self.submissions.iter().enumerate() {
+            let programs = sub
+                .source
+                .programs(sub.nranks, pioeval_types::split_seed(self.seed, i as u64));
+            let spec = JobSpec {
+                programs,
+                stack: sub.stack,
+                start: sub.start,
+            };
+            handles.push(launch(&mut cluster, &spec));
+        }
+        cluster.run();
+
+        let mut jobs = Vec::new();
+        let mut profiles = Vec::new();
+        let mut scheduler = SchedulerLog::default();
+        for (i, handle) in handles.iter().enumerate() {
+            let job = collect(&cluster, handle);
+            let end = job
+                .finished
+                .iter()
+                .filter_map(|f| *f)
+                .max()
+                .unwrap_or(handle.start);
+            scheduler.push(JobLog {
+                job: JobId::new(i as u32),
+                nodes: self.submissions[i].nranks,
+                ranks: self.submissions[i].nranks,
+                submit: handle.start,
+                start: handle.start,
+                end,
+            });
+            profiles.push(job.merged_profile());
+            jobs.push(job);
+        }
+        let servers = cluster.oss_stats();
+        let timelines: Vec<_> = servers
+            .iter()
+            .flat_map(|s| s.timelines.iter().cloned())
+            .collect();
+        let analysis = SystemAnalysis::from_timelines(&timelines);
+        let mds_ops = cluster.mds_requests();
+        Ok(CampaignResult {
+            jobs,
+            profiles,
+            scheduler,
+            servers,
+            analysis,
+            mds_ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{bytes, SimDuration};
+    use pioeval_workloads::{CheckpointLike, DlioLike, IorLike};
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig {
+            num_clients: 32,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn staggered_jobs_all_complete() {
+        let mut campaign = Campaign::new(cluster(), 5);
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(IorLike {
+                block_size: bytes::mib(4),
+                ..IorLike::default()
+            })),
+            4,
+            SimTime::ZERO,
+        ));
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(CheckpointLike {
+                bytes_per_rank: bytes::mib(2),
+                steps: 2,
+                collective: false,
+                base_file: 5000,
+                ..CheckpointLike::default()
+            })),
+            4,
+            SimTime::from_millis(100),
+        ));
+        let result = campaign.run().unwrap();
+        assert_eq!(result.jobs.len(), 2);
+        assert!(result.makespan().is_some());
+        // Scheduler log reflects the stagger.
+        assert_eq!(result.scheduler.jobs.len(), 2);
+        assert_eq!(result.scheduler.jobs[1].start, SimTime::from_millis(100));
+        assert!(result.scheduler.jobs[1].end > result.scheduler.jobs[1].start);
+        // Per-job profiles are separable.
+        assert!(result.profiles[0].bytes_written() > 0);
+        assert!(result.profiles[1].bytes_written() > 0);
+    }
+
+    #[test]
+    fn campaign_analysis_covers_whole_window() {
+        let mut campaign = Campaign::new(cluster(), 6);
+        for i in 0..3u32 {
+            campaign.submit(Submission::new(
+                WorkloadSource::Synthetic(Box::new(DlioLike {
+                    num_samples: 32,
+                    compute_per_batch: SimDuration::from_millis(5),
+                    base_file: 20_000 + i * 1000,
+                    ..DlioLike::default()
+                })),
+                2,
+                SimTime::from_millis(i as u64 * 50),
+            ));
+        }
+        let result = campaign.run().unwrap();
+        let total_read: u64 = result.profiles.iter().map(|p| p.bytes_read()).sum();
+        assert_eq!(result.analysis.bytes_read, total_read);
+        assert!(result.mds_ops > 0);
+        // Scheduler utilization is computable over the window.
+        let horizon = result.makespan().unwrap();
+        let util = result.scheduler.utilization(32, horizon);
+        assert!(util > 0.0 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn poisson_starts_are_monotone_and_scale_with_mean() {
+        let fast = poisson_starts(50, SimDuration::from_millis(10), 1);
+        let slow = poisson_starts(50, SimDuration::from_millis(100), 1);
+        assert!(fast.windows(2).all(|w| w[0] <= w[1]));
+        assert!(slow.last().unwrap() > fast.last().unwrap());
+        // Mean inter-arrival within 3x of the target (50 samples).
+        let span = fast.last().unwrap().as_secs_f64();
+        let mean = span / 50.0;
+        assert!(mean > 0.003 && mean < 0.03, "mean {mean}");
+        // Deterministic.
+        assert_eq!(poisson_starts(10, SimDuration::from_millis(10), 7),
+                   poisson_starts(10, SimDuration::from_millis(10), 7));
+    }
+
+    #[test]
+    fn empty_campaign_is_detectable() {
+        let campaign = Campaign::new(cluster(), 0);
+        assert!(campaign.is_empty());
+        assert_eq!(campaign.len(), 0);
+    }
+}

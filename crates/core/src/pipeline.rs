@@ -1,0 +1,258 @@
+//! The closed evaluation loop (Fig. 4).
+//!
+//! [`measure`] is one trip through the measurement phase: lower a
+//! [`WorkloadSource`] to programs, execute them on a simulated cluster
+//! through the instrumented I/O stack, and collect every data product
+//! the paper's Sec. IV-A lists. [`EvaluationLoop`] then closes the
+//! cycle: the measurement's *profile* becomes a new (characterization)
+//! workload source, which is re-measured and compared against the
+//! original — the feedback arrows of Fig. 4.
+
+use crate::source::WorkloadSource;
+use pioeval_iostack::{collect, launch, JobResult, JobSpec, StackConfig};
+use pioeval_monitor::SystemAnalysis;
+use pioeval_pfs::{BurstBufferStats, Cluster, ClusterConfig, FabricStats, ServerStats};
+use pioeval_replay::{compare, FidelityReport};
+use pioeval_trace::{DxtTrace, JobProfile};
+use pioeval_types::{Result, SimDuration, SimTime};
+
+/// Everything one measurement trip produces.
+pub struct MeasurementReport {
+    /// The executed job's results (records, counters, completion).
+    pub job: JobResult,
+    /// Darshan-style characterization profile.
+    pub profile: JobProfile,
+    /// DXT-style extended trace.
+    pub dxt: DxtTrace,
+    /// Per-OSS server statistics.
+    pub servers: Vec<ServerStats>,
+    /// Metadata operations the MDS served.
+    pub mds_ops: u64,
+    /// System-level temporal/spatial analysis of the server timelines.
+    pub analysis: SystemAnalysis,
+    /// Transfer statistics of the (compute, storage) fabrics.
+    pub fabrics: (FabricStats, FabricStats),
+    /// Burst-buffer statistics per I/O node (empty when tier disabled).
+    pub burst_buffers: Vec<BurstBufferStats>,
+}
+
+impl MeasurementReport {
+    /// Job makespan (None if a rank never finished).
+    pub fn makespan(&self) -> Option<SimDuration> {
+        self.job.makespan()
+    }
+}
+
+/// Run one workload source on a fresh cluster and collect all data
+/// products.
+pub fn measure(
+    cluster_cfg: &ClusterConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+) -> Result<MeasurementReport> {
+    let mut cluster = Cluster::new(cluster_cfg.clone())?;
+    let programs = source.programs(nranks, seed);
+    let spec = JobSpec {
+        programs,
+        stack,
+        start: SimTime::ZERO,
+    };
+    let handle = launch(&mut cluster, &spec);
+    cluster.run();
+    let job = collect(&cluster, &handle);
+    let all_records = job.all_records();
+    // The profile comes from the ranks' always-on streaming counters, so
+    // it is complete even when record capture is disabled.
+    let profile = job.merged_profile();
+    let dxt = DxtTrace::from_records(&all_records);
+    let servers = cluster.oss_stats();
+    let timelines: Vec<_> = servers
+        .iter()
+        .flat_map(|s| s.timelines.iter().cloned())
+        .collect();
+    let analysis = SystemAnalysis::from_timelines(&timelines);
+    let mds_ops = cluster.mds_requests();
+    let fabrics = cluster.fabric_stats();
+    let burst_buffers = cluster.ionode_stats();
+    Ok(MeasurementReport {
+        job,
+        profile,
+        dxt,
+        servers,
+        mds_ops,
+        analysis,
+        fabrics,
+        burst_buffers,
+    })
+}
+
+/// One iteration of the closed loop.
+pub struct LoopIteration {
+    /// Which source kind drove this iteration.
+    pub source: &'static str,
+    /// The measurement.
+    pub report: MeasurementReport,
+    /// Fidelity vs. the original measurement (None for the first trip).
+    pub fidelity: Option<FidelityReport>,
+}
+
+/// The measure → model → regenerate → re-measure feedback cycle.
+pub struct EvaluationLoop {
+    cluster_cfg: ClusterConfig,
+    stack: StackConfig,
+    nranks: u32,
+    seed: u64,
+}
+
+impl EvaluationLoop {
+    /// Configure a loop.
+    pub fn new(
+        cluster_cfg: ClusterConfig,
+        stack: StackConfig,
+        nranks: u32,
+        seed: u64,
+    ) -> Self {
+        EvaluationLoop {
+            cluster_cfg,
+            stack,
+            nranks,
+            seed,
+        }
+    }
+
+    /// Run the full cycle for a synthetic source:
+    ///
+    /// 1. **Measure** the original workload (execution-driven).
+    /// 2. **Model**: derive a trace source and a characterization source
+    ///    from the measurement.
+    /// 3. **Simulate** both derived sources on the same cluster.
+    /// 4. **Feed back**: report each derived run's fidelity against the
+    ///    original.
+    pub fn run(&self, original: &WorkloadSource) -> Result<Vec<LoopIteration>> {
+        let first = measure(
+            &self.cluster_cfg,
+            original,
+            self.nranks,
+            self.stack,
+            self.seed,
+        )?;
+
+        // Derived sources from the measurement's data products.
+        let trace_source = WorkloadSource::Trace {
+            records: first.job.records.clone(),
+            mode: pioeval_replay::ReplayMode::Timed,
+        };
+        let profile_source = WorkloadSource::Characterization {
+            profile: first.profile.clone(),
+            nranks: self.nranks,
+        };
+
+        let mut iterations = vec![LoopIteration {
+            source: original.name(),
+            report: first,
+            fidelity: None,
+        }];
+        for derived in [trace_source, profile_source] {
+            let name = derived.name();
+            let report = measure(
+                &self.cluster_cfg,
+                &derived,
+                self.nranks,
+                self.stack,
+                self.seed,
+            )?;
+            let fidelity = compare(&iterations[0].report.job, &report.job);
+            iterations.push(LoopIteration {
+                source: name,
+                report,
+                fidelity: Some(fidelity),
+            });
+        }
+        Ok(iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::bytes;
+    use pioeval_workloads::{IorLike, Workload};
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig {
+            num_clients: 8,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn small_ior() -> IorLike {
+        IorLike {
+            block_size: bytes::mib(4),
+            transfer_size: bytes::mib(1),
+            read: true,
+            ..IorLike::default()
+        }
+    }
+
+    #[test]
+    fn measure_collects_every_data_product() {
+        let source = WorkloadSource::Synthetic(Box::new(small_ior()));
+        let report = measure(
+            &small_cluster(),
+            &source,
+            4,
+            StackConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert!(report.makespan().is_some());
+        assert_eq!(report.profile.bytes_written(), 4 * bytes::mib(4));
+        assert_eq!(report.profile.bytes_read(), 4 * bytes::mib(4));
+        assert!(report.dxt.num_segments() > 0);
+        assert!(report.mds_ops > 0);
+        assert!(report.analysis.bytes_written > 0);
+        assert!(!report.servers.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_reproduces_volumes_across_sources() {
+        let lp = EvaluationLoop::new(small_cluster(), StackConfig::default(), 4, 1);
+        let iterations = lp
+            .run(&WorkloadSource::Synthetic(Box::new(small_ior())))
+            .unwrap();
+        assert_eq!(iterations.len(), 3);
+        assert_eq!(iterations[0].source, "synthetic");
+        assert_eq!(iterations[1].source, "trace");
+        assert_eq!(iterations[2].source, "characterization");
+        // Trace replay preserves bytes exactly.
+        let trace_fid = iterations[1].fidelity.as_ref().unwrap();
+        assert!(trace_fid.bytes_exact(), "{trace_fid:?}");
+        // Profile synthesis preserves byte volumes too (ordering may
+        // differ, so only volumes are guaranteed).
+        let prof_fid = iterations[2].fidelity.as_ref().unwrap();
+        assert_eq!(prof_fid.original_bytes, prof_fid.replayed_bytes);
+        // Timed trace replay should land near the original makespan.
+        assert!(
+            trace_fid.timing_within(0.35),
+            "trace replay drifted: ratio {}",
+            trace_fid.makespan_ratio
+        );
+    }
+
+    #[test]
+    fn derived_programs_match_original_shape() {
+        // The characterization source must produce one program per rank.
+        let source = WorkloadSource::Synthetic(Box::new(small_ior()));
+        let report =
+            measure(&small_cluster(), &source, 3, StackConfig::default(), 1).unwrap();
+        let derived = WorkloadSource::Characterization {
+            profile: report.profile,
+            nranks: 3,
+        };
+        assert_eq!(derived.programs(3, 0).len(), 3);
+        let ior_programs = small_ior().programs(3, 0);
+        assert_eq!(ior_programs.len(), 3);
+    }
+}

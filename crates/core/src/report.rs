@@ -1,0 +1,175 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity does not match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a numeric series as a unicode sparkline (one char per bin) —
+/// enough to see burstiness and idle windows in a terminal report.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "\u{2581}".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Render a labelled horizontal bar chart (terminal-friendly), scaled to
+/// `width` characters at the maximum value.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let filled = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {} {v:.1}\n",
+            "\u{2589}".repeat(filled.max(if *v > 0.0 { 1 } else { 0 }))
+        ));
+    }
+    out
+}
+
+/// Format a float with 2 decimals (experiment binaries' default).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["x", "1"]);
+        t.row(vec!["longer-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(f1(1.26), "1.3");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '\u{2581}');
+        assert_eq!(chars[3], '\u{2588}');
+        // Flat series renders as a floor line.
+        assert_eq!(sparkline(&[0.0, 0.0]), "\u{2581}\u{2581}");
+    }
+
+    #[test]
+    fn bar_chart_aligns_and_scales() {
+        let rows = vec![("short".to_string(), 10.0), ("longer-label".to_string(), 5.0)];
+        let c = bar_chart(&rows, 10);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("10.0"));
+        // The 5.0 bar is half the 10.0 bar.
+        let count = |l: &str| l.matches('\u{2589}').count();
+        assert_eq!(count(lines[0]), 10);
+        assert_eq!(count(lines[1]), 5);
+    }
+}

@@ -1,0 +1,307 @@
+//! The IOWA-like workload abstraction.
+//!
+//! Snyder et al. (PMBS'15) unified the three sources of workload
+//! information — full traces, characterization profiles, and synthetic
+//! descriptions — behind one abstraction so any consumer (simulation,
+//! replay) can run any source. [`WorkloadSource`] is that abstraction
+//! here: every variant lowers to per-rank [`StackOp`] programs.
+//!
+//! The profile variant implements IOWA's signature technique:
+//! *synthesizing a representative workload from Darshan-style logs*. The
+//! synthesized workload reproduces, per (rank, file): byte volumes, mean
+//! transfer sizes, the sequential-vs-random access mix, and metadata
+//! operation counts — the information a profile retains — while
+//! necessarily losing exact ordering, which only a trace retains. The
+//! fidelity gap between the two is itself one of the paper's points and
+//! is measured by experiment F4.
+
+use pioeval_iostack::StackOp;
+use pioeval_replay::{replay_programs, ReplayMode};
+use pioeval_trace::JobProfile;
+use pioeval_types::{
+    rng, split_seed, IoKind, LayerRecord, MetaOp,
+};
+use pioeval_workloads::Workload;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// One of the paper's three workload information sources.
+pub enum WorkloadSource {
+    /// A synthetic description (benchmark generator or DSL).
+    Synthetic(Box<dyn Workload>),
+    /// A full multi-level trace (per-rank records).
+    Trace {
+        /// Captured records, one list per rank.
+        records: Vec<Vec<LayerRecord>>,
+        /// Timed or as-fast-as-possible replay.
+        mode: ReplayMode,
+    },
+    /// A characterization profile plus the rank count it described.
+    Characterization {
+        /// The profile.
+        profile: JobProfile,
+        /// Ranks of the profiled run.
+        nranks: u32,
+    },
+}
+
+impl WorkloadSource {
+    /// Lower to per-rank programs.
+    ///
+    /// For `Synthetic`, `nranks`/`seed` parameterize generation. For
+    /// `Trace`, the recorded rank count wins (traces replay exactly).
+    /// For `Characterization`, programs are synthesized for the profiled
+    /// rank count.
+    pub fn programs(&self, nranks: u32, seed: u64) -> Vec<Vec<StackOp>> {
+        match self {
+            WorkloadSource::Synthetic(w) => w.programs(nranks, seed),
+            WorkloadSource::Trace { records, mode } => replay_programs(records, *mode),
+            WorkloadSource::Characterization { profile, nranks } => {
+                synthesize_from_profile(profile, *nranks, seed)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSource::Synthetic(_) => "synthetic",
+            WorkloadSource::Trace { .. } => "trace",
+            WorkloadSource::Characterization { .. } => "characterization",
+        }
+    }
+}
+
+/// Synthesize per-rank programs from a Darshan-style profile.
+fn synthesize_from_profile(
+    profile: &JobProfile,
+    nranks: u32,
+    seed: u64,
+) -> Vec<Vec<StackOp>> {
+    // Group the profile's records by rank.
+    let mut by_rank: BTreeMap<u32, Vec<&pioeval_trace::FileRecord>> = BTreeMap::new();
+    for ((rank, _), rec) in &profile.records {
+        by_rank.entry(*rank).or_default().push(rec);
+    }
+    (0..nranks)
+        .map(|r| {
+            let mut ops = Vec::new();
+            let Some(records) = by_rank.get(&r) else {
+                return ops;
+            };
+            let mut rand_stream = rng(split_seed(seed, r as u64));
+            for rec in records {
+                synthesize_file(rec, &mut ops, &mut rand_stream);
+            }
+            ops
+        })
+        .collect()
+}
+
+/// Reconstruct one (rank, file) stream from its counters.
+fn synthesize_file(
+    rec: &pioeval_trace::FileRecord,
+    ops: &mut Vec<StackOp>,
+    rand_stream: &mut rand::rngs::StdRng,
+) {
+    let file = rec.file;
+    // Metadata: honour the recorded open/create/close/... counts. An
+    // open (or create) must come first so data ops have a layout.
+    let creates = rec.meta_counts[MetaOp::Create.index()];
+    let opens = rec.meta_counts[MetaOp::Open.index()];
+    if creates > 0 {
+        ops.push(StackOp::PosixMeta {
+            op: MetaOp::Create,
+            file,
+        });
+    } else {
+        // Synthesized streams always open before touching data.
+        ops.push(StackOp::PosixMeta {
+            op: MetaOp::Open,
+            file,
+        });
+    }
+    for _ in 1..creates {
+        ops.push(StackOp::PosixMeta {
+            op: MetaOp::Create,
+            file,
+        });
+    }
+    let implicit_open = if creates > 0 { 0 } else { 1 };
+    for _ in implicit_open..opens {
+        ops.push(StackOp::PosixMeta {
+            op: MetaOp::Open,
+            file,
+        });
+    }
+
+    // Data: volumes at mean sizes, ordered per the pattern mix.
+    let extent = |total: u64, mean: f64| -> Vec<u64> {
+        if total == 0 {
+            return Vec::new();
+        }
+        let chunk = (mean.max(1.0)) as u64;
+        let n = total.div_ceil(chunk);
+        (0..n)
+            .map(|i| if i == n - 1 { total - (n - 1) * chunk } else { chunk })
+            .collect()
+    };
+    let seq_fraction = rec.pattern.sequential_fraction();
+    let mut emit = |kind: IoKind, sizes: Vec<u64>, rand_stream: &mut rand::rngs::StdRng| {
+        let total: u64 = sizes.iter().sum();
+        let mut cursor = 0u64;
+        for len in sizes {
+            let sequential = rand_stream.gen_bool(seq_fraction.clamp(0.0, 1.0));
+            let offset = if sequential || total <= len {
+                cursor
+            } else {
+                rand_stream.gen_range(0..total - len)
+            };
+            ops.push(StackOp::PosixData {
+                kind,
+                file,
+                offset,
+                len,
+            });
+            cursor = offset + len;
+        }
+    };
+    emit(
+        IoKind::Write,
+        extent(rec.bytes_written, rec.mean_write_size()),
+        rand_stream,
+    );
+    emit(
+        IoKind::Read,
+        extent(rec.bytes_read, rec.mean_read_size()),
+        rand_stream,
+    );
+
+    // Remaining metadata ops in a stable order.
+    for op in [
+        MetaOp::Stat,
+        MetaOp::Fsync,
+        MetaOp::Mkdir,
+        MetaOp::Readdir,
+        MetaOp::Unlink,
+        MetaOp::Close,
+    ] {
+        for _ in 0..rec.meta_counts[op.index()] {
+            ops.push(StackOp::PosixMeta { op, file });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{FileId, Layer, Rank, RecordOp, SimTime};
+
+    fn posix(rank: u32, file: u32, op: RecordOp, offset: u64, len: u64) -> LayerRecord {
+        LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(rank),
+            file: FileId::new(file),
+            op,
+            offset,
+            len,
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(1),
+        }
+    }
+
+    fn sample_records() -> Vec<LayerRecord> {
+        let mut recs = vec![posix(0, 1, RecordOp::Meta(MetaOp::Create), 0, 0)];
+        for i in 0..8 {
+            recs.push(posix(0, 1, RecordOp::Data(IoKind::Write), i * 1024, 1024));
+        }
+        recs.push(posix(0, 1, RecordOp::Meta(MetaOp::Close), 0, 0));
+        recs
+    }
+
+    #[test]
+    fn profile_synthesis_preserves_volumes_and_op_counts() {
+        let profile = JobProfile::from_records(&sample_records());
+        let src = WorkloadSource::Characterization { profile, nranks: 1 };
+        let programs = src.programs(1, 9);
+        let p = &programs[0];
+        let written: u64 = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData {
+                    kind: IoKind::Write,
+                    len,
+                    ..
+                } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(written, 8 * 1024);
+        let creates = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Create, .. }))
+            .count();
+        let closes = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Close, .. }))
+            .count();
+        assert_eq!((creates, closes), (1, 1));
+        // Sequential profile → synthesized stream is also sequential.
+        let offsets: Vec<u64> = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn trace_source_replays_exactly() {
+        let records = vec![sample_records()];
+        let src = WorkloadSource::Trace {
+            records,
+            mode: ReplayMode::AsFastAsPossible,
+        };
+        let programs = src.programs(99, 0); // nranks ignored for traces
+        assert_eq!(programs.len(), 1);
+        assert_eq!(programs[0].len(), 10);
+        assert_eq!(src.name(), "trace");
+    }
+
+    #[test]
+    fn synthetic_source_delegates() {
+        let src = WorkloadSource::Synthetic(Box::new(
+            pioeval_workloads::IorLike::default(),
+        ));
+        let programs = src.programs(4, 0);
+        assert_eq!(programs.len(), 4);
+        assert_eq!(src.name(), "synthetic");
+    }
+
+    #[test]
+    fn files_without_opens_get_one_synthesized() {
+        // A profile recording only data ops (e.g. partial capture).
+        let recs = vec![posix(0, 3, RecordOp::Data(IoKind::Read), 0, 4096)];
+        let profile = JobProfile::from_records(&recs);
+        let src = WorkloadSource::Characterization { profile, nranks: 1 };
+        let p = &src.programs(1, 0)[0];
+        assert!(matches!(
+            p[0],
+            StackOp::PosixMeta {
+                op: MetaOp::Open,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ranks_missing_from_profile_get_empty_programs() {
+        let profile = JobProfile::from_records(&sample_records());
+        let src = WorkloadSource::Characterization { profile, nranks: 4 };
+        let programs = src.programs(4, 0);
+        assert!(!programs[0].is_empty());
+        assert!(programs[1].is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's taxonomy (Fig. 4) as data.
+//!
+//! Each strategy node carries the crate/module in this workspace that
+//! implements it — the per-experiment index DESIGN.md promises, queryable
+//! at runtime (the `exp_fig4` binary renders it).
+
+use serde::Serialize;
+
+/// A phase of the iterative evaluation cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Phase {
+    /// Measurements and statistics collection (Sec. IV-A).
+    Measurement,
+    /// Modeling and prediction (Sec. IV-B).
+    Modeling,
+    /// Simulation (Sec. IV-C).
+    Simulation,
+}
+
+/// One strategy in the taxonomy.
+#[derive(Clone, Debug, Serialize)]
+pub struct Strategy {
+    /// Owning phase.
+    pub phase: Phase,
+    /// Name as used in the paper.
+    pub name: &'static str,
+    /// Paper section.
+    pub section: &'static str,
+    /// Implementing module in this workspace.
+    pub implemented_by: &'static str,
+}
+
+/// The full taxonomy.
+pub fn taxonomy() -> Vec<Strategy> {
+    use Phase::*;
+    let s = |phase, name, section, implemented_by| Strategy {
+        phase,
+        name,
+        section,
+        implemented_by,
+    };
+    vec![
+        // Measurement: workloads.
+        s(Measurement, "synthetic benchmarks", "IV-A1", "pioeval_workloads::{ior, mdtest, btio}"),
+        s(Measurement, "metadata benchmarks", "IV-A1", "pioeval_workloads::mdtest"),
+        s(Measurement, "proxy applications / I/O skeletons", "IV-A1", "pioeval_workloads::skel"),
+        s(Measurement, "auto-generated benchmarks", "IV-A1", "pioeval_replay::benchgen"),
+        s(Measurement, "record-and-replay", "IV-A1", "pioeval_replay::{replayer, extrapolate}"),
+        s(Measurement, "emerging workloads", "V", "pioeval_workloads::{dlio, analytics, workflow}"),
+        // Measurement: data collection.
+        s(Measurement, "characterization profiles (Darshan-like)", "IV-A2", "pioeval_trace::profile"),
+        s(Measurement, "extended traces (DXT/Recorder-like)", "IV-A2", "pioeval_trace::dxt + pioeval_iostack hooks"),
+        s(Measurement, "server-side statistics", "IV-A2", "pioeval_pfs::stats"),
+        s(Measurement, "metadata event monitoring (FSMonitor-like)", "IV-A2", "pioeval_pfs::mds::MetaEvent"),
+        s(Measurement, "workload manager logs", "IV-A2", "pioeval_monitor::scheduler"),
+        s(Measurement, "end-to-end monitoring (UMAMI/TOKIO-like)", "IV-A2", "pioeval_monitor::endtoend"),
+        // Modeling.
+        s(Modeling, "statistics & systematic analysis", "IV-B1", "pioeval_model::stats + pioeval_monitor::analysis"),
+        s(Modeling, "predictive analytics: neural networks", "IV-B2", "pioeval_model::nn"),
+        s(Modeling, "predictive analytics: random forests", "IV-B2", "pioeval_model::{tree, forest}"),
+        s(Modeling, "grammar-based prediction (Omnisc'IO-like)", "IV-B2", "pioeval_model::ppm"),
+        s(Modeling, "Markov models", "IV-B1", "pioeval_model::markov"),
+        s(Modeling, "replay-based modeling", "IV-B3", "pioeval_replay"),
+        s(Modeling, "workload generation (3 sources)", "IV-B4", "pioeval_core::source::WorkloadSource"),
+        s(Modeling, "synthetic workload DSL (CODES-like)", "IV-B4", "pioeval_workloads::dsl"),
+        // Simulation.
+        s(Simulation, "(parallel) discrete-event simulation", "IV-C1", "pioeval_des (sequential + conservative parallel)"),
+        s(Simulation, "storage-system simulation", "IV-C1", "pioeval_pfs"),
+        s(Simulation, "trace-based simulation", "IV-C2", "pioeval_replay::replayer + pioeval_pfs"),
+        s(Simulation, "execution-driven simulation", "IV-C3", "pioeval_iostack (workload interleaved with the simulator)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_phases_are_covered() {
+        let t = taxonomy();
+        for phase in [Phase::Measurement, Phase::Modeling, Phase::Simulation] {
+            assert!(
+                t.iter().filter(|s| s.phase == phase).count() >= 4,
+                "{phase:?} underpopulated"
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_names_an_implementation() {
+        for s in taxonomy() {
+            assert!(s.implemented_by.contains("pioeval"), "{}", s.name);
+            assert!(!s.section.is_empty());
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_unique() {
+        let t = taxonomy();
+        let mut names: Vec<&str> = t.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+}

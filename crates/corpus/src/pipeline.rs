@@ -1,0 +1,154 @@
+//! The five-stage selection pipeline of Sec. III and the Fig. 3
+//! distribution.
+
+use crate::data::{candidates, PaperEntry, PubType, Publisher};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One pipeline stage's outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name (mirrors the paper's numbered process stages).
+    pub stage: String,
+    /// Papers remaining after the stage.
+    pub remaining: usize,
+}
+
+/// The full pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Per-stage outcomes, in order.
+    pub stages: Vec<StageReport>,
+    /// The included set.
+    pub included: Vec<PaperEntry>,
+}
+
+/// Execute the selection pipeline over the candidate corpus:
+/// (1) keyword search, (2) database retrieval, (3) abstract/conclusion
+/// screening = the 2015–2020 window, (4) same-research deduplication,
+/// (5) final inclusion.
+pub fn run_pipeline() -> PipelineRun {
+    let mut stages = Vec::new();
+    let mut set = candidates();
+    stages.push(StageReport {
+        stage: "1. keyword search".into(),
+        remaining: set.len(),
+    });
+    // Stage 2: database retrieval — all candidates are retrievable here.
+    stages.push(StageReport {
+        stage: "2. database retrieval".into(),
+        remaining: set.len(),
+    });
+    // Stage 3: screening (time window).
+    set.retain(|p| (2015..=2020).contains(&p.year));
+    stages.push(StageReport {
+        stage: "3. screening (2015-2020 window)".into(),
+        remaining: set.len(),
+    });
+    // Stage 4: exclude same-research duplicates.
+    set.retain(|p| p.same_research_as.is_none());
+    stages.push(StageReport {
+        stage: "4. same-research deduplication".into(),
+        remaining: set.len(),
+    });
+    stages.push(StageReport {
+        stage: "5. inclusion".into(),
+        remaining: set.len(),
+    });
+    PipelineRun {
+        stages,
+        included: set,
+    }
+}
+
+/// The included papers (the survey's 51).
+pub fn included() -> Vec<PaperEntry> {
+    run_pipeline().included
+}
+
+/// The Fig. 3 percentage distribution.
+#[derive(Clone, Debug)]
+pub struct Distribution {
+    /// Percentage by publication type.
+    pub by_type: Vec<(PubType, f64)>,
+    /// Percentage by publisher.
+    pub by_publisher: Vec<(Publisher, f64)>,
+}
+
+impl Distribution {
+    /// Compute the distribution of a paper set.
+    pub fn of(papers: &[PaperEntry]) -> Self {
+        let n = papers.len().max(1) as f64;
+        let mut types: HashMap<PubType, usize> = HashMap::new();
+        let mut pubs: HashMap<Publisher, usize> = HashMap::new();
+        for p in papers {
+            *types.entry(p.pub_type).or_insert(0) += 1;
+            *pubs.entry(p.publisher).or_insert(0) += 1;
+        }
+        let order_t = [PubType::Conference, PubType::Journal, PubType::Workshop];
+        let order_p = [
+            Publisher::Ieee,
+            Publisher::Acm,
+            Publisher::Springer,
+            Publisher::Elsevier,
+            Publisher::Usenix,
+            Publisher::Other,
+        ];
+        Distribution {
+            by_type: order_t
+                .iter()
+                .map(|&t| (t, *types.get(&t).unwrap_or(&0) as f64 / n * 100.0))
+                .collect(),
+            by_publisher: order_p
+                .iter()
+                .map(|&p| (p, *pubs.get(&p).unwrap_or(&0) as f64 / n * 100.0))
+                .collect(),
+        }
+    }
+
+    /// Render as the Fig. 3 table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Distribution by publication type:\n");
+        for (t, pct) in &self.by_type {
+            out.push_str(&format!("  {t:<12?} {pct:5.1}%\n"));
+        }
+        out.push_str("Distribution by publisher:\n");
+        for (p, pct) in &self.by_publisher {
+            out.push_str(&format!("  {p:<12?} {pct:5.1}%\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_three_drops_out_of_window_papers() {
+        let run = run_pipeline();
+        assert!(run.stages[1].remaining > run.stages[2].remaining);
+    }
+
+    #[test]
+    fn stage_four_drops_duplicates() {
+        let run = run_pipeline();
+        assert!(run.stages[2].remaining > run.stages[3].remaining);
+        assert!(run.included.iter().all(|p| p.same_research_as.is_none()));
+    }
+
+    #[test]
+    fn render_mentions_all_axes() {
+        let d = Distribution::of(&included());
+        let s = d.render();
+        assert!(s.contains("Ieee"));
+        assert!(s.contains("Conference"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let d = Distribution::of(&[]);
+        assert!(d.by_type.iter().all(|&(_, p)| p == 0.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Events, entity identities, and the total ordering key.
+
+use pioeval_types::SimTime;
+use std::fmt;
+
+/// Index of a logical process (entity) within a [`crate::Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Pseudo-source for events scheduled from outside the simulation
+/// (initial events injected before `run`).
+pub const EXTERNAL: EntityId = EntityId(u32::MAX);
+
+/// The total ordering key for events.
+///
+/// `(time, dst, src, seq)` — `seq` is a per-source counter, so the key is
+/// unique and depends only on the *sending* action, never on executor
+/// scheduling. This is what makes sequential and parallel execution
+/// produce identical event orderings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey {
+    /// Delivery timestamp.
+    pub time: SimTime,
+    /// Destination entity.
+    pub dst: EntityId,
+    /// Source entity ([`EXTERNAL`] for injected events).
+    pub src: EntityId,
+    /// Per-source sequence number.
+    pub seq: u64,
+}
+
+/// A timestamped message in flight.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Ordering key (delivery time, destination, source, sequence).
+    pub key: EventKey,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Delivery timestamp.
+    pub fn time(&self) -> SimTime {
+        self.key.time
+    }
+    /// Destination entity.
+    pub fn dst(&self) -> EntityId {
+        self.key.dst
+    }
+    /// Source entity.
+    pub fn src(&self) -> EntityId {
+        self.key.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u64, dst: u32, src: u32, seq: u64) -> EventKey {
+        EventKey {
+            time: SimTime::from_nanos(t),
+            dst: EntityId(dst),
+            src: EntityId(src),
+            seq,
+        }
+    }
+
+    #[test]
+    fn key_orders_by_time_first() {
+        assert!(key(1, 9, 9, 9) < key(2, 0, 0, 0));
+    }
+
+    #[test]
+    fn key_breaks_ties_by_dst_src_seq() {
+        assert!(key(5, 0, 9, 9) < key(5, 1, 0, 0));
+        assert!(key(5, 1, 0, 9) < key(5, 1, 1, 0));
+        assert!(key(5, 1, 1, 0) < key(5, 1, 1, 1));
+    }
+
+    #[test]
+    fn keys_are_unique_per_source_seq() {
+        assert_ne!(key(5, 1, 1, 0), key(5, 1, 1, 1));
+    }
+}

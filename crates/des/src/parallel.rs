@@ -1,0 +1,451 @@
+//! Conservative parallel executor (barrier-synchronized, YAWNS-style).
+//!
+//! Entities are partitioned round-robin across worker threads. Execution
+//! proceeds in *windows*: each window processes every pending event with a
+//! timestamp strictly below the global minimum next-event time plus the
+//! engine lookahead. Because cross-entity messages carry at least the
+//! lookahead of delay, no event generated inside a window can be destined
+//! for delivery inside that window on another thread — the classical
+//! conservative-synchronization safety argument.
+//!
+//! Within a window each thread drains its local heap in [`crate::event::EventKey`]
+//! order; the key depends only on the sending action, so every entity
+//! observes its events in exactly the order the sequential executor would
+//! deliver them, for any thread count. `tests` assert this equivalence.
+
+use crate::event::Envelope;
+use crate::queue::EventQueue;
+use crate::sim::{Ctx, RunResult, Simulation};
+use parking_lot::Mutex;
+use pioeval_types::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Parallel executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Number of worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { threads: 4 }
+    }
+}
+
+/// Owner thread of an entity: round-robin by id.
+fn owner(entity_index: usize, threads: usize) -> usize {
+    entity_index % threads
+}
+
+/// A spin-then-yield generation barrier.
+///
+/// Synchronization windows are short (often well under a millisecond),
+/// so an OS-parking barrier would spend more time in wake-ups than in
+/// simulation. Waiters spin briefly (fast path when every thread has its
+/// own core), then fall back to `yield_now` so oversubscribed hosts —
+/// including single-core machines — still make progress instead of
+/// burning whole scheduler quanta.
+struct SpinBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    const SPINS_BEFORE_YIELD: u32 = 256;
+
+    fn new(total: usize) -> Self {
+        SpinBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) == self.total - 1 {
+            // Last arrival: reset and release the next generation.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < Self::SPINS_BEFORE_YIELD {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+struct Worker<M> {
+    /// (global entity index, entity) pairs owned by this thread.
+    entities: Vec<(usize, Box<dyn crate::sim::Entity<M>>)>,
+    /// Send sequence counters for owned entities, parallel to `entities`.
+    seqs: Vec<u64>,
+    /// Local slot lookup: global entity index → local slot (usize::MAX if
+    /// not owned).
+    slots: Vec<usize>,
+    heap: EventQueue<M>,
+    processed: u64,
+}
+
+/// Run the simulation to completion with the conservative parallel
+/// executor. Produces the same entity state trajectories as
+/// [`Simulation::run`].
+///
+/// Note: [`Ctx::halt`] takes effect at window granularity here (the
+/// current window always completes), so halting runs may process more
+/// events than the sequential executor would; all events processed are
+/// still processed in the same per-entity order.
+pub fn run_parallel<M: Send + 'static>(
+    sim: &mut Simulation<M>,
+    cfg: ParallelConfig,
+) -> RunResult {
+    let threads = cfg.threads.max(1).min(sim.num_entities().max(1));
+    let n = sim.num_entities();
+    let lookahead = sim.lookahead();
+    let time_limit = sim.config().time_limit;
+    // A zero lookahead would make windows degenerate (width clamped to
+    // 1 ns below), which is legal but slow; the assertion in Ctx::send
+    // already prevents zero-delay cross sends when lookahead is zero.
+    let window = lookahead.as_nanos().max(1);
+
+    // Partition entities and their seq counters out of the simulation.
+    let mut workers: Vec<Worker<M>> = (0..threads)
+        .map(|_| Worker {
+            entities: Vec::new(),
+            seqs: Vec::new(),
+            slots: vec![usize::MAX; n],
+            heap: EventQueue::new(),
+            processed: 0,
+        })
+        .collect();
+    for idx in 0..n {
+        let w = owner(idx, threads);
+        let entity = sim.entities[idx]
+            .take()
+            .expect("entity checked out before parallel run");
+        workers[w].slots[idx] = workers[w].entities.len();
+        workers[w].entities.push((idx, entity));
+        workers[w].seqs.push(sim.seqs[idx]);
+    }
+    // Distribute pending events to their owners' heaps.
+    while let Some(ev) = sim.queue.pop() {
+        let w = owner(ev.dst().index(), threads);
+        workers[w].heap.push(ev);
+    }
+
+    // Shared synchronization state.
+    let barrier = SpinBarrier::new(threads);
+    let local_mins: Vec<AtomicU64> =
+        (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+    // outboxes[from][to]: events sent from thread `from` to entities owned
+    // by thread `to`, buffered during a window, drained after the barrier.
+    let outboxes: Vec<Vec<Mutex<Vec<Envelope<M>>>>> = (0..threads)
+        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let halted = AtomicBool::new(false);
+    let end_time = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (tid, mut worker) in workers.drain(..).enumerate() {
+            let barrier = &barrier;
+            let local_mins = &local_mins;
+            let outboxes = &outboxes;
+            let halted = &halted;
+            let end_time = &end_time;
+            handles.push(scope.spawn(move || {
+                let mut emitted: Vec<Envelope<M>> = Vec::new();
+                // Per-destination-thread staging buffers: cross-thread
+                // sends are batched here and flushed under one lock per
+                // (window, destination) instead of one lock per event.
+                let mut staged: Vec<Vec<Envelope<M>>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                loop {
+                    // Phase 1: publish local minimum, wait for everyone.
+                    let lm = worker
+                        .heap
+                        .next_time()
+                        .map(SimTime::as_nanos)
+                        .unwrap_or(u64::MAX);
+                    local_mins[tid].store(lm, Ordering::Relaxed);
+                    barrier.wait();
+
+                    // Phase 2: compute global window. Every thread reads
+                    // the same slots after the barrier, so all make the
+                    // same decision.
+                    let t = local_mins
+                        .iter()
+                        .map(|m| m.load(Ordering::Relaxed))
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    let stop_at = time_limit.map(SimTime::as_nanos);
+                    let done = t == u64::MAX
+                        || halted.load(Ordering::Relaxed)
+                        || stop_at.is_some_and(|limit| t > limit);
+                    if done {
+                        barrier.wait();
+                        break;
+                    }
+                    let mut horizon = t.saturating_add(window);
+                    if let Some(limit) = stop_at {
+                        // Events at exactly `limit` are still processed.
+                        horizon = horizon.min(limit.saturating_add(1));
+                    }
+
+                    // Phase 3: process the window from the local heap.
+                    let mut halt_flag = false;
+                    while let Some(key) = worker.heap.peek_key() {
+                        if key.time.as_nanos() >= horizon {
+                            break;
+                        }
+                        let ev = worker.heap.pop().expect("peeked event vanished");
+                        let dst = ev.dst();
+                        let slot = worker.slots[dst.index()];
+                        let now = ev.time();
+                        end_time.fetch_max(now.as_nanos(), Ordering::Relaxed);
+                        let (_, entity) = &mut worker.entities[slot];
+                        let mut ctx = Ctx {
+                            now,
+                            me: dst,
+                            lookahead,
+                            seq: &mut worker.seqs[slot],
+                            emitted: &mut emitted,
+                            halt: &mut halt_flag,
+                        };
+                        entity.on_event(ev, &mut ctx);
+                        worker.processed += 1;
+                        for out in emitted.drain(..) {
+                            let dest_thread = owner(out.dst().index(), threads);
+                            if dest_thread == tid {
+                                worker.heap.push(out);
+                            } else {
+                                staged[dest_thread].push(out);
+                            }
+                        }
+                    }
+                    for (dest, batch) in staged.iter_mut().enumerate() {
+                        if !batch.is_empty() {
+                            outboxes[tid][dest].lock().append(batch);
+                        }
+                    }
+                    if halt_flag {
+                        halted.store(true, Ordering::Relaxed);
+                    }
+
+                    // Phase 4: barrier, then drain inboxes into the heap.
+                    barrier.wait();
+                    for outbox_row in outboxes {
+                        let mut inbox = outbox_row[tid].lock();
+                        for ev in inbox.drain(..) {
+                            worker.heap.push(ev);
+                        }
+                    }
+                }
+                worker
+            }));
+        }
+        workers = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel DES worker panicked"))
+            .collect();
+    });
+
+    // Reinstall entities, seq counters, and any unprocessed events (time
+    // limit / halt may leave events pending, same as the sequential path).
+    let mut events = 0u64;
+    let mut max_queue = 0usize;
+    for worker in &mut workers {
+        events += worker.processed;
+        max_queue += worker.heap.max_len;
+        for ((idx, entity), seq) in
+            worker.entities.drain(..).zip(worker.seqs.drain(..))
+        {
+            sim.entities[idx] = Some(entity);
+            sim.seqs[idx] = seq;
+        }
+        while let Some(ev) = worker.heap.pop() {
+            sim.queue.push(ev);
+        }
+    }
+
+    RunResult {
+        end_time: SimTime::from_nanos(end_time.load(Ordering::Relaxed)),
+        events,
+        max_queue,
+        halted: halted.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EntityId;
+    use crate::sim::{Entity, SimConfig};
+    use pioeval_types::SimDuration;
+
+    /// An entity that forwards tokens around a ring and records a running
+    /// hash of everything it observes (event order fingerprint).
+    struct RingNode {
+        next: EntityId,
+        fingerprint: u64,
+        forwards_left: u32,
+    }
+
+    impl Entity<u64> for RingNode {
+        fn on_event(&mut self, ev: Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
+            // Order-sensitive fingerprint: combines payload and time.
+            self.fingerprint = self
+                .fingerprint
+                .wrapping_mul(0x100000001B3)
+                ^ ev.msg
+                ^ ev.time().as_nanos();
+            if self.forwards_left > 0 {
+                self.forwards_left -= 1;
+                let delay = SimDuration::from_micros(1 + (ev.msg % 7));
+                ctx.send(self.next, delay, ev.msg.wrapping_mul(31).wrapping_add(1));
+            }
+        }
+    }
+
+    fn build_ring(nodes: u32, tokens: u32, forwards: u32) -> Simulation<u64> {
+        let mut sim = Simulation::new(SimConfig::default());
+        for i in 0..nodes {
+            let next = EntityId((i + 1) % nodes);
+            sim.add_entity(
+                format!("ring{i}"),
+                Box::new(RingNode {
+                    next,
+                    fingerprint: 0,
+                    forwards_left: forwards,
+                }),
+            );
+        }
+        for t in 0..tokens {
+            sim.schedule(
+                SimTime::from_nanos(t as u64 * 100),
+                EntityId(t % nodes),
+                t as u64,
+            );
+        }
+        sim
+    }
+
+    fn fingerprints(sim: &Simulation<u64>, nodes: u32) -> Vec<u64> {
+        (0..nodes)
+            .map(|i| {
+                sim.entity_ref::<RingNode>(EntityId(i))
+                    .unwrap()
+                    .fingerprint
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let nodes = 13;
+        let mut seq_sim = build_ring(nodes, 8, 50);
+        let seq_res = seq_sim.run();
+        let seq_fp = fingerprints(&seq_sim, nodes);
+
+        for threads in [1, 2, 3, 4, 8] {
+            let mut par_sim = build_ring(nodes, 8, 50);
+            let par_res = run_parallel(&mut par_sim, ParallelConfig { threads });
+            assert_eq!(
+                fingerprints(&par_sim, nodes),
+                seq_fp,
+                "fingerprint mismatch at {threads} threads"
+            );
+            assert_eq!(par_res.events, seq_res.events);
+            assert_eq!(par_res.end_time, seq_res.end_time);
+        }
+    }
+
+    #[test]
+    fn parallel_respects_time_limit() {
+        let cfg = SimConfig {
+            time_limit: Some(SimTime::from_micros(20)),
+            ..SimConfig::default()
+        };
+        let build = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            for i in 0..4u32 {
+                sim.add_entity(
+                    format!("n{i}"),
+                    Box::new(RingNode {
+                        next: EntityId((i + 1) % 4),
+                        fingerprint: 0,
+                        forwards_left: u32::MAX,
+                    }),
+                );
+            }
+            sim.schedule(SimTime::ZERO, EntityId(0), 1);
+            sim
+        };
+        let mut s = build(cfg);
+        let seq = s.run();
+        let mut p = build(cfg);
+        let par = run_parallel(&mut p, ParallelConfig { threads: 2 });
+        assert_eq!(seq.events, par.events);
+        assert_eq!(fingerprints(&s, 4), fingerprints(&p, 4));
+        assert!(par.end_time <= SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn more_threads_than_entities_is_clamped() {
+        // One token bouncing between two nodes, each willing to forward 10
+        // times: 20 forwards plus the initial delivery = 21 events.
+        let mut sim = build_ring(2, 1, 10);
+        let res = run_parallel(&mut sim, ParallelConfig { threads: 16 });
+        assert_eq!(res.events, 21);
+    }
+
+    #[test]
+    fn empty_simulation_terminates() {
+        let mut sim: Simulation<u64> = Simulation::default();
+        sim.add_entity(
+            "lonely",
+            Box::new(RingNode {
+                next: EntityId(0),
+                fingerprint: 0,
+                forwards_left: 0,
+            }),
+        );
+        let res = run_parallel(&mut sim, ParallelConfig { threads: 2 });
+        assert_eq!(res.events, 0);
+        assert!(!res.halted);
+    }
+
+    #[test]
+    fn pending_events_survive_limit_and_rerun() {
+        // Events past the limit stay queued; a second (sequential) run
+        // with a raised limit picks them up.
+        let cfg = SimConfig {
+            time_limit: Some(SimTime::from_micros(5)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg);
+        sim.add_entity(
+            "n0",
+            Box::new(RingNode {
+                next: EntityId(0),
+                fingerprint: 0,
+                forwards_left: 0,
+            }),
+        );
+        sim.schedule(SimTime::from_micros(2), EntityId(0), 1);
+        sim.schedule(SimTime::from_micros(50), EntityId(0), 2);
+        let res = run_parallel(&mut sim, ParallelConfig { threads: 1 });
+        assert_eq!(res.events, 1);
+        // The t=50us event is still pending inside the simulation.
+        let res2 = sim.run(); // same limit: still out of reach
+        assert_eq!(res2.events, 0);
+    }
+}

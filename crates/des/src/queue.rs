@@ -1,0 +1,144 @@
+//! The pending-event queue: a binary min-heap ordered by [`EventKey`].
+
+use crate::event::{Envelope, EventKey};
+use pioeval_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry wrapper: orders by `key` only (reversed for a min-heap).
+struct Entry<M>(Envelope<M>);
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key on top.
+        other.0.key.cmp(&self.0.key)
+    }
+}
+
+/// A pending-event set ordered by [`EventKey`].
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    /// High-water mark of queue length (reported in run statistics).
+    pub max_len: usize,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            max_len: 0,
+        }
+    }
+
+    /// Insert an event.
+    pub fn push(&mut self, ev: Envelope<M>) {
+        self.heap.push(Entry(ev));
+        self.max_len = self.max_len.max(self.heap.len());
+    }
+
+    /// Remove and return the event with the smallest key.
+    pub fn pop(&mut self) -> Option<Envelope<M>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// The smallest key currently queued.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.0.key)
+    }
+
+    /// Timestamp of the earliest queued event, or `None` when empty.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|k| k.time)
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EntityId, EventKey};
+
+    fn ev(t: u64, dst: u32, src: u32, seq: u64, msg: u32) -> Envelope<u32> {
+        Envelope {
+            key: EventKey {
+                time: SimTime::from_nanos(t),
+                dst: EntityId(dst),
+                src: EntityId(src),
+                seq,
+            },
+            msg,
+        }
+    }
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(30, 0, 0, 2, 3));
+        q.push(ev(10, 0, 0, 0, 1));
+        q.push(ev(20, 0, 0, 1, 2));
+        assert_eq!(q.pop().unwrap().msg, 1);
+        assert_eq!(q.pop().unwrap().msg, 2);
+        assert_eq!(q.pop().unwrap().msg, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tie_break_is_stable() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, 1, 5, 7, 100));
+        q.push(ev(10, 1, 5, 6, 99));
+        q.push(ev(10, 0, 9, 0, 98));
+        assert_eq!(q.pop().unwrap().msg, 98); // lower dst first
+        assert_eq!(q.pop().unwrap().msg, 99); // then lower seq
+        assert_eq!(q.pop().unwrap().msg, 100);
+    }
+
+    #[test]
+    fn tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(ev(i, 0, 0, i, 0));
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.max_len, 5);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn next_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(ev(50, 0, 0, 0, 0));
+        q.push(ev(40, 0, 0, 1, 0));
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(40)));
+    }
+}

@@ -1,0 +1,426 @@
+//! The simulation state and the sequential executor.
+
+use crate::event::{EntityId, Envelope, EventKey, EXTERNAL};
+use crate::queue::EventQueue;
+use pioeval_types::{SimDuration, SimTime};
+use std::any::Any;
+
+/// A logical process: owns private state and reacts to timestamped messages.
+///
+/// `Any` is a supertrait so callers can downcast entities back to their
+/// concrete type after a run to read results out
+/// (see [`Simulation::entity_ref`]).
+pub trait Entity<M>: Send + Any {
+    /// Handle one delivered event. Use `ctx` to read the clock and send
+    /// further messages.
+    fn on_event(&mut self, ev: Envelope<M>, ctx: &mut Ctx<'_, M>);
+}
+
+/// Handler-side view of the engine: clock, identity, and message sending.
+pub struct Ctx<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) me: EntityId,
+    pub(crate) lookahead: SimDuration,
+    pub(crate) seq: &'a mut u64,
+    pub(crate) emitted: &'a mut Vec<Envelope<M>>,
+    pub(crate) halt: &'a mut bool,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time (the timestamp of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identity of the handling entity.
+    pub fn me(&self) -> EntityId {
+        self.me
+    }
+
+    /// The engine's lookahead: the minimum legal delay for cross-entity
+    /// messages.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Send `msg` to `dst`, arriving `delay` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst != me` and `delay` is below the engine lookahead.
+    /// This is a programming error in the model: conservative parallel
+    /// execution is only correct when every cross-entity message respects
+    /// the lookahead, and we enforce it identically in the sequential
+    /// executor so models cannot silently depend on zero-delay messages.
+    pub fn send(&mut self, dst: EntityId, delay: SimDuration, msg: M) {
+        if dst != self.me {
+            assert!(
+                delay >= self.lookahead,
+                "cross-entity send {} -> {} with delay {} below lookahead {}",
+                self.me,
+                dst,
+                delay,
+                self.lookahead
+            );
+        }
+        *self.seq += 1;
+        self.emitted.push(Envelope {
+            key: EventKey {
+                time: self.now + delay,
+                dst,
+                src: self.me,
+                seq: *self.seq,
+            },
+            msg,
+        });
+    }
+
+    /// Send `msg` to the handling entity itself, arriving `delay` from now.
+    /// Self-messages may use any delay, including zero.
+    pub fn send_self(&mut self, delay: SimDuration, msg: M) {
+        let me = self.me;
+        self.send(me, delay, msg);
+    }
+
+    /// Request that the simulation stop. The sequential executor stops
+    /// before the next event; the parallel executor stops at the end of
+    /// the current synchronization window.
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Minimum delay for cross-entity messages; also the conservative
+    /// parallel synchronization window width.
+    pub lookahead: SimDuration,
+    /// Stop processing events with timestamps beyond this limit.
+    pub time_limit: Option<SimTime>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            lookahead: SimDuration::from_micros(1),
+            time_limit: None,
+        }
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Timestamp of the last processed event.
+    pub end_time: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// High-water mark of the pending-event set (sequential executor only;
+    /// the parallel executor reports the sum of per-thread high-water
+    /// marks, an upper bound).
+    pub max_queue: usize,
+    /// Whether the run ended via [`Ctx::halt`].
+    pub halted: bool,
+}
+
+/// A discrete-event simulation: entities plus pending events.
+pub struct Simulation<M> {
+    cfg: SimConfig,
+    pub(crate) entities: Vec<Option<Box<dyn Entity<M>>>>,
+    names: Vec<String>,
+    pub(crate) queue: EventQueue<M>,
+    /// Per-entity send sequence counters (index = entity id).
+    pub(crate) seqs: Vec<u64>,
+    /// Sequence counter for externally injected events.
+    ext_seq: u64,
+    now: SimTime,
+}
+
+impl<M: 'static> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new(SimConfig::default())
+    }
+}
+
+impl<M: 'static> Simulation<M> {
+    /// A new simulation with the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulation {
+            cfg,
+            entities: Vec::new(),
+            names: Vec::new(),
+            queue: EventQueue::new(),
+            seqs: Vec::new(),
+            ext_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// The configured lookahead.
+    pub fn lookahead(&self) -> SimDuration {
+        self.cfg.lookahead
+    }
+
+    /// Register an entity; returns its id.
+    pub fn add_entity(
+        &mut self,
+        name: impl Into<String>,
+        entity: Box<dyn Entity<M>>,
+    ) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Some(entity));
+        self.names.push(name.into());
+        self.seqs.push(0);
+        id
+    }
+
+    /// Number of registered entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// The registered name of an entity.
+    pub fn entity_name(&self, id: EntityId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Inject an event from outside the simulation (before or between runs).
+    pub fn schedule(&mut self, time: SimTime, dst: EntityId, msg: M) {
+        assert!(
+            dst.index() < self.entities.len(),
+            "schedule to unknown entity {dst}"
+        );
+        self.ext_seq += 1;
+        self.queue.push(Envelope {
+            key: EventKey {
+                time,
+                dst,
+                src: EXTERNAL,
+                seq: self.ext_seq,
+            },
+            msg,
+        });
+    }
+
+    /// Current simulated time (timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Borrow an entity, downcast to its concrete type.
+    ///
+    /// Returns `None` if the id is out of range or the type does not match.
+    pub fn entity_ref<T: Entity<M>>(&self, id: EntityId) -> Option<&T> {
+        let boxed = self.entities.get(id.index())?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrow an entity, downcast to its concrete type.
+    pub fn entity_mut<T: Entity<M>>(&mut self, id: EntityId) -> Option<&mut T> {
+        let boxed = self.entities.get_mut(id.index())?.as_mut()?;
+        (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Run to completion with the sequential executor.
+    ///
+    /// Processes events in global [`EventKey`] order until the queue is
+    /// empty, the time limit is exceeded, or an entity halts the run.
+    pub fn run(&mut self) -> RunResult {
+        let mut events = 0u64;
+        let mut halted = false;
+        let mut emitted: Vec<Envelope<M>> = Vec::new();
+        while let Some(key) = self.queue.peek_key() {
+            if halted {
+                break;
+            }
+            if let Some(limit) = self.cfg.time_limit {
+                if key.time > limit {
+                    break;
+                }
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.time();
+            let dst = ev.dst();
+            let entity = self.entities[dst.index()]
+                .as_mut()
+                .expect("entity checked out during sequential run");
+            let mut ctx = Ctx {
+                now: self.now,
+                me: dst,
+                lookahead: self.cfg.lookahead,
+                seq: &mut self.seqs[dst.index()],
+                emitted: &mut emitted,
+                halt: &mut halted,
+            };
+            entity.on_event(ev, &mut ctx);
+            events += 1;
+            for out in emitted.drain(..) {
+                self.queue.push(out);
+            }
+        }
+        RunResult {
+            end_time: self.now,
+            events,
+            max_queue: self.queue.max_len,
+            halted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ping-pong pair: counts volleys until a configured limit.
+    struct Player {
+        peer: Option<EntityId>,
+        hits: u64,
+        max_hits: u64,
+    }
+
+    impl Entity<u32> for Player {
+        fn on_event(&mut self, ev: Envelope<u32>, ctx: &mut Ctx<'_, u32>) {
+            self.hits += 1;
+            if self.hits >= self.max_hits {
+                ctx.halt();
+                return;
+            }
+            if let Some(peer) = self.peer {
+                ctx.send(peer, SimDuration::from_micros(10), ev.msg + 1);
+            }
+        }
+    }
+
+    fn ping_pong(max_hits: u64) -> (Simulation<u32>, EntityId, EntityId) {
+        let mut sim = Simulation::new(SimConfig::default());
+        let a = sim.add_entity(
+            "a",
+            Box::new(Player {
+                peer: None,
+                hits: 0,
+                max_hits,
+            }),
+        );
+        let b = sim.add_entity(
+            "b",
+            Box::new(Player {
+                peer: Some(a),
+                hits: 0,
+                max_hits,
+            }),
+        );
+        sim.entity_mut::<Player>(a).unwrap().peer = Some(b);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_runs_and_halts() {
+        let (mut sim, a, b) = ping_pong(10);
+        sim.schedule(SimTime::ZERO, a, 0);
+        let res = sim.run();
+        assert!(res.halted);
+        // Each player counts its own hits; the run halts when one of them
+        // (player a, who started) reaches 10 — on overall volley 19.
+        let ha = sim.entity_ref::<Player>(a).unwrap().hits;
+        let hb = sim.entity_ref::<Player>(b).unwrap().hits;
+        assert_eq!((ha, hb), (10, 9));
+        assert_eq!(res.end_time, SimTime::from_micros(180));
+        assert_eq!(res.events, 19);
+    }
+
+    #[test]
+    fn time_limit_stops_run() {
+        let (mut sim, a, _) = ping_pong(u64::MAX);
+        sim.schedule(SimTime::ZERO, a, 0);
+        let mut cfg = sim.config();
+        cfg.time_limit = Some(SimTime::from_micros(55));
+        let mut sim2 = Simulation::new(cfg);
+        // Rebuild with the limit (config is fixed at construction).
+        let a2 = sim2.add_entity(
+            "a",
+            Box::new(Player {
+                peer: None,
+                hits: 0,
+                max_hits: u64::MAX,
+            }),
+        );
+        let b2 = sim2.add_entity(
+            "b",
+            Box::new(Player {
+                peer: Some(a2),
+                hits: 0,
+                max_hits: u64::MAX,
+            }),
+        );
+        sim2.entity_mut::<Player>(a2).unwrap().peer = Some(b2);
+        sim2.schedule(SimTime::ZERO, a2, 0);
+        let res = sim2.run();
+        assert!(!res.halted);
+        // Events at t=0,10,20,30,40,50 processed; t=60 exceeds the limit.
+        assert_eq!(res.events, 6);
+        assert_eq!(res.end_time, SimTime::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "below lookahead")]
+    fn cross_entity_send_below_lookahead_panics() {
+        struct Bad {
+            other: EntityId,
+        }
+        impl Entity<u32> for Bad {
+            fn on_event(&mut self, _ev: Envelope<u32>, ctx: &mut Ctx<'_, u32>) {
+                ctx.send(self.other, SimDuration::ZERO, 0);
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new(SimConfig::default());
+        let a = sim.add_entity("a", Box::new(Bad { other: EntityId(1) }));
+        let _b = sim.add_entity("b", Box::new(Bad { other: EntityId(0) }));
+        sim.schedule(SimTime::ZERO, a, 0);
+        sim.run();
+    }
+
+    #[test]
+    fn self_sends_may_use_zero_delay() {
+        struct Counter {
+            n: u64,
+        }
+        impl Entity<u32> for Counter {
+            fn on_event(&mut self, _ev: Envelope<u32>, ctx: &mut Ctx<'_, u32>) {
+                self.n += 1;
+                if self.n < 5 {
+                    ctx.send_self(SimDuration::ZERO, 0);
+                }
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new(SimConfig::default());
+        let a = sim.add_entity("c", Box::new(Counter { n: 0 }));
+        sim.schedule(SimTime::ZERO, a, 0);
+        let res = sim.run();
+        assert_eq!(res.events, 5);
+        assert_eq!(res.end_time, SimTime::ZERO);
+        assert_eq!(sim.entity_ref::<Counter>(a).unwrap().n, 5);
+    }
+
+    #[test]
+    fn entity_downcast_checks_type() {
+        struct A;
+        struct B;
+        impl Entity<u32> for A {
+            fn on_event(&mut self, _: Envelope<u32>, _: &mut Ctx<'_, u32>) {}
+        }
+        impl Entity<u32> for B {
+            fn on_event(&mut self, _: Envelope<u32>, _: &mut Ctx<'_, u32>) {}
+        }
+        let mut sim: Simulation<u32> = Simulation::default();
+        let a = sim.add_entity("a", Box::new(A));
+        assert!(sim.entity_ref::<A>(a).is_some());
+        assert!(sim.entity_ref::<B>(a).is_none());
+        assert_eq!(sim.entity_name(a), "a");
+    }
+}

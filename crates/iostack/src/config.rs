@@ -1,0 +1,126 @@
+//! I/O stack configuration.
+
+use pioeval_types::{bytes, Layer, SimDuration};
+
+/// MPI-IO-like middleware tuning (ROMIO-style hints).
+#[derive(Clone, Copy, Debug)]
+pub struct MpiConfig {
+    /// Collective buffer size per aggregator (ROMIO `cb_buffer_size`).
+    pub cb_buffer: u64,
+    /// Ranks per aggregator (ROMIO `cb_nodes` expressed as a ratio):
+    /// the number of aggregators is `ceil(nranks / aggregator_ratio)`.
+    pub aggregator_ratio: u32,
+    /// Data-sieving buffer: strided independent accesses whose total span
+    /// fits within this are turned into one large access
+    /// (read-modify-write for writes).
+    pub sieve_buffer: u64,
+    /// Enable data sieving.
+    pub sieving: bool,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            cb_buffer: bytes::mib(4),
+            aggregator_ratio: 4,
+            sieve_buffer: bytes::mib(4),
+            sieving: true,
+        }
+    }
+}
+
+impl MpiConfig {
+    /// Number of aggregators for a job of `nranks`.
+    pub fn num_aggregators(&self, nranks: u32) -> u32 {
+        nranks.div_ceil(self.aggregator_ratio.max(1)).max(1)
+    }
+
+    /// The aggregator ranks for a job of `nranks`, evenly spread.
+    pub fn aggregators(&self, nranks: u32) -> Vec<u32> {
+        let n = self.num_aggregators(nranks);
+        (0..n).map(|i| i * nranks / n).collect()
+    }
+}
+
+/// Instrumentation capture settings (the measurement phase's cost knobs).
+///
+/// Counters (Darshan-profile-style) are always maintained — they are a
+/// handful of integers per rank. Full records (Recorder-trace-style) are
+/// only retained for the enabled layers, and each retained record may
+/// charge a per-record overhead to the application — the
+/// profiling-vs-tracing cost asymmetry of Sec. IV-A2.
+#[derive(Clone, Copy, Debug)]
+pub struct CaptureConfig {
+    /// Retain full records for these layers (indexed by [`Layer::ALL`]).
+    pub layers: [bool; 4],
+    /// Simulated cost charged per retained record.
+    pub overhead_per_record: SimDuration,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig {
+            layers: [true; 4],
+            overhead_per_record: SimDuration::ZERO,
+        }
+    }
+}
+
+impl CaptureConfig {
+    /// Capture nothing (counters only — "profile mode").
+    pub fn profile_only() -> Self {
+        CaptureConfig {
+            layers: [false; 4],
+            overhead_per_record: SimDuration::ZERO,
+        }
+    }
+
+    /// Capture everything with a per-record overhead ("trace mode").
+    pub fn tracing(overhead: SimDuration) -> Self {
+        CaptureConfig {
+            layers: [true; 4],
+            overhead_per_record: overhead,
+        }
+    }
+
+    /// Is `layer` captured?
+    pub fn captures(&self, layer: Layer) -> bool {
+        let idx = Layer::ALL.iter().position(|&l| l == layer).unwrap();
+        self.layers[idx]
+    }
+}
+
+/// Full stack configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackConfig {
+    /// MPI-IO middleware settings.
+    pub mpi: MpiConfig,
+    /// Instrumentation settings.
+    pub capture: CaptureConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregator_counts() {
+        let cfg = MpiConfig::default();
+        assert_eq!(cfg.num_aggregators(16), 4);
+        assert_eq!(cfg.num_aggregators(1), 1);
+        assert_eq!(cfg.num_aggregators(5), 2);
+        assert_eq!(cfg.aggregators(16), vec![0, 4, 8, 12]);
+        assert_eq!(cfg.aggregators(4), vec![0]);
+    }
+
+    #[test]
+    fn capture_masks() {
+        let all = CaptureConfig::default();
+        assert!(all.captures(Layer::Posix) && all.captures(Layer::Hdf5));
+        let none = CaptureConfig::profile_only();
+        assert!(Layer::ALL.iter().all(|&l| !none.captures(l)));
+        let t = CaptureConfig::tracing(SimDuration::from_nanos(500));
+        assert!(t.captures(Layer::MpiIo));
+        assert_eq!(t.overhead_per_record, SimDuration::from_nanos(500));
+    }
+}

@@ -1,0 +1,57 @@
+//! Job coordinator: barrier arbitration.
+//!
+//! One coordinator entity per job counts barrier arrivals (tag = barrier
+//! sequence number) and, when all ranks have arrived, sends each rank a
+//! release message (`RELEASE_TAG | tag`) over the compute fabric.
+
+use crate::plan::RELEASE_TAG;
+use pioeval_des::{Ctx, Entity, EntityId, Envelope};
+use pioeval_pfs::msg::{route, PfsMsg, HEADER_BYTES};
+use std::collections::HashMap;
+
+/// The barrier coordinator entity.
+pub struct JobCoordinator {
+    compute_fabric: EntityId,
+    ranks: Vec<EntityId>,
+    arrivals: HashMap<u64, u32>,
+    /// Barriers completed (post-run inspection).
+    pub barriers_released: u64,
+}
+
+impl JobCoordinator {
+    /// A coordinator for the given rank entities.
+    pub fn new(compute_fabric: EntityId, ranks: Vec<EntityId>) -> Self {
+        JobCoordinator {
+            compute_fabric,
+            ranks,
+            arrivals: HashMap::new(),
+            barriers_released: 0,
+        }
+    }
+}
+
+impl Entity<PfsMsg> for JobCoordinator {
+    fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
+        let PfsMsg::App { tag, .. } = ev.msg else {
+            panic!("coordinator received unexpected message: {:?}", ev.msg);
+        };
+        let count = self.arrivals.entry(tag).or_insert(0);
+        *count += 1;
+        if *count as usize == self.ranks.len() {
+            self.arrivals.remove(&tag);
+            self.barriers_released += 1;
+            for &rank in &self.ranks {
+                let (hop, msg) = route(
+                    &[self.compute_fabric],
+                    rank,
+                    HEADER_BYTES,
+                    PfsMsg::App {
+                        tag: RELEASE_TAG | tag,
+                        bytes: 0,
+                    },
+                );
+                ctx.send(hop, ctx.lookahead(), msg);
+            }
+        }
+    }
+}

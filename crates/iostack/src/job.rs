@@ -1,0 +1,418 @@
+//! Job launch and result collection.
+
+use crate::config::StackConfig;
+use crate::coordinator::JobCoordinator;
+use crate::ops::StackOp;
+use crate::plan::compile;
+use crate::rank::{RankClient, RankCounters};
+use pioeval_des::EntityId;
+use pioeval_pfs::msg::PfsMsg;
+use pioeval_pfs::Cluster;
+use pioeval_trace::JobProfile;
+use pioeval_types::{LayerRecord, Rank, SimDuration, SimTime};
+
+/// A job: one program per rank plus stack configuration.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Per-rank programs. `programs.len()` is the rank count.
+    pub programs: Vec<Vec<StackOp>>,
+    /// I/O stack configuration.
+    pub stack: StackConfig,
+    /// Simulated submit time.
+    pub start: SimTime,
+}
+
+impl JobSpec {
+    /// A job where every rank runs the same program (SPMD).
+    pub fn spmd(nranks: u32, program: Vec<StackOp>, stack: StackConfig) -> Self {
+        JobSpec {
+            programs: vec![program; nranks as usize],
+            stack,
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.programs.len() as u32
+    }
+}
+
+/// Handle to a launched job.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    /// The coordinator entity.
+    pub coordinator: EntityId,
+    /// Rank entities, by rank index.
+    pub ranks: Vec<EntityId>,
+    /// Submit time.
+    pub start: SimTime,
+}
+
+/// Collected results of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Captured layer records, per rank.
+    pub records: Vec<Vec<LayerRecord>>,
+    /// Always-on counters, per rank.
+    pub counters: Vec<RankCounters>,
+    /// Always-on streaming profiles, per rank.
+    pub profiles: Vec<JobProfile>,
+    /// Per-rank completion times (None = rank did not finish).
+    pub finished: Vec<Option<SimTime>>,
+    /// Submit time.
+    pub start: SimTime,
+}
+
+impl JobResult {
+    /// Job makespan: submit → last rank completion. None if any rank is
+    /// unfinished.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        let mut latest = SimTime::ZERO;
+        for f in &self.finished {
+            latest = latest.max((*f)?);
+        }
+        Some(latest.since(self.start))
+    }
+
+    /// All records across ranks, flattened (sorted by start time).
+    pub fn all_records(&self) -> Vec<LayerRecord> {
+        let mut out: Vec<LayerRecord> =
+            self.records.iter().flatten().copied().collect();
+        out.sort_by_key(|r| (r.start, r.rank));
+        out
+    }
+
+    /// The job-level Darshan-style profile: merge of every rank's
+    /// streaming profile (available in all capture modes).
+    pub fn merged_profile(&self) -> JobProfile {
+        let mut merged = JobProfile::new();
+        for p in &self.profiles {
+            merged.merge(p);
+        }
+        merged
+    }
+
+    /// Aggregate bytes written at the POSIX level.
+    pub fn bytes_written(&self) -> u64 {
+        self.counters.iter().map(|c| c.bytes_written).sum()
+    }
+
+    /// Aggregate bytes read at the POSIX level.
+    pub fn bytes_read(&self) -> u64 {
+        self.counters.iter().map(|c| c.bytes_read).sum()
+    }
+
+    /// Aggregate write throughput over the makespan, MiB/s.
+    pub fn write_throughput_mib_s(&self) -> f64 {
+        match self.makespan() {
+            Some(m) if !m.is_zero() => {
+                pioeval_types::throughput_mib_s(self.bytes_written(), m.as_secs_f64())
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Aggregate read throughput over the makespan, MiB/s.
+    pub fn read_throughput_mib_s(&self) -> f64 {
+        match self.makespan() {
+            Some(m) if !m.is_zero() => {
+                pioeval_types::throughput_mib_s(self.bytes_read(), m.as_secs_f64())
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Launch a job onto a cluster: creates the coordinator and one rank
+/// entity per program, and schedules their start messages.
+pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
+    let nranks = spec.nranks();
+    assert!(nranks > 0, "job must have at least one rank");
+
+    // Entity ids are assigned sequentially, so we can precompute the ids
+    // of the coordinator and every rank before constructing them (ranks
+    // need each other's ids for shuffle traffic).
+    let base = cluster.sim.num_entities() as u32;
+    let coordinator_id = EntityId(base);
+    let rank_ids: Vec<EntityId> = (0..nranks).map(|i| EntityId(base + 1 + i)).collect();
+
+    let coord = JobCoordinator::new(cluster.handles.compute_fabric, rank_ids.clone());
+    let actual = cluster.sim.add_entity("coordinator", Box::new(coord));
+    debug_assert_eq!(actual, coordinator_id);
+
+    for (i, program) in spec.programs.iter().enumerate() {
+        let me = rank_ids[i];
+        let client_index = cluster.clients.len();
+        let port = cluster.handles.port(me, client_index);
+        let actions = compile(i as u32, nranks, program, &spec.stack);
+        let entity = RankClient::new(
+            port,
+            Rank::new(i as u32),
+            coordinator_id,
+            rank_ids.clone(),
+            actions,
+            spec.stack.capture,
+        );
+        let actual = cluster
+            .sim
+            .add_entity(format!("rank{i}"), Box::new(entity));
+        debug_assert_eq!(actual, me);
+        cluster.clients.push(me);
+        cluster.sim.schedule(spec.start, me, PfsMsg::Start);
+    }
+
+    JobHandle {
+        coordinator: coordinator_id,
+        ranks: rank_ids,
+        start: spec.start,
+    }
+}
+
+/// Collect the results of a job after the simulation has run.
+pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
+    let mut records = Vec::new();
+    let mut counters = Vec::new();
+    let mut profiles = Vec::new();
+    let mut finished = Vec::new();
+    for &id in &handle.ranks {
+        let rank = cluster
+            .sim
+            .entity_ref::<RankClient>(id)
+            .expect("job rank entity missing");
+        records.push(rank.records.clone());
+        counters.push(rank.counters);
+        profiles.push(rank.profile.clone());
+        finished.push(rank.finished_at);
+    }
+    JobResult {
+        records,
+        counters,
+        profiles,
+        finished,
+        start: handle.start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AccessSpec;
+    use pioeval_pfs::{ClusterConfig, Cluster};
+    use pioeval_types::{bytes, FileId, IoKind, Layer, MetaOp, RecordOp};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            num_clients: 16,
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn spmd_posix_job_runs_to_completion() {
+        let mut c = cluster();
+        // File-per-process: rank programs differ, so build explicitly.
+        let programs: Vec<Vec<StackOp>> = (0..4)
+            .map(|r| {
+                let f = FileId::new(r);
+                vec![
+                    StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file: f,
+                    },
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        file: f,
+                        offset: 0,
+                        len: bytes::mib(4),
+                    },
+                    StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        file: f,
+                    },
+                ]
+            })
+            .collect();
+        let spec = JobSpec {
+            programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        };
+        let handle = launch(&mut c, &spec);
+        c.run();
+        let result = collect(&c, &handle);
+        assert!(result.makespan().is_some());
+        assert_eq!(result.bytes_written(), 4 * bytes::mib(4));
+        assert!(result.write_throughput_mib_s() > 0.0);
+        // Each rank emitted posix records for create, write, close.
+        for recs in &result.records {
+            assert!(recs
+                .iter()
+                .any(|r| r.layer == Layer::Posix && r.op == RecordOp::Data(IoKind::Write)));
+        }
+    }
+
+    #[test]
+    fn barriers_synchronize_ranks() {
+        let mut c = cluster();
+        // Rank programs with asymmetric compute before a barrier: all
+        // ranks leave the barrier at (or after) the slowest's arrival.
+        let programs: Vec<Vec<StackOp>> = (0..4)
+            .map(|r| {
+                vec![
+                    StackOp::Compute(SimDuration::from_millis(1 + r as u64 * 5)),
+                    StackOp::Barrier,
+                ]
+            })
+            .collect();
+        let spec = JobSpec {
+            programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        };
+        let handle = launch(&mut c, &spec);
+        c.run();
+        let result = collect(&c, &handle);
+        let finish: Vec<SimTime> = result.finished.iter().map(|f| f.unwrap()).collect();
+        // Everyone finishes after the slowest rank's 16 ms compute.
+        assert!(finish.iter().all(|&f| f >= SimTime::from_millis(16)));
+        // And within a small window of each other (release fan-out).
+        let spread = finish.iter().max().unwrap().since(*finish.iter().min().unwrap());
+        assert!(spread < SimDuration::from_millis(1), "spread {spread}");
+    }
+
+    #[test]
+    fn collective_write_moves_all_bytes_through_aggregators() {
+        let mut c = cluster();
+        let file = FileId::new(40);
+        let program = vec![
+            StackOp::MpiOpen { file },
+            StackOp::MpiCollective {
+                kind: IoKind::Write,
+                file,
+                spec: AccessSpec::ContiguousBlocks {
+                    base: 0,
+                    block: bytes::mib(1),
+                },
+            },
+            StackOp::MpiClose { file },
+        ];
+        let spec = JobSpec::spmd(8, program, StackConfig::default());
+        let handle = launch(&mut c, &spec);
+        c.run();
+        let result = collect(&c, &handle);
+        assert!(result.makespan().is_some(), "job did not finish");
+        // All 8 MiB reach the file system, written only by aggregators
+        // (2 of 8 ranks at the default ratio).
+        assert_eq!(result.bytes_written(), 8 * bytes::mib(1));
+        let writers = result
+            .counters
+            .iter()
+            .filter(|cnt| cnt.bytes_written > 0)
+            .count();
+        assert_eq!(writers, 2);
+        // Non-aggregators shipped their data over the fabric.
+        let shuffled: u64 = result.counters.iter().map(|c| c.shuffle_bytes_sent).sum();
+        assert_eq!(shuffled, 6 * bytes::mib(1));
+        let stats = c.oss_stats();
+        let written: u64 = stats.iter().map(|s| s.bytes_written).sum();
+        assert_eq!(written, 8 * bytes::mib(1));
+    }
+
+    #[test]
+    fn collective_read_distributes_data_back() {
+        let mut c = cluster();
+        let file = FileId::new(41);
+        // Seed the file, then collectively read it back.
+        let program = vec![
+            StackOp::MpiOpen { file },
+            StackOp::MpiCollective {
+                kind: IoKind::Write,
+                file,
+                spec: AccessSpec::ContiguousBlocks {
+                    base: 0,
+                    block: bytes::mib(1),
+                },
+            },
+            StackOp::Barrier,
+            StackOp::MpiCollective {
+                kind: IoKind::Read,
+                file,
+                spec: AccessSpec::ContiguousBlocks {
+                    base: 0,
+                    block: bytes::mib(1),
+                },
+            },
+            StackOp::MpiClose { file },
+        ];
+        let spec = JobSpec::spmd(4, program, StackConfig::default());
+        let handle = launch(&mut c, &spec);
+        c.run();
+        let result = collect(&c, &handle);
+        assert!(result.makespan().is_some(), "job did not finish");
+        assert_eq!(result.bytes_read(), 4 * bytes::mib(1));
+    }
+
+    #[test]
+    fn profile_mode_captures_no_records_but_counts() {
+        let mut c = cluster();
+        let f = FileId::new(50);
+        let program = vec![
+            StackOp::PosixMeta {
+                op: MetaOp::Create,
+                file: f,
+            },
+            StackOp::PosixData {
+                kind: IoKind::Write,
+                file: f,
+                offset: 0,
+                len: 4096,
+            },
+        ];
+        let stack = StackConfig {
+            capture: crate::config::CaptureConfig::profile_only(),
+            ..StackConfig::default()
+        };
+        let spec = JobSpec::spmd(1, program, stack);
+        let handle = launch(&mut c, &spec);
+        c.run();
+        let result = collect(&c, &handle);
+        assert!(result.records[0].is_empty());
+        assert_eq!(result.counters[0].posix_writes, 1);
+        assert_eq!(result.counters[0].bytes_written, 4096);
+    }
+
+    #[test]
+    fn tracing_overhead_slows_the_job() {
+        let run = |capture: crate::config::CaptureConfig| {
+            let mut c = cluster();
+            let f = FileId::new(60);
+            let mut program = vec![StackOp::PosixMeta {
+                op: MetaOp::Create,
+                file: f,
+            }];
+            for i in 0..50 {
+                program.push(StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file: f,
+                    offset: i * 4096,
+                    len: 4096,
+                });
+            }
+            let stack = StackConfig {
+                capture,
+                ..StackConfig::default()
+            };
+            let spec = JobSpec::spmd(1, program, stack);
+            let handle = launch(&mut c, &spec);
+            c.run();
+            collect(&c, &handle).makespan().unwrap()
+        };
+        let fast = run(crate::config::CaptureConfig::profile_only());
+        let slow = run(crate::config::CaptureConfig::tracing(
+            SimDuration::from_micros(50),
+        ));
+        assert!(slow > fast, "tracing {slow} should exceed profiling {fast}");
+    }
+}

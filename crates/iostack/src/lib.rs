@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # pioeval-iostack
+//!
+//! The layered parallel I/O software stack of the paper's Fig. 2,
+//! executed against the `pioeval-pfs` storage simulator:
+//!
+//! ```text
+//!   application workload (StackOp programs, one per rank)
+//!        │
+//!   H5Lite     — HDF5-like: files, chunked datasets, hyperslab selections
+//!        │
+//!   MPI-IO-like — independent I/O with data sieving; collective I/O with
+//!        │        two-phase aggregation (real shuffle traffic over the
+//!        │        compute fabric between rank entities)
+//!        │
+//!   POSIX-like  — per-call extent accesses, metadata operations
+//!        │
+//!   PFS client  — striping, RPC splitting, routing (pioeval-pfs)
+//! ```
+//!
+//! Programs are *compiled* ([`plan::compile`]) into flat action lists by
+//! pure functions (unit-testable without a simulation), then *interpreted*
+//! by one [`rank::RankClient`] entity per rank. A [`coordinator`] entity
+//! implements job-wide barriers. Every layer emits
+//! [`pioeval_types::LayerRecord`]s — the multi-level instrumentation that
+//! `pioeval-trace` turns into Darshan-style profiles and Recorder-style
+//! traces.
+//!
+//! **SPMD assumption.** Collective operations and barriers require every
+//! rank's program to contain the same sequence of collective/barrier
+//! constructs (the standard MPI requirement).
+
+pub mod config;
+pub mod coordinator;
+pub mod h5;
+pub mod job;
+pub mod mpiio;
+pub mod ops;
+pub mod plan;
+pub mod rank;
+
+pub use config::{CaptureConfig, MpiConfig, StackConfig};
+pub use job::{collect, launch, JobHandle, JobResult, JobSpec};
+pub use ops::{AccessSpec, DatasetSpec, Hyperslab, StackOp};
+pub use rank::RankCounters;

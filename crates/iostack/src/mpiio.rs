@@ -1,0 +1,301 @@
+//! MPI-IO-like middleware: data sieving and two-phase collective plans.
+//!
+//! Both optimizations follow ROMIO. *Data sieving* turns a noncontiguous
+//! independent access into one large contiguous access spanning the holes
+//! (a read-modify-write for writes). *Two-phase collective I/O* divides
+//! the collectively-accessed file span into contiguous *file domains*,
+//! one per aggregator rank; non-aggregators ship their data to (or
+//! receive it from) aggregators over the compute fabric, and only the
+//! aggregators touch the file system — with large, contiguous accesses.
+
+use crate::config::MpiConfig;
+use crate::ops::AccessSpec;
+use pioeval_types::IoKind;
+
+/// How an independent noncontiguous access will be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndependentPlan {
+    /// One POSIX access per segment.
+    PerSegment(Vec<(u64, u64)>),
+    /// One large access covering the span (plus a pre-read for writes).
+    Sieved {
+        /// Span start offset.
+        offset: u64,
+        /// Span length.
+        len: u64,
+        /// True if a read-modify-write is required (writes).
+        rmw: bool,
+    },
+}
+
+/// Decide how to execute an independent access with `segments`.
+pub fn plan_independent(
+    kind: IoKind,
+    segments: &[(u64, u64)],
+    cfg: &MpiConfig,
+) -> IndependentPlan {
+    if segments.len() <= 1 || !cfg.sieving {
+        return IndependentPlan::PerSegment(segments.to_vec());
+    }
+    let lo = segments.iter().map(|&(o, _)| o).min().unwrap();
+    let hi = segments.iter().map(|&(o, l)| o + l).max().unwrap();
+    let span = hi - lo;
+    if span <= cfg.sieve_buffer {
+        IndependentPlan::Sieved {
+            offset: lo,
+            len: span,
+            rmw: kind == IoKind::Write,
+        }
+    } else {
+        IndependentPlan::PerSegment(segments.to_vec())
+    }
+}
+
+/// Byte overlap of `segments` with the half-open range `[lo, hi)`.
+pub fn overlap(segments: &[(u64, u64)], lo: u64, hi: u64) -> u64 {
+    segments
+        .iter()
+        .map(|&(o, l)| {
+            let s = o.max(lo);
+            let e = (o + l).min(hi);
+            e.saturating_sub(s)
+        })
+        .sum()
+}
+
+/// This rank's view of a two-phase collective operation.
+#[derive(Clone, Debug)]
+pub struct TwoPhasePlan {
+    /// Aggregator ranks, ascending.
+    pub aggregators: Vec<u32>,
+    /// File domains, parallel to `aggregators`: (offset, len).
+    pub domains: Vec<(u64, u64)>,
+    /// Shuffle transfers this rank performs: (peer rank, bytes).
+    /// For writes these are sends to aggregators; for reads these are
+    /// the sends an *aggregator* performs to each consumer rank.
+    pub transfers: Vec<(u32, u64)>,
+    /// This rank's file domain, if it is an aggregator.
+    pub my_domain: Option<(u64, u64)>,
+    /// Bytes this rank must receive before it can proceed (aggregators
+    /// on writes; every rank on reads).
+    pub expect_bytes: u64,
+}
+
+/// Build the two-phase plan for `rank` of `nranks`.
+pub fn plan_two_phase(
+    kind: IoKind,
+    spec: &AccessSpec,
+    rank: u32,
+    nranks: u32,
+    cfg: &MpiConfig,
+) -> TwoPhasePlan {
+    let (lo, hi) = spec.span(nranks);
+    let aggregators = cfg.aggregators(nranks);
+    let naggs = aggregators.len() as u64;
+    let span = hi - lo;
+    let domain_size = span.div_ceil(naggs.max(1));
+    let domains: Vec<(u64, u64)> = (0..naggs)
+        .map(|i| {
+            let start = lo + i * domain_size;
+            let end = (start + domain_size).min(hi);
+            (start, end.saturating_sub(start))
+        })
+        .collect();
+
+    let my_segments = spec.segments_for(rank, nranks);
+    let my_agg_idx = aggregators.iter().position(|&a| a == rank);
+    let my_domain = my_agg_idx.map(|i| domains[i]);
+
+    let mut transfers = Vec::new();
+    let mut expect_bytes = 0u64;
+    match kind {
+        IoKind::Write => {
+            // Every rank ships its overlap with each (other) aggregator's
+            // domain; aggregators expect the rest of their domain from
+            // the other ranks.
+            for (i, &a) in aggregators.iter().enumerate() {
+                let (dlo, dlen) = domains[i];
+                let bytes = overlap(&my_segments, dlo, dlo + dlen);
+                if bytes > 0 && a != rank {
+                    transfers.push((a, bytes));
+                }
+            }
+            if let Some((dlo, dlen)) = my_domain {
+                let total: u64 = (0..nranks)
+                    .map(|r| overlap(&spec.segments_for(r, nranks), dlo, dlo + dlen))
+                    .sum();
+                let own = overlap(&my_segments, dlo, dlo + dlen);
+                expect_bytes = total - own;
+            }
+        }
+        IoKind::Read => {
+            // Aggregators read their domain then ship each consumer its
+            // overlap; every rank expects its bytes not covered by its
+            // own domain.
+            if let Some((dlo, dlen)) = my_domain {
+                for r in 0..nranks {
+                    if r == rank {
+                        continue;
+                    }
+                    let bytes =
+                        overlap(&spec.segments_for(r, nranks), dlo, dlo + dlen);
+                    if bytes > 0 {
+                        transfers.push((r, bytes));
+                    }
+                }
+            }
+            let own = my_domain
+                .map(|(dlo, dlen)| overlap(&my_segments, dlo, dlo + dlen))
+                .unwrap_or(0);
+            expect_bytes = spec.bytes_per_rank() - own;
+        }
+    }
+
+    TwoPhasePlan {
+        aggregators,
+        domains,
+        transfers,
+        my_domain,
+        expect_bytes,
+    }
+}
+
+/// Split an aggregator's file domain into collective-buffer-sized
+/// accesses (offset, len), in offset order.
+pub fn domain_blocks(domain: (u64, u64), cb_buffer: u64) -> Vec<(u64, u64)> {
+    let (lo, len) = domain;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < len {
+        let block = (len - pos).min(cb_buffer.max(1));
+        out.push((lo + pos, block));
+        pos += block;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieving_coalesces_small_strides() {
+        let cfg = MpiConfig::default();
+        let segments = vec![(0, 100), (1000, 100), (2000, 100)];
+        match plan_independent(IoKind::Read, &segments, &cfg) {
+            IndependentPlan::Sieved { offset, len, rmw } => {
+                assert_eq!((offset, len), (0, 2100));
+                assert!(!rmw);
+            }
+            other => panic!("expected sieved plan, got {other:?}"),
+        }
+        match plan_independent(IoKind::Write, &segments, &cfg) {
+            IndependentPlan::Sieved { rmw, .. } => assert!(rmw),
+            other => panic!("expected sieved RMW plan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sieving_skips_wide_spans_and_single_segments() {
+        let cfg = MpiConfig::default();
+        let wide = vec![(0, 100), (100 << 20, 100)];
+        assert!(matches!(
+            plan_independent(IoKind::Read, &wide, &cfg),
+            IndependentPlan::PerSegment(_)
+        ));
+        let single = vec![(0, 4096)];
+        assert!(matches!(
+            plan_independent(IoKind::Read, &single, &cfg),
+            IndependentPlan::PerSegment(_)
+        ));
+        let off = MpiConfig {
+            sieving: false,
+            ..cfg
+        };
+        let strided = vec![(0, 10), (100, 10)];
+        assert!(matches!(
+            plan_independent(IoKind::Read, &strided, &off),
+            IndependentPlan::PerSegment(_)
+        ));
+    }
+
+    #[test]
+    fn overlap_math() {
+        let segs = vec![(0, 100), (200, 100)];
+        assert_eq!(overlap(&segs, 0, 300), 200);
+        assert_eq!(overlap(&segs, 50, 250), 100);
+        assert_eq!(overlap(&segs, 100, 200), 0);
+    }
+
+    #[test]
+    fn two_phase_write_conserves_bytes() {
+        let cfg = MpiConfig::default();
+        let nranks = 16;
+        let spec = AccessSpec::Interleaved {
+            base: 0,
+            block: 1000,
+            count: 4,
+        };
+        // Sum of everything aggregators expect + everything they keep
+        // locally must equal total bytes.
+        let mut expected_total = 0u64;
+        let mut self_kept = 0u64;
+        let mut sent_total = 0u64;
+        for r in 0..nranks {
+            let plan = plan_two_phase(IoKind::Write, &spec, r, nranks, &cfg);
+            expected_total += plan.expect_bytes;
+            sent_total += plan.transfers.iter().map(|&(_, b)| b).sum::<u64>();
+            if let Some((dlo, dlen)) = plan.my_domain {
+                self_kept += overlap(&spec.segments_for(r, nranks), dlo, dlo + dlen);
+            }
+        }
+        let total = spec.bytes_per_rank() * nranks as u64;
+        assert_eq!(sent_total, expected_total);
+        assert_eq!(expected_total + self_kept, total);
+        // Domains tile the span.
+        let plan = plan_two_phase(IoKind::Write, &spec, 0, nranks, &cfg);
+        let span = spec.span(nranks);
+        let covered: u64 = plan.domains.iter().map(|&(_, l)| l).sum();
+        assert_eq!(covered, span.1 - span.0);
+    }
+
+    #[test]
+    fn two_phase_read_expectations_match_sends() {
+        let cfg = MpiConfig::default();
+        let nranks = 8;
+        let spec = AccessSpec::ContiguousBlocks {
+            base: 0,
+            block: 1 << 20,
+        };
+        let mut sent = 0u64;
+        let mut expected = 0u64;
+        for r in 0..nranks {
+            let plan = plan_two_phase(IoKind::Read, &spec, r, nranks, &cfg);
+            sent += plan.transfers.iter().map(|&(_, b)| b).sum::<u64>();
+            expected += plan.expect_bytes;
+        }
+        assert_eq!(sent, expected);
+    }
+
+    #[test]
+    fn aggregators_do_large_contiguous_blocks() {
+        let blocks = domain_blocks((1000, 10_000_000), 4 << 20);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0], (1000, 4 << 20));
+        let total: u64 = blocks.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 10_000_000);
+        // Contiguity.
+        assert!(blocks.windows(2).all(|w| w[0].0 + w[0].1 == w[1].0));
+    }
+
+    #[test]
+    fn single_rank_collective_degenerates_gracefully() {
+        let cfg = MpiConfig::default();
+        let spec = AccessSpec::ContiguousBlocks { base: 0, block: 4096 };
+        let plan = plan_two_phase(IoKind::Write, &spec, 0, 1, &cfg);
+        assert_eq!(plan.aggregators, vec![0]);
+        assert_eq!(plan.expect_bytes, 0);
+        assert!(plan.transfers.is_empty());
+        assert_eq!(plan.my_domain, Some((0, 4096)));
+    }
+}

@@ -1,0 +1,315 @@
+//! Application-visible operations of the layered I/O stack.
+
+use pioeval_types::{FileId, IoKind, MetaOp, SimDuration};
+
+/// A rank-symmetric collective access pattern.
+///
+/// Collective plans must be computable by every rank locally, so
+/// collective operations carry a *pattern* (shared by all ranks) rather
+/// than raw extents; each rank derives its own portion with
+/// [`AccessSpec::segments_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessSpec {
+    /// Rank `r` accesses the contiguous block `[base + r*block, +block)`.
+    ContiguousBlocks {
+        /// Start of rank 0's block.
+        base: u64,
+        /// Bytes per rank.
+        block: u64,
+    },
+    /// Rank `r` accesses `count` segments of `block` bytes, segment `k`
+    /// at `base + (k * nranks + r) * block` — the classic interleaved
+    /// (round-robin) pattern of BT-IO and many checkpoint formats.
+    Interleaved {
+        /// Start of the region.
+        base: u64,
+        /// Bytes per segment.
+        block: u64,
+        /// Segments per rank.
+        count: u64,
+    },
+}
+
+impl AccessSpec {
+    /// The segments rank `rank` of `nranks` accesses, in offset order.
+    pub fn segments_for(&self, rank: u32, nranks: u32) -> Vec<(u64, u64)> {
+        match *self {
+            AccessSpec::ContiguousBlocks { base, block } => {
+                if block == 0 {
+                    return Vec::new();
+                }
+                vec![(base + rank as u64 * block, block)]
+            }
+            AccessSpec::Interleaved { base, block, count } => {
+                if block == 0 {
+                    return Vec::new();
+                }
+                (0..count)
+                    .map(|k| (base + (k * nranks as u64 + rank as u64) * block, block))
+                    .collect()
+            }
+        }
+    }
+
+    /// The file span `[lo, hi)` touched by the whole job.
+    pub fn span(&self, nranks: u32) -> (u64, u64) {
+        match *self {
+            AccessSpec::ContiguousBlocks { base, block } => {
+                (base, base + nranks as u64 * block)
+            }
+            AccessSpec::Interleaved { base, block, count } => {
+                (base, base + count * nranks as u64 * block)
+            }
+        }
+    }
+
+    /// Bytes accessed per rank.
+    pub fn bytes_per_rank(&self) -> u64 {
+        match *self {
+            AccessSpec::ContiguousBlocks { block, .. } => block,
+            AccessSpec::Interleaved { block, count, .. } => block * count,
+        }
+    }
+}
+
+/// A 2-D chunked dataset (H5Lite).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Dataset extent in elements (rows, cols).
+    pub dims: [u64; 2],
+    /// Chunk extent in elements (rows, cols).
+    pub chunk: [u64; 2],
+    /// Bytes per element.
+    pub elem_size: u64,
+}
+
+impl DatasetSpec {
+    /// Chunk grid dimensions (chunks per axis, rounding up).
+    pub fn chunk_grid(&self) -> [u64; 2] {
+        [
+            self.dims[0].div_ceil(self.chunk[0]),
+            self.dims[1].div_ceil(self.chunk[1]),
+        ]
+    }
+
+    /// Bytes per (full) chunk.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk[0] * self.chunk[1] * self.elem_size
+    }
+
+    /// Total allocated bytes (all chunks, including edge padding).
+    pub fn alloc_bytes(&self) -> u64 {
+        let g = self.chunk_grid();
+        g[0] * g[1] * self.chunk_bytes()
+    }
+}
+
+/// A rectangular element selection within a 2-D dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hyperslab {
+    /// Start coordinates (row, col).
+    pub start: [u64; 2],
+    /// Extent in elements (rows, cols).
+    pub count: [u64; 2],
+}
+
+impl Hyperslab {
+    /// Indices (row-major) of the chunks this slab touches.
+    pub fn touched_chunks(&self, ds: &DatasetSpec) -> Vec<u64> {
+        if self.count[0] == 0 || self.count[1] == 0 {
+            return Vec::new();
+        }
+        let grid = ds.chunk_grid();
+        let r0 = self.start[0] / ds.chunk[0];
+        let r1 = (self.start[0] + self.count[0] - 1) / ds.chunk[0];
+        let c0 = self.start[1] / ds.chunk[1];
+        let c1 = (self.start[1] + self.count[1] - 1) / ds.chunk[1];
+        let mut out = Vec::new();
+        for r in r0..=r1.min(grid[0] - 1) {
+            for c in c0..=c1.min(grid[1] - 1) {
+                out.push(r * grid[1] + c);
+            }
+        }
+        out
+    }
+
+    /// Elements selected.
+    pub fn elements(&self) -> u64 {
+        self.count[0] * self.count[1]
+    }
+}
+
+/// One operation in a rank's program, at whichever stack layer the
+/// application chose to use (Fig. 2: applications may enter the stack at
+/// any level).
+#[derive(Clone, Debug)]
+pub enum StackOp {
+    /// Compute for a duration (gaps between I/O phases — preserved so
+    /// that replay reproduces burstiness).
+    Compute(SimDuration),
+    /// Job-wide synchronization barrier.
+    Barrier,
+
+    // --- POSIX level ---
+    /// A POSIX metadata call.
+    PosixMeta {
+        /// The operation.
+        op: MetaOp,
+        /// Target file.
+        file: FileId,
+    },
+    /// A POSIX data call (one contiguous extent).
+    PosixData {
+        /// Read or write.
+        kind: IoKind,
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+    },
+
+    // --- MPI-IO level ---
+    /// `MPI_File_open` — every rank opens (N metadata operations).
+    MpiOpen {
+        /// Target file.
+        file: FileId,
+    },
+    /// `MPI_File_close`.
+    MpiClose {
+        /// Target file.
+        file: FileId,
+    },
+    /// Independent read/write of this rank's own segments (possibly
+    /// noncontiguous; data sieving may coalesce them).
+    MpiIndependent {
+        /// Read or write.
+        kind: IoKind,
+        /// Target file.
+        file: FileId,
+        /// This rank's segments (offset, len), in offset order.
+        segments: Vec<(u64, u64)>,
+    },
+    /// Collective read/write with two-phase aggregation.
+    MpiCollective {
+        /// Read or write.
+        kind: IoKind,
+        /// Target file.
+        file: FileId,
+        /// The rank-symmetric access pattern.
+        spec: AccessSpec,
+    },
+
+    // --- H5Lite level ---
+    /// Create an H5Lite container file (rank 0 writes the superblock).
+    H5CreateFile {
+        /// The container file.
+        file: FileId,
+    },
+    /// Open an existing H5Lite container.
+    H5OpenFile {
+        /// The container file.
+        file: FileId,
+    },
+    /// Close an H5Lite container.
+    H5CloseFile {
+        /// The container file.
+        file: FileId,
+    },
+    /// Create a chunked dataset in a container (rank 0 writes the object
+    /// header; all ranks update their allocation maps).
+    H5CreateDataset {
+        /// The container file.
+        file: FileId,
+        /// Dataset geometry.
+        spec: DatasetSpec,
+    },
+    /// Read/write a hyperslab of dataset `dataset` (index in creation
+    /// order) in a container. Whole chunks are transferred, as HDF5 does.
+    H5Hyperslab {
+        /// Read or write.
+        kind: IoKind,
+        /// The container file.
+        file: FileId,
+        /// Dataset index (creation order within the container).
+        dataset: usize,
+        /// The selection.
+        slab: Hyperslab,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_blocks_partition_the_span() {
+        let spec = AccessSpec::ContiguousBlocks { base: 100, block: 50 };
+        assert_eq!(spec.segments_for(0, 4), vec![(100, 50)]);
+        assert_eq!(spec.segments_for(3, 4), vec![(250, 50)]);
+        assert_eq!(spec.span(4), (100, 300));
+        assert_eq!(spec.bytes_per_rank(), 50);
+    }
+
+    #[test]
+    fn interleaved_round_robins() {
+        let spec = AccessSpec::Interleaved { base: 0, block: 10, count: 3 };
+        assert_eq!(spec.segments_for(1, 4), vec![(10, 10), (50, 10), (90, 10)]);
+        assert_eq!(spec.span(4), (0, 120));
+        assert_eq!(spec.bytes_per_rank(), 30);
+        // All ranks' segments tile the span exactly once.
+        let mut all: Vec<(u64, u64)> = (0..4).flat_map(|r| spec.segments_for(r, 4)).collect();
+        all.sort_unstable();
+        let mut pos = 0;
+        for (o, l) in all {
+            assert_eq!(o, pos);
+            pos = o + l;
+        }
+        assert_eq!(pos, 120);
+    }
+
+    #[test]
+    fn dataset_geometry() {
+        let ds = DatasetSpec {
+            dims: [100, 100],
+            chunk: [30, 30],
+            elem_size: 8,
+        };
+        assert_eq!(ds.chunk_grid(), [4, 4]);
+        assert_eq!(ds.chunk_bytes(), 7200);
+        assert_eq!(ds.alloc_bytes(), 16 * 7200);
+    }
+
+    #[test]
+    fn hyperslab_chunk_selection() {
+        let ds = DatasetSpec {
+            dims: [100, 100],
+            chunk: [50, 50],
+            elem_size: 4,
+        };
+        // Slab entirely within chunk (0,0).
+        let s = Hyperslab { start: [0, 0], count: [10, 10] };
+        assert_eq!(s.touched_chunks(&ds), vec![0]);
+        // Slab spanning all four chunks.
+        let s = Hyperslab { start: [40, 40], count: [20, 20] };
+        assert_eq!(s.touched_chunks(&ds), vec![0, 1, 2, 3]);
+        // Row slab touching the bottom two chunks.
+        let s = Hyperslab { start: [60, 0], count: [10, 100] };
+        assert_eq!(s.touched_chunks(&ds), vec![2, 3]);
+        assert_eq!(s.elements(), 1000);
+    }
+
+    #[test]
+    fn empty_selections_are_empty() {
+        let ds = DatasetSpec {
+            dims: [10, 10],
+            chunk: [5, 5],
+            elem_size: 1,
+        };
+        let s = Hyperslab { start: [0, 0], count: [0, 5] };
+        assert!(s.touched_chunks(&ds).is_empty());
+        let spec = AccessSpec::ContiguousBlocks { base: 0, block: 0 };
+        assert!(spec.segments_for(0, 4).is_empty());
+    }
+}

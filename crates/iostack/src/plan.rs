@@ -1,0 +1,666 @@
+//! Program compilation: [`StackOp`] programs → flat [`Action`] lists.
+//!
+//! Compilation is a pure function of (rank, nranks, program, config), so
+//! the entire lowering pipeline — H5 chunking, MPI-IO sieving and
+//! two-phase planning, metadata fan-out — is unit-testable without
+//! running a simulation. The [`crate::rank::RankClient`] entity then
+//! interprets the action list against the storage simulator.
+
+use crate::config::StackConfig;
+use crate::h5::{H5FileState, OBJECT_HEADER_BYTES, SUPERBLOCK_BYTES};
+use crate::mpiio::{domain_blocks, plan_independent, plan_two_phase, IndependentPlan};
+use crate::ops::StackOp;
+use pioeval_types::{FileId, IoKind, Layer, MetaOp, RecordOp, SimDuration};
+use std::collections::HashMap;
+
+/// Tag namespace for collective shuffle payloads.
+pub const SHUFFLE_TAG: u64 = 1 << 32;
+/// Tag namespace for barrier releases (coordinator → ranks).
+pub const RELEASE_TAG: u64 = 1 << 33;
+
+/// One step of a compiled rank program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Compute for a duration.
+    Compute {
+        /// The duration.
+        dur: SimDuration,
+    },
+    /// Issue one metadata operation and wait for it.
+    Meta {
+        /// The operation.
+        op: MetaOp,
+        /// Target file.
+        file: FileId,
+    },
+    /// Issue one contiguous data access and wait for all its RPCs.
+    Data {
+        /// Read or write.
+        kind: IoKind,
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+    },
+    /// Enter job barrier `tag` and wait for the coordinator's release.
+    BarrierEnter {
+        /// Barrier instance tag.
+        tag: u64,
+    },
+    /// Send `bytes` of shuffle payload to `to_rank` (non-blocking).
+    ShuffleSend {
+        /// Receiving rank.
+        to_rank: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Collective instance tag.
+        tag: u64,
+    },
+    /// Wait until `expect_bytes` of shuffle payload tagged `tag` arrived.
+    ShuffleWait {
+        /// Collective instance tag.
+        tag: u64,
+        /// Bytes to wait for (0 = no wait).
+        expect_bytes: u64,
+    },
+    /// Open a layer-level observation interval.
+    RecordStart {
+        /// Observing layer.
+        layer: Layer,
+        /// What the interval describes.
+        op: RecordOp,
+        /// File involved.
+        file: FileId,
+        /// Representative offset.
+        offset: u64,
+        /// Logical bytes at this layer.
+        len: u64,
+    },
+    /// Close the innermost observation interval.
+    RecordEnd,
+}
+
+/// Compiler state threaded through one rank's program.
+struct Compiler<'a> {
+    rank: u32,
+    nranks: u32,
+    cfg: &'a StackConfig,
+    h5: HashMap<FileId, H5FileState>,
+    barrier_seq: u64,
+    collective_seq: u64,
+    out: Vec<Action>,
+}
+
+impl Compiler<'_> {
+    fn barrier(&mut self) {
+        let tag = self.barrier_seq;
+        self.barrier_seq += 1;
+        self.out.push(Action::BarrierEnter { tag });
+    }
+
+    fn lower_independent(&mut self, kind: IoKind, file: FileId, segments: &[(u64, u64)]) {
+        let total: u64 = segments.iter().map(|&(_, l)| l).sum();
+        let first = segments.first().map(|&(o, _)| o).unwrap_or(0);
+        self.out.push(Action::RecordStart {
+            layer: Layer::MpiIo,
+            op: RecordOp::Data(kind),
+            file,
+            offset: first,
+            len: total,
+        });
+        match plan_independent(kind, segments, &self.cfg.mpi) {
+            IndependentPlan::PerSegment(segs) => {
+                for (offset, len) in segs {
+                    self.out.push(Action::Data {
+                        kind,
+                        file,
+                        offset,
+                        len,
+                    });
+                }
+            }
+            IndependentPlan::Sieved { offset, len, rmw } => {
+                if rmw {
+                    self.out.push(Action::Data {
+                        kind: IoKind::Read,
+                        file,
+                        offset,
+                        len,
+                    });
+                }
+                self.out.push(Action::Data {
+                    kind,
+                    file,
+                    offset,
+                    len,
+                });
+            }
+        }
+        self.out.push(Action::RecordEnd);
+    }
+
+    fn lower_collective(&mut self, kind: IoKind, file: FileId, spec: &crate::ops::AccessSpec) {
+        let tag = SHUFFLE_TAG | self.collective_seq;
+        self.collective_seq += 1;
+        let plan = plan_two_phase(kind, spec, self.rank, self.nranks, &self.cfg.mpi);
+        let my_segments = spec.segments_for(self.rank, self.nranks);
+        let first = my_segments.first().map(|&(o, _)| o).unwrap_or(0);
+        self.out.push(Action::RecordStart {
+            layer: Layer::MpiIo,
+            op: RecordOp::CollectiveData(kind),
+            file,
+            offset: first,
+            len: spec.bytes_per_rank(),
+        });
+        self.barrier();
+        match kind {
+            IoKind::Write => {
+                for &(to_rank, bytes) in &plan.transfers {
+                    self.out.push(Action::ShuffleSend { to_rank, bytes, tag });
+                }
+                if let Some(domain) = plan.my_domain {
+                    self.out.push(Action::ShuffleWait {
+                        tag,
+                        expect_bytes: plan.expect_bytes,
+                    });
+                    for (offset, len) in domain_blocks(domain, self.cfg.mpi.cb_buffer) {
+                        self.out.push(Action::Data {
+                            kind,
+                            file,
+                            offset,
+                            len,
+                        });
+                    }
+                }
+            }
+            IoKind::Read => {
+                if let Some(domain) = plan.my_domain {
+                    for (offset, len) in domain_blocks(domain, self.cfg.mpi.cb_buffer) {
+                        self.out.push(Action::Data {
+                            kind,
+                            file,
+                            offset,
+                            len,
+                        });
+                    }
+                    for &(to_rank, bytes) in &plan.transfers {
+                        self.out.push(Action::ShuffleSend { to_rank, bytes, tag });
+                    }
+                }
+                if plan.expect_bytes > 0 {
+                    self.out.push(Action::ShuffleWait {
+                        tag,
+                        expect_bytes: plan.expect_bytes,
+                    });
+                }
+            }
+        }
+        self.barrier();
+        self.out.push(Action::RecordEnd);
+    }
+
+    fn compile_op(&mut self, op: &StackOp) {
+        match op {
+            StackOp::Compute(dur) => self.out.push(Action::Compute { dur: *dur }),
+            StackOp::Barrier => self.barrier(),
+            StackOp::PosixMeta { op, file } => {
+                self.out.push(Action::Meta { op: *op, file: *file })
+            }
+            StackOp::PosixData {
+                kind,
+                file,
+                offset,
+                len,
+            } => self.out.push(Action::Data {
+                kind: *kind,
+                file: *file,
+                offset: *offset,
+                len: *len,
+            }),
+            StackOp::MpiOpen { file } => {
+                self.out.push(Action::RecordStart {
+                    layer: Layer::MpiIo,
+                    op: RecordOp::Meta(MetaOp::Open),
+                    file: *file,
+                    offset: 0,
+                    len: 0,
+                });
+                self.out.push(Action::Meta {
+                    op: MetaOp::Open,
+                    file: *file,
+                });
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::MpiClose { file } => {
+                self.out.push(Action::RecordStart {
+                    layer: Layer::MpiIo,
+                    op: RecordOp::Meta(MetaOp::Close),
+                    file: *file,
+                    offset: 0,
+                    len: 0,
+                });
+                self.out.push(Action::Meta {
+                    op: MetaOp::Close,
+                    file: *file,
+                });
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::MpiIndependent {
+                kind,
+                file,
+                segments,
+            } => self.lower_independent(*kind, *file, segments),
+            StackOp::MpiCollective { kind, file, spec } => {
+                self.lower_collective(*kind, *file, spec)
+            }
+            StackOp::H5CreateFile { file } => {
+                self.h5.insert(*file, H5FileState::new());
+                self.out.push(Action::RecordStart {
+                    layer: Layer::Hdf5,
+                    op: RecordOp::Meta(MetaOp::Create),
+                    file: *file,
+                    offset: 0,
+                    len: SUPERBLOCK_BYTES,
+                });
+                if self.rank == 0 {
+                    self.out.push(Action::Meta {
+                        op: MetaOp::Create,
+                        file: *file,
+                    });
+                    self.out.push(Action::Data {
+                        kind: IoKind::Write,
+                        file: *file,
+                        offset: 0,
+                        len: SUPERBLOCK_BYTES,
+                    });
+                    self.barrier();
+                } else {
+                    self.barrier();
+                    self.out.push(Action::Meta {
+                        op: MetaOp::Open,
+                        file: *file,
+                    });
+                }
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::H5OpenFile { file } => {
+                self.h5.entry(*file).or_default();
+                self.out.push(Action::RecordStart {
+                    layer: Layer::Hdf5,
+                    op: RecordOp::Meta(MetaOp::Open),
+                    file: *file,
+                    offset: 0,
+                    len: SUPERBLOCK_BYTES,
+                });
+                self.out.push(Action::Meta {
+                    op: MetaOp::Open,
+                    file: *file,
+                });
+                // Every rank reads the superblock — real HDF5 behaviour
+                // that multiplies small reads by the rank count.
+                self.out.push(Action::Data {
+                    kind: IoKind::Read,
+                    file: *file,
+                    offset: 0,
+                    len: SUPERBLOCK_BYTES,
+                });
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::H5CloseFile { file } => {
+                self.out.push(Action::RecordStart {
+                    layer: Layer::Hdf5,
+                    op: RecordOp::Meta(MetaOp::Close),
+                    file: *file,
+                    offset: 0,
+                    len: 0,
+                });
+                self.out.push(Action::Meta {
+                    op: MetaOp::Close,
+                    file: *file,
+                });
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::H5CreateDataset { file, spec } => {
+                let state = self
+                    .h5
+                    .get_mut(file)
+                    .expect("H5CreateDataset before H5CreateFile/H5OpenFile");
+                let base = state.create_dataset(*spec);
+                self.out.push(Action::RecordStart {
+                    layer: Layer::Hdf5,
+                    op: RecordOp::Meta(MetaOp::Create),
+                    file: *file,
+                    offset: base,
+                    len: OBJECT_HEADER_BYTES,
+                });
+                if self.rank == 0 {
+                    self.out.push(Action::Data {
+                        kind: IoKind::Write,
+                        file: *file,
+                        offset: base,
+                        len: OBJECT_HEADER_BYTES,
+                    });
+                }
+                self.barrier();
+                self.out.push(Action::RecordEnd);
+            }
+            StackOp::H5Hyperslab {
+                kind,
+                file,
+                dataset,
+                slab,
+            } => {
+                let state = self
+                    .h5
+                    .get(file)
+                    .expect("H5Hyperslab before dataset creation");
+                let segments = state.slab_segments(*dataset, slab);
+                let logical = state
+                    .dataset(*dataset)
+                    .map(|d| slab.elements() * d.elem_size)
+                    .unwrap_or(0);
+                let first = segments.first().map(|&(o, _)| o).unwrap_or(0);
+                self.out.push(Action::RecordStart {
+                    layer: Layer::Hdf5,
+                    op: RecordOp::Data(*kind),
+                    file: *file,
+                    offset: first,
+                    len: logical,
+                });
+                self.lower_independent(*kind, *file, &segments);
+                self.out.push(Action::RecordEnd);
+            }
+        }
+    }
+}
+
+/// Compile one rank's program into its action list.
+pub fn compile(
+    rank: u32,
+    nranks: u32,
+    program: &[StackOp],
+    cfg: &StackConfig,
+) -> Vec<Action> {
+    let mut c = Compiler {
+        rank,
+        nranks,
+        cfg,
+        h5: HashMap::new(),
+        barrier_seq: 0,
+        collective_seq: 0,
+        out: Vec::new(),
+    };
+    for op in program {
+        c.compile_op(op);
+    }
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AccessSpec, DatasetSpec, Hyperslab};
+
+    fn cfg() -> StackConfig {
+        StackConfig::default()
+    }
+
+    fn count_data(actions: &[Action]) -> usize {
+        actions
+            .iter()
+            .filter(|a| matches!(a, Action::Data { .. }))
+            .count()
+    }
+
+    #[test]
+    fn posix_ops_pass_through() {
+        let program = vec![
+            StackOp::PosixMeta {
+                op: MetaOp::Create,
+                file: FileId::new(1),
+            },
+            StackOp::PosixData {
+                kind: IoKind::Write,
+                file: FileId::new(1),
+                offset: 0,
+                len: 4096,
+            },
+        ];
+        let actions = compile(0, 4, &program, &cfg());
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[0], Action::Meta { op: MetaOp::Create, .. }));
+        assert!(matches!(actions[1], Action::Data { len: 4096, .. }));
+    }
+
+    #[test]
+    fn barriers_get_sequential_tags_on_all_ranks() {
+        let program = vec![StackOp::Barrier, StackOp::Barrier];
+        for rank in 0..4 {
+            let actions = compile(rank, 4, &program, &cfg());
+            assert_eq!(
+                actions,
+                vec![
+                    Action::BarrierEnter { tag: 0 },
+                    Action::BarrierEnter { tag: 1 }
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn collective_write_shape() {
+        let program = vec![StackOp::MpiCollective {
+            kind: IoKind::Write,
+            file: FileId::new(1),
+            spec: AccessSpec::ContiguousBlocks {
+                base: 0,
+                block: 1 << 20,
+            },
+        }];
+        // 8 ranks, ratio 4 → 2 aggregators (ranks 0 and 4).
+        let agg = compile(0, 8, &program, &cfg());
+        let non = compile(1, 8, &program, &cfg());
+        // Aggregator waits then writes its 4 MiB domain in one cb block.
+        assert!(agg.iter().any(|a| matches!(a, Action::ShuffleWait { .. })));
+        assert_eq!(count_data(&agg), 1);
+        // Non-aggregator only sends; no file I/O.
+        assert!(non.iter().any(|a| matches!(a, Action::ShuffleSend { .. })));
+        assert_eq!(count_data(&non), 0);
+        // Both see the same two barrier tags.
+        let tags =
+            |acts: &[Action]| -> Vec<u64> {
+                acts.iter()
+                    .filter_map(|a| match a {
+                        Action::BarrierEnter { tag } => Some(*tag),
+                        _ => None,
+                    })
+                    .collect()
+            };
+        assert_eq!(tags(&agg), tags(&non));
+    }
+
+    #[test]
+    fn collective_read_shape() {
+        let program = vec![StackOp::MpiCollective {
+            kind: IoKind::Read,
+            file: FileId::new(1),
+            spec: AccessSpec::ContiguousBlocks {
+                base: 0,
+                block: 1 << 20,
+            },
+        }];
+        let agg = compile(0, 8, &program, &cfg());
+        let non = compile(3, 8, &program, &cfg());
+        // Aggregator reads, then sends.
+        let first_data = agg.iter().position(|a| matches!(a, Action::Data { .. }));
+        let first_send = agg
+            .iter()
+            .position(|a| matches!(a, Action::ShuffleSend { .. }));
+        assert!(first_data.unwrap() < first_send.unwrap());
+        // Consumer just waits for its 1 MiB.
+        assert!(non.iter().any(|a| matches!(
+            a,
+            Action::ShuffleWait {
+                expect_bytes: 1_048_576,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sieved_write_emits_rmw() {
+        let program = vec![StackOp::MpiIndependent {
+            kind: IoKind::Write,
+            file: FileId::new(1),
+            segments: vec![(0, 100), (1000, 100)],
+        }];
+        let actions = compile(0, 1, &program, &cfg());
+        let datas: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Data { kind, len, .. } => Some((*kind, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            datas,
+            vec![(IoKind::Read, 1100), (IoKind::Write, 1100)]
+        );
+    }
+
+    #[test]
+    fn h5_create_differs_by_rank() {
+        let program = vec![StackOp::H5CreateFile { file: FileId::new(9) }];
+        let r0 = compile(0, 4, &program, &cfg());
+        let r1 = compile(1, 4, &program, &cfg());
+        // Rank 0 creates + writes superblock; others open after barrier.
+        assert!(r0
+            .iter()
+            .any(|a| matches!(a, Action::Meta { op: MetaOp::Create, .. })));
+        assert!(r0.iter().any(|a| matches!(
+            a,
+            Action::Data {
+                kind: IoKind::Write,
+                len: SUPERBLOCK_BYTES,
+                ..
+            }
+        )));
+        assert!(r1
+            .iter()
+            .any(|a| matches!(a, Action::Meta { op: MetaOp::Open, .. })));
+        assert_eq!(count_data(&r1), 0);
+    }
+
+    #[test]
+    fn h5_hyperslab_lowers_through_both_layers() {
+        let file = FileId::new(2);
+        let program = vec![
+            StackOp::H5CreateFile { file },
+            StackOp::H5CreateDataset {
+                file,
+                spec: DatasetSpec {
+                    dims: [100, 100],
+                    chunk: [50, 50],
+                    elem_size: 8,
+                },
+            },
+            StackOp::H5Hyperslab {
+                kind: IoKind::Write,
+                file,
+                dataset: 0,
+                slab: Hyperslab {
+                    start: [0, 0],
+                    count: [50, 100],
+                },
+            },
+        ];
+        let actions = compile(0, 1, &program, &cfg());
+        // The hyperslab record (Hdf5 layer) wraps an MpiIo record which
+        // wraps the Data actions.
+        let h5_starts = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::RecordStart {
+                        layer: Layer::Hdf5,
+                        op: RecordOp::Data(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(h5_starts, 1);
+        let mpi_starts = actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::RecordStart {
+                        layer: Layer::MpiIo,
+                        op: RecordOp::Data(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(mpi_starts, 1);
+        // Top row = chunks 0,1 adjacent → merged into one 40 KB access
+        // (plus superblock/header writes from creation).
+        let slab_writes: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Data {
+                    kind: IoKind::Write,
+                    len,
+                    ..
+                } if *len > 2048 => Some(*len),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slab_writes, vec![2 * 50 * 50 * 8]);
+    }
+
+    #[test]
+    fn record_starts_and_ends_balance() {
+        let file = FileId::new(3);
+        let program = vec![
+            StackOp::H5CreateFile { file },
+            StackOp::H5CreateDataset {
+                file,
+                spec: DatasetSpec {
+                    dims: [64, 64],
+                    chunk: [32, 32],
+                    elem_size: 4,
+                },
+            },
+            StackOp::H5Hyperslab {
+                kind: IoKind::Read,
+                file,
+                dataset: 0,
+                slab: Hyperslab {
+                    start: [0, 0],
+                    count: [64, 64],
+                },
+            },
+            StackOp::H5CloseFile { file },
+        ];
+        for rank in 0..3 {
+            let actions = compile(rank, 3, &program, &cfg());
+            let mut depth: i64 = 0;
+            for a in &actions {
+                match a {
+                    Action::RecordStart { .. } => depth += 1,
+                    Action::RecordEnd => {
+                        depth -= 1;
+                        assert!(depth >= 0);
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "unbalanced records for rank {rank}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Train/test evaluation harness and error metrics.
+
+use pioeval_types::{rng, split_seed};
+use rand::Rng;
+
+/// The error metrics prediction studies report.
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorMetrics {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute percentage error (targets of 0 are skipped).
+    pub mape: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl ErrorMetrics {
+    /// Compute metrics for predictions against truth.
+    pub fn compute(truth: &[f64], pred: &[f64]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "length mismatch");
+        assert!(!truth.is_empty(), "empty evaluation set");
+        let n = truth.len() as f64;
+        let mae = truth
+            .iter()
+            .zip(pred)
+            .map(|(t, p)| (t - p).abs())
+            .sum::<f64>()
+            / n;
+        let mse = truth
+            .iter()
+            .zip(pred)
+            .map(|(t, p)| (t - p) * (t - p))
+            .sum::<f64>()
+            / n;
+        let nonzero = truth.iter().zip(pred).filter(|(t, _)| **t != 0.0);
+        let (mape_sum, mape_n) = nonzero.fold((0.0, 0u64), |(s, c), (t, p)| {
+            (s + ((t - p) / t).abs(), c + 1)
+        });
+        let mape = if mape_n == 0 {
+            0.0
+        } else {
+            mape_sum / mape_n as f64 * 100.0
+        };
+        let mean_t = truth.iter().sum::<f64>() / n;
+        let ss_tot = truth.iter().map(|t| (t - mean_t) * (t - mean_t)).sum::<f64>();
+        let r2 = if ss_tot == 0.0 {
+            if mse == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - mse * n / ss_tot
+        };
+        ErrorMetrics {
+            mae,
+            rmse: mse.sqrt(),
+            mape,
+            r2,
+        }
+    }
+}
+
+/// Deterministic shuffled train/test split.
+///
+/// Returns (train_xs, train_ys, test_xs, test_ys) with `test_fraction`
+/// of rows held out.
+#[allow(clippy::type_complexity)]
+pub fn train_test_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    let mut r = rng(split_seed(seed, 99));
+    for i in (1..order.len()).rev() {
+        let j = r.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let n_test = ((xs.len() as f64 * test_fraction).round() as usize)
+        .clamp(1, xs.len().saturating_sub(1).max(1));
+    let (test_idx, train_idx) = order.split_at(n_test);
+    let pick = |idx: &[usize]| -> (Vec<Vec<f64>>, Vec<f64>) {
+        (
+            idx.iter().map(|&i| xs[i].clone()).collect(),
+            idx.iter().map(|&i| ys[i]).collect(),
+        )
+    };
+    let (test_x, test_y) = pick(test_idx);
+    let (train_x, train_y) = pick(train_idx);
+    (train_x, train_y, test_x, test_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_perfectly() {
+        let t = [1.0, 2.0, 3.0];
+        let m = ErrorMetrics::compute(&t, &t);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.mape, 0.0);
+        assert_eq!(m.r2, 1.0);
+    }
+
+    #[test]
+    fn constant_prediction_has_zero_r2() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        let m = ErrorMetrics::compute(&t, &p);
+        assert!(m.r2.abs() < 1e-12);
+        assert_eq!(m.mae, 1.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let t = [0.0, 10.0];
+        let p = [5.0, 11.0];
+        let m = ErrorMetrics::compute(&t, &p);
+        assert!((m.mape - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_partitions_and_is_deterministic() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.2, 5);
+        assert_eq!(tr_x.len(), 80);
+        assert_eq!(te_x.len(), 20);
+        assert_eq!(tr_y.len(), 80);
+        assert_eq!(te_y.len(), 20);
+        // No leakage: union of features covers all rows exactly once.
+        let mut all: Vec<f64> = tr_x.iter().chain(&te_x).map(|r| r[0]).collect();
+        all.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+        // Determinism.
+        let (tr_x2, _, _, _) = train_test_split(&xs, &ys, 0.2, 5);
+        assert_eq!(tr_x, tr_x2);
+    }
+}

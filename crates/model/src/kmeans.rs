@@ -1,0 +1,184 @@
+//! k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! IOMiner (Wang et al.) and the holistic log studies cluster jobs by
+//! their I/O signatures to find behaviour classes in a year of logs;
+//! this is the clustering engine `pioeval-monitor` uses for that.
+
+use pioeval_types::{rng, split_seed, Error, Result};
+use rand::Rng;
+
+/// A fitted clustering.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of each training point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(centroids: &[Vec<f64>], x: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(c, x);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    (best, best_d)
+}
+
+impl KMeans {
+    /// Cluster `xs` into `k` groups. Deterministic in `seed`.
+    pub fn fit(xs: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeans> {
+        if xs.is_empty() {
+            return Err(Error::Model("no points to cluster".into()));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(Error::Model("bad point dimensions".into()));
+        }
+        let k = k.clamp(1, xs.len());
+
+        // k-means++ seeding.
+        let mut r = rng(split_seed(seed, 77));
+        let mut centroids: Vec<Vec<f64>> = vec![xs[r.gen_range(0..xs.len())].clone()];
+        while centroids.len() < k {
+            let d2: Vec<f64> = xs.iter().map(|x| nearest(&centroids, x).1).collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with centroids; duplicate one.
+                centroids.push(centroids[0].clone());
+                continue;
+            }
+            let mut pick = r.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                pick -= d;
+                if pick <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            centroids.push(xs[idx].clone());
+        }
+
+        // Lloyd iterations.
+        let mut assignments = vec![0usize; xs.len()];
+        let mut iterations = 0;
+        for _ in 0..100 {
+            iterations += 1;
+            let mut changed = false;
+            for (i, x) in xs.iter().enumerate() {
+                let (c, _) = nearest(&centroids, x);
+                if assignments[i] != c {
+                    assignments[i] = c;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![vec![0.0; dims]; k];
+            let mut counts = vec![0usize; k];
+            for (x, &a) in xs.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(x) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in
+                centroids.iter_mut().zip(sums.iter().zip(&counts))
+            {
+                if count > 0 {
+                    *c = sum.iter().map(|s| s / count as f64).collect();
+                }
+            }
+            if !changed && iterations > 1 {
+                break;
+            }
+        }
+
+        let inertia = xs
+            .iter()
+            .zip(&assignments)
+            .map(|(x, &a)| sq_dist(x, &centroids[a]))
+            .sum();
+        Ok(KMeans {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// Assign a new point to its nearest cluster.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        nearest(&self.centroids, x).0
+    }
+
+    /// Cluster sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut xs = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            xs.push(vec![0.0 + j, 0.0 + j]);
+            xs.push(vec![10.0 + j, 10.0 + j]);
+            xs.push(vec![0.0 + j, 10.0 - j]);
+        }
+        xs
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let xs = blobs();
+        let km = KMeans::fit(&xs, 3, 1).unwrap();
+        let sizes = km.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), xs.len());
+        // Each blob has 20 points; clusters should be balanced.
+        assert!(sizes.iter().all(|&s| s == 20), "sizes {sizes:?}");
+        // Points from the same blob share an assignment.
+        let a0 = km.predict(&[0.2, 0.2]);
+        assert_eq!(km.predict(&[0.0, 0.1]), a0);
+        assert_ne!(km.predict(&[10.0, 10.0]), a0);
+        assert!(km.inertia < 10.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let xs = blobs();
+        let a = KMeans::fit(&xs, 3, 9).unwrap();
+        let b = KMeans::fit(&xs, 3, 9).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_is_clamped_and_degenerate_input_ok() {
+        let xs = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let km = KMeans::fit(&xs, 10, 0).unwrap();
+        assert!(km.centroids.len() <= 2);
+        assert_eq!(km.inertia, 0.0);
+        assert!(KMeans::fit(&[], 3, 0).is_err());
+    }
+}

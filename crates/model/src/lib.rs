@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # pioeval-model
+//!
+//! The *modeling and prediction* phase of the paper's evaluation cycle
+//! (Sec. IV-B), implemented from scratch:
+//!
+//! * [`stats`] — the classical toolkit the paper lists verbatim:
+//!   mean/deviation, linear regression, correlation coefficients,
+//!   coefficient of variation, hypothesis testing (Welch's t,
+//!   Kolmogorov–Smirnov), PDFs/CDFs, percentiles.
+//! * [`markov`] — Markov-chain fitting over tokenized op streams.
+//! * [`linreg`] — simple & multiple linear regression (the baseline the
+//!   neural-network studies compare against).
+//! * [`nn`] — a multilayer perceptron (Schmid & Kunkel: predicting file
+//!   access times with neural networks).
+//! * [`tree`] / [`forest`] — CART regression trees and random forests
+//!   (Sun et al.: predicting execution and I/O time of applications for
+//!   unseen inputs, no domain knowledge).
+//! * [`ppm`] — longest-context next-operation prediction over token
+//!   streams, the Omnisc'IO-style grammar/sequence predictor.
+//! * [`eval`] — train/test splitting and the error metrics
+//!   (MAE/RMSE/MAPE/R²) every prediction study reports.
+
+pub mod eval;
+pub mod forest;
+pub mod kmeans;
+pub mod linreg;
+pub mod markov;
+pub mod nn;
+pub mod ppm;
+pub mod stats;
+pub mod tree;
+
+pub use eval::{train_test_split, ErrorMetrics};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use kmeans::KMeans;
+pub use linreg::LinearRegression;
+pub use markov::MarkovChain;
+pub use nn::{Mlp, MlpConfig};
+pub use ppm::PpmPredictor;
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,152 @@
+//! Multiple linear regression via normal equations.
+//!
+//! The baseline model the neural-network prediction studies (Schmid &
+//! Kunkel) compare against. Solves `(XᵀX)β = Xᵀy` with partial-pivot
+//! Gaussian elimination; an intercept column is added automatically.
+
+use pioeval_types::{Error, Result};
+
+/// A fitted linear model.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    /// Coefficients: `[intercept, β₁, …, βₖ]`.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fit on rows of features and targets.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(Error::Model("empty or mismatched training data".into()));
+        }
+        let k = xs[0].len();
+        if xs.iter().any(|r| r.len() != k) {
+            return Err(Error::Model("ragged feature rows".into()));
+        }
+        let d = k + 1; // + intercept
+        // Build XᵀX and Xᵀy.
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &y) in xs.iter().zip(ys) {
+            let mut aug = Vec::with_capacity(d);
+            aug.push(1.0);
+            aug.extend_from_slice(row);
+            for i in 0..d {
+                for j in 0..d {
+                    xtx[i][j] += aug[i] * aug[j];
+                }
+                xty[i] += aug[i] * y;
+            }
+        }
+        // Ridge epsilon for numerical safety on collinear features.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let coefficients = solve(xtx, xty)?;
+        Ok(LinearRegression { coefficients })
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len() + 1,
+            self.coefficients.len(),
+            "feature dimension mismatch"
+        );
+        self.coefficients[0]
+            + x.iter()
+                .zip(&self.coefficients[1..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+    }
+
+    /// Predict many rows.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Solve a dense linear system with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(Error::Model("singular design matrix".into()));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (v, p) in rest[0][col..n].iter_mut().zip(&pivot[col..n]) {
+                *v -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for j in col + 1..n {
+            acc -= a[col][j] * x[j];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2a - b
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coefficients[0] - 3.0).abs() < 1e-6);
+        assert!((m.coefficients[1] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients[2] + 1.0).abs() < 1e-6);
+        assert!((m.predict(&[10.0, 2.0]) - 21.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_noise_reasonably() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 5.0 * r[0] + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((m.coefficients[1] - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LinearRegression::fit(&[], &[]).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(
+            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0).collect();
+        let m = LinearRegression::fit(&xs, &ys).unwrap();
+        let all = m.predict_all(&xs);
+        for (x, p) in xs.iter().zip(all) {
+            assert_eq!(p, m.predict(x));
+        }
+    }
+}

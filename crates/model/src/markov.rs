@@ -1,0 +1,134 @@
+//! Discrete Markov chains over tokenized operation streams.
+
+use pioeval_types::{Error, Result};
+
+/// A first-order Markov chain fitted from a symbol sequence.
+#[derive(Clone, Debug)]
+pub struct MarkovChain {
+    /// Alphabet size.
+    pub states: usize,
+    /// Row-stochastic transition matrix (row = from, col = to).
+    pub transitions: Vec<Vec<f64>>,
+    /// Raw transition counts.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl MarkovChain {
+    /// Fit from a sequence of symbols in `0..states`.
+    pub fn fit(seq: &[u32], states: usize) -> Result<Self> {
+        if states == 0 {
+            return Err(Error::Model("empty state space".into()));
+        }
+        if seq.iter().any(|&s| s as usize >= states) {
+            return Err(Error::Model("symbol out of range".into()));
+        }
+        let mut counts = vec![vec![0u64; states]; states];
+        for w in seq.windows(2) {
+            counts[w[0] as usize][w[1] as usize] += 1;
+        }
+        let transitions = counts
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                if total == 0 {
+                    // Unseen state: uniform (maximum-entropy default).
+                    vec![1.0 / states as f64; states]
+                } else {
+                    row.iter().map(|&c| c as f64 / total as f64).collect()
+                }
+            })
+            .collect();
+        Ok(MarkovChain {
+            states,
+            transitions,
+            counts,
+        })
+    }
+
+    /// Most likely successor of `state` (deterministic tie-break: lowest
+    /// symbol).
+    pub fn predict_next(&self, state: u32) -> u32 {
+        let row = &self.transitions[state as usize];
+        let mut best = 0usize;
+        for (i, &p) in row.iter().enumerate() {
+            if p > row[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Probability of transitioning `from → to`.
+    pub fn probability(&self, from: u32, to: u32) -> f64 {
+        self.transitions[from as usize][to as usize]
+    }
+
+    /// Stationary distribution by power iteration.
+    pub fn stationary(&self, iterations: usize) -> Vec<f64> {
+        let n = self.states;
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..iterations {
+            let mut next = vec![0.0; n];
+            for (from, row) in self.transitions.iter().enumerate() {
+                for (to, &p) in row.iter().enumerate() {
+                    next[to] += pi[from] * p;
+                }
+            }
+            pi = next;
+        }
+        pi
+    }
+
+    /// One-step prediction accuracy over a held-out sequence.
+    pub fn accuracy(&self, seq: &[u32]) -> f64 {
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let correct = seq
+            .windows(2)
+            .filter(|w| self.predict_next(w[0]) == w[1])
+            .count();
+        correct as f64 / (seq.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_deterministic_cycle() {
+        let seq: Vec<u32> = (0..30).map(|i| i % 3).collect();
+        let m = MarkovChain::fit(&seq, 3).unwrap();
+        assert_eq!(m.predict_next(0), 1);
+        assert_eq!(m.predict_next(1), 2);
+        assert_eq!(m.predict_next(2), 0);
+        assert_eq!(m.probability(0, 1), 1.0);
+        assert!((m.accuracy(&seq) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_of_cycle_is_uniform() {
+        let seq: Vec<u32> = (0..300).map(|i| i % 3).collect();
+        let m = MarkovChain::fit(&seq, 3).unwrap();
+        let pi = m.stationary(100);
+        for p in pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unseen_states_get_uniform_rows() {
+        let m = MarkovChain::fit(&[0, 1, 0, 1], 3).unwrap();
+        let row = &m.transitions[2];
+        assert!(row.iter().all(|&p| (p - 1.0 / 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(MarkovChain::fit(&[0, 5], 3).is_err());
+        assert!(MarkovChain::fit(&[], 0).is_err());
+        let m = MarkovChain::fit(&[], 2).unwrap();
+        assert_eq!(m.accuracy(&[0]), 0.0);
+    }
+}

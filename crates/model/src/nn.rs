@@ -1,0 +1,322 @@
+//! A multilayer perceptron, from scratch.
+//!
+//! The model class of Schmid & Kunkel ("Predicting I/O Performance in
+//! HPC Using Artificial Neural Networks"): a small fully-connected
+//! network with tanh hidden units and a linear output, trained with
+//! mini-batch SGD on standardized features/targets.
+
+use pioeval_types::{rng, split_seed, Error, Result};
+use rand::Rng;
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Hidden layer widths (e.g. `[16, 8]`).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// RNG seed (weight init + shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![16, 8],
+            epochs: 300,
+            learning_rate: 0.01,
+            batch: 16,
+            seed: 7,
+        }
+    }
+}
+
+struct DenseLayer {
+    /// weights[out][in]
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    /// tanh on hidden layers, identity on the output layer.
+    activate: bool,
+}
+
+impl DenseLayer {
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(row, b)| {
+                let z = b + row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                if self.activate {
+                    z.tanh()
+                } else {
+                    z
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-column standardization parameters.
+#[derive(Clone, Debug)]
+struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    fn fit(rows: &[Vec<f64>]) -> Scaler {
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for r in rows {
+            for ((s, v), m) in std.iter_mut().zip(r).zip(&mean) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        Scaler { mean, std }
+    }
+
+    fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+}
+
+/// A trained MLP regressor.
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    x_scaler: Scaler,
+    y_mean: f64,
+    y_std: f64,
+    /// Mean squared training error (standardized units) per epoch.
+    pub loss_history: Vec<f64>,
+}
+
+impl Mlp {
+    /// Train on rows of features and scalar targets.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &MlpConfig) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(Error::Model("empty or mismatched training data".into()));
+        }
+        let d = xs[0].len();
+        if d == 0 || xs.iter().any(|r| r.len() != d) {
+            return Err(Error::Model("bad feature dimensions".into()));
+        }
+
+        let x_scaler = Scaler::fit(xs);
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let y_std = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>()
+            / ys.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let x_std: Vec<Vec<f64>> = xs.iter().map(|r| x_scaler.apply(r)).collect();
+        let y_stdz: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        // Build layers.
+        let mut sizes = vec![d];
+        sizes.extend(&cfg.hidden);
+        sizes.push(1);
+        let mut init_rng = rng(split_seed(cfg.seed, 0));
+        let mut layers: Vec<DenseLayer> = Vec::new();
+        for li in 1..sizes.len() {
+            let fan_in = sizes[li - 1];
+            let scale = 1.0 / (fan_in as f64).sqrt();
+            layers.push(DenseLayer {
+                w: (0..sizes[li])
+                    .map(|_| {
+                        (0..fan_in)
+                            .map(|_| init_rng.gen_range(-scale..scale))
+                            .collect()
+                    })
+                    .collect(),
+                b: vec![0.0; sizes[li]],
+                activate: li != sizes.len() - 1,
+            });
+        }
+
+        let mut order: Vec<usize> = (0..x_std.len()).collect();
+        let mut shuffle_rng = rng(split_seed(cfg.seed, 1));
+        let mut loss_history = Vec::with_capacity(cfg.epochs);
+        let batch = cfg.batch.max(1);
+        for _epoch in 0..cfg.epochs {
+            // Fisher–Yates with the seeded rng.
+            for i in (1..order.len()).rev() {
+                let j = shuffle_rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                // Accumulate gradients over the mini-batch.
+                let mut grads_w: Vec<Vec<Vec<f64>>> = layers
+                    .iter()
+                    .map(|l| vec![vec![0.0; l.w[0].len()]; l.w.len()])
+                    .collect();
+                let mut grads_b: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in chunk {
+                    let x = &x_std[i];
+                    // Forward, keeping activations.
+                    let mut acts: Vec<Vec<f64>> = vec![x.clone()];
+                    for l in &layers {
+                        let a = l.forward(acts.last().unwrap());
+                        acts.push(a);
+                    }
+                    let pred = acts.last().unwrap()[0];
+                    let err = pred - y_stdz[i];
+                    epoch_loss += err * err;
+                    // Backward.
+                    let mut delta = vec![err]; // dL/dz at output (linear)
+                    for li in (0..layers.len()).rev() {
+                        let input = &acts[li];
+                        for (o, dz) in delta.iter().enumerate() {
+                            for (ii, v) in input.iter().enumerate() {
+                                grads_w[li][o][ii] += dz * v;
+                            }
+                            grads_b[li][o] += dz;
+                        }
+                        if li > 0 {
+                            // Propagate through weights and the previous
+                            // layer's tanh.
+                            let prev_act = &acts[li];
+                            let mut next_delta = vec![0.0; prev_act.len()];
+                            for (o, dz) in delta.iter().enumerate() {
+                                for (ii, nd) in next_delta.iter_mut().enumerate() {
+                                    *nd += dz * layers[li].w[o][ii];
+                                }
+                            }
+                            for (nd, a) in next_delta.iter_mut().zip(prev_act) {
+                                *nd *= 1.0 - a * a; // tanh'
+                            }
+                            delta = next_delta;
+                        }
+                    }
+                }
+                let lr = cfg.learning_rate / chunk.len() as f64;
+                for ((l, gw), gb) in layers.iter_mut().zip(&grads_w).zip(&grads_b) {
+                    for (row, grow) in l.w.iter_mut().zip(gw) {
+                        for (w, g) in row.iter_mut().zip(grow) {
+                            *w -= lr * g;
+                        }
+                    }
+                    for (b, g) in l.b.iter_mut().zip(gb) {
+                        *b -= lr * g;
+                    }
+                }
+            }
+            loss_history.push(epoch_loss / x_std.len() as f64);
+        }
+
+        Ok(Mlp {
+            layers,
+            x_scaler,
+            y_mean,
+            y_std,
+            loss_history,
+        })
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut a = self.x_scaler.apply(x);
+        for l in &self.layers {
+            a = l.forward(&a);
+        }
+        a[0] * self.y_std + self.y_mean
+    }
+
+    /// Predict many rows.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 8.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let cfg = MlpConfig {
+            epochs: 4000,
+            learning_rate: 0.02,
+            ..MlpConfig::default()
+        };
+        let m = Mlp::fit(&xs, &ys, &cfg).unwrap();
+        // Tolerance is loosest at the standardized extremes where tanh
+        // saturates; 0.8 on a target range of [1, 22.6] is ~4%.
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(
+                (m.predict(x) - y).abs() < 0.8,
+                "x={x:?} pred={} want={y}",
+                m.predict(x)
+            );
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_function_better_than_any_line() {
+        // y = sin(x): a line cannot fit; the MLP can.
+        let xs: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![i as f64 / 80.0 * std::f64::consts::TAU])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0].sin()).collect();
+        let cfg = MlpConfig {
+            epochs: 2000,
+            learning_rate: 0.02,
+            ..MlpConfig::default()
+        };
+        let m = Mlp::fit(&xs, &ys, &cfg).unwrap();
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (m.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        // Best constant/line has MSE ≈ 0.5; the MLP must do far better.
+        assert!(mse < 0.1, "mse = {mse}");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 13) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0]).collect();
+        let m = Mlp::fit(&xs, &ys, &MlpConfig::default()).unwrap();
+        let first = m.loss_history.first().unwrap();
+        let last = m.loss_history.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0).collect();
+        let a = Mlp::fit(&xs, &ys, &MlpConfig::default()).unwrap();
+        let b = Mlp::fit(&xs, &ys, &MlpConfig::default()).unwrap();
+        assert_eq!(a.predict(&[10.0]), b.predict(&[10.0]));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Mlp::fit(&[], &[], &MlpConfig::default()).is_err());
+        assert!(Mlp::fit(&[vec![]], &[1.0], &MlpConfig::default()).is_err());
+        assert!(Mlp::fit(&[vec![1.0]], &[1.0, 2.0], &MlpConfig::default()).is_err());
+    }
+}

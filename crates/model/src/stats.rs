@@ -1,0 +1,475 @@
+//! Classical statistics (Sec. IV-B1's toolkit).
+
+/// Arithmetic mean. Returns 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n−1 denominator). Returns 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation (σ/μ). Returns 0 when the mean is 0.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    stddev(xs) / m
+}
+
+/// Linear-interpolated percentile, `p` in [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (v[hi] - v[lo]) * (rank - lo as f64)
+    }
+}
+
+/// Sample covariance (n−1 denominator).
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance needs paired samples");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient. Returns 0 when either side is
+/// constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let sx = stddev(xs);
+    let sy = stddev(ys);
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    covariance(xs, ys) / (sx * sy)
+}
+
+/// Fractional ranks (average rank for ties).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// An empirical histogram over equal-width bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub min: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build with `bins` equal-width bins spanning the data range.
+    pub fn new(xs: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if xs.is_empty() || min == max {
+            return Histogram {
+                min: if xs.is_empty() { 0.0 } else { min },
+                width: 1.0,
+                counts: {
+                    let mut c = vec![0; bins];
+                    if !xs.is_empty() {
+                        c[0] = xs.len() as u64;
+                    }
+                    c
+                },
+            };
+        }
+        let width = (max - min) / bins as f64;
+        let mut counts = vec![0u64; bins];
+        for &x in xs {
+            let b = (((x - min) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        Histogram { min, width, counts }
+    }
+
+    /// The empirical PDF (bin probabilities).
+    pub fn pdf(&self) -> Vec<f64> {
+        let n: u64 = self.counts.iter().sum();
+        if n == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    /// The empirical CDF at bin right edges.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.pdf()
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Normalized autocorrelation of `xs` at `lag` (Pearson correlation of
+/// the series with its lag-shifted self). Returns 0 for degenerate
+/// inputs.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if lag == 0 || lag >= xs.len() {
+        return if lag == 0 && !xs.is_empty() { 1.0 } else { 0.0 };
+    }
+    pearson(&xs[..xs.len() - lag], &xs[lag..])
+}
+
+/// Detect the dominant period of a series: the lag in `[2, max_lag]`
+/// with the highest autocorrelation, if that correlation exceeds
+/// `threshold`. The tool behind the paper's "I/O periodicity and
+/// repetition" analyses (Sec. IV-B1): checkpoint cadences show up as a
+/// strong autocorrelation peak at the period length.
+pub fn detect_period(xs: &[f64], max_lag: usize, threshold: f64) -> Option<usize> {
+    let max_lag = max_lag.min(xs.len().saturating_sub(1));
+    if max_lag < 2 {
+        return None;
+    }
+    let acs: Vec<(usize, f64)> = (2..=max_lag)
+        .map(|lag| (lag, autocorrelation(xs, lag)))
+        .collect();
+    let best = acs.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    if best <= threshold {
+        return None;
+    }
+    // Harmonics of the true period score (numerically almost) as high as
+    // the period itself; prefer the smallest lag within epsilon of the
+    // maximum — the fundamental.
+    acs.iter()
+        .find(|&&(_, v)| v >= best - 1e-6)
+        .map(|&(lag, _)| lag)
+}
+
+/// Regularized incomplete beta function I_x(a, b), via the continued
+/// fraction expansion (Numerical Recipes `betacf`). Needed for the
+/// Student-t CDF used by [`welch_t_test`].
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    // Continued fraction converges fast for x < (a+1)/(a+b+2);
+    // otherwise use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of ln Γ(x).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Two-sided p-value of the Student-t distribution with `df` degrees of
+/// freedom at statistic `t`.
+pub fn t_p_value(t: f64, df: f64) -> f64 {
+    incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+}
+
+/// Result of a hypothesis test.
+#[derive(Clone, Copy, Debug)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's unequal-variance t-test for difference of means.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    TestResult {
+        statistic: t,
+        p_value: t_p_value(t, df.max(1.0)),
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test (asymptotic p-value).
+pub fn ks_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs data");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let n = (sa.len() * sb.len()) as f64 / (sa.len() + sb.len()) as f64;
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    // Q_KS(λ→0) = 1; the alternating series below does not converge there.
+    if lambda < 1e-3 {
+        return TestResult {
+            statistic: d,
+            p_value: 1.0,
+        };
+    }
+    // Asymptotic Q_KS series.
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += term;
+        sign = -sign;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    TestResult {
+        statistic: d,
+        p_value: (2.0 * p).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((coefficient_of_variation(&xs) - stddev(&xs) / 5.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let y_neg = [10.0, 8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Ties get average ranks.
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn histogram_pdf_cdf() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let h = Histogram::new(&xs, 4);
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        let cdf = h.cdf();
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        assert!((cdf[1] - 0.5).abs() < 1e-12);
+        // Degenerate input.
+        let h = Histogram::new(&[3.0, 3.0], 4);
+        assert_eq!(h.counts[0], 2);
+    }
+
+    #[test]
+    fn welch_t_detects_mean_shift() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| 12.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        let same = welch_t_test(&a, &a);
+        assert!(same.p_value > 0.9);
+    }
+
+    #[test]
+    fn t_p_value_matches_known_points() {
+        // t=2.045, df=29 → p ≈ 0.05 (classic table value).
+        let p = t_p_value(2.045, 29.0);
+        assert!((p - 0.05).abs() < 0.005, "p = {p}");
+        // t=0 → p = 1.
+        assert!((t_p_value(0.0, 10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_finds_checkpoint_cadence() {
+        // A bursty series with period 5: [9,0,0,0,0, 9,0,0,0,0, ...]
+        let xs: Vec<f64> = (0..60).map(|i| if i % 5 == 0 { 9.0 } else { 0.0 }).collect();
+        assert!(autocorrelation(&xs, 5) > 0.9);
+        assert!(autocorrelation(&xs, 3) < 0.5);
+        assert_eq!(detect_period(&xs, 20, 0.5), Some(5));
+        // Well-mixed noise has no period (affine-mod sequences are NOT
+        // good noise here — their lagged copies correlate strongly).
+        let noise: Vec<f64> = (0..60u64)
+            .map(|i| (pioeval_types::split_seed(i, 5) % 1000) as f64)
+            .collect();
+        assert_eq!(detect_period(&noise, 20, 0.8), None);
+        // Degenerate inputs.
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0), 1.0);
+    }
+
+    #[test]
+    fn ks_detects_distribution_shift() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| i as f64 / 200.0 + 0.5).collect();
+        let r = ks_test(&a, &b);
+        assert!(r.statistic > 0.4);
+        assert!(r.p_value < 0.001);
+        let same = ks_test(&a, &a);
+        assert!(same.p_value > 0.99);
+    }
+}

@@ -1,0 +1,249 @@
+//! CART regression trees.
+//!
+//! Splits greedily by variance reduction; supports depth/size limits and
+//! per-split feature subsampling (the randomization [`crate::forest`]
+//! builds on).
+
+use pioeval_types::{rng, Error, Result};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+
+/// Tree growth limits.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features considered per split (`None` = all).
+    pub features_per_split: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            features_per_split: None,
+            seed: 0,
+        }
+    }
+}
+
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted regression tree.
+pub struct RegressionTree {
+    root: Node,
+    /// Summed variance reduction per feature (importance).
+    pub importance: Vec<f64>,
+    dims: usize,
+}
+
+impl RegressionTree {
+    /// Fit on rows of features and targets.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &TreeConfig) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(Error::Model("empty or mismatched training data".into()));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|r| r.len() != dims) {
+            return Err(Error::Model("bad feature dimensions".into()));
+        }
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut importance = vec![0.0; dims];
+        let mut feature_rng = rng(cfg.seed);
+        let root = build(xs, ys, idx, 0, cfg, &mut importance, &mut feature_rng);
+        Ok(RegressionTree {
+            root,
+            importance,
+            dims,
+        })
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims, "feature dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Tree depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+fn sum_and_sq(ys: &[f64], idx: &[usize]) -> (f64, f64) {
+    let mut s = 0.0;
+    let mut sq = 0.0;
+    for &i in idx {
+        s += ys[i];
+        sq += ys[i] * ys[i];
+    }
+    (s, sq)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: Vec<usize>,
+    depth: usize,
+    cfg: &TreeConfig,
+    importance: &mut [f64],
+    feature_rng: &mut StdRng,
+) -> Node {
+    let n = idx.len();
+    let (sum, sq) = sum_and_sq(ys, &idx);
+    let mean = sum / n as f64;
+    let sse = sq - sum * sum / n as f64;
+    if depth >= cfg.max_depth || n < cfg.min_samples_split || sse <= 1e-12 {
+        return Node::Leaf(mean);
+    }
+
+    // Candidate features (optionally subsampled).
+    let dims = xs[0].len();
+    let mut features: Vec<usize> = (0..dims).collect();
+    if let Some(k) = cfg.features_per_split {
+        features.shuffle(feature_rng);
+        features.truncate(k.clamp(1, dims));
+        features.sort_unstable(); // deterministic evaluation order
+    }
+
+    // Best split: scan each feature's sorted order with prefix sums.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in &features {
+        let mut order = idx.clone();
+        order.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for split_at in 1..n {
+            let i = order[split_at - 1];
+            left_sum += ys[i];
+            left_sq += ys[i] * ys[i];
+            // Can't split between equal feature values.
+            if xs[order[split_at - 1]][f] == xs[order[split_at]][f] {
+                continue;
+            }
+            let ln = split_at as f64;
+            let rn = (n - split_at) as f64;
+            let right_sum = sum - left_sum;
+            let right_sq = sq - left_sq;
+            let left_sse = left_sq - left_sum * left_sum / ln;
+            let right_sse = right_sq - right_sum * right_sum / rn;
+            let gain = sse - left_sse - right_sse;
+            if best.is_none() || gain > best.unwrap().2 {
+                let threshold =
+                    (xs[order[split_at - 1]][f] + xs[order[split_at]][f]) / 2.0;
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, gain)) = best else {
+        return Node::Leaf(mean);
+    };
+    if gain <= 1e-12 {
+        return Node::Leaf(mean);
+    }
+    importance[feature] += gain;
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.into_iter().partition(|&i| xs[i][feature] <= threshold);
+    let left = build(xs, ys, left_idx, depth + 1, cfg, importance, feature_rng);
+    let right = build(xs, ys, right_idx, depth + 1, cfg, importance, feature_rng);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| if r[0] < 20.0 { 1.0 } else { 5.0 })
+            .collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.predict(&[3.0]), 1.0);
+        assert_eq!(t.predict(&[30.0]), 5.0);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn importance_credits_the_informative_feature() {
+        // Feature 1 is noise; feature 0 drives y.
+        let xs: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 17) % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| if r[0] < 30.0 { 0.0 } else { 10.0 }).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(t.importance[0] > t.importance[1] * 10.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| (r[0] * 0.7).sin()).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![4.2; 10];
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert!((t.predict(&[99.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(RegressionTree::fit(&[], &[], &TreeConfig::default()).is_err());
+        assert!(
+            RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &TreeConfig::default())
+                .is_err()
+        );
+    }
+}

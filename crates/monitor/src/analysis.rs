@@ -1,0 +1,226 @@
+//! Temporal, spatial, and correlative analysis of storage-system logs.
+//!
+//! Patel et al. (SC'19) analyzed a year of server-side logs along three
+//! axes — *temporal* (burstiness, activity windows), *spatial* (which
+//! OSTs carry the load), and *correlative* (how client activity relates
+//! to server load). [`SystemAnalysis`] computes the same reductions over
+//! the simulator's [`OstTimeline`]s, including the headline read:write
+//! mix that challenged the "HPC is write-dominated" assumption.
+
+use pioeval_model::stats;
+use pioeval_pfs::OstTimeline;
+use serde::{Deserialize, Serialize};
+
+/// Read/write mix of one time window.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WindowMix {
+    /// Window start, seconds.
+    pub start_s: f64,
+    /// Bytes read in the window.
+    pub read: u64,
+    /// Bytes written in the window.
+    pub written: u64,
+}
+
+impl WindowMix {
+    /// Fraction of traffic that is reads (0 when idle).
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.read + self.written;
+        if total == 0 {
+            return 0.0;
+        }
+        self.read as f64 / total as f64
+    }
+}
+
+/// System-level analysis over a set of OST timelines.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemAnalysis {
+    /// Per-window read/write mix (temporal).
+    pub windows: Vec<WindowMix>,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Peak-to-mean ratio of per-window traffic (burstiness).
+    pub burstiness: f64,
+    /// Fraction of windows with any traffic (activity factor).
+    pub active_fraction: f64,
+    /// Per-OST total bytes (spatial).
+    pub per_ost_bytes: Vec<u64>,
+}
+
+impl SystemAnalysis {
+    /// Analyze a set of OST timelines (one entry per OST, equal bin
+    /// widths).
+    pub fn from_timelines(timelines: &[OstTimeline]) -> Self {
+        let bins = timelines.iter().map(|t| t.len()).max().unwrap_or(0);
+        let width = timelines
+            .first()
+            .map(|t| t.bin_width.as_secs_f64())
+            .unwrap_or(1.0);
+        let mut windows = Vec::with_capacity(bins);
+        for b in 0..bins {
+            let mut read = 0u64;
+            let mut written = 0u64;
+            for t in timelines {
+                read += t.read_bins.get(b).copied().unwrap_or(0);
+                written += t.write_bins.get(b).copied().unwrap_or(0);
+            }
+            windows.push(WindowMix {
+                start_s: b as f64 * width,
+                read,
+                written,
+            });
+        }
+        let totals: Vec<f64> = windows
+            .iter()
+            .map(|w| (w.read + w.written) as f64)
+            .collect();
+        let mean = stats::mean(&totals);
+        let peak = totals.iter().copied().fold(0.0f64, f64::max);
+        let burstiness = if mean > 0.0 { peak / mean } else { 0.0 };
+        let active = totals.iter().filter(|&&t| t > 0.0).count();
+        SystemAnalysis {
+            bytes_read: windows.iter().map(|w| w.read).sum(),
+            bytes_written: windows.iter().map(|w| w.written).sum(),
+            burstiness,
+            active_fraction: if bins == 0 {
+                0.0
+            } else {
+                active as f64 / bins as f64
+            },
+            per_ost_bytes: timelines.iter().map(|t| t.total_bytes()).collect(),
+            windows,
+        }
+    }
+
+    /// Overall read fraction — Patel et al.'s headline metric.
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.bytes_read + self.bytes_written;
+        if total == 0 {
+            return 0.0;
+        }
+        self.bytes_read as f64 / total as f64
+    }
+
+    /// Spatial imbalance: max/mean of per-OST bytes.
+    pub fn spatial_imbalance(&self) -> f64 {
+        let total: u64 = self.per_ost_bytes.iter().sum();
+        if total == 0 || self.per_ost_bytes.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_ost_bytes.len() as f64;
+        *self.per_ost_bytes.iter().max().unwrap() as f64 / mean
+    }
+
+    /// The dominant period of the system's traffic, in windows, if the
+    /// series is periodic (autocorrelation > 0.5) — checkpoint cadences
+    /// and epoch loops show up here (the paper's "I/O periodicity and
+    /// repetition").
+    pub fn dominant_period(&self) -> Option<usize> {
+        let series: Vec<f64> = self
+            .windows
+            .iter()
+            .map(|w| (w.read + w.written) as f64)
+            .collect();
+        stats::detect_period(&series, series.len() / 2, 0.5)
+    }
+
+    /// Pearson correlation between this system's per-window traffic and
+    /// another activity series (correlative analysis: e.g. a job's
+    /// client-side bandwidth timeline).
+    pub fn correlate_with(&self, other: &[f64]) -> f64 {
+        let mine: Vec<f64> = self
+            .windows
+            .iter()
+            .map(|w| (w.read + w.written) as f64)
+            .collect();
+        let n = mine.len().min(other.len());
+        stats::pearson(&mine[..n], &other[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{IoKind, SimDuration, SimTime};
+
+    fn timeline(events: &[(u64, IoKind, u64)]) -> OstTimeline {
+        let mut t = OstTimeline::new(SimDuration::from_secs(1));
+        for &(sec, kind, bytes) in events {
+            t.record(SimTime::from_secs(sec), kind, bytes);
+        }
+        t
+    }
+
+    #[test]
+    fn read_write_mix_over_time() {
+        let t = timeline(&[
+            (0, IoKind::Write, 100),
+            (1, IoKind::Read, 300),
+            (1, IoKind::Write, 100),
+        ]);
+        let a = SystemAnalysis::from_timelines(&[t]);
+        assert_eq!(a.bytes_read, 300);
+        assert_eq!(a.bytes_written, 200);
+        assert!((a.read_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(a.windows.len(), 2);
+        assert_eq!(a.windows[0].read_fraction(), 0.0);
+        assert!((a.windows[1].read_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burstiness_flags_spiky_traffic() {
+        let spiky = timeline(&[(0, IoKind::Write, 1000), (5, IoKind::Write, 0)]);
+        let flat = timeline(&[
+            (0, IoKind::Write, 100),
+            (1, IoKind::Write, 100),
+            (2, IoKind::Write, 100),
+        ]);
+        let a_spiky = SystemAnalysis::from_timelines(&[spiky]);
+        let a_flat = SystemAnalysis::from_timelines(&[flat]);
+        assert!(a_spiky.burstiness > a_flat.burstiness);
+        assert!(a_flat.active_fraction > a_spiky.active_fraction);
+    }
+
+    #[test]
+    fn spatial_imbalance_detects_hot_ost() {
+        let hot = timeline(&[(0, IoKind::Write, 900)]);
+        let cold = timeline(&[(0, IoKind::Write, 100)]);
+        let a = SystemAnalysis::from_timelines(&[hot, cold]);
+        assert!((a.spatial_imbalance() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_with_job_activity() {
+        let t = timeline(&[
+            (0, IoKind::Write, 100),
+            (1, IoKind::Write, 200),
+            (2, IoKind::Write, 300),
+        ]);
+        let a = SystemAnalysis::from_timelines(&[t]);
+        let job_series = vec![1.0, 2.0, 3.0];
+        assert!((a.correlate_with(&job_series) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_traffic_is_detected() {
+        let mut t = OstTimeline::new(SimDuration::from_secs(1));
+        for burst in 0..8 {
+            t.record(SimTime::from_secs(burst * 4), IoKind::Write, 1000);
+            // Pad the quiet seconds so the series has explicit zeros.
+            t.record(SimTime::from_secs(burst * 4 + 3), IoKind::Write, 0);
+        }
+        let a = SystemAnalysis::from_timelines(&[t]);
+        assert_eq!(a.dominant_period(), Some(4));
+    }
+
+    #[test]
+    fn empty_input_is_neutral() {
+        let a = SystemAnalysis::from_timelines(&[]);
+        assert_eq!(a.read_fraction(), 0.0);
+        assert_eq!(a.spatial_imbalance(), 0.0);
+        assert_eq!(a.active_fraction, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! IOMiner-style job classification.
+//!
+//! IOMiner (Wang et al., CLUSTER'18) mines fleets of I/O logs to find
+//! behaviour classes. [`signature`] reduces a job's Darshan-style
+//! profile to a normalized feature vector, and [`classify_jobs`]
+//! clusters a campaign's jobs into classes with k-means — small-file
+//! metadata-storms, large sequential writers, and read-heavy scanners
+//! land in different clusters without any labels.
+
+use pioeval_model::kmeans::KMeans;
+use pioeval_trace::JobProfile;
+use pioeval_types::Result;
+use serde::Serialize;
+
+/// The I/O signature features of one job (all normalized to [0, 1]-ish
+/// scales so no axis dominates the distance metric).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Signature {
+    /// Read fraction of data volume.
+    pub read_fraction: f64,
+    /// Metadata ops per data op, squashed by `x / (1 + x)`.
+    pub meta_intensity: f64,
+    /// Mean transfer size, log-scaled to [0, 1] over [1 B, 1 GiB].
+    pub transfer_scale: f64,
+    /// Files touched, log-scaled to [0, 1] over [1, 1e6].
+    pub file_scale: f64,
+    /// Sequential access fraction.
+    pub sequential_fraction: f64,
+}
+
+impl Signature {
+    /// As a feature vector for clustering.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.read_fraction,
+            self.meta_intensity,
+            self.transfer_scale,
+            self.file_scale,
+            self.sequential_fraction,
+        ]
+    }
+}
+
+fn log_scale(v: f64, max_log10: f64) -> f64 {
+    if v <= 1.0 {
+        return 0.0;
+    }
+    (v.log10() / max_log10).clamp(0.0, 1.0)
+}
+
+/// Compute a job's I/O signature from its profile.
+pub fn signature(profile: &JobProfile) -> Signature {
+    let data_ops = profile.data_ops();
+    let volume = profile.bytes_read() + profile.bytes_written();
+    let mean_xfer = if data_ops == 0 {
+        0.0
+    } else {
+        volume as f64 / data_ops as f64
+    };
+    let meta_ratio = profile.meta_per_data_op();
+    let mut pattern = pioeval_types::PatternDetector::new();
+    for rec in profile.records.values() {
+        pattern.merge(&rec.pattern);
+    }
+    Signature {
+        read_fraction: profile.read_fraction(),
+        meta_intensity: meta_ratio / (1.0 + meta_ratio),
+        transfer_scale: log_scale(mean_xfer, 9.0),
+        file_scale: log_scale(profile.num_files() as f64, 6.0),
+        sequential_fraction: pattern.sequential_fraction(),
+    }
+}
+
+/// A classified set of jobs.
+#[derive(Debug)]
+pub struct JobClasses {
+    /// Per-job signatures, in input order.
+    pub signatures: Vec<Signature>,
+    /// Per-job cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids in feature space.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl JobClasses {
+    /// Number of distinct classes actually used.
+    pub fn num_classes(&self) -> usize {
+        let mut used: Vec<usize> = self.assignments.clone();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Jobs in each class.
+    pub fn members(&self, class: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Cluster jobs into (at most) `k` behaviour classes.
+pub fn classify_jobs(profiles: &[JobProfile], k: usize, seed: u64) -> Result<JobClasses> {
+    let signatures: Vec<Signature> = profiles.iter().map(signature).collect();
+    let features: Vec<Vec<f64>> = signatures.iter().map(Signature::features).collect();
+    let km = KMeans::fit(&features, k, seed)?;
+    Ok(JobClasses {
+        signatures,
+        assignments: km.assignments.clone(),
+        centroids: km.centroids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{
+        FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, SimTime,
+    };
+
+    fn posix(file: u32, op: RecordOp, offset: u64, len: u64) -> LayerRecord {
+        LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(file),
+            op,
+            offset,
+            len,
+            start: SimTime::ZERO,
+            end: SimTime::from_micros(1),
+        }
+    }
+
+    /// Large sequential writer.
+    fn writer_profile() -> JobProfile {
+        let mut recs = Vec::new();
+        for i in 0..16 {
+            recs.push(posix(1, RecordOp::Data(IoKind::Write), i << 20, 1 << 20));
+        }
+        JobProfile::from_records(&recs)
+    }
+
+    /// Small-file metadata storm (DL-style reader).
+    fn smallfile_profile() -> JobProfile {
+        let mut recs = Vec::new();
+        for f in 0..64 {
+            recs.push(posix(100 + f, RecordOp::Meta(MetaOp::Open), 0, 0));
+            recs.push(posix(100 + f, RecordOp::Data(IoKind::Read), 0, 4096));
+            recs.push(posix(100 + f, RecordOp::Meta(MetaOp::Close), 0, 0));
+        }
+        JobProfile::from_records(&recs)
+    }
+
+    #[test]
+    fn signatures_separate_behaviour() {
+        let w = signature(&writer_profile());
+        let s = signature(&smallfile_profile());
+        assert!(w.read_fraction < 0.1 && s.read_fraction > 0.9);
+        assert!(s.meta_intensity > w.meta_intensity);
+        assert!(w.transfer_scale > s.transfer_scale);
+        assert!(s.file_scale > w.file_scale);
+    }
+
+    #[test]
+    fn classification_groups_like_with_like() {
+        let mut profiles = Vec::new();
+        for _ in 0..4 {
+            profiles.push(writer_profile());
+        }
+        for _ in 0..4 {
+            profiles.push(smallfile_profile());
+        }
+        let classes = classify_jobs(&profiles, 2, 3).unwrap();
+        assert_eq!(classes.num_classes(), 2);
+        // First four jobs share a class; last four share the other.
+        let first = classes.assignments[0];
+        assert!(classes.assignments[..4].iter().all(|&a| a == first));
+        assert!(classes.assignments[4..].iter().all(|&a| a != first));
+        assert_eq!(classes.members(first).len(), 4);
+    }
+
+    #[test]
+    fn empty_profile_has_neutral_signature() {
+        let s = signature(&JobProfile::new());
+        assert_eq!(s.read_fraction, 0.0);
+        assert_eq!(s.transfer_scale, 0.0);
+        assert_eq!(s.features().len(), 5);
+    }
+}

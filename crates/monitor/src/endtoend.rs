@@ -1,0 +1,216 @@
+//! UMAMI-style end-to-end metric fusion.
+//!
+//! UMAMI (Lockwood et al.) presents a job's I/O performance *in context*:
+//! client-side metrics next to the storage-system metrics of the same
+//! time window. [`EndToEndView`] fuses a job's Darshan-style profile,
+//! the servers' statistics, and the scheduler record into one panel of
+//! [`MetricRow`]s, and checks the client/server byte accounting agrees.
+
+use crate::scheduler::JobLog;
+use pioeval_pfs::ServerStats;
+use pioeval_trace::JobProfile;
+use serde::{Deserialize, Serialize};
+
+/// One row of the metrics panel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Metric name.
+    pub name: String,
+    /// Value.
+    pub value: f64,
+    /// Unit label.
+    pub unit: String,
+}
+
+/// The fused end-to-end view of one job.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EndToEndView {
+    /// The metric panel, in display order.
+    pub rows: Vec<MetricRow>,
+    /// Bytes the clients wrote / the servers received.
+    pub client_written: u64,
+    /// Bytes the servers wrote to devices.
+    pub server_written: u64,
+    /// Bytes the clients read.
+    pub client_read: u64,
+    /// Bytes the servers read from devices.
+    pub server_read: u64,
+}
+
+impl EndToEndView {
+    /// Fuse one job's profile with the cluster's server stats and its
+    /// scheduler record.
+    pub fn fuse(profile: &JobProfile, servers: &[ServerStats], job: &JobLog) -> Self {
+        let client_written = profile.bytes_written();
+        let client_read = profile.bytes_read();
+        let server_written: u64 = servers.iter().map(|s| s.bytes_written).sum();
+        let server_read: u64 = servers.iter().map(|s| s.bytes_read).sum();
+        let runtime = job.runtime().as_secs_f64().max(1e-9);
+
+        let mut rows = vec![
+            MetricRow {
+                name: "job runtime".into(),
+                value: runtime,
+                unit: "s".into(),
+            },
+            MetricRow {
+                name: "client write bandwidth".into(),
+                value: client_written as f64 / (1 << 20) as f64 / runtime,
+                unit: "MiB/s".into(),
+            },
+            MetricRow {
+                name: "client read bandwidth".into(),
+                value: client_read as f64 / (1 << 20) as f64 / runtime,
+                unit: "MiB/s".into(),
+            },
+            MetricRow {
+                name: "metadata ops".into(),
+                value: profile.meta_ops() as f64,
+                unit: "ops".into(),
+            },
+            MetricRow {
+                name: "metadata ops per data op".into(),
+                value: profile.meta_per_data_op(),
+                unit: "ratio".into(),
+            },
+            MetricRow {
+                name: "shared files".into(),
+                value: profile.shared_files().len() as f64,
+                unit: "files".into(),
+            },
+        ];
+        if !servers.is_empty() {
+            let mean_queue: f64 = servers
+                .iter()
+                .map(|s| s.mean_queue_wait().as_secs_f64())
+                .sum::<f64>()
+                / servers.len() as f64;
+            let imbalance = servers
+                .iter()
+                .map(|s| s.imbalance())
+                .fold(0.0f64, f64::max);
+            rows.push(MetricRow {
+                name: "mean server queue wait".into(),
+                value: mean_queue * 1e3,
+                unit: "ms".into(),
+            });
+            rows.push(MetricRow {
+                name: "worst OST imbalance".into(),
+                value: imbalance,
+                unit: "max/mean".into(),
+            });
+            rows.push(MetricRow {
+                name: "server seeks".into(),
+                value: servers.iter().map(|s| s.seeks).sum::<u64>() as f64,
+                unit: "ops".into(),
+            });
+        }
+
+        EndToEndView {
+            rows,
+            client_written,
+            server_written,
+            client_read,
+            server_read,
+        }
+    }
+
+    /// Client and server byte accounting agree within `tolerance`
+    /// (fractional): end-to-end coverage, the property holistic
+    /// monitoring exists to verify. Server-side writes may exceed
+    /// client-side ones (read-modify-write sieving, drains).
+    pub fn coverage_ok(&self, tolerance: f64) -> bool {
+        let check = |client: u64, server: u64| {
+            if client == 0 {
+                return true;
+            }
+            server as f64 >= client as f64 * (1.0 - tolerance)
+        };
+        check(self.client_written, self.server_written)
+            && check(self.client_read, self.server_read)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&format!("{:<32} {:>14.3} {}\n", row.name, row.value, row.unit));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{
+        FileId, IoKind, JobId, Layer, LayerRecord, Rank, RecordOp, SimDuration,
+        SimTime,
+    };
+
+    fn profile_with(bytes: u64) -> JobProfile {
+        JobProfile::from_records(&[LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(1),
+            op: RecordOp::Data(IoKind::Write),
+            offset: 0,
+            len: bytes,
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(10),
+        }])
+    }
+
+    fn server_with(written: u64) -> ServerStats {
+        let mut s = ServerStats::new(2, SimDuration::from_secs(1));
+        s.bytes_written = written;
+        s
+    }
+
+    fn job() -> JobLog {
+        JobLog {
+            job: JobId::new(1),
+            nodes: 2,
+            ranks: 8,
+            submit: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn fuses_all_three_sources() {
+        let view = EndToEndView::fuse(
+            &profile_with(10 << 20),
+            &[server_with(10 << 20)],
+            &job(),
+        );
+        assert!(view.rows.iter().any(|r| r.name.contains("queue wait")));
+        let bw = view
+            .rows
+            .iter()
+            .find(|r| r.name == "client write bandwidth")
+            .unwrap();
+        assert!((bw.value - 1.0).abs() < 1e-9); // 10 MiB over 10 s
+        assert!(view.coverage_ok(0.01));
+        assert!(!view.render().is_empty());
+    }
+
+    #[test]
+    fn coverage_detects_lost_bytes() {
+        let view =
+            EndToEndView::fuse(&profile_with(10 << 20), &[server_with(1 << 20)], &job());
+        assert!(!view.coverage_ok(0.1));
+        // Server writing more than clients (drain duplication) is fine.
+        let view =
+            EndToEndView::fuse(&profile_with(1 << 20), &[server_with(10 << 20)], &job());
+        assert!(view.coverage_ok(0.1));
+    }
+
+    #[test]
+    fn no_servers_still_renders_client_rows() {
+        let view = EndToEndView::fuse(&profile_with(1024), &[], &job());
+        assert!(view.rows.iter().all(|r| !r.name.contains("OST")));
+        assert!(view.rows.len() >= 6);
+    }
+}

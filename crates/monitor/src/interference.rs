@@ -1,0 +1,105 @@
+//! Cross-application interference quantification.
+//!
+//! Yildiz et al. (IPDPS'16) root-caused cross-application I/O
+//! interference to contention at shared resources along the I/O path.
+//! [`interference_report`] reduces isolated-vs-co-located runs of the
+//! same applications to the standard slowdown metrics.
+
+use pioeval_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Interference metrics for a set of co-running applications.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InterferenceReport {
+    /// Per-application slowdown: co-run makespan / isolated makespan.
+    pub slowdowns: Vec<f64>,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+    /// Worst slowdown.
+    pub max_slowdown: f64,
+    /// System efficiency: sum(isolated) / (apps × co-run max) — 1.0 means
+    /// perfect sharing, lower means destructive interference.
+    pub efficiency: f64,
+}
+
+/// Build a report from isolated and co-located makespans (same order).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or contain zero
+/// isolated makespans.
+pub fn interference_report(
+    isolated: &[SimDuration],
+    colocated: &[SimDuration],
+) -> InterferenceReport {
+    assert_eq!(isolated.len(), colocated.len(), "run-count mismatch");
+    assert!(!isolated.is_empty(), "need at least one application");
+    let slowdowns: Vec<f64> = isolated
+        .iter()
+        .zip(colocated)
+        .map(|(i, c)| {
+            let i = i.as_secs_f64();
+            assert!(i > 0.0, "isolated makespan must be positive");
+            c.as_secs_f64() / i
+        })
+        .collect();
+    let mean_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
+    let max_slowdown = slowdowns.iter().copied().fold(0.0f64, f64::max);
+    let total_isolated: f64 = isolated.iter().map(|d| d.as_secs_f64()).sum();
+    let co_max = colocated
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    let efficiency = if co_max > 0.0 {
+        total_isolated / (co_max * isolated.len() as f64)
+    } else {
+        0.0
+    };
+    InterferenceReport {
+        slowdowns,
+        mean_slowdown,
+        max_slowdown,
+        efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_means_unit_slowdown() {
+        let iso = vec![SimDuration::from_secs(10), SimDuration::from_secs(10)];
+        let r = interference_report(&iso, &iso);
+        assert_eq!(r.slowdowns, vec![1.0, 1.0]);
+        assert_eq!(r.mean_slowdown, 1.0);
+        // Two 10s apps sharing perfectly: efficiency 20/(10*2) = 1.
+        assert!((r.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_shows_up_as_slowdown() {
+        let iso = vec![SimDuration::from_secs(10), SimDuration::from_secs(10)];
+        let co = vec![SimDuration::from_secs(18), SimDuration::from_secs(19)];
+        let r = interference_report(&iso, &co);
+        assert!((r.mean_slowdown - 1.85).abs() < 1e-12);
+        assert!((r.max_slowdown - 1.9).abs() < 1e-12);
+        assert!(r.efficiency < 0.6);
+    }
+
+    #[test]
+    fn asymmetric_victims_are_visible() {
+        let iso = vec![SimDuration::from_secs(10), SimDuration::from_secs(1)];
+        let co = vec![SimDuration::from_secs(11), SimDuration::from_secs(5)];
+        let r = interference_report(&iso, &co);
+        // The small app suffered 5x; the big one barely noticed.
+        assert!(r.slowdowns[1] > 4.0);
+        assert!(r.slowdowns[0] < 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "run-count mismatch")]
+    fn mismatched_inputs_panic() {
+        interference_report(&[SimDuration::from_secs(1)], &[]);
+    }
+}

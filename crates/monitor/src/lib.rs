@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # pioeval-monitor
+//!
+//! End-to-end, holistic I/O monitoring (paper Sec. IV-A2's
+//! "all-encompassing and cohesive monitoring systems which can capture
+//! end-to-end I/O behavior of jobs at each step along their I/O path"):
+//!
+//! * [`endtoend`] — UMAMI/TOKIO-style fusion of job-level profiles with
+//!   server-side statistics and scheduler logs into one metrics panel.
+//! * [`analysis`] — Patel-et-al-style temporal / spatial / correlative
+//!   analysis of server timelines (burstiness, read:write mix over time,
+//!   job–server correlation).
+//! * [`interference`] — Yildiz-et-al-style cross-application
+//!   interference quantification (co-run slowdown vs. isolated runs).
+//! * [`loadbalance`] — iez-style OST load inspection and rebalancing
+//!   recommendations.
+//! * [`scheduler`] — workload-manager (Slurm-like) job logs, the third
+//!   data source the paper lists alongside profiles and server stats.
+
+pub mod analysis;
+pub mod classify;
+pub mod endtoend;
+pub mod interference;
+pub mod loadbalance;
+pub mod metadata;
+pub mod scheduler;
+pub mod straggler;
+
+pub use analysis::{SystemAnalysis, WindowMix};
+pub use classify::{classify_jobs, signature, JobClasses, Signature};
+pub use endtoend::{EndToEndView, MetricRow};
+pub use interference::{interference_report, InterferenceReport};
+pub use loadbalance::{rebalance, LoadReport};
+pub use metadata::MetadataActivity;
+pub use scheduler::{JobLog, SchedulerLog};
+pub use straggler::{find_stragglers, LaneHealth, StragglerReport};

@@ -1,0 +1,115 @@
+//! OST load inspection and rebalancing (iez-style).
+//!
+//! iez (Wadhwa et al.) monitors per-OST load and steers new file
+//! placements toward under-utilized targets. [`LoadReport`] summarizes
+//! the observed load; [`rebalance`] computes a greedy least-loaded
+//! reassignment of file loads to OSTs and reports the imbalance before
+//! and after — the quantity iez's evaluation plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-OST load summary and a rebalancing recommendation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Observed per-OST bytes.
+    pub observed: Vec<u64>,
+    /// Imbalance (max/mean) of the observed placement.
+    pub imbalance_before: f64,
+    /// Per-OST bytes after greedy rebalancing.
+    pub rebalanced: Vec<u64>,
+    /// Imbalance after rebalancing.
+    pub imbalance_after: f64,
+    /// For each file load (sorted descending), the recommended OST.
+    pub placement: Vec<(u64, usize)>,
+}
+
+fn imbalance(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 || loads.is_empty() {
+        return 0.0;
+    }
+    let mean = total as f64 / loads.len() as f64;
+    *loads.iter().max().unwrap() as f64 / mean
+}
+
+/// Greedy least-loaded rebalancing of `file_loads` (bytes per file)
+/// across `num_osts` targets, compared against the `observed` per-OST
+/// placement those files currently have.
+pub fn rebalance(observed: &[u64], file_loads: &[u64], num_osts: usize) -> LoadReport {
+    assert!(num_osts > 0, "need at least one OST");
+    let mut loads = vec![0u64; num_osts];
+    let mut files: Vec<u64> = file_loads.to_vec();
+    files.sort_unstable_by(|a, b| b.cmp(a)); // largest first (LPT rule)
+    let mut placement = Vec::with_capacity(files.len());
+    for f in files {
+        let target = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap();
+        loads[target] += f;
+        placement.push((f, target));
+    }
+    LoadReport {
+        imbalance_before: imbalance(observed),
+        imbalance_after: imbalance(&loads),
+        observed: observed.to_vec(),
+        rebalanced: loads,
+        placement,
+    }
+}
+
+impl LoadReport {
+    /// Relative improvement in imbalance (0 = none, 0.5 = halved).
+    pub fn improvement(&self) -> f64 {
+        if self.imbalance_before <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.imbalance_after / self.imbalance_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebalancing_flattens_hot_spots() {
+        // Everything piled on OST 0.
+        let observed = vec![1000, 0, 0, 0];
+        let files = vec![400, 300, 200, 100];
+        let r = rebalance(&observed, &files, 4);
+        assert_eq!(r.imbalance_before, 4.0);
+        assert!(r.imbalance_after < 1.7, "after = {}", r.imbalance_after);
+        assert!(r.improvement() > 0.5);
+        // All bytes conserved.
+        assert_eq!(r.rebalanced.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn lpt_places_largest_first() {
+        let r = rebalance(&[0, 0], &[10, 100, 20], 2);
+        assert_eq!(r.placement[0].0, 100);
+        // 100 alone vs 20+10: near-even split.
+        let mut loads = r.rebalanced.clone();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![30, 100]);
+    }
+
+    #[test]
+    fn balanced_observed_load_needs_no_improvement() {
+        let observed = vec![100, 100, 100];
+        let r = rebalance(&observed, &[100, 100, 100], 3);
+        assert!((r.imbalance_before - 1.0).abs() < 1e-12);
+        assert!((r.imbalance_after - 1.0).abs() < 1e-12);
+        assert_eq!(r.improvement(), 0.0);
+    }
+
+    #[test]
+    fn empty_files_are_fine() {
+        let r = rebalance(&[5, 5], &[], 2);
+        assert_eq!(r.rebalanced, vec![0, 0]);
+        assert_eq!(r.imbalance_after, 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! FSMonitor-style metadata event analysis.
+//!
+//! FSMonitor (Paul et al.) streams file-system metadata events for
+//! "software-defined cyberinfrastructure": who is creating/deleting
+//! what, and when. The simulator's MDS keeps exactly that event stream
+//! ([`pioeval_pfs::mds::MetaEvent`]); this module computes the standard
+//! reductions over it — op-rate timelines, per-op mixes, hottest files,
+//! and namespace churn.
+
+use pioeval_pfs::mds::MetaEvent;
+use pioeval_types::{FileId, MetaOp, SimDuration};
+use std::collections::HashMap;
+
+/// Aggregated view of a metadata event stream.
+#[derive(Clone, Debug)]
+pub struct MetadataActivity {
+    /// Total events.
+    pub total: u64,
+    /// Events per op kind (indexed by [`MetaOp::index`]).
+    pub per_op: [u64; 8],
+    /// Events per time bin.
+    pub rate_bins: Vec<u64>,
+    /// Bin width used for the rate timeline.
+    pub bin_width: SimDuration,
+    /// Files ranked by event count, descending (top 16).
+    pub hottest: Vec<(FileId, u64)>,
+    /// Net namespace growth: creates − unlinks.
+    pub namespace_growth: i64,
+}
+
+impl MetadataActivity {
+    /// Reduce an event stream (time-ordered, as the MDS records it).
+    pub fn from_events(events: &[MetaEvent], bin_width: SimDuration) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        let mut per_op = [0u64; 8];
+        let mut rate_bins: Vec<u64> = Vec::new();
+        let mut per_file: HashMap<FileId, u64> = HashMap::new();
+        let mut growth = 0i64;
+        for e in events {
+            per_op[e.op.index()] += 1;
+            let bin = (e.time.as_nanos() / bin_width.as_nanos()) as usize;
+            if rate_bins.len() <= bin {
+                rate_bins.resize(bin + 1, 0);
+            }
+            rate_bins[bin] += 1;
+            *per_file.entry(e.file).or_insert(0) += 1;
+            match e.op {
+                MetaOp::Create => growth += 1,
+                MetaOp::Unlink => growth -= 1,
+                _ => {}
+            }
+        }
+        let mut hottest: Vec<(FileId, u64)> = per_file.into_iter().collect();
+        hottest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        hottest.truncate(16);
+        MetadataActivity {
+            total: events.len() as u64,
+            per_op,
+            rate_bins,
+            bin_width,
+            hottest,
+            namespace_growth: growth,
+        }
+    }
+
+    /// Peak metadata op rate, ops/second.
+    pub fn peak_rate(&self) -> f64 {
+        let peak = self.rate_bins.iter().copied().max().unwrap_or(0);
+        peak as f64 / self.bin_width.as_secs_f64()
+    }
+
+    /// Mean metadata op rate over active bins, ops/second.
+    pub fn mean_active_rate(&self) -> f64 {
+        let active: Vec<u64> = self
+            .rate_bins
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = active.iter().sum();
+        sum as f64 / active.len() as f64 / self.bin_width.as_secs_f64()
+    }
+
+    /// Count of one op kind.
+    pub fn count(&self, op: MetaOp) -> u64 {
+        self.per_op[op.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::SimTime;
+
+    fn ev(ms: u64, op: MetaOp, file: u32) -> MetaEvent {
+        MetaEvent {
+            time: SimTime::from_millis(ms),
+            op,
+            file: FileId::new(file),
+        }
+    }
+
+    #[test]
+    fn reduces_stream_to_rates_and_mixes() {
+        let events = vec![
+            ev(0, MetaOp::Create, 1),
+            ev(1, MetaOp::Create, 2),
+            ev(2, MetaOp::Stat, 1),
+            ev(1500, MetaOp::Unlink, 2),
+        ];
+        let a = MetadataActivity::from_events(&events, SimDuration::from_secs(1));
+        assert_eq!(a.total, 4);
+        assert_eq!(a.count(MetaOp::Create), 2);
+        assert_eq!(a.count(MetaOp::Unlink), 1);
+        assert_eq!(a.rate_bins, vec![3, 1]);
+        assert_eq!(a.peak_rate(), 3.0);
+        assert_eq!(a.namespace_growth, 1);
+        // File 1 and file 2 both have 2 events; tie-break by id.
+        assert_eq!(a.hottest[0].0, FileId::new(1));
+    }
+
+    #[test]
+    fn empty_stream_is_neutral() {
+        let a = MetadataActivity::from_events(&[], SimDuration::from_secs(1));
+        assert_eq!(a.total, 0);
+        assert_eq!(a.peak_rate(), 0.0);
+        assert_eq!(a.mean_active_rate(), 0.0);
+        assert!(a.hottest.is_empty());
+    }
+
+    #[test]
+    fn hottest_is_bounded() {
+        let events: Vec<MetaEvent> =
+            (0..100).map(|i| ev(i, MetaOp::Stat, i as u32)).collect();
+        let a = MetadataActivity::from_events(&events, SimDuration::from_secs(1));
+        assert_eq!(a.hottest.len(), 16);
+    }
+}

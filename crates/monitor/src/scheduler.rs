@@ -1,0 +1,121 @@
+//! Workload-manager (Slurm/TORQUE-like) job logs.
+
+use pioeval_types::{JobId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One job's accounting record.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobLog {
+    /// Job id.
+    pub job: JobId,
+    /// Nodes (clients) allocated.
+    pub nodes: u32,
+    /// Ranks launched.
+    pub ranks: u32,
+    /// Submit time.
+    pub submit: SimTime,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+impl JobLog {
+    /// Queue wait.
+    pub fn wait(&self) -> SimDuration {
+        self.start.since(self.submit)
+    }
+
+    /// Runtime.
+    pub fn runtime(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// Node-seconds consumed.
+    pub fn node_seconds(&self) -> f64 {
+        self.nodes as f64 * self.runtime().as_secs_f64()
+    }
+}
+
+/// A center's job log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SchedulerLog {
+    /// Records, in submit order.
+    pub jobs: Vec<JobLog>,
+}
+
+impl SchedulerLog {
+    /// Add a record.
+    pub fn push(&mut self, job: JobLog) {
+        self.jobs.push(job);
+    }
+
+    /// Jobs running at time `t`.
+    pub fn running_at(&self, t: SimTime) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|j| j.start <= t && t < j.end)
+            .map(|j| j.job)
+            .collect()
+    }
+
+    /// Machine utilization over `[0, horizon)` for `total_nodes`.
+    pub fn utilization(&self, total_nodes: u32, horizon: SimTime) -> f64 {
+        if total_nodes == 0 || horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let used: f64 = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let start = j.start.min(horizon);
+                let end = j.end.min(horizon);
+                j.nodes as f64 * end.since(start).as_secs_f64()
+            })
+            .sum();
+        used / (total_nodes as f64 * horizon.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, nodes: u32, start_s: u64, end_s: u64) -> JobLog {
+        JobLog {
+            job: JobId::new(id),
+            nodes,
+            ranks: nodes * 4,
+            submit: SimTime::from_secs(start_s.saturating_sub(1)),
+            start: SimTime::from_secs(start_s),
+            end: SimTime::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn job_accounting() {
+        let j = job(1, 4, 10, 30);
+        assert_eq!(j.wait(), SimDuration::from_secs(1));
+        assert_eq!(j.runtime(), SimDuration::from_secs(20));
+        assert_eq!(j.node_seconds(), 80.0);
+    }
+
+    #[test]
+    fn running_at_finds_overlapping_jobs() {
+        let mut log = SchedulerLog::default();
+        log.push(job(1, 2, 0, 10));
+        log.push(job(2, 2, 5, 15));
+        assert_eq!(log.running_at(SimTime::from_secs(7)).len(), 2);
+        assert_eq!(log.running_at(SimTime::from_secs(12)), vec![JobId::new(2)]);
+        assert!(log.running_at(SimTime::from_secs(20)).is_empty());
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut log = SchedulerLog::default();
+        log.push(job(1, 5, 0, 10)); // 50 node-s of a 100 node-s horizon
+        let u = log.utilization(10, SimTime::from_secs(10));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(log.utilization(0, SimTime::from_secs(10)), 0.0);
+    }
+}

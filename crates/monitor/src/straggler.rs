@@ -1,0 +1,151 @@
+//! Degraded-device (straggler) detection from server-side statistics.
+//!
+//! "A year in the life of a parallel file system" (Lockwood et al.)
+//! shows transient and persistent stragglers — individual OSTs serving
+//! far below their peers — are a dominant cause of I/O variability.
+//! [`find_stragglers`] applies the standard detection: compute each
+//! lane's *effective bandwidth* (bytes served / device busy time) and
+//! flag lanes below a fraction of the population median.
+
+use pioeval_model::stats;
+use pioeval_pfs::ServerStats;
+use pioeval_types::OstId;
+use serde::Serialize;
+
+/// One lane's health summary.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LaneHealth {
+    /// Global OST index.
+    pub ost: OstId,
+    /// Bytes served.
+    pub bytes: u64,
+    /// Device busy time, seconds.
+    pub busy_s: f64,
+    /// Effective bandwidth, MiB/s (0 when idle).
+    pub effective_mib_s: f64,
+    /// Flagged as a straggler.
+    pub straggler: bool,
+}
+
+/// A straggler report over all OSTs of a cluster.
+#[derive(Clone, Debug, Serialize)]
+pub struct StragglerReport {
+    /// Per-lane health, global OST order.
+    pub lanes: Vec<LaneHealth>,
+    /// Median effective bandwidth of active lanes, MiB/s.
+    pub median_mib_s: f64,
+    /// Detection threshold used (fraction of median).
+    pub threshold: f64,
+}
+
+impl StragglerReport {
+    /// The flagged OSTs.
+    pub fn stragglers(&self) -> Vec<OstId> {
+        self.lanes
+            .iter()
+            .filter(|l| l.straggler)
+            .map(|l| l.ost)
+            .collect()
+    }
+}
+
+/// Detect straggler OSTs: effective bandwidth below
+/// `threshold × median` of active lanes. `servers` are the per-OSS
+/// statistics in OSS order (as returned by `Cluster::oss_stats`),
+/// each contributing `lane_busy.len()` consecutive global OSTs.
+pub fn find_stragglers(servers: &[ServerStats], threshold: f64) -> StragglerReport {
+    let mut lanes = Vec::new();
+    let mut global = 0u32;
+    for server in servers {
+        for (lane, busy) in server.lane_busy.iter().enumerate() {
+            let bytes = server
+                .timelines
+                .get(lane)
+                .map(|t| t.total_bytes())
+                .unwrap_or(0);
+            let busy_s = busy.as_secs_f64();
+            let effective = if busy_s > 0.0 {
+                bytes as f64 / (1024.0 * 1024.0) / busy_s
+            } else {
+                0.0
+            };
+            lanes.push(LaneHealth {
+                ost: OstId::new(global),
+                bytes,
+                busy_s,
+                effective_mib_s: effective,
+                straggler: false,
+            });
+            global += 1;
+        }
+    }
+    let active: Vec<f64> = lanes
+        .iter()
+        .filter(|l| l.bytes > 0)
+        .map(|l| l.effective_mib_s)
+        .collect();
+    let median = stats::percentile(&active, 50.0);
+    for lane in &mut lanes {
+        lane.straggler = lane.bytes > 0 && lane.effective_mib_s < median * threshold;
+    }
+    StragglerReport {
+        lanes,
+        median_mib_s: median,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{IoKind, SimDuration, SimTime};
+
+    fn server_with_lanes(lane_specs: &[(u64, u64)]) -> ServerStats {
+        // (bytes, busy_ms) per lane.
+        let mut s = ServerStats::new(lane_specs.len(), SimDuration::from_secs(1));
+        for (i, &(bytes, busy_ms)) in lane_specs.iter().enumerate() {
+            s.timelines[i].record(SimTime::ZERO, IoKind::Write, bytes);
+            s.lane_busy[i] = SimDuration::from_millis(busy_ms);
+        }
+        s
+    }
+
+    #[test]
+    fn slow_lane_is_flagged() {
+        // Three healthy lanes at ~100 MiB/s, one at ~10 MiB/s.
+        let healthy = 100 * 1024 * 1024;
+        let s = server_with_lanes(&[
+            (healthy, 1000),
+            (healthy, 1000),
+            (healthy, 1000),
+            (healthy / 10, 1000),
+        ]);
+        let report = find_stragglers(&[s], 0.5);
+        assert_eq!(report.stragglers(), vec![OstId::new(3)]);
+        assert!((report.median_mib_s - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_lanes_are_not_stragglers() {
+        let s = server_with_lanes(&[(100 << 20, 1000), (0, 0)]);
+        let report = find_stragglers(&[s], 0.5);
+        assert!(report.stragglers().is_empty());
+        assert!(!report.lanes[1].straggler);
+    }
+
+    #[test]
+    fn global_ost_indexing_spans_servers() {
+        let a = server_with_lanes(&[(100 << 20, 1000), (100 << 20, 1000)]);
+        let b = server_with_lanes(&[(100 << 20, 1000), (5 << 20, 1000)]);
+        let report = find_stragglers(&[a, b], 0.5);
+        assert_eq!(report.stragglers(), vec![OstId::new(3)]);
+        assert_eq!(report.lanes.len(), 4);
+    }
+
+    #[test]
+    fn uniform_population_has_no_stragglers() {
+        let s = server_with_lanes(&[(50 << 20, 500); 8]);
+        let report = find_stragglers(&[s], 0.5);
+        assert!(report.stragglers().is_empty());
+    }
+}

@@ -1,0 +1,491 @@
+//! I/O forwarding node with burst buffer.
+//!
+//! The paper's Fig. 1 describes I/O nodes that "handle requests forwarded
+//! by the scientific applications" and "integrate a tier of solid-state
+//! devices to absorb the burst of random or high volume operations, so
+//! that transfers to/from the staging area from/to the traditional
+//! parallel file system can be done more efficiently". This entity
+//! implements exactly that:
+//!
+//! * **Writes** are absorbed into the node's SSD when capacity allows; the
+//!   client is acknowledged at SSD speed, and the data drains to the OSS
+//!   over the storage fabric in the background (bounded drain streams).
+//! * **Reads** are served from the SSD when they hit not-yet-drained data,
+//!   and forwarded to the OSS otherwise.
+//! * When the buffer is full, writes degrade to write-through forwarding —
+//!   the "absorption limit" that burst-buffer sizing studies measure.
+//!
+//! Approximations (documented for DESIGN.md): the SSD read performed by a
+//! drain is not charged (SSD read bandwidth is an order of magnitude above
+//! OST write bandwidth), and a region re-written while its first copy is
+//! draining may be conservatively treated as clean after the first drain
+//! completes.
+
+use crate::config::DeviceConfig;
+use crate::device::DeviceModel;
+use crate::msg::{route, IoReply, IoRequest, PfsMsg, RequestId};
+use pioeval_des::{Ctx, Entity, EntityId, Envelope};
+use pioeval_types::{FileId, IoKind, OstId, SimDuration};
+use std::collections::{HashMap, VecDeque};
+
+/// A unit of data awaiting drain to the PFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct DrainChunk {
+    file: FileId,
+    ost: OstId,
+    obj_offset: u64,
+    len: u64,
+}
+
+/// Why a local SSD completion is pending.
+enum SsdPending {
+    /// A client write absorbed into the buffer; reply when SSD finishes.
+    Absorb { req: IoRequest, queue_delay: SimDuration },
+    /// A client read served from the buffer; reply when SSD finishes.
+    CachedRead { req: IoRequest, queue_delay: SimDuration },
+}
+
+/// Why a reply from the OSS is pending.
+enum OssPending {
+    /// A forwarded client request; relay the reply to the original client.
+    Forwarded { orig: IoRequest },
+    /// A background drain write; free buffer space on completion.
+    Drain { chunk: DrainChunk },
+}
+
+/// Burst-buffer occupancy and traffic counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BurstBufferStats {
+    /// Writes absorbed into the SSD.
+    pub absorbed_writes: u64,
+    /// Bytes absorbed.
+    pub absorbed_bytes: u64,
+    /// Reads served from not-yet-drained data.
+    pub cached_reads: u64,
+    /// Requests forwarded to the OSS (reads missing + writes while full).
+    pub forwarded: u64,
+    /// Drain writes completed.
+    pub drains_completed: u64,
+    /// High-water mark of buffer occupancy, bytes.
+    pub peak_used: u64,
+}
+
+/// The I/O forwarding node entity.
+pub struct IoNode {
+    ssd: DeviceModel,
+    capacity: u64,
+    used: u64,
+    /// Dirty (absorbed, not yet drained) extents per (file, ost).
+    dirty: HashMap<(FileId, OstId), Vec<(u64, u64)>>,
+    drain_queue: VecDeque<DrainChunk>,
+    active_drains: usize,
+    drain_streams: usize,
+    /// Route from this node to each OST's OSS entity (index = global OST).
+    ost_route: Vec<EntityId>,
+    /// The storage fabric between this node and the storage cluster.
+    storage_fabric: EntityId,
+    ssd_pending: HashMap<u64, SsdPending>,
+    oss_pending: HashMap<RequestId, OssPending>,
+    next_token: u64,
+    next_req_id: RequestId,
+    /// Traffic counters.
+    pub stats: BurstBufferStats,
+}
+
+impl IoNode {
+    /// A new I/O node with an empty buffer.
+    pub fn new(
+        device: DeviceConfig,
+        capacity: u64,
+        drain_streams: usize,
+        storage_fabric: EntityId,
+        ost_route: Vec<EntityId>,
+    ) -> Self {
+        IoNode {
+            ssd: DeviceModel::new(device),
+            capacity,
+            used: 0,
+            dirty: HashMap::new(),
+            drain_queue: VecDeque::new(),
+            active_drains: 0,
+            drain_streams: drain_streams.max(1),
+            ost_route,
+            storage_fabric,
+            ssd_pending: HashMap::new(),
+            oss_pending: HashMap::new(),
+            next_token: 0,
+            next_req_id: 0,
+            stats: BurstBufferStats::default(),
+        }
+    }
+
+    /// Bytes currently buffered (absorbed, not yet drained).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// True when all absorbed data has drained to the PFS.
+    pub fn fully_drained(&self) -> bool {
+        self.used == 0 && self.drain_queue.is_empty() && self.active_drains == 0
+    }
+
+    fn dirty_covers(&self, file: FileId, ost: OstId, offset: u64, len: u64) -> bool {
+        let Some(extents) = self.dirty.get(&(file, ost)) else {
+            return false;
+        };
+        // Merge-and-check over a sorted copy: extents lists are short
+        // (bounded by in-flight chunks for one file on one OST).
+        let mut sorted = extents.clone();
+        sorted.sort_unstable();
+        let (start, end) = (offset, offset + len);
+        let mut covered_to = start;
+        for (o, l) in sorted {
+            if o > covered_to {
+                break;
+            }
+            covered_to = covered_to.max(o + l);
+            if covered_to >= end {
+                return true;
+            }
+        }
+        covered_to >= end
+    }
+
+    fn remove_dirty(&mut self, chunk: &DrainChunk) {
+        if let Some(extents) = self.dirty.get_mut(&(chunk.file, chunk.ost)) {
+            if let Some(pos) = extents
+                .iter()
+                .position(|&(o, l)| o == chunk.obj_offset && l == chunk.len)
+            {
+                extents.swap_remove(pos);
+            }
+            if extents.is_empty() {
+                self.dirty.remove(&(chunk.file, chunk.ost));
+            }
+        }
+    }
+
+    fn forward(&mut self, req: IoRequest, ctx: &mut Ctx<'_, PfsMsg>) {
+        self.stats.forwarded += 1;
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let oss = self.ost_route[req.ost.index()];
+        let fwd = IoRequest {
+            id,
+            reply_to: ctx.me(),
+            reply_via: vec![self.storage_fabric],
+            kind: req.kind,
+            file: req.file,
+            ost: req.ost,
+            obj_offset: req.obj_offset,
+            len: req.len,
+        };
+        self.oss_pending.insert(id, OssPending::Forwarded { orig: req });
+        let size = fwd.wire_size();
+        let (hop, msg) = route(&[self.storage_fabric], oss, size, PfsMsg::Io(fwd));
+        ctx.send(hop, ctx.lookahead(), msg);
+    }
+
+    fn start_drains(&mut self, ctx: &mut Ctx<'_, PfsMsg>) {
+        while self.active_drains < self.drain_streams {
+            let Some(chunk) = self.drain_queue.pop_front() else {
+                break;
+            };
+            self.active_drains += 1;
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            let oss = self.ost_route[chunk.ost.index()];
+            let req = IoRequest {
+                id,
+                reply_to: ctx.me(),
+                reply_via: vec![self.storage_fabric],
+                kind: IoKind::Write,
+                file: chunk.file,
+                ost: chunk.ost,
+                obj_offset: chunk.obj_offset,
+                len: chunk.len,
+            };
+            self.oss_pending.insert(id, OssPending::Drain { chunk });
+            let size = req.wire_size();
+            let (hop, msg) = route(&[self.storage_fabric], oss, size, PfsMsg::Io(req));
+            ctx.send(hop, ctx.lookahead(), msg);
+        }
+    }
+
+    fn reply_to_client(
+        &self,
+        req: &IoRequest,
+        from_burst_buffer: bool,
+        queue_delay: SimDuration,
+        ctx: &mut Ctx<'_, PfsMsg>,
+    ) {
+        let reply = IoReply {
+            id: req.id,
+            kind: req.kind,
+            file: req.file,
+            ost: req.ost,
+            len: req.len,
+            from_burst_buffer,
+            queue_delay,
+        };
+        let size = reply.wire_size();
+        let (hop, msg) = route(&req.reply_via, req.reply_to, size, PfsMsg::IoDone(reply));
+        ctx.send(hop, ctx.lookahead(), msg);
+    }
+}
+
+impl Entity<PfsMsg> for IoNode {
+    fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
+        match ev.msg {
+            PfsMsg::Io(req) => {
+                let now = ctx.now();
+                match req.kind {
+                    IoKind::Write if self.used + req.len <= self.capacity => {
+                        // Absorb into the burst buffer.
+                        self.used += req.len;
+                        self.stats.peak_used = self.stats.peak_used.max(self.used);
+                        self.stats.absorbed_writes += 1;
+                        self.stats.absorbed_bytes += req.len;
+                        self.dirty
+                            .entry((req.file, req.ost))
+                            .or_default()
+                            .push((req.obj_offset, req.len));
+                        self.drain_queue.push_back(DrainChunk {
+                            file: req.file,
+                            ost: req.ost,
+                            obj_offset: req.obj_offset,
+                            len: req.len,
+                        });
+                        let queue_delay = self.ssd.queue_delay(now);
+                        let completion =
+                            self.ssd.access(now, IoKind::Write, req.obj_offset, req.len);
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.ssd_pending
+                            .insert(token, SsdPending::Absorb { req, queue_delay });
+                        ctx.send_self(completion.since(now), PfsMsg::DeviceDone { token });
+                        self.start_drains(ctx);
+                    }
+                    IoKind::Read
+                        if self.dirty_covers(req.file, req.ost, req.obj_offset, req.len) =>
+                    {
+                        // Serve from the buffer.
+                        self.stats.cached_reads += 1;
+                        let queue_delay = self.ssd.queue_delay(now);
+                        let completion =
+                            self.ssd.access(now, IoKind::Read, req.obj_offset, req.len);
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.ssd_pending
+                            .insert(token, SsdPending::CachedRead { req, queue_delay });
+                        ctx.send_self(completion.since(now), PfsMsg::DeviceDone { token });
+                    }
+                    _ => self.forward(req, ctx),
+                }
+            }
+            PfsMsg::DeviceDone { token } => {
+                match self
+                    .ssd_pending
+                    .remove(&token)
+                    .expect("SSD completion for unknown token")
+                {
+                    SsdPending::Absorb { req, queue_delay }
+                    | SsdPending::CachedRead { req, queue_delay } => {
+                        self.reply_to_client(&req, true, queue_delay, ctx);
+                    }
+                }
+            }
+            PfsMsg::IoDone(rep) => {
+                match self
+                    .oss_pending
+                    .remove(&rep.id)
+                    .expect("OSS reply for unknown request")
+                {
+                    OssPending::Forwarded { orig } => {
+                        self.reply_to_client(&orig, false, rep.queue_delay, ctx);
+                    }
+                    OssPending::Drain { chunk } => {
+                        self.used = self.used.saturating_sub(chunk.len);
+                        self.stats.drains_completed += 1;
+                        self.active_drains -= 1;
+                        self.remove_dirty(&chunk);
+                        self.start_drains(ctx);
+                    }
+                }
+            }
+            other => panic!("I/O node received unexpected message: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::fabric::Fabric;
+    use crate::msg::IoRequest;
+    use crate::oss::Oss;
+    use pioeval_des::{SimConfig, Simulation};
+    use pioeval_types::SimTime;
+
+    struct Collector {
+        replies: Vec<(SimTime, IoReply)>,
+    }
+    impl Entity<PfsMsg> for Collector {
+        fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
+            if let PfsMsg::IoDone(rep) = ev.msg {
+                self.replies.push((ctx.now(), rep));
+            }
+        }
+    }
+
+    /// A tiny world: client-side collector, one I/O node, storage fabric,
+    /// one OSS with one HDD OST.
+    fn setup(capacity: u64) -> (Simulation<PfsMsg>, EntityId, EntityId, EntityId) {
+        let mut sim = Simulation::new(SimConfig::default());
+        let sfab = sim.add_entity(
+            "storage-fabric",
+            Box::new(Fabric::new(crate::config::FabricConfig::ten_gbe())),
+        );
+        let oss = sim.add_entity(
+            "oss0",
+            Box::new(Oss::new(
+                0,
+                1,
+                DeviceConfig::hdd(),
+                SimDuration::from_secs(1),
+            )),
+        );
+        let ionode = sim.add_entity(
+            "ionode0",
+            Box::new(IoNode::new(
+                DeviceConfig::nvme(),
+                capacity,
+                2,
+                sfab,
+                vec![oss],
+            )),
+        );
+        let client = sim.add_entity("client", Box::new(Collector { replies: vec![] }));
+        (sim, ionode, client, oss)
+    }
+
+    fn write_req(id: u64, client: EntityId, offset: u64, len: u64) -> PfsMsg {
+        PfsMsg::Io(IoRequest {
+            id,
+            reply_to: client,
+            reply_via: vec![],
+            kind: IoKind::Write,
+            file: FileId::new(0),
+            ost: OstId::new(0),
+            obj_offset: offset,
+            len,
+        })
+    }
+
+    fn read_req(id: u64, client: EntityId, offset: u64, len: u64) -> PfsMsg {
+        PfsMsg::Io(IoRequest {
+            id,
+            reply_to: client,
+            reply_via: vec![],
+            kind: IoKind::Read,
+            file: FileId::new(0),
+            ost: OstId::new(0),
+            obj_offset: offset,
+            len,
+        })
+    }
+
+    #[test]
+    fn absorbed_write_acks_at_ssd_speed_then_drains() {
+        let (mut sim, ionode, client, _) = setup(1 << 30);
+        // 20 MB write: SSD (2 GB/s) acks in ~10 ms; HDD (140 MB/s) drain
+        // takes ~143 ms.
+        sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 20_000_000));
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].1.from_burst_buffer);
+        assert!(replies[0].0 < SimTime::from_millis(30), "ack too slow: {}", replies[0].0);
+        let node = sim.entity_ref::<IoNode>(ionode).unwrap();
+        assert!(node.fully_drained());
+        assert_eq!(node.stats.absorbed_writes, 1);
+        assert_eq!(node.stats.drains_completed, 1);
+        // Simulation end time reflects the drain reaching the HDD.
+        assert!(sim.now() >= SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn full_buffer_degrades_to_write_through() {
+        let (mut sim, ionode, client, _) = setup(1_000_000); // 1 MB buffer
+        sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 900_000));
+        sim.schedule(SimTime::from_micros(1), ionode, write_req(2, client, 900_000, 900_000));
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        assert_eq!(replies.len(), 2);
+        let r1 = &replies.iter().find(|(_, r)| r.id == 1).unwrap().1;
+        let r2 = &replies.iter().find(|(_, r)| r.id == 2).unwrap().1;
+        assert!(r1.from_burst_buffer);
+        assert!(!r2.from_burst_buffer, "second write should bypass the full buffer");
+        let node = sim.entity_ref::<IoNode>(ionode).unwrap();
+        assert_eq!(node.stats.forwarded, 1);
+    }
+
+    #[test]
+    fn read_hits_buffered_data_misses_go_to_oss() {
+        let (mut sim, ionode, client, _) = setup(1 << 30);
+        sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 4096));
+        // Read of buffered region shortly after the write (before the
+        // ~4 ms HDD drain completes): served from SSD.
+        sim.schedule(SimTime::from_micros(100), ionode, read_req(2, client, 0, 4096));
+        // Read of an unbuffered region: forwarded.
+        sim.schedule(SimTime::from_micros(100), ionode, read_req(3, client, 1 << 20, 4096));
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        let r2 = &replies.iter().find(|(_, r)| r.id == 2).unwrap().1;
+        let r3 = &replies.iter().find(|(_, r)| r.id == 3).unwrap().1;
+        assert!(r2.from_burst_buffer);
+        assert!(!r3.from_burst_buffer);
+    }
+
+    #[test]
+    fn dirty_coverage_requires_full_overlap() {
+        let node = {
+            let (mut sim, ionode, client, _) = setup(1 << 30);
+            sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 4096));
+            sim.schedule(SimTime::ZERO, ionode, write_req(2, client, 8192, 4096));
+            // Stop before drains complete so extents are still dirty.
+            let cfg = SimConfig {
+                time_limit: Some(SimTime::from_millis(1)),
+                ..SimConfig::default()
+            };
+            let _ = cfg;
+            sim.run();
+            let n = sim.entity_ref::<IoNode>(ionode).unwrap();
+            (
+                n.dirty_covers(FileId::new(0), OstId::new(0), 0, 4096),
+                n.dirty_covers(FileId::new(0), OstId::new(0), 4096, 4096),
+                n.dirty_covers(FileId::new(0), OstId::new(0), 0, 12288),
+            )
+        };
+        // After full drain nothing is covered.
+        assert_eq!(node, (false, false, false));
+    }
+
+    #[test]
+    fn coverage_merges_adjacent_extents() {
+        let mut n = IoNode::new(
+            DeviceConfig::nvme(),
+            1 << 30,
+            1,
+            EntityId(0),
+            vec![EntityId(0)],
+        );
+        let key = (FileId::new(1), OstId::new(0));
+        n.dirty.insert(key, vec![(4096, 4096), (0, 4096)]);
+        assert!(n.dirty_covers(FileId::new(1), OstId::new(0), 0, 8192));
+        assert!(n.dirty_covers(FileId::new(1), OstId::new(0), 1000, 2000));
+        assert!(!n.dirty_covers(FileId::new(1), OstId::new(0), 0, 8193));
+        assert!(!n.dirty_covers(FileId::new(1), OstId::new(0), 10000, 10));
+    }
+}

@@ -1,0 +1,244 @@
+//! The simulated wire protocol.
+//!
+//! All entities in the storage simulation exchange [`PfsMsg`] values.
+//! Data and metadata requests carry an explicit *reply route* (the chain
+//! of fabric entities a reply must traverse), so servers need no routing
+//! tables; forwarding layers (the burst-buffer I/O nodes) rewrite the
+//! route when they proxy requests, exactly as an I/O forwarding daemon
+//! would.
+
+use crate::striping::Layout;
+use pioeval_des::EntityId;
+use pioeval_types::{FileId, IoKind, MetaOp, OstId, SimDuration};
+
+/// Correlates replies with outstanding requests (unique per requester).
+pub type RequestId = u64;
+
+/// Fixed protocol header size added to every message, bytes.
+pub const HEADER_BYTES: u64 = 256;
+
+/// A data-path RPC: read or write one contiguous object extent on one OST.
+#[derive(Clone, Debug)]
+pub struct IoRequest {
+    /// Requester-unique id echoed in the reply.
+    pub id: RequestId,
+    /// Entity to deliver the reply to.
+    pub reply_to: EntityId,
+    /// Fabric chain the reply traverses (outermost hop first).
+    pub reply_via: Vec<EntityId>,
+    /// Read or write.
+    pub kind: IoKind,
+    /// The logical file (for statistics and burst-buffer caching).
+    pub file: FileId,
+    /// Target OST (global index).
+    pub ost: OstId,
+    /// Offset within the file's backing object on that OST.
+    pub obj_offset: u64,
+    /// Transfer length in bytes.
+    pub len: u64,
+}
+
+impl IoRequest {
+    /// Bytes this request occupies on the wire (header + payload for
+    /// writes; header only for reads).
+    pub fn wire_size(&self) -> u64 {
+        match self.kind {
+            IoKind::Write => HEADER_BYTES + self.len,
+            IoKind::Read => HEADER_BYTES,
+        }
+    }
+}
+
+/// Completion of an [`IoRequest`].
+#[derive(Clone, Debug)]
+pub struct IoReply {
+    /// Echoed request id.
+    pub id: RequestId,
+    /// Echoed direction.
+    pub kind: IoKind,
+    /// Echoed file.
+    pub file: FileId,
+    /// Echoed OST.
+    pub ost: OstId,
+    /// Echoed length.
+    pub len: u64,
+    /// True if a burst buffer absorbed/served this request.
+    pub from_burst_buffer: bool,
+    /// Time the request spent queued at the serving device.
+    pub queue_delay: SimDuration,
+}
+
+impl IoReply {
+    /// Bytes this reply occupies on the wire (header + payload for reads).
+    pub fn wire_size(&self) -> u64 {
+        match self.kind {
+            IoKind::Read => HEADER_BYTES + self.len,
+            IoKind::Write => HEADER_BYTES,
+        }
+    }
+}
+
+/// A metadata RPC against the MDS.
+#[derive(Clone, Debug)]
+pub struct MetaRequest {
+    /// Requester-unique id echoed in the reply.
+    pub id: RequestId,
+    /// Entity to deliver the reply to.
+    pub reply_to: EntityId,
+    /// Fabric chain the reply traverses (outermost hop first).
+    pub reply_via: Vec<EntityId>,
+    /// Which namespace/attribute operation.
+    pub op: MetaOp,
+    /// Target file (or directory for `Mkdir`/`Readdir`).
+    pub file: FileId,
+    /// Size observed by the client (applied on `Close`/`Fsync`, mirroring
+    /// Lustre's lazy size-on-MDS update).
+    pub size_hint: u64,
+}
+
+/// Completion of a [`MetaRequest`].
+#[derive(Clone, Debug)]
+pub struct MetaReply {
+    /// Echoed request id.
+    pub id: RequestId,
+    /// Echoed operation.
+    pub op: MetaOp,
+    /// Echoed file.
+    pub file: FileId,
+    /// The file's layout (returned by `Create`/`Open`).
+    pub layout: Option<Layout>,
+    /// The file's size as known by the MDS (returned by `Stat`).
+    pub size: u64,
+    /// Time the request spent queued at the MDS.
+    pub queue_delay: SimDuration,
+}
+
+/// A message in transit through a fabric: deliver `payload` to `dst`,
+/// charging `size` bytes of serialization.
+#[derive(Clone, Debug)]
+pub struct NetPacket {
+    /// Next-hop destination entity (a server, client, or another fabric).
+    pub dst: EntityId,
+    /// Wire size in bytes.
+    pub size: u64,
+    /// The message to deliver.
+    pub payload: Box<PfsMsg>,
+}
+
+/// Every message exchanged in the storage simulation.
+#[derive(Clone, Debug)]
+pub enum PfsMsg {
+    /// To a fabric entity: forward this packet.
+    Route(NetPacket),
+    /// To an OSS or I/O node: a data request.
+    Io(IoRequest),
+    /// To a requester: data request completion.
+    IoDone(IoReply),
+    /// To the MDS: a metadata request.
+    Meta(MetaRequest),
+    /// To a requester: metadata completion.
+    MetaDone(MetaReply),
+    /// Server-internal: a device finished the access identified by `token`.
+    DeviceDone {
+        /// Correlation token chosen by the server.
+        token: u64,
+    },
+    /// Generic client-side timer (application compute phases, retries).
+    Timer {
+        /// Correlation token chosen by the client.
+        token: u64,
+    },
+    /// Application-level message between client entities (collective-I/O
+    /// shuffles, barrier tokens). Opaque to the storage system; `bytes`
+    /// is the logical payload size charged on the wire.
+    App {
+        /// Application-chosen correlation tag.
+        tag: u64,
+        /// Logical payload bytes.
+        bytes: u64,
+    },
+    /// Kick-off message delivered to client entities at their start time.
+    Start,
+}
+
+/// Build a routed message: wraps `msg` so that it traverses the fabric
+/// chain `via` (in order) and is finally delivered to `dst`. Returns the
+/// first-hop entity to send to and the message to send.
+///
+/// With an empty `via`, the message is addressed directly to `dst`
+/// (useful for tests with co-located entities).
+pub fn route(via: &[EntityId], dst: EntityId, size: u64, msg: PfsMsg) -> (EntityId, PfsMsg) {
+    let mut current_dst = dst;
+    let mut current = msg;
+    for hop in via.iter().rev() {
+        current = PfsMsg::Route(NetPacket {
+            dst: current_dst,
+            size,
+            payload: Box::new(current),
+        });
+        current_dst = *hop;
+    }
+    (current_dst, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_account_for_payload_direction() {
+        let mut req = IoRequest {
+            id: 1,
+            reply_to: EntityId(0),
+            reply_via: vec![],
+            kind: IoKind::Write,
+            file: FileId::new(0),
+            ost: OstId::new(0),
+            obj_offset: 0,
+            len: 4096,
+        };
+        assert_eq!(req.wire_size(), HEADER_BYTES + 4096);
+        req.kind = IoKind::Read;
+        assert_eq!(req.wire_size(), HEADER_BYTES);
+
+        let mut rep = IoReply {
+            id: 1,
+            kind: IoKind::Read,
+            file: FileId::new(0),
+            ost: OstId::new(0),
+            len: 4096,
+            from_burst_buffer: false,
+            queue_delay: SimDuration::ZERO,
+        };
+        assert_eq!(rep.wire_size(), HEADER_BYTES + 4096);
+        rep.kind = IoKind::Write;
+        assert_eq!(rep.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn route_nests_hops_in_order() {
+        let (first, msg) = route(
+            &[EntityId(10), EntityId(20)],
+            EntityId(30),
+            512,
+            PfsMsg::Start,
+        );
+        assert_eq!(first, EntityId(10));
+        let PfsMsg::Route(p1) = msg else {
+            panic!("expected outer Route")
+        };
+        assert_eq!(p1.dst, EntityId(20));
+        let PfsMsg::Route(p2) = *p1.payload else {
+            panic!("expected inner Route")
+        };
+        assert_eq!(p2.dst, EntityId(30));
+        assert!(matches!(*p2.payload, PfsMsg::Start));
+    }
+
+    #[test]
+    fn route_with_no_hops_is_direct() {
+        let (first, msg) = route(&[], EntityId(5), 0, PfsMsg::Start);
+        assert_eq!(first, EntityId(5));
+        assert!(matches!(msg, PfsMsg::Start));
+    }
+}

@@ -1,0 +1,195 @@
+//! Server-side statistics.
+//!
+//! The paper's measurement phase (Sec. IV-A2) lists *server-side
+//! statistics* — load on the servers and storage devices — as a data
+//! source complementary to client-side profiles and traces. Servers in
+//! this simulator collect exactly that: binned per-OST transfer
+//! timelines and aggregate service counters, which `pioeval-monitor`
+//! later correlates with job-level logs.
+
+use pioeval_types::{IoKind, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A binned time series of bytes transferred by one OST (or the MDS's
+/// operation count series, reusing the write lane).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OstTimeline {
+    /// Width of one bin.
+    pub bin_width: SimDuration,
+    /// Bytes read per bin.
+    pub read_bins: Vec<u64>,
+    /// Bytes written per bin.
+    pub write_bins: Vec<u64>,
+}
+
+impl OstTimeline {
+    /// A new empty timeline with the given bin width.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        OstTimeline {
+            bin_width,
+            read_bins: Vec::new(),
+            write_bins: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` transferred at time `t`.
+    pub fn record(&mut self, t: SimTime, kind: IoKind, bytes: u64) {
+        let bin = (t.as_nanos() / self.bin_width.as_nanos()) as usize;
+        let lane = match kind {
+            IoKind::Read => &mut self.read_bins,
+            IoKind::Write => &mut self.write_bins,
+        };
+        if lane.len() <= bin {
+            lane.resize(bin + 1, 0);
+        }
+        lane[bin] += bytes;
+        // Keep both lanes the same length for easy zipping.
+        let len = self.read_bins.len().max(self.write_bins.len());
+        self.read_bins.resize(len, 0);
+        self.write_bins.resize(len, 0);
+    }
+
+    /// Number of bins recorded.
+    pub fn len(&self) -> usize {
+        self.read_bins.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.read_bins.is_empty()
+    }
+
+    /// Bandwidth series: (bin start seconds, read MiB/s, write MiB/s).
+    pub fn bandwidth_series(&self) -> Vec<(f64, f64, f64)> {
+        let w = self.bin_width.as_secs_f64();
+        let mib = 1024.0 * 1024.0;
+        self.read_bins
+            .iter()
+            .zip(&self.write_bins)
+            .enumerate()
+            .map(|(i, (&r, &wr))| {
+                (i as f64 * w, r as f64 / mib / w, wr as f64 / mib / w)
+            })
+            .collect()
+    }
+
+    /// Peak total (read+write) bytes in any single bin.
+    pub fn peak_bin_bytes(&self) -> u64 {
+        self.read_bins
+            .iter()
+            .zip(&self.write_bins)
+            .map(|(r, w)| r + w)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes across all bins.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bins.iter().sum::<u64>() + self.write_bins.iter().sum::<u64>()
+    }
+}
+
+/// Aggregate service statistics for one server (OSS or MDS).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes read from devices.
+    pub bytes_read: u64,
+    /// Bytes written to devices.
+    pub bytes_written: u64,
+    /// Total queueing delay requests experienced at devices.
+    pub queue_wait: SimDuration,
+    /// Total device busy time.
+    pub busy: SimDuration,
+    /// Positioning (seek) operations paid at devices.
+    pub seeks: u64,
+    /// Per-OST (or per-service) transfer timelines.
+    pub timelines: Vec<OstTimeline>,
+    /// Per-lane device busy time (filled by the server's finalize step).
+    pub lane_busy: Vec<SimDuration>,
+}
+
+impl ServerStats {
+    /// New stats with `lanes` timelines of the given bin width.
+    pub fn new(lanes: usize, bin_width: SimDuration) -> Self {
+        ServerStats {
+            requests: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            queue_wait: SimDuration::ZERO,
+            busy: SimDuration::ZERO,
+            seeks: 0,
+            timelines: (0..lanes).map(|_| OstTimeline::new(bin_width)).collect(),
+            lane_busy: vec![SimDuration::ZERO; lanes],
+        }
+    }
+
+    /// Mean queueing delay per request.
+    pub fn mean_queue_wait(&self) -> SimDuration {
+        if self.requests == 0 {
+            return SimDuration::ZERO;
+        }
+        self.queue_wait / self.requests
+    }
+
+    /// Load imbalance across lanes: max/mean of per-lane total bytes
+    /// (1.0 = perfectly balanced). Returns 0 when nothing was recorded.
+    pub fn imbalance(&self) -> f64 {
+        let totals: Vec<u64> = self.timelines.iter().map(|t| t.total_bytes()).collect();
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 || totals.is_empty() {
+            return 0.0;
+        }
+        let mean = sum as f64 / totals.len() as f64;
+        *totals.iter().max().unwrap() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_bins_by_time() {
+        let mut t = OstTimeline::new(SimDuration::from_secs(1));
+        t.record(SimTime::from_millis(100), IoKind::Read, 10);
+        t.record(SimTime::from_millis(2500), IoKind::Write, 20);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.read_bins, vec![10, 0, 0]);
+        assert_eq!(t.write_bins, vec![0, 0, 20]);
+        assert_eq!(t.total_bytes(), 30);
+        assert_eq!(t.peak_bin_bytes(), 20);
+    }
+
+    #[test]
+    fn bandwidth_series_converts_units() {
+        let mut t = OstTimeline::new(SimDuration::from_secs(2));
+        t.record(SimTime::ZERO, IoKind::Read, 4 * 1024 * 1024);
+        let series = t.bandwidth_series();
+        assert_eq!(series.len(), 1);
+        let (start, read, write) = series[0];
+        assert_eq!(start, 0.0);
+        assert_eq!(read, 2.0); // 4 MiB over 2 s
+        assert_eq!(write, 0.0);
+    }
+
+    #[test]
+    fn imbalance_detects_hot_lane() {
+        let mut s = ServerStats::new(4, SimDuration::from_secs(1));
+        s.timelines[0].record(SimTime::ZERO, IoKind::Write, 300);
+        for lane in 1..4 {
+            s.timelines[lane].record(SimTime::ZERO, IoKind::Write, 100);
+        }
+        // mean = 150, max = 300 → imbalance 2.0
+        assert!((s.imbalance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = ServerStats::new(2, SimDuration::from_secs(1));
+        assert_eq!(s.mean_queue_wait(), SimDuration::ZERO);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+}

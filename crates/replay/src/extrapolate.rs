@@ -1,0 +1,273 @@
+//! Rank extrapolation of traces (ScalaIOExtrap-style).
+//!
+//! Luo et al.'s insight: in SPMD applications, the trace of rank `r` is
+//! usually the trace of rank 0 with offsets and file ids that are affine
+//! functions of `r`. Given traces from a *small* run, fit, per trace
+//! position, `offset(r) = a + b·r` and `file(r) = c + d·r` across the
+//! observed ranks; if the fit is exact, programs for any larger rank
+//! count can be synthesized without ever running at scale.
+
+use crate::replayer::{replay_programs, ReplayMode};
+use pioeval_iostack::StackOp;
+use pioeval_types::{Error, FileId, LayerRecord, Result};
+
+/// Outcome of an extrapolation.
+#[derive(Clone, Debug)]
+pub struct ExtrapolationReport {
+    /// Programs for the target rank count.
+    pub programs: Vec<Vec<StackOp>>,
+    /// Trace positions whose offsets fitted the affine-in-rank model.
+    pub exact_positions: usize,
+    /// Total trace positions.
+    pub total_positions: usize,
+}
+
+impl ExtrapolationReport {
+    /// Fraction of positions that fitted exactly (1.0 = perfect SPMD).
+    pub fn fit_fraction(&self) -> f64 {
+        if self.total_positions == 0 {
+            return 1.0;
+        }
+        self.exact_positions as f64 / self.total_positions as f64
+    }
+}
+
+/// Fit `v(r) = a + b·r` exactly over observed values; `None` if the
+/// points are not collinear.
+fn affine_fit(values: &[i128]) -> Option<(i128, i128)> {
+    match values.len() {
+        0 => None,
+        1 => Some((values[0], 0)),
+        _ => {
+            let a = values[0];
+            let b = values[1] - values[0];
+            values
+                .iter()
+                .enumerate()
+                .all(|(r, &v)| v == a + b * r as i128)
+                .then_some((a, b))
+        }
+    }
+}
+
+/// Extrapolate traces from a small run to `target_ranks` programs.
+///
+/// `per_rank_records` are the captured records of the small run (one
+/// entry per source rank, in rank order). All source ranks must have the
+/// same program *shape* (same op kinds and lengths per position) — the
+/// SPMD precondition; a mismatch is an error, matching ScalaIOExtrap's
+/// scope.
+pub fn extrapolate(
+    per_rank_records: &[Vec<LayerRecord>],
+    target_ranks: u32,
+) -> Result<ExtrapolationReport> {
+    let source_ranks = per_rank_records.len();
+    if source_ranks == 0 {
+        return Err(Error::Model("no source traces".into()));
+    }
+    // Build replayable programs (timed, to preserve burst structure).
+    let base = replay_programs(per_rank_records, ReplayMode::Timed);
+    let len = base[0].len();
+    if base.iter().any(|p| p.len() != len) {
+        return Err(Error::Model(
+            "source ranks have different trace lengths (not SPMD)".into(),
+        ));
+    }
+
+    // Per position, fit offset and file id as affine functions of rank.
+    let mut offset_fits: Vec<Option<(i128, i128)>> = Vec::with_capacity(len);
+    let mut file_fits: Vec<Option<(i128, i128)>> = Vec::with_capacity(len);
+    let mut exact = 0usize;
+    for pos in 0..len {
+        match &base[0][pos] {
+            StackOp::PosixData { kind, len: l, .. } => {
+                // Shape check + gather values.
+                let mut offsets = Vec::with_capacity(source_ranks);
+                let mut files = Vec::with_capacity(source_ranks);
+                for p in &base {
+                    let StackOp::PosixData {
+                        kind: k2,
+                        len: l2,
+                        offset,
+                        file,
+                    } = &p[pos]
+                    else {
+                        return Err(Error::Model(format!(
+                            "op shape mismatch at position {pos}"
+                        )));
+                    };
+                    if k2 != kind || l2 != l {
+                        return Err(Error::Model(format!(
+                            "op parameter mismatch at position {pos}"
+                        )));
+                    }
+                    offsets.push(*offset as i128);
+                    files.push(file.0 as i128);
+                }
+                let of = affine_fit(&offsets);
+                let ff = affine_fit(&files);
+                if of.is_some() && ff.is_some() {
+                    exact += 1;
+                }
+                offset_fits.push(of);
+                file_fits.push(ff);
+            }
+            StackOp::PosixMeta { .. } => {
+                let mut files = Vec::with_capacity(source_ranks);
+                for p in &base {
+                    let StackOp::PosixMeta { file, .. } = &p[pos] else {
+                        return Err(Error::Model(format!(
+                            "op shape mismatch at position {pos}"
+                        )));
+                    };
+                    files.push(file.0 as i128);
+                }
+                let ff = affine_fit(&files);
+                if ff.is_some() {
+                    exact += 1;
+                }
+                offset_fits.push(None);
+                file_fits.push(ff);
+            }
+            _ => {
+                // Compute gaps: rank-independent (use rank 0's).
+                exact += 1;
+                offset_fits.push(None);
+                file_fits.push(None);
+            }
+        }
+    }
+
+    // Synthesize target programs. Positions that did not fit fall back
+    // to cloning the source rank `r % source_ranks` (documented
+    // degradation, counted against fit_fraction).
+    let programs: Vec<Vec<StackOp>> = (0..target_ranks)
+        .map(|rank| {
+            let fallback = &base[rank as usize % source_ranks];
+            (0..len)
+                .map(|pos| match &base[0][pos] {
+                    StackOp::PosixData {
+                        kind, len: l, ..
+                    } => {
+                        let offset = offset_fits[pos]
+                            .map(|(a, b)| (a + b * rank as i128).max(0) as u64);
+                        let file = file_fits[pos]
+                            .map(|(a, b)| (a + b * rank as i128).max(0) as u32);
+                        match (offset, file) {
+                            (Some(offset), Some(file)) => StackOp::PosixData {
+                                kind: *kind,
+                                file: FileId::new(file),
+                                offset,
+                                len: *l,
+                            },
+                            _ => fallback[pos].clone(),
+                        }
+                    }
+                    StackOp::PosixMeta { op, .. } => match file_fits[pos] {
+                        Some((a, b)) => StackOp::PosixMeta {
+                            op: *op,
+                            file: FileId::new((a + b * rank as i128).max(0) as u32),
+                        },
+                        None => fallback[pos].clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect()
+        })
+        .collect();
+
+    Ok(ExtrapolationReport {
+        programs,
+        exact_positions: exact,
+        total_positions: len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{IoKind, Layer, MetaOp, Rank, RecordOp, SimTime};
+
+    /// Simulated SPMD traces: rank r writes at offset r*1MB in file 100,
+    /// to a per-rank scratch file 200+r, with a stat in between.
+    fn spmd_traces(ranks: u32) -> Vec<Vec<LayerRecord>> {
+        (0..ranks)
+            .map(|r| {
+                let mk = |op, file, offset, len, t0: u64, t1: u64| LayerRecord {
+                    layer: Layer::Posix,
+                    rank: Rank::new(r),
+                    file: FileId::new(file),
+                    op,
+                    offset,
+                    len,
+                    start: SimTime::from_micros(t0),
+                    end: SimTime::from_micros(t1),
+                };
+                vec![
+                    mk(RecordOp::Meta(MetaOp::Open), 100, 0, 0, 0, 5),
+                    mk(
+                        RecordOp::Data(IoKind::Write),
+                        100,
+                        r as u64 * (1 << 20),
+                        4096,
+                        5,
+                        10,
+                    ),
+                    mk(RecordOp::Meta(MetaOp::Create), 200 + r, 0, 0, 10, 15),
+                    mk(RecordOp::Data(IoKind::Write), 200 + r, 0, 8192, 15, 25),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn affine_patterns_extrapolate_exactly() {
+        let report = extrapolate(&spmd_traces(4), 16).unwrap();
+        assert_eq!(report.fit_fraction(), 1.0);
+        assert_eq!(report.programs.len(), 16);
+        // Rank 10: shared-file write at 10 MiB, scratch file 210.
+        let p = &report.programs[10];
+        assert!(p.iter().any(|op| matches!(
+            op,
+            StackOp::PosixData { offset, .. } if *offset == 10 << 20
+        )));
+        assert!(p.iter().any(|op| matches!(
+            op,
+            StackOp::PosixMeta { op: MetaOp::Create, file } if file.0 == 210
+        )));
+    }
+
+    #[test]
+    fn single_source_rank_extrapolates_constants() {
+        let report = extrapolate(&spmd_traces(1), 4).unwrap();
+        assert_eq!(report.fit_fraction(), 1.0);
+        // With one source rank the slope is 0: every target rank clones
+        // rank 0's offsets — the correct degenerate answer.
+        for p in &report.programs {
+            assert!(p.iter().any(|op| matches!(
+                op,
+                StackOp::PosixData { offset: 0, len: 4096, .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn non_affine_positions_fall_back() {
+        let mut traces = spmd_traces(3);
+        // Corrupt rank 2's shared write offset: no longer affine.
+        if let Some(r) = traces[2].get_mut(1) {
+            r.offset = 12345;
+        }
+        let report = extrapolate(&traces, 6).unwrap();
+        assert!(report.fit_fraction() < 1.0);
+        assert_eq!(report.programs.len(), 6);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut traces = spmd_traces(2);
+        traces[1].pop();
+        assert!(extrapolate(&traces, 4).is_err());
+        assert!(extrapolate(&[], 4).is_err());
+    }
+}

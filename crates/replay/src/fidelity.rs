@@ -1,0 +1,125 @@
+//! Replay fidelity validation.
+//!
+//! Record-and-replay is only trustworthy when the replayed run matches
+//! the original (Haghdoost et al. devote a FAST paper to exactly this).
+//! [`compare`] reduces two runs to the metrics the literature validates:
+//! byte volumes, operation counts, and makespan ratio.
+
+use pioeval_iostack::JobResult;
+
+/// Comparison of an original run and its replay.
+#[derive(Clone, Copy, Debug)]
+pub struct FidelityReport {
+    /// Original bytes written / read.
+    pub original_bytes: (u64, u64),
+    /// Replayed bytes written / read.
+    pub replayed_bytes: (u64, u64),
+    /// Original POSIX op count (data + meta).
+    pub original_ops: u64,
+    /// Replayed POSIX op count.
+    pub replayed_ops: u64,
+    /// Replay makespan / original makespan (1.0 = perfect timing).
+    pub makespan_ratio: f64,
+}
+
+impl FidelityReport {
+    /// Byte volumes identical in both directions.
+    pub fn bytes_exact(&self) -> bool {
+        self.original_bytes == self.replayed_bytes
+    }
+
+    /// Op counts identical.
+    pub fn ops_exact(&self) -> bool {
+        self.original_ops == self.replayed_ops
+    }
+
+    /// Timing within `tolerance` (e.g. 0.1 = ±10%).
+    pub fn timing_within(&self, tolerance: f64) -> bool {
+        (self.makespan_ratio - 1.0).abs() <= tolerance
+    }
+}
+
+fn ops_of(result: &JobResult) -> u64 {
+    result
+        .counters
+        .iter()
+        .map(|c| c.posix_reads + c.posix_writes + c.posix_meta)
+        .sum()
+}
+
+/// Compare an original run with its replay.
+pub fn compare(original: &JobResult, replayed: &JobResult) -> FidelityReport {
+    let om = original
+        .makespan()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    let rm = replayed
+        .makespan()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    FidelityReport {
+        original_bytes: (original.bytes_written(), original.bytes_read()),
+        replayed_bytes: (replayed.bytes_written(), replayed.bytes_read()),
+        original_ops: ops_of(original),
+        replayed_ops: ops_of(replayed),
+        makespan_ratio: if om > 0.0 { rm / om } else { f64::NAN },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_iostack::RankCounters;
+    use pioeval_types::{SimDuration, SimTime};
+
+    fn result(bytes_written: u64, ops: u64, makespan_ms: u64) -> JobResult {
+        let counters = RankCounters {
+            posix_writes: ops,
+            bytes_written,
+            ..RankCounters::default()
+        };
+        JobResult {
+            records: vec![vec![]],
+            counters: vec![counters],
+            profiles: vec![Default::default()],
+            finished: vec![Some(SimTime::from_millis(makespan_ms))],
+            start: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn perfect_replay_scores_perfectly() {
+        let a = result(1000, 5, 100);
+        let b = result(1000, 5, 100);
+        let r = compare(&a, &b);
+        assert!(r.bytes_exact());
+        assert!(r.ops_exact());
+        assert!(r.timing_within(0.001));
+    }
+
+    #[test]
+    fn timing_drift_is_reported() {
+        let a = result(1000, 5, 100);
+        let b = result(1000, 5, 130);
+        let r = compare(&a, &b);
+        assert!(r.bytes_exact());
+        assert!((r.makespan_ratio - 1.3).abs() < 1e-9);
+        assert!(!r.timing_within(0.1));
+        assert!(r.timing_within(0.35));
+    }
+
+    #[test]
+    fn volume_mismatch_is_reported() {
+        let a = result(1000, 5, 100);
+        let b = result(900, 4, 100);
+        let r = compare(&a, &b);
+        assert!(!r.bytes_exact());
+        assert!(!r.ops_exact());
+    }
+
+    #[test]
+    fn makespan_helpers() {
+        let a = result(1, 1, 100);
+        assert_eq!(a.makespan(), Some(SimDuration::from_millis(100)));
+    }
+}

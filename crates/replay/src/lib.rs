@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # pioeval-replay
+//!
+//! Record-and-replay and replay-based modeling (paper Sec. IV-A1 and
+//! IV-B3): the tools that turn collected traces back into executable
+//! workloads.
+//!
+//! * [`replayer`] — turn a traced run's POSIX records back into rank
+//!   programs, preserving inter-operation gaps (timed mode) or stripping
+//!   them (as-fast-as-possible mode) — the classic trace replay tool.
+//! * [`mod@extrapolate`] — ScalaIOExtrap-style (Luo et al.) rank
+//!   extrapolation: fit each trace position's offset/file as a linear
+//!   function of rank from a small run, then synthesize programs for a
+//!   larger rank count.
+//! * [`benchgen`] — Hao-et-al-style automatic benchmark generation:
+//!   compress the trace's token stream with a grammar, then emit both a
+//!   human-readable looped "benchmark source" and a runnable program.
+//! * [`fidelity`] — compare an original run with its replay (byte
+//!   volumes, op counts, makespan ratio) — the validation step the
+//!   record-and-replay literature insists on.
+
+pub mod benchgen;
+pub mod extrapolate;
+pub mod fidelity;
+pub mod replayer;
+
+pub use benchgen::{generate_benchmark, GeneratedBenchmark};
+pub use extrapolate::{extrapolate, ExtrapolationReport};
+pub use fidelity::{compare, FidelityReport};
+pub use replayer::{replay_programs, ReplayMode};

@@ -1,0 +1,188 @@
+//! Trace replay: POSIX-layer records → executable rank programs.
+
+use pioeval_iostack::StackOp;
+use pioeval_types::{Layer, LayerRecord, RecordOp, SimDuration, SimTime};
+
+/// Replay timing mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Preserve inter-operation gaps as compute phases — reproduces the
+    /// original burstiness (what storage-system studies need).
+    Timed,
+    /// Strip gaps — issue back to back (stress replay, HFPlayer's AFAP).
+    AsFastAsPossible,
+}
+
+/// Build per-rank replay programs from captured records.
+///
+/// Only POSIX-layer records are replayed (they are what reached the file
+/// system); records of one rank must be passed in one slice, in time
+/// order (as produced by the instrumented stack).
+pub fn replay_programs(
+    per_rank_records: &[Vec<LayerRecord>],
+    mode: ReplayMode,
+) -> Vec<Vec<StackOp>> {
+    per_rank_records
+        .iter()
+        .map(|records| replay_one(records, mode))
+        .collect()
+}
+
+fn replay_one(records: &[LayerRecord], mode: ReplayMode) -> Vec<StackOp> {
+    // POSIX records carry the I/O. In timed mode, Application-layer
+    // records are also replayed: compute records reproduce think time
+    // (including any lead-in before the first I/O), and barrier records
+    // are re-issued as real barriers so the replayed job keeps the
+    // original's cross-rank synchronization (without them, ranks drift
+    // and the replayed makespan undershoots on barrier-heavy jobs).
+    let timed = mode == ReplayMode::Timed;
+    let mut ops = Vec::new();
+    let mut last_end = None;
+    for r in records {
+        let app_op = if r.layer == Layer::Application && timed {
+            match r.op {
+                RecordOp::Barrier => Some(true),
+                RecordOp::Compute => Some(false),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if r.layer != Layer::Posix && app_op.is_none() {
+            continue;
+        }
+        if timed {
+            if let Some(prev) = last_end {
+                let gap = r.start.since(prev);
+                if !gap.is_zero() {
+                    ops.push(StackOp::Compute(gap));
+                }
+            }
+        }
+        match app_op {
+            Some(true) => {
+                ops.push(StackOp::Barrier);
+                // Subsequent gaps are measured from the recorded *release*
+                // (r.end): the recorded wait is not replayed as compute —
+                // the re-issued barrier regenerates it from actual skew.
+                last_end = Some(r.end.max(last_end.unwrap_or(r.end)));
+                continue;
+            }
+            Some(false) => {
+                // A compute phase: replay its recorded duration. The
+                // record's absolute start also anchors any lead-in before
+                // the first I/O (gap from the previous record covers it).
+                if last_end.is_none() && !r.start.since(SimTime::ZERO).is_zero() {
+                    // Lead-in before the very first record of the rank.
+                    ops.push(StackOp::Compute(r.start.since(SimTime::ZERO)));
+                }
+                ops.push(StackOp::Compute(r.elapsed()));
+                last_end = Some(r.end);
+                continue;
+            }
+            None => {}
+        }
+        if last_end.is_none() && timed && !r.start.since(SimTime::ZERO).is_zero() {
+            ops.push(StackOp::Compute(r.start.since(SimTime::ZERO)));
+        }
+        match r.op {
+            RecordOp::Data(kind) => ops.push(StackOp::PosixData {
+                kind,
+                file: r.file,
+                offset: r.offset,
+                len: r.len,
+            }),
+            RecordOp::Meta(op) => ops.push(StackOp::PosixMeta { op, file: r.file }),
+            _ => continue,
+        }
+        last_end = Some(r.end);
+    }
+    ops
+}
+
+/// Total compute (gap) time a timed replay will inject for one rank.
+pub fn injected_gap_time(program: &[StackOp]) -> SimDuration {
+    program.iter().fold(SimDuration::ZERO, |acc, op| match op {
+        StackOp::Compute(d) => acc + *d,
+        _ => acc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{FileId, IoKind, MetaOp, Rank, SimTime};
+
+    fn rec(op: RecordOp, offset: u64, len: u64, t0: u64, t1: u64) -> LayerRecord {
+        LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(1),
+            op,
+            offset,
+            len,
+            start: SimTime::from_micros(t0),
+            end: SimTime::from_micros(t1),
+        }
+    }
+
+    fn sample() -> Vec<LayerRecord> {
+        vec![
+            rec(RecordOp::Meta(MetaOp::Create), 0, 0, 0, 10),
+            rec(RecordOp::Data(IoKind::Write), 0, 4096, 10, 20),
+            // 80 us of application think time here.
+            rec(RecordOp::Data(IoKind::Write), 4096, 4096, 100, 110),
+            rec(RecordOp::Meta(MetaOp::Close), 0, 0, 110, 112),
+        ]
+    }
+
+    #[test]
+    fn timed_replay_preserves_gaps() {
+        let programs = replay_programs(&[sample()], ReplayMode::Timed);
+        let p = &programs[0];
+        assert_eq!(injected_gap_time(p), SimDuration::from_micros(80));
+        // Ops preserved in order.
+        let datas = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { .. }))
+            .count();
+        let metas = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixMeta { .. }))
+            .count();
+        assert_eq!((datas, metas), (2, 2));
+    }
+
+    #[test]
+    fn afap_replay_strips_gaps() {
+        let programs = replay_programs(&[sample()], ReplayMode::AsFastAsPossible);
+        let p = &programs[0];
+        assert!(p.iter().all(|op| !matches!(op, StackOp::Compute(_))));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn non_posix_records_are_ignored() {
+        let mut records = sample();
+        let mut mpi = rec(RecordOp::Data(IoKind::Write), 0, 9999, 5, 6);
+        mpi.layer = Layer::MpiIo;
+        records.push(mpi);
+        let programs = replay_programs(&[records], ReplayMode::AsFastAsPossible);
+        assert!(!programs[0].iter().any(
+            |op| matches!(op, StackOp::PosixData { len: 9999, .. })
+        ));
+    }
+
+    #[test]
+    fn offsets_and_kinds_survive_replay() {
+        let programs = replay_programs(&[sample()], ReplayMode::Timed);
+        let data: Vec<(u64, u64)> = programs[0]
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(data, vec![(0, 4096), (4096, 4096)]);
+    }
+}

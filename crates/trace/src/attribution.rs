@@ -1,0 +1,164 @@
+//! Per-layer time attribution (Recorder-style analysis).
+//!
+//! Multi-level traces exist to answer "where does the time go?": of the
+//! time an application spends inside an HDF5 call, how much is the
+//! HDF5 library itself, how much the MPI-IO middleware, how much the
+//! POSIX/storage layer? [`attribute`] computes, per rank, each layer's
+//! *inclusive* time (inside any call at that layer) and *exclusive*
+//! time (inclusive minus the time spent in captured calls of the next
+//! layer down) — the standard flame-graph-style reduction over the
+//! layered records of one rank.
+
+use pioeval_types::{Layer, LayerRecord, SimDuration};
+
+/// One layer's attribution for one rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerTime {
+    /// The layer.
+    pub layer: Layer,
+    /// Calls observed at this layer.
+    pub calls: usize,
+    /// Total time inside calls at this layer.
+    pub inclusive: SimDuration,
+    /// Inclusive time minus time inside the next layer down's calls
+    /// (that overlap these calls) — the layer's own cost.
+    pub exclusive: SimDuration,
+}
+
+/// Merge overlapping intervals and return their total length.
+fn union_len(mut intervals: Vec<(u64, u64)>) -> u64 {
+    if intervals.is_empty() {
+        return 0;
+    }
+    intervals.sort_unstable();
+    let mut total = 0;
+    let (mut cur_s, mut cur_e) = intervals[0];
+    for (s, e) in intervals.into_iter().skip(1) {
+        if s > cur_e {
+            total += cur_e - cur_s;
+            cur_s = s;
+            cur_e = e;
+        } else {
+            cur_e = cur_e.max(e);
+        }
+    }
+    total + (cur_e - cur_s)
+}
+
+/// Total time inside `inner` intervals that overlaps any `outer` interval.
+fn overlap_len(outer: &[(u64, u64)], inner: &[(u64, u64)]) -> u64 {
+    // Clip every inner interval against the outer set, then union.
+    let mut clipped = Vec::new();
+    for &(is, ie) in inner {
+        for &(os, oe) in outer {
+            let s = is.max(os);
+            let e = ie.min(oe);
+            if s < e {
+                clipped.push((s, e));
+            }
+        }
+    }
+    union_len(clipped)
+}
+
+/// Attribute one rank's records across the stack layers, top down.
+///
+/// Only library layers are attributed (Hdf5, MpiIo, Posix); Application
+/// records (compute, barriers) are not I/O time.
+pub fn attribute(records: &[LayerRecord]) -> Vec<LayerTime> {
+    let layer_intervals = |layer: Layer| -> Vec<(u64, u64)> {
+        records
+            .iter()
+            .filter(|r| {
+                r.layer == layer
+                    && (r.op.is_data()
+                        || matches!(r.op, pioeval_types::RecordOp::Meta(_)))
+            })
+            .map(|r| (r.start.as_nanos(), r.end.as_nanos()))
+            .collect()
+    };
+    let stack = [Layer::Hdf5, Layer::MpiIo, Layer::Posix];
+    let all: Vec<Vec<(u64, u64)>> = stack.iter().map(|&l| layer_intervals(l)).collect();
+    stack
+        .iter()
+        .enumerate()
+        .map(|(i, &layer)| {
+            let inclusive = union_len(all[i].clone());
+            let below = if i + 1 < stack.len() {
+                overlap_len(&all[i], &all[i + 1])
+            } else {
+                0
+            };
+            LayerTime {
+                layer,
+                calls: all[i].len(),
+                inclusive: SimDuration::from_nanos(inclusive),
+                exclusive: SimDuration::from_nanos(inclusive.saturating_sub(below)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{FileId, IoKind, Rank, RecordOp, SimTime};
+
+    fn rec(layer: Layer, t0: u64, t1: u64) -> LayerRecord {
+        LayerRecord {
+            layer,
+            rank: Rank::new(0),
+            file: FileId::new(1),
+            op: RecordOp::Data(IoKind::Write),
+            offset: 0,
+            len: 100,
+            start: SimTime::from_micros(t0),
+            end: SimTime::from_micros(t1),
+        }
+    }
+
+    #[test]
+    fn exclusive_subtracts_nested_layers() {
+        // H5 call [0,100] wrapping an MPI call [10,90] wrapping POSIX
+        // calls [20,40] and [50,80].
+        let records = vec![
+            rec(Layer::Hdf5, 0, 100),
+            rec(Layer::MpiIo, 10, 90),
+            rec(Layer::Posix, 20, 40),
+            rec(Layer::Posix, 50, 80),
+        ];
+        let att = attribute(&records);
+        let get = |l: Layer| att.iter().find(|a| a.layer == l).copied().unwrap();
+        assert_eq!(get(Layer::Hdf5).inclusive, SimDuration::from_micros(100));
+        // H5 exclusive = 100 - 80 (MPI inside it).
+        assert_eq!(get(Layer::Hdf5).exclusive, SimDuration::from_micros(20));
+        // MPI exclusive = 80 - (20 + 30) POSIX.
+        assert_eq!(get(Layer::MpiIo).exclusive, SimDuration::from_micros(30));
+        // POSIX keeps everything (bottom captured layer).
+        assert_eq!(get(Layer::Posix).exclusive, SimDuration::from_micros(50));
+        assert_eq!(get(Layer::Posix).calls, 2);
+    }
+
+    #[test]
+    fn non_nested_posix_does_not_reduce_mpi() {
+        // A POSIX call outside the MPI call's span.
+        let records = vec![rec(Layer::MpiIo, 0, 50), rec(Layer::Posix, 60, 90)];
+        let att = attribute(&records);
+        let mpi = att.iter().find(|a| a.layer == Layer::MpiIo).unwrap();
+        assert_eq!(mpi.exclusive, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn overlapping_intervals_union_correctly() {
+        assert_eq!(union_len(vec![(0, 10), (5, 15), (20, 30)]), 25);
+        assert_eq!(union_len(vec![]), 0);
+        assert_eq!(overlap_len(&[(0, 10)], &[(5, 20)]), 5);
+        assert_eq!(overlap_len(&[(0, 10), (20, 30)], &[(5, 25)]), 10);
+    }
+
+    #[test]
+    fn empty_records_are_fine() {
+        let att = attribute(&[]);
+        assert!(att.iter().all(|a| a.calls == 0 && a.inclusive.is_zero()));
+    }
+}

@@ -1,0 +1,237 @@
+//! Trace serialization: a compact binary format and a JSON form.
+//!
+//! The binary format exists so the tracing-volume experiments (paper
+//! Sec. IV-A2: traces "produce much more log data" than profiles) measure
+//! a realistic on-disk footprint, not a pretty-printed one.
+//!
+//! Layout: 8-byte magic/version header, a u64 record count, then one
+//! 43-byte little-endian record per entry.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pioeval_types::{
+    Error, FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, Result,
+    SimTime,
+};
+
+const MAGIC: &[u8; 6] = b"PIOTRC";
+const VERSION: u16 = 1;
+
+fn layer_code(l: Layer) -> u8 {
+    match l {
+        Layer::Application => 0,
+        Layer::Hdf5 => 1,
+        Layer::MpiIo => 2,
+        Layer::Posix => 3,
+    }
+}
+
+fn layer_from(code: u8) -> Result<Layer> {
+    Ok(match code {
+        0 => Layer::Application,
+        1 => Layer::Hdf5,
+        2 => Layer::MpiIo,
+        3 => Layer::Posix,
+        other => return Err(Error::Codec(format!("bad layer code {other}"))),
+    })
+}
+
+fn op_code(op: RecordOp) -> u8 {
+    match op {
+        RecordOp::Data(IoKind::Read) => 0,
+        RecordOp::Data(IoKind::Write) => 1,
+        RecordOp::CollectiveData(IoKind::Read) => 2,
+        RecordOp::CollectiveData(IoKind::Write) => 3,
+        RecordOp::Barrier => 4,
+        RecordOp::Compute => 5,
+        RecordOp::Meta(m) => 6 + m.index() as u8,
+    }
+}
+
+fn op_from(code: u8) -> Result<RecordOp> {
+    Ok(match code {
+        0 => RecordOp::Data(IoKind::Read),
+        1 => RecordOp::Data(IoKind::Write),
+        2 => RecordOp::CollectiveData(IoKind::Read),
+        3 => RecordOp::CollectiveData(IoKind::Write),
+        4 => RecordOp::Barrier,
+        5 => RecordOp::Compute,
+        c @ 6..=13 => RecordOp::Meta(MetaOp::ALL[(c - 6) as usize]),
+        other => return Err(Error::Codec(format!("bad op code {other}"))),
+    })
+}
+
+/// Encode records into the compact binary trace format.
+pub fn encode_records(records: &[LayerRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + records.len() * 43);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        buf.put_u8(layer_code(r.layer));
+        buf.put_u8(op_code(r.op));
+        buf.put_u32_le(r.rank.0);
+        buf.put_u32_le(r.file.0);
+        buf.put_u64_le(r.offset);
+        buf.put_u64_le(r.len);
+        buf.put_u64_le(r.start.as_nanos());
+        buf.put_u64_le(r.end.as_nanos());
+    }
+    buf.freeze()
+}
+
+/// Decode a binary trace produced by [`encode_records`].
+pub fn decode_records(mut data: &[u8]) -> Result<Vec<LayerRecord>> {
+    if data.len() < 16 {
+        return Err(Error::Codec("truncated header".into()));
+    }
+    let mut magic = [0u8; 6];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Codec("bad magic".into()));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(Error::Codec(format!("unsupported version {version}")));
+    }
+    let count = data.get_u64_le() as usize;
+    if data.remaining() < count * 42 {
+        return Err(Error::Codec(format!(
+            "truncated body: {} bytes for {count} records",
+            data.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let layer = layer_from(data.get_u8())?;
+        let op = op_from(data.get_u8())?;
+        let rank = Rank::new(data.get_u32_le());
+        let file = FileId::new(data.get_u32_le());
+        let offset = data.get_u64_le();
+        let len = data.get_u64_le();
+        let start = SimTime::from_nanos(data.get_u64_le());
+        let end = SimTime::from_nanos(data.get_u64_le());
+        out.push(LayerRecord {
+            layer,
+            rank,
+            file,
+            op,
+            offset,
+            len,
+            start,
+            end,
+        });
+    }
+    Ok(out)
+}
+
+/// Serialize records to JSON (interchange/debugging form).
+pub fn records_to_json(records: &[LayerRecord]) -> String {
+    serde_json::to_string(records).expect("LayerRecord serialization cannot fail")
+}
+
+/// Parse records from JSON.
+pub fn records_from_json(json: &str) -> Result<Vec<LayerRecord>> {
+    serde_json::from_str(json).map_err(|e| Error::Codec(e.to_string()))
+}
+
+/// Serialize a characterization profile to JSON (what a Darshan-style
+/// tool writes per job — the "log volume" of profile mode). The map of
+/// (rank, file) records is flattened to a list, since JSON object keys
+/// must be strings.
+pub fn profile_to_json(profile: &crate::profile::JobProfile) -> String {
+    #[derive(serde::Serialize)]
+    struct ProfileView<'a> {
+        records: Vec<&'a crate::profile::FileRecord>,
+        barriers: u64,
+        compute_time_ns: u64,
+    }
+    let view = ProfileView {
+        records: profile.records.values().collect(),
+        barriers: profile.barriers,
+        compute_time_ns: profile.compute_time.as_nanos(),
+    };
+    serde_json::to_string(&view).expect("profile view serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<LayerRecord> {
+        let mut out = Vec::new();
+        for i in 0..20u64 {
+            out.push(LayerRecord {
+                layer: Layer::ALL[(i % 4) as usize],
+                rank: Rank::new((i % 3) as u32),
+                file: FileId::new((i % 5) as u32),
+                op: match i % 5 {
+                    0 => RecordOp::Data(IoKind::Read),
+                    1 => RecordOp::Data(IoKind::Write),
+                    2 => RecordOp::Meta(MetaOp::ALL[(i % 8) as usize]),
+                    3 => RecordOp::Barrier,
+                    _ => RecordOp::CollectiveData(IoKind::Write),
+                },
+                offset: i * 4096,
+                len: 4096,
+                start: SimTime::from_micros(i),
+                end: SimTime::from_micros(i + 1),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let records = sample();
+        let encoded = encode_records(&records);
+        let decoded = decode_records(&encoded).unwrap();
+        assert_eq!(records, decoded);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let records = sample();
+        let json = records_to_json(&records);
+        let decoded = records_from_json(&json).unwrap();
+        assert_eq!(records, decoded);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let records = sample();
+        let bin = encode_records(&records).len();
+        let json = records_to_json(&records).len();
+        assert!(bin * 2 < json, "binary {bin} vs json {json}");
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(decode_records(b"short").is_err());
+        let mut bad_magic = encode_records(&sample()).to_vec();
+        bad_magic[0] = b'X';
+        assert!(decode_records(&bad_magic).is_err());
+        let mut truncated = encode_records(&sample()).to_vec();
+        truncated.truncate(30);
+        assert!(decode_records(&truncated).is_err());
+        assert!(records_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn all_op_codes_roundtrip() {
+        for code in 0..14u8 {
+            let op = op_from(code).unwrap();
+            assert_eq!(op_code(op), code);
+        }
+        assert!(op_from(99).is_err());
+        for l in Layer::ALL {
+            assert_eq!(layer_from(layer_code(l)).unwrap(), l);
+        }
+        assert!(layer_from(9).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let encoded = encode_records(&[]);
+        assert_eq!(decode_records(&encoded).unwrap(), Vec::new());
+    }
+}

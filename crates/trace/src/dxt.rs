@@ -1,0 +1,171 @@
+//! DXT-style extended tracing.
+//!
+//! Darshan eXtended Tracing (Xu et al.) retains, per (rank, file), the
+//! full list of data segments with timestamps — the middle ground between
+//! counters and full multi-layer traces. [`DxtTrace`] filters an
+//! instrumented run down to exactly that view and offers the queries DXT
+//! analysis scripts typically run (per-rank timelines, bandwidth
+//! estimation, slowest segments).
+
+use pioeval_types::{FileId, IoKind, Layer, LayerRecord, Rank, RecordOp, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One traced data segment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset.
+    pub offset: u64,
+    /// Byte length.
+    pub len: u64,
+    /// Call entry time.
+    pub start: SimTime,
+    /// Call return time.
+    pub end: SimTime,
+}
+
+/// A DXT-style trace: per-(rank, file) segment lists, in time order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DxtTrace {
+    /// Segments keyed by (rank, file).
+    pub segments: BTreeMap<(u32, u32), Vec<Segment>>,
+}
+
+impl DxtTrace {
+    /// Build from captured records (POSIX-layer data records only).
+    pub fn from_records(records: &[LayerRecord]) -> Self {
+        let mut t = DxtTrace::default();
+        for r in records {
+            if r.layer == Layer::Posix {
+                if let RecordOp::Data(kind) = r.op {
+                    t.segments
+                        .entry((r.rank.0, r.file.0))
+                        .or_default()
+                        .push(Segment {
+                            kind,
+                            offset: r.offset,
+                            len: r.len,
+                            start: r.start,
+                            end: r.end,
+                        });
+                }
+            }
+        }
+        for segs in t.segments.values_mut() {
+            segs.sort_by_key(|s| s.start);
+        }
+        t
+    }
+
+    /// Total traced segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.values().map(Vec::len).sum()
+    }
+
+    /// Segments of one (rank, file) stream.
+    pub fn stream(&self, rank: Rank, file: FileId) -> &[Segment] {
+        self.segments
+            .get(&(rank.0, file.0))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The `n` slowest segments by (end - start), descending.
+    pub fn slowest(&self, n: usize) -> Vec<(Rank, FileId, Segment)> {
+        let mut all: Vec<(Rank, FileId, Segment)> = self
+            .segments
+            .iter()
+            .flat_map(|(&(r, f), segs)| {
+                segs.iter()
+                    .map(move |&s| (Rank::new(r), FileId::new(f), s))
+            })
+            .collect();
+        all.sort_by_key(|x| std::cmp::Reverse(x.2.end.since(x.2.start)));
+        all.truncate(n);
+        all
+    }
+
+    /// Observed bandwidth of one segment, MiB/s.
+    pub fn segment_bandwidth(seg: &Segment) -> f64 {
+        pioeval_types::throughput_mib_s(seg.len, seg.end.since(seg.start).as_secs_f64())
+    }
+
+    /// Job I/O activity span: (first segment start, last segment end).
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        let mut lo = SimTime::MAX;
+        let mut hi = SimTime::ZERO;
+        for segs in self.segments.values() {
+            for s in segs {
+                lo = lo.min(s.start);
+                hi = hi.max(s.end);
+            }
+        }
+        (lo != SimTime::MAX).then_some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(rank: u32, file: u32, offset: u64, len: u64, t0: u64, t1: u64) -> LayerRecord {
+        LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(rank),
+            file: FileId::new(file),
+            op: RecordOp::Data(IoKind::Write),
+            offset,
+            len,
+            start: SimTime::from_micros(t0),
+            end: SimTime::from_micros(t1),
+        }
+    }
+
+    #[test]
+    fn filters_to_posix_data_only() {
+        let mut meta = data(0, 1, 0, 0, 0, 1);
+        meta.op = RecordOp::Meta(pioeval_types::MetaOp::Open);
+        let mut mpi = data(0, 1, 0, 100, 0, 1);
+        mpi.layer = Layer::MpiIo;
+        let records = vec![meta, mpi, data(0, 1, 0, 100, 1, 2)];
+        let t = DxtTrace::from_records(&records);
+        assert_eq!(t.num_segments(), 1);
+        assert_eq!(t.stream(Rank::new(0), FileId::new(1)).len(), 1);
+    }
+
+    #[test]
+    fn streams_are_time_ordered() {
+        let records = vec![data(0, 1, 100, 10, 5, 6), data(0, 1, 0, 10, 1, 2)];
+        let t = DxtTrace::from_records(&records);
+        let s = t.stream(Rank::new(0), FileId::new(1));
+        assert!(s[0].start < s[1].start);
+    }
+
+    #[test]
+    fn slowest_ranks_by_duration() {
+        let records = vec![
+            data(0, 1, 0, 10, 0, 100),
+            data(1, 1, 0, 10, 0, 10),
+            data(2, 1, 0, 10, 0, 50),
+        ];
+        let t = DxtTrace::from_records(&records);
+        let slow = t.slowest(2);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].0, Rank::new(0));
+        assert_eq!(slow[1].0, Rank::new(2));
+    }
+
+    #[test]
+    fn span_and_bandwidth() {
+        let records = vec![data(0, 1, 0, 1 << 20, 0, 1_000_000)]; // 1 MiB in 1 s
+        let t = DxtTrace::from_records(&records);
+        let (lo, hi) = t.span().unwrap();
+        assert_eq!(lo, SimTime::ZERO);
+        assert_eq!(hi, SimTime::from_secs(1));
+        let seg = t.stream(Rank::new(0), FileId::new(1))[0];
+        assert!((DxtTrace::segment_bandwidth(&seg) - 1.0).abs() < 1e-9);
+        assert!(DxtTrace::default().span().is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! Grammar-based trace compression (Re-Pair).
+//!
+//! Hao et al. compress I/O traces by factoring repeated structure (loop
+//! bodies) into grammar rules before generating replay benchmarks. We
+//! implement the Re-Pair algorithm (Larsson & Moffat), a member of the
+//! same grammar-compression family as the suffix-tree approach in the
+//! paper: repeatedly replace the most frequent adjacent symbol pair with
+//! a fresh nonterminal until no pair repeats. Expansion is exact, so
+//! compression is lossless over the token stream.
+
+use std::collections::HashMap;
+
+/// A straight-line grammar: a start sequence plus binary rules.
+///
+/// Symbols `< terminals` are terminals; symbol `terminals + i` expands to
+/// `rules[i].0, rules[i].1`.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    /// Number of terminal symbols.
+    pub terminals: u32,
+    /// Binary rules, in creation order.
+    pub rules: Vec<(u32, u32)>,
+    /// The start sequence.
+    pub sequence: Vec<u32>,
+}
+
+impl Grammar {
+    /// Total grammar size in symbols (sequence + rule bodies) — the
+    /// standard grammar-compression size measure.
+    pub fn size(&self) -> usize {
+        self.sequence.len() + 2 * self.rules.len()
+    }
+
+    /// Expand back to the original terminal sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        // Memoized rule expansions, computed in creation order (rules
+        /* only reference earlier rules or terminals). */
+        let mut expansions: Vec<Vec<u32>> = Vec::with_capacity(self.rules.len());
+        for &(a, b) in &self.rules {
+            let mut body = Vec::new();
+            for &s in &[a, b] {
+                if s < self.terminals {
+                    body.push(s);
+                } else {
+                    body.extend_from_slice(&expansions[(s - self.terminals) as usize]);
+                }
+            }
+            expansions.push(body);
+        }
+        let mut out = Vec::new();
+        for &s in &self.sequence {
+            if s < self.terminals {
+                out.push(s);
+            } else {
+                out.extend_from_slice(&expansions[(s - self.terminals) as usize]);
+            }
+        }
+        out
+    }
+
+    /// Compression ratio: original length / grammar size (≥ 1 for
+    /// compressible inputs; < 1 possible only on tiny inputs).
+    pub fn ratio(&self, original_len: usize) -> f64 {
+        if self.size() == 0 {
+            return 1.0;
+        }
+        original_len as f64 / self.size() as f64
+    }
+}
+
+/// The Re-Pair compressor.
+pub struct RePair;
+
+impl RePair {
+    /// Compress `seq` (symbols drawn from `0..terminals`).
+    pub fn compress(seq: &[u32], terminals: u32) -> Grammar {
+        let mut sequence = seq.to_vec();
+        let mut rules: Vec<(u32, u32)> = Vec::new();
+        let mut next_symbol = terminals;
+
+        loop {
+            // Count non-overlapping digram occurrences, left to right.
+            let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+            let mut i = 0;
+            while i + 1 < sequence.len() {
+                let d = (sequence[i], sequence[i + 1]);
+                let c = counts.entry(d).or_insert(0);
+                *c += 1;
+                // Skip the middle of an overlapping run (aaa counts one).
+                if i + 2 < sequence.len()
+                    && sequence[i + 2] == d.0
+                    && d.0 == d.1
+                {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            // Most frequent digram; deterministic tie-break.
+            let Some((&digram, &count)) = counts
+                .iter()
+                .max_by_key(|(&d, &c)| (c, std::cmp::Reverse(d)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+
+            // Replace non-overlapping occurrences left to right.
+            let rule_sym = next_symbol;
+            next_symbol += 1;
+            rules.push(digram);
+            let mut out = Vec::with_capacity(sequence.len());
+            let mut i = 0;
+            while i < sequence.len() {
+                if i + 1 < sequence.len()
+                    && (sequence[i], sequence[i + 1]) == digram
+                {
+                    out.push(rule_sym);
+                    i += 2;
+                } else {
+                    out.push(sequence[i]);
+                    i += 1;
+                }
+            }
+            sequence = out;
+        }
+
+        Grammar {
+            terminals,
+            rules,
+            sequence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(seq: &[u32], terminals: u32) -> Grammar {
+        let g = RePair::compress(seq, terminals);
+        assert_eq!(g.expand(), seq, "expansion mismatch");
+        g
+    }
+
+    #[test]
+    fn repetitive_sequence_compresses_well() {
+        // 64 repetitions of the 4-symbol motif 0,1,2,3.
+        let seq: Vec<u32> = (0..256).map(|i| i % 4).collect();
+        let g = roundtrip(&seq, 4);
+        assert!(
+            g.size() < 32,
+            "repetitive input should compress far below {} (got {})",
+            seq.len(),
+            g.size()
+        );
+        assert!(g.ratio(seq.len()) > 8.0);
+    }
+
+    #[test]
+    fn random_like_sequence_stays_flat() {
+        // All-distinct symbols: nothing repeats, no rules.
+        let seq: Vec<u32> = (0..100).collect();
+        let g = roundtrip(&seq, 100);
+        assert!(g.rules.is_empty());
+        assert_eq!(g.size(), 100);
+    }
+
+    #[test]
+    fn overlapping_runs_are_counted_safely() {
+        // "aaaa" — digram (a,a) occurs twice non-overlapping.
+        let seq = vec![0, 0, 0, 0];
+        let g = roundtrip(&seq, 1);
+        assert!(g.size() <= 4);
+        // "aaa" — only one non-overlapping occurrence; no rule.
+        let seq = vec![0, 0, 0];
+        let g = roundtrip(&seq, 1);
+        assert!(g.rules.is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let g = roundtrip(&[], 4);
+        assert_eq!(g.size(), 0);
+        let g = roundtrip(&[2], 4);
+        assert_eq!(g.size(), 1);
+    }
+
+    #[test]
+    fn nested_structure_compresses_hierarchically() {
+        // (ab)^2 c (ab)^2 c ... — rules should stack.
+        let motif = [0u32, 1, 0, 1, 2];
+        let seq: Vec<u32> = motif.iter().copied().cycle().take(60).collect();
+        let g = roundtrip(&seq, 3);
+        assert!(g.rules.len() >= 2);
+        assert!(g.ratio(seq.len()) > 3.0);
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let seq: Vec<u32> = (0..200).map(|i| (i * 7) % 5).collect();
+        let g1 = RePair::compress(&seq, 5);
+        let g2 = RePair::compress(&seq, 5);
+        assert_eq!(g1.rules, g2.rules);
+        assert_eq!(g1.sequence, g2.sequence);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # pioeval-trace
+//!
+//! The *measurements and statistics collection* phase of the paper's
+//! evaluation cycle (Sec. IV-A2): tools that reduce the instrumented I/O
+//! stack's [`pioeval_types::LayerRecord`] stream into the two classical
+//! data products —
+//!
+//! * **Profiles** ([`profile`]) — Darshan-style characterization
+//!   counters: op counts, byte totals, transfer-size histograms, access
+//!   pattern fractions, shared-file detection. Small, cheap, lossy.
+//! * **Traces** ([`dxt`], [`codec`]) — DXT/Recorder-style chronological
+//!   records with timestamps. Large, costly, lossless.
+//!
+//! plus [`grammar`]-based trace compression (Hao et al.-style) and the
+//! [`tokenize`] step that turns record streams into symbol streams for
+//! compression and for the pattern-prediction models in `pioeval-model`.
+
+pub mod attribution;
+pub mod codec;
+pub mod dxt;
+pub mod grammar;
+pub mod profile;
+pub mod tokenize;
+
+pub use attribution::{attribute, LayerTime};
+pub use codec::{decode_records, encode_records, profile_to_json, records_from_json, records_to_json};
+pub use dxt::DxtTrace;
+pub use grammar::{Grammar, RePair};
+pub use profile::{FileRecord, JobProfile};
+pub use tokenize::{TokenStream, Tokenizer};

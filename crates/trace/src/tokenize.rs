@@ -1,0 +1,206 @@
+//! Trace tokenization: record streams → symbol streams.
+//!
+//! Pattern-based trace compression (Hao et al.) and grammar-based I/O
+//! prediction (Omnisc'IO) both operate on a *symbol* alphabet, where one
+//! symbol captures the repeatable essence of an operation: what it did,
+//! to which file, how many bytes, and at what offset *delta* from the
+//! previous access to that file. Using deltas instead of absolute offsets
+//! is what makes loop iterations map to identical symbols.
+//!
+//! Tokenization is lossless: [`TokenStream::detokenize`] reconstructs the
+//! operation list (absolute offsets are re-derived from the deltas).
+
+use pioeval_types::{FileId, LayerRecord, RecordOp};
+use std::collections::HashMap;
+
+/// The repeatable identity of one operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TokenKey {
+    /// What the operation did.
+    pub op: RecordOp,
+    /// Which file it touched.
+    pub file: u32,
+    /// Offset delta from the previous access's end on the same file.
+    pub delta: i64,
+    /// Transfer length.
+    pub len: u64,
+}
+
+/// Maps operations to dense symbol ids and back.
+#[derive(Clone, Debug, Default)]
+pub struct Tokenizer {
+    dict: HashMap<TokenKey, u32>,
+    rev: Vec<TokenKey>,
+}
+
+impl Tokenizer {
+    /// An empty tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a key, returning its symbol.
+    pub fn intern(&mut self, key: TokenKey) -> u32 {
+        if let Some(&s) = self.dict.get(&key) {
+            return s;
+        }
+        let s = self.rev.len() as u32;
+        self.dict.insert(key, s);
+        self.rev.push(key);
+        s
+    }
+
+    /// The key of a symbol.
+    pub fn key(&self, symbol: u32) -> TokenKey {
+        self.rev[symbol as usize]
+    }
+
+    /// Alphabet size.
+    pub fn num_symbols(&self) -> u32 {
+        self.rev.len() as u32
+    }
+}
+
+/// A tokenized operation stream.
+#[derive(Clone, Debug)]
+pub struct TokenStream {
+    /// The symbol sequence.
+    pub symbols: Vec<u32>,
+    /// The alphabet.
+    pub tokenizer: Tokenizer,
+}
+
+/// A reconstructed operation (the lossless content of a token stream).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayOp {
+    /// What the operation did.
+    pub op: RecordOp,
+    /// Target file.
+    pub file: FileId,
+    /// Absolute byte offset.
+    pub offset: u64,
+    /// Byte length.
+    pub len: u64,
+}
+
+impl TokenStream {
+    /// Tokenize a record stream (typically one rank's records at one
+    /// layer, in time order).
+    pub fn from_records(records: &[LayerRecord]) -> Self {
+        let mut tokenizer = Tokenizer::new();
+        let mut last_end: HashMap<u32, u64> = HashMap::new();
+        let mut symbols = Vec::with_capacity(records.len());
+        for r in records {
+            let prev = last_end.get(&r.file.0).copied().unwrap_or(0);
+            let delta = r.offset as i64 - prev as i64;
+            if r.op.is_data() {
+                last_end.insert(r.file.0, r.offset + r.len);
+            }
+            symbols.push(tokenizer.intern(TokenKey {
+                op: r.op,
+                file: r.file.0,
+                delta,
+                len: r.len,
+            }));
+        }
+        TokenStream { symbols, tokenizer }
+    }
+
+    /// Reconstruct the operation list (offsets re-derived from deltas).
+    pub fn detokenize(&self) -> Vec<ReplayOp> {
+        let mut last_end: HashMap<u32, u64> = HashMap::new();
+        self.symbols
+            .iter()
+            .map(|&s| {
+                let key = self.tokenizer.key(s);
+                let prev = last_end.get(&key.file).copied().unwrap_or(0);
+                let offset = (prev as i64 + key.delta) as u64;
+                if key.op.is_data() {
+                    last_end.insert(key.file, offset + key.len);
+                }
+                ReplayOp {
+                    op: key.op,
+                    file: FileId::new(key.file),
+                    offset,
+                    len: key.len,
+                }
+            })
+            .collect()
+    }
+
+    /// Stream length in symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{IoKind, Layer, Rank, SimTime};
+
+    fn write_at(file: u32, offset: u64, len: u64) -> LayerRecord {
+        LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(file),
+            op: RecordOp::Data(IoKind::Write),
+            offset,
+            len,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn loop_iterations_share_symbols() {
+        // Sequential 1 KiB writes: every op (including the first, whose
+        // implicit previous end is 0) is (delta=0, len=1024) — a single
+        // repeated symbol.
+        let records: Vec<LayerRecord> =
+            (0..10).map(|i| write_at(1, i * 1024, 1024)).collect();
+        let ts = TokenStream::from_records(&records);
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.tokenizer.num_symbols(), 1);
+        assert_eq!(ts.symbols, [0u32; 10]);
+    }
+
+    #[test]
+    fn detokenize_roundtrips_offsets() {
+        let records = vec![
+            write_at(1, 0, 100),
+            write_at(1, 500, 100), // forward jump
+            write_at(2, 0, 50),    // second file
+            write_at(1, 300, 100), // backward jump
+        ];
+        let ts = TokenStream::from_records(&records);
+        let ops = ts.detokenize();
+        let expect: Vec<(u32, u64, u64)> =
+            records.iter().map(|r| (r.file.0, r.offset, r.len)).collect();
+        let got: Vec<(u32, u64, u64)> =
+            ops.iter().map(|o| (o.file.0, o.offset, o.len)).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn meta_ops_do_not_advance_offsets() {
+        let mut stat = write_at(1, 0, 0);
+        stat.op = RecordOp::Meta(pioeval_types::MetaOp::Stat);
+        let records = vec![write_at(1, 0, 100), stat, write_at(1, 100, 100)];
+        let ts = TokenStream::from_records(&records);
+        let ops = ts.detokenize();
+        assert_eq!(ops[2].offset, 100);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let ts = TokenStream::from_records(&[]);
+        assert!(ts.is_empty());
+        assert!(ts.detokenize().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Framework-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the pioeval framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration value was invalid (message explains which and why).
+    Config(String),
+    /// An I/O operation referenced a file unknown to the namespace.
+    UnknownFile(String),
+    /// A trace or profile could not be decoded.
+    Codec(String),
+    /// A model was used before being trained, or on incompatible data.
+    Model(String),
+    /// A workload description failed to parse (DSL, skeleton descriptor).
+    Parse(String),
+    /// The simulation reached an inconsistent state (bug guard).
+    Sim(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::UnknownFile(m) => write!(f, "unknown file: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Model(m) => write!(f, "model error: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Sim(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Framework-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_class() {
+        assert!(Error::Config("x".into()).to_string().contains("configuration"));
+        assert!(Error::Parse("y".into()).to_string().contains("parse"));
+        let e: Box<dyn std::error::Error> = Box::new(Error::Sim("z".into()));
+        assert!(e.to_string().contains("z"));
+    }
+}

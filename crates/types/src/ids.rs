@@ -1,0 +1,115 @@
+//! Identity newtypes.
+//!
+//! Every actor and object in the simulated storage system gets a dedicated
+//! newtype so that ranks, files, nodes, and storage targets cannot be
+//! confused at compile time — a cheap but effective guard in a codebase
+//! where nearly everything is ultimately an integer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub const fn new(v: u32) -> Self {
+                Self(v)
+            }
+            /// The raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// An MPI-style process rank within a job.
+    Rank,
+    "r"
+);
+id_newtype!(
+    /// A logical file in the simulated namespace.
+    FileId,
+    "f"
+);
+id_newtype!(
+    /// A batch job (one application run).
+    JobId,
+    "job"
+);
+id_newtype!(
+    /// A physical node in the cluster (compute, I/O, or storage).
+    NodeId,
+    "n"
+);
+id_newtype!(
+    /// A compute client (one per compute node in most configurations).
+    ClientId,
+    "c"
+);
+id_newtype!(
+    /// An object storage target (one backing device on an OSS).
+    OstId,
+    "ost"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", Rank::new(3)), "r3");
+        assert_eq!(format!("{:?}", FileId::new(7)), "f7");
+        assert_eq!(format!("{}", OstId::new(12)), "ost12");
+        assert_eq!(format!("{}", JobId::new(1)), "job1");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(Rank::new(1));
+        set.insert(Rank::new(1));
+        set.insert(Rank::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(Rank::new(1) < Rank::new(2));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let r: Rank = 5usize.into();
+        assert_eq!(r.index(), 5);
+        let f: FileId = 9u32.into();
+        assert_eq!(f, FileId::new(9));
+    }
+}

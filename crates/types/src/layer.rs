@@ -1,0 +1,141 @@
+//! Multi-level I/O observation records.
+//!
+//! Recorder (Wang et al.) demonstrated that capturing I/O calls *at every
+//! layer of the stack* — HDF5, MPI-IO, POSIX — is what lets analysis
+//! attribute cost to the right layer. [`LayerRecord`] is that common
+//! record format: the instrumented I/O stack in `pioeval-iostack` emits
+//! them, and the profiling/tracing tools in `pioeval-trace` consume them.
+
+use crate::ids::{FileId, Rank};
+use crate::io::{IoKind, MetaOp};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A layer of the parallel I/O software stack (the paper's Fig. 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Layer {
+    /// The application itself (compute phases, logical ops).
+    Application,
+    /// The high-level library (HDF5-like).
+    Hdf5,
+    /// The I/O middleware (MPI-IO-like).
+    MpiIo,
+    /// The file-system interface (POSIX-like).
+    Posix,
+}
+
+impl Layer {
+    /// All layers, top of the stack first.
+    pub const ALL: [Layer; 4] = [Layer::Application, Layer::Hdf5, Layer::MpiIo, Layer::Posix];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Application => "app",
+            Layer::Hdf5 => "hdf5",
+            Layer::MpiIo => "mpiio",
+            Layer::Posix => "posix",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a layer-level record describes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RecordOp {
+    /// An independent data access.
+    Data(IoKind),
+    /// A collective data access (MPI-IO collective read/write).
+    CollectiveData(IoKind),
+    /// A metadata operation.
+    Meta(MetaOp),
+    /// A synchronization barrier.
+    Barrier,
+    /// An application compute phase.
+    Compute,
+}
+
+impl RecordOp {
+    /// True for (independent or collective) data accesses.
+    pub fn is_data(self) -> bool {
+        matches!(self, RecordOp::Data(_) | RecordOp::CollectiveData(_))
+    }
+
+    /// The data direction, if this is a data access.
+    pub fn io_kind(self) -> Option<IoKind> {
+        match self {
+            RecordOp::Data(k) | RecordOp::CollectiveData(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// One instrumented call at one layer of the I/O stack.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LayerRecord {
+    /// Which layer observed the call.
+    pub layer: Layer,
+    /// The issuing rank.
+    pub rank: Rank,
+    /// The file involved (meaningless for `Barrier`/`Compute`).
+    pub file: FileId,
+    /// What the call did.
+    pub op: RecordOp,
+    /// Byte offset (data ops).
+    pub offset: u64,
+    /// Byte length (data ops), or 0.
+    pub len: u64,
+    /// Call entry time.
+    pub start: SimTime,
+    /// Call return time.
+    pub end: SimTime,
+}
+
+impl LayerRecord {
+    /// Call duration.
+    pub fn elapsed(&self) -> crate::time::SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_op_classification() {
+        assert!(RecordOp::Data(IoKind::Read).is_data());
+        assert!(RecordOp::CollectiveData(IoKind::Write).is_data());
+        assert!(!RecordOp::Meta(MetaOp::Open).is_data());
+        assert_eq!(RecordOp::Data(IoKind::Read).io_kind(), Some(IoKind::Read));
+        assert_eq!(RecordOp::Barrier.io_kind(), None);
+    }
+
+    #[test]
+    fn layers_order_top_down() {
+        assert!(Layer::Application < Layer::Posix);
+        assert_eq!(Layer::ALL.len(), 4);
+        assert_eq!(Layer::MpiIo.name(), "mpiio");
+    }
+
+    #[test]
+    fn elapsed_is_end_minus_start() {
+        let r = LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(0),
+            op: RecordOp::Data(IoKind::Write),
+            offset: 0,
+            len: 10,
+            start: SimTime::from_micros(5),
+            end: SimTime::from_micros(9),
+        };
+        assert_eq!(r.elapsed(), crate::time::SimDuration::from_micros(4));
+    }
+}

@@ -1,0 +1,185 @@
+//! Access-pattern classification.
+//!
+//! Darshan-style characterization reduces an operation stream to pattern
+//! statistics: how many accesses were sequential, consecutive, or random,
+//! what the dominant transfer sizes were, and whether files were accessed
+//! by one rank or shared. [`PatternDetector`] is the streaming classifier
+//! used by the profiling layer in `pioeval-trace`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse access-pattern class for a stream of offsets within one file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Every access begins exactly where the previous one ended.
+    Consecutive,
+    /// Offsets are monotonically non-decreasing but with gaps (strided).
+    Sequential,
+    /// Offsets move backwards or jump irregularly.
+    Random,
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessPattern::Consecutive => "consecutive",
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Streaming classifier over (offset, size) accesses to a single file
+/// from a single rank.
+///
+/// Follows the Darshan counter definitions: an access is *consecutive* if
+/// it starts exactly at the previous end offset, *sequential* if it starts
+/// at or after the previous end offset, and *random* otherwise. The first
+/// access of a stream is counted as sequential (and consecutive if it
+/// starts at offset 0), matching Darshan's convention of comparing against
+/// an initial "last end offset" of zero.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PatternDetector {
+    last_end: u64,
+    /// Total accesses observed.
+    pub total: u64,
+    /// Accesses starting exactly at the previous end offset.
+    pub consecutive: u64,
+    /// Accesses starting at or after the previous end offset.
+    pub sequential: u64,
+    /// Accesses that jumped backwards.
+    pub random: u64,
+}
+
+impl PatternDetector {
+    /// A fresh detector (last end offset = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one access.
+    pub fn observe(&mut self, offset: u64, size: u64) {
+        self.total += 1;
+        if offset == self.last_end {
+            self.consecutive += 1;
+            self.sequential += 1;
+        } else if offset > self.last_end {
+            self.sequential += 1;
+        } else {
+            self.random += 1;
+        }
+        self.last_end = offset + size;
+    }
+
+    /// Fraction of accesses classified sequential (includes consecutive).
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sequential as f64 / self.total as f64
+    }
+
+    /// Fraction of accesses classified consecutive.
+    pub fn consecutive_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.consecutive as f64 / self.total as f64
+    }
+
+    /// Fraction of accesses classified random.
+    pub fn random_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.random as f64 / self.total as f64
+    }
+
+    /// The dominant pattern class for this stream.
+    ///
+    /// A stream is *consecutive* if ≥90% of accesses were consecutive,
+    /// *sequential* if ≥75% were sequential, otherwise *random*. The
+    /// thresholds mirror the heuristics used in I/O characterization
+    /// studies (e.g. Luu et al., HPDC'15) to bucket jobs by pattern.
+    pub fn classify(&self) -> AccessPattern {
+        if self.total == 0 {
+            return AccessPattern::Sequential;
+        }
+        if self.consecutive_fraction() >= 0.9 {
+            AccessPattern::Consecutive
+        } else if self.sequential_fraction() >= 0.75 {
+            AccessPattern::Sequential
+        } else {
+            AccessPattern::Random
+        }
+    }
+
+    /// Merge another detector's counts into this one (for cross-rank
+    /// aggregation; the positional `last_end` of `other` is discarded).
+    pub fn merge(&mut self, other: &PatternDetector) {
+        self.total += other.total;
+        self.consecutive += other.consecutive;
+        self.sequential += other.sequential;
+        self.random += other.random;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_consecutive_stream() {
+        let mut d = PatternDetector::new();
+        for i in 0..10 {
+            d.observe(i * 100, 100);
+        }
+        assert_eq!(d.consecutive, 10);
+        assert_eq!(d.classify(), AccessPattern::Consecutive);
+        assert!((d.sequential_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_stream_is_sequential() {
+        let mut d = PatternDetector::new();
+        // 100-byte accesses every 1000 bytes: forward jumps with gaps.
+        for i in 0..10 {
+            d.observe(i * 1000, 100);
+        }
+        assert_eq!(d.classify(), AccessPattern::Sequential);
+        assert_eq!(d.consecutive, 1); // only the first (offset 0) access
+        assert_eq!(d.random, 0);
+    }
+
+    #[test]
+    fn backwards_stream_is_random() {
+        let mut d = PatternDetector::new();
+        for i in (0..10).rev() {
+            d.observe(i * 100, 100);
+        }
+        assert_eq!(d.classify(), AccessPattern::Random);
+        assert!(d.random_fraction() > 0.5);
+    }
+
+    #[test]
+    fn empty_stream_defaults_sequential() {
+        let d = PatternDetector::new();
+        assert_eq!(d.classify(), AccessPattern::Sequential);
+        assert_eq!(d.sequential_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = PatternDetector::new();
+        a.observe(0, 10);
+        a.observe(10, 10);
+        let mut b = PatternDetector::new();
+        b.observe(100, 10);
+        b.observe(0, 10); // backwards
+        a.merge(&b);
+        assert_eq!(a.total, 4);
+        assert_eq!(a.random, 1);
+    }
+}

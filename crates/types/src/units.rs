@@ -1,0 +1,133 @@
+//! Byte sizes, bandwidth, and unit helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Byte-size constructors (`bytes::mib(4)` reads better than `4 << 20`).
+pub mod bytes {
+    /// Kibibytes → bytes.
+    pub const fn kib(n: u64) -> u64 {
+        n * 1024
+    }
+    /// Mebibytes → bytes.
+    pub const fn mib(n: u64) -> u64 {
+        n * 1024 * 1024
+    }
+    /// Gibibytes → bytes.
+    pub const fn gib(n: u64) -> u64 {
+        n * 1024 * 1024 * 1024
+    }
+}
+
+/// A byte count with human-readable formatting.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Raw byte count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= bytes::gib(1) {
+            write!(f, "{:.2}GiB", b as f64 / bytes::gib(1) as f64)
+        } else if b >= bytes::mib(1) {
+            write!(f, "{:.2}MiB", b as f64 / bytes::mib(1) as f64)
+        } else if b >= bytes::kib(1) {
+            write!(f, "{:.2}KiB", b as f64 / bytes::kib(1) as f64)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(v: u64) -> Self {
+        ByteSize(v)
+    }
+}
+
+/// Convert (bytes, elapsed seconds) to MiB/s. Returns 0 for zero time.
+pub fn throughput_mib_s(bytes_moved: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes_moved as f64 / bytes::mib(1) as f64 / secs
+}
+
+/// The Darshan-style transfer-size histogram buckets, upper bounds in
+/// bytes. The last bucket is open-ended.
+pub const SIZE_BUCKET_BOUNDS: [u64; 9] = [
+    100,
+    1024,
+    10 * 1024,
+    100 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    10 * 1024 * 1024,
+    100 * 1024 * 1024,
+    1024 * 1024 * 1024,
+];
+
+/// Human-readable labels for [`SIZE_BUCKET_BOUNDS`] plus the open bucket.
+pub const SIZE_BUCKET_LABELS: [&str; 10] = [
+    "0-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", "1M-4M", "4M-10M",
+    "10M-100M", "100M-1G", "1G+",
+];
+
+/// Index of the size-histogram bucket for a transfer of `size` bytes.
+pub fn size_bucket(size: u64) -> usize {
+    SIZE_BUCKET_BOUNDS
+        .iter()
+        .position(|&ub| size <= ub)
+        .unwrap_or(SIZE_BUCKET_BOUNDS.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(bytes::kib(1), 1024);
+        assert_eq!(bytes::mib(2), 2 * 1024 * 1024);
+        assert_eq!(bytes::gib(1), 1 << 30);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(format!("{}", ByteSize(17)), "17B");
+        assert_eq!(format!("{}", ByteSize(bytes::kib(4))), "4.00KiB");
+        assert_eq!(format!("{}", ByteSize(bytes::mib(3))), "3.00MiB");
+        assert_eq!(format!("{}", ByteSize(bytes::gib(2))), "2.00GiB");
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert_eq!(throughput_mib_s(bytes::mib(100), 2.0), 50.0);
+        assert_eq!(throughput_mib_s(bytes::mib(100), 0.0), 0.0);
+    }
+
+    #[test]
+    fn size_buckets_cover_range() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(100), 0);
+        assert_eq!(size_bucket(101), 1);
+        assert_eq!(size_bucket(1024), 1);
+        assert_eq!(size_bucket(bytes::mib(1)), 4);
+        assert_eq!(size_bucket(bytes::gib(2)), 9);
+        assert_eq!(SIZE_BUCKET_LABELS.len(), SIZE_BUCKET_BOUNDS.len() + 1);
+    }
+}

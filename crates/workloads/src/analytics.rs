@@ -1,0 +1,246 @@
+//! Spark-style data-analytics workload.
+//!
+//! Models the scan → shuffle → reduce shape of big-data analytics on HPC
+//! (Sec. V-A): a read-heavy scan of large input partitions, a wide
+//! shuffle phase that writes and re-reads many small intermediate files,
+//! and a small reduced output. Read-dominated overall — the workload
+//! class behind the paper's "HPC storage systems may no longer be
+//! dominated by write I/O" finding.
+
+use crate::Workload;
+use pioeval_iostack::StackOp;
+use pioeval_types::{bytes, FileId, IoKind, MetaOp, SimDuration};
+
+/// Analytics-scan configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyticsLike {
+    /// Input partition size per rank (scanned sequentially).
+    pub partition_bytes: u64,
+    /// Scan read size.
+    pub scan_transfer: u64,
+    /// Shuffle files each rank writes (one per reducer).
+    pub shuffle_fanout: u32,
+    /// Size of each shuffle intermediate.
+    pub shuffle_bytes: u64,
+    /// Final reduced output per rank.
+    pub output_bytes: u64,
+    /// Compute per stage.
+    pub compute: SimDuration,
+    /// Base file id.
+    pub base_file: u32,
+}
+
+impl Default for AnalyticsLike {
+    fn default() -> Self {
+        AnalyticsLike {
+            partition_bytes: bytes::mib(64),
+            scan_transfer: bytes::mib(4),
+            shuffle_fanout: 8,
+            shuffle_bytes: bytes::kib(256),
+            output_bytes: bytes::mib(1),
+            compute: SimDuration::from_millis(100),
+            base_file: 30_000,
+        }
+    }
+}
+
+impl AnalyticsLike {
+    fn input_file(&self, rank: u32) -> FileId {
+        FileId::new(self.base_file + rank)
+    }
+
+    /// Shuffle intermediate written by `mapper` for `reducer`.
+    fn shuffle_file(&self, nranks: u32, mapper: u32, reducer: u32) -> FileId {
+        FileId::new(self.base_file + nranks + mapper * self.shuffle_fanout + reducer)
+    }
+
+    fn output_file(&self, nranks: u32, rank: u32) -> FileId {
+        FileId::new(self.base_file + nranks + nranks * self.shuffle_fanout + rank)
+    }
+}
+
+impl Workload for AnalyticsLike {
+    fn name(&self) -> &'static str {
+        "analytics"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                // Stage 1: scan own partition sequentially.
+                let input = self.input_file(rank);
+                ops.push(StackOp::PosixMeta {
+                    op: MetaOp::Open,
+                    file: input,
+                });
+                let mut pos = 0;
+                while pos < self.partition_bytes {
+                    let len = (self.partition_bytes - pos).min(self.scan_transfer);
+                    ops.push(StackOp::PosixData {
+                        kind: IoKind::Read,
+                        file: input,
+                        offset: pos,
+                        len,
+                    });
+                    pos += len;
+                }
+                ops.push(StackOp::PosixMeta {
+                    op: MetaOp::Close,
+                    file: input,
+                });
+                ops.push(StackOp::Compute(self.compute));
+
+                // Stage 2: shuffle write — many small intermediates.
+                for reducer in 0..self.shuffle_fanout {
+                    let f = self.shuffle_file(nranks, rank, reducer);
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file: f,
+                    });
+                    ops.push(StackOp::PosixData {
+                        kind: IoKind::Write,
+                        file: f,
+                        offset: 0,
+                        len: self.shuffle_bytes,
+                    });
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        file: f,
+                    });
+                }
+                ops.push(StackOp::Barrier); // all map outputs visible
+
+                // Stage 3: shuffle read — reducer `rank % fanout` pulls
+                // its bucket from every mapper (small random-ish reads).
+                let my_bucket = rank % self.shuffle_fanout.max(1);
+                for mapper in 0..nranks {
+                    let f = self.shuffle_file(nranks, mapper, my_bucket);
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Open,
+                        file: f,
+                    });
+                    ops.push(StackOp::PosixData {
+                        kind: IoKind::Read,
+                        file: f,
+                        offset: 0,
+                        len: self.shuffle_bytes,
+                    });
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        file: f,
+                    });
+                }
+                ops.push(StackOp::Compute(self.compute));
+
+                // Stage 4: reduced output.
+                let out = self.output_file(nranks, rank);
+                ops.push(StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file: out,
+                });
+                ops.push(StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file: out,
+                    offset: 0,
+                    len: self.output_bytes,
+                });
+                ops.push(StackOp::PosixMeta {
+                    op: MetaOp::Close,
+                    file: out,
+                });
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volumes(p: &[StackOp]) -> (u64, u64) {
+        let mut read = 0;
+        let mut write = 0;
+        for op in p {
+            if let StackOp::PosixData { kind, len, .. } = op {
+                match kind {
+                    IoKind::Read => read += len,
+                    IoKind::Write => write += len,
+                }
+            }
+        }
+        (read, write)
+    }
+
+    #[test]
+    fn workload_is_read_dominated() {
+        let a = AnalyticsLike::default();
+        let p = &a.programs(4, 0)[0];
+        let (read, write) = volumes(p);
+        assert!(
+            read > 5 * write,
+            "analytics should be read-heavy: r={read} w={write}"
+        );
+    }
+
+    #[test]
+    fn shuffle_files_connect_mappers_to_reducers() {
+        let a = AnalyticsLike {
+            shuffle_fanout: 4,
+            ..AnalyticsLike::default()
+        };
+        let programs = a.programs(4, 0);
+        // Every shuffle file written by some mapper is read by exactly
+        // the reducer owning that bucket.
+        let mut written = std::collections::HashSet::new();
+        let mut read_back = std::collections::HashSet::new();
+        for p in &programs {
+            let mut after_barrier = false;
+            for op in p {
+                match op {
+                    StackOp::Barrier => after_barrier = true,
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        file,
+                        ..
+                    } if !after_barrier => {
+                        written.insert(file.0);
+                    }
+                    StackOp::PosixData {
+                        kind: IoKind::Read,
+                        file,
+                        ..
+                    } if after_barrier => {
+                        read_back.insert(file.0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // 4 ranks × 4 buckets written; 4 reducers × 4 mappers read —
+        // with 4 ranks and fanout 4 every bucket is consumed.
+        assert_eq!(written.len(), 16);
+        assert!(read_back.is_subset(&written));
+        assert_eq!(read_back.len(), 16);
+    }
+
+    #[test]
+    fn metadata_intensity_scales_with_fanout() {
+        let small = AnalyticsLike {
+            shuffle_fanout: 2,
+            ..AnalyticsLike::default()
+        };
+        let big = AnalyticsLike {
+            shuffle_fanout: 16,
+            ..AnalyticsLike::default()
+        };
+        let metas = |w: &AnalyticsLike| {
+            w.programs(2, 0)[0]
+                .iter()
+                .filter(|op| matches!(op, StackOp::PosixMeta { .. }))
+                .count()
+        };
+        assert!(metas(&big) > metas(&small) * 3);
+    }
+}

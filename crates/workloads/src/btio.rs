@@ -1,0 +1,149 @@
+//! NPB BT-IO-like strided collective workload.
+//!
+//! The Block-Tridiagonal benchmark's I/O variant appends one solution
+//! array per timestep, each rank contributing interleaved cells — the
+//! classic noncontiguous collective pattern two-phase I/O was built for.
+
+use crate::Workload;
+use pioeval_iostack::{AccessSpec, StackOp};
+use pioeval_types::{bytes, FileId, IoKind, SimDuration};
+
+/// BT-IO-like configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BtIoLike {
+    /// Cell size each rank writes per slice.
+    pub cell_bytes: u64,
+    /// Slices (interleaved segments) per rank per timestep.
+    pub cells_per_rank: u64,
+    /// Timesteps (each appends a full array).
+    pub timesteps: u32,
+    /// Compute time per timestep.
+    pub compute: SimDuration,
+    /// Verification read of the whole file at the end (BT-IO does this).
+    pub verify: bool,
+    /// Output file id.
+    pub file: u32,
+}
+
+impl Default for BtIoLike {
+    fn default() -> Self {
+        BtIoLike {
+            cell_bytes: bytes::kib(40),
+            cells_per_rank: 16,
+            timesteps: 5,
+            compute: SimDuration::from_millis(100),
+            verify: true,
+            file: 3000,
+        }
+    }
+}
+
+impl BtIoLike {
+    /// Bytes the whole job appends per timestep.
+    pub fn bytes_per_step(&self, nranks: u32) -> u64 {
+        self.cell_bytes * self.cells_per_rank * nranks as u64
+    }
+}
+
+impl Workload for BtIoLike {
+    fn name(&self) -> &'static str {
+        "btio"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        let file = FileId::new(self.file);
+        let step_bytes = self.bytes_per_step(nranks);
+        (0..nranks)
+            .map(|_rank| {
+                let mut ops = vec![StackOp::MpiOpen { file }];
+                for step in 0..self.timesteps {
+                    if !self.compute.is_zero() {
+                        ops.push(StackOp::Compute(self.compute));
+                    }
+                    ops.push(StackOp::MpiCollective {
+                        kind: IoKind::Write,
+                        file,
+                        spec: AccessSpec::Interleaved {
+                            base: step as u64 * step_bytes,
+                            block: self.cell_bytes,
+                            count: self.cells_per_rank,
+                        },
+                    });
+                }
+                if self.verify {
+                    for step in 0..self.timesteps {
+                        ops.push(StackOp::MpiCollective {
+                            kind: IoKind::Read,
+                            file,
+                            spec: AccessSpec::Interleaved {
+                                base: step as u64 * step_bytes,
+                                block: self.cell_bytes,
+                                count: self.cells_per_rank,
+                            },
+                        });
+                    }
+                }
+                ops.push(StackOp::MpiClose { file });
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timesteps_append_disjoint_regions() {
+        let bt = BtIoLike::default();
+        let p = &bt.programs(4, 0)[0];
+        let bases: Vec<u64> = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::MpiCollective {
+                    kind: IoKind::Write,
+                    spec: AccessSpec::Interleaved { base, .. },
+                    ..
+                } => Some(*base),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bases.len(), 5);
+        let step = bt.bytes_per_step(4);
+        for (i, b) in bases.iter().enumerate() {
+            assert_eq!(*b, i as u64 * step);
+        }
+    }
+
+    #[test]
+    fn verify_reads_back_everything() {
+        let bt = BtIoLike::default();
+        let p = &bt.programs(2, 0)[0];
+        let reads = p
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::MpiCollective {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(reads, 5);
+        let no_verify = BtIoLike {
+            verify: false,
+            ..bt
+        };
+        let p = &no_verify.programs(2, 0)[0];
+        assert!(!p.iter().any(|op| matches!(
+            op,
+            StackOp::MpiCollective {
+                kind: IoKind::Read,
+                ..
+            }
+        )));
+    }
+}

@@ -1,0 +1,220 @@
+//! Checkpoint/restart (HACC-IO-style) workload.
+//!
+//! The traditional write-intensive, bursty HPC pattern the paper's
+//! Sec. V contrasts emerging workloads against: long compute phases
+//! punctuated by large synchronized write bursts (particle dumps),
+//! optionally followed by a restart read.
+
+use crate::Workload;
+use pioeval_iostack::{AccessSpec, StackOp};
+use pioeval_types::{bytes, FileId, IoKind, MetaOp, SimDuration};
+
+/// Checkpoint/restart configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointLike {
+    /// Bytes each rank dumps per checkpoint (HACC: ~38 B × particles).
+    pub bytes_per_rank: u64,
+    /// Number of checkpoint steps.
+    pub steps: u32,
+    /// Compute time between checkpoints.
+    pub compute: SimDuration,
+    /// Use MPI-IO collective writes into one shared file per step
+    /// (true), or file-per-process POSIX dumps (false).
+    pub collective: bool,
+    /// Transfer size for the file-per-process path.
+    pub transfer_size: u64,
+    /// Read the final checkpoint back (restart).
+    pub restart: bool,
+    /// Base file id (one file per step, or per step×rank for FPP).
+    pub base_file: u32,
+}
+
+impl Default for CheckpointLike {
+    fn default() -> Self {
+        CheckpointLike {
+            bytes_per_rank: bytes::mib(8),
+            steps: 4,
+            compute: SimDuration::from_millis(200),
+            collective: true,
+            transfer_size: bytes::mib(1),
+            restart: false,
+            base_file: 2000,
+        }
+    }
+}
+
+impl CheckpointLike {
+    fn write_step(&self, rank: u32, nranks: u32, step: u32, ops: &mut Vec<StackOp>) {
+        if self.collective {
+            let file = FileId::new(self.base_file + step);
+            ops.push(StackOp::MpiOpen { file });
+            ops.push(StackOp::MpiCollective {
+                kind: IoKind::Write,
+                file,
+                spec: AccessSpec::ContiguousBlocks {
+                    base: 0,
+                    block: self.bytes_per_rank,
+                },
+            });
+            ops.push(StackOp::MpiClose { file });
+        } else {
+            let file = FileId::new(self.base_file + step * nranks + rank);
+            ops.push(StackOp::PosixMeta {
+                op: MetaOp::Create,
+                file,
+            });
+            let mut pos = 0;
+            while pos < self.bytes_per_rank {
+                let len = (self.bytes_per_rank - pos).min(self.transfer_size);
+                ops.push(StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file,
+                    offset: pos,
+                    len,
+                });
+                pos += len;
+            }
+            ops.push(StackOp::PosixMeta {
+                op: MetaOp::Fsync,
+                file,
+            });
+            ops.push(StackOp::PosixMeta {
+                op: MetaOp::Close,
+                file,
+            });
+            ops.push(StackOp::Barrier);
+        }
+    }
+}
+
+impl Workload for CheckpointLike {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                for step in 0..self.steps {
+                    if !self.compute.is_zero() {
+                        ops.push(StackOp::Compute(self.compute));
+                    }
+                    self.write_step(rank, nranks, step, &mut ops);
+                }
+                if self.restart {
+                    let last = self.steps.saturating_sub(1);
+                    if self.collective {
+                        let file = FileId::new(self.base_file + last);
+                        ops.push(StackOp::MpiOpen { file });
+                        ops.push(StackOp::MpiCollective {
+                            kind: IoKind::Read,
+                            file,
+                            spec: AccessSpec::ContiguousBlocks {
+                                base: 0,
+                                block: self.bytes_per_rank,
+                            },
+                        });
+                        ops.push(StackOp::MpiClose { file });
+                    } else {
+                        let file = FileId::new(self.base_file + last * nranks + rank);
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Open,
+                            file,
+                        });
+                        let mut pos = 0;
+                        while pos < self.bytes_per_rank {
+                            let len =
+                                (self.bytes_per_rank - pos).min(self.transfer_size);
+                            ops.push(StackOp::PosixData {
+                                kind: IoKind::Read,
+                                file,
+                                offset: pos,
+                                len,
+                            });
+                            pos += len;
+                        }
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Close,
+                            file,
+                        });
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_compute_and_write_bursts() {
+        let cp = CheckpointLike::default();
+        let p = &cp.programs(4, 0)[0];
+        let computes = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::Compute(_)))
+            .count();
+        let collectives = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::MpiCollective { .. }))
+            .count();
+        assert_eq!(computes, 4);
+        assert_eq!(collectives, 4);
+    }
+
+    #[test]
+    fn fpp_mode_dumps_per_rank_files() {
+        let cp = CheckpointLike {
+            collective: false,
+            steps: 2,
+            restart: true,
+            ..CheckpointLike::default()
+        };
+        let programs = cp.programs(2, 0);
+        // Rank 1's step-1 file id = base + 1*2 + 1.
+        let creates: Vec<u32> = programs[1]
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file,
+                } => Some(file.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(creates, vec![2001, 2003]);
+        // Restart reads the final step.
+        let reads = programs[1]
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Read, .. }))
+            .count();
+        assert_eq!(reads as u64, cp.bytes_per_rank / cp.transfer_size);
+    }
+
+    #[test]
+    fn write_volume_matches_config() {
+        let cp = CheckpointLike {
+            collective: false,
+            steps: 3,
+            bytes_per_rank: bytes::mib(2),
+            ..CheckpointLike::default()
+        };
+        let p = &cp.programs(1, 0)[0];
+        let total: u64 = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData {
+                    kind: IoKind::Write,
+                    len,
+                    ..
+                } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 3 * bytes::mib(2));
+    }
+}

@@ -1,0 +1,255 @@
+//! DLIO-like deep-learning training workload.
+//!
+//! Models the I/O of distributed DNN training (Sec. V-B): per epoch, the
+//! dataset is randomly reshuffled and each rank reads its shard of
+//! samples as *small, randomly ordered accesses* — either one file per
+//! sample (stressing the MDS with open/close storms, as image datasets
+//! do) or random offsets in one container file (TFRecord-style). Short
+//! compute bursts model the training step; periodic checkpoints write
+//! the model state. This is the anti-pattern for PFS designs "typically
+//! designed and optimized for large sequential I/O".
+
+use crate::Workload;
+use pioeval_iostack::StackOp;
+use pioeval_types::{bytes, rng, split_seed, FileId, IoKind, MetaOp, SimDuration};
+use rand::seq::SliceRandom;
+
+/// DLIO-like configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DlioLike {
+    /// Samples in the dataset.
+    pub num_samples: u32,
+    /// Bytes per sample.
+    pub sample_bytes: u64,
+    /// One file per sample (true) or one container file (false).
+    pub file_per_sample: bool,
+    /// Training epochs.
+    pub epochs: u32,
+    /// Samples per batch (compute happens per batch).
+    pub batch_size: u32,
+    /// Compute time per batch (forward+backward pass).
+    pub compute_per_batch: SimDuration,
+    /// Write a checkpoint every N batches (0 = never).
+    pub checkpoint_every_batches: u32,
+    /// Checkpoint size per rank.
+    pub checkpoint_bytes: u64,
+    /// Base file id (samples, then container, then checkpoints).
+    pub base_file: u32,
+}
+
+impl Default for DlioLike {
+    fn default() -> Self {
+        DlioLike {
+            num_samples: 512,
+            sample_bytes: bytes::kib(128),
+            file_per_sample: true,
+            epochs: 1,
+            batch_size: 16,
+            compute_per_batch: SimDuration::from_millis(50),
+            checkpoint_every_batches: 0,
+            checkpoint_bytes: bytes::mib(16),
+            base_file: 20_000,
+        }
+    }
+}
+
+impl DlioLike {
+    fn container_file(&self) -> FileId {
+        FileId::new(self.base_file + self.num_samples)
+    }
+
+    fn checkpoint_file(&self, rank: u32, n: u32) -> FileId {
+        FileId::new(self.base_file + self.num_samples + 1 + n * 1024 + rank)
+    }
+}
+
+impl Workload for DlioLike {
+    fn name(&self) -> &'static str {
+        "dlio"
+    }
+
+    fn programs(&self, nranks: u32, seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                // The container (or rank 0) must exist before reads; the
+                // dataset is assumed staged, so open is enough — but the
+                // simulated MDS auto-creates on open, keeping generators
+                // simple.
+                if !self.file_per_sample {
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Open,
+                        file: self.container_file(),
+                    });
+                }
+                let mut checkpoints = 0u32;
+                let mut batches_done = 0u32;
+                for epoch in 0..self.epochs {
+                    // Epoch-wide shuffle, identical on every rank (data
+                    // loaders share the shuffle seed), sharded by rank.
+                    let mut order: Vec<u32> = (0..self.num_samples).collect();
+                    let mut r = rng(split_seed(seed, epoch as u64));
+                    order.shuffle(&mut r);
+                    let shard: Vec<u32> = order
+                        .iter()
+                        .copied()
+                        .skip(rank as usize)
+                        .step_by(nranks as usize)
+                        .collect();
+                    for (i, &sample) in shard.iter().enumerate() {
+                        if self.file_per_sample {
+                            let f = FileId::new(self.base_file + sample);
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Open,
+                                file: f,
+                            });
+                            ops.push(StackOp::PosixData {
+                                kind: IoKind::Read,
+                                file: f,
+                                offset: 0,
+                                len: self.sample_bytes,
+                            });
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Close,
+                                file: f,
+                            });
+                        } else {
+                            ops.push(StackOp::PosixData {
+                                kind: IoKind::Read,
+                                file: self.container_file(),
+                                offset: sample as u64 * self.sample_bytes,
+                                len: self.sample_bytes,
+                            });
+                        }
+                        // Batch boundary: compute + maybe checkpoint.
+                        if (i + 1) % self.batch_size.max(1) as usize == 0 {
+                            batches_done += 1;
+                            if !self.compute_per_batch.is_zero() {
+                                ops.push(StackOp::Compute(self.compute_per_batch));
+                            }
+                            if self.checkpoint_every_batches > 0
+                                && batches_done.is_multiple_of(self.checkpoint_every_batches)
+                            {
+                                let f = self.checkpoint_file(rank, checkpoints);
+                                checkpoints += 1;
+                                ops.push(StackOp::PosixMeta {
+                                    op: MetaOp::Create,
+                                    file: f,
+                                });
+                                ops.push(StackOp::PosixData {
+                                    kind: IoKind::Write,
+                                    file: f,
+                                    offset: 0,
+                                    len: self.checkpoint_bytes,
+                                });
+                                ops.push(StackOp::PosixMeta {
+                                    op: MetaOp::Close,
+                                    file: f,
+                                });
+                            }
+                        }
+                    }
+                    ops.push(StackOp::Barrier); // epoch boundary
+                }
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_cover_dataset_without_overlap() {
+        let dl = DlioLike {
+            num_samples: 64,
+            ..DlioLike::default()
+        };
+        let programs = dl.programs(4, 7);
+        let mut seen = std::collections::HashSet::new();
+        for p in &programs {
+            for op in p {
+                if let StackOp::PosixData {
+                    kind: IoKind::Read,
+                    file,
+                    ..
+                } = op
+                {
+                    assert!(seen.insert(file.0), "sample read twice: {file}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn shuffle_depends_on_seed_and_epoch() {
+        let dl = DlioLike {
+            num_samples: 32,
+            epochs: 2,
+            ..DlioLike::default()
+        };
+        let reads = |seed: u64| -> Vec<u32> {
+            dl.programs(1, seed)[0]
+                .iter()
+                .filter_map(|op| match op {
+                    StackOp::PosixData { file, .. } => Some(file.0),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = reads(1);
+        let b = reads(2);
+        assert_ne!(a, b, "different seeds should shuffle differently");
+        // Epoch 1 and epoch 2 of the same seed differ too.
+        let one = reads(1);
+        let (e1, e2) = one.split_at(32);
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn container_mode_reads_random_offsets_of_one_file() {
+        let dl = DlioLike {
+            file_per_sample: false,
+            num_samples: 32,
+            ..DlioLike::default()
+        };
+        let p = &dl.programs(2, 3)[0];
+        let meta_opens = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Open, .. }))
+            .count();
+        assert_eq!(meta_opens, 1); // only the container open
+        let offsets: Vec<u64> = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offsets.len(), 16);
+        // Random order: not sorted.
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_ne!(offsets, sorted);
+    }
+
+    #[test]
+    fn checkpoints_appear_at_configured_cadence() {
+        let dl = DlioLike {
+            num_samples: 64,
+            batch_size: 8,
+            checkpoint_every_batches: 2,
+            ..DlioLike::default()
+        };
+        let p = &dl.programs(1, 0)[0];
+        // 64 samples / batch 8 = 8 batches → 4 checkpoints.
+        let ckpt_writes = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .count();
+        assert_eq!(ckpt_writes, 4);
+    }
+}

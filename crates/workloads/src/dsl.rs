@@ -1,0 +1,474 @@
+//! A CODES-I/O-language-like workload description DSL.
+//!
+//! The paper (Sec. IV-B4) highlights the CODES I/O language as the
+//! canonical way to "model real or artificial I/O workloads using
+//! domain-specific language constructs". This module provides a small
+//! line-oriented equivalent:
+//!
+//! ```text
+//! # declarations
+//! file data shared lane 64m      # one file; each rank works in its own 64m lane
+//! file out perrank               # one file per rank
+//!
+//! # statements
+//! create data
+//! repeat 4
+//!   write data 1m x16            # 16 sequential 1 MiB writes from the cursor
+//!   compute 50ms
+//! end
+//! read data 4k x100 random       # 100 random 4 KiB reads within the lane
+//! barrier
+//! stat data
+//! close data
+//! ```
+//!
+//! Sizes accept `k`/`m`/`g` suffixes (binary); durations accept
+//! `us`/`ms`/`s`. Sequential accesses advance a per-(rank, file) cursor;
+//! `random` draws offsets from the rank's seeded RNG within the file's
+//! lane. Expansion is deterministic in `(nranks, seed)`.
+
+use crate::Workload;
+use pioeval_iostack::StackOp;
+use pioeval_types::{rng, split_seed, Error, FileId, IoKind, MetaOp, Result, SimDuration};
+use rand::Rng;
+use std::collections::HashMap;
+
+const DEFAULT_LANE: u64 = 64 * 1024 * 1024;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scope {
+    Shared,
+    PerRank,
+}
+
+#[derive(Clone, Debug)]
+struct FileDecl {
+    index: u32,
+    scope: Scope,
+    lane: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Meta(MetaOp, String),
+    Data {
+        kind: IoKind,
+        file: String,
+        size: u64,
+        count: u64,
+        random: bool,
+    },
+    Compute(SimDuration),
+    Barrier,
+    Repeat(u64, Vec<Stmt>),
+}
+
+/// A parsed DSL workload.
+#[derive(Clone, Debug)]
+pub struct DslWorkload {
+    files: HashMap<String, FileDecl>,
+    body: Vec<Stmt>,
+    /// Base file id for declared files.
+    pub base_file: u32,
+}
+
+/// Parse DSL source into a workload with the given base file id.
+pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
+    let mut files = HashMap::new();
+    let mut file_count = 0u32;
+    // Stack of blocks being built: (repeat count, stmts). Bottom is body.
+    let mut stack: Vec<(u64, Vec<Stmt>)> = vec![(1, Vec::new())];
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Error::Parse(format!("line {}: {msg}", lineno + 1));
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "file" => {
+                if toks.len() < 3 {
+                    return Err(err("usage: file <name> shared|perrank [lane <size>]"));
+                }
+                let scope = match toks[2] {
+                    "shared" => Scope::Shared,
+                    "perrank" => Scope::PerRank,
+                    other => return Err(err(&format!("unknown scope `{other}`"))),
+                };
+                let lane = if toks.len() >= 5 && toks[3] == "lane" {
+                    parse_size(toks[4]).ok_or_else(|| err("bad lane size"))?
+                } else {
+                    DEFAULT_LANE
+                };
+                files.insert(
+                    toks[1].to_string(),
+                    FileDecl {
+                        index: file_count,
+                        scope,
+                        lane,
+                    },
+                );
+                file_count += 1;
+            }
+            "create" | "open" | "close" | "stat" | "unlink" | "fsync" | "mkdir"
+            | "readdir" => {
+                if toks.len() != 2 {
+                    return Err(err("usage: <metaop> <file>"));
+                }
+                let op = match toks[0] {
+                    "create" => MetaOp::Create,
+                    "open" => MetaOp::Open,
+                    "close" => MetaOp::Close,
+                    "stat" => MetaOp::Stat,
+                    "unlink" => MetaOp::Unlink,
+                    "fsync" => MetaOp::Fsync,
+                    "mkdir" => MetaOp::Mkdir,
+                    _ => MetaOp::Readdir,
+                };
+                stack
+                    .last_mut()
+                    .unwrap()
+                    .1
+                    .push(Stmt::Meta(op, toks[1].to_string()));
+            }
+            "write" | "read" => {
+                if toks.len() < 3 {
+                    return Err(err("usage: write|read <file> <size> [xN] [random]"));
+                }
+                let kind = if toks[0] == "write" {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                };
+                let size = parse_size(toks[2]).ok_or_else(|| err("bad size"))?;
+                let mut count = 1u64;
+                let mut random = false;
+                for t in &toks[3..] {
+                    if let Some(n) = t.strip_prefix('x') {
+                        count = n.parse().map_err(|_| err("bad repeat count"))?;
+                    } else if *t == "random" {
+                        random = true;
+                    } else {
+                        return Err(err(&format!("unknown modifier `{t}`")));
+                    }
+                }
+                stack.last_mut().unwrap().1.push(Stmt::Data {
+                    kind,
+                    file: toks[1].to_string(),
+                    size,
+                    count,
+                    random,
+                });
+            }
+            "compute" => {
+                if toks.len() != 2 {
+                    return Err(err("usage: compute <duration>"));
+                }
+                let d = parse_duration(toks[1]).ok_or_else(|| err("bad duration"))?;
+                stack.last_mut().unwrap().1.push(Stmt::Compute(d));
+            }
+            "barrier" => stack.last_mut().unwrap().1.push(Stmt::Barrier),
+            "repeat" => {
+                if toks.len() != 2 {
+                    return Err(err("usage: repeat <n>"));
+                }
+                let n: u64 = toks[1].parse().map_err(|_| err("bad repeat count"))?;
+                stack.push((n, Vec::new()));
+            }
+            "end" => {
+                if stack.len() < 2 {
+                    return Err(err("`end` without `repeat`"));
+                }
+                let (n, stmts) = stack.pop().unwrap();
+                stack.last_mut().unwrap().1.push(Stmt::Repeat(n, stmts));
+            }
+            other => return Err(err(&format!("unknown statement `{other}`"))),
+        }
+    }
+    if stack.len() != 1 {
+        return Err(Error::Parse("unclosed `repeat` block".into()));
+    }
+    let body = stack.pop().unwrap().1;
+
+    // Validate file references.
+    fn check(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> {
+        for s in stmts {
+            match s {
+                Stmt::Meta(_, f) | Stmt::Data { file: f, .. }
+                    if !files.contains_key(f) =>
+                {
+                    return Err(Error::Parse(format!("undeclared file `{f}`")));
+                }
+                Stmt::Repeat(_, inner) => check(inner, files)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    check(&body, &files)?;
+
+    Ok(DslWorkload {
+        files,
+        body,
+        base_file,
+    })
+}
+
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = s.strip_suffix('g') {
+        (n, 1u64 << 30)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 1 << 20)
+    } else if let Some(n) = s.strip_suffix('k') {
+        (n, 1 << 10)
+    } else {
+        (s.as_str(), 1)
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+fn parse_duration(s: &str) -> Option<SimDuration> {
+    let s = s.to_ascii_lowercase();
+    if let Some(n) = s.strip_suffix("us") {
+        return n.parse().ok().map(SimDuration::from_micros);
+    }
+    if let Some(n) = s.strip_suffix("ms") {
+        return n.parse().ok().map(SimDuration::from_millis);
+    }
+    if let Some(n) = s.strip_suffix('s') {
+        return n.parse().ok().map(SimDuration::from_secs);
+    }
+    None
+}
+
+/// Per-rank expansion state.
+struct Expander<'a> {
+    w: &'a DslWorkload,
+    rank: u32,
+    nranks: u32,
+    cursors: HashMap<String, u64>,
+    rng: rand::rngs::StdRng,
+    out: Vec<StackOp>,
+}
+
+impl Expander<'_> {
+    fn file_id(&self, decl: &FileDecl) -> FileId {
+        match decl.scope {
+            Scope::Shared => FileId::new(self.w.base_file + decl.index),
+            Scope::PerRank => FileId::new(
+                self.w.base_file
+                    + self.w.files.len() as u32
+                    + decl.index * self.nranks
+                    + self.rank,
+            ),
+        }
+    }
+
+    /// Start of this rank's lane within the file.
+    fn lane_base(&self, decl: &FileDecl) -> u64 {
+        match decl.scope {
+            Scope::Shared => self.rank as u64 * decl.lane,
+            Scope::PerRank => 0,
+        }
+    }
+
+    fn expand(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Meta(op, name) => {
+                    let decl = &self.w.files[name];
+                    let file = self.file_id(decl);
+                    self.out.push(StackOp::PosixMeta { op: *op, file });
+                }
+                Stmt::Data {
+                    kind,
+                    file: name,
+                    size,
+                    count,
+                    random,
+                } => {
+                    let decl = self.w.files[name].clone();
+                    let file = self.file_id(&decl);
+                    let base = self.lane_base(&decl);
+                    for _ in 0..*count {
+                        let offset = if *random {
+                            let span = decl.lane.saturating_sub(*size).max(1);
+                            base + self.rng.gen_range(0..span)
+                        } else {
+                            let cursor =
+                                self.cursors.entry(name.clone()).or_insert(0);
+                            let off = base + *cursor;
+                            *cursor += size;
+                            off
+                        };
+                        self.out.push(StackOp::PosixData {
+                            kind: *kind,
+                            file,
+                            offset,
+                            len: *size,
+                        });
+                    }
+                }
+                Stmt::Compute(d) => self.out.push(StackOp::Compute(*d)),
+                Stmt::Barrier => self.out.push(StackOp::Barrier),
+                Stmt::Repeat(n, inner) => {
+                    for _ in 0..*n {
+                        self.expand(inner);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Workload for DslWorkload {
+    fn name(&self) -> &'static str {
+        "dsl"
+    }
+
+    fn programs(&self, nranks: u32, seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut e = Expander {
+                    w: self,
+                    rank,
+                    nranks,
+                    cursors: HashMap::new(),
+                    rng: rng(split_seed(seed, rank as u64)),
+                    out: Vec::new(),
+                };
+                e.expand(&self.body);
+                e.out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+        # an IOR-flavoured description
+        file data shared lane 16m
+        file scratch perrank
+
+        create data
+        repeat 2
+          write data 1m x4
+          compute 10ms
+        end
+        read data 4k x8 random
+        barrier
+        create scratch
+        write scratch 64k x2
+        close scratch
+        close data
+    ";
+
+    #[test]
+    fn parses_and_expands() {
+        let w = parse_dsl(SAMPLE, 500).unwrap();
+        let programs = w.programs(2, 1);
+        assert_eq!(programs.len(), 2);
+        let p = &programs[0];
+        let writes = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .count();
+        assert_eq!(writes, 2 * 4 + 2); // repeat block + scratch
+        let computes = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::Compute(_)))
+            .count();
+        assert_eq!(computes, 2);
+    }
+
+    #[test]
+    fn shared_lanes_do_not_overlap() {
+        let w = parse_dsl(SAMPLE, 500).unwrap();
+        let programs = w.programs(2, 1);
+        let max_r0 = programs[0]
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file,
+                    offset,
+                    len,
+                } if file.0 == 500 => Some(offset + len),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        let min_r1 = programs[1]
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file,
+                    offset,
+                    ..
+                } if file.0 == 500 => Some(*offset),
+                _ => None,
+            })
+            .min()
+            .unwrap();
+        assert!(max_r0 <= min_r1, "rank 0 lane end {max_r0} > rank 1 start {min_r1}");
+    }
+
+    #[test]
+    fn perrank_files_are_distinct() {
+        let w = parse_dsl(SAMPLE, 500).unwrap();
+        let programs = w.programs(3, 1);
+        let scratch_of = |p: &[StackOp]| {
+            p.iter()
+                .find_map(|op| match op {
+                    StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file,
+                    } if file.0 != 500 => Some(file.0),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let ids: Vec<u32> = programs.iter().map(|p| scratch_of(p)).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn random_reads_are_seed_deterministic() {
+        let w = parse_dsl(SAMPLE, 500).unwrap();
+        let a = w.programs(2, 7);
+        let b = w.programs(2, 7);
+        let c = w.programs(2, 8);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_dsl("file data shared\nfrobnicate data", 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        assert!(parse_dsl("write ghost 1m", 0).is_err()); // undeclared
+        assert!(parse_dsl("repeat 3\nbarrier", 0).is_err()); // unclosed
+        assert!(parse_dsl("file f shared\nwrite f 1q", 0).is_err()); // bad size
+        assert!(parse_dsl("compute 5banana", 0).is_err());
+    }
+
+    #[test]
+    fn size_and_duration_parsing() {
+        assert_eq!(parse_size("4k"), Some(4096));
+        assert_eq!(parse_size("2m"), Some(2 << 20));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size("123"), Some(123));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_duration("5us"), Some(SimDuration::from_micros(5)));
+        assert_eq!(parse_duration("5ms"), Some(SimDuration::from_millis(5)));
+        assert_eq!(parse_duration("2s"), Some(SimDuration::from_secs(2)));
+        assert_eq!(parse_duration("2"), None);
+    }
+}

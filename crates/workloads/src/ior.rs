@@ -1,0 +1,325 @@
+//! IOR-like synthetic benchmark.
+//!
+//! The canonical parallel I/O benchmark: each rank writes (and optionally
+//! reads back) `block_size` bytes in `transfer_size` units, either into a
+//! single shared file at rank-offset positions or into one file per
+//! process, through a selectable API level.
+
+use crate::Workload;
+use pioeval_iostack::{AccessSpec, StackOp};
+use pioeval_types::{bytes, rng, split_seed, FileId, IoKind, MetaOp, SimDuration};
+use rand::seq::SliceRandom;
+
+/// Which stack level IOR drives (IOR's `-a` option).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IorApi {
+    /// POSIX calls.
+    Posix,
+    /// MPI-IO independent.
+    MpiIndependent,
+    /// MPI-IO collective (two-phase).
+    MpiCollective,
+}
+
+/// IOR-like configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct IorLike {
+    /// Stack level to drive.
+    pub api: IorApi,
+    /// Single shared file (true) or file-per-process (false).
+    pub shared_file: bool,
+    /// Per-call transfer size (IOR `-t`).
+    pub transfer_size: u64,
+    /// Per-rank data volume (IOR `-b`).
+    pub block_size: u64,
+    /// Write phase enabled.
+    pub write: bool,
+    /// Read-back phase enabled.
+    pub read: bool,
+    /// Fsync after the write phase (IOR `-e`).
+    pub fsync: bool,
+    /// Repetitions (IOR `-i`).
+    pub iterations: u32,
+    /// Issue transfers in random order within the block (IOR `-z`).
+    pub random_offsets: bool,
+    /// Base file id for generated files.
+    pub base_file: u32,
+    /// Inter-phase compute time.
+    pub think_time: SimDuration,
+}
+
+impl Default for IorLike {
+    fn default() -> Self {
+        IorLike {
+            api: IorApi::Posix,
+            shared_file: true,
+            transfer_size: bytes::mib(1),
+            block_size: bytes::mib(16),
+            write: true,
+            read: false,
+            fsync: true,
+            iterations: 1,
+            random_offsets: false,
+            base_file: 100,
+            think_time: SimDuration::ZERO,
+        }
+    }
+}
+
+impl IorLike {
+    /// The file a given rank targets.
+    fn file_for(&self, rank: u32) -> FileId {
+        if self.shared_file {
+            FileId::new(self.base_file)
+        } else {
+            FileId::new(self.base_file + rank)
+        }
+    }
+
+    /// Rank's starting offset within its file.
+    fn base_offset(&self, rank: u32) -> u64 {
+        if self.shared_file {
+            rank as u64 * self.block_size
+        } else {
+            0
+        }
+    }
+
+    fn data_phase(
+        &self,
+        kind: IoKind,
+        rank: u32,
+        nranks: u32,
+        seed: u64,
+        out: &mut Vec<StackOp>,
+    ) {
+        let file = self.file_for(rank);
+        match self.api {
+            IorApi::Posix => {
+                let base = self.base_offset(rank);
+                let mut offsets = Vec::new();
+                let mut pos = 0;
+                while pos < self.block_size {
+                    let len = (self.block_size - pos).min(self.transfer_size);
+                    offsets.push((base + pos, len));
+                    pos += len;
+                }
+                if self.random_offsets {
+                    // IOR -z: same transfers, shuffled issue order.
+                    let mut r = rng(split_seed(seed, rank as u64 + 1_000));
+                    offsets.shuffle(&mut r);
+                }
+                for (offset, len) in offsets {
+                    out.push(StackOp::PosixData {
+                        kind,
+                        file,
+                        offset,
+                        len,
+                    });
+                }
+            }
+            IorApi::MpiIndependent => {
+                let base = self.base_offset(rank);
+                let mut segments = Vec::new();
+                let mut pos = 0;
+                while pos < self.block_size {
+                    let len = (self.block_size - pos).min(self.transfer_size);
+                    segments.push((base + pos, len));
+                    pos += len;
+                }
+                out.push(StackOp::MpiIndependent {
+                    kind,
+                    file,
+                    segments,
+                });
+            }
+            IorApi::MpiCollective => {
+                debug_assert!(self.shared_file, "collective IOR requires a shared file");
+                let _ = nranks;
+                out.push(StackOp::MpiCollective {
+                    kind,
+                    file,
+                    spec: AccessSpec::ContiguousBlocks {
+                        base: 0,
+                        block: self.block_size,
+                    },
+                });
+            }
+        }
+    }
+}
+
+impl Workload for IorLike {
+    fn name(&self) -> &'static str {
+        "ior"
+    }
+
+    fn programs(&self, nranks: u32, seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let file = self.file_for(rank);
+                let mut ops = Vec::new();
+                // Open/create. For a shared file rank 0 creates, others
+                // open after a barrier; FPP ranks create their own files.
+                if self.shared_file {
+                    if rank == 0 {
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Create,
+                            file,
+                        });
+                        ops.push(StackOp::Barrier);
+                    } else {
+                        ops.push(StackOp::Barrier);
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Open,
+                            file,
+                        });
+                    }
+                } else {
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file,
+                    });
+                }
+                for _ in 0..self.iterations.max(1) {
+                    if self.write {
+                        self.data_phase(IoKind::Write, rank, nranks, seed, &mut ops);
+                        if self.fsync {
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Fsync,
+                                file,
+                            });
+                        }
+                        ops.push(StackOp::Barrier);
+                    }
+                    if !self.think_time.is_zero() {
+                        ops.push(StackOp::Compute(self.think_time));
+                    }
+                    if self.read {
+                        self.data_phase(IoKind::Read, rank, nranks, seed, &mut ops);
+                        ops.push(StackOp::Barrier);
+                    }
+                }
+                ops.push(StackOp::PosixMeta {
+                    op: MetaOp::Close,
+                    file,
+                });
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posix_shared_file_layout() {
+        let ior = IorLike {
+            transfer_size: bytes::mib(1),
+            block_size: bytes::mib(4),
+            ..IorLike::default()
+        };
+        let programs = ior.programs(4, 0);
+        assert_eq!(programs.len(), 4);
+        // Rank 2's first write lands at 2 * block.
+        let first_write = programs[2]
+            .iter()
+            .find_map(|op| match op {
+                StackOp::PosixData { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_write, 2 * bytes::mib(4));
+        // 4 transfers of 1 MiB each per rank.
+        let writes = programs[0]
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .count();
+        assert_eq!(writes, 4);
+    }
+
+    #[test]
+    fn fpp_creates_one_file_per_rank() {
+        let ior = IorLike {
+            shared_file: false,
+            ..IorLike::default()
+        };
+        let programs = ior.programs(3, 0);
+        let files: Vec<u32> = programs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .find_map(|op| match op {
+                        StackOp::PosixMeta {
+                            op: MetaOp::Create,
+                            file,
+                        } => Some(file.0),
+                        _ => None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(files, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn collective_api_emits_collective_ops() {
+        let ior = IorLike {
+            api: IorApi::MpiCollective,
+            read: true,
+            ..IorLike::default()
+        };
+        let programs = ior.programs(4, 0);
+        let collectives = programs[0]
+            .iter()
+            .filter(|op| matches!(op, StackOp::MpiCollective { .. }))
+            .count();
+        assert_eq!(collectives, 2); // write + read
+    }
+
+    #[test]
+    fn random_offsets_shuffle_but_conserve_transfers() {
+        let base = IorLike {
+            transfer_size: bytes::kib(256),
+            block_size: bytes::mib(4),
+            fsync: false,
+            ..IorLike::default()
+        };
+        let shuffled = IorLike {
+            random_offsets: true,
+            ..base
+        };
+        let offs = |w: &IorLike| -> Vec<u64> {
+            w.programs(2, 9)[1]
+                .iter()
+                .filter_map(|op| match op {
+                    StackOp::PosixData { offset, .. } => Some(*offset),
+                    _ => None,
+                })
+                .collect()
+        };
+        let seq = offs(&base);
+        let rand = offs(&shuffled);
+        assert_ne!(seq, rand, "shuffle changed nothing");
+        let mut sorted = rand.clone();
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted, "shuffle must be a permutation");
+    }
+
+    #[test]
+    fn iterations_repeat_phases() {
+        let ior = IorLike {
+            iterations: 3,
+            fsync: false,
+            ..IorLike::default()
+        };
+        let programs = ior.programs(2, 0);
+        let writes = programs[0]
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixData { .. }))
+            .count();
+        assert_eq!(writes, 3 * 16); // 3 iterations × 16 MiB / 1 MiB
+    }
+}

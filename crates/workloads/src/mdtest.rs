@@ -1,0 +1,197 @@
+//! mdtest-like metadata benchmark.
+//!
+//! Pure metadata stress: each rank creates a tree of files, then
+//! optionally stats and unlinks them — quantifying "file and directory
+//! based operations" (Sec. IV-A1), where the serial MDS is the
+//! bottleneck.
+
+use crate::Workload;
+use pioeval_iostack::StackOp;
+use pioeval_types::{FileId, IoKind, MetaOp};
+
+/// mdtest-like configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MdtestLike {
+    /// Files each rank creates.
+    pub files_per_rank: u32,
+    /// Create a per-rank directory first.
+    pub with_dirs: bool,
+    /// Stat phase.
+    pub with_stat: bool,
+    /// Read phase (tiny reads, mdtest `-e`).
+    pub read_bytes: u64,
+    /// Write phase (tiny writes, mdtest `-w`).
+    pub write_bytes: u64,
+    /// Unlink phase.
+    pub with_unlink: bool,
+    /// Base file id.
+    pub base_file: u32,
+}
+
+impl Default for MdtestLike {
+    fn default() -> Self {
+        MdtestLike {
+            files_per_rank: 64,
+            with_dirs: true,
+            with_stat: true,
+            read_bytes: 0,
+            write_bytes: 3901, // mdtest's classic small-write default
+            with_unlink: true,
+            base_file: 10_000,
+        }
+    }
+}
+
+impl MdtestLike {
+    fn file(&self, rank: u32, i: u32) -> FileId {
+        FileId::new(self.base_file + rank * self.files_per_rank + i)
+    }
+
+    /// Directory id namespace sits above the files.
+    fn dir(&self, rank: u32, nranks: u32) -> FileId {
+        FileId::new(self.base_file + nranks * self.files_per_rank + rank)
+    }
+}
+
+impl Workload for MdtestLike {
+    fn name(&self) -> &'static str {
+        "mdtest"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                if self.with_dirs {
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Mkdir,
+                        file: self.dir(rank, nranks),
+                    });
+                }
+                // Creation phase.
+                for i in 0..self.files_per_rank {
+                    let f = self.file(rank, i);
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file: f,
+                    });
+                    if self.write_bytes > 0 {
+                        ops.push(StackOp::PosixData {
+                            kind: IoKind::Write,
+                            file: f,
+                            offset: 0,
+                            len: self.write_bytes,
+                        });
+                    }
+                    ops.push(StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        file: f,
+                    });
+                }
+                ops.push(StackOp::Barrier);
+                // Stat phase.
+                if self.with_stat {
+                    for i in 0..self.files_per_rank {
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Stat,
+                            file: self.file(rank, i),
+                        });
+                    }
+                    ops.push(StackOp::Barrier);
+                }
+                // Read phase.
+                if self.read_bytes > 0 {
+                    for i in 0..self.files_per_rank {
+                        let f = self.file(rank, i);
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Open,
+                            file: f,
+                        });
+                        ops.push(StackOp::PosixData {
+                            kind: IoKind::Read,
+                            file: f,
+                            offset: 0,
+                            len: self.read_bytes,
+                        });
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Close,
+                            file: f,
+                        });
+                    }
+                    ops.push(StackOp::Barrier);
+                }
+                // Removal phase.
+                if self.with_unlink {
+                    for i in 0..self.files_per_rank {
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Unlink,
+                            file: self.file(rank, i),
+                        });
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_phases() {
+        let md = MdtestLike {
+            files_per_rank: 10,
+            ..MdtestLike::default()
+        };
+        let programs = md.programs(2, 0);
+        let count = |p: &[StackOp], m: MetaOp| {
+            p.iter()
+                .filter(|op| matches!(op, StackOp::PosixMeta { op, .. } if *op == m))
+                .count()
+        };
+        let p = &programs[0];
+        assert_eq!(count(p, MetaOp::Create), 10);
+        assert_eq!(count(p, MetaOp::Close), 10);
+        assert_eq!(count(p, MetaOp::Stat), 10);
+        assert_eq!(count(p, MetaOp::Unlink), 10);
+        assert_eq!(count(p, MetaOp::Mkdir), 1);
+    }
+
+    #[test]
+    fn file_ids_are_disjoint_across_ranks() {
+        let md = MdtestLike {
+            files_per_rank: 5,
+            with_dirs: false,
+            ..MdtestLike::default()
+        };
+        let programs = md.programs(3, 0);
+        let mut ids = std::collections::HashSet::new();
+        for p in &programs {
+            for op in p {
+                if let StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file,
+                } = op
+                {
+                    assert!(ids.insert(file.0), "duplicate file {file}");
+                }
+            }
+        }
+        assert_eq!(ids.len(), 15);
+    }
+
+    #[test]
+    fn pure_metadata_mode_has_no_data_ops() {
+        let md = MdtestLike {
+            write_bytes: 0,
+            read_bytes: 0,
+            ..MdtestLike::default()
+        };
+        let programs = md.programs(2, 0);
+        assert!(programs[0]
+            .iter()
+            .all(|op| !matches!(op, StackOp::PosixData { .. })));
+    }
+}

@@ -1,0 +1,258 @@
+//! Skel-like I/O skeleton applications.
+//!
+//! Skel (Logan et al.) generates runnable I/O skeletons from a
+//! declarative description of what an application writes per output
+//! phase. [`SkeletonApp`] is that idea for this framework: an application
+//! is a list of [`Phase`]s — compute followed by an optional I/O burst —
+//! from which per-rank programs are generated. The replay crate's
+//! benchmark generator produces these descriptors automatically from
+//! traces; this module also lets users write them by hand, exactly like
+//! a Skel XML descriptor.
+
+use crate::Workload;
+use pioeval_iostack::{AccessSpec, StackOp};
+use pioeval_types::{FileId, IoKind, MetaOp, SimDuration};
+
+/// How a phase performs its I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseApi {
+    /// POSIX sequential accesses in `transfer`-sized calls.
+    Posix,
+    /// MPI-IO collective (shared file, contiguous blocks).
+    Collective,
+}
+
+/// The I/O burst of one phase.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseIo {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Stack level.
+    pub api: PhaseApi,
+    /// Bytes per rank.
+    pub bytes_per_rank: u64,
+    /// Transfer size (POSIX path).
+    pub transfer: u64,
+    /// Shared file (true) or file-per-process (false). Collective I/O
+    /// implies shared.
+    pub shared: bool,
+}
+
+/// One application phase: compute, then optionally I/O.
+#[derive(Clone, Copy, Debug)]
+pub struct Phase {
+    /// Compute time preceding the I/O.
+    pub compute: SimDuration,
+    /// The I/O burst (None = compute-only phase).
+    pub io: Option<PhaseIo>,
+}
+
+/// A skeleton application.
+#[derive(Clone, Debug)]
+pub struct SkeletonApp {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+    /// Base file id (one file or file-set per I/O phase).
+    pub base_file: u32,
+}
+
+impl SkeletonApp {
+    /// A skeleton with the given phases.
+    pub fn new(phases: Vec<Phase>, base_file: u32) -> Self {
+        SkeletonApp { phases, base_file }
+    }
+}
+
+impl Workload for SkeletonApp {
+    fn name(&self) -> &'static str {
+        "skeleton"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                let mut file_cursor = self.base_file;
+                for phase in &self.phases {
+                    if !phase.compute.is_zero() {
+                        ops.push(StackOp::Compute(phase.compute));
+                    }
+                    let Some(io) = phase.io else {
+                        continue;
+                    };
+                    match io.api {
+                        PhaseApi::Collective => {
+                            let file = FileId::new(file_cursor);
+                            file_cursor += 1;
+                            ops.push(StackOp::MpiOpen { file });
+                            ops.push(StackOp::MpiCollective {
+                                kind: io.kind,
+                                file,
+                                spec: AccessSpec::ContiguousBlocks {
+                                    base: 0,
+                                    block: io.bytes_per_rank,
+                                },
+                            });
+                            ops.push(StackOp::MpiClose { file });
+                        }
+                        PhaseApi::Posix => {
+                            let (file, base) = if io.shared {
+                                let f = FileId::new(file_cursor);
+                                (f, rank as u64 * io.bytes_per_rank)
+                            } else {
+                                (FileId::new(file_cursor + 1 + rank), 0)
+                            };
+                            let open_op = if io.kind == IoKind::Write {
+                                MetaOp::Create
+                            } else {
+                                MetaOp::Open
+                            };
+                            // For a shared write, only rank 0 creates.
+                            if io.shared && io.kind == IoKind::Write {
+                                if rank == 0 {
+                                    ops.push(StackOp::PosixMeta {
+                                        op: MetaOp::Create,
+                                        file,
+                                    });
+                                    ops.push(StackOp::Barrier);
+                                } else {
+                                    ops.push(StackOp::Barrier);
+                                    ops.push(StackOp::PosixMeta {
+                                        op: MetaOp::Open,
+                                        file,
+                                    });
+                                }
+                            } else {
+                                ops.push(StackOp::PosixMeta { op: open_op, file });
+                            }
+                            let mut pos = 0;
+                            while pos < io.bytes_per_rank {
+                                let len =
+                                    (io.bytes_per_rank - pos).min(io.transfer.max(1));
+                                ops.push(StackOp::PosixData {
+                                    kind: io.kind,
+                                    file,
+                                    offset: base + pos,
+                                    len,
+                                });
+                                pos += len;
+                            }
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Close,
+                                file,
+                            });
+                            file_cursor += 1 + if io.shared { 0 } else { nranks };
+                        }
+                    }
+                }
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::bytes;
+
+    fn skeleton() -> SkeletonApp {
+        SkeletonApp::new(
+            vec![
+                Phase {
+                    compute: SimDuration::from_millis(100),
+                    io: Some(PhaseIo {
+                        kind: IoKind::Write,
+                        api: PhaseApi::Collective,
+                        bytes_per_rank: bytes::mib(4),
+                        transfer: bytes::mib(1),
+                        shared: true,
+                    }),
+                },
+                Phase {
+                    compute: SimDuration::from_millis(50),
+                    io: None,
+                },
+                Phase {
+                    compute: SimDuration::ZERO,
+                    io: Some(PhaseIo {
+                        kind: IoKind::Write,
+                        api: PhaseApi::Posix,
+                        bytes_per_rank: bytes::mib(2),
+                        transfer: bytes::mib(1),
+                        shared: false,
+                    }),
+                },
+            ],
+            600,
+        )
+    }
+
+    #[test]
+    fn phases_expand_in_order() {
+        let sk = skeleton();
+        let p = &sk.programs(4, 0)[1];
+        // First op: compute, then the collective phase.
+        assert!(matches!(p[0], StackOp::Compute(_)));
+        assert!(p.iter().any(|op| matches!(op, StackOp::MpiCollective { .. })));
+        // FPP phase: rank 1's file differs from rank 0's.
+        let f1 = p
+            .iter()
+            .find_map(|op| match op {
+                StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file,
+                } => Some(file.0),
+                _ => None,
+            })
+            .unwrap();
+        let p0 = &sk.programs(4, 0)[0];
+        let f0 = p0
+            .iter()
+            .find_map(|op| match op {
+                StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file,
+                } => Some(file.0),
+                _ => None,
+            })
+            .unwrap();
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    fn io_volume_matches_descriptor() {
+        let sk = skeleton();
+        let p = &sk.programs(2, 0)[0];
+        let posix: u64 = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(posix, bytes::mib(2));
+        let collective: u64 = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::MpiCollective { spec, .. } => Some(spec.bytes_per_rank()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(collective, bytes::mib(4));
+    }
+
+    #[test]
+    fn compute_only_phases_emit_compute() {
+        let sk = SkeletonApp::new(
+            vec![Phase {
+                compute: SimDuration::from_secs(1),
+                io: None,
+            }],
+            0,
+        );
+        let p = &sk.programs(1, 0)[0];
+        assert_eq!(p.len(), 1);
+        assert!(matches!(p[0], StackOp::Compute(_)));
+    }
+}

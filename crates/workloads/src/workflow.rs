@@ -1,0 +1,211 @@
+//! Multi-step scientific workflow workload.
+//!
+//! A DAG of stages, each consuming files produced by earlier stages and
+//! producing its own outputs, separated by barriers (the coupling a
+//! workflow management system provides). In contrast to "highly coherent,
+//! sequential, large-transaction reads and writes", workflow stages
+//! perform non-sequential, metadata-intensive, small-transaction I/O
+//! (Sec. V-C) — many small files flowing between stages.
+
+use crate::Workload;
+use pioeval_iostack::StackOp;
+use pioeval_types::{bytes, FileId, IoKind, MetaOp, SimDuration};
+
+/// One workflow stage.
+#[derive(Clone, Copy, Debug)]
+pub struct Stage {
+    /// Index of the upstream stage whose outputs this stage reads
+    /// (`None` for source stages reading staged-in input).
+    pub reads_stage: Option<usize>,
+    /// Files this stage writes, per rank.
+    pub files_out_per_rank: u32,
+    /// Size of each output file.
+    pub file_bytes: u64,
+    /// Compute time for the stage.
+    pub compute: SimDuration,
+    /// Stat upstream files before reading (workflow systems poll for
+    /// readiness — a metadata-heavy habit).
+    pub stat_before_read: bool,
+}
+
+/// A staged workflow.
+#[derive(Clone, Debug)]
+pub struct WorkflowDag {
+    /// Stages in topological (execution) order.
+    pub stages: Vec<Stage>,
+    /// Base file id.
+    pub base_file: u32,
+}
+
+impl WorkflowDag {
+    /// A representative 3-stage pipeline: ingest → transform → reduce,
+    /// with `file_bytes`-sized intermediates.
+    pub fn three_stage_default(file_bytes: u64) -> Self {
+        WorkflowDag {
+            stages: vec![
+                Stage {
+                    reads_stage: None,
+                    files_out_per_rank: 8,
+                    file_bytes,
+                    compute: SimDuration::from_millis(50),
+                    stat_before_read: false,
+                },
+                Stage {
+                    reads_stage: Some(0),
+                    files_out_per_rank: 8,
+                    file_bytes,
+                    compute: SimDuration::from_millis(100),
+                    stat_before_read: true,
+                },
+                Stage {
+                    reads_stage: Some(1),
+                    files_out_per_rank: 1,
+                    file_bytes: bytes::mib(4),
+                    compute: SimDuration::from_millis(50),
+                    stat_before_read: true,
+                },
+            ],
+            base_file: 40_000,
+        }
+    }
+
+    /// File id of output `i` of `rank` in `stage`.
+    fn out_file(&self, nranks: u32, stage: usize, rank: u32, i: u32) -> FileId {
+        let mut base = self.base_file;
+        for s in self.stages.iter().take(stage) {
+            base += s.files_out_per_rank * nranks;
+        }
+        FileId::new(base + rank * self.stages[stage].files_out_per_rank + i)
+    }
+}
+
+impl Workload for WorkflowDag {
+    fn name(&self) -> &'static str {
+        "workflow"
+    }
+
+    fn programs(&self, nranks: u32, _seed: u64) -> Vec<Vec<StackOp>> {
+        (0..nranks)
+            .map(|rank| {
+                let mut ops = Vec::new();
+                for (si, stage) in self.stages.iter().enumerate() {
+                    // Consume upstream outputs (own rank's share).
+                    if let Some(up) = stage.reads_stage {
+                        let upstage = &self.stages[up];
+                        for i in 0..upstage.files_out_per_rank {
+                            let f = self.out_file(nranks, up, rank, i);
+                            if stage.stat_before_read {
+                                ops.push(StackOp::PosixMeta {
+                                    op: MetaOp::Stat,
+                                    file: f,
+                                });
+                            }
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Open,
+                                file: f,
+                            });
+                            ops.push(StackOp::PosixData {
+                                kind: IoKind::Read,
+                                file: f,
+                                offset: 0,
+                                len: upstage.file_bytes,
+                            });
+                            ops.push(StackOp::PosixMeta {
+                                op: MetaOp::Close,
+                                file: f,
+                            });
+                        }
+                    }
+                    if !stage.compute.is_zero() {
+                        ops.push(StackOp::Compute(stage.compute));
+                    }
+                    // Produce outputs.
+                    for i in 0..stage.files_out_per_rank {
+                        let f = self.out_file(nranks, si, rank, i);
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Create,
+                            file: f,
+                        });
+                        ops.push(StackOp::PosixData {
+                            kind: IoKind::Write,
+                            file: f,
+                            offset: 0,
+                            len: stage.file_bytes,
+                        });
+                        ops.push(StackOp::PosixMeta {
+                            op: MetaOp::Close,
+                            file: f,
+                        });
+                    }
+                    // Stage boundary.
+                    ops.push(StackOp::Barrier);
+                }
+                ops
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_outputs_feed_next_stage() {
+        let wf = WorkflowDag::three_stage_default(bytes::kib(64));
+        let p = &wf.programs(2, 0)[0];
+        // Stage 1 reads exactly the files stage 0 wrote for this rank.
+        let mut stage0_writes = Vec::new();
+        let mut stage1_reads = Vec::new();
+        let mut barriers = 0;
+        for op in p {
+            match op {
+                StackOp::Barrier => barriers += 1,
+                StackOp::PosixData {
+                    kind: IoKind::Write,
+                    file,
+                    ..
+                } if barriers == 0 => stage0_writes.push(file.0),
+                StackOp::PosixData {
+                    kind: IoKind::Read,
+                    file,
+                    ..
+                } if barriers == 1 => stage1_reads.push(file.0),
+                _ => {}
+            }
+        }
+        assert_eq!(stage0_writes, stage1_reads);
+    }
+
+    #[test]
+    fn stat_polling_adds_metadata_load() {
+        let wf = WorkflowDag::three_stage_default(bytes::kib(64));
+        let p = &wf.programs(1, 0)[0];
+        let stats = p
+            .iter()
+            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Stat, .. }))
+            .count();
+        // Stages 1 and 2 stat their 8 upstream files each.
+        assert_eq!(stats, 16);
+    }
+
+    #[test]
+    fn file_ids_unique_across_stages_and_ranks() {
+        let wf = WorkflowDag::three_stage_default(bytes::kib(64));
+        let programs = wf.programs(3, 0);
+        let mut seen = std::collections::HashSet::new();
+        for p in &programs {
+            for op in p {
+                if let StackOp::PosixMeta {
+                    op: MetaOp::Create,
+                    file,
+                } = op
+                {
+                    assert!(seen.insert(file.0), "duplicate {file}");
+                }
+            }
+        }
+        // 3 ranks × (8 + 8 + 1) outputs.
+        assert_eq!(seen.len(), 51);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deep-learning training I/O (the paper's Sec. V-B): random small-file
+//! mini-batch reads vs. the traditional sequential checkpoint pattern,
+//! on the same cluster — with and without burst-buffer I/O nodes.
+//!
+//! ```sh
+//! cargo run --release --example dl_training
+//! ```
+
+use pioeval::prelude::*;
+
+fn run(
+    name: &str,
+    cluster: &ClusterConfig,
+    workload: Box<dyn Workload>,
+    nranks: u32,
+    table: &mut Table,
+) {
+    let source = WorkloadSource::Synthetic(workload);
+    let report = measure(cluster, &source, nranks, StackConfig::default(), 7)
+        .expect("simulation failed");
+    let makespan = report.makespan().expect("job did not finish");
+    let read_bw = report.job.read_throughput_mib_s();
+    let write_bw = report.job.write_throughput_mib_s();
+    table.row(vec![
+        name.to_string(),
+        format!("{makespan}"),
+        format!("{read_bw:.1}"),
+        format!("{write_bw:.1}"),
+        report.mds_ops.to_string(),
+        format!("{:.2}", report.profile.meta_per_data_op()),
+    ]);
+}
+
+fn main() {
+    let nranks = 8;
+    let volume_per_rank = pioeval::types::bytes::mib(16);
+
+    // DLIO-like: 128 KiB samples, one file per sample, shuffled each
+    // epoch — the random small-file read storm of Sec. V-B.
+    let dlio = DlioLike {
+        num_samples: 8 * 128,
+        sample_bytes: pioeval::types::bytes::kib(128),
+        file_per_sample: true,
+        compute_per_batch: SimDuration::from_millis(5),
+        ..DlioLike::default()
+    };
+    // Same data volume as one sequential checkpoint read per rank.
+    let checkpoint = CheckpointLike {
+        bytes_per_rank: volume_per_rank,
+        steps: 1,
+        compute: SimDuration::from_millis(5),
+        collective: false,
+        restart: true,
+        ..CheckpointLike::default()
+    };
+
+    println!("DL training vs. traditional checkpoint I/O, {nranks} ranks,");
+    println!("{} per rank:\n", pioeval::types::ByteSize(volume_per_rank));
+
+    let mut table = Table::new(vec![
+        "workload",
+        "makespan",
+        "read MiB/s",
+        "write MiB/s",
+        "MDS ops",
+        "meta/data",
+    ]);
+
+    let base = ClusterConfig::default();
+    run("checkpoint (seq)", &base, Box::new(checkpoint), nranks, &mut table);
+    run("dlio (random small)", &base, Box::new(dlio), nranks, &mut table);
+
+    // The same DL workload with burst-buffer I/O nodes (mitigation).
+    let with_bb = ClusterConfig {
+        num_ionodes: 2,
+        ..ClusterConfig::default()
+    };
+    let dlio2 = DlioLike {
+        num_samples: 8 * 128,
+        sample_bytes: pioeval::types::bytes::kib(128),
+        file_per_sample: true,
+        compute_per_batch: SimDuration::from_millis(5),
+        ..DlioLike::default()
+    };
+    run("dlio + burst buffer", &with_bb, Box::new(dlio2), nranks, &mut table);
+
+    print!("{}", table.render());
+    println!(
+        "\nThe random, metadata-heavy DL pattern collapses read bandwidth and
+multiplies MDS load relative to the sequential checkpoint moving the
+same bytes — the mismatch Sec. V-B describes for PFS designs
+\"optimized for large sequential I/O\"."
+    );
+}

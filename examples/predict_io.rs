@@ -1,0 +1,91 @@
+//! I/O performance prediction (Sec. IV-B2): train a linear model, a
+//! neural network, and a random forest to predict job I/O time from
+//! workload parameters, using data produced entirely by the simulator —
+//! the Schmid & Kunkel / Sun et al. methodology end to end.
+//!
+//! ```sh
+//! cargo run --release --example predict_io
+//! ```
+
+use pioeval::model::{
+    train_test_split, ErrorMetrics, LinearRegression, Mlp, MlpConfig, RandomForest,
+    RandomForestConfig,
+};
+use pioeval::prelude::*;
+
+fn main() {
+    let cluster = ClusterConfig::default();
+
+    // Generate training data: IOR runs across a parameter grid.
+    println!("simulating the training grid (this is the expensive part) ...");
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for nranks in [2u32, 4, 6, 8] {
+        for block_mib in [2u64, 4, 8, 12, 16] {
+            for transfer_kib in [256u64, 1024, 4096] {
+                let ior = IorLike {
+                    block_size: pioeval::types::bytes::mib(block_mib),
+                    transfer_size: pioeval::types::bytes::kib(transfer_kib),
+                    fsync: false,
+                    ..IorLike::default()
+                };
+                let report = measure(
+                    &cluster,
+                    &WorkloadSource::Synthetic(Box::new(ior)),
+                    nranks,
+                    StackConfig::default(),
+                    1,
+                )
+                .expect("training run failed");
+                xs.push(vec![
+                    nranks as f64,
+                    block_mib as f64,
+                    transfer_kib as f64,
+                ]);
+                ys.push(report.makespan().unwrap().as_secs_f64());
+            }
+        }
+    }
+    println!("collected {} training runs\n", xs.len());
+
+    let (tr_x, tr_y, te_x, te_y) = train_test_split(&xs, &ys, 0.25, 3);
+
+    let linear = LinearRegression::fit(&tr_x, &tr_y).expect("linreg");
+    let lin_m = ErrorMetrics::compute(&te_y, &linear.predict_all(&te_x));
+
+    let nn = Mlp::fit(
+        &tr_x,
+        &tr_y,
+        &MlpConfig {
+            epochs: 2000,
+            learning_rate: 0.02,
+            ..MlpConfig::default()
+        },
+    )
+    .expect("mlp");
+    let nn_m = ErrorMetrics::compute(&te_y, &nn.predict_all(&te_x));
+
+    let rf = RandomForest::fit(&tr_x, &tr_y, &RandomForestConfig::default())
+        .expect("forest");
+    let rf_m = ErrorMetrics::compute(&te_y, &rf.predict_all(&te_x));
+
+    let mut table = Table::new(vec!["model", "MAE (s)", "RMSE (s)", "MAPE %", "R²"]);
+    for (name, m) in [
+        ("linear regression", lin_m),
+        ("neural network", nn_m),
+        ("random forest", rf_m),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.4}", m.mae),
+            format!("{:.4}", m.rmse),
+            format!("{:.1}", m.mape),
+            format!("{:.3}", m.r2),
+        ]);
+    }
+    println!("held-out prediction of job I/O time:\n");
+    print!("{}", table.render());
+
+    println!("\nrandom-forest feature importance (nranks, block, transfer):");
+    println!("  {:?}", rf.importance());
+}

@@ -1,0 +1,86 @@
+//! Quickstart: run an IOR-like benchmark on a simulated storage cluster
+//! and print the classic IOR summary plus the Darshan-style profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pioeval::prelude::*;
+
+fn main() {
+    // A Lustre-class cluster: 8 clients, 4 OSS × 2 HDD OSTs, InfiniBand
+    // compute fabric, 10GbE storage fabric (the paper's Fig. 1).
+    let cluster = ClusterConfig::default();
+
+    // IOR: shared file, 16 MiB per rank in 1 MiB transfers, write+read.
+    let ior = IorLike {
+        read: true,
+        ..IorLike::default()
+    };
+    let nranks = 8;
+    let source = WorkloadSource::Synthetic(Box::new(ior));
+    let report = measure(&cluster, &source, nranks, StackConfig::default(), 42)
+        .expect("simulation failed");
+
+    let makespan = report.makespan().expect("job did not finish");
+    println!("== IOR-like benchmark, {nranks} ranks, shared file ==\n");
+    let mut summary = Table::new(vec!["metric", "value"]);
+    summary.row(vec![
+        "makespan".to_string(),
+        format!("{makespan}"),
+    ]);
+    summary.row(vec![
+        "write throughput".to_string(),
+        format!("{:.1} MiB/s", report.job.write_throughput_mib_s()),
+    ]);
+    summary.row(vec![
+        "read throughput".to_string(),
+        format!("{:.1} MiB/s", report.job.read_throughput_mib_s()),
+    ]);
+    summary.row(vec![
+        "bytes written".to_string(),
+        format!("{}", pioeval::types::ByteSize(report.profile.bytes_written())),
+    ]);
+    summary.row(vec![
+        "bytes read".to_string(),
+        format!("{}", pioeval::types::ByteSize(report.profile.bytes_read())),
+    ]);
+    summary.row(vec![
+        "metadata ops (MDS)".to_string(),
+        report.mds_ops.to_string(),
+    ]);
+    summary.row(vec![
+        "shared files".to_string(),
+        format!("{:?}", report.profile.shared_files()),
+    ]);
+    print!("{}", summary.render());
+
+    // The Darshan-style transfer-size histogram.
+    println!("\n== write transfer-size histogram ==");
+    let hist = report.profile.write_size_hist();
+    for (label, count) in pioeval::types::SIZE_BUCKET_LABELS.iter().zip(hist) {
+        if count > 0 {
+            println!("  {label:>9}: {count}");
+        }
+    }
+
+    // Server-side view: per-OSS write volume (spatial distribution) and
+    // each OSS's write-bandwidth timeline as a sparkline.
+    println!("\n== server-side bytes written per OSS ==");
+    for (i, s) in report.servers.iter().enumerate() {
+        let series: Vec<f64> = (0..s.timelines.iter().map(|t| t.len()).max().unwrap_or(0))
+            .map(|bin| {
+                s.timelines
+                    .iter()
+                    .map(|t| *t.write_bins.get(bin).unwrap_or(&0) as f64)
+                    .sum()
+            })
+            .collect();
+        println!(
+            "  oss{i}: {:>10} | {} | queue wait mean {}",
+            format!("{}", pioeval::types::ByteSize(s.bytes_written)),
+            pioeval::core::sparkline(&series),
+            s.mean_queue_wait()
+        );
+    }
+}

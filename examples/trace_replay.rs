@@ -1,0 +1,95 @@
+//! Record-and-replay tour (Sec. IV-A1/IV-B3): trace a run, compress the
+//! trace into a generated benchmark, extrapolate it to a larger scale,
+//! and validate the extrapolation by simulating it.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use pioeval::prelude::*;
+use pioeval::replay::{extrapolate, generate_benchmark};
+use pioeval::trace::{encode_records, records_to_json};
+
+fn main() {
+    let cluster = ClusterConfig::default();
+
+    // 1. Record: run a 4-rank checkpointing app with full capture.
+    let app = CheckpointLike {
+        steps: 3,
+        collective: false,
+        compute: SimDuration::from_millis(50),
+        ..CheckpointLike::default()
+    };
+    let small = measure(
+        &cluster,
+        &WorkloadSource::Synthetic(Box::new(app)),
+        4,
+        StackConfig::default(),
+        1,
+    )
+    .expect("recording run failed");
+    let all = small.job.all_records();
+    println!("== recorded 4-rank run ==");
+    println!("records captured: {}", all.len());
+    println!(
+        "binary trace: {} bytes; JSON trace: {} bytes",
+        encode_records(&all).len(),
+        records_to_json(&all).len()
+    );
+
+    // 2. Compress: generate a looped benchmark from rank 0's trace.
+    let bench = generate_benchmark(&small.job.records[0]);
+    println!(
+        "\n== generated benchmark (rank 0) ==\noriginal ops: {}, grammar size: {}, compression: {:.1}x",
+        bench.original_ops,
+        bench.compressed_size,
+        bench.compression_ratio()
+    );
+    println!("--- generated source ---\n{}", bench.source);
+
+    // 3. Extrapolate: 4 recorded ranks → 16 synthesized ranks.
+    let ex = extrapolate(&small.job.records, 16).expect("extrapolation failed");
+    println!(
+        "== extrapolation 4 → 16 ranks ==\naffine fit: {:.0}% of trace positions",
+        ex.fit_fraction() * 100.0
+    );
+
+    // 4. Validate: simulate the extrapolated 16-rank job and compare to
+    //    a directly-generated 16-rank run (what ScalaIOExtrap checks).
+    let direct = measure(
+        &cluster,
+        &WorkloadSource::Synthetic(Box::new(CheckpointLike {
+            steps: 3,
+            collective: false,
+            compute: SimDuration::from_millis(50),
+            ..CheckpointLike::default()
+        })),
+        16,
+        StackConfig::default(),
+        1,
+    )
+    .expect("direct run failed");
+
+    let mut c = Cluster::new(cluster).expect("cluster");
+    let spec = JobSpec {
+        programs: ex.programs,
+        stack: StackConfig::default(),
+        start: SimTime::ZERO,
+    };
+    let handle = launch(&mut c, &spec);
+    c.run();
+    let replayed = collect(&c, &handle);
+
+    let mut table = Table::new(vec!["run", "ranks", "bytes written", "makespan"]);
+    for (name, job) in [("direct 16-rank", &direct.job), ("extrapolated", &replayed)] {
+        table.row(vec![
+            name.to_string(),
+            job.counters.len().to_string(),
+            format!("{}", pioeval::types::ByteSize(job.bytes_written())),
+            job.makespan()
+                .map(|m| format!("{m}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("\n{}", table.render());
+}

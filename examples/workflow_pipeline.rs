@@ -1,0 +1,69 @@
+//! Data-intensive scientific workflow (Sec. V-C) with end-to-end
+//! monitoring: a staged producer/consumer pipeline of many small files,
+//! fused into a UMAMI-style metrics panel and checked for client/server
+//! coverage.
+//!
+//! ```sh
+//! cargo run --release --example workflow_pipeline
+//! ```
+
+use pioeval::monitor::{EndToEndView, JobLog, SystemAnalysis};
+use pioeval::prelude::*;
+use pioeval::types::JobId;
+
+fn main() {
+    let cluster = ClusterConfig::default();
+    let nranks = 8;
+
+    // A 3-stage workflow with 256 KiB intermediates: non-sequential,
+    // metadata-intensive, small-transaction I/O.
+    let wf = WorkflowDag::three_stage_default(pioeval::types::bytes::kib(256));
+    let report = measure(
+        &cluster,
+        &WorkloadSource::Synthetic(Box::new(wf)),
+        nranks,
+        StackConfig::default(),
+        5,
+    )
+    .expect("workflow failed");
+    let makespan = report.makespan().expect("workflow did not finish");
+
+    // Scheduler record for the job (the third log source).
+    let job_log = JobLog {
+        job: JobId::new(1),
+        nodes: nranks,
+        ranks: nranks,
+        submit: SimTime::ZERO,
+        start: SimTime::ZERO,
+        end: SimTime::ZERO + makespan,
+    };
+
+    // UMAMI-style fused panel.
+    let view = EndToEndView::fuse(&report.profile, &report.servers, &job_log);
+    println!("== end-to-end metrics panel (UMAMI-style) ==\n");
+    print!("{}", view.render());
+    println!(
+        "\nclient/server byte coverage ok: {}",
+        view.coverage_ok(0.01)
+    );
+
+    // System-level temporal analysis (Patel-et-al style).
+    let timelines: Vec<_> = report
+        .servers
+        .iter()
+        .flat_map(|s| s.timelines.iter().cloned())
+        .collect();
+    let analysis = SystemAnalysis::from_timelines(&timelines);
+    println!("\n== storage-system analysis ==");
+    println!("read fraction:      {:.2}", analysis.read_fraction());
+    println!("burstiness (pk/mu): {:.2}", analysis.burstiness);
+    println!("active windows:     {:.0}%", analysis.active_fraction * 100.0);
+    println!("spatial imbalance:  {:.2}", analysis.spatial_imbalance());
+
+    println!(
+        "\nWorkflow stages shift the byte mix toward reads (every intermediate
+is re-read downstream) and drive metadata ops per data op far above
+the checkpoint-style workloads PFS deployments were tuned for —
+Sec. V-C's non-sequential, metadata-intensive, small-transaction I/O."
+    );
+}

@@ -1,0 +1,360 @@
+//! The `pioeval` command-line tool: run workloads on the simulated
+//! cluster, execute DSL-described workloads, and print the framework's
+//! taxonomy and corpus — without writing any Rust.
+//!
+//! ```text
+//! pioeval run --workload dlio --ranks 8 --ionodes 2
+//! pioeval dsl my_workload.pio --ranks 4
+//! pioeval taxonomy
+//! pioeval corpus
+//! ```
+
+use pioeval::monitor::SystemAnalysis;
+use pioeval::prelude::*;
+use pioeval::workloads::parse_dsl;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pioeval — parallel I/O evaluation framework
+
+USAGE:
+  pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
+  pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
+  pioeval taxonomy                          print the evaluation-cycle taxonomy
+  pioeval corpus                            print the survey corpus distribution
+
+WORKLOADS:
+  ior | mdtest | checkpoint | btio | dlio | analytics | workflow
+
+OPTIONS:
+  --ranks <N>      job ranks                       [default: 8]
+  --clients <N>    compute clients in the cluster  [default: 64]
+  --ionodes <N>    burst-buffer I/O nodes          [default: 0]
+  --mds <N>        metadata servers                [default: 1]
+  --oss <N>        object storage servers          [default: 4]
+  --seed <N>       deterministic seed              [default: 42]
+";
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    ranks: u32,
+    clients: usize,
+    ionodes: usize,
+    mds: usize,
+    oss: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            ranks: 8,
+            clients: 64,
+            ionodes: 0,
+            mds: 1,
+            oss: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Split args into positional values and `--key value` flags.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            flags.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let parse = |flags: &HashMap<String, String>, key: &str| -> Result<Option<u64>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{key}: {v}")))
+            .transpose()
+    };
+    if let Some(v) = parse(flags, "ranks")? {
+        opts.ranks = v as u32;
+    }
+    if let Some(v) = parse(flags, "clients")? {
+        opts.clients = v as usize;
+    }
+    if let Some(v) = parse(flags, "ionodes")? {
+        opts.ionodes = v as usize;
+    }
+    if let Some(v) = parse(flags, "mds")? {
+        opts.mds = v as usize;
+    }
+    if let Some(v) = parse(flags, "oss")? {
+        opts.oss = v as usize;
+    }
+    if let Some(v) = parse(flags, "seed")? {
+        opts.seed = v;
+    }
+    for key in flags.keys() {
+        if !["ranks", "clients", "ionodes", "mds", "oss", "seed", "workload"]
+            .contains(&key.as_str())
+        {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    if opts.ranks == 0 {
+        return Err("--ranks must be > 0".into());
+    }
+    Ok(opts)
+}
+
+fn cluster_from(opts: &Options) -> ClusterConfig {
+    ClusterConfig {
+        num_clients: opts.clients.max(opts.ranks as usize),
+        num_ionodes: opts.ionodes,
+        num_oss: opts.oss.max(1),
+        ..ClusterConfig::default()
+    }
+    .with_mds(opts.mds.max(1))
+}
+
+/// Helper so the CLI reads cleanly (ClusterConfig has many fields).
+trait WithMds {
+    fn with_mds(self, n: usize) -> Self;
+}
+impl WithMds for ClusterConfig {
+    fn with_mds(mut self, n: usize) -> Self {
+        self.num_mds = n;
+        self
+    }
+}
+
+fn workload_by_name(name: &str) -> Result<Box<dyn Workload>, String> {
+    Ok(match name {
+        "ior" => Box::new(IorLike::default()),
+        "mdtest" => Box::new(MdtestLike::default()),
+        "checkpoint" => Box::new(CheckpointLike::default()),
+        "btio" => Box::new(BtIoLike::default()),
+        "dlio" => Box::new(DlioLike::default()),
+        "analytics" => Box::new(AnalyticsLike::default()),
+        "workflow" => Box::new(WorkflowDag::three_stage_default(
+            pioeval::types::bytes::kib(256),
+        )),
+        other => return Err(format!("unknown workload `{other}` (see --help)")),
+    })
+}
+
+fn print_report(report: &pioeval::core::MeasurementReport) {
+    let makespan = report
+        .makespan()
+        .expect("job did not finish — report a bug");
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["makespan".to_string(), format!("{makespan}")]);
+    table.row(vec![
+        "write throughput".to_string(),
+        format!("{:.1} MiB/s", report.job.write_throughput_mib_s()),
+    ]);
+    table.row(vec![
+        "read throughput".to_string(),
+        format!("{:.1} MiB/s", report.job.read_throughput_mib_s()),
+    ]);
+    table.row(vec![
+        "bytes written".to_string(),
+        format!("{}", pioeval::types::ByteSize(report.profile.bytes_written())),
+    ]);
+    table.row(vec![
+        "bytes read".to_string(),
+        format!("{}", pioeval::types::ByteSize(report.profile.bytes_read())),
+    ]);
+    table.row(vec![
+        "metadata ops".to_string(),
+        report.mds_ops.to_string(),
+    ]);
+    table.row(vec![
+        "meta per data op".to_string(),
+        format!("{:.2}", report.profile.meta_per_data_op()),
+    ]);
+    table.row(vec![
+        "files touched".to_string(),
+        report.profile.num_files().to_string(),
+    ]);
+    print!("{}", table.render());
+
+    let timelines: Vec<_> = report
+        .servers
+        .iter()
+        .flat_map(|s| s.timelines.iter().cloned())
+        .collect();
+    let analysis = SystemAnalysis::from_timelines(&timelines);
+    let series: Vec<f64> = analysis
+        .windows
+        .iter()
+        .map(|w| (w.read + w.written) as f64)
+        .collect();
+    println!("\nserver traffic: {}", pioeval::core::sparkline(&series));
+    println!(
+        "burstiness {:.2} | read fraction {:.2} | active windows {:.0}%{}",
+        analysis.burstiness,
+        analysis.read_fraction(),
+        analysis.active_fraction * 100.0,
+        analysis
+            .dominant_period()
+            .map(|p| format!(" | dominant period {p} windows"))
+            .unwrap_or_default()
+    );
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let name = flags
+        .get("workload")
+        .ok_or("run requires --workload <NAME>")?;
+    let opts = options_from(&flags)?;
+    let workload = workload_by_name(name)?;
+    println!(
+        "running `{name}` with {} ranks on {} clients ({} I/O nodes, {} MDS, {} OSS) ...\n",
+        opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
+    );
+    let report = measure(
+        &cluster_from(&opts),
+        &WorkloadSource::Synthetic(workload),
+        opts.ranks,
+        StackConfig::default(),
+        opts.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_dsl(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    let path = positional.first().ok_or("dsl requires a <FILE> argument")?;
+    let opts = options_from(&flags)?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let workload = parse_dsl(&source, 100_000).map_err(|e| e.to_string())?;
+    println!("running DSL workload `{path}` with {} ranks ...\n", opts.ranks);
+    let report = measure(
+        &cluster_from(&opts),
+        &WorkloadSource::Synthetic(Box::new(workload)),
+        opts.ranks,
+        StackConfig::default(),
+        opts.seed,
+    )
+    .map_err(|e| e.to_string())?;
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_taxonomy() {
+    let mut table = Table::new(vec!["phase", "strategy", "section", "implemented by"]);
+    for s in pioeval::core::taxonomy() {
+        table.row(vec![
+            format!("{:?}", s.phase),
+            s.name.to_string(),
+            s.section.to_string(),
+            s.implemented_by.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn cmd_corpus() {
+    let papers = pioeval::corpus::included();
+    let dist = pioeval::corpus::Distribution::of(&papers);
+    println!("{} included papers (2015-2020)\n", papers.len());
+    print!("{}", dist.render());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("dsl") => cmd_dsl(&args[1..]),
+        Some("taxonomy") => {
+            cmd_taxonomy();
+            Ok(())
+        }
+        Some("corpus") => {
+            cmd_corpus();
+            Ok(())
+        }
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_keys_and_positionals() {
+        let (pos, flags) =
+            parse_flags(&strs(&["file.pio", "--ranks", "4", "--seed", "7"])).unwrap();
+        assert_eq!(pos, vec!["file.pio"]);
+        assert_eq!(flags["ranks"], "4");
+        assert_eq!(flags["seed"], "7");
+        assert!(parse_flags(&strs(&["--ranks"])).is_err());
+    }
+
+    #[test]
+    fn options_validate() {
+        let (_, flags) = parse_flags(&strs(&["--ranks", "4", "--ionodes", "2"])).unwrap();
+        let opts = options_from(&flags).unwrap();
+        assert_eq!(opts.ranks, 4);
+        assert_eq!(opts.ionodes, 2);
+        let (_, bad) = parse_flags(&strs(&["--ranks", "zero"])).unwrap();
+        assert!(options_from(&bad).is_err());
+        let (_, unknown) = parse_flags(&strs(&["--frobnicate", "1"])).unwrap();
+        assert!(options_from(&unknown).is_err());
+        let (_, zero) = parse_flags(&strs(&["--ranks", "0"])).unwrap();
+        assert!(options_from(&zero).is_err());
+    }
+
+    #[test]
+    fn all_bundled_workloads_resolve() {
+        for name in ["ior", "mdtest", "checkpoint", "btio", "dlio", "analytics", "workflow"] {
+            assert!(workload_by_name(name).is_ok(), "{name}");
+        }
+        assert!(workload_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn cluster_accommodates_ranks() {
+        let opts = Options {
+            ranks: 128,
+            clients: 8,
+            ..Options::default()
+        };
+        let cfg = cluster_from(&opts);
+        assert!(cfg.num_clients >= 128);
+        assert_eq!(cfg.num_mds, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-crate integration tests: full measurement trips through the
+//! whole stack (workload generator → iostack → PFS simulator → trace →
+//! profile → analysis).
+
+use pioeval::monitor::SystemAnalysis;
+use pioeval::prelude::*;
+use pioeval::types::bytes;
+
+fn small_cluster() -> ClusterConfig {
+    ClusterConfig {
+        num_clients: 16,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn ior_end_to_end_byte_conservation() {
+    // Client-side profile, server-side stats, and the workload's own
+    // arithmetic must agree on the bytes moved.
+    let nranks = 8;
+    let ior = IorLike {
+        block_size: bytes::mib(8),
+        read: true,
+        fsync: false,
+        ..IorLike::default()
+    };
+    let source = WorkloadSource::Synthetic(Box::new(ior));
+    let report = measure(&small_cluster(), &source, nranks, StackConfig::default(), 1)
+        .expect("simulation failed");
+    let expect = nranks as u64 * bytes::mib(8);
+    assert_eq!(report.profile.bytes_written(), expect);
+    assert_eq!(report.profile.bytes_read(), expect);
+    let server_written: u64 = report.servers.iter().map(|s| s.bytes_written).sum();
+    assert_eq!(server_written, expect);
+    let server_read: u64 = report.servers.iter().map(|s| s.bytes_read).sum();
+    assert_eq!(server_read, expect);
+}
+
+#[test]
+fn collective_and_posix_ior_move_the_same_bytes() {
+    let nranks = 8;
+    let mk = |api| IorLike {
+        api,
+        block_size: bytes::mib(4),
+        fsync: false,
+        ..IorLike::default()
+    };
+    let posix = measure(
+        &small_cluster(),
+        &WorkloadSource::Synthetic(Box::new(mk(pioeval::workloads::IorApi::Posix))),
+        nranks,
+        StackConfig::default(),
+        1,
+    )
+    .unwrap();
+    let collective = measure(
+        &small_cluster(),
+        &WorkloadSource::Synthetic(Box::new(mk(
+            pioeval::workloads::IorApi::MpiCollective,
+        ))),
+        nranks,
+        StackConfig::default(),
+        1,
+    )
+    .unwrap();
+    assert_eq!(
+        posix.profile.bytes_written() + posix.profile.bytes_read(),
+        collective.profile.bytes_written() + collective.profile.bytes_read(),
+    );
+    // Collective I/O funnels file access through 2 aggregators; the
+    // POSIX path uses all 8 ranks.
+    let writers = |r: &pioeval::core::MeasurementReport| {
+        r.job
+            .counters
+            .iter()
+            .filter(|c| c.bytes_written > 0)
+            .count()
+    };
+    assert_eq!(writers(&collective), 2);
+    assert_eq!(writers(&posix), 8);
+}
+
+#[test]
+fn dlio_stresses_metadata_relative_to_checkpoint() {
+    let nranks = 4;
+    let volume = bytes::mib(4);
+    let dlio = DlioLike {
+        num_samples: 128,
+        sample_bytes: volume * nranks as u64 / 128,
+        compute_per_batch: SimDuration::ZERO,
+        ..DlioLike::default()
+    };
+    let ckpt = CheckpointLike {
+        bytes_per_rank: volume,
+        steps: 1,
+        compute: SimDuration::ZERO,
+        collective: false,
+        ..CheckpointLike::default()
+    };
+    let run = |w: Box<dyn Workload>| {
+        measure(
+            &small_cluster(),
+            &WorkloadSource::Synthetic(w),
+            nranks,
+            StackConfig::default(),
+            1,
+        )
+        .unwrap()
+    };
+    let dl = run(Box::new(dlio));
+    let cp = run(Box::new(ckpt));
+    assert!(
+        dl.mds_ops > cp.mds_ops * 5,
+        "DL {} vs checkpoint {} MDS ops",
+        dl.mds_ops,
+        cp.mds_ops
+    );
+}
+
+#[test]
+fn burst_buffer_accelerates_bursty_writes() {
+    let nranks = 8;
+    let ckpt = || CheckpointLike {
+        bytes_per_rank: bytes::mib(16),
+        steps: 2,
+        compute: SimDuration::from_millis(500),
+        collective: false,
+        ..CheckpointLike::default()
+    };
+    let no_bb = measure(
+        &small_cluster(),
+        &WorkloadSource::Synthetic(Box::new(ckpt())),
+        nranks,
+        StackConfig::default(),
+        1,
+    )
+    .unwrap();
+    let bb_cfg = ClusterConfig {
+        num_ionodes: 4,
+        ..small_cluster()
+    };
+    let with_bb = measure(
+        &bb_cfg,
+        &WorkloadSource::Synthetic(Box::new(ckpt())),
+        nranks,
+        StackConfig::default(),
+        1,
+    )
+    .unwrap();
+    let m0 = no_bb.makespan().unwrap();
+    let m1 = with_bb.makespan().unwrap();
+    assert!(
+        m1 < m0,
+        "burst buffer should cut app-visible time: {m1} vs {m0}"
+    );
+}
+
+#[test]
+fn system_analysis_sees_burstiness_of_checkpoints() {
+    let ckpt = CheckpointLike {
+        bytes_per_rank: bytes::mib(8),
+        steps: 3,
+        compute: SimDuration::from_secs(1),
+        collective: false,
+        ..CheckpointLike::default()
+    };
+    let report = measure(
+        &small_cluster(),
+        &WorkloadSource::Synthetic(Box::new(ckpt)),
+        4,
+        StackConfig::default(),
+        1,
+    )
+    .unwrap();
+    let timelines: Vec<_> = report
+        .servers
+        .iter()
+        .flat_map(|s| s.timelines.iter().cloned())
+        .collect();
+    let analysis = SystemAnalysis::from_timelines(&timelines);
+    // Long compute gaps between bursts → bursty, mostly-idle system.
+    assert!(analysis.burstiness > 2.0, "burstiness {}", analysis.burstiness);
+    assert!(analysis.active_fraction < 0.8);
+    assert_eq!(analysis.read_fraction(), 0.0);
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let run = || {
+        let source = WorkloadSource::Synthetic(Box::new(DlioLike {
+            num_samples: 64,
+            ..DlioLike::default()
+        }));
+        let r = measure(&small_cluster(), &source, 4, StackConfig::default(), 9)
+            .unwrap();
+        (
+            r.makespan(),
+            r.profile.bytes_read(),
+            r.mds_ops,
+            r.dxt.num_segments(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the framework's core invariants.
+
+use pioeval::iostack::{plan::compile, StackConfig, StackOp};
+use pioeval::pfs::Layout;
+use pioeval::trace::{decode_records, encode_records, RePair, TokenStream};
+use pioeval::types::{
+    FileId, IoKind, Layer, LayerRecord, MetaOp, PatternDetector, Rank, RecordOp,
+    SimTime,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Striping partitions any extent exactly: chunks are contiguous in
+    /// file space, lengths sum to the extent, every chunk stays within
+    /// one stripe unit, and OST ids are in range.
+    #[test]
+    fn striping_partitions_extents(
+        stripe_size in 1u64..=1 << 22,
+        stripe_count in 1u32..=16,
+        start in 0u32..16,
+        total_osts in 1u32..=16,
+        offset in 0u64..1 << 30,
+        len in 0u64..1 << 24,
+    ) {
+        let layout = Layout::new(stripe_size, stripe_count, start, total_osts);
+        let chunks = layout.map(offset, len, total_osts);
+        let mut pos = offset;
+        for c in &chunks {
+            prop_assert_eq!(c.file_offset, pos);
+            prop_assert!(c.len > 0 && c.len <= stripe_size);
+            prop_assert!((c.ost.0) < total_osts);
+            pos += c.len;
+        }
+        prop_assert_eq!(pos, offset + len);
+    }
+
+    /// The binary trace codec is lossless for arbitrary records.
+    #[test]
+    fn codec_roundtrip(records in proptest::collection::vec(arb_record(), 0..200)) {
+        let encoded = encode_records(&records);
+        let decoded = decode_records(&encoded).unwrap();
+        prop_assert_eq!(records, decoded);
+    }
+
+    /// Grammar compression is lossless for arbitrary symbol sequences.
+    #[test]
+    fn repair_roundtrip(seq in proptest::collection::vec(0u32..12, 0..300)) {
+        let grammar = RePair::compress(&seq, 12);
+        prop_assert_eq!(grammar.expand(), seq);
+    }
+
+    /// Tokenization round-trips offsets for arbitrary data streams.
+    #[test]
+    fn tokenize_roundtrip(ops in proptest::collection::vec(arb_data_op(), 0..100)) {
+        let records: Vec<LayerRecord> = ops.iter().map(|&(file, offset, len)| LayerRecord {
+            layer: Layer::Posix,
+            rank: Rank::new(0),
+            file: FileId::new(file),
+            op: RecordOp::Data(IoKind::Write),
+            offset,
+            len,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }).collect();
+        let stream = TokenStream::from_records(&records);
+        let replayed = stream.detokenize();
+        prop_assert_eq!(replayed.len(), records.len());
+        for (r, o) in records.iter().zip(&replayed) {
+            prop_assert_eq!(r.offset, o.offset);
+            prop_assert_eq!(r.len, o.len);
+            prop_assert_eq!(r.file, o.file);
+        }
+    }
+
+    /// Pattern-detector fractions always partition 1 (sequential includes
+    /// consecutive; random is the complement of sequential).
+    #[test]
+    fn pattern_fractions_are_consistent(
+        accesses in proptest::collection::vec((0u64..1 << 20, 1u64..1 << 12), 1..100)
+    ) {
+        let mut d = PatternDetector::new();
+        for (off, len) in &accesses {
+            d.observe(*off, *len);
+        }
+        prop_assert_eq!(d.total as usize, accesses.len());
+        let s = d.sequential_fraction();
+        let r = d.random_fraction();
+        prop_assert!((s + r - 1.0).abs() < 1e-9);
+        prop_assert!(d.consecutive_fraction() <= s + 1e-9);
+    }
+
+    /// Compiled rank programs always balance RecordStart/RecordEnd and
+    /// issue identical barrier tag sequences across ranks (the SPMD
+    /// coordination invariant).
+    #[test]
+    fn compiled_programs_are_well_formed(
+        nranks in 1u32..9,
+        block in 1u64..1 << 20,
+        steps in 1u32..4,
+    ) {
+        let program: Vec<StackOp> = (0..steps).flat_map(|s| vec![
+            StackOp::MpiOpen { file: FileId::new(s) },
+            StackOp::MpiCollective {
+                kind: IoKind::Write,
+                file: FileId::new(s),
+                spec: pioeval::iostack::AccessSpec::ContiguousBlocks { base: 0, block },
+            },
+            StackOp::Barrier,
+            StackOp::MpiClose { file: FileId::new(s) },
+        ]).collect();
+        let mut tag_seqs = Vec::new();
+        for rank in 0..nranks {
+            let actions = compile(rank, nranks, &program, &StackConfig::default());
+            let mut depth = 0i64;
+            let mut tags = Vec::new();
+            for a in &actions {
+                match a {
+                    pioeval::iostack::plan::Action::RecordStart { .. } => depth += 1,
+                    pioeval::iostack::plan::Action::RecordEnd => {
+                        depth -= 1;
+                        prop_assert!(depth >= 0);
+                    }
+                    pioeval::iostack::plan::Action::BarrierEnter { tag } => {
+                        tags.push(*tag);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(depth, 0);
+            tag_seqs.push(tags);
+        }
+        for t in &tag_seqs[1..] {
+            prop_assert_eq!(t, &tag_seqs[0]);
+        }
+    }
+}
+
+fn arb_record() -> impl Strategy<Value = LayerRecord> {
+    (
+        0u8..4,
+        0u8..14,
+        0u32..64,
+        0u32..64,
+        0u64..1 << 40,
+        0u64..1 << 30,
+        0u64..1 << 40,
+    )
+        .prop_map(|(layer, op, rank, file, offset, len, t)| LayerRecord {
+            layer: Layer::ALL[layer as usize],
+            rank: Rank::new(rank),
+            file: FileId::new(file),
+            op: match op {
+                0 => RecordOp::Data(IoKind::Read),
+                1 => RecordOp::Data(IoKind::Write),
+                2 => RecordOp::CollectiveData(IoKind::Read),
+                3 => RecordOp::CollectiveData(IoKind::Write),
+                4 => RecordOp::Barrier,
+                5 => RecordOp::Compute,
+                n => RecordOp::Meta(MetaOp::ALL[(n - 6) as usize]),
+            },
+            offset,
+            len,
+            start: SimTime::from_nanos(t),
+            end: SimTime::from_nanos(t + len),
+        })
+}
+
+fn arb_data_op() -> impl Strategy<Value = (u32, u64, u64)> {
+    (0u32..8, 0u64..1 << 30, 0u64..1 << 20)
+}

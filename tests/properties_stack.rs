@@ -1,0 +1,180 @@
+//! Second property-test suite: invariants of the I/O stack lowering,
+//! the H5 model, the DSL, and full-simulation byte conservation.
+
+use pioeval::core::WorkloadSource;
+use pioeval::iostack::{AccessSpec, DatasetSpec, Hyperslab, MpiConfig, StackConfig};
+use pioeval::iostack::mpiio::{overlap, plan_two_phase};
+use pioeval::prelude::*;
+use pioeval::workloads::parse_dsl;
+use pioeval::types::IoKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two-phase collective plans conserve bytes for any pattern and rank
+    /// count: aggregators' expectations equal the non-local sends, and
+    /// domains tile the span exactly.
+    #[test]
+    fn two_phase_conserves_bytes(
+        nranks in 1u32..33,
+        block in 1u64..(1 << 22),
+        count in 1u64..8,
+        base in 0u64..(1 << 20),
+        interleaved in any::<bool>(),
+        ratio in 1u32..9,
+    ) {
+        let spec = if interleaved {
+            AccessSpec::Interleaved { base, block, count }
+        } else {
+            AccessSpec::ContiguousBlocks { base, block }
+        };
+        let cfg = MpiConfig { aggregator_ratio: ratio, ..MpiConfig::default() };
+        let mut sent = 0u64;
+        let mut expected = 0u64;
+        let mut kept = 0u64;
+        for r in 0..nranks {
+            let plan = plan_two_phase(IoKind::Write, &spec, r, nranks, &cfg);
+            sent += plan.transfers.iter().map(|&(_, b)| b).sum::<u64>();
+            expected += plan.expect_bytes;
+            if let Some((lo, len)) = plan.my_domain {
+                kept += overlap(&spec.segments_for(r, nranks), lo, lo + len);
+            }
+        }
+        let total = spec.bytes_per_rank() * nranks as u64;
+        prop_assert_eq!(sent, expected);
+        prop_assert_eq!(expected + kept, total);
+        // Domains tile the span.
+        let plan = plan_two_phase(IoKind::Write, &spec, 0, nranks, &cfg);
+        let (lo, hi) = spec.span(nranks);
+        let covered: u64 = plan.domains.iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(covered, hi - lo);
+        let mut pos = lo;
+        for &(s, l) in &plan.domains {
+            prop_assert_eq!(s, pos);
+            pos += l;
+        }
+    }
+
+    /// Hyperslab → segment lowering: whole-chunk transfers, within the
+    /// dataset allocation, covering at least the selected bytes.
+    #[test]
+    fn h5_slab_lowering_is_sound(
+        rows in 1u64..200,
+        cols in 1u64..200,
+        crow in 1u64..64,
+        ccol in 1u64..64,
+        elem in prop::sample::select(vec![1u64, 4, 8]),
+        r0 in 0u64..150,
+        c0 in 0u64..150,
+        rn in 1u64..100,
+        cn in 1u64..100,
+    ) {
+        let ds = DatasetSpec {
+            dims: [rows, cols],
+            chunk: [crow.min(rows), ccol.min(cols)],
+            elem_size: elem,
+        };
+        let mut state = pioeval::iostack::h5::H5FileState::new();
+        let base = state.create_dataset(ds);
+        let slab = Hyperslab {
+            start: [r0.min(rows - 1), c0.min(cols - 1)],
+            count: [rn, cn],
+        };
+        let segs = state.slab_segments(0, &slab);
+        let chunk_bytes = ds.chunk_bytes();
+        let data_start = base + pioeval::iostack::h5::OBJECT_HEADER_BYTES;
+        let data_end = data_start + ds.alloc_bytes();
+        let mut total = 0u64;
+        for &(off, len) in &segs {
+            prop_assert!(len % chunk_bytes == 0, "partial chunk transfer");
+            prop_assert!(off >= data_start && off + len <= data_end);
+            total += len;
+        }
+        // Whole-chunk I/O moves at least the selected element volume
+        // (clipped to the dataset extent): every selected element lives in
+        // some touched chunk, and chunks transfer whole.
+        let sel_rows = rn.min(rows - slab.start[0]);
+        let sel_cols = cn.min(cols - slab.start[1]);
+        let selected = sel_rows * sel_cols * elem;
+        prop_assert!(total >= selected, "total {total} < selected {selected}");
+    }
+
+    /// Random well-formed DSL programs expand deterministically and never
+    /// panic, for any rank count.
+    #[test]
+    fn dsl_expansion_is_total_and_deterministic(
+        lane_mb in 1u64..64,
+        writes in 1u64..20,
+        size_kb in 1u64..512,
+        reads in 0u64..20,
+        repeat in 1u32..5,
+        nranks in 1u32..9,
+        seed in 0u64..1000,
+    ) {
+        let src = format!(
+            "file d shared lane {lane_mb}m\nfile s perrank\ncreate d\ncreate s\n\
+             repeat {repeat}\n  write d {size_kb}k x{writes}\n  barrier\nend\n\
+             read s {size_kb}k x{reads} random\nclose d\nclose s\n"
+        );
+        let w = parse_dsl(&src, 1000).unwrap();
+        let a = w.programs(nranks, seed);
+        let b = w.programs(nranks, seed);
+        prop_assert_eq!(a.len(), nranks as usize);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Shared-lane writes stay inside each rank's lane.
+        for (r, p) in a.iter().enumerate() {
+            for op in p {
+                if let pioeval::iostack::StackOp::PosixData { file, offset, len, .. } = op {
+                    if file.0 == 1000 {
+                        let lane = lane_mb * 1024 * 1024;
+                        let lo = r as u64 * lane;
+                        prop_assert!(*offset >= lo,
+                            "rank {r} wrote below its lane: {offset}");
+                        prop_assert!(offset + len <= lo + lane + size_kb * 1024 * writes * repeat as u64,
+                            "rank {r} far above its lane");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Full-simulation conservation: for random IOR parameters, bytes
+/// reported by the profile, the counters, and the servers agree.
+/// (A handful of cases — each runs a complete simulation.)
+#[test]
+fn simulation_byte_conservation_over_random_parameters() {
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    });
+    runner
+        .run(
+            &(1u32..7, 1u64..9, prop::bool::ANY),
+            |(nranks, block_mib, shared)| {
+                let ior = IorLike {
+                    shared_file: shared,
+                    block_size: pioeval::types::bytes::mib(block_mib),
+                    fsync: false,
+                    ..IorLike::default()
+                };
+                let report = measure(
+                    &ClusterConfig::default(),
+                    &WorkloadSource::Synthetic(Box::new(ior)),
+                    nranks,
+                    StackConfig::default(),
+                    1,
+                )
+                .unwrap();
+                let expect = nranks as u64 * pioeval::types::bytes::mib(block_mib);
+                prop_assert_eq!(report.profile.bytes_written(), expect);
+                prop_assert_eq!(report.job.bytes_written(), expect);
+                let server: u64 =
+                    report.servers.iter().map(|s| s.bytes_written).sum();
+                prop_assert_eq!(server, expect);
+                Ok(())
+            },
+        )
+        .unwrap();
+}

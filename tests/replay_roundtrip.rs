@@ -1,0 +1,136 @@
+//! Integration tests of the record → compress → replay → validate chain
+//! across crates, plus trace codec round-trips on real simulated data.
+
+use pioeval::prelude::*;
+use pioeval::replay::{
+    compare, extrapolate, generate_benchmark, replay_programs, ReplayMode,
+};
+use pioeval::trace::{decode_records, encode_records};
+use pioeval::types::bytes;
+
+fn record_run(nranks: u32) -> (ClusterConfig, pioeval::core::MeasurementReport) {
+    let cluster = ClusterConfig {
+        num_clients: 32,
+        ..ClusterConfig::default()
+    };
+    let app = CheckpointLike {
+        bytes_per_rank: bytes::mib(4),
+        steps: 2,
+        compute: SimDuration::from_millis(20),
+        collective: false,
+        ..CheckpointLike::default()
+    };
+    let report = measure(
+        &cluster,
+        &WorkloadSource::Synthetic(Box::new(app)),
+        nranks,
+        StackConfig::default(),
+        1,
+    )
+    .expect("recording failed");
+    (cluster, report)
+}
+
+#[test]
+fn timed_replay_matches_original_run() {
+    let (cluster, original) = record_run(4);
+    let programs = replay_programs(&original.job.records, ReplayMode::Timed);
+    let mut c = Cluster::new(cluster).unwrap();
+    let handle = launch(
+        &mut c,
+        &JobSpec {
+            programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        },
+    );
+    c.run();
+    let replayed = collect(&c, &handle);
+    let fid = compare(&original.job, &replayed);
+    assert!(fid.bytes_exact(), "{fid:?}");
+    assert!(fid.ops_exact(), "{fid:?}");
+    assert!(
+        fid.timing_within(0.2),
+        "timed replay drifted: {}",
+        fid.makespan_ratio
+    );
+}
+
+#[test]
+fn afap_replay_is_faster_than_timed() {
+    let (cluster, original) = record_run(4);
+    let run_mode = |mode| {
+        let programs = replay_programs(&original.job.records, mode);
+        let mut c = Cluster::new(cluster.clone()).unwrap();
+        let handle = launch(
+            &mut c,
+            &JobSpec {
+                programs,
+                stack: StackConfig::default(),
+                start: SimTime::ZERO,
+            },
+        );
+        c.run();
+        collect(&c, &handle).makespan().unwrap()
+    };
+    let timed = run_mode(ReplayMode::Timed);
+    let afap = run_mode(ReplayMode::AsFastAsPossible);
+    assert!(afap < timed, "AFAP {afap} should beat timed {timed}");
+}
+
+#[test]
+fn generated_benchmark_replays_with_exact_volumes() {
+    let (cluster, original) = record_run(2);
+    let benches: Vec<_> = original
+        .job
+        .records
+        .iter()
+        .map(|r| generate_benchmark(r))
+        .collect();
+    assert!(benches.iter().all(|b| b.compression_ratio() >= 1.0));
+    let programs: Vec<_> = benches.into_iter().map(|b| b.program).collect();
+    let mut c = Cluster::new(cluster).unwrap();
+    let handle = launch(
+        &mut c,
+        &JobSpec {
+            programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        },
+    );
+    c.run();
+    let replayed = collect(&c, &handle);
+    assert_eq!(replayed.bytes_written(), original.job.bytes_written());
+}
+
+#[test]
+fn extrapolated_run_scales_storage_load_linearly() {
+    let (cluster, small) = record_run(2);
+    let ex = extrapolate(&small.job.records, 8).expect("extrapolation failed");
+    assert!(ex.fit_fraction() > 0.95, "fit {}", ex.fit_fraction());
+    let mut c = Cluster::new(cluster).unwrap();
+    let handle = launch(
+        &mut c,
+        &JobSpec {
+            programs: ex.programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        },
+    );
+    c.run();
+    let big = collect(&c, &handle);
+    // 4x the ranks → 4x the bytes.
+    assert_eq!(big.bytes_written(), small.job.bytes_written() * 4);
+}
+
+#[test]
+fn binary_codec_roundtrips_simulated_traces() {
+    let (_, original) = record_run(4);
+    let all = original.job.all_records();
+    assert!(!all.is_empty());
+    let encoded = encode_records(&all);
+    let decoded = decode_records(&encoded).expect("decode failed");
+    assert_eq!(all, decoded);
+    // The compact format beats 50 bytes/record.
+    assert!(encoded.len() < all.len() * 50 + 64);
+}
