@@ -12,8 +12,7 @@ use pioeval_pfs::{Cluster, ClusterConfig};
 use pioeval_replay::extrapolate;
 use pioeval_types::{bytes, ByteSize, SimDuration, SimTime};
 use pioeval_workloads::{
-    AnalyticsLike, CheckpointLike, DlioLike, IorLike, MdtestLike, Workload,
-    WorkflowDag,
+    AnalyticsLike, CheckpointLike, DlioLike, IorLike, MdtestLike, WorkflowDag, Workload,
 };
 
 /// E1 — Sec. V / Patel et al.: emerging mixes flip the read:write byte
@@ -377,8 +376,14 @@ pub fn e6(scale: Scale) -> ExpOutput {
     let m = ErrorMetrics::compute(&te_y, &preds);
     let imp = rf.importance();
     let mut table = Table::new(vec!["metric", "value"]);
-    table.row(vec!["held-out MAE (s)".to_string(), format!("{:.4}", m.mae)]);
-    table.row(vec!["held-out MAPE (%)".to_string(), format!("{:.1}", m.mape)]);
+    table.row(vec![
+        "held-out MAE (s)".to_string(),
+        format!("{:.4}", m.mae),
+    ]);
+    table.row(vec![
+        "held-out MAPE (%)".to_string(),
+        format!("{:.1}", m.mape),
+    ]);
     table.row(vec!["held-out R²".to_string(), format!("{:.3}", m.r2)]);
     table.row(vec![
         "importance (ranks, block, transfer)".to_string(),

@@ -12,8 +12,7 @@ use pioeval_replay::generate_benchmark;
 use pioeval_trace::{encode_records, profile_to_json, records_to_json, TokenStream};
 use pioeval_types::{bytes, ByteSize, SimDuration, SimTime};
 use pioeval_workloads::{
-    AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorLike, Workload,
-    WorkflowDag,
+    AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorLike, WorkflowDag, Workload,
 };
 
 /// E8 — Hao et al.: grammar compression of traces and the generated
@@ -151,13 +150,11 @@ pub fn e9(scale: Scale) -> ExpOutput {
                 producing much more log data and potentially degrading \
                 performance while collecting",
         table,
-        notes: vec![
-            "single-rank run isolates pure collection overhead; in \
+        notes: vec!["single-rank run isolates pure collection overhead; in \
              multi-rank runs the same overhead also staggers request \
              issue and perturbs contention — the timing distortion the \
              record-and-replay literature warns about"
-                .into(),
-        ],
+            .into()],
     }
 }
 
@@ -287,8 +284,8 @@ pub fn e11(scale: Scale) -> ExpOutput {
         let t0 = std::time::Instant::now();
         let par_res = run_parallel(&mut par, ParallelConfig { threads });
         let wall = t0.elapsed().as_secs_f64() * 1e3;
-        let identical = par_res.events == seq_res.events
-            && phold_fingerprint(&par, phold_cfg.lps) == seq_fp;
+        let identical =
+            par_res.events == seq_res.events && phold_fingerprint(&par, phold_cfg.lps) == seq_fp;
         table.row(vec![
             format!("phold / parallel x{threads}"),
             par_res.events.to_string(),
@@ -583,13 +580,11 @@ pub fn e14(scale: Scale) -> ExpOutput {
                 many-file signatures differ from the synthetic benchmarks \
                 evaluations traditionally rely on",
         table,
-        notes: vec![
-            "dlio's randomness hides in the seq-frac column because \
+        notes: vec!["dlio's randomness hides in the seq-frac column because \
              file-per-sample streams are one access per file; it shows up \
              as 512 files at 128 KiB with 2 metadata ops per read — \
              exactly why fine-grained characterization of emerging \
              workloads matters (Sec. VI)"
-                .into(),
-        ],
+            .into()],
     }
 }

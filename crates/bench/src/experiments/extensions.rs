@@ -9,8 +9,7 @@ use pioeval_monitor::{classify_jobs, find_stragglers};
 use pioeval_pfs::{ClusterConfig, DeviceConfig, LayoutPolicy};
 use pioeval_types::{bytes, ByteSize, SimDuration, SimTime};
 use pioeval_workloads::{
-    AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorApi, IorLike, Workload,
-    WorkflowDag,
+    AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorApi, IorLike, WorkflowDag, Workload,
 };
 
 /// X1 — straggler OST injection and detection (Lockwood et al.'s
@@ -69,8 +68,7 @@ pub fn x1(scale: Scale) -> ExpOutput {
         paper: "variability studies ([47]): a single slow OST drags whole \
                 striped jobs; server-side statistics localize it",
         table,
-        notes: vec!["detection threshold: effective bandwidth < 0.5x median"
-            .into()],
+        notes: vec!["detection threshold: effective bandwidth < 0.5x median".into()],
     }
 }
 
@@ -78,12 +76,7 @@ pub fn x1(scale: Scale) -> ExpOutput {
 pub fn x2(scale: Scale) -> ExpOutput {
     let nranks = scale.pick(8, 2);
     let count = scale.pick(64u64, 8);
-    let mut table = Table::new(vec![
-        "sieving",
-        "makespan",
-        "posix reads",
-        "bytes read",
-    ]);
+    let mut table = Table::new(vec!["sieving", "makespan", "posix reads", "bytes read"]);
     for sieving in [false, true] {
         let stack = StackConfig {
             mpi: MpiConfig {
@@ -93,8 +86,9 @@ pub fn x2(scale: Scale) -> ExpOutput {
             ..StackConfig::default()
         };
         // Strided 4 KiB reads every 64 KiB: the sieving poster child.
-        let segments: Vec<(u64, u64)> =
-            (0..count).map(|k| (k * bytes::kib(64), bytes::kib(4))).collect();
+        let segments: Vec<(u64, u64)> = (0..count)
+            .map(|k| (k * bytes::kib(64), bytes::kib(4)))
+            .collect();
         let file = pioeval_types::FileId::new(90_000);
         let mut program = vec![
             pioeval_iostack::StackOp::MpiOpen { file },
@@ -168,8 +162,7 @@ pub fn x3(scale: Scale) -> ExpOutput {
                     let mut ops = vec![pioeval_iostack::StackOp::MpiOpen { file }];
                     for step in 0..steps {
                         let spec = pioeval_iostack::AccessSpec::Interleaved {
-                            base: step as u64
-                                * (16 * bytes::kib(64) * nranks as u64),
+                            base: step as u64 * (16 * bytes::kib(64) * nranks as u64),
                             block: bytes::kib(64),
                             count: 16,
                         };
@@ -189,14 +182,12 @@ pub fn x3(scale: Scale) -> ExpOutput {
                 stack: StackConfig::default(),
                 start: SimTime::ZERO,
             };
-            let mut cluster =
-                pioeval_pfs::Cluster::new(base_cluster()).expect("cluster");
+            let mut cluster = pioeval_pfs::Cluster::new(base_cluster()).expect("cluster");
             let handle = pioeval_iostack::launch(&mut cluster, &spec);
             cluster.run();
             let job = pioeval_iostack::collect(&cluster, &handle);
             // Wrap into a MeasurementReport-like row directly.
-            let writers =
-                job.counters.iter().filter(|c| c.bytes_written > 0).count();
+            let writers = job.counters.iter().filter(|c| c.bytes_written > 0).count();
             let calls: u64 = job.counters.iter().map(|c| c.posix_writes).sum();
             table.row(vec![
                 "independent".to_string(),
@@ -494,7 +485,9 @@ mod tests {
     fn classification_experiment_is_pure_at_quick_scale() {
         let out = x5(Scale::Quick);
         assert!(
-            out.notes.iter().any(|n| n.contains("purity") && n.contains("true")),
+            out.notes
+                .iter()
+                .any(|n| n.contains("purity") && n.contains("true")),
             "{:?}",
             out.notes
         );

@@ -124,7 +124,11 @@ pub fn fig2(scale: Scale) -> ExpOutput {
     // Per-layer time attribution over rank 0's records (Recorder-style).
     let attribution = pioeval_trace::attribute(&job.records[0]);
     let mut table = Table::new(vec![
-        "layer", "data ops", "bytes", "meta ops", "rank0 excl time",
+        "layer",
+        "data ops",
+        "bytes",
+        "meta ops",
+        "rank0 excl time",
     ]);
     for layer in [Layer::Hdf5, Layer::MpiIo, Layer::Posix] {
         let data: Vec<_> = records
@@ -245,11 +249,9 @@ pub fn fig4(scale: Scale) -> ExpOutput {
         paper: "Fig. 4: measurements feed modeling, models regenerate \
                 workloads, simulation re-measures them — the feedback loop",
         table,
-        notes: vec![
-            "trace-derived replay reproduces the measurement exactly; \
+        notes: vec!["trace-derived replay reproduces the measurement exactly; \
              profile-derived synthesis preserves volumes but loses timing \
              (the information hierarchy of the three workload sources)"
-                .into(),
-        ],
+            .into()],
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-bench
 //!
 //! The benchmark harness: one experiment per figure of the paper

@@ -263,8 +263,10 @@ mod tests {
         let mean = span / 50.0;
         assert!(mean > 0.003 && mean < 0.03, "mean {mean}");
         // Deterministic.
-        assert_eq!(poisson_starts(10, SimDuration::from_millis(10), 7),
-                   poisson_starts(10, SimDuration::from_millis(10), 7));
+        assert_eq!(
+            poisson_starts(10, SimDuration::from_millis(10), 7),
+            poisson_starts(10, SimDuration::from_millis(10), 7)
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-core
 //!
 //! The paper's contribution as an executable system: the iterative

@@ -108,12 +108,7 @@ pub struct EvaluationLoop {
 
 impl EvaluationLoop {
     /// Configure a loop.
-    pub fn new(
-        cluster_cfg: ClusterConfig,
-        stack: StackConfig,
-        nranks: u32,
-        seed: u64,
-    ) -> Self {
+    pub fn new(cluster_cfg: ClusterConfig, stack: StackConfig, nranks: u32, seed: u64) -> Self {
         EvaluationLoop {
             cluster_cfg,
             stack,
@@ -199,14 +194,7 @@ mod tests {
     #[test]
     fn measure_collects_every_data_product() {
         let source = WorkloadSource::Synthetic(Box::new(small_ior()));
-        let report = measure(
-            &small_cluster(),
-            &source,
-            4,
-            StackConfig::default(),
-            1,
-        )
-        .unwrap();
+        let report = measure(&small_cluster(), &source, 4, StackConfig::default(), 1).unwrap();
         assert!(report.makespan().is_some());
         assert_eq!(report.profile.bytes_written(), 4 * bytes::mib(4));
         assert_eq!(report.profile.bytes_read(), 4 * bytes::mib(4));
@@ -245,8 +233,7 @@ mod tests {
     fn derived_programs_match_original_shape() {
         // The characterization source must produce one program per rank.
         let source = WorkloadSource::Synthetic(Box::new(small_ior()));
-        let report =
-            measure(&small_cluster(), &source, 3, StackConfig::default(), 1).unwrap();
+        let report = measure(&small_cluster(), &source, 3, StackConfig::default(), 1).unwrap();
         let derived = WorkloadSource::Characterization {
             profile: report.profile,
             nranks: 3,

@@ -72,7 +72,10 @@ impl Table {
 /// Render a numeric series as a unicode sparkline (one char per bin) —
 /// enough to see burstiness and idle windows in a terminal report.
 pub fn sparkline(values: &[f64]) -> String {
-    const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const LEVELS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let max = values.iter().copied().fold(0.0f64, f64::max);
     if max <= 0.0 {
         return "\u{2581}".repeat(values.len());
@@ -162,7 +165,10 @@ mod tests {
 
     #[test]
     fn bar_chart_aligns_and_scales() {
-        let rows = vec![("short".to_string(), 10.0), ("longer-label".to_string(), 5.0)];
+        let rows = vec![
+            ("short".to_string(), 10.0),
+            ("longer-label".to_string(), 5.0),
+        ];
         let c = bar_chart(&rows, 10);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -18,9 +18,7 @@
 use pioeval_iostack::StackOp;
 use pioeval_replay::{replay_programs, ReplayMode};
 use pioeval_trace::JobProfile;
-use pioeval_types::{
-    rng, split_seed, IoKind, LayerRecord, MetaOp,
-};
+use pioeval_types::{rng, split_seed, IoKind, LayerRecord, MetaOp};
 use pioeval_workloads::Workload;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -73,11 +71,7 @@ impl WorkloadSource {
 }
 
 /// Synthesize per-rank programs from a Darshan-style profile.
-fn synthesize_from_profile(
-    profile: &JobProfile,
-    nranks: u32,
-    seed: u64,
-) -> Vec<Vec<StackOp>> {
+fn synthesize_from_profile(profile: &JobProfile, nranks: u32, seed: u64) -> Vec<Vec<StackOp>> {
     // Group the profile's records by rank.
     let mut by_rank: BTreeMap<u32, Vec<&pioeval_trace::FileRecord>> = BTreeMap::new();
     for ((rank, _), rec) in &profile.records {
@@ -143,7 +137,13 @@ fn synthesize_file(
         let chunk = (mean.max(1.0)) as u64;
         let n = total.div_ceil(chunk);
         (0..n)
-            .map(|i| if i == n - 1 { total - (n - 1) * chunk } else { chunk })
+            .map(|i| {
+                if i == n - 1 {
+                    total - (n - 1) * chunk
+                } else {
+                    chunk
+                }
+            })
             .collect()
     };
     let seq_fraction = rec.pattern.sequential_fraction();
@@ -239,11 +239,27 @@ mod tests {
         assert_eq!(written, 8 * 1024);
         let creates = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Create, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        ..
+                    }
+                )
+            })
             .count();
         let closes = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Close, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!((creates, closes), (1, 1));
         // Sequential profile → synthesized stream is also sequential.
@@ -272,9 +288,7 @@ mod tests {
 
     #[test]
     fn synthetic_source_delegates() {
-        let src = WorkloadSource::Synthetic(Box::new(
-            pioeval_workloads::IorLike::default(),
-        ));
+        let src = WorkloadSource::Synthetic(Box::new(pioeval_workloads::IorLike::default()));
         let programs = src.programs(4, 0);
         assert_eq!(programs.len(), 4);
         assert_eq!(src.name(), "synthetic");

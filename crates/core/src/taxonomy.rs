@@ -41,33 +41,143 @@ pub fn taxonomy() -> Vec<Strategy> {
     };
     vec![
         // Measurement: workloads.
-        s(Measurement, "synthetic benchmarks", "IV-A1", "pioeval_workloads::{ior, mdtest, btio}"),
-        s(Measurement, "metadata benchmarks", "IV-A1", "pioeval_workloads::mdtest"),
-        s(Measurement, "proxy applications / I/O skeletons", "IV-A1", "pioeval_workloads::skel"),
-        s(Measurement, "auto-generated benchmarks", "IV-A1", "pioeval_replay::benchgen"),
-        s(Measurement, "record-and-replay", "IV-A1", "pioeval_replay::{replayer, extrapolate}"),
-        s(Measurement, "emerging workloads", "V", "pioeval_workloads::{dlio, analytics, workflow}"),
+        s(
+            Measurement,
+            "synthetic benchmarks",
+            "IV-A1",
+            "pioeval_workloads::{ior, mdtest, btio}",
+        ),
+        s(
+            Measurement,
+            "metadata benchmarks",
+            "IV-A1",
+            "pioeval_workloads::mdtest",
+        ),
+        s(
+            Measurement,
+            "proxy applications / I/O skeletons",
+            "IV-A1",
+            "pioeval_workloads::skel",
+        ),
+        s(
+            Measurement,
+            "auto-generated benchmarks",
+            "IV-A1",
+            "pioeval_replay::benchgen",
+        ),
+        s(
+            Measurement,
+            "record-and-replay",
+            "IV-A1",
+            "pioeval_replay::{replayer, extrapolate}",
+        ),
+        s(
+            Measurement,
+            "emerging workloads",
+            "V",
+            "pioeval_workloads::{dlio, analytics, workflow}",
+        ),
         // Measurement: data collection.
-        s(Measurement, "characterization profiles (Darshan-like)", "IV-A2", "pioeval_trace::profile"),
-        s(Measurement, "extended traces (DXT/Recorder-like)", "IV-A2", "pioeval_trace::dxt + pioeval_iostack hooks"),
-        s(Measurement, "server-side statistics", "IV-A2", "pioeval_pfs::stats"),
-        s(Measurement, "metadata event monitoring (FSMonitor-like)", "IV-A2", "pioeval_pfs::mds::MetaEvent"),
-        s(Measurement, "workload manager logs", "IV-A2", "pioeval_monitor::scheduler"),
-        s(Measurement, "end-to-end monitoring (UMAMI/TOKIO-like)", "IV-A2", "pioeval_monitor::endtoend"),
+        s(
+            Measurement,
+            "characterization profiles (Darshan-like)",
+            "IV-A2",
+            "pioeval_trace::profile",
+        ),
+        s(
+            Measurement,
+            "extended traces (DXT/Recorder-like)",
+            "IV-A2",
+            "pioeval_trace::dxt + pioeval_iostack hooks",
+        ),
+        s(
+            Measurement,
+            "server-side statistics",
+            "IV-A2",
+            "pioeval_pfs::stats",
+        ),
+        s(
+            Measurement,
+            "metadata event monitoring (FSMonitor-like)",
+            "IV-A2",
+            "pioeval_pfs::mds::MetaEvent",
+        ),
+        s(
+            Measurement,
+            "workload manager logs",
+            "IV-A2",
+            "pioeval_monitor::scheduler",
+        ),
+        s(
+            Measurement,
+            "end-to-end monitoring (UMAMI/TOKIO-like)",
+            "IV-A2",
+            "pioeval_monitor::endtoend",
+        ),
         // Modeling.
-        s(Modeling, "statistics & systematic analysis", "IV-B1", "pioeval_model::stats + pioeval_monitor::analysis"),
-        s(Modeling, "predictive analytics: neural networks", "IV-B2", "pioeval_model::nn"),
-        s(Modeling, "predictive analytics: random forests", "IV-B2", "pioeval_model::{tree, forest}"),
-        s(Modeling, "grammar-based prediction (Omnisc'IO-like)", "IV-B2", "pioeval_model::ppm"),
+        s(
+            Modeling,
+            "statistics & systematic analysis",
+            "IV-B1",
+            "pioeval_model::stats + pioeval_monitor::analysis",
+        ),
+        s(
+            Modeling,
+            "predictive analytics: neural networks",
+            "IV-B2",
+            "pioeval_model::nn",
+        ),
+        s(
+            Modeling,
+            "predictive analytics: random forests",
+            "IV-B2",
+            "pioeval_model::{tree, forest}",
+        ),
+        s(
+            Modeling,
+            "grammar-based prediction (Omnisc'IO-like)",
+            "IV-B2",
+            "pioeval_model::ppm",
+        ),
         s(Modeling, "Markov models", "IV-B1", "pioeval_model::markov"),
         s(Modeling, "replay-based modeling", "IV-B3", "pioeval_replay"),
-        s(Modeling, "workload generation (3 sources)", "IV-B4", "pioeval_core::source::WorkloadSource"),
-        s(Modeling, "synthetic workload DSL (CODES-like)", "IV-B4", "pioeval_workloads::dsl"),
+        s(
+            Modeling,
+            "workload generation (3 sources)",
+            "IV-B4",
+            "pioeval_core::source::WorkloadSource",
+        ),
+        s(
+            Modeling,
+            "synthetic workload DSL (CODES-like)",
+            "IV-B4",
+            "pioeval_workloads::dsl",
+        ),
         // Simulation.
-        s(Simulation, "(parallel) discrete-event simulation", "IV-C1", "pioeval_des (sequential + conservative parallel)"),
-        s(Simulation, "storage-system simulation", "IV-C1", "pioeval_pfs"),
-        s(Simulation, "trace-based simulation", "IV-C2", "pioeval_replay::replayer + pioeval_pfs"),
-        s(Simulation, "execution-driven simulation", "IV-C3", "pioeval_iostack (workload interleaved with the simulator)"),
+        s(
+            Simulation,
+            "(parallel) discrete-event simulation",
+            "IV-C1",
+            "pioeval_des (sequential + conservative parallel)",
+        ),
+        s(
+            Simulation,
+            "storage-system simulation",
+            "IV-C1",
+            "pioeval_pfs",
+        ),
+        s(
+            Simulation,
+            "trace-based simulation",
+            "IV-C2",
+            "pioeval_replay::replayer + pioeval_pfs",
+        ),
+        s(
+            Simulation,
+            "execution-driven simulation",
+            "IV-C3",
+            "pioeval_iostack (workload interleaved with the simulator)",
+        ),
     ]
 }
 

@@ -100,66 +100,600 @@ macro_rules! paper {
 pub fn candidates() -> Vec<PaperEntry> {
     vec![
         // --- Out-of-window background tools (excluded at stage 3) ---
-        paper!("22", "Carns", "24/7 characterization of petascale I/O (Darshan)", 2009, "CLUSTER", Conference, Ieee, [Characterization]),
-        paper!("25", "Luu", "Multi-level approach for understanding I/O (Recorder)", 2013, "CLUSTER", Conference, Ieee, [Tracing]),
-        paper!("59", "Liu", "Role of burst buffers in leadership-class storage (CODES)", 2012, "MSST", Conference, Ieee, [Simulation]),
-        paper!("60", "Carothers", "ROSS: a high-performance modular Time Warp system", 2002, "JPDC", Journal, Elsevier, [Simulation]),
-        paper!("80", "Devarajan", "DLIO: data-centric benchmark for scientific DL", 2021, "CCGrid", Conference, Ieee, [WorkloadGeneration, EmergingWorkloads]),
+        paper!(
+            "22",
+            "Carns",
+            "24/7 characterization of petascale I/O (Darshan)",
+            2009,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Characterization]
+        ),
+        paper!(
+            "25",
+            "Luu",
+            "Multi-level approach for understanding I/O (Recorder)",
+            2013,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Tracing]
+        ),
+        paper!(
+            "59",
+            "Liu",
+            "Role of burst buffers in leadership-class storage (CODES)",
+            2012,
+            "MSST",
+            Conference,
+            Ieee,
+            [Simulation]
+        ),
+        paper!(
+            "60",
+            "Carothers",
+            "ROSS: a high-performance modular Time Warp system",
+            2002,
+            "JPDC",
+            Journal,
+            Elsevier,
+            [Simulation]
+        ),
+        paper!(
+            "80",
+            "Devarajan",
+            "DLIO: data-centric benchmark for scientific DL",
+            2021,
+            "CCGrid",
+            Conference,
+            Ieee,
+            [WorkloadGeneration, EmergingWorkloads]
+        ),
         // --- Included window (2015-2020) ---
-        paper!("10", "Messer", "MiniApps derived from production HPC applications", 2018, "IJHPCA", Journal, Other, [WorkloadGeneration]),
-        paper!("11", "Herbein", "Performance characterization of irregular I/O", 2016, "ParCo", Journal, Elsevier, [StatisticalAnalysis, WorkloadGeneration]),
-        paper!("12", "Dickson", "Replicating HPC I/O workloads with proxy applications", 2016, "PDSW-DISCS", Workshop, Ieee, [WorkloadGeneration, ReplayModeling]),
-        paper!("13", "Dickson", "Portable I/O analysis of commercially sensitive apps", 2017, "CUG", Conference, Other, [WorkloadGeneration], dup_of = "12"),
-        paper!("14", "Logan", "Extending Skel for next-generation I/O systems", 2017, "CLUSTER", Conference, Ieee, [WorkloadGeneration]),
-        paper!("15", "Hao", "Automatic generation of benchmarks for I/O apps", 2019, "JPDC", Journal, Elsevier, [ReplayModeling, WorkloadGeneration]),
-        paper!("16", "Luo", "HPC I/O trace extrapolation (ScalaIOTrace)", 2015, "ESPT", Workshop, Acm, [Tracing, ReplayModeling]),
-        paper!("17", "Luo", "ScalaIOExtrap: elastic I/O tracing and extrapolation", 2017, "IPDPS", Conference, Ieee, [Tracing, ReplayModeling]),
-        paper!("18", "Haghdoost", "Accuracy and scalability of intensive I/O replay", 2017, "FAST", Conference, Usenix, [ReplayModeling]),
-        paper!("19", "Haghdoost", "HFPlayer: scalable replay for block I/O", 2017, "TOS", Journal, Acm, [ReplayModeling], dup_of = "18"),
-        paper!("20", "Snyder", "Techniques for modeling large-scale HPC I/O (IOWA)", 2015, "PMBS", Workshop, Acm, [WorkloadGeneration, Simulation]),
-        paper!("21", "Carothers", "Durango: scalable synthetic workload generation", 2017, "SIGSIM-PADS", Conference, Acm, [WorkloadGeneration, Simulation]),
-        paper!("23", "Xu", "DXT: Darshan eXtended Tracing", 2017, "CUG", Conference, Other, [Tracing, Characterization]),
-        paper!("24", "Chien", "tf-Darshan: fine-grained I/O in ML workloads", 2020, "CLUSTER", Conference, Ieee, [Characterization, EmergingWorkloads]),
-        paper!("26", "Wang", "Recorder 2.0: efficient parallel I/O tracing", 2020, "IPDPSW", Workshop, Ieee, [Tracing]),
-        paper!("27", "Paul", "Toward scalable monitoring on large-scale storage", 2017, "PDSW-DISCS", Workshop, Acm, [Monitoring], dup_of = "28"),
-        paper!("28", "Paul", "FSMonitor: scalable file system monitoring", 2019, "CLUSTER", Conference, Ieee, [Monitoring]),
-        paper!("29", "Paul", "I/O load balancing for big data HPC applications", 2017, "BigData", Conference, Ieee, [Monitoring, StatisticalAnalysis]),
-        paper!("30", "Luu", "Multiplatform study of I/O behavior on petascale", 2015, "HPDC", Conference, Acm, [Characterization, StatisticalAnalysis]),
-        paper!("31", "Snyder", "Modular HPC I/O characterization with Darshan", 2016, "ESPT", Workshop, Ieee, [Characterization, Tracing]),
-        paper!("32", "Rodrigo", "Towards understanding HPC users and systems (NERSC)", 2017, "JPDC", Journal, Elsevier, [StatisticalAnalysis]),
-        paper!("33", "Khetawat", "Evaluating burst buffer placement in HPC systems", 2019, "CLUSTER", Conference, Ieee, [Simulation, StatisticalAnalysis]),
-        paper!("34", "Saif", "IOscope: flexible I/O tracer for pattern analysis", 2018, "ISC-W", Workshop, Springer, [Tracing]),
-        paper!("35", "He", "PIONEER: parallel I/O workload characterization", 2015, "CCGrid", Conference, Ieee, [Tracing, WorkloadGeneration]),
-        paper!("36", "Sangaiah", "SynchroTrace: architecture-agnostic multicore traces", 2018, "TACO", Journal, Acm, [Tracing, Simulation]),
-        paper!("37", "Azevedo", "Improving fairness in an HTC system via simulation", 2019, "Euro-Par", Conference, Springer, [Simulation, ReplayModeling]),
-        paper!("38", "Kunkel", "Tools for analyzing parallel I/O", 2018, "ISC-W", Workshop, Springer, [Characterization, Monitoring]),
-        paper!("39", "Vazhkudai", "GUIDE: scalable information directory service", 2017, "SC", Conference, Acm, [Monitoring, StatisticalAnalysis]),
-        paper!("40", "Yildiz", "Root causes of cross-application I/O interference", 2016, "IPDPS", Conference, Ieee, [StatisticalAnalysis]),
-        paper!("41", "Di", "LOGAIDER: mining correlations of HPC log events", 2017, "CCGRID", Conference, Ieee, [Monitoring]),
-        paper!("42", "Lockwood", "TOKIO on ClusterStor: holistic I/O analysis", 2018, "CUG", Conference, Other, [Monitoring]),
-        paper!("43", "Park", "Big data meets HPC log analytics", 2017, "CLUSTER", Conference, Ieee, [Monitoring, PredictiveAnalytics]),
-        paper!("44", "Lockwood", "UMAMI: meaningful metrics via holistic analysis", 2017, "PDSW-DISCS", Workshop, Acm, [Monitoring]),
-        paper!("45", "Yang", "End-to-end I/O monitoring on a leading supercomputer", 2019, "NSDI", Conference, Usenix, [Monitoring]),
-        paper!("46", "Wadhwa", "iez: resource contention aware load balancing", 2019, "IPDPS", Conference, Ieee, [Monitoring]),
-        paper!("47", "Lockwood", "A year in the life of a parallel file system", 2018, "SC", Conference, Ieee, [StatisticalAnalysis, Monitoring]),
-        paper!("48", "Luettgau", "Toward understanding I/O behavior in HPC workflows", 2018, "PDSW-DISCS", Workshop, Ieee, [EmergingWorkloads, StatisticalAnalysis]),
-        paper!("49", "Wang", "IOMiner: large-scale analytics for I/O logs", 2018, "CLUSTER", Conference, Ieee, [StatisticalAnalysis, Monitoring]),
-        paper!("50", "Xie", "Predicting output performance of a petascale system", 2017, "HPDC", Conference, Acm, [PredictiveAnalytics]),
-        paper!("51", "Obaida", "Parallel application performance prediction (PyPassT)", 2018, "SIGSIM-PADS", Conference, Acm, [Simulation, PredictiveAnalytics]),
-        paper!("52", "Gunasekaran", "Comparative I/O workload characterization", 2015, "PDSW", Workshop, Acm, [StatisticalAnalysis]),
-        paper!("53", "Patel", "Revisiting I/O behavior in large-scale storage", 2019, "SC", Conference, Acm, [StatisticalAnalysis, EmergingWorkloads]),
-        paper!("54", "Paul", "Understanding HPC application I/O via system stats", 2020, "HiPC", Conference, Ieee, [StatisticalAnalysis]),
-        paper!("55", "Dorier", "Omnisc'IO: grammar-based I/O prediction", 2016, "TPDS", Journal, Ieee, [PredictiveAnalytics]),
-        paper!("56", "Schmid", "Predicting I/O performance using neural networks", 2016, "SuperFri", Journal, Other, [PredictiveAnalytics]),
-        paper!("57", "Sun", "Automated performance modeling using ML", 2020, "IEEE-TC", Journal, Ieee, [PredictiveAnalytics]),
-        paper!("58", "Chowdhury", "Emulating I/O behavior in scientific workflows", 2020, "PDSW", Workshop, Ieee, [EmergingWorkloads, PredictiveAnalytics]),
-        paper!("61", "Liu", "Performance evaluation of HPC I/O on NVM", 2017, "NAS", Conference, Ieee, [Simulation, StatisticalAnalysis]),
-        paper!("65", "Xenopoulos", "Big data analytics on HPC architectures", 2016, "BigData", Conference, Ieee, [EmergingWorkloads]),
-        paper!("66", "Xuan", "Accelerating big data analytics with two-level storage", 2017, "ParCo", Journal, Elsevier, [EmergingWorkloads]),
-        paper!("71", "Chowdhury", "I/O characterization of BeeGFS for deep learning", 2019, "ICPP", Conference, Acm, [EmergingWorkloads, Characterization]),
-        paper!("72", "Daley", "Workflow characterization for burst buffers", 2020, "FGCS", Journal, Elsevier, [EmergingWorkloads, Characterization]),
-        paper!("73", "FerreiraDaSilva", "Characterization of workflow management systems", 2017, "FGCS", Journal, Elsevier, [EmergingWorkloads]),
-        paper!("79", "Bae", "I/O performance of large-scale deep learning on HPC", 2019, "HPCS", Conference, Ieee, [EmergingWorkloads]),
+        paper!(
+            "10",
+            "Messer",
+            "MiniApps derived from production HPC applications",
+            2018,
+            "IJHPCA",
+            Journal,
+            Other,
+            [WorkloadGeneration]
+        ),
+        paper!(
+            "11",
+            "Herbein",
+            "Performance characterization of irregular I/O",
+            2016,
+            "ParCo",
+            Journal,
+            Elsevier,
+            [StatisticalAnalysis, WorkloadGeneration]
+        ),
+        paper!(
+            "12",
+            "Dickson",
+            "Replicating HPC I/O workloads with proxy applications",
+            2016,
+            "PDSW-DISCS",
+            Workshop,
+            Ieee,
+            [WorkloadGeneration, ReplayModeling]
+        ),
+        paper!(
+            "13",
+            "Dickson",
+            "Portable I/O analysis of commercially sensitive apps",
+            2017,
+            "CUG",
+            Conference,
+            Other,
+            [WorkloadGeneration],
+            dup_of = "12"
+        ),
+        paper!(
+            "14",
+            "Logan",
+            "Extending Skel for next-generation I/O systems",
+            2017,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [WorkloadGeneration]
+        ),
+        paper!(
+            "15",
+            "Hao",
+            "Automatic generation of benchmarks for I/O apps",
+            2019,
+            "JPDC",
+            Journal,
+            Elsevier,
+            [ReplayModeling, WorkloadGeneration]
+        ),
+        paper!(
+            "16",
+            "Luo",
+            "HPC I/O trace extrapolation (ScalaIOTrace)",
+            2015,
+            "ESPT",
+            Workshop,
+            Acm,
+            [Tracing, ReplayModeling]
+        ),
+        paper!(
+            "17",
+            "Luo",
+            "ScalaIOExtrap: elastic I/O tracing and extrapolation",
+            2017,
+            "IPDPS",
+            Conference,
+            Ieee,
+            [Tracing, ReplayModeling]
+        ),
+        paper!(
+            "18",
+            "Haghdoost",
+            "Accuracy and scalability of intensive I/O replay",
+            2017,
+            "FAST",
+            Conference,
+            Usenix,
+            [ReplayModeling]
+        ),
+        paper!(
+            "19",
+            "Haghdoost",
+            "HFPlayer: scalable replay for block I/O",
+            2017,
+            "TOS",
+            Journal,
+            Acm,
+            [ReplayModeling],
+            dup_of = "18"
+        ),
+        paper!(
+            "20",
+            "Snyder",
+            "Techniques for modeling large-scale HPC I/O (IOWA)",
+            2015,
+            "PMBS",
+            Workshop,
+            Acm,
+            [WorkloadGeneration, Simulation]
+        ),
+        paper!(
+            "21",
+            "Carothers",
+            "Durango: scalable synthetic workload generation",
+            2017,
+            "SIGSIM-PADS",
+            Conference,
+            Acm,
+            [WorkloadGeneration, Simulation]
+        ),
+        paper!(
+            "23",
+            "Xu",
+            "DXT: Darshan eXtended Tracing",
+            2017,
+            "CUG",
+            Conference,
+            Other,
+            [Tracing, Characterization]
+        ),
+        paper!(
+            "24",
+            "Chien",
+            "tf-Darshan: fine-grained I/O in ML workloads",
+            2020,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Characterization, EmergingWorkloads]
+        ),
+        paper!(
+            "26",
+            "Wang",
+            "Recorder 2.0: efficient parallel I/O tracing",
+            2020,
+            "IPDPSW",
+            Workshop,
+            Ieee,
+            [Tracing]
+        ),
+        paper!(
+            "27",
+            "Paul",
+            "Toward scalable monitoring on large-scale storage",
+            2017,
+            "PDSW-DISCS",
+            Workshop,
+            Acm,
+            [Monitoring],
+            dup_of = "28"
+        ),
+        paper!(
+            "28",
+            "Paul",
+            "FSMonitor: scalable file system monitoring",
+            2019,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Monitoring]
+        ),
+        paper!(
+            "29",
+            "Paul",
+            "I/O load balancing for big data HPC applications",
+            2017,
+            "BigData",
+            Conference,
+            Ieee,
+            [Monitoring, StatisticalAnalysis]
+        ),
+        paper!(
+            "30",
+            "Luu",
+            "Multiplatform study of I/O behavior on petascale",
+            2015,
+            "HPDC",
+            Conference,
+            Acm,
+            [Characterization, StatisticalAnalysis]
+        ),
+        paper!(
+            "31",
+            "Snyder",
+            "Modular HPC I/O characterization with Darshan",
+            2016,
+            "ESPT",
+            Workshop,
+            Ieee,
+            [Characterization, Tracing]
+        ),
+        paper!(
+            "32",
+            "Rodrigo",
+            "Towards understanding HPC users and systems (NERSC)",
+            2017,
+            "JPDC",
+            Journal,
+            Elsevier,
+            [StatisticalAnalysis]
+        ),
+        paper!(
+            "33",
+            "Khetawat",
+            "Evaluating burst buffer placement in HPC systems",
+            2019,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Simulation, StatisticalAnalysis]
+        ),
+        paper!(
+            "34",
+            "Saif",
+            "IOscope: flexible I/O tracer for pattern analysis",
+            2018,
+            "ISC-W",
+            Workshop,
+            Springer,
+            [Tracing]
+        ),
+        paper!(
+            "35",
+            "He",
+            "PIONEER: parallel I/O workload characterization",
+            2015,
+            "CCGrid",
+            Conference,
+            Ieee,
+            [Tracing, WorkloadGeneration]
+        ),
+        paper!(
+            "36",
+            "Sangaiah",
+            "SynchroTrace: architecture-agnostic multicore traces",
+            2018,
+            "TACO",
+            Journal,
+            Acm,
+            [Tracing, Simulation]
+        ),
+        paper!(
+            "37",
+            "Azevedo",
+            "Improving fairness in an HTC system via simulation",
+            2019,
+            "Euro-Par",
+            Conference,
+            Springer,
+            [Simulation, ReplayModeling]
+        ),
+        paper!(
+            "38",
+            "Kunkel",
+            "Tools for analyzing parallel I/O",
+            2018,
+            "ISC-W",
+            Workshop,
+            Springer,
+            [Characterization, Monitoring]
+        ),
+        paper!(
+            "39",
+            "Vazhkudai",
+            "GUIDE: scalable information directory service",
+            2017,
+            "SC",
+            Conference,
+            Acm,
+            [Monitoring, StatisticalAnalysis]
+        ),
+        paper!(
+            "40",
+            "Yildiz",
+            "Root causes of cross-application I/O interference",
+            2016,
+            "IPDPS",
+            Conference,
+            Ieee,
+            [StatisticalAnalysis]
+        ),
+        paper!(
+            "41",
+            "Di",
+            "LOGAIDER: mining correlations of HPC log events",
+            2017,
+            "CCGRID",
+            Conference,
+            Ieee,
+            [Monitoring]
+        ),
+        paper!(
+            "42",
+            "Lockwood",
+            "TOKIO on ClusterStor: holistic I/O analysis",
+            2018,
+            "CUG",
+            Conference,
+            Other,
+            [Monitoring]
+        ),
+        paper!(
+            "43",
+            "Park",
+            "Big data meets HPC log analytics",
+            2017,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [Monitoring, PredictiveAnalytics]
+        ),
+        paper!(
+            "44",
+            "Lockwood",
+            "UMAMI: meaningful metrics via holistic analysis",
+            2017,
+            "PDSW-DISCS",
+            Workshop,
+            Acm,
+            [Monitoring]
+        ),
+        paper!(
+            "45",
+            "Yang",
+            "End-to-end I/O monitoring on a leading supercomputer",
+            2019,
+            "NSDI",
+            Conference,
+            Usenix,
+            [Monitoring]
+        ),
+        paper!(
+            "46",
+            "Wadhwa",
+            "iez: resource contention aware load balancing",
+            2019,
+            "IPDPS",
+            Conference,
+            Ieee,
+            [Monitoring]
+        ),
+        paper!(
+            "47",
+            "Lockwood",
+            "A year in the life of a parallel file system",
+            2018,
+            "SC",
+            Conference,
+            Ieee,
+            [StatisticalAnalysis, Monitoring]
+        ),
+        paper!(
+            "48",
+            "Luettgau",
+            "Toward understanding I/O behavior in HPC workflows",
+            2018,
+            "PDSW-DISCS",
+            Workshop,
+            Ieee,
+            [EmergingWorkloads, StatisticalAnalysis]
+        ),
+        paper!(
+            "49",
+            "Wang",
+            "IOMiner: large-scale analytics for I/O logs",
+            2018,
+            "CLUSTER",
+            Conference,
+            Ieee,
+            [StatisticalAnalysis, Monitoring]
+        ),
+        paper!(
+            "50",
+            "Xie",
+            "Predicting output performance of a petascale system",
+            2017,
+            "HPDC",
+            Conference,
+            Acm,
+            [PredictiveAnalytics]
+        ),
+        paper!(
+            "51",
+            "Obaida",
+            "Parallel application performance prediction (PyPassT)",
+            2018,
+            "SIGSIM-PADS",
+            Conference,
+            Acm,
+            [Simulation, PredictiveAnalytics]
+        ),
+        paper!(
+            "52",
+            "Gunasekaran",
+            "Comparative I/O workload characterization",
+            2015,
+            "PDSW",
+            Workshop,
+            Acm,
+            [StatisticalAnalysis]
+        ),
+        paper!(
+            "53",
+            "Patel",
+            "Revisiting I/O behavior in large-scale storage",
+            2019,
+            "SC",
+            Conference,
+            Acm,
+            [StatisticalAnalysis, EmergingWorkloads]
+        ),
+        paper!(
+            "54",
+            "Paul",
+            "Understanding HPC application I/O via system stats",
+            2020,
+            "HiPC",
+            Conference,
+            Ieee,
+            [StatisticalAnalysis]
+        ),
+        paper!(
+            "55",
+            "Dorier",
+            "Omnisc'IO: grammar-based I/O prediction",
+            2016,
+            "TPDS",
+            Journal,
+            Ieee,
+            [PredictiveAnalytics]
+        ),
+        paper!(
+            "56",
+            "Schmid",
+            "Predicting I/O performance using neural networks",
+            2016,
+            "SuperFri",
+            Journal,
+            Other,
+            [PredictiveAnalytics]
+        ),
+        paper!(
+            "57",
+            "Sun",
+            "Automated performance modeling using ML",
+            2020,
+            "IEEE-TC",
+            Journal,
+            Ieee,
+            [PredictiveAnalytics]
+        ),
+        paper!(
+            "58",
+            "Chowdhury",
+            "Emulating I/O behavior in scientific workflows",
+            2020,
+            "PDSW",
+            Workshop,
+            Ieee,
+            [EmergingWorkloads, PredictiveAnalytics]
+        ),
+        paper!(
+            "61",
+            "Liu",
+            "Performance evaluation of HPC I/O on NVM",
+            2017,
+            "NAS",
+            Conference,
+            Ieee,
+            [Simulation, StatisticalAnalysis]
+        ),
+        paper!(
+            "65",
+            "Xenopoulos",
+            "Big data analytics on HPC architectures",
+            2016,
+            "BigData",
+            Conference,
+            Ieee,
+            [EmergingWorkloads]
+        ),
+        paper!(
+            "66",
+            "Xuan",
+            "Accelerating big data analytics with two-level storage",
+            2017,
+            "ParCo",
+            Journal,
+            Elsevier,
+            [EmergingWorkloads]
+        ),
+        paper!(
+            "71",
+            "Chowdhury",
+            "I/O characterization of BeeGFS for deep learning",
+            2019,
+            "ICPP",
+            Conference,
+            Acm,
+            [EmergingWorkloads, Characterization]
+        ),
+        paper!(
+            "72",
+            "Daley",
+            "Workflow characterization for burst buffers",
+            2020,
+            "FGCS",
+            Journal,
+            Elsevier,
+            [EmergingWorkloads, Characterization]
+        ),
+        paper!(
+            "73",
+            "FerreiraDaSilva",
+            "Characterization of workflow management systems",
+            2017,
+            "FGCS",
+            Journal,
+            Elsevier,
+            [EmergingWorkloads]
+        ),
+        paper!(
+            "79",
+            "Bae",
+            "I/O performance of large-scale deep learning on HPC",
+            2019,
+            "HPCS",
+            Conference,
+            Ieee,
+            [EmergingWorkloads]
+        ),
     ]
 }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-corpus
 //!
 //! The survey corpus behind the paper's Sec. III and Fig. 3: the

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-des
 //!
 //! A discrete-event simulation (DES) engine in the spirit of ROSS

@@ -103,10 +103,7 @@ struct Worker<M> {
 /// current window always completes), so halting runs may process more
 /// events than the sequential executor would; all events processed are
 /// still processed in the same per-entity order.
-pub fn run_parallel<M: Send + 'static>(
-    sim: &mut Simulation<M>,
-    cfg: ParallelConfig,
-) -> RunResult {
+pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelConfig) -> RunResult {
     let threads = cfg.threads.max(1).min(sim.num_entities().max(1));
     let n = sim.num_entities();
     let lookahead = sim.lookahead();
@@ -143,8 +140,7 @@ pub fn run_parallel<M: Send + 'static>(
 
     // Shared synchronization state.
     let barrier = SpinBarrier::new(threads);
-    let local_mins: Vec<AtomicU64> =
-        (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let local_mins: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect();
     // outboxes[from][to]: events sent from thread `from` to entities owned
     // by thread `to`, buffered during a window, drained after the barrier.
     let outboxes: Vec<Vec<Mutex<Vec<Envelope<M>>>>> = (0..threads)
@@ -166,8 +162,7 @@ pub fn run_parallel<M: Send + 'static>(
                 // Per-destination-thread staging buffers: cross-thread
                 // sends are batched here and flushed under one lock per
                 // (window, destination) instead of one lock per event.
-                let mut staged: Vec<Vec<Envelope<M>>> =
-                    (0..threads).map(|_| Vec::new()).collect();
+                let mut staged: Vec<Vec<Envelope<M>>> = (0..threads).map(|_| Vec::new()).collect();
                 loop {
                     // Phase 1: publish local minimum, wait for everyone.
                     let lm = worker
@@ -265,9 +260,7 @@ pub fn run_parallel<M: Send + 'static>(
     for worker in &mut workers {
         events += worker.processed;
         max_queue += worker.heap.max_len;
-        for ((idx, entity), seq) in
-            worker.entities.drain(..).zip(worker.seqs.drain(..))
-        {
+        for ((idx, entity), seq) in worker.entities.drain(..).zip(worker.seqs.drain(..)) {
             sim.entities[idx] = Some(entity);
             sim.seqs[idx] = seq;
         }
@@ -302,11 +295,8 @@ mod tests {
     impl Entity<u64> for RingNode {
         fn on_event(&mut self, ev: Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
             // Order-sensitive fingerprint: combines payload and time.
-            self.fingerprint = self
-                .fingerprint
-                .wrapping_mul(0x100000001B3)
-                ^ ev.msg
-                ^ ev.time().as_nanos();
+            self.fingerprint =
+                self.fingerprint.wrapping_mul(0x100000001B3) ^ ev.msg ^ ev.time().as_nanos();
             if self.forwards_left > 0 {
                 self.forwards_left -= 1;
                 let delay = SimDuration::from_micros(1 + (ev.msg % 7));
@@ -340,11 +330,7 @@ mod tests {
 
     fn fingerprints(sim: &Simulation<u64>, nodes: u32) -> Vec<u64> {
         (0..nodes)
-            .map(|i| {
-                sim.entity_ref::<RingNode>(EntityId(i))
-                    .unwrap()
-                    .fingerprint
-            })
+            .map(|i| sim.entity_ref::<RingNode>(EntityId(i)).unwrap().fingerprint)
             .collect()
     }
 

@@ -29,14 +29,11 @@ pub struct PholdLp {
 impl Entity<u64> for PholdLp {
     fn on_event(&mut self, ev: crate::event::Envelope<u64>, ctx: &mut Ctx<'_, u64>) {
         self.handled += 1;
-        self.fingerprint = self
-            .fingerprint
-            .wrapping_mul(0x100000001B3)
-            ^ ev.msg
-            ^ ev.time().as_nanos();
+        self.fingerprint =
+            self.fingerprint.wrapping_mul(0x100000001B3) ^ ev.msg ^ ev.time().as_nanos();
         let dst = EntityId(self.rng.gen_range(0..self.n));
-        let delay = self.min_delay
-            + SimDuration::from_nanos(self.rng.gen_range(0..=self.max_extra));
+        let delay =
+            self.min_delay + SimDuration::from_nanos(self.rng.gen_range(0..=self.max_extra));
         ctx.send(dst, delay, ev.msg.wrapping_mul(31).wrapping_add(1));
     }
 }
@@ -94,9 +91,7 @@ pub fn build_phold(cfg: &PholdConfig) -> Simulation<u64> {
     // inside the first window.
     let mut seed_rng = rng(split_seed(cfg.seed, u64::MAX));
     for m in 0..cfg.population {
-        let t = SimTime::from_nanos(
-            seed_rng.gen_range(0..=cfg.lookahead.as_nanos()),
-        );
+        let t = SimTime::from_nanos(seed_rng.gen_range(0..=cfg.lookahead.as_nanos()));
         sim.schedule(t, EntityId(m % cfg.lps), m as u64);
     }
     sim
@@ -108,9 +103,7 @@ pub fn phold_fingerprint(sim: &Simulation<u64>, lps: u32) -> u64 {
         let lp = sim
             .entity_ref::<PholdLp>(EntityId(i))
             .expect("PHOLD LP missing");
-        acc.wrapping_mul(0x9E3779B97F4A7C15)
-            ^ lp.fingerprint
-            ^ lp.handled
+        acc.wrapping_mul(0x9E3779B97F4A7C15) ^ lp.fingerprint ^ lp.handled
     })
 }
 

@@ -168,11 +168,7 @@ impl<M: 'static> Simulation<M> {
     }
 
     /// Register an entity; returns its id.
-    pub fn add_entity(
-        &mut self,
-        name: impl Into<String>,
-        entity: Box<dyn Entity<M>>,
-    ) -> EntityId {
+    pub fn add_entity(&mut self, name: impl Into<String>, entity: Box<dyn Entity<M>>) -> EntityId {
         let id = EntityId(self.entities.len() as u32);
         self.entities.push(Some(entity));
         self.names.push(name.into());

@@ -77,8 +77,7 @@ impl JobResult {
 
     /// All records across ranks, flattened (sorted by start time).
     pub fn all_records(&self) -> Vec<LayerRecord> {
-        let mut out: Vec<LayerRecord> =
-            self.records.iter().flatten().copied().collect();
+        let mut out: Vec<LayerRecord> = self.records.iter().flatten().copied().collect();
         out.sort_by_key(|r| (r.start, r.rank));
         out
     }
@@ -154,9 +153,7 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
             actions,
             spec.stack.capture,
         );
-        let actual = cluster
-            .sim
-            .add_entity(format!("rank{i}"), Box::new(entity));
+        let actual = cluster.sim.add_entity(format!("rank{i}"), Box::new(entity));
         debug_assert_eq!(actual, me);
         cluster.clients.push(me);
         cluster.sim.schedule(spec.start, me, PfsMsg::Start);
@@ -198,7 +195,7 @@ pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
 mod tests {
     use super::*;
     use crate::ops::AccessSpec;
-    use pioeval_pfs::{ClusterConfig, Cluster};
+    use pioeval_pfs::{Cluster, ClusterConfig};
     use pioeval_types::{bytes, FileId, IoKind, Layer, MetaOp, RecordOp};
 
     fn cluster() -> Cluster {
@@ -278,7 +275,11 @@ mod tests {
         // Everyone finishes after the slowest rank's 16 ms compute.
         assert!(finish.iter().all(|&f| f >= SimTime::from_millis(16)));
         // And within a small window of each other (release fan-out).
-        let spread = finish.iter().max().unwrap().since(*finish.iter().min().unwrap());
+        let spread = finish
+            .iter()
+            .max()
+            .unwrap()
+            .since(*finish.iter().min().unwrap());
         assert!(spread < SimDuration::from_millis(1), "spread {spread}");
     }
 

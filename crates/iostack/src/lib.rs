@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-iostack
 //!
 //! The layered parallel I/O software stack of the paper's Fig. 2,

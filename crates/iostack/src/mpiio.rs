@@ -29,11 +29,7 @@ pub enum IndependentPlan {
 }
 
 /// Decide how to execute an independent access with `segments`.
-pub fn plan_independent(
-    kind: IoKind,
-    segments: &[(u64, u64)],
-    cfg: &MpiConfig,
-) -> IndependentPlan {
+pub fn plan_independent(kind: IoKind, segments: &[(u64, u64)], cfg: &MpiConfig) -> IndependentPlan {
     if segments.len() <= 1 || !cfg.sieving {
         return IndependentPlan::PerSegment(segments.to_vec());
     }
@@ -137,8 +133,7 @@ pub fn plan_two_phase(
                     if r == rank {
                         continue;
                     }
-                    let bytes =
-                        overlap(&spec.segments_for(r, nranks), dlo, dlo + dlen);
+                    let bytes = overlap(&spec.segments_for(r, nranks), dlo, dlo + dlen);
                     if bytes > 0 {
                         transfers.push((r, bytes));
                     }
@@ -291,7 +286,10 @@ mod tests {
     #[test]
     fn single_rank_collective_degenerates_gracefully() {
         let cfg = MpiConfig::default();
-        let spec = AccessSpec::ContiguousBlocks { base: 0, block: 4096 };
+        let spec = AccessSpec::ContiguousBlocks {
+            base: 0,
+            block: 4096,
+        };
         let plan = plan_two_phase(IoKind::Write, &spec, 0, 1, &cfg);
         assert_eq!(plan.aggregators, vec![0]);
         assert_eq!(plan.expect_bytes, 0);

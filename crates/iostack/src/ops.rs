@@ -54,9 +54,7 @@ impl AccessSpec {
     /// The file span `[lo, hi)` touched by the whole job.
     pub fn span(&self, nranks: u32) -> (u64, u64) {
         match *self {
-            AccessSpec::ContiguousBlocks { base, block } => {
-                (base, base + nranks as u64 * block)
-            }
+            AccessSpec::ContiguousBlocks { base, block } => (base, base + nranks as u64 * block),
             AccessSpec::Interleaved { base, block, count } => {
                 (base, base + count * nranks as u64 * block)
             }
@@ -245,7 +243,10 @@ mod tests {
 
     #[test]
     fn contiguous_blocks_partition_the_span() {
-        let spec = AccessSpec::ContiguousBlocks { base: 100, block: 50 };
+        let spec = AccessSpec::ContiguousBlocks {
+            base: 100,
+            block: 50,
+        };
         assert_eq!(spec.segments_for(0, 4), vec![(100, 50)]);
         assert_eq!(spec.segments_for(3, 4), vec![(250, 50)]);
         assert_eq!(spec.span(4), (100, 300));
@@ -254,7 +255,11 @@ mod tests {
 
     #[test]
     fn interleaved_round_robins() {
-        let spec = AccessSpec::Interleaved { base: 0, block: 10, count: 3 };
+        let spec = AccessSpec::Interleaved {
+            base: 0,
+            block: 10,
+            count: 3,
+        };
         assert_eq!(spec.segments_for(1, 4), vec![(10, 10), (50, 10), (90, 10)]);
         assert_eq!(spec.span(4), (0, 120));
         assert_eq!(spec.bytes_per_rank(), 30);
@@ -289,13 +294,22 @@ mod tests {
             elem_size: 4,
         };
         // Slab entirely within chunk (0,0).
-        let s = Hyperslab { start: [0, 0], count: [10, 10] };
+        let s = Hyperslab {
+            start: [0, 0],
+            count: [10, 10],
+        };
         assert_eq!(s.touched_chunks(&ds), vec![0]);
         // Slab spanning all four chunks.
-        let s = Hyperslab { start: [40, 40], count: [20, 20] };
+        let s = Hyperslab {
+            start: [40, 40],
+            count: [20, 20],
+        };
         assert_eq!(s.touched_chunks(&ds), vec![0, 1, 2, 3]);
         // Row slab touching the bottom two chunks.
-        let s = Hyperslab { start: [60, 0], count: [10, 100] };
+        let s = Hyperslab {
+            start: [60, 0],
+            count: [10, 100],
+        };
         assert_eq!(s.touched_chunks(&ds), vec![2, 3]);
         assert_eq!(s.elements(), 1000);
     }
@@ -307,7 +321,10 @@ mod tests {
             chunk: [5, 5],
             elem_size: 1,
         };
-        let s = Hyperslab { start: [0, 0], count: [0, 5] };
+        let s = Hyperslab {
+            start: [0, 0],
+            count: [0, 5],
+        };
         assert!(s.touched_chunks(&ds).is_empty());
         let spec = AccessSpec::ContiguousBlocks { base: 0, block: 0 };
         assert!(spec.segments_for(0, 4).is_empty());

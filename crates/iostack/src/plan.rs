@@ -158,7 +158,11 @@ impl Compiler<'_> {
         match kind {
             IoKind::Write => {
                 for &(to_rank, bytes) in &plan.transfers {
-                    self.out.push(Action::ShuffleSend { to_rank, bytes, tag });
+                    self.out.push(Action::ShuffleSend {
+                        to_rank,
+                        bytes,
+                        tag,
+                    });
                 }
                 if let Some(domain) = plan.my_domain {
                     self.out.push(Action::ShuffleWait {
@@ -186,7 +190,11 @@ impl Compiler<'_> {
                         });
                     }
                     for &(to_rank, bytes) in &plan.transfers {
-                        self.out.push(Action::ShuffleSend { to_rank, bytes, tag });
+                        self.out.push(Action::ShuffleSend {
+                            to_rank,
+                            bytes,
+                            tag,
+                        });
                     }
                 }
                 if plan.expect_bytes > 0 {
@@ -205,9 +213,10 @@ impl Compiler<'_> {
         match op {
             StackOp::Compute(dur) => self.out.push(Action::Compute { dur: *dur }),
             StackOp::Barrier => self.barrier(),
-            StackOp::PosixMeta { op, file } => {
-                self.out.push(Action::Meta { op: *op, file: *file })
-            }
+            StackOp::PosixMeta { op, file } => self.out.push(Action::Meta {
+                op: *op,
+                file: *file,
+            }),
             StackOp::PosixData {
                 kind,
                 file,
@@ -377,12 +386,7 @@ impl Compiler<'_> {
 }
 
 /// Compile one rank's program into its action list.
-pub fn compile(
-    rank: u32,
-    nranks: u32,
-    program: &[StackOp],
-    cfg: &StackConfig,
-) -> Vec<Action> {
+pub fn compile(rank: u32, nranks: u32, program: &[StackOp], cfg: &StackConfig) -> Vec<Action> {
     let mut c = Compiler {
         rank,
         nranks,
@@ -430,7 +434,13 @@ mod tests {
         ];
         let actions = compile(0, 4, &program, &cfg());
         assert_eq!(actions.len(), 2);
-        assert!(matches!(actions[0], Action::Meta { op: MetaOp::Create, .. }));
+        assert!(matches!(
+            actions[0],
+            Action::Meta {
+                op: MetaOp::Create,
+                ..
+            }
+        ));
         assert!(matches!(actions[1], Action::Data { len: 4096, .. }));
     }
 
@@ -469,15 +479,14 @@ mod tests {
         assert!(non.iter().any(|a| matches!(a, Action::ShuffleSend { .. })));
         assert_eq!(count_data(&non), 0);
         // Both see the same two barrier tags.
-        let tags =
-            |acts: &[Action]| -> Vec<u64> {
-                acts.iter()
-                    .filter_map(|a| match a {
-                        Action::BarrierEnter { tag } => Some(*tag),
-                        _ => None,
-                    })
-                    .collect()
-            };
+        let tags = |acts: &[Action]| -> Vec<u64> {
+            acts.iter()
+                .filter_map(|a| match a {
+                    Action::BarrierEnter { tag } => Some(*tag),
+                    _ => None,
+                })
+                .collect()
+        };
         assert_eq!(tags(&agg), tags(&non));
     }
 
@@ -524,21 +533,24 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(
-            datas,
-            vec![(IoKind::Read, 1100), (IoKind::Write, 1100)]
-        );
+        assert_eq!(datas, vec![(IoKind::Read, 1100), (IoKind::Write, 1100)]);
     }
 
     #[test]
     fn h5_create_differs_by_rank() {
-        let program = vec![StackOp::H5CreateFile { file: FileId::new(9) }];
+        let program = vec![StackOp::H5CreateFile {
+            file: FileId::new(9),
+        }];
         let r0 = compile(0, 4, &program, &cfg());
         let r1 = compile(1, 4, &program, &cfg());
         // Rank 0 creates + writes superblock; others open after barrier.
-        assert!(r0
-            .iter()
-            .any(|a| matches!(a, Action::Meta { op: MetaOp::Create, .. })));
+        assert!(r0.iter().any(|a| matches!(
+            a,
+            Action::Meta {
+                op: MetaOp::Create,
+                ..
+            }
+        )));
         assert!(r0.iter().any(|a| matches!(
             a,
             Action::Data {
@@ -547,9 +559,13 @@ mod tests {
                 ..
             }
         )));
-        assert!(r1
-            .iter()
-            .any(|a| matches!(a, Action::Meta { op: MetaOp::Open, .. })));
+        assert!(r1.iter().any(|a| matches!(
+            a,
+            Action::Meta {
+                op: MetaOp::Open,
+                ..
+            }
+        )));
         assert_eq!(count_data(&r1), 0);
     }
 

@@ -7,10 +7,7 @@ use pioeval_des::{Ctx, Entity, EntityId, Envelope};
 use pioeval_pfs::msg::{PfsMsg, RequestId};
 use pioeval_pfs::ClientPort;
 use pioeval_trace::JobProfile;
-use pioeval_types::{
-    FileId, IoKind, Layer, LayerRecord, Rank, RecordOp, SimDuration,
-    SimTime,
-};
+use pioeval_types::{FileId, IoKind, Layer, LayerRecord, Rank, RecordOp, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// Always-on cheap counters (the "profile mode" floor of Sec. IV-A2).
@@ -126,7 +123,16 @@ impl RankClient {
     /// Feed the streaming profile (always) and retain the full record if
     /// its layer is captured (charging the per-record overhead).
     #[allow(clippy::too_many_arguments)]
-    fn emit(&mut self, layer: Layer, op: RecordOp, file: FileId, offset: u64, len: u64, start: SimTime, end: SimTime) {
+    fn emit(
+        &mut self,
+        layer: Layer,
+        op: RecordOp,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        start: SimTime,
+        end: SimTime,
+    ) {
         let record = LayerRecord {
             layer,
             rank: self.rank,
@@ -153,7 +159,12 @@ impl RankClient {
                 let debt = self.overhead_debt;
                 self.overhead_debt = SimDuration::ZERO;
                 self.waiting = Waiting::Timer;
-                ctx.send_self(debt, PfsMsg::Timer { token: TOKEN_OVERHEAD });
+                ctx.send_self(
+                    debt,
+                    PfsMsg::Timer {
+                        token: TOKEN_OVERHEAD,
+                    },
+                );
                 return;
             }
             if self.pc >= self.actions.len() {
@@ -186,7 +197,12 @@ impl RankClient {
                 }
                 Action::Compute { dur } => {
                     self.waiting = Waiting::Timer;
-                    ctx.send_self(dur, PfsMsg::Timer { token: TOKEN_COMPUTE });
+                    ctx.send_self(
+                        dur,
+                        PfsMsg::Timer {
+                            token: TOKEN_COMPUTE,
+                        },
+                    );
                     return;
                 }
                 Action::Meta { op, file } => {
@@ -230,7 +246,11 @@ impl RankClient {
                     self.waiting = Waiting::Barrier(tag);
                     return;
                 }
-                Action::ShuffleSend { to_rank, bytes, tag } => {
+                Action::ShuffleSend {
+                    to_rank,
+                    bytes,
+                    tag,
+                } => {
                     let dst = self.rank_entities[to_rank as usize];
                     let (hop, msg) = self.port.app(dst, tag, bytes);
                     self.counters.shuffle_bytes_sent += bytes;
@@ -291,7 +311,15 @@ impl RankClient {
                     }
                 }
                 self.counters.time_in_data += end.since(start);
-                self.emit(Layer::Posix, RecordOp::Data(kind), file, offset, len, start, end);
+                self.emit(
+                    Layer::Posix,
+                    RecordOp::Data(kind),
+                    file,
+                    offset,
+                    len,
+                    start,
+                    end,
+                );
             }
             other => panic!("storage completion while executing {other:?}"),
         }
@@ -307,28 +335,26 @@ impl Entity<PfsMsg> for RankClient {
                 self.started_at = Some(ctx.now());
                 self.advance(ctx);
             }
-            PfsMsg::Timer { token } => {
-                match token {
-                    TOKEN_COMPUTE => {
-                        let start = self.action_start;
-                        let end = ctx.now();
-                        self.counters.time_computing += end.since(start);
-                        self.emit(
-                            Layer::Application,
-                            RecordOp::Compute,
-                            FileId::new(u32::MAX),
-                            0,
-                            0,
-                            start,
-                            end,
-                        );
-                        self.pc += 1;
-                        self.advance(ctx);
-                    }
-                    TOKEN_OVERHEAD => self.advance(ctx),
-                    other => panic!("unknown timer token {other}"),
+            PfsMsg::Timer { token } => match token {
+                TOKEN_COMPUTE => {
+                    let start = self.action_start;
+                    let end = ctx.now();
+                    self.counters.time_computing += end.since(start);
+                    self.emit(
+                        Layer::Application,
+                        RecordOp::Compute,
+                        FileId::new(u32::MAX),
+                        0,
+                        0,
+                        start,
+                        end,
+                    );
+                    self.pc += 1;
+                    self.advance(ctx);
                 }
-            }
+                TOKEN_OVERHEAD => self.advance(ctx),
+                other => panic!("unknown timer token {other}"),
+            },
             PfsMsg::MetaDone(rep) => {
                 self.port.on_meta_reply(&rep);
                 if self.pending.remove(&rep.id) && self.pending.is_empty() {
@@ -354,9 +380,7 @@ impl Entity<PfsMsg> for RankClient {
                     // Shuffle payload.
                     *self.received.entry(tag).or_insert(0) += bytes;
                     if let Waiting::Shuffle(wtag, expect) = self.waiting {
-                        if wtag == tag
-                            && self.received.get(&tag).copied().unwrap_or(0) >= expect
-                        {
+                        if wtag == tag && self.received.get(&tag).copied().unwrap_or(0) >= expect {
                             self.received.remove(&tag);
                             self.pc += 1;
                             self.advance(ctx);

@@ -1,0 +1,255 @@
+//! Cluster configuration analysis.
+//!
+//! Mirrors the hard invariants of `ClusterConfig::validate` as
+//! diagnostics (so every problem is reported at once instead of
+//! failing on the first), and adds softer checks the simulator
+//! tolerates but that almost always indicate a configuration mistake:
+//! stripe counts wider than the cluster, burst buffers smaller than a
+//! single stripe, and lookahead settings that stall the conservative
+//! parallel engine.
+
+use crate::diag::{Code, LintReport};
+use pioeval_pfs::ClusterConfig;
+use pioeval_types::SimDuration;
+
+/// Lint a cluster configuration against the engine `lookahead` it will
+/// run under (`SimConfig::lookahead`; the `pioeval` CLI passes its
+/// engine default).
+pub fn lint_config(cfg: &ClusterConfig, lookahead: SimDuration) -> LintReport {
+    let mut report = LintReport::new();
+
+    // Structural emptiness: a cluster with no clients or no storage
+    // cannot host a run at all.
+    for (field, value) in [
+        ("num_clients", cfg.num_clients),
+        ("num_mds", cfg.num_mds),
+        ("num_oss", cfg.num_oss),
+        ("osts_per_oss", cfg.osts_per_oss),
+    ] {
+        if value == 0 {
+            report.error(Code::StructuralZero, None, format!("{field} is 0"));
+        }
+    }
+    if cfg.max_rpc_size == 0 {
+        report.error(
+            Code::StructuralZero,
+            None,
+            "max_rpc_size is 0: clients cannot form data RPCs",
+        );
+    }
+    if cfg.num_ionodes > 0 && cfg.bb_drain_streams == 0 {
+        report.error(
+            Code::StructuralZero,
+            None,
+            "bb_drain_streams is 0: burst buffers would fill and never drain",
+        );
+    }
+    for &(ost, _) in &cfg.ost_overrides {
+        if ost as usize >= cfg.total_osts() {
+            report.error(
+                Code::StructuralZero,
+                None,
+                format!(
+                    "ost override {ost} out of range (cluster has {} OSTs)",
+                    cfg.total_osts()
+                ),
+            );
+        }
+    }
+
+    // Layout sanity.
+    if cfg.layout.stripe_size == 0 {
+        report.error(Code::ZeroStripe, None, "layout.stripe_size is 0");
+    }
+    if cfg.layout.stripe_count == 0 {
+        report.error(Code::ZeroStripe, None, "layout.stripe_count is 0");
+    }
+    let total = cfg.total_osts();
+    if total > 0 && cfg.layout.stripe_count as usize > total {
+        report.warn(
+            Code::StripeOverOsts,
+            None,
+            format!(
+                "layout.stripe_count {} exceeds the {} OSTs in the cluster \
+                 (the MDS clamps it; widen the cluster or narrow the stripe)",
+                cfg.layout.stripe_count, total
+            ),
+        );
+    }
+
+    // Fabrics.
+    for (name, f) in [
+        ("compute_fabric", &cfg.compute_fabric),
+        ("storage_fabric", &cfg.storage_fabric),
+    ] {
+        if f.link_bw == 0 {
+            report.error(
+                Code::ZeroFabricBw,
+                None,
+                format!("{name}.link_bw is 0: transfers would never complete"),
+            );
+        }
+        if f.latency < lookahead {
+            report.error(
+                Code::BadLookahead,
+                None,
+                format!(
+                    "{name}.latency {} is below the engine lookahead {} — \
+                     the conservative engine cannot schedule such messages",
+                    f.latency, lookahead
+                ),
+            );
+        }
+    }
+    if lookahead.is_zero() {
+        report.error(
+            Code::BadLookahead,
+            None,
+            "engine lookahead is 0: the conservative parallel engine's \
+             synchronization windows degenerate and the run stalls",
+        );
+    }
+
+    // Devices.
+    for (name, d) in [
+        ("ost_device", &cfg.ost_device),
+        ("bb_device", &cfg.bb_device),
+    ] {
+        if d.read_bw == 0 || d.write_bw == 0 {
+            report.error(
+                Code::ZeroDeviceBw,
+                None,
+                format!("{name} has zero read or write bandwidth"),
+            );
+        }
+    }
+    for &(ost, d) in &cfg.ost_overrides {
+        if d.read_bw == 0 || d.write_bw == 0 {
+            report.error(
+                Code::ZeroDeviceBw,
+                None,
+                format!("ost override {ost} has zero read or write bandwidth"),
+            );
+        }
+    }
+
+    // Burst-buffer capacity: an I/O node that cannot hold one stripe
+    // thrashes on every absorb/drain cycle.
+    if cfg.num_ionodes > 0 && cfg.layout.stripe_size > 0 && cfg.bb_capacity < cfg.layout.stripe_size
+    {
+        report.warn(
+            Code::BurstBufferTooSmall,
+            None,
+            format!(
+                "bb_capacity {} is smaller than one stripe ({}): every \
+                 absorbed write spills straight through to the OSTs",
+                cfg.bb_capacity, cfg.layout.stripe_size
+            ),
+        );
+    }
+
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_pfs::ClusterConfig;
+    use pioeval_types::bytes;
+
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+    #[test]
+    fn default_config_is_clean() {
+        let r = lint_config(&ClusterConfig::default(), LOOKAHEAD);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.warning_count(), 0, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn structural_zeros_pio036() {
+        let cfg = ClusterConfig {
+            num_clients: 0,
+            num_oss: 0,
+            ..ClusterConfig::default()
+        };
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::StructuralZero));
+        // Both problems reported, not just the first.
+        assert!(r.error_count() >= 2, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn zero_stripe_pio031() {
+        let mut cfg = ClusterConfig::default();
+        cfg.layout.stripe_size = 0;
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ZeroStripe));
+    }
+
+    #[test]
+    fn stripe_over_osts_pio030_is_warning() {
+        let mut cfg = ClusterConfig::default();
+        cfg.layout.stripe_count = 64; // default cluster has 8 OSTs
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::StripeOverOsts));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn zero_fabric_bandwidth_pio032() {
+        let mut cfg = ClusterConfig::default();
+        cfg.storage_fabric.link_bw = 0;
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ZeroFabricBw));
+    }
+
+    #[test]
+    fn zero_device_bandwidth_pio033() {
+        let mut cfg = ClusterConfig::default();
+        cfg.ost_device.write_bw = 0;
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ZeroDeviceBw));
+    }
+
+    #[test]
+    fn lookahead_problems_pio034() {
+        // Latency below lookahead.
+        let r = lint_config(&ClusterConfig::default(), SimDuration::from_micros(5));
+        assert!(r.has(Code::BadLookahead), "{:?}", r.diagnostics);
+        // Zero lookahead stalls the conservative engine.
+        let r = lint_config(&ClusterConfig::default(), SimDuration::ZERO);
+        assert!(r.has(Code::BadLookahead), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn burst_buffer_smaller_than_stripe_pio035() {
+        let mut cfg = ClusterConfig {
+            num_ionodes: 2,
+            bb_capacity: bytes::kib(64),
+            ..ClusterConfig::default()
+        };
+        cfg.layout.stripe_size = bytes::mib(1);
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::BurstBufferTooSmall));
+        assert!(r.is_clean()); // warning only
+                               // Without burst buffers the capacity is irrelevant.
+        let cfg2 = ClusterConfig {
+            num_ionodes: 0,
+            ..cfg
+        };
+        let r = lint_config(&cfg2, LOOKAHEAD);
+        assert!(!r.has(Code::BurstBufferTooSmall));
+    }
+
+    #[test]
+    fn override_out_of_range_pio036() {
+        let cfg = ClusterConfig {
+            ost_overrides: vec![(99, pioeval_pfs::DeviceConfig::nvme())],
+            ..ClusterConfig::default()
+        };
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::StructuralZero));
+    }
+}

@@ -1,0 +1,191 @@
+//! Workflow DAG analysis.
+//!
+//! `WorkflowDag` stages execute in vector order and each stage names at
+//! most one upstream producer, so the dependency structure is a forest
+//! over stage indices. The checks are correspondingly direct: an edge
+//! pointing at the stage itself or a later stage is a cycle under the
+//! execution order (PIO040), an edge past the end of the stage list is
+//! dangling (PIO041), a non-final stage whose outputs nothing consumes
+//! is dead weight in the pipeline (PIO042), and reading from a stage
+//! that produces no files starves the consumer (PIO043).
+
+use crate::diag::{Code, LintReport};
+use pioeval_workloads::WorkflowDag;
+
+/// Lint a workflow DAG.
+pub fn lint_dag(dag: &WorkflowDag) -> LintReport {
+    let mut report = LintReport::new();
+    let n = dag.stages.len();
+    if n == 0 {
+        report.error(Code::StructuralZero, None, "workflow has no stages");
+        return report;
+    }
+
+    let mut consumed = vec![false; n];
+    for (i, stage) in dag.stages.iter().enumerate() {
+        let Some(up) = stage.reads_stage else {
+            continue;
+        };
+        if up >= n {
+            report.error(
+                Code::DagDangling,
+                None,
+                format!(
+                    "stage {i} reads from stage {up}, but the workflow has \
+                     only {n} stages"
+                ),
+            );
+            continue;
+        }
+        if up == i {
+            report.error(
+                Code::DagCycle,
+                None,
+                format!("stage {i} reads its own outputs (self-cycle)"),
+            );
+            continue;
+        }
+        if up > i {
+            report.error(
+                Code::DagCycle,
+                None,
+                format!(
+                    "stage {i} reads from stage {up}, which runs later — \
+                     stages execute in index order, so this dependency can \
+                     never be satisfied"
+                ),
+            );
+            continue;
+        }
+        consumed[up] = true;
+        if dag.stages[up].files_out_per_rank == 0 {
+            report.error(
+                Code::DagEmptyUpstream,
+                None,
+                format!(
+                    "stage {i} reads from stage {up}, which produces no files \
+                     (files_out_per_rank is 0)"
+                ),
+            );
+        }
+    }
+
+    // Dead outputs: every stage but the last exists to feed something
+    // downstream. The final stage's outputs are the workflow's results.
+    for (i, stage) in dag.stages.iter().enumerate() {
+        if i + 1 < n && stage.files_out_per_rank > 0 && !consumed[i] {
+            report.warn(
+                Code::DagDeadStage,
+                None,
+                format!(
+                    "stage {i} writes {} file(s) per rank that no later stage \
+                     reads",
+                    stage.files_out_per_rank
+                ),
+            );
+        }
+        if stage.files_out_per_rank > 0 && stage.file_bytes == 0 {
+            report.error(
+                Code::ZeroSize,
+                None,
+                format!("stage {i} writes zero-byte output files"),
+            );
+        }
+    }
+
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::{bytes, SimDuration};
+    use pioeval_workloads::{Stage, WorkflowDag};
+
+    fn stage(reads: Option<usize>, outs: u32) -> Stage {
+        Stage {
+            reads_stage: reads,
+            files_out_per_rank: outs,
+            file_bytes: bytes::kib(64),
+            compute: SimDuration::from_millis(10),
+            stat_before_read: false,
+        }
+    }
+
+    #[test]
+    fn default_three_stage_dag_is_clean() {
+        let r = lint_dag(&WorkflowDag::three_stage_default(bytes::kib(64)));
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.warning_count(), 0, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn self_and_forward_cycles_pio040() {
+        let dag = WorkflowDag {
+            stages: vec![stage(None, 2), stage(Some(1), 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::DagCycle)); // self-cycle
+        let dag = WorkflowDag {
+            stages: vec![stage(Some(1), 2), stage(Some(0), 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::DagCycle)); // forward edge
+    }
+
+    #[test]
+    fn dangling_dependency_pio041() {
+        let dag = WorkflowDag {
+            stages: vec![stage(None, 2), stage(Some(7), 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::DagDangling));
+    }
+
+    #[test]
+    fn dead_stage_pio042() {
+        // Stage 0 feeds nothing; stage 1 reads staged-in input.
+        let dag = WorkflowDag {
+            stages: vec![stage(None, 2), stage(None, 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::DagDeadStage));
+        assert!(r.is_clean()); // warning only
+    }
+
+    #[test]
+    fn empty_upstream_pio043() {
+        let dag = WorkflowDag {
+            stages: vec![stage(None, 0), stage(Some(0), 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::DagEmptyUpstream));
+    }
+
+    #[test]
+    fn zero_byte_outputs_pio016() {
+        let mut s = stage(None, 2);
+        s.file_bytes = 0;
+        let dag = WorkflowDag {
+            stages: vec![s, stage(Some(0), 1)],
+            base_file: 0,
+        };
+        let r = lint_dag(&dag);
+        assert!(r.has(Code::ZeroSize));
+    }
+
+    #[test]
+    fn empty_workflow_is_an_error() {
+        let dag = WorkflowDag {
+            stages: vec![],
+            base_file: 0,
+        };
+        assert!(!lint_dag(&dag).is_clean());
+    }
+}

@@ -1,0 +1,356 @@
+//! Diagnostic primitives: stable codes, severities, source spans, and
+//! report rendering (human and JSON).
+
+use std::fmt;
+
+/// Stable diagnostic codes. The `PIO0xx` string of each code is part of
+/// the tool's public contract — scripts grep for them — so codes are
+/// never renumbered; retired codes are left unassigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// PIO001: input could not be parsed at all.
+    Syntax,
+    /// PIO010: statement references a file that was never declared.
+    UndeclaredFile,
+    /// PIO011: file declared but never referenced.
+    UnusedFile,
+    /// PIO012: `create` on a file that is already open.
+    DoubleCreate,
+    /// PIO013: operation on a file before it is created or opened.
+    IoBeforeCreate,
+    /// PIO014: operation on a file after it was closed.
+    UseAfterClose,
+    /// PIO015: file still open at end of program.
+    NeverClosed,
+    /// PIO016: data operation transfers zero bytes.
+    ZeroSize,
+    /// PIO017: data operation with `x0` repeat count (a no-op).
+    ZeroCount,
+    /// PIO018: `repeat 0` block (dead code).
+    EmptyRepeat,
+    /// PIO019: sequential access runs past the rank's lane on a shared
+    /// file, spilling into the next rank's lane.
+    LaneOverflow,
+    /// PIO020: two ranks write overlapping byte ranges of a shared file
+    /// with no barrier ordering the writes.
+    SharedWriteRace,
+    /// PIO030: stripe count exceeds the number of OSTs (will be clamped).
+    StripeOverOsts,
+    /// PIO031: zero stripe size or stripe count.
+    ZeroStripe,
+    /// PIO032: fabric with zero link bandwidth.
+    ZeroFabricBw,
+    /// PIO033: storage device with zero bandwidth.
+    ZeroDeviceBw,
+    /// PIO034: engine lookahead is zero, or a fabric latency is below
+    /// the lookahead (either stalls / breaks the conservative engine).
+    BadLookahead,
+    /// PIO035: burst-buffer capacity smaller than one stripe.
+    BurstBufferTooSmall,
+    /// PIO036: structurally empty cluster (zero clients/servers/...).
+    StructuralZero,
+    /// PIO040: workflow stage reads from itself or a later stage.
+    DagCycle,
+    /// PIO041: workflow stage reads from a stage index that does not exist.
+    DagDangling,
+    /// PIO042: non-final workflow stage whose outputs nothing reads.
+    DagDeadStage,
+    /// PIO043: workflow stage reads from a stage that produces no files.
+    DagEmptyUpstream,
+}
+
+impl Code {
+    /// The stable `PIO0xx` identifier.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Code::Syntax => "PIO001",
+            Code::UndeclaredFile => "PIO010",
+            Code::UnusedFile => "PIO011",
+            Code::DoubleCreate => "PIO012",
+            Code::IoBeforeCreate => "PIO013",
+            Code::UseAfterClose => "PIO014",
+            Code::NeverClosed => "PIO015",
+            Code::ZeroSize => "PIO016",
+            Code::ZeroCount => "PIO017",
+            Code::EmptyRepeat => "PIO018",
+            Code::LaneOverflow => "PIO019",
+            Code::SharedWriteRace => "PIO020",
+            Code::StripeOverOsts => "PIO030",
+            Code::ZeroStripe => "PIO031",
+            Code::ZeroFabricBw => "PIO032",
+            Code::ZeroDeviceBw => "PIO033",
+            Code::BadLookahead => "PIO034",
+            Code::BurstBufferTooSmall => "PIO035",
+            Code::StructuralZero => "PIO036",
+            Code::DagCycle => "PIO040",
+            Code::DagDangling => "PIO041",
+            Code::DagDeadStage => "PIO042",
+            Code::DagEmptyUpstream => "PIO043",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable; reported, does not fail the lint.
+    Warning,
+    /// The input is wrong; `pioeval run` refuses to start.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line, when the input has lines (DSL only).
+    pub line: Option<u32>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => {
+                write!(
+                    f,
+                    "{} [{}] line {}: {}",
+                    self.severity, self.code, n, self.message
+                )
+            }
+            None => write!(f, "{} [{}] {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// The outcome of linting one input.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, in source order where lines exist.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an error.
+    pub fn error(&mut self, code: Code, line: Option<u32>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            line,
+        });
+    }
+
+    /// Record a warning.
+    pub fn warn(&mut self, code: Code, line: Option<u32>, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            line,
+        });
+    }
+
+    /// Fold another report's findings into this one.
+    pub fn merge(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True when no error-severity findings exist (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// True when a finding with `code` exists.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Sort findings by line (unspanned findings last), then by code.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.line.unwrap_or(u32::MAX), d.code));
+    }
+
+    /// Render for terminals: one line per finding plus a summary.
+    ///
+    /// `input` names the linted source (file path or `<config>`).
+    pub fn render_human(&self, input: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            match d.line {
+                Some(n) => out.push_str(&format!(
+                    "{}:{}: {} [{}] {}\n",
+                    input, n, d.severity, d.code, d.message
+                )),
+                None => out.push_str(&format!(
+                    "{}: {} [{}] {}\n",
+                    input, d.severity, d.code, d.message
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s)\n",
+            input,
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Render as a JSON object:
+    /// `{"errors": N, "warnings": N, "diagnostics": [{code, severity,
+    /// line?, message}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",",
+                d.code, d.severity
+            ));
+            if let Some(n) = d.line {
+                out.push_str(&format!("\"line\":{n},"));
+            }
+            out.push_str(&format!("\"message\":\"{}\"}}", escape_json(&d.message)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::Syntax,
+            Code::UndeclaredFile,
+            Code::UnusedFile,
+            Code::DoubleCreate,
+            Code::IoBeforeCreate,
+            Code::UseAfterClose,
+            Code::NeverClosed,
+            Code::ZeroSize,
+            Code::ZeroCount,
+            Code::EmptyRepeat,
+            Code::LaneOverflow,
+            Code::SharedWriteRace,
+            Code::StripeOverOsts,
+            Code::ZeroStripe,
+            Code::ZeroFabricBw,
+            Code::ZeroDeviceBw,
+            Code::BadLookahead,
+            Code::BurstBufferTooSmall,
+            Code::StructuralZero,
+            Code::DagCycle,
+            Code::DagDangling,
+            Code::DagDeadStage,
+            Code::DagEmptyUpstream,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in all {
+            let s = c.as_str();
+            assert!(s.starts_with("PIO"), "{s}");
+            assert_eq!(s.len(), 6, "{s}");
+            assert!(seen.insert(s), "duplicate code {s}");
+        }
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut r = LintReport::new();
+        r.warn(Code::LaneOverflow, Some(7), "spills into next lane");
+        r.error(Code::UndeclaredFile, Some(3), "undeclared file `x`");
+        r.error(Code::ZeroStripe, None, "stripe_size is 0");
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has(Code::LaneOverflow));
+        assert!(!r.has(Code::DagCycle));
+        r.sort();
+        assert_eq!(r.diagnostics[0].line, Some(3));
+        assert_eq!(r.diagnostics[2].line, None);
+        let human = r.render_human("a.pio");
+        assert!(human.contains("a.pio:3: error [PIO010]"));
+        assert!(human.contains("2 error(s), 1 warning(s)"));
+        let json = r.to_json();
+        assert!(json.contains("\"errors\":2"));
+        assert!(json.contains("\"code\":\"PIO019\""));
+        assert!(json.contains("\"line\":7"));
+    }
+
+    #[test]
+    fn json_escapes_messages() {
+        let mut r = LintReport::new();
+        r.error(Code::Syntax, None, "bad \"quote\"\nnewline");
+        let json = r.to_json();
+        assert!(json.contains("bad \\\"quote\\\"\\nnewline"));
+    }
+}

@@ -44,7 +44,10 @@ impl ErrorMetrics {
             mape_sum / mape_n as f64 * 100.0
         };
         let mean_t = truth.iter().sum::<f64>() / n;
-        let ss_tot = truth.iter().map(|t| (t - mean_t) * (t - mean_t)).sum::<f64>();
+        let ss_tot = truth
+            .iter()
+            .map(|t| (t - mean_t) * (t - mean_t))
+            .sum::<f64>();
         let r2 = if ss_tot == 0.0 {
             if mse == 0.0 {
                 1.0

@@ -124,10 +124,7 @@ mod tests {
                 ]
             })
             .collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|r| r[0] * r[0] + 3.0 * r[1])
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0] + 3.0 * r[1]).collect();
         (xs, ys)
     }
 

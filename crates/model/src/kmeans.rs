@@ -94,9 +94,7 @@ impl KMeans {
                     *s += v;
                 }
             }
-            for (c, (sum, &count)) in
-                centroids.iter_mut().zip(sums.iter().zip(&counts))
-            {
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if count > 0 {
                     *c = sum.iter().map(|s| s / count as f64).collect();
                 }

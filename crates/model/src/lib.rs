@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-model
 //!
 //! The *modeling and prediction* phase of the paper's evaluation cycle

@@ -24,7 +24,7 @@ impl LinearRegression {
             return Err(Error::Model("ragged feature rows".into()));
         }
         let d = k + 1; // + intercept
-        // Build XᵀX and Xᵀy.
+                       // Build XᵀX and Xᵀy.
         let mut xtx = vec![vec![0.0f64; d]; d];
         let mut xty = vec![0.0f64; d];
         for (row, &y) in xs.iter().zip(ys) {
@@ -134,9 +134,7 @@ mod tests {
     fn rejects_bad_input() {
         assert!(LinearRegression::fit(&[], &[]).is_err());
         assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
-        assert!(
-            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err()
-        );
+        assert!(LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
     }
 
     #[test]

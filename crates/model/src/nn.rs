@@ -121,8 +121,7 @@ impl Mlp {
 
         let x_scaler = Scaler::fit(xs);
         let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
-        let y_std = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>()
-            / ys.len() as f64)
+        let y_std = (ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / ys.len() as f64)
             .sqrt()
             .max(1e-9);
         let x_std: Vec<Vec<f64>> = xs.iter().map(|r| x_scaler.apply(r)).collect();

@@ -183,7 +183,10 @@ pub fn detect_period(xs: &[f64], max_lag: usize, threshold: f64) -> Option<usize
     let acs: Vec<(usize, f64)> = (2..=max_lag)
         .map(|lag| (lag, autocorrelation(xs, lag)))
         .collect();
-    let best = acs.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    let best = acs
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
     if best <= threshold {
         return None;
     }
@@ -313,8 +316,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     TestResult {
         statistic: t,
         p_value: t_p_value(t, df.max(1.0)),
@@ -446,7 +448,9 @@ mod tests {
     #[test]
     fn autocorrelation_finds_checkpoint_cadence() {
         // A bursty series with period 5: [9,0,0,0,0, 9,0,0,0,0, ...]
-        let xs: Vec<f64> = (0..60).map(|i| if i % 5 == 0 { 9.0 } else { 0.0 }).collect();
+        let xs: Vec<f64> = (0..60)
+            .map(|i| if i % 5 == 0 { 9.0 } else { 0.0 })
+            .collect();
         assert!(autocorrelation(&xs, 5) > 0.9);
         assert!(autocorrelation(&xs, 3) < 0.5);
         assert_eq!(detect_period(&xs, 20, 0.5), Some(5));

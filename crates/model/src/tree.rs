@@ -5,8 +5,8 @@
 //! builds on).
 
 use pioeval_types::{rng, Error, Result};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 
 /// Tree growth limits.
 #[derive(Clone, Copy, Debug)]
@@ -84,7 +84,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -162,8 +166,7 @@ fn build(
             let right_sse = right_sq - right_sum * right_sum / rn;
             let gain = sse - left_sse - right_sse;
             if best.is_none() || gain > best.unwrap().2 {
-                let threshold =
-                    (xs[order[split_at - 1]][f] + xs[order[split_at]][f]) / 2.0;
+                let threshold = (xs[order[split_at - 1]][f] + xs[order[split_at]][f]) / 2.0;
                 best = Some((f, threshold, gain));
             }
         }
@@ -212,7 +215,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..60)
             .map(|i| vec![i as f64, ((i * 17) % 7) as f64])
             .collect();
-        let ys: Vec<f64> = xs.iter().map(|r| if r[0] < 30.0 { 0.0 } else { 10.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| if r[0] < 30.0 { 0.0 } else { 10.0 })
+            .collect();
         let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
         assert!(t.importance[0] > t.importance[1] * 10.0);
     }
@@ -241,9 +247,6 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(RegressionTree::fit(&[], &[], &TreeConfig::default()).is_err());
-        assert!(
-            RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &TreeConfig::default())
-                .is_err()
-        );
+        assert!(RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &TreeConfig::default()).is_err());
     }
 }

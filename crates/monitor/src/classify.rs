@@ -117,9 +117,7 @@ pub fn classify_jobs(profiles: &[JobProfile], k: usize, seed: u64) -> Result<Job
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pioeval_types::{
-        FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, SimTime,
-    };
+    use pioeval_types::{FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, SimTime};
 
     fn posix(file: u32, op: RecordOp, offset: u64, len: u64) -> LayerRecord {
         LayerRecord {

@@ -85,10 +85,7 @@ impl EndToEndView {
                 .map(|s| s.mean_queue_wait().as_secs_f64())
                 .sum::<f64>()
                 / servers.len() as f64;
-            let imbalance = servers
-                .iter()
-                .map(|s| s.imbalance())
-                .fold(0.0f64, f64::max);
+            let imbalance = servers.iter().map(|s| s.imbalance()).fold(0.0f64, f64::max);
             rows.push(MetricRow {
                 name: "mean server queue wait".into(),
                 value: mean_queue * 1e3,
@@ -126,15 +123,17 @@ impl EndToEndView {
             }
             server as f64 >= client as f64 * (1.0 - tolerance)
         };
-        check(self.client_written, self.server_written)
-            && check(self.client_read, self.server_read)
+        check(self.client_written, self.server_written) && check(self.client_read, self.server_read)
     }
 
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            out.push_str(&format!("{:<32} {:>14.3} {}\n", row.name, row.value, row.unit));
+            out.push_str(&format!(
+                "{:<32} {:>14.3} {}\n",
+                row.name, row.value, row.unit
+            ));
         }
         out
     }
@@ -144,8 +143,7 @@ impl EndToEndView {
 mod tests {
     use super::*;
     use pioeval_types::{
-        FileId, IoKind, JobId, Layer, LayerRecord, Rank, RecordOp, SimDuration,
-        SimTime,
+        FileId, IoKind, JobId, Layer, LayerRecord, Rank, RecordOp, SimDuration, SimTime,
     };
 
     fn profile_with(bytes: u64) -> JobProfile {
@@ -180,11 +178,7 @@ mod tests {
 
     #[test]
     fn fuses_all_three_sources() {
-        let view = EndToEndView::fuse(
-            &profile_with(10 << 20),
-            &[server_with(10 << 20)],
-            &job(),
-        );
+        let view = EndToEndView::fuse(&profile_with(10 << 20), &[server_with(10 << 20)], &job());
         assert!(view.rows.iter().any(|r| r.name.contains("queue wait")));
         let bw = view
             .rows
@@ -198,12 +192,10 @@ mod tests {
 
     #[test]
     fn coverage_detects_lost_bytes() {
-        let view =
-            EndToEndView::fuse(&profile_with(10 << 20), &[server_with(1 << 20)], &job());
+        let view = EndToEndView::fuse(&profile_with(10 << 20), &[server_with(1 << 20)], &job());
         assert!(!view.coverage_ok(0.1));
         // Server writing more than clients (drain duplication) is fine.
-        let view =
-            EndToEndView::fuse(&profile_with(1 << 20), &[server_with(10 << 20)], &job());
+        let view = EndToEndView::fuse(&profile_with(1 << 20), &[server_with(10 << 20)], &job());
         assert!(view.coverage_ok(0.1));
     }
 

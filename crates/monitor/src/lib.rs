@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-monitor
 //!
 //! End-to-end, holistic I/O monitoring (paper Sec. IV-A2's

@@ -71,12 +71,7 @@ impl MetadataActivity {
 
     /// Mean metadata op rate over active bins, ops/second.
     pub fn mean_active_rate(&self) -> f64 {
-        let active: Vec<u64> = self
-            .rate_bins
-            .iter()
-            .copied()
-            .filter(|&c| c > 0)
-            .collect();
+        let active: Vec<u64> = self.rate_bins.iter().copied().filter(|&c| c > 0).collect();
         if active.is_empty() {
             return 0.0;
         }
@@ -133,8 +128,7 @@ mod tests {
 
     #[test]
     fn hottest_is_bounded() {
-        let events: Vec<MetaEvent> =
-            (0..100).map(|i| ev(i, MetaOp::Stat, i as u32)).collect();
+        let events: Vec<MetaEvent> = (0..100).map(|i| ev(i, MetaOp::Stat, i as u32)).collect();
         let a = MetadataActivity::from_events(&events, SimDuration::from_secs(1));
         assert_eq!(a.hottest.len(), 16);
     }

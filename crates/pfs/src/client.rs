@@ -12,14 +12,10 @@
 //! for experiments that need storage-side behaviour without the full
 //! layered I/O stack of `pioeval-iostack`.
 
-use crate::msg::{
-    route, IoRequest, MetaReply, MetaRequest, PfsMsg, RequestId, HEADER_BYTES,
-};
+use crate::msg::{route, IoRequest, MetaReply, MetaRequest, PfsMsg, RequestId, HEADER_BYTES};
 use crate::striping::Layout;
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
-use pioeval_types::{
-    Error, FileId, IoKind, IoOp, MetaOp, Result, SimTime,
-};
+use pioeval_types::{Error, FileId, IoKind, IoOp, MetaOp, Result, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// Client-side protocol state for one compute client.
@@ -138,11 +134,7 @@ impl ClientPort {
                 let piece = (chunk.len - pos).min(self.max_rpc);
                 let id = self.fresh_id();
                 let (dst, via, reply_via) = match self.ionode {
-                    Some(ionode) => (
-                        ionode,
-                        vec![self.compute_fabric],
-                        vec![self.compute_fabric],
-                    ),
+                    Some(ionode) => (ionode, vec![self.compute_fabric], vec![self.compute_fabric]),
                     None => (
                         self.ost_route[chunk.ost.index()],
                         vec![self.compute_fabric, self.storage_fabric],
@@ -252,7 +244,12 @@ impl RawClient {
             self.op_hit_bb = false;
             match op {
                 IoOp::Compute { duration } => {
-                    ctx.send_self(duration, PfsMsg::Timer { token: self.pc as u64 });
+                    ctx.send_self(
+                        duration,
+                        PfsMsg::Timer {
+                            token: self.pc as u64,
+                        },
+                    );
                     return;
                 }
                 IoOp::Barrier => {
@@ -363,9 +360,7 @@ mod tests {
             Layout::new(4096, 2, 0, 4), // 4 KiB stripes over OSTs 0,1
         );
         // 8 KiB write at offset 0: two 4 KiB chunks, each split into 4 RPCs.
-        let rpcs = port
-            .data(IoKind::Write, FileId::new(1), 0, 8192)
-            .unwrap();
+        let rpcs = port.data(IoKind::Write, FileId::new(1), 0, 8192).unwrap();
         assert_eq!(rpcs.len(), 8);
         // All first-hop sends go to the compute fabric.
         assert!(rpcs.iter().all(|(hop, _, _)| *hop == EntityId(0)));

@@ -167,9 +167,10 @@ impl Cluster {
         // Reserve the id first so the port can carry it.
         let me = EntityId(self.sim.num_entities() as u32);
         let port = self.handles.port(me, index);
-        let id = self
-            .sim
-            .add_entity(format!("client{index}"), Box::new(RawClient::new(port, program)));
+        let id = self.sim.add_entity(
+            format!("client{index}"),
+            Box::new(RawClient::new(port, program)),
+        );
         debug_assert_eq!(id, me);
         self.clients.push(id);
         self.sim.schedule(start, id, PfsMsg::Start);
@@ -222,10 +223,7 @@ impl Cluster {
         let ids = self.handles.oss.clone();
         ids.iter()
             .map(|&id| {
-                let oss = self
-                    .sim
-                    .entity_mut::<Oss>(id)
-                    .expect("OSS entity missing");
+                let oss = self.sim.entity_mut::<Oss>(id).expect("OSS entity missing");
                 oss.finalize_stats();
                 oss.stats.clone()
             })
@@ -374,7 +372,10 @@ mod tests {
         assert_eq!(b, 4);
         assert_eq!(cluster.mds_requests(), 8);
         // Namespaces are disjoint.
-        assert_eq!(cluster.mds_at(0).num_files() + cluster.mds_at(1).num_files(), 8);
+        assert_eq!(
+            cluster.mds_at(0).num_files() + cluster.mds_at(1).num_files(),
+            8
+        );
     }
 
     #[test]

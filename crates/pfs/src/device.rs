@@ -153,7 +153,9 @@ mod tests {
         let c1 = d.access(SimTime::ZERO, IoKind::Write, 0, 10_000_000);
         let c2 = d.access(SimTime::ZERO, IoKind::Write, 10_000_000, 10_000_000);
         assert!(c2 > c1);
-        assert!(c2.since(SimTime::ZERO) >= c1.since(SimTime::ZERO) * 2 - SimDuration::from_micros(200));
+        assert!(
+            c2.since(SimTime::ZERO) >= c1.since(SimTime::ZERO) * 2 - SimDuration::from_micros(200)
+        );
     }
 
     #[test]
@@ -174,7 +176,7 @@ mod tests {
             t = d.access(t, IoKind::Read, i * 4096, 4096);
         }
         assert_eq!(d.seeks, 10); // counted but free (head starts at 0)
-        // 10 ops of (10us overhead + ~1.6us transfer): well under 1 ms.
+                                 // 10 ops of (10us overhead + ~1.6us transfer): well under 1 ms.
         assert!(t < SimTime::from_millis(1));
     }
 

@@ -40,9 +40,15 @@ struct DrainChunk {
 /// Why a local SSD completion is pending.
 enum SsdPending {
     /// A client write absorbed into the buffer; reply when SSD finishes.
-    Absorb { req: IoRequest, queue_delay: SimDuration },
+    Absorb {
+        req: IoRequest,
+        queue_delay: SimDuration,
+    },
     /// A client read served from the buffer; reply when SSD finishes.
-    CachedRead { req: IoRequest, queue_delay: SimDuration },
+    CachedRead {
+        req: IoRequest,
+        queue_delay: SimDuration,
+    },
 }
 
 /// Why a reply from the OSS is pending.
@@ -180,7 +186,8 @@ impl IoNode {
             obj_offset: req.obj_offset,
             len: req.len,
         };
-        self.oss_pending.insert(id, OssPending::Forwarded { orig: req });
+        self.oss_pending
+            .insert(id, OssPending::Forwarded { orig: req });
         let size = fwd.wire_size();
         let (hop, msg) = route(&[self.storage_fabric], oss, size, PfsMsg::Io(fwd));
         ctx.send(hop, ctx.lookahead(), msg);
@@ -406,7 +413,11 @@ mod tests {
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
         assert_eq!(replies.len(), 1);
         assert!(replies[0].1.from_burst_buffer);
-        assert!(replies[0].0 < SimTime::from_millis(30), "ack too slow: {}", replies[0].0);
+        assert!(
+            replies[0].0 < SimTime::from_millis(30),
+            "ack too slow: {}",
+            replies[0].0
+        );
         let node = sim.entity_ref::<IoNode>(ionode).unwrap();
         assert!(node.fully_drained());
         assert_eq!(node.stats.absorbed_writes, 1);
@@ -419,14 +430,21 @@ mod tests {
     fn full_buffer_degrades_to_write_through() {
         let (mut sim, ionode, client, _) = setup(1_000_000); // 1 MB buffer
         sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 900_000));
-        sim.schedule(SimTime::from_micros(1), ionode, write_req(2, client, 900_000, 900_000));
+        sim.schedule(
+            SimTime::from_micros(1),
+            ionode,
+            write_req(2, client, 900_000, 900_000),
+        );
         sim.run();
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
         assert_eq!(replies.len(), 2);
         let r1 = &replies.iter().find(|(_, r)| r.id == 1).unwrap().1;
         let r2 = &replies.iter().find(|(_, r)| r.id == 2).unwrap().1;
         assert!(r1.from_burst_buffer);
-        assert!(!r2.from_burst_buffer, "second write should bypass the full buffer");
+        assert!(
+            !r2.from_burst_buffer,
+            "second write should bypass the full buffer"
+        );
         let node = sim.entity_ref::<IoNode>(ionode).unwrap();
         assert_eq!(node.stats.forwarded, 1);
     }
@@ -437,9 +455,17 @@ mod tests {
         sim.schedule(SimTime::ZERO, ionode, write_req(1, client, 0, 4096));
         // Read of buffered region shortly after the write (before the
         // ~4 ms HDD drain completes): served from SSD.
-        sim.schedule(SimTime::from_micros(100), ionode, read_req(2, client, 0, 4096));
+        sim.schedule(
+            SimTime::from_micros(100),
+            ionode,
+            read_req(2, client, 0, 4096),
+        );
         // Read of an unbuffered region: forwarded.
-        sim.schedule(SimTime::from_micros(100), ionode, read_req(3, client, 1 << 20, 4096));
+        sim.schedule(
+            SimTime::from_micros(100),
+            ionode,
+            read_req(3, client, 1 << 20, 4096),
+        );
         sim.run();
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
         let r2 = &replies.iter().find(|(_, r)| r.id == 2).unwrap().1;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-pfs
 //!
 //! A discrete-event simulator of an HPC storage cluster, reproducing the
@@ -34,13 +35,9 @@ pub mod striping;
 
 pub use client::{ClientPort, RawClient};
 pub use cluster::{Cluster, ClusterHandles};
-pub use config::{
-    ClusterConfig, DeviceConfig, FabricConfig, LayoutPolicy, MdsConfig,
-};
+pub use config::{ClusterConfig, DeviceConfig, FabricConfig, LayoutPolicy, MdsConfig};
 pub use fabric::FabricStats;
 pub use ionode::BurstBufferStats;
-pub use msg::{
-    IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, PfsMsg, RequestId,
-};
+pub use msg::{IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, PfsMsg, RequestId};
 pub use stats::{OstTimeline, ServerStats};
 pub use striping::{Layout, StripeChunk};

@@ -108,7 +108,13 @@ impl MetadataServer {
     }
 
     /// Apply the namespace side effects of `op` and build the reply body.
-    fn apply(&mut self, op: MetaOp, file: FileId, size_hint: u64, now: SimTime) -> (Option<Layout>, u64) {
+    fn apply(
+        &mut self,
+        op: MetaOp,
+        file: FileId,
+        size_hint: u64,
+        now: SimTime,
+    ) -> (Option<Layout>, u64) {
         match op {
             MetaOp::Create => {
                 let layout = self.allocate_layout();
@@ -271,7 +277,11 @@ mod tests {
     fn serial_queue_accumulates_delay() {
         let (mut sim, mds, client) = setup();
         for i in 0..10 {
-            sim.schedule(SimTime::ZERO, mds, meta_req(i, client, MetaOp::Create, i as u32));
+            sim.schedule(
+                SimTime::ZERO,
+                mds,
+                meta_req(i, client, MetaOp::Create, i as u32),
+            );
         }
         sim.run();
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
@@ -279,7 +289,9 @@ mod tests {
         // ~1.5ms, and queue delays grow monotonically.
         let last = replies.last().unwrap();
         assert!(last.0 >= SimTime::from_micros(1500));
-        assert!(replies.windows(2).all(|w| w[0].1.queue_delay <= w[1].1.queue_delay));
+        assert!(replies
+            .windows(2)
+            .all(|w| w[0].1.queue_delay <= w[1].1.queue_delay));
     }
 
     #[test]
@@ -295,7 +307,11 @@ mod tests {
             size_hint: 4096,
         });
         sim.schedule(SimTime::from_millis(1), mds, close);
-        sim.schedule(SimTime::from_millis(2), mds, meta_req(3, client, MetaOp::Stat, 7));
+        sim.schedule(
+            SimTime::from_millis(2),
+            mds,
+            meta_req(3, client, MetaOp::Stat, 7),
+        );
         sim.run();
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
         assert_eq!(replies[2].1.size, 4096);
@@ -305,7 +321,11 @@ mod tests {
     fn unlink_removes_and_events_stream_records() {
         let (mut sim, mds, client) = setup();
         sim.schedule(SimTime::ZERO, mds, meta_req(1, client, MetaOp::Create, 3));
-        sim.schedule(SimTime::from_millis(1), mds, meta_req(2, client, MetaOp::Unlink, 3));
+        sim.schedule(
+            SimTime::from_millis(1),
+            mds,
+            meta_req(2, client, MetaOp::Unlink, 3),
+        );
         sim.run();
         let server = sim.entity_ref::<MetadataServer>(mds).unwrap();
         assert_eq!(server.num_files(), 0);

@@ -33,12 +33,7 @@ pub struct Oss {
 impl Oss {
     /// A new OSS hosting `count` OSTs starting at global id `first_ost`,
     /// all with the same device model.
-    pub fn new(
-        first_ost: u32,
-        count: usize,
-        device: DeviceConfig,
-        stats_bin: SimDuration,
-    ) -> Self {
+    pub fn new(first_ost: u32, count: usize, device: DeviceConfig, stats_bin: SimDuration) -> Self {
         Self::with_devices(first_ost, vec![device; count], stats_bin)
     }
 
@@ -189,7 +184,11 @@ mod tests {
     fn same_ost_serializes_different_osts_parallelize() {
         let (mut sim, oss, client) = setup(2);
         sim.schedule(SimTime::ZERO, oss, io_req(1, client, 0, 0, 14_000_000));
-        sim.schedule(SimTime::ZERO, oss, io_req(2, client, 0, 14_000_000, 14_000_000));
+        sim.schedule(
+            SimTime::ZERO,
+            oss,
+            io_req(2, client, 0, 14_000_000, 14_000_000),
+        );
         sim.schedule(SimTime::ZERO, oss, io_req(3, client, 1, 0, 14_000_000));
         sim.run();
         let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;

@@ -68,9 +68,7 @@ impl OstTimeline {
             .iter()
             .zip(&self.write_bins)
             .enumerate()
-            .map(|(i, (&r, &wr))| {
-                (i as f64 * w, r as f64 / mib / w, wr as f64 / mib / w)
-            })
+            .map(|(i, (&r, &wr))| (i as f64 * w, r as f64 / mib / w, wr as f64 / mib / w))
             .collect()
     }
 

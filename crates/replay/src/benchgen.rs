@@ -167,7 +167,12 @@ mod tests {
         push(RecordOp::Meta(MetaOp::Create), 0, 0, &mut out);
         for i in 0..iterations {
             push(RecordOp::Data(IoKind::Write), i * 8192, 4096, &mut out);
-            push(RecordOp::Data(IoKind::Write), i * 8192 + 4096, 4096, &mut out);
+            push(
+                RecordOp::Data(IoKind::Write),
+                i * 8192 + 4096,
+                4096,
+                &mut out,
+            );
         }
         push(RecordOp::Meta(MetaOp::Close), 0, 0, &mut out);
         out

@@ -92,9 +92,7 @@ pub fn extrapolate(
                         file,
                     } = &p[pos]
                     else {
-                        return Err(Error::Model(format!(
-                            "op shape mismatch at position {pos}"
-                        )));
+                        return Err(Error::Model(format!("op shape mismatch at position {pos}")));
                     };
                     if k2 != kind || l2 != l {
                         return Err(Error::Model(format!(
@@ -116,9 +114,7 @@ pub fn extrapolate(
                 let mut files = Vec::with_capacity(source_ranks);
                 for p in &base {
                     let StackOp::PosixMeta { file, .. } = &p[pos] else {
-                        return Err(Error::Model(format!(
-                            "op shape mismatch at position {pos}"
-                        )));
+                        return Err(Error::Model(format!("op shape mismatch at position {pos}")));
                     };
                     files.push(file.0 as i128);
                 }
@@ -146,13 +142,11 @@ pub fn extrapolate(
             let fallback = &base[rank as usize % source_ranks];
             (0..len)
                 .map(|pos| match &base[0][pos] {
-                    StackOp::PosixData {
-                        kind, len: l, ..
-                    } => {
-                        let offset = offset_fits[pos]
-                            .map(|(a, b)| (a + b * rank as i128).max(0) as u64);
-                        let file = file_fits[pos]
-                            .map(|(a, b)| (a + b * rank as i128).max(0) as u32);
+                    StackOp::PosixData { kind, len: l, .. } => {
+                        let offset =
+                            offset_fits[pos].map(|(a, b)| (a + b * rank as i128).max(0) as u64);
+                        let file =
+                            file_fits[pos].map(|(a, b)| (a + b * rank as i128).max(0) as u32);
                         match (offset, file) {
                             (Some(offset), Some(file)) => StackOp::PosixData {
                                 kind: *kind,
@@ -246,7 +240,11 @@ mod tests {
         for p in &report.programs {
             assert!(p.iter().any(|op| matches!(
                 op,
-                StackOp::PosixData { offset: 0, len: 4096, .. }
+                StackOp::PosixData {
+                    offset: 0,
+                    len: 4096,
+                    ..
+                }
             )));
         }
     }

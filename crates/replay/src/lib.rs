@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-replay
 //!
 //! Record-and-replay and replay-based modeling (paper Sec. IV-A1 and

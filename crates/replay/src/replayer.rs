@@ -168,9 +168,9 @@ mod tests {
         mpi.layer = Layer::MpiIo;
         records.push(mpi);
         let programs = replay_programs(&[records], ReplayMode::AsFastAsPossible);
-        assert!(!programs[0].iter().any(
-            |op| matches!(op, StackOp::PosixData { len: 9999, .. })
-        ));
+        assert!(!programs[0]
+            .iter()
+            .any(|op| matches!(op, StackOp::PosixData { len: 9999, .. })));
     }
 
     #[test]

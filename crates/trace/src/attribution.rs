@@ -71,8 +71,7 @@ pub fn attribute(records: &[LayerRecord]) -> Vec<LayerTime> {
             .iter()
             .filter(|r| {
                 r.layer == layer
-                    && (r.op.is_data()
-                        || matches!(r.op, pioeval_types::RecordOp::Meta(_)))
+                    && (r.op.is_data() || matches!(r.op, pioeval_types::RecordOp::Meta(_)))
             })
             .map(|r| (r.start.as_nanos(), r.end.as_nanos()))
             .collect()

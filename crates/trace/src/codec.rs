@@ -9,8 +9,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pioeval_types::{
-    Error, FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, Result,
-    SimTime,
+    Error, FileId, IoKind, Layer, LayerRecord, MetaOp, Rank, RecordOp, Result, SimTime,
 };
 
 const MAGIC: &[u8; 6] = b"PIOTRC";

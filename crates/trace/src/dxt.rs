@@ -78,8 +78,7 @@ impl DxtTrace {
             .segments
             .iter()
             .flat_map(|(&(r, f), segs)| {
-                segs.iter()
-                    .map(move |&s| (Rank::new(r), FileId::new(f), s))
+                segs.iter().map(move |&s| (Rank::new(r), FileId::new(f), s))
             })
             .collect();
         all.sort_by_key(|x| std::cmp::Reverse(x.2.end.since(x.2.start)));

@@ -87,10 +87,7 @@ impl RePair {
                 let c = counts.entry(d).or_insert(0);
                 *c += 1;
                 // Skip the middle of an overlapping run (aaa counts one).
-                if i + 2 < sequence.len()
-                    && sequence[i + 2] == d.0
-                    && d.0 == d.1
-                {
+                if i + 2 < sequence.len() && sequence[i + 2] == d.0 && d.0 == d.1 {
                     i += 2;
                 } else {
                     i += 1;
@@ -114,9 +111,7 @@ impl RePair {
             let mut out = Vec::with_capacity(sequence.len());
             let mut i = 0;
             while i < sequence.len() {
-                if i + 1 < sequence.len()
-                    && (sequence[i], sequence[i + 1]) == digram
-                {
+                if i + 1 < sequence.len() && (sequence[i], sequence[i + 1]) == digram {
                     out.push(rule_sym);
                     i += 2;
                 } else {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-trace
 //!
 //! The *measurements and statistics collection* phase of the paper's
@@ -24,7 +25,9 @@ pub mod profile;
 pub mod tokenize;
 
 pub use attribution::{attribute, LayerTime};
-pub use codec::{decode_records, encode_records, profile_to_json, records_from_json, records_to_json};
+pub use codec::{
+    decode_records, encode_records, profile_to_json, records_from_json, records_to_json,
+};
 pub use dxt::DxtTrace;
 pub use grammar::{Grammar, RePair};
 pub use profile::{FileRecord, JobProfile};

@@ -10,8 +10,8 @@
 //! I/O").
 
 use pioeval_types::{
-    size_bucket, FileId, IoKind, Layer, LayerRecord, PatternDetector,
-    Rank, RecordOp, SimDuration, SimTime,
+    size_bucket, FileId, IoKind, Layer, LayerRecord, PatternDetector, Rank, RecordOp, SimDuration,
+    SimTime,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -155,9 +155,7 @@ impl JobProfile {
                 rec.meta_time += r.elapsed();
             }
             (Layer::Application, RecordOp::Barrier) => self.barriers += 1,
-            (Layer::Application, RecordOp::Compute) => {
-                self.compute_time += r.elapsed()
-            }
+            (Layer::Application, RecordOp::Compute) => self.compute_time += r.elapsed(),
             _ => {}
         }
     }

@@ -162,8 +162,7 @@ mod tests {
         // Sequential 1 KiB writes: every op (including the first, whose
         // implicit previous end is 0) is (delta=0, len=1024) — a single
         // repeated symbol.
-        let records: Vec<LayerRecord> =
-            (0..10).map(|i| write_at(1, i * 1024, 1024)).collect();
+        let records: Vec<LayerRecord> = (0..10).map(|i| write_at(1, i * 1024, 1024)).collect();
         let ts = TokenStream::from_records(&records);
         assert_eq!(ts.len(), 10);
         assert_eq!(ts.tokenizer.num_symbols(), 1);
@@ -180,10 +179,11 @@ mod tests {
         ];
         let ts = TokenStream::from_records(&records);
         let ops = ts.detokenize();
-        let expect: Vec<(u32, u64, u64)> =
-            records.iter().map(|r| (r.file.0, r.offset, r.len)).collect();
-        let got: Vec<(u32, u64, u64)> =
-            ops.iter().map(|o| (o.file.0, o.offset, o.len)).collect();
+        let expect: Vec<(u32, u64, u64)> = records
+            .iter()
+            .map(|r| (r.file.0, r.offset, r.len))
+            .collect();
+        let got: Vec<(u32, u64, u64)> = ops.iter().map(|o| (o.file.0, o.offset, o.len)).collect();
         assert_eq!(expect, got);
     }
 

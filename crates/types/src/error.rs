@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn errors_display_their_class() {
-        assert!(Error::Config("x".into()).to_string().contains("configuration"));
+        assert!(Error::Config("x".into())
+            .to_string()
+            .contains("configuration"));
         assert!(Error::Parse("y".into()).to_string().contains("parse"));
         let e: Box<dyn std::error::Error> = Box::new(Error::Sim("z".into()));
         assert!(e.to_string().contains("z"));

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-types
 //!
 //! Shared vocabulary for the `pioeval` parallel I/O evaluation framework.
@@ -33,6 +34,5 @@ pub use pattern::{AccessPattern, PatternDetector};
 pub use rng::{rng, split_seed};
 pub use time::{SimDuration, SimTime};
 pub use units::{
-    bytes, size_bucket, throughput_mib_s, ByteSize, SIZE_BUCKET_BOUNDS,
-    SIZE_BUCKET_LABELS,
+    bytes, size_bucket, throughput_mib_s, ByteSize, SIZE_BUCKET_BOUNDS, SIZE_BUCKET_LABELS,
 };

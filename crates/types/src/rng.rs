@@ -20,8 +20,7 @@ pub fn rng(seed: u64) -> StdRng {
 /// avalanche behaviour; distinct `(seed, stream)` pairs yield
 /// well-separated child seeds.
 pub fn split_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -35,14 +34,18 @@ mod tests {
 
     #[test]
     fn rng_is_deterministic() {
-        let a: Vec<u64> = (0..16).map({
-            let mut r = rng(42);
-            move |_| r.gen()
-        }).collect();
-        let b: Vec<u64> = (0..16).map({
-            let mut r = rng(42);
-            move |_| r.gen()
-        }).collect();
+        let a: Vec<u64> = (0..16)
+            .map({
+                let mut r = rng(42);
+                move |_| r.gen()
+            })
+            .collect();
+        let b: Vec<u64> = (0..16)
+            .map({
+                let mut r = rng(42);
+                move |_| r.gen()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

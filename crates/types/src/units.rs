@@ -20,9 +20,7 @@ pub mod bytes {
 }
 
 /// A byte count with human-readable formatting.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {
@@ -83,8 +81,8 @@ pub const SIZE_BUCKET_BOUNDS: [u64; 9] = [
 
 /// Human-readable labels for [`SIZE_BUCKET_BOUNDS`] plus the open bucket.
 pub const SIZE_BUCKET_LABELS: [&str; 10] = [
-    "0-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", "1M-4M", "4M-10M",
-    "10M-100M", "100M-1G", "1G+",
+    "0-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", "1M-4M", "4M-10M", "10M-100M", "100M-1G",
+    "1G+",
 ];
 
 /// Index of the size-histogram bucket for a transfer of `size` bytes.

@@ -124,8 +124,7 @@ impl Workload for CheckpointLike {
                         });
                         let mut pos = 0;
                         while pos < self.bytes_per_rank {
-                            let len =
-                                (self.bytes_per_rank - pos).min(self.transfer_size);
+                            let len = (self.bytes_per_rank - pos).min(self.transfer_size);
                             ops.push(StackOp::PosixData {
                                 kind: IoKind::Read,
                                 file,
@@ -190,7 +189,15 @@ mod tests {
         // Restart reads the final step.
         let reads = programs[1]
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Read, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixData {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(reads as u64, cp.bytes_per_rank / cp.transfer_size);
     }

@@ -219,7 +219,15 @@ mod tests {
         let p = &dl.programs(2, 3)[0];
         let meta_opens = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Open, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixMeta {
+                        op: MetaOp::Open,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(meta_opens, 1); // only the container open
         let offsets: Vec<u64> = p
@@ -248,7 +256,15 @@ mod tests {
         // 64 samples / batch 8 = 8 batches → 4 checkpoints.
         let ckpt_writes = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(ckpt_writes, 4);
     }

@@ -26,6 +26,12 @@
 //! `us`/`ms`/`s`. Sequential accesses advance a per-(rank, file) cursor;
 //! `random` draws offsets from the rank's seeded RNG within the file's
 //! lane. Expansion is deterministic in `(nranks, seed)`.
+//!
+//! The parsed AST ([`DslWorkload`], [`Stmt`], [`FileDecl`]) is public
+//! and every node carries its 1-based source line, so downstream tools
+//! (notably `pioeval-lint`) can attach diagnostics to source spans.
+//! [`parse_dsl_ast`] performs syntax-only parsing; [`parse_dsl`] adds
+//! the undeclared-file check that expansion relies on.
 
 use crate::Workload;
 use pioeval_iostack::StackOp;
@@ -33,58 +39,104 @@ use pioeval_types::{rng, split_seed, Error, FileId, IoKind, MetaOp, Result, SimD
 use rand::Rng;
 use std::collections::HashMap;
 
-const DEFAULT_LANE: u64 = 64 * 1024 * 1024;
+/// Default per-rank lane size for `file` declarations without `lane`.
+pub const DEFAULT_LANE: u64 = 64 * 1024 * 1024;
 
+/// How a declared file is shared across ranks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Scope {
+pub enum Scope {
+    /// One file; each rank works in its own byte lane.
     Shared,
+    /// One file instance per rank.
     PerRank,
 }
 
+/// A `file` declaration.
 #[derive(Clone, Debug)]
-struct FileDecl {
-    index: u32,
-    scope: Scope,
-    lane: u64,
+pub struct FileDecl {
+    /// Declaration order (0-based); determines the file id layout.
+    pub index: u32,
+    /// Sharing scope.
+    pub scope: Scope,
+    /// Per-rank lane size in bytes.
+    pub lane: u64,
+    /// 1-based source line of the declaration.
+    pub line: u32,
 }
 
+/// A statement plus the source line it was parsed from.
 #[derive(Clone, Debug)]
-enum Stmt {
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// One DSL statement.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// A metadata operation on a declared file.
     Meta(MetaOp, String),
+    /// A data operation (one or more transfers).
     Data {
+        /// Read or write.
         kind: IoKind,
+        /// Target file name.
         file: String,
+        /// Bytes per transfer.
         size: u64,
+        /// Number of transfers (`xN`).
         count: u64,
+        /// Random offsets within the lane instead of sequential.
         random: bool,
     },
+    /// Pure computation for the given duration.
     Compute(SimDuration),
+    /// Synchronize all ranks.
     Barrier,
+    /// Repeat the inner block N times.
     Repeat(u64, Vec<Stmt>),
 }
 
 /// A parsed DSL workload.
 #[derive(Clone, Debug)]
 pub struct DslWorkload {
-    files: HashMap<String, FileDecl>,
-    body: Vec<Stmt>,
+    /// Declared files by name.
+    pub files: HashMap<String, FileDecl>,
+    /// Top-level statement block.
+    pub body: Vec<Stmt>,
     /// Base file id for declared files.
     pub base_file: u32,
 }
 
-/// Parse DSL source into a workload with the given base file id.
-pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
+/// Parse DSL source into an AST, checking syntax only.
+///
+/// Unlike [`parse_dsl`], references to undeclared files are accepted
+/// here so that static analysis can report them with proper source
+/// spans (`pioeval-lint` code `PIO010`). Every parse error message is
+/// prefixed with `line N:` (for unclosed blocks, the line of the
+/// opening `repeat`).
+pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
     let mut files = HashMap::new();
     let mut file_count = 0u32;
-    // Stack of blocks being built: (repeat count, stmts). Bottom is body.
-    let mut stack: Vec<(u64, Vec<Stmt>)> = vec![(1, Vec::new())];
+    // Stack of blocks being built: (repeat count, opening line, stmts).
+    // Bottom is the top-level body.
+    let mut stack: Vec<(u64, u32, Vec<Stmt>)> = vec![(1, 0, Vec::new())];
 
     for (lineno, raw) in src.lines().enumerate() {
+        let line_no = (lineno + 1) as u32;
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let err = |msg: &str| Error::Parse(format!("line {}: {msg}", lineno + 1));
+        let err = |msg: &str| Error::Parse(format!("line {line_no}: {msg}"));
+        let push = |stack: &mut Vec<(u64, u32, Vec<Stmt>)>, kind: StmtKind| {
+            stack.last_mut().unwrap().2.push(Stmt {
+                line: line_no,
+                kind,
+            });
+        };
         let toks: Vec<&str> = line.split_whitespace().collect();
         match toks[0] {
             "file" => {
@@ -107,12 +159,12 @@ pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
                         index: file_count,
                         scope,
                         lane,
+                        line: line_no,
                     },
                 );
                 file_count += 1;
             }
-            "create" | "open" | "close" | "stat" | "unlink" | "fsync" | "mkdir"
-            | "readdir" => {
+            "create" | "open" | "close" | "stat" | "unlink" | "fsync" | "mkdir" | "readdir" => {
                 if toks.len() != 2 {
                     return Err(err("usage: <metaop> <file>"));
                 }
@@ -126,11 +178,7 @@ pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
                     "mkdir" => MetaOp::Mkdir,
                     _ => MetaOp::Readdir,
                 };
-                stack
-                    .last_mut()
-                    .unwrap()
-                    .1
-                    .push(Stmt::Meta(op, toks[1].to_string()));
+                push(&mut stack, StmtKind::Meta(op, toks[1].to_string()));
             }
             "write" | "read" => {
                 if toks.len() < 3 {
@@ -153,66 +201,84 @@ pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
                         return Err(err(&format!("unknown modifier `{t}`")));
                     }
                 }
-                stack.last_mut().unwrap().1.push(Stmt::Data {
-                    kind,
-                    file: toks[1].to_string(),
-                    size,
-                    count,
-                    random,
-                });
+                push(
+                    &mut stack,
+                    StmtKind::Data {
+                        kind,
+                        file: toks[1].to_string(),
+                        size,
+                        count,
+                        random,
+                    },
+                );
             }
             "compute" => {
                 if toks.len() != 2 {
                     return Err(err("usage: compute <duration>"));
                 }
                 let d = parse_duration(toks[1]).ok_or_else(|| err("bad duration"))?;
-                stack.last_mut().unwrap().1.push(Stmt::Compute(d));
+                push(&mut stack, StmtKind::Compute(d));
             }
-            "barrier" => stack.last_mut().unwrap().1.push(Stmt::Barrier),
+            "barrier" => push(&mut stack, StmtKind::Barrier),
             "repeat" => {
                 if toks.len() != 2 {
                     return Err(err("usage: repeat <n>"));
                 }
                 let n: u64 = toks[1].parse().map_err(|_| err("bad repeat count"))?;
-                stack.push((n, Vec::new()));
+                stack.push((n, line_no, Vec::new()));
             }
             "end" => {
                 if stack.len() < 2 {
                     return Err(err("`end` without `repeat`"));
                 }
-                let (n, stmts) = stack.pop().unwrap();
-                stack.last_mut().unwrap().1.push(Stmt::Repeat(n, stmts));
+                let (n, open_line, stmts) = stack.pop().unwrap();
+                stack.last_mut().unwrap().2.push(Stmt {
+                    line: open_line,
+                    kind: StmtKind::Repeat(n, stmts),
+                });
             }
             other => return Err(err(&format!("unknown statement `{other}`"))),
         }
     }
-    if stack.len() != 1 {
-        return Err(Error::Parse("unclosed `repeat` block".into()));
+    if let Some((_, open_line, _)) = stack.get(1) {
+        return Err(Error::Parse(format!(
+            "line {open_line}: unclosed `repeat` block"
+        )));
     }
-    let body = stack.pop().unwrap().1;
-
-    // Validate file references.
-    fn check(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> {
-        for s in stmts {
-            match s {
-                Stmt::Meta(_, f) | Stmt::Data { file: f, .. }
-                    if !files.contains_key(f) =>
-                {
-                    return Err(Error::Parse(format!("undeclared file `{f}`")));
-                }
-                Stmt::Repeat(_, inner) => check(inner, files)?,
-                _ => {}
-            }
-        }
-        Ok(())
-    }
-    check(&body, &files)?;
+    let body = stack.pop().unwrap().2;
 
     Ok(DslWorkload {
         files,
         body,
         base_file,
     })
+}
+
+/// Parse DSL source into a workload with the given base file id.
+///
+/// Rejects references to undeclared files (with the offending line in
+/// the message), so the returned workload always expands cleanly.
+pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
+    let w = parse_dsl_ast(src, base_file)?;
+
+    fn check(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Meta(_, f) | StmtKind::Data { file: f, .. } if !files.contains_key(f) => {
+                    return Err(Error::Parse(format!(
+                        "line {}: undeclared file `{f}`",
+                        s.line
+                    )));
+                }
+                StmtKind::Repeat(_, inner) => check(inner, files)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+    check(&w.body, &w.files)?;
+
+    Ok(w)
 }
 
 fn parse_size(s: &str) -> Option<u64> {
@@ -258,10 +324,7 @@ impl Expander<'_> {
         match decl.scope {
             Scope::Shared => FileId::new(self.w.base_file + decl.index),
             Scope::PerRank => FileId::new(
-                self.w.base_file
-                    + self.w.files.len() as u32
-                    + decl.index * self.nranks
-                    + self.rank,
+                self.w.base_file + self.w.files.len() as u32 + decl.index * self.nranks + self.rank,
             ),
         }
     }
@@ -276,13 +339,13 @@ impl Expander<'_> {
 
     fn expand(&mut self, stmts: &[Stmt]) {
         for s in stmts {
-            match s {
-                Stmt::Meta(op, name) => {
+            match &s.kind {
+                StmtKind::Meta(op, name) => {
                     let decl = &self.w.files[name];
                     let file = self.file_id(decl);
                     self.out.push(StackOp::PosixMeta { op: *op, file });
                 }
-                Stmt::Data {
+                StmtKind::Data {
                     kind,
                     file: name,
                     size,
@@ -297,8 +360,7 @@ impl Expander<'_> {
                             let span = decl.lane.saturating_sub(*size).max(1);
                             base + self.rng.gen_range(0..span)
                         } else {
-                            let cursor =
-                                self.cursors.entry(name.clone()).or_insert(0);
+                            let cursor = self.cursors.entry(name.clone()).or_insert(0);
                             let off = base + *cursor;
                             *cursor += size;
                             off
@@ -311,9 +373,9 @@ impl Expander<'_> {
                         });
                     }
                 }
-                Stmt::Compute(d) => self.out.push(StackOp::Compute(*d)),
-                Stmt::Barrier => self.out.push(StackOp::Barrier),
-                Stmt::Repeat(n, inner) => {
+                StmtKind::Compute(d) => self.out.push(StackOp::Compute(*d)),
+                StmtKind::Barrier => self.out.push(StackOp::Barrier),
+                StmtKind::Repeat(n, inner) => {
                     for _ in 0..*n {
                         self.expand(inner);
                     }
@@ -376,7 +438,15 @@ mod tests {
         let p = &programs[0];
         let writes = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(writes, 2 * 4 + 2); // repeat block + scratch
         let computes = p
@@ -416,7 +486,10 @@ mod tests {
             })
             .min()
             .unwrap();
-        assert!(max_r0 <= min_r1, "rank 0 lane end {max_r0} > rank 1 start {min_r1}");
+        assert!(
+            max_r0 <= min_r1,
+            "rank 0 lane end {max_r0} > rank 1 start {min_r1}"
+        );
     }
 
     #[test]
@@ -457,6 +530,41 @@ mod tests {
         assert!(parse_dsl("repeat 3\nbarrier", 0).is_err()); // unclosed
         assert!(parse_dsl("file f shared\nwrite f 1q", 0).is_err()); // bad size
         assert!(parse_dsl("compute 5banana", 0).is_err());
+    }
+
+    #[test]
+    fn all_parse_errors_carry_line_numbers() {
+        // The two historical offenders: unclosed `repeat` (reports the
+        // opening line) and undeclared files (report the use site).
+        let err = parse_dsl("barrier\nrepeat 3\nbarrier", 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+        let err = parse_dsl("barrier\nwrite ghost 1m", 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn ast_parse_accepts_undeclared_files() {
+        let w = parse_dsl_ast("write ghost 1m", 0).unwrap();
+        assert_eq!(w.body.len(), 1);
+        assert_eq!(w.body[0].line, 1);
+        assert!(parse_dsl("write ghost 1m", 0).is_err());
+    }
+
+    #[test]
+    fn ast_nodes_carry_source_lines() {
+        let w = parse_dsl(SAMPLE, 500).unwrap();
+        assert_eq!(w.files["data"].line, 3);
+        assert_eq!(w.files["scratch"].line, 4);
+        // First statement is `create data` on line 6.
+        assert_eq!(w.body[0].line, 6);
+        // The repeat block reports its opening line.
+        let repeat = w
+            .body
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::Repeat(..)))
+            .unwrap();
+        assert_eq!(repeat.line, 7);
     }
 
     #[test]

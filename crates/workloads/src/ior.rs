@@ -85,14 +85,7 @@ impl IorLike {
         }
     }
 
-    fn data_phase(
-        &self,
-        kind: IoKind,
-        rank: u32,
-        nranks: u32,
-        seed: u64,
-        out: &mut Vec<StackOp>,
-    ) {
+    fn data_phase(&self, kind: IoKind, rank: u32, nranks: u32, seed: u64, out: &mut Vec<StackOp>) {
         let file = self.file_for(rank);
         match self.api {
             IorApi::Posix => {
@@ -235,7 +228,15 @@ mod tests {
         // 4 transfers of 1 MiB each per rank.
         let writes = programs[0]
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixData { kind: IoKind::Write, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(writes, 4);
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval-workloads
 //!
 //! Workload generators covering the paper's workload taxonomy
@@ -37,7 +38,7 @@ pub use analytics::AnalyticsLike;
 pub use btio::BtIoLike;
 pub use checkpoint::CheckpointLike;
 pub use dlio::DlioLike;
-pub use dsl::parse_dsl;
+pub use dsl::{parse_dsl, parse_dsl_ast, DslWorkload};
 pub use ior::{IorApi, IorLike};
 pub use mdtest::MdtestLike;
 pub use skel::{Phase, SkeletonApp};

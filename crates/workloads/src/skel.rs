@@ -127,8 +127,7 @@ impl Workload for SkeletonApp {
                             }
                             let mut pos = 0;
                             while pos < io.bytes_per_rank {
-                                let len =
-                                    (io.bytes_per_rank - pos).min(io.transfer.max(1));
+                                let len = (io.bytes_per_rank - pos).min(io.transfer.max(1));
                                 ops.push(StackOp::PosixData {
                                     kind: io.kind,
                                     file,
@@ -194,7 +193,9 @@ mod tests {
         let p = &sk.programs(4, 0)[1];
         // First op: compute, then the collective phase.
         assert!(matches!(p[0], StackOp::Compute(_)));
-        assert!(p.iter().any(|op| matches!(op, StackOp::MpiCollective { .. })));
+        assert!(p
+            .iter()
+            .any(|op| matches!(op, StackOp::MpiCollective { .. })));
         // FPP phase: rank 1's file differs from rank 0's.
         let f1 = p
             .iter()

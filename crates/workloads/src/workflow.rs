@@ -10,9 +10,10 @@
 use crate::Workload;
 use pioeval_iostack::StackOp;
 use pioeval_types::{bytes, FileId, IoKind, MetaOp, SimDuration};
+use serde::{Deserialize, Serialize};
 
 /// One workflow stage.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Stage {
     /// Index of the upstream stage whose outputs this stage reads
     /// (`None` for source stages reading staged-in input).
@@ -29,7 +30,7 @@ pub struct Stage {
 }
 
 /// A staged workflow.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkflowDag {
     /// Stages in topological (execution) order.
     pub stages: Vec<Stage>,
@@ -183,7 +184,15 @@ mod tests {
         let p = &wf.programs(1, 0)[0];
         let stats = p
             .iter()
-            .filter(|op| matches!(op, StackOp::PosixMeta { op: MetaOp::Stat, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixMeta {
+                        op: MetaOp::Stat,
+                        ..
+                    }
+                )
+            })
             .count();
         // Stages 1 and 2 stat their 8 upstream files each.
         assert_eq!(stats, 16);

@@ -56,7 +56,10 @@ fn main() {
     ]);
     table.row(vec![
         "bytes written".to_string(),
-        format!("{}", pioeval::types::ByteSize(report.profile.bytes_written())),
+        format!(
+            "{}",
+            pioeval::types::ByteSize(report.profile.bytes_written())
+        ),
     ]);
     table.row(vec![
         "bytes read".to_string(),

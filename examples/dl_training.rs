@@ -16,8 +16,8 @@ fn run(
     table: &mut Table,
 ) {
     let source = WorkloadSource::Synthetic(workload);
-    let report = measure(cluster, &source, nranks, StackConfig::default(), 7)
-        .expect("simulation failed");
+    let report =
+        measure(cluster, &source, nranks, StackConfig::default(), 7).expect("simulation failed");
     let makespan = report.makespan().expect("job did not finish");
     let read_bw = report.job.read_throughput_mib_s();
     let write_bw = report.job.write_throughput_mib_s();
@@ -67,8 +67,20 @@ fn main() {
     ]);
 
     let base = ClusterConfig::default();
-    run("checkpoint (seq)", &base, Box::new(checkpoint), nranks, &mut table);
-    run("dlio (random small)", &base, Box::new(dlio), nranks, &mut table);
+    run(
+        "checkpoint (seq)",
+        &base,
+        Box::new(checkpoint),
+        nranks,
+        &mut table,
+    );
+    run(
+        "dlio (random small)",
+        &base,
+        Box::new(dlio),
+        nranks,
+        &mut table,
+    );
 
     // The same DL workload with burst-buffer I/O nodes (mitigation).
     let with_bb = ClusterConfig {
@@ -82,7 +94,13 @@ fn main() {
         compute_per_batch: SimDuration::from_millis(5),
         ..DlioLike::default()
     };
-    run("dlio + burst buffer", &with_bb, Box::new(dlio2), nranks, &mut table);
+    run(
+        "dlio + burst buffer",
+        &with_bb,
+        Box::new(dlio2),
+        nranks,
+        &mut table,
+    );
 
     print!("{}", table.render());
     println!(

@@ -61,8 +61,14 @@ fn main() {
         table.row(vec![
             it.source.to_string(),
             makespan,
-            format!("{}", pioeval::types::ByteSize(it.report.profile.bytes_written())),
-            format!("{}", pioeval::types::ByteSize(it.report.profile.bytes_read())),
+            format!(
+                "{}",
+                pioeval::types::ByteSize(it.report.profile.bytes_written())
+            ),
+            format!(
+                "{}",
+                pioeval::types::ByteSize(it.report.profile.bytes_read())
+            ),
             ops,
             bytes,
             ratio,

@@ -37,11 +37,7 @@ fn main() {
                     1,
                 )
                 .expect("training run failed");
-                xs.push(vec![
-                    nranks as f64,
-                    block_mib as f64,
-                    transfer_kib as f64,
-                ]);
+                xs.push(vec![nranks as f64, block_mib as f64, transfer_kib as f64]);
                 ys.push(report.makespan().unwrap().as_secs_f64());
             }
         }
@@ -65,8 +61,7 @@ fn main() {
     .expect("mlp");
     let nn_m = ErrorMetrics::compute(&te_y, &nn.predict_all(&te_x));
 
-    let rf = RandomForest::fit(&tr_x, &tr_y, &RandomForestConfig::default())
-        .expect("forest");
+    let rf = RandomForest::fit(&tr_x, &tr_y, &RandomForestConfig::default()).expect("forest");
     let rf_m = ErrorMetrics::compute(&te_y, &rf.predict_all(&te_x));
 
     let mut table = Table::new(vec!["model", "MAE (s)", "RMSE (s)", "MAPE %", "R²"]);

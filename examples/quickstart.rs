@@ -19,16 +19,13 @@ fn main() {
     };
     let nranks = 8;
     let source = WorkloadSource::Synthetic(Box::new(ior));
-    let report = measure(&cluster, &source, nranks, StackConfig::default(), 42)
-        .expect("simulation failed");
+    let report =
+        measure(&cluster, &source, nranks, StackConfig::default(), 42).expect("simulation failed");
 
     let makespan = report.makespan().expect("job did not finish");
     println!("== IOR-like benchmark, {nranks} ranks, shared file ==\n");
     let mut summary = Table::new(vec!["metric", "value"]);
-    summary.row(vec![
-        "makespan".to_string(),
-        format!("{makespan}"),
-    ]);
+    summary.row(vec!["makespan".to_string(), format!("{makespan}")]);
     summary.row(vec![
         "write throughput".to_string(),
         format!("{:.1} MiB/s", report.job.write_throughput_mib_s()),
@@ -39,7 +36,10 @@ fn main() {
     ]);
     summary.row(vec![
         "bytes written".to_string(),
-        format!("{}", pioeval::types::ByteSize(report.profile.bytes_written())),
+        format!(
+            "{}",
+            pioeval::types::ByteSize(report.profile.bytes_written())
+        ),
     ]);
     summary.row(vec![
         "bytes read".to_string(),

@@ -57,7 +57,10 @@ fn main() {
     println!("\n== storage-system analysis ==");
     println!("read fraction:      {:.2}", analysis.read_fraction());
     println!("burstiness (pk/mu): {:.2}", analysis.burstiness);
-    println!("active windows:     {:.0}%", analysis.active_fraction * 100.0);
+    println!(
+        "active windows:     {:.0}%",
+        analysis.active_fraction * 100.0
+    );
     println!("spatial imbalance:  {:.2}", analysis.spatial_imbalance());
 
     println!(

@@ -1,0 +1,157 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the surface `crates/bench` uses: [`Criterion`],
+//! benchmark groups with sample/warm-up/measurement knobs,
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a simple wall-clock mean over the configured
+//! sample count — adequate for smoke runs; no statistics, plots, or
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target measurement duration (upper bound here).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure one benchmark routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // Warm-up pass: run but discard timing.
+        let warm_deadline = Instant::now() + self.warm_up_time.min(Duration::from_millis(50));
+        while Instant::now() < warm_deadline {
+            routine(&mut bencher);
+        }
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters
+        };
+        println!("  bench {name}: mean {mean:?} over {} iters", bencher.iters);
+        self
+    }
+
+    /// Finish the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to benchmark routines.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time one invocation of `f`, accumulating into the group stats.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        hint::black_box(out);
+    }
+}
+
+/// Opaque value barrier (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = 0u32;
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(100))
+            .bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+}

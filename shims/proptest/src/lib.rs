@@ -1,0 +1,511 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` macros, range/tuple/vec/select
+//! strategies, [`strategy::Strategy::prop_map`], and
+//! [`test_runner::TestRunner`]. Cases are drawn from a deterministic
+//! seeded generator, so failures reproduce exactly; there is no
+//! shrinking — the failing case is reported as drawn.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed-seed construction; every test run sees the same cases.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty range");
+        self.next_u64() % span
+    }
+}
+
+/// Strategies: typed recipes for generating values.
+pub mod strategy {
+    use super::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a function.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                inner: self,
+                f,
+                _out: PhantomData,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        inner: S,
+        f: F,
+        _out: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Integers drawable from range strategies.
+    pub trait RangeValue: Copy + fmt::Debug {
+        /// Widen to u64 (all workspace ranges are non-negative).
+        fn to_u64(self) -> u64;
+        /// Narrow from u64.
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+    range_value!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl<T: RangeValue> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+            T::from_u64(lo + rng.below(hi - lo))
+        }
+    }
+
+    impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+            T::from_u64(lo + rng.below(hi - lo + 1))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident),+),)*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G),
+        (A, B, C, D, E, F, G, H),
+        (A, B, C, D, E, F, G, H, I),
+        (A, B, C, D, E, F, G, H, I, J),
+    );
+}
+
+/// `Vec` strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for vectors with length drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// Generate a `Vec` of `elem`-generated values.
+    pub fn vec<S: Strategy>(elem: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.sizes.end - self.sizes.start).max(1) as u64;
+            let len = self.sizes.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Choice strategies.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::fmt;
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: no options");
+        Select { options }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniform boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::ANY
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Test execution.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::fmt;
+
+    /// Runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to draw per property.
+        pub cases: u32,
+        /// Accepted for API parity with the real crate; the shim
+        /// reports the failing input as drawn instead of shrinking.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (not counted as failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// A property failure, with the case that produced it.
+    #[derive(Clone, Debug)]
+    pub struct TestError(pub String);
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Draws cases and checks the property against each.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// New runner with a fixed deterministic seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: TestRng::new(0x70_72_6f_70),
+            }
+        }
+
+        /// Run the property for `config.cases` drawn inputs.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                let shown = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError(format!(
+                            "property failed at case {case} with input \
+                             {shown}: {msg}"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy modules (mirrors `proptest::prelude::prop`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Assert a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Define property tests: each `fn` runs once per drawn case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ($($strat,)*);
+            let outcome = runner.run(&strategy, |($($arg,)*)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+            if let ::std::result::Result::Err(e) = outcome {
+                ::std::panic!("{} (in {})", e, stringify!($name));
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_sizes(
+            v in prop::collection::vec(0u32..5, 2..6)
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn select_and_bool_draw(
+            e in prop::sample::select(vec![1u64, 4, 8]),
+            b in any::<bool>(),
+        ) {
+            prop_assert!([1, 4, 8].contains(&e));
+            if b {
+                prop_assert!(e >= 1);
+            } else {
+                prop_assert!(e <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(16));
+        let err = runner
+            .run(&(0u32..4,), |(x,)| {
+                prop_assert!(x < 3, "x too big: {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.0.contains("x too big"));
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0u32..4, 0u32..4).prop_map(|(a, b)| a + b);
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(32));
+        runner
+            .run(&(strat,), |(sum,)| {
+                prop_assert!(sum <= 6);
+                Ok(())
+            })
+            .unwrap();
+    }
+}

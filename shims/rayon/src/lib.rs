@@ -1,0 +1,62 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! `par_iter`/`into_par_iter` fall back to sequential `std` iterators.
+//! Call sites keep their data-parallel shape (pure per-item closures),
+//! so swapping the real rayon back in is a manifest-only change; the
+//! results are identical either way because every parallel map in this
+//! workspace is order-preserving and side-effect free.
+
+#![forbid(unsafe_code)]
+
+/// Drop-in traits mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator — sequential fallback.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowing item type.
+        type Item: 'a;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// "Parallel" iterator over references — sequential fallback.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_match_std() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let ranged: Vec<u32> = (0..4u32).into_par_iter().collect();
+        assert_eq!(ranged, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes used in this workspace — named-field structs, tuple
+//! structs, and enums with unit, tuple, and struct variants — without
+//! `syn`/`quote` (the build environment cannot fetch crates). The input
+//! item is parsed directly from the `proc_macro` token stream; the
+//! generated impl targets the serde shim's `Value` tree and follows
+//! serde's externally-tagged conventions so JSON output matches what
+//! upstream serde_json would produce for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or index for tuple fields).
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        generics: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip one attribute (`#[...]`) if present at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split the tokens of a brace/paren group body on top-level commas,
+/// treating `<...>` generic argument lists as nesting.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse the fields of a named-field struct body.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
+    split_commas(group_tokens)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut i = skip_attrs(&chunk, 0);
+            i = skip_vis(&chunk, i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(Field {
+                    name: id.to_string(),
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn count_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    split_commas(group_tokens).len()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    // Lifetime-only generics (`<'a, 'b>`) are supported; type/const
+    // parameters are not (a monomorphic impl string cannot cover them).
+    let mut generics = String::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut inner: Vec<TokenTree> = Vec::new();
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                None => return Err(format!("unclosed generics on `{name}`")),
+                _ => {}
+            }
+            inner.push(tokens[i].clone());
+            i += 1;
+        }
+        for (k, t) in inner.iter().enumerate() {
+            let lifetime_name = matches!(
+                inner.get(k.wrapping_sub(1)),
+                Some(TokenTree::Punct(p)) if p.as_char() == '\''
+            );
+            match t {
+                TokenTree::Punct(p) if matches!(p.as_char(), '\'' | ',' | '<') => {}
+                TokenTree::Ident(_) if lifetime_name => {}
+                _ => {
+                    return Err(format!(
+                        "vendored serde derive supports only lifetime \
+                         generics (on `{name}`)"
+                    ));
+                }
+            }
+        }
+        let params: String = inner
+            .iter()
+            .skip(1)
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("");
+        generics = format!("<{params}>");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Struct(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Tuple(count_tuple_fields(&inner))
+                }
+                _ => Shape::Unit,
+            };
+            Ok(Item::Struct {
+                name,
+                generics,
+                shape,
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let inner: Vec<TokenTree> = body.stream().into_iter().collect();
+            let variants = split_commas(&inner)
+                .into_iter()
+                .filter_map(|chunk| {
+                    let vi = skip_attrs(&chunk, 0);
+                    let vname = match chunk.get(vi) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    let shape = match chunk.get(vi + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let gi: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Shape::Struct(parse_named_fields(&gi))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let gi: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Shape::Tuple(count_tuple_fields(&gi))
+                        }
+                        _ => Shape::Unit,
+                    };
+                    Some(Variant { name: vname, shape })
+                })
+                .collect();
+            Ok(Item::Enum {
+                name,
+                generics,
+                variants,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// `#[derive(Serialize)]` — see crate docs for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct {
+            name,
+            generics,
+            shape,
+        } => {
+            let body = match shape {
+                Shape::Struct(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({:?}), \
+                                 ::serde::Serialize::to_value(&self.{})),",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", entries.join(""))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(","),
+                                vals.join("")
+                            )
+                        }
+                        Shape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({:?}), \
+                                         ::serde::Serialize::to_value({})),",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(\
+                                 ::std::vec![(::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                binds.join(","),
+                                entries.join("")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]` — see crate docs for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (Item::Struct { name, generics, .. } | Item::Enum { name, generics, .. }) = &item;
+    if !generics.is_empty() {
+        return compile_error(&format!(
+            "vendored serde derive cannot deserialize borrowed types \
+             (on `{name}`)"
+        ));
+    }
+    let code = match &item {
+        Item::Struct { name, shape, .. } => {
+            let body = match shape {
+                Shape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{}: ::serde::Deserialize::from_value(\
+                                 v.get({:?}).unwrap_or(&::serde::Value::Null))?,",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                         ::serde::Value::Map(_) => ::std::result::Result::Ok(\
+                         {name} {{ {} }}),\n\
+                         other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected({name:?}, other)),\n\
+                         }}",
+                        inits.join("")
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(\
+                                 items.get({i}).unwrap_or(&::serde::Value::Null))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                         ::serde::Value::Seq(items) => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                         other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected({name:?}, other)),\n\
+                         }}",
+                        inits.join("")
+                    )
+                }
+                Shape::Unit => {
+                    format!("::std::result::Result::Ok({name})")
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants, .. } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         items.get({i})\
+                                         .unwrap_or(&::serde::Value::Null))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match inner {{\n\
+                                 ::serde::Value::Seq(items) => \
+                                 ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                 other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"variant tuple\", \
+                                 other)),\n\
+                                 }},",
+                                inits.join("")
+                            ))
+                        }
+                        Shape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{}: ::serde::Deserialize::from_value(\
+                                         inner.get({:?})\
+                                         .unwrap_or(&::serde::Value::Null))?,",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => ::std::result::Result::Ok(\
+                                 {name}::{vn} {{ {} }}),",
+                                inits.join("")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected({name:?}, other)),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}

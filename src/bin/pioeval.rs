@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The `pioeval` command-line tool: run workloads on the simulated
 //! cluster, execute DSL-described workloads, and print the framework's
 //! taxonomy and corpus — without writing any Rust.
@@ -5,10 +6,12 @@
 //! ```text
 //! pioeval run --workload dlio --ranks 8 --ionodes 2
 //! pioeval dsl my_workload.pio --ranks 4
+//! pioeval lint my_workload.pio
 //! pioeval taxonomy
 //! pioeval corpus
 //! ```
 
+use pioeval::lint::{lint_config, lint_dag, lint_dsl_source, lint_program, LintReport};
 use pioeval::monitor::SystemAnalysis;
 use pioeval::prelude::*;
 use pioeval::workloads::parse_dsl;
@@ -21,8 +24,13 @@ pioeval — parallel I/O evaluation framework
 USAGE:
   pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
   pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
+  pioeval lint <FILE> [--json]              static-analyse an input file
   pioeval taxonomy                          print the evaluation-cycle taxonomy
   pioeval corpus                            print the survey corpus distribution
+
+LINT INPUTS:
+  *.pio            DSL workload program
+  *.json           cluster config, or workflow DAG if a `stages` key is present
 
 WORKLOADS:
   ior | mdtest | checkpoint | btio | dlio | analytics | workflow
@@ -107,8 +115,10 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         opts.seed = v;
     }
     for key in flags.keys() {
-        if !["ranks", "clients", "ionodes", "mds", "oss", "seed", "workload"]
-            .contains(&key.as_str())
+        if ![
+            "ranks", "clients", "ionodes", "mds", "oss", "seed", "workload",
+        ]
+        .contains(&key.as_str())
         {
             return Err(format!("unknown option --{key}"));
         }
@@ -171,16 +181,16 @@ fn print_report(report: &pioeval::core::MeasurementReport) {
     ]);
     table.row(vec![
         "bytes written".to_string(),
-        format!("{}", pioeval::types::ByteSize(report.profile.bytes_written())),
+        format!(
+            "{}",
+            pioeval::types::ByteSize(report.profile.bytes_written())
+        ),
     ]);
     table.row(vec![
         "bytes read".to_string(),
         format!("{}", pioeval::types::ByteSize(report.profile.bytes_read())),
     ]);
-    table.row(vec![
-        "metadata ops".to_string(),
-        report.mds_ops.to_string(),
-    ]);
+    table.row(vec!["metadata ops".to_string(), report.mds_ops.to_string()]);
     table.row(vec![
         "meta per data op".to_string(),
         format!("{:.2}", report.profile.meta_per_data_op()),
@@ -215,6 +225,67 @@ fn print_report(report: &pioeval::core::MeasurementReport) {
     );
 }
 
+/// Lookahead the measurement engine runs under — the lint target.
+fn engine_lookahead() -> pioeval::types::SimDuration {
+    pioeval::des::SimConfig::default().lookahead
+}
+
+/// Mandatory pre-flight: print any findings, abort on error-severity ones.
+fn preflight(label: &str, report: &LintReport) -> Result<(), String> {
+    if !report.diagnostics.is_empty() {
+        eprint!("{}", report.render_human(label));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "pre-flight lint found {} error(s) in {label}; \
+             run `pioeval lint` for details",
+            report.error_count()
+        ))
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let (positional, flags) = parse_flags(&args)?;
+    if let Some(key) = flags.keys().next() {
+        return Err(format!("unknown option --{key}"));
+    }
+    let path = positional
+        .first()
+        .ok_or("lint requires a <FILE> argument")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let report = if path.ends_with(".json") {
+        let value =
+            serde_json::parse(&source).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+        if value.get("stages").is_some() {
+            let dag: WorkflowDag = serde_json::from_str(&source)
+                .map_err(|e| format!("{path}: not a workflow DAG: {e}"))?;
+            lint_dag(&dag)
+        } else {
+            let cfg: ClusterConfig = serde_json::from_str(&source)
+                .map_err(|e| format!("{path}: not a cluster config: {e}"))?;
+            lint_config(&cfg, engine_lookahead())
+        }
+    } else {
+        lint_dsl_source(&source)
+    };
+
+    if json_out {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human(path));
+        if report.diagnostics.is_empty() {
+            println!("{path}: clean");
+        }
+    }
+    Ok(report.is_clean())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse_flags(args)?;
     let name = flags
@@ -222,12 +293,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("run requires --workload <NAME>")?;
     let opts = options_from(&flags)?;
     let workload = workload_by_name(name)?;
+    let cluster = cluster_from(&opts);
+    preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
     println!(
         "running `{name}` with {} ranks on {} clients ({} I/O nodes, {} MDS, {} OSS) ...\n",
         opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
     );
     let report = measure(
-        &cluster_from(&opts),
+        &cluster,
         &WorkloadSource::Synthetic(workload),
         opts.ranks,
         StackConfig::default(),
@@ -242,12 +315,17 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     let path = positional.first().ok_or("dsl requires a <FILE> argument")?;
     let opts = options_from(&flags)?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let workload = parse_dsl(&source, 100_000).map_err(|e| e.to_string())?;
-    println!("running DSL workload `{path}` with {} ranks ...\n", opts.ranks);
+    let cluster = cluster_from(&opts);
+    preflight(path, &lint_program(&workload))?;
+    preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
+    println!(
+        "running DSL workload `{path}` with {} ranks ...\n",
+        opts.ranks
+    );
     let report = measure(
-        &cluster_from(&opts),
+        &cluster,
         &WorkloadSource::Synthetic(Box::new(workload)),
         opts.ranks,
         StackConfig::default(),
@@ -283,6 +361,11 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("dsl") => cmd_dsl(&args[1..]),
+        Some("lint") => match cmd_lint(&args[1..]) {
+            Ok(true) => Ok(()),
+            Ok(false) => return ExitCode::FAILURE, // findings already printed
+            Err(e) => Err(e),
+        },
         Some("taxonomy") => {
             cmd_taxonomy();
             Ok(())
@@ -340,7 +423,15 @@ mod tests {
 
     #[test]
     fn all_bundled_workloads_resolve() {
-        for name in ["ior", "mdtest", "checkpoint", "btio", "dlio", "analytics", "workflow"] {
+        for name in [
+            "ior",
+            "mdtest",
+            "checkpoint",
+            "btio",
+            "dlio",
+            "analytics",
+            "workflow",
+        ] {
             assert!(workload_by_name(name).is_ok(), "{name}");
         }
         assert!(workload_by_name("nope").is_err());

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 //! # pioeval
 //!
 //! A parallel I/O evaluation framework: the complete toolchain of
@@ -18,6 +19,9 @@
 //!   simulator with striping, burst buffers, and dual fabrics ([`pfs`]).
 //! * **Close the loop** — the IOWA-like workload abstraction and the
 //!   measure→model→simulate feedback cycle ([`core`]).
+//! * **Lint before you spend** — pre-flight static analysis of DSL
+//!   workloads, cluster configurations, and workflow DAGs with stable
+//!   `PIO0xx` diagnostic codes ([`lint`]).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@ pub use pioeval_core as core;
 pub use pioeval_corpus as corpus;
 pub use pioeval_des as des;
 pub use pioeval_iostack as iostack;
+pub use pioeval_lint as lint;
 pub use pioeval_model as model;
 pub use pioeval_monitor as monitor;
 pub use pioeval_pfs as pfs;
@@ -53,19 +58,15 @@ pub use pioeval_workloads as workloads;
 /// The most common imports for framework users.
 pub mod prelude {
     pub use pioeval_core::{
-        measure, poisson_starts, Campaign, EvaluationLoop, Submission, Table,
-        WorkloadSource,
+        measure, poisson_starts, Campaign, EvaluationLoop, Submission, Table, WorkloadSource,
     };
-    pub use pioeval_iostack::{
-        collect, launch, CaptureConfig, JobSpec, StackConfig, StackOp,
-    };
+    pub use pioeval_iostack::{collect, launch, CaptureConfig, JobSpec, StackConfig, StackOp};
+    pub use pioeval_lint::{lint_config, lint_dag, lint_dsl_source, lint_program, LintReport};
     pub use pioeval_pfs::{Cluster, ClusterConfig};
     pub use pioeval_trace::{DxtTrace, JobProfile};
-    pub use pioeval_types::{
-        bytes, FileId, IoKind, MetaOp, Rank, SimDuration, SimTime,
-    };
+    pub use pioeval_types::{bytes, FileId, IoKind, MetaOp, Rank, SimDuration, SimTime};
     pub use pioeval_workloads::{
-        AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorLike, MdtestLike,
-        SkeletonApp, Workload, WorkflowDag,
+        AnalyticsLike, BtIoLike, CheckpointLike, DlioLike, IorLike, MdtestLike, SkeletonApp,
+        WorkflowDag, Workload,
     };
 }

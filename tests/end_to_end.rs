@@ -55,9 +55,7 @@ fn collective_and_posix_ior_move_the_same_bytes() {
     .unwrap();
     let collective = measure(
         &small_cluster(),
-        &WorkloadSource::Synthetic(Box::new(mk(
-            pioeval::workloads::IorApi::MpiCollective,
-        ))),
+        &WorkloadSource::Synthetic(Box::new(mk(pioeval::workloads::IorApi::MpiCollective))),
         nranks,
         StackConfig::default(),
         1,
@@ -179,7 +177,11 @@ fn system_analysis_sees_burstiness_of_checkpoints() {
         .collect();
     let analysis = SystemAnalysis::from_timelines(&timelines);
     // Long compute gaps between bursts → bursty, mostly-idle system.
-    assert!(analysis.burstiness > 2.0, "burstiness {}", analysis.burstiness);
+    assert!(
+        analysis.burstiness > 2.0,
+        "burstiness {}",
+        analysis.burstiness
+    );
     assert!(analysis.active_fraction < 0.8);
     assert_eq!(analysis.read_fraction(), 0.0);
 }
@@ -191,8 +193,7 @@ fn determinism_across_identical_runs() {
             num_samples: 64,
             ..DlioLike::default()
         }));
-        let r = measure(&small_cluster(), &source, 4, StackConfig::default(), 9)
-            .unwrap();
+        let r = measure(&small_cluster(), &source, 4, StackConfig::default(), 9).unwrap();
         (
             r.makespan(),
             r.profile.bytes_read(),

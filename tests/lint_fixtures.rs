@@ -1,0 +1,228 @@
+//! The checked-in corpus of deliberately-broken inputs under
+//! `tests/fixtures/` — each fixture triggers one specific `PIO0xx`
+//! diagnostic — plus the clean counterparts, exercised both through the
+//! library API and through the `pioeval lint` binary (exit codes).
+//!
+//! The JSON fixtures are serialized from Rust so they always match the
+//! derive shapes; regenerate with
+//! `cargo test --test lint_fixtures -- --ignored regenerate`.
+
+use pioeval::lint::{lint_config, lint_dag, lint_dsl_source, Code, LintReport};
+use pioeval::pfs::ClusterConfig;
+use pioeval::types::{bytes, SimDuration};
+use pioeval::workloads::WorkflowDag;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read(name: &str) -> String {
+    let path = fixture(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+const LOOKAHEAD: SimDuration = SimDuration::from_micros(1);
+
+fn lint_fixture(name: &str) -> LintReport {
+    let src = read(name);
+    if name.ends_with(".pio") {
+        lint_dsl_source(&src)
+    } else if src.contains("\"stages\"") {
+        lint_dag(&serde_json::from_str::<WorkflowDag>(&src).expect(name))
+    } else {
+        lint_config(
+            &serde_json::from_str::<ClusterConfig>(&src).expect(name),
+            LOOKAHEAD,
+        )
+    }
+}
+
+/// (fixture, the code it must trigger, whether that is error severity).
+const BROKEN: &[(&str, Code, bool)] = &[
+    ("bad_syntax.pio", Code::Syntax, true),
+    ("undeclared_file.pio", Code::UndeclaredFile, true),
+    ("double_create.pio", Code::DoubleCreate, true),
+    ("read_before_create.pio", Code::IoBeforeCreate, true),
+    ("use_after_close.pio", Code::UseAfterClose, true),
+    ("zero_size_write.pio", Code::ZeroSize, true),
+    ("never_closed.pio", Code::NeverClosed, false),
+    ("never_closed.pio", Code::UnusedFile, false),
+    ("lane_overflow.pio", Code::LaneOverflow, false),
+    ("race_overlap.pio", Code::SharedWriteRace, true),
+    ("config_zero_stripe.json", Code::ZeroStripe, true),
+    ("config_zero_fabric_bw.json", Code::ZeroFabricBw, true),
+    ("config_empty_cluster.json", Code::StructuralZero, true),
+    ("config_stripe_over_osts.json", Code::StripeOverOsts, false),
+    ("dag_cycle.json", Code::DagCycle, true),
+    ("dag_dangling.json", Code::DagDangling, true),
+    ("dag_empty_upstream.json", Code::DagEmptyUpstream, true),
+];
+
+const CLEAN: &[&str] = &["config_default.json", "dag_three_stage.json"];
+
+#[test]
+fn broken_fixtures_trigger_their_codes() {
+    for &(name, code, is_error) in BROKEN {
+        let report = lint_fixture(name);
+        assert!(
+            report.has(code),
+            "{name}: expected {} in {:?}",
+            code.as_str(),
+            report.diagnostics
+        );
+        assert_eq!(
+            !report.is_clean(),
+            is_error,
+            "{name}: severity mismatch: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for &name in CLEAN {
+        let report = lint_fixture(name);
+        assert!(report.is_clean(), "{name}: {:?}", report.diagnostics);
+        assert_eq!(
+            report.warning_count(),
+            0,
+            "{name}: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn barrier_silences_the_race_but_not_the_spill() {
+    let report = lint_fixture("race_with_barrier.pio");
+    assert!(
+        !report.has(Code::SharedWriteRace),
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report.has(Code::LaneOverflow), "{:?}", report.diagnostics);
+    assert!(report.is_clean());
+}
+
+/// Run the built `pioeval` binary and return (exit-zero?, stdout).
+fn run_lint(path: &std::path::Path, json: bool) -> (bool, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pioeval"));
+    cmd.arg("lint").arg(path);
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.output().expect("spawn pioeval");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn cli_exit_codes_match_severity() {
+    for &(name, code, is_error) in BROKEN {
+        let (ok, stdout) = run_lint(&fixture(name), false);
+        assert_eq!(ok, !is_error, "{name}: wrong exit code\n{stdout}");
+        assert!(
+            stdout.contains(code.as_str()),
+            "{name}: {} missing from output\n{stdout}",
+            code.as_str()
+        );
+    }
+    for &name in CLEAN {
+        let (ok, stdout) = run_lint(&fixture(name), false);
+        assert!(ok, "{name} should lint clean\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_lints_shipped_examples_clean() {
+    let examples = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/workloads");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&examples).expect("examples/workloads") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "pio") {
+            let (ok, stdout) = run_lint(&path, false);
+            assert!(
+                ok,
+                "{}: shipped example must lint clean\n{stdout}",
+                path.display()
+            );
+            seen += 1;
+        }
+    }
+    assert!(seen >= 1, "no shipped .pio examples found");
+}
+
+#[test]
+fn cli_json_output_is_parseable() {
+    let (ok, stdout) = run_lint(&fixture("race_overlap.pio"), true);
+    assert!(!ok);
+    let value = serde_json::parse(&stdout).expect("valid JSON");
+    assert!(matches!(
+        value.get("errors"),
+        Some(serde_json::Value::U64(n)) if *n >= 1
+    ));
+}
+
+/// Writes the JSON fixtures from the real config/DAG types so field
+/// names and shapes always match the serde derives. Ignored in normal
+/// runs; invoke after changing those types:
+/// `cargo test --test lint_fixtures -- --ignored regenerate`
+#[test]
+#[ignore]
+fn regenerate_json_fixtures() {
+    fn write<T: serde::Serialize>(name: &str, value: &T) {
+        let json = serde_json::to_string_pretty(value).unwrap();
+        std::fs::write(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("tests/fixtures")
+                .join(name),
+            json + "\n",
+        )
+        .unwrap();
+    }
+
+    write("config_default.json", &ClusterConfig::default());
+
+    let mut cfg = ClusterConfig::default();
+    cfg.layout.stripe_size = 0;
+    write("config_zero_stripe.json", &cfg);
+
+    let mut cfg = ClusterConfig::default();
+    cfg.storage_fabric.link_bw = 0;
+    write("config_zero_fabric_bw.json", &cfg);
+
+    let cfg = ClusterConfig {
+        num_clients: 0,
+        num_oss: 0,
+        ..ClusterConfig::default()
+    };
+    write("config_empty_cluster.json", &cfg);
+
+    let mut cfg = ClusterConfig::default();
+    cfg.layout.stripe_count = 64;
+    write("config_stripe_over_osts.json", &cfg);
+
+    write(
+        "dag_three_stage.json",
+        &WorkflowDag::three_stage_default(bytes::kib(256)),
+    );
+
+    let mut bad = WorkflowDag::three_stage_default(bytes::kib(256));
+    bad.stages[1].reads_stage = Some(2); // forward edge: cycle under execution order
+    write("dag_cycle.json", &bad);
+
+    let mut bad = WorkflowDag::three_stage_default(bytes::kib(256));
+    bad.stages[2].reads_stage = Some(9);
+    write("dag_dangling.json", &bad);
+
+    let mut bad = WorkflowDag::three_stage_default(bytes::kib(256));
+    bad.stages[0].files_out_per_rank = 0;
+    write("dag_empty_upstream.json", &bad);
+}

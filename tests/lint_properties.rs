@@ -1,0 +1,82 @@
+//! Property: a lint-clean DSL program is safe to hand to the
+//! measurement pipeline — `parse_dsl` accepts it and the `Workload`
+//! expansion produces a per-rank program for every rank, at any
+//! (nranks, seed) point. The generator builds structurally disciplined
+//! programs (declare → create → body → close) whose transfers stay well
+//! inside the default lane, so every instance must also lint clean —
+//! the property is never vacuous.
+
+use pioeval::lint::lint_program;
+use pioeval::workloads::{parse_dsl, Workload};
+use proptest::prelude::*;
+
+/// One body statement template: (kind, file choice, size choice, count).
+type OpTpl = (u8, usize, usize, u64);
+
+const SIZES: [&str; 3] = ["4k", "64k", "256k"];
+
+/// Render a generated program shape as DSL source.
+fn render(files: &[bool], body: &[OpTpl], repeat: u64) -> String {
+    let mut src = String::new();
+    for (i, &shared) in files.iter().enumerate() {
+        let scope = if shared { "shared" } else { "perrank" };
+        src.push_str(&format!("file f{i} {scope}\n"));
+    }
+    for i in 0..files.len() {
+        src.push_str(&format!("create f{i}\n"));
+    }
+    // Wrap the body in a repeat block; barriers inside exercise the
+    // race detector's epoch logic.
+    src.push_str(&format!("repeat {repeat}\n"));
+    for &(kind, fsel, ssel, count) in body {
+        let f = fsel % files.len();
+        let size = SIZES[ssel % SIZES.len()];
+        match kind % 6 {
+            0 => src.push_str(&format!("  write f{f} {size} x{count}\n")),
+            1 => src.push_str(&format!("  read f{f} {size} x{count} random\n")),
+            2 => src.push_str("  compute 5ms\n"),
+            3 => src.push_str("  barrier\n"),
+            4 => src.push_str(&format!("  stat f{f}\n")),
+            _ => src.push_str(&format!("  fsync f{f}\n")),
+        }
+    }
+    src.push_str("end\n");
+    for i in 0..files.len() {
+        src.push_str(&format!("close f{i}\n"));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clean_programs_expand_for_any_ranks_and_seed(
+        files in proptest::collection::vec(proptest::bool::ANY, 1..4),
+        body in proptest::collection::vec(
+            (0u8..6, 0usize..4, 0usize..4, 1u64..4),
+            0..12,
+        ),
+        repeat in 1u64..4,
+        nranks in 1u32..9,
+        seed in 0u64..1 << 48,
+    ) {
+        let src = render(&files, &body, repeat);
+        let workload = parse_dsl(&src, 1_000).map_err(|e| {
+            TestCaseError::fail(format!("parse failed: {e}\n{src}"))
+        })?;
+
+        // By construction the program lints clean (no spills, balanced
+        // lifecycle, every file used).
+        let report = lint_program(&workload);
+        prop_assert!(report.is_clean(), "{:?}\n{src}", report.diagnostics);
+        prop_assert_eq!(report.warning_count(), 0, "{:?}\n{src}", report.diagnostics);
+
+        // And a clean program expands for every rank at this (nranks, seed).
+        let programs = workload.programs(nranks, seed);
+        prop_assert_eq!(programs.len(), nranks as usize);
+        for p in &programs {
+            prop_assert!(!p.is_empty());
+        }
+    }
+}

@@ -4,8 +4,7 @@ use pioeval::iostack::{plan::compile, StackConfig, StackOp};
 use pioeval::pfs::Layout;
 use pioeval::trace::{decode_records, encode_records, RePair, TokenStream};
 use pioeval::types::{
-    FileId, IoKind, Layer, LayerRecord, MetaOp, PatternDetector, Rank, RecordOp,
-    SimTime,
+    FileId, IoKind, Layer, LayerRecord, MetaOp, PatternDetector, Rank, RecordOp, SimTime,
 };
 use proptest::prelude::*;
 

@@ -2,11 +2,11 @@
 //! the H5 model, the DSL, and full-simulation byte conservation.
 
 use pioeval::core::WorkloadSource;
-use pioeval::iostack::{AccessSpec, DatasetSpec, Hyperslab, MpiConfig, StackConfig};
 use pioeval::iostack::mpiio::{overlap, plan_two_phase};
+use pioeval::iostack::{AccessSpec, DatasetSpec, Hyperslab, MpiConfig, StackConfig};
 use pioeval::prelude::*;
-use pioeval::workloads::parse_dsl;
 use pioeval::types::IoKind;
+use pioeval::workloads::parse_dsl;
 use proptest::prelude::*;
 
 proptest! {
@@ -170,8 +170,7 @@ fn simulation_byte_conservation_over_random_parameters() {
                 let expect = nranks as u64 * pioeval::types::bytes::mib(block_mib);
                 prop_assert_eq!(report.profile.bytes_written(), expect);
                 prop_assert_eq!(report.job.bytes_written(), expect);
-                let server: u64 =
-                    report.servers.iter().map(|s| s.bytes_written).sum();
+                let server: u64 = report.servers.iter().map(|s| s.bytes_written).sum();
                 prop_assert_eq!(server, expect);
                 Ok(())
             },

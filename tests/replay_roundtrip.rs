@@ -2,9 +2,7 @@
 //! across crates, plus trace codec round-trips on real simulated data.
 
 use pioeval::prelude::*;
-use pioeval::replay::{
-    compare, extrapolate, generate_benchmark, replay_programs, ReplayMode,
-};
+use pioeval::replay::{compare, extrapolate, generate_benchmark, replay_programs, ReplayMode};
 use pioeval::trace::{decode_records, encode_records};
 use pioeval::types::bytes;
 
