@@ -52,15 +52,29 @@ pub fn measure(
     stack: StackConfig,
     seed: u64,
 ) -> Result<MeasurementReport> {
-    let mut cluster = Cluster::new(cluster_cfg.clone())?;
-    let programs = source.programs(nranks, seed);
+    use pioeval_obs::names;
+    let _obs_span = pioeval_obs::span(names::SPAN_CORE_MEASURE, "core");
+    pioeval_obs::global().counter(names::CORE_MEASURES).inc();
+
+    let mut cluster = {
+        let _s = pioeval_obs::span(names::SPAN_CORE_BUILD, "core");
+        Cluster::new(cluster_cfg.clone())?
+    };
+    let programs = {
+        let _s = pioeval_obs::span(names::SPAN_CORE_LOWER, "core");
+        source.programs(nranks, seed)
+    };
     let spec = JobSpec {
         programs,
         stack,
         start: SimTime::ZERO,
     };
     let handle = launch(&mut cluster, &spec);
-    cluster.run();
+    {
+        let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
+        cluster.run();
+    }
+    let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
     let job = collect(&cluster, &handle);
     let all_records = job.all_records();
     // The profile comes from the ranks' always-on streaming counters, so

@@ -104,6 +104,7 @@ struct Worker<M> {
 /// events than the sequential executor would; all events processed are
 /// still processed in the same per-entity order.
 pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelConfig) -> RunResult {
+    let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_DES_RUN_PAR, "des");
     let threads = cfg.threads.max(1).min(sim.num_entities().max(1));
     let n = sim.num_entities();
     let lookahead = sim.lookahead();
@@ -158,6 +159,15 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelCon
             let halted = &halted;
             let end_time = &end_time;
             handles.push(scope.spawn(move || {
+                // Telemetry is kept in thread-locals for the whole run and
+                // published once at the end: the window loop below never
+                // touches a shared lock on its hot path.
+                let obs = pioeval_obs::global();
+                let mut tbuf = obs.buffer(&format!("des-worker-{tid}"));
+                tbuf.begin(pioeval_obs::names::SPAN_DES_WORKER, "des");
+                let mut windows = 0u64;
+                let mut null_windows = 0u64;
+                let mut busy = std::time::Duration::ZERO;
                 let mut emitted: Vec<Envelope<M>> = Vec::new();
                 // Per-destination-thread staging buffers: cross-thread
                 // sends are batched here and flushed under one lock per
@@ -196,6 +206,9 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelCon
                     }
 
                     // Phase 3: process the window from the local heap.
+                    windows += 1;
+                    let window_start = std::time::Instant::now();
+                    let processed_before = worker.processed;
                     let mut halt_flag = false;
                     while let Some(key) = worker.heap.peek_key() {
                         if key.time.as_nanos() >= horizon {
@@ -231,6 +244,14 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelCon
                             outboxes[tid][dest].lock().append(batch);
                         }
                     }
+                    if worker.processed == processed_before {
+                        // A pure synchronization round for this thread: it
+                        // only announced its lower bound — the conservative
+                        // engine's null message.
+                        null_windows += 1;
+                    } else {
+                        busy += window_start.elapsed();
+                    }
                     if halt_flag {
                         halted.store(true, Ordering::Relaxed);
                     }
@@ -244,6 +265,21 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelCon
                         }
                     }
                 }
+                // Publish the run's telemetry: every thread counts its own
+                // null windows, but the window total is identical across
+                // threads, so only thread 0 reports it.
+                if tid == 0 {
+                    obs.counter(pioeval_obs::names::DES_PAR_WINDOWS)
+                        .add(windows);
+                }
+                obs.counter(pioeval_obs::names::DES_PAR_NULL_WINDOWS)
+                    .add(null_windows);
+                obs.histogram(pioeval_obs::names::DES_PAR_THREAD_BUSY_US)
+                    .observe(busy.as_micros() as u64);
+                obs.histogram(pioeval_obs::names::DES_PAR_THREAD_EVENTS)
+                    .observe(worker.processed);
+                tbuf.end();
+                obs.merge(tbuf);
                 worker
             }));
         }
@@ -268,6 +304,12 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: ParallelCon
             sim.queue.push(ev);
         }
     }
+
+    let obs = pioeval_obs::global();
+    obs.counter(pioeval_obs::names::DES_EVENTS).add(events);
+    obs.counter(pioeval_obs::names::DES_RUNS_PAR).inc();
+    obs.gauge(pioeval_obs::names::DES_QUEUE_HWM)
+        .record(max_queue as u64);
 
     RunResult {
         end_time: SimTime::from_nanos(end_time.load(Ordering::Relaxed)),

@@ -227,7 +227,13 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Processes events in global [`EventKey`] order until the queue is
     /// empty, the time limit is exceeded, or an entity halts the run.
+    ///
+    /// Telemetry: the run is recorded as a `des.run.seq` span on the
+    /// global [`pioeval_obs`] registry, and the event count and queue
+    /// high-water mark are published once at the end — the per-event
+    /// loop itself carries zero instrumentation cost.
     pub fn run(&mut self) -> RunResult {
+        let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_DES_RUN_SEQ, "des");
         let mut events = 0u64;
         let mut halted = false;
         let mut emitted: Vec<Envelope<M>> = Vec::new();
@@ -260,6 +266,11 @@ impl<M: 'static> Simulation<M> {
                 self.queue.push(out);
             }
         }
+        let obs = pioeval_obs::global();
+        obs.counter(pioeval_obs::names::DES_EVENTS).add(events);
+        obs.counter(pioeval_obs::names::DES_RUNS_SEQ).inc();
+        obs.gauge(pioeval_obs::names::DES_QUEUE_HWM)
+            .record(self.queue.max_len as u64);
         RunResult {
             end_time: self.now,
             events,

@@ -16,6 +16,10 @@ pub struct JobCoordinator {
     arrivals: HashMap<u64, u32>,
     /// Barriers completed (post-run inspection).
     pub barriers_released: u64,
+    /// Cached handle to the global barrier counter: resolved once at
+    /// construction so releases inside the event loop never take the
+    /// registry lock.
+    obs_barriers: pioeval_obs::Counter,
 }
 
 impl JobCoordinator {
@@ -26,6 +30,7 @@ impl JobCoordinator {
             ranks,
             arrivals: HashMap::new(),
             barriers_released: 0,
+            obs_barriers: pioeval_obs::global().counter(pioeval_obs::names::IOSTACK_BARRIERS),
         }
     }
 }
@@ -40,6 +45,7 @@ impl Entity<PfsMsg> for JobCoordinator {
         if *count as usize == self.ranks.len() {
             self.arrivals.remove(&tag);
             self.barriers_released += 1;
+            self.obs_barriers.inc();
             for &rank in &self.ranks {
                 let (hop, msg) = route(
                     &[self.compute_fabric],

@@ -126,8 +126,10 @@ impl JobResult {
 /// Launch a job onto a cluster: creates the coordinator and one rank
 /// entity per program, and schedules their start messages.
 pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
+    let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_IOSTACK_LAUNCH, "iostack");
     let nranks = spec.nranks();
     assert!(nranks > 0, "job must have at least one rank");
+    let mut total_actions = 0u64;
 
     // Entity ids are assigned sequentially, so we can precompute the ids
     // of the coordinator and every rank before constructing them (ranks
@@ -145,6 +147,7 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
         let client_index = cluster.clients.len();
         let port = cluster.handles.port(me, client_index);
         let actions = compile(i as u32, nranks, program, &spec.stack);
+        total_actions += actions.len() as u64;
         let entity = RankClient::new(
             port,
             Rank::new(i as u32),
@@ -159,6 +162,12 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
         cluster.sim.schedule(spec.start, me, PfsMsg::Start);
     }
 
+    let obs = pioeval_obs::global();
+    obs.counter(pioeval_obs::names::IOSTACK_RANKS)
+        .add(nranks as u64);
+    obs.counter(pioeval_obs::names::IOSTACK_ACTIONS)
+        .add(total_actions);
+
     JobHandle {
         coordinator: coordinator_id,
         ranks: rank_ids,
@@ -168,6 +177,7 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
 
 /// Collect the results of a job after the simulation has run.
 pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
+    let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_IOSTACK_COLLECT, "iostack");
     let mut records = Vec::new();
     let mut counters = Vec::new();
     let mut profiles = Vec::new();

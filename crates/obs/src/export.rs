@@ -1,0 +1,407 @@
+//! Exporters: human summary, flat metrics JSON, Chrome trace-event JSON.
+//!
+//! The JSON is hand-rolled (this crate is dependency-free); both
+//! documents are plain standard JSON, parseable by any library. The
+//! Chrome trace document loads directly in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) (open the UI, drag the file in).
+
+use crate::names;
+use crate::registry::{Registry, Snapshot};
+use std::fmt::Write as _;
+
+/// Escape `s` as the body of a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (finite values only; callers pass
+/// derived ratios which are finite by construction, but be safe).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// The run-level headline figures derived from a snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Wall-clock milliseconds of the outermost recorded interval: the
+    /// `pioeval.run` span when present, else the longest span, else 0.
+    pub wall_ms: f64,
+    /// DES events processed (all executors).
+    pub events_processed: u64,
+    /// Events per wall-clock second (0 when no wall time was recorded).
+    pub events_per_sec: f64,
+    /// Pending-event-set high-water mark.
+    pub queue_hwm: u64,
+}
+
+/// Derive the headline figures from a snapshot.
+pub fn run_summary(snap: &Snapshot) -> RunSummary {
+    let span_ms = |name: &str| -> Option<f64> {
+        snap.spans
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_ns)
+            .max()
+            .map(|ns| ns as f64 / 1e6)
+    };
+    let wall_ms = span_ms(names::SPAN_RUN)
+        .or_else(|| {
+            snap.spans
+                .iter()
+                .map(|e| e.dur_ns)
+                .max()
+                .map(|ns| ns as f64 / 1e6)
+        })
+        .unwrap_or(0.0);
+    let events_processed = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == names::DES_EVENTS)
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    let queue_hwm = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == names::DES_QUEUE_HWM)
+        .map(|(_, g)| g.max)
+        .unwrap_or(0);
+    let events_per_sec = if wall_ms > 0.0 {
+        events_processed as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    RunSummary {
+        wall_ms,
+        events_processed,
+        events_per_sec,
+        queue_hwm,
+    }
+}
+
+/// The always-printed one-line run summary.
+pub fn summary_line(reg: &Registry) -> String {
+    let s = run_summary(&reg.snapshot());
+    format!(
+        "telemetry: wall {:.1} ms | {} events | {:.0} events/s | queue hwm {}",
+        s.wall_ms, s.events_processed, s.events_per_sec, s.queue_hwm
+    )
+}
+
+/// Flat metrics JSON: headline keys at the top level plus every
+/// instrument, suitable for `jq` and benchmark trajectories.
+pub fn metrics_json(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let s = run_summary(&snap);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pioeval-obs/1\",");
+    let _ = writeln!(out, "  \"wall_ms\": {},", num(s.wall_ms));
+    let _ = writeln!(out, "  \"events_processed\": {},", s.events_processed);
+    let _ = writeln!(out, "  \"events_per_sec\": {},", num(s.events_per_sec));
+    let _ = writeln!(out, "  \"queue_hwm\": {},", s.queue_hwm);
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", esc(name), v);
+    }
+    out.push_str(if snap.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"gauges\": {");
+    for (i, (name, g)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"last\": {}, \"max\": {}}}",
+            esc(name),
+            g.last,
+            g.max
+        );
+    }
+    out.push_str(if snap.gauges.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in snap.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+            esc(name),
+            h.count,
+            h.sum,
+            num(h.mean())
+        );
+        for (j, (lo, hi, c)) in h.occupied().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo}, {hi}, {c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if snap.hists.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"spans\": {");
+    // Aggregate spans by name: count + total duration.
+    let mut agg: Vec<(String, u64, u64)> = Vec::new();
+    for ev in &snap.spans {
+        match agg.iter_mut().find(|(n, _, _)| *n == ev.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += ev.dur_ns;
+            }
+            None => agg.push((ev.name.clone(), 1, ev.dur_ns)),
+        }
+    }
+    agg.sort();
+    for (i, (name, count, total_ns)) in agg.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"total_ms\": {}}}",
+            esc(name),
+            count,
+            num(*total_ns as f64 / 1e6)
+        );
+    }
+    out.push_str(if agg.is_empty() { "},\n" } else { "\n  },\n" });
+    let _ = writeln!(out, "  \"dropped_span_events\": {}", snap.dropped_events);
+    out.push('}');
+    out
+}
+
+/// Chrome trace-event JSON (the `traceEvents` object form): one complete
+/// (`"ph": "X"`) event per span plus thread-name metadata, timestamps in
+/// microseconds since the registry epoch.
+pub fn chrome_trace(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    for (tid, name) in snap.threads.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            esc(name)
+        );
+    }
+    for ev in &snap.spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"name\": \"{}\", \"cat\": \"{}\", \
+             \"ts\": {}, \"dur\": {}, \"args\": {{\"depth\": {}}}}}",
+            ev.tid,
+            esc(&ev.name),
+            esc(&ev.cat),
+            num(ev.start_ns as f64 / 1e3),
+            num(ev.dur_ns as f64 / 1e3),
+            ev.depth
+        );
+    }
+    out.push_str("\n]}");
+    out
+}
+
+/// Human-readable metrics table.
+pub fn human_summary(reg: &Registry) -> String {
+    let snap = reg.snapshot();
+    let s = run_summary(&snap);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run: wall {:.1} ms | {} events | {:.0} events/s | queue hwm {}",
+        s.wall_ms, s.events_processed, s.events_per_sec, s.queue_hwm
+    );
+    if !snap.counters.is_empty() {
+        out.push_str("\ncounters\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<32} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("\ngauges (last / max)\n");
+        for (name, g) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<32} {} / {}", g.last, g.max);
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("\nhistograms\n");
+        for (name, h) in &snap.hists {
+            let _ = writeln!(
+                out,
+                "  {name:<32} n={} mean={:.1} max_bucket={}",
+                h.count,
+                h.mean(),
+                h.occupied()
+                    .last()
+                    .map(|&(lo, hi, _)| format!("[{lo}, {hi}]"))
+                    .unwrap_or_else(|| "-".to_string())
+            );
+        }
+    }
+    let mut agg: Vec<(String, u64, u64)> = Vec::new();
+    for ev in &snap.spans {
+        match agg.iter_mut().find(|(n, _, _)| *n == ev.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += ev.dur_ns;
+            }
+            None => agg.push((ev.name.clone(), 1, ev.dur_ns)),
+        }
+    }
+    agg.sort();
+    if !agg.is_empty() {
+        out.push_str("\nspans (count, total)\n");
+        for (name, count, total_ns) in &agg {
+            let _ = writeln!(
+                out,
+                "  {name:<32} x{count:<6} {:.2} ms",
+                *total_ns as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::U64(n) => *n,
+            Value::I64(n) => *n as u64,
+            Value::F64(f) => *f as u64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_f64(v: &Value) -> f64 {
+        match v {
+            Value::U64(n) => *n as f64,
+            Value::I64(n) => *n as f64,
+            Value::F64(f) => *f,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_str(v: &Value) -> &str {
+        match v {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn as_seq(v: &Value) -> &[Value] {
+        match v {
+            Value::Seq(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn loaded_registry() -> Registry {
+        let r = Registry::new();
+        r.counter(names::DES_EVENTS).add(1000);
+        r.gauge(names::DES_QUEUE_HWM).record(37);
+        r.histogram("h.\"quoted\"").observe(5);
+        let mut buf = r.buffer("main");
+        buf.push_raw(names::SPAN_RUN, "cli", 0, 2_000_000, 0);
+        buf.push_raw("child\nspan", "cli", 100, 1_000_000, 1);
+        r.merge(buf);
+        r
+    }
+
+    #[test]
+    fn metrics_json_parses_and_has_headline_keys() {
+        let r = loaded_registry();
+        let json = metrics_json(&r);
+        let v = serde_json::parse(&json).expect("metrics JSON must parse");
+        assert_eq!(as_str(v.get("schema").unwrap()), "pioeval-obs/1");
+        assert_eq!(as_u64(v.get("events_processed").unwrap()), 1000);
+        assert!(as_f64(v.get("wall_ms").unwrap()) >= 2.0);
+        assert!(as_f64(v.get("events_per_sec").unwrap()) > 0.0);
+        assert_eq!(as_u64(v.get("queue_hwm").unwrap()), 37);
+        // Escaped names survive the round trip.
+        assert!(v.get("histograms").unwrap().get("h.\"quoted\"").is_some());
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_nests() {
+        let r = loaded_registry();
+        let json = chrome_trace(&r);
+        let v = serde_json::parse(&json).expect("trace JSON must parse");
+        let events = as_seq(v.get("traceEvents").unwrap());
+        // 1 thread-name metadata event + 2 spans.
+        assert_eq!(events.len(), 3);
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| as_str(e.get("ph").unwrap()) == "X")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(as_str(spans[0].get("name").unwrap()), names::SPAN_RUN);
+        assert_eq!(as_str(spans[1].get("name").unwrap()), "child\nspan");
+    }
+
+    #[test]
+    fn summary_derives_events_per_sec() {
+        let r = loaded_registry();
+        let s = run_summary(&r.snapshot());
+        // 1000 events over the 2 ms pioeval.run span = 500k events/s.
+        assert_eq!(s.events_processed, 1000);
+        assert!((s.wall_ms - 2.0).abs() < 1e-9);
+        assert!((s.events_per_sec - 500_000.0).abs() < 1.0);
+        assert!(summary_line(&r).contains("1000 events"));
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = Registry::new();
+        let v = serde_json::parse(&metrics_json(&r)).unwrap();
+        assert_eq!(as_u64(v.get("events_processed").unwrap()), 0);
+        let t = serde_json::parse(&chrome_trace(&r)).unwrap();
+        assert_eq!(as_seq(t.get("traceEvents").unwrap()).len(), 0);
+        assert!(human_summary(&r).contains("0 events"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Metric instruments: counters, gauges, and log2-bucketed histograms.
+//!
+//! All instruments are lock-free (plain atomics) and handles are cheap
+//! `Arc` clones, so instrumented code can cache a handle once and update
+//! it from any thread without touching the registry again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i - 1]`.
+pub const NUM_BUCKETS: usize = 65;
+
+#[derive(Default)]
+pub(crate) struct CounterInner {
+    value: AtomicU64,
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(pub(crate) Arc<CounterInner>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct GaugeInner {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A gauge: remembers the last recorded value and the high-water mark.
+#[derive(Clone)]
+pub struct Gauge(pub(crate) Arc<GaugeInner>);
+
+/// Point-in-time view of a [`Gauge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Most recently recorded value.
+    pub last: u64,
+    /// Largest value ever recorded.
+    pub max: u64,
+}
+
+impl Gauge {
+    /// Record a new value (updates both `last` and the high-water mark).
+    pub fn record(&self, v: u64) {
+        self.0.last.store(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current snapshot.
+    pub fn get(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            last: self.0.last.load(Ordering::Relaxed),
+            max: self.0.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+pub(crate) struct HistInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucketing is exponential so one fixed-size array covers the full
+/// `u64` range: sample `0` lands in bucket 0, and a sample `v > 0` lands
+/// in bucket `bit_length(v)` — i.e. bucket `i` covers
+/// `[2^(i-1), 2^i - 1]`.
+#[derive(Clone)]
+pub struct Histogram(pub(crate) Arc<HistInner>);
+
+/// Index of the bucket a sample lands in.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        (
+            1u64 << (i - 1),
+            (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1),
+        )
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples.
+    pub fn occupied(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current snapshot.
+    pub fn get(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter(Arc::default());
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_max() {
+        let g = Gauge(Arc::default());
+        g.record(10);
+        g.record(3);
+        assert_eq!(g.get(), GaugeSnapshot { last: 3, max: 10 });
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Zero has its own bucket.
+        assert_eq!(bucket_of(0), 0);
+        // Bucket i covers [2^(i-1), 2^i - 1]: check both edges around
+        // every power of two that matters.
+        for (v, want) in [
+            (1u64, 1usize),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(bucket_of(v), want, "bucket_of({v})");
+            let (lo, hi) = bucket_bounds(want);
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn histogram_observes_into_buckets() {
+        let h = Histogram(Arc::new(HistInner::default()));
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        let s = h.get();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert_eq!(s.buckets[3], 1); // 5 in [4,7]
+        assert_eq!(s.buckets[10], 1); // 1000 in [512,1023]
+        assert_eq!(s.occupied().len(), 4);
+        assert!((s.mean() - 201.4).abs() < 1e-9);
+    }
+}

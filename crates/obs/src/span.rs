@@ -1,0 +1,185 @@
+//! Spans: named wall-clock intervals with parent/child nesting.
+//!
+//! Two recording paths share one event format:
+//!
+//! * [`SpanGuard`] — RAII convenience for single-threaded code (the CLI,
+//!   the evaluation pipeline, the sequential executor). Nesting depth is
+//!   tracked per thread; the completed event is appended to the registry
+//!   when the guard drops.
+//! * [`LocalBuffer`] — an explicit, lock-free buffer for worker threads
+//!   (the conservative parallel executor). Each worker records into its
+//!   own buffer and merges it into the registry once, at finalize, so the
+//!   hot path never contends on a shared lock.
+
+use crate::registry::Registry;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// One completed span: a named wall-clock interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (e.g. `des.run.seq`).
+    pub name: String,
+    /// Category (Chrome trace `cat` field; groups related spans).
+    pub cat: String,
+    /// Start, nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at the time the span opened (0 = root).
+    pub depth: u32,
+    /// Recording thread id (registry-assigned, stable per buffer).
+    pub tid: u32,
+    /// Per-thread sequence number (ties within one `start_ns`).
+    pub seq: u64,
+}
+
+thread_local! {
+    /// Nesting depth of [`SpanGuard`]s on this thread.
+    static GUARD_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Registry-assigned thread id for guard-recorded spans (assigned on
+    /// first use; `u32::MAX` = unassigned).
+    static GUARD_TID: Cell<u32> = const { Cell::new(u32::MAX) };
+    /// Per-thread sequence counter for guard-recorded spans.
+    static GUARD_SEQ: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII span handle: records the interval from construction to drop.
+pub struct SpanGuard {
+    registry: &'static Registry,
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+impl SpanGuard {
+    /// Open a span on `registry` (see [`mod@crate::span`]).
+    pub fn enter(registry: &'static Registry, name: &'static str, cat: &'static str) -> Self {
+        let depth = GUARD_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let start = Instant::now();
+        SpanGuard {
+            registry,
+            name,
+            cat,
+            start,
+            start_ns: registry.since_epoch_ns(start),
+            depth,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        GUARD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let tid = GUARD_TID.with(|t| {
+            if t.get() == u32::MAX {
+                t.set(self.registry.register_thread("main"));
+            }
+            t.get()
+        });
+        let seq = GUARD_SEQ.with(|s| {
+            let seq = s.get();
+            s.set(seq + 1);
+            seq
+        });
+        self.registry.push_event(SpanEvent {
+            name: self.name.to_string(),
+            cat: self.cat.to_string(),
+            start_ns: self.start_ns,
+            dur_ns: self.start.elapsed().as_nanos() as u64,
+            depth: self.depth,
+            tid,
+            seq,
+        });
+    }
+}
+
+/// A per-thread span buffer: records without any shared-state access,
+/// merged into the registry once via [`Registry::merge`].
+pub struct LocalBuffer {
+    pub(crate) tid: u32,
+    pub(crate) events: Vec<SpanEvent>,
+    /// Open spans: (name, cat, start instant, start_ns, depth).
+    stack: Vec<(String, String, Instant, u64)>,
+    seq: u64,
+    epoch: Instant,
+}
+
+impl LocalBuffer {
+    pub(crate) fn new(tid: u32, epoch: Instant) -> Self {
+        LocalBuffer {
+            tid,
+            events: Vec::new(),
+            stack: Vec::new(),
+            seq: 0,
+            epoch,
+        }
+    }
+
+    /// The registry-assigned thread id this buffer records under.
+    pub fn tid(&self) -> u32 {
+        self.tid
+    }
+
+    /// Open a nested span. Close it with [`LocalBuffer::end`].
+    pub fn begin(&mut self, name: &str, cat: &str) {
+        let now = Instant::now();
+        let start_ns = now.duration_since(self.epoch).as_nanos() as u64;
+        self.stack
+            .push((name.to_string(), cat.to_string(), now, start_ns));
+    }
+
+    /// Close the innermost open span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open (unbalanced `begin`/`end`).
+    pub fn end(&mut self) {
+        let (name, cat, start, start_ns) =
+            self.stack.pop().expect("LocalBuffer::end without begin");
+        let depth = self.stack.len() as u32;
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(SpanEvent {
+            name,
+            cat,
+            start_ns,
+            dur_ns: start.elapsed().as_nanos() as u64,
+            depth,
+            tid: self.tid,
+            seq,
+        });
+    }
+
+    /// Record a fully specified event (tests and replayed telemetry; the
+    /// timestamps are taken at face value).
+    pub fn push_raw(&mut self, name: &str, cat: &str, start_ns: u64, dur_ns: u64, depth: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(SpanEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_ns,
+            dur_ns,
+            depth,
+            tid: self.tid,
+            seq,
+        });
+    }
+
+    /// Number of completed events buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no completed events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}

@@ -178,8 +178,54 @@ impl Cluster {
     }
 
     /// Run the simulation to completion (sequential executor).
+    ///
+    /// The run is recorded as a `pfs.cluster.run` span on the global
+    /// [`pioeval_obs`] registry, and per-server service statistics are
+    /// published to it afterwards (see [`Cluster::publish_telemetry`]).
     pub fn run(&mut self) -> RunResult {
-        self.sim.run()
+        let res = {
+            let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_PFS_RUN, "pfs");
+            self.sim.run()
+        };
+        self.publish_telemetry();
+        res
+    }
+
+    /// Publish per-OSS/MDS service-time and queue-occupancy metrics to
+    /// the global [`pioeval_obs`] registry. Called automatically by
+    /// [`Cluster::run`]; safe to call again (stats finalization is
+    /// idempotent, though counters accumulate per call by design).
+    pub fn publish_telemetry(&mut self) {
+        let obs = pioeval_obs::global();
+        obs.counter(pioeval_obs::names::PFS_RUNS).inc();
+        let mut peak_bin = 0u64;
+        for stats in self.oss_stats() {
+            obs.counter(pioeval_obs::names::PFS_OSS_REQUESTS)
+                .add(stats.requests);
+            obs.histogram(pioeval_obs::names::PFS_OSS_BUSY_US)
+                .observe(stats.busy.as_nanos() / 1_000);
+            obs.histogram(pioeval_obs::names::PFS_OSS_SERVICE_US)
+                .observe(stats.mean_service_time().as_nanos() / 1_000);
+            obs.histogram(pioeval_obs::names::PFS_OSS_QUEUE_WAIT_US)
+                .observe(stats.mean_queue_wait().as_nanos() / 1_000);
+            peak_bin = peak_bin.max(
+                stats
+                    .timelines
+                    .iter()
+                    .map(|t| t.peak_bin_bytes())
+                    .max()
+                    .unwrap_or(0),
+            );
+        }
+        obs.gauge(pioeval_obs::names::PFS_OSS_PEAK_BIN_BYTES)
+            .record(peak_bin);
+        for i in 0..self.handles.mds.len() {
+            let stats = &self.mds_at(i).stats;
+            obs.counter(pioeval_obs::names::PFS_MDS_REQUESTS)
+                .add(stats.requests);
+            obs.histogram(pioeval_obs::names::PFS_MDS_SERVICE_US)
+                .observe(stats.mean_service_time().as_nanos() / 1_000);
+        }
     }
 
     /// Completion records of a raw client.

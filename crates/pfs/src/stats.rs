@@ -86,6 +86,12 @@ impl OstTimeline {
     pub fn total_bytes(&self) -> u64 {
         self.read_bins.iter().sum::<u64>() + self.write_bins.iter().sum::<u64>()
     }
+
+    /// Wall-clock span the recorded bins cover (bin width × bin count).
+    /// An empty timeline covers a zero-duration window.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_nanos(self.bin_width.as_nanos() * self.len() as u64)
+    }
 }
 
 /// Aggregate service statistics for one server (OSS or MDS).
@@ -130,6 +136,14 @@ impl ServerStats {
             return SimDuration::ZERO;
         }
         self.queue_wait / self.requests
+    }
+
+    /// Mean device service time per request.
+    pub fn mean_service_time(&self) -> SimDuration {
+        if self.requests == 0 {
+            return SimDuration::ZERO;
+        }
+        self.busy / self.requests
     }
 
     /// Load imbalance across lanes: max/mean of per-lane total bytes
@@ -188,6 +202,43 @@ mod tests {
     fn empty_stats_are_neutral() {
         let s = ServerStats::new(2, SimDuration::from_secs(1));
         assert_eq!(s.mean_queue_wait(), SimDuration::ZERO);
+        assert_eq!(s.mean_service_time(), SimDuration::ZERO);
         assert_eq!(s.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_window_is_well_defined() {
+        // A timeline that never saw a transfer covers a zero-duration
+        // window; derived series stay empty instead of dividing by zero.
+        let t = OstTimeline::new(SimDuration::from_millis(100));
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert_eq!(t.peak_bin_bytes(), 0);
+        assert_eq!(t.total_bytes(), 0);
+        assert!(t.bandwidth_series().is_empty());
+    }
+
+    #[test]
+    fn timeline_duration_tracks_last_bin() {
+        let mut t = OstTimeline::new(SimDuration::from_secs(1));
+        t.record(SimTime::from_millis(2500), IoKind::Write, 1);
+        // Bins 0..=2 exist, so the window is 3 s wide.
+        assert_eq!(t.duration(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn single_lane_timeline_is_perfectly_balanced() {
+        // One OST: max == mean by construction, so imbalance is exactly 1.
+        let mut s = ServerStats::new(1, SimDuration::from_secs(1));
+        s.timelines[0].record(SimTime::ZERO, IoKind::Read, 123);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn mean_service_time_divides_busy_by_requests() {
+        let mut s = ServerStats::new(1, SimDuration::from_secs(1));
+        s.requests = 4;
+        s.busy = SimDuration::from_micros(100);
+        assert_eq!(s.mean_service_time(), SimDuration::from_micros(25));
     }
 }

@@ -5,8 +5,10 @@
 //!
 //! ```text
 //! pioeval run --workload dlio --ranks 8 --ionodes 2
+//! pioeval run --workload ior --metrics json --trace-out trace.json
 //! pioeval dsl my_workload.pio --ranks 4
 //! pioeval lint my_workload.pio
+//! pioeval bench --out results/BENCH_obs.json
 //! pioeval taxonomy
 //! pioeval corpus
 //! ```
@@ -25,6 +27,7 @@ USAGE:
   pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
   pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
   pioeval lint <FILE> [--json]              static-analyse an input file
+  pioeval bench [--out <FILE>]              benchmark the framework itself
   pioeval taxonomy                          print the evaluation-cycle taxonomy
   pioeval corpus                            print the survey corpus distribution
 
@@ -36,13 +39,25 @@ WORKLOADS:
   ior | mdtest | checkpoint | btio | dlio | analytics | workflow
 
 OPTIONS:
-  --ranks <N>      job ranks                       [default: 8]
-  --clients <N>    compute clients in the cluster  [default: 64]
-  --ionodes <N>    burst-buffer I/O nodes          [default: 0]
-  --mds <N>        metadata servers                [default: 1]
-  --oss <N>        object storage servers          [default: 4]
-  --seed <N>       deterministic seed              [default: 42]
+  --ranks <N>          job ranks                       [default: 8]
+  --clients <N>        compute clients in the cluster  [default: 64]
+  --ionodes <N>        burst-buffer I/O nodes          [default: 0]
+  --mds <N>            metadata servers                [default: 1]
+  --oss <N>            object storage servers          [default: 4]
+  --seed <N>           deterministic seed              [default: 42]
+  --metrics <MODE>     framework telemetry: human | json
+                       (json: the metrics document alone on stdout)
+  --trace-out <FILE>   write a Chrome/Perfetto trace of the run
 ";
+
+/// How `--metrics` renders the framework's own telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    /// Human-readable table on stdout.
+    Human,
+    /// Flat metrics JSON alone on stdout; everything else on stderr.
+    Json,
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -53,6 +68,8 @@ struct Options {
     mds: usize,
     oss: usize,
     seed: u64,
+    metrics: Option<MetricsMode>,
+    trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -64,7 +81,16 @@ impl Default for Options {
             mds: 1,
             oss: 4,
             seed: 42,
+            metrics: None,
+            trace_out: None,
         }
+    }
+}
+
+impl Options {
+    /// True when stdout is reserved for the metrics JSON document.
+    fn machine_stdout(&self) -> bool {
+        self.metrics == Some(MetricsMode::Json)
     }
 }
 
@@ -114,9 +140,25 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
     if let Some(v) = parse(flags, "seed")? {
         opts.seed = v;
     }
+    if let Some(v) = flags.get("metrics") {
+        opts.metrics = Some(match v.as_str() {
+            "human" => MetricsMode::Human,
+            "json" => MetricsMode::Json,
+            other => return Err(format!("bad --metrics: {other} (expected human|json)")),
+        });
+    }
+    opts.trace_out = flags.get("trace-out").cloned();
     for key in flags.keys() {
         if ![
-            "ranks", "clients", "ionodes", "mds", "oss", "seed", "workload",
+            "ranks",
+            "clients",
+            "ionodes",
+            "mds",
+            "oss",
+            "seed",
+            "workload",
+            "metrics",
+            "trace-out",
         ]
         .contains(&key.as_str())
         {
@@ -165,7 +207,9 @@ fn workload_by_name(name: &str) -> Result<Box<dyn Workload>, String> {
     })
 }
 
-fn print_report(report: &pioeval::core::MeasurementReport) {
+fn render_report(report: &pioeval::core::MeasurementReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let makespan = report
         .makespan()
         .expect("job did not finish — report a bug");
@@ -199,7 +243,7 @@ fn print_report(report: &pioeval::core::MeasurementReport) {
         "files touched".to_string(),
         report.profile.num_files().to_string(),
     ]);
-    print!("{}", table.render());
+    out.push_str(&table.render());
 
     let timelines: Vec<_> = report
         .servers
@@ -212,8 +256,13 @@ fn print_report(report: &pioeval::core::MeasurementReport) {
         .iter()
         .map(|w| (w.read + w.written) as f64)
         .collect();
-    println!("\nserver traffic: {}", pioeval::core::sparkline(&series));
-    println!(
+    let _ = writeln!(
+        out,
+        "\nserver traffic: {}",
+        pioeval::core::sparkline(&series)
+    );
+    let _ = writeln!(
+        out,
         "burstiness {:.2} | read fraction {:.2} | active windows {:.0}%{}",
         analysis.burstiness,
         analysis.read_fraction(),
@@ -223,6 +272,37 @@ fn print_report(report: &pioeval::core::MeasurementReport) {
             .map(|p| format!(" | dominant period {p} windows"))
             .unwrap_or_default()
     );
+    out
+}
+
+/// Route human-facing chatter: stdout normally, stderr when stdout is
+/// reserved for a machine-readable document (`--metrics json`), matching
+/// `lint --json`.
+fn say(opts: &Options, text: &str) {
+    if opts.machine_stdout() {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+}
+
+/// Post-run telemetry output shared by `run` and `dsl`: the always-on
+/// one-line summary, the optional `--metrics` document, and the optional
+/// `--trace-out` Chrome trace file.
+fn emit_telemetry(opts: &Options) -> Result<(), String> {
+    let reg = pioeval::obs::global();
+    say(opts, &format!("\n{}\n", summary_line(reg)));
+    match opts.metrics {
+        Some(MetricsMode::Json) => println!("{}", metrics_json(reg)),
+        Some(MetricsMode::Human) => print!("\n{}", human_summary(reg)),
+        None => {}
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, chrome_trace(reg))
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        say(opts, &format!("trace written to {path}\n"));
+    }
+    Ok(())
 }
 
 /// Lookahead the measurement engine runs under — the lint target.
@@ -295,20 +375,26 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let workload = workload_by_name(name)?;
     let cluster = cluster_from(&opts);
     preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
-    println!(
-        "running `{name}` with {} ranks on {} clients ({} I/O nodes, {} MDS, {} OSS) ...\n",
-        opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
+    say(
+        &opts,
+        &format!(
+            "running `{name}` with {} ranks on {} clients ({} I/O nodes, {} MDS, {} OSS) ...\n\n",
+            opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
+        ),
     );
-    let report = measure(
-        &cluster,
-        &WorkloadSource::Synthetic(workload),
-        opts.ranks,
-        StackConfig::default(),
-        opts.seed,
-    )
-    .map_err(|e| e.to_string())?;
-    print_report(&report);
-    Ok(())
+    let report = {
+        let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
+        measure(
+            &cluster,
+            &WorkloadSource::Synthetic(workload),
+            opts.ranks,
+            StackConfig::default(),
+            opts.seed,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    say(&opts, &render_report(&report));
+    emit_telemetry(&opts)
 }
 
 fn cmd_dsl(args: &[String]) -> Result<(), String> {
@@ -320,19 +406,110 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     let cluster = cluster_from(&opts);
     preflight(path, &lint_program(&workload))?;
     preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
-    println!(
-        "running DSL workload `{path}` with {} ranks ...\n",
-        opts.ranks
+    say(
+        &opts,
+        &format!(
+            "running DSL workload `{path}` with {} ranks ...\n\n",
+            opts.ranks
+        ),
     );
-    let report = measure(
+    let report = {
+        let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
+        measure(
+            &cluster,
+            &WorkloadSource::Synthetic(Box::new(workload)),
+            opts.ranks,
+            StackConfig::default(),
+            opts.seed,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    say(&opts, &render_report(&report));
+    emit_telemetry(&opts)
+}
+
+/// Benchmark the framework itself: PHOLD on both DES executors plus one
+/// IOR-like trip through the full pipeline, reporting wall-clock and
+/// events/sec from the telemetry layer. Results land in a JSON file so
+/// successive commits can be compared.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    for key in flags.keys() {
+        if key != "out" {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_obs.json".to_string());
+
+    use pioeval::des::{build_phold, run_parallel, ParallelConfig, PholdConfig};
+    // Fixed configuration so numbers are comparable across commits.
+    let phold = PholdConfig {
+        lps: 256,
+        population: 2048,
+        horizon: pioeval::types::SimTime::from_millis(10),
+        ..PholdConfig::default()
+    };
+
+    let mut rows: Vec<(&str, u64, f64, f64)> = Vec::new();
+    let mut record = |name: &'static str, events: u64, wall: std::time::Duration| {
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let eps = events as f64 / wall.as_secs_f64().max(1e-9);
+        println!("{name:<14} {events:>10} events {wall_ms:>9.1} ms {eps:>12.0} events/s");
+        rows.push((name, events, wall_ms, eps));
+    };
+
+    let mut sim = build_phold(&phold);
+    let t0 = std::time::Instant::now();
+    let res = sim.run();
+    record("phold_seq", res.events, t0.elapsed());
+
+    let mut sim = build_phold(&phold);
+    let t0 = std::time::Instant::now();
+    let res = run_parallel(&mut sim, ParallelConfig { threads: 2 });
+    record("phold_par_t2", res.events, t0.elapsed());
+
+    // One IOR-like trip through the full pipeline; the DES event count
+    // comes from the telemetry layer itself.
+    let des_events = pioeval::obs::global().counter(pioeval::obs::names::DES_EVENTS);
+    let before = des_events.get();
+    let cluster = ClusterConfig {
+        num_clients: 8,
+        ..ClusterConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    measure(
         &cluster,
-        &WorkloadSource::Synthetic(Box::new(workload)),
-        opts.ranks,
+        &WorkloadSource::Synthetic(Box::new(IorLike::default())),
+        4,
         StackConfig::default(),
-        opts.seed,
+        42,
     )
     .map_err(|e| e.to_string())?;
-    print_report(&report);
+    record("ior_ranks4", des_events.get() - before, t0.elapsed());
+
+    let mut json = String::from("{\n  \"schema\": \"pioeval-bench/1\",\n  \"benches\": [\n");
+    for (i, (name, events, wall_ms, eps)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"events\": {events}, \
+             \"wall_ms\": {wall_ms:.3}, \"events_per_sec\": {eps:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("\nwrote {out}");
     Ok(())
 }
 
@@ -366,6 +543,7 @@ fn main() -> ExitCode {
             Ok(false) => return ExitCode::FAILURE, // findings already printed
             Err(e) => Err(e),
         },
+        Some("bench") => cmd_bench(&args[1..]),
         Some("taxonomy") => {
             cmd_taxonomy();
             Ok(())

@@ -22,6 +22,9 @@
 //! * **Lint before you spend** — pre-flight static analysis of DSL
 //!   workloads, cluster configurations, and workflow DAGs with stable
 //!   `PIO0xx` diagnostic codes ([`lint`]).
+//! * **Watch the watcher** — always-on self-telemetry of the framework
+//!   itself: counters, gauges, histograms, and nested spans exported as
+//!   metrics JSON or a Perfetto-loadable Chrome trace ([`obs`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use pioeval_iostack as iostack;
 pub use pioeval_lint as lint;
 pub use pioeval_model as model;
 pub use pioeval_monitor as monitor;
+pub use pioeval_obs as obs;
 pub use pioeval_pfs as pfs;
 pub use pioeval_replay as replay;
 pub use pioeval_trace as trace;
@@ -62,6 +66,7 @@ pub mod prelude {
     };
     pub use pioeval_iostack::{collect, launch, CaptureConfig, JobSpec, StackConfig, StackOp};
     pub use pioeval_lint::{lint_config, lint_dag, lint_dsl_source, lint_program, LintReport};
+    pub use pioeval_obs::export::{chrome_trace, human_summary, metrics_json, summary_line};
     pub use pioeval_pfs::{Cluster, ClusterConfig};
     pub use pioeval_trace::{DxtTrace, JobProfile};
     pub use pioeval_types::{bytes, FileId, IoKind, MetaOp, Rank, SimDuration, SimTime};
