@@ -282,7 +282,7 @@ pub fn e11(scale: Scale) -> ExpOutput {
     for threads in [2usize, 4, 8] {
         let mut par = build_phold(&phold_cfg);
         let t0 = std::time::Instant::now();
-        let par_res = run_parallel(&mut par, ParallelConfig { threads });
+        let par_res = run_parallel(&mut par, &ParallelConfig::with_threads(threads));
         let wall = t0.elapsed().as_secs_f64() * 1e3;
         let identical =
             par_res.events == seq_res.events && phold_fingerprint(&par, phold_cfg.lps) == seq_fp;
@@ -340,7 +340,7 @@ pub fn e11(scale: Scale) -> ExpOutput {
     ]);
     let (mut p_cluster, p_handle) = build();
     let t0 = std::time::Instant::now();
-    let p_res = run_parallel(&mut p_cluster.sim, ParallelConfig { threads: 4 });
+    let p_res = run_parallel(&mut p_cluster.sim, &ParallelConfig::with_threads(4));
     let wall = t0.elapsed().as_secs_f64() * 1e3;
     let p_job = pioeval_iostack::collect(&p_cluster, &p_handle);
     let identical = p_res.events == s_res.events

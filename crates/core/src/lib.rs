@@ -30,7 +30,10 @@ pub mod source;
 pub mod taxonomy;
 
 pub use campaign::{poisson_starts, Campaign, CampaignResult, Submission};
-pub use pipeline::{measure, EvaluationLoop, LoopIteration, MeasurementReport};
+pub use pipeline::{
+    measure, measure_with_exec, profile_entity_counts, EvaluationLoop, LoopIteration,
+    MeasurementReport,
+};
 pub use report::{bar_chart, sparkline, Table};
 pub use source::WorkloadSource;
 pub use taxonomy::{taxonomy, Phase, Strategy};

@@ -9,6 +9,7 @@
 //! original — the feedback arrows of Fig. 4.
 
 use crate::source::WorkloadSource;
+use pioeval_des::ExecMode;
 use pioeval_iostack::{collect, launch, JobResult, JobSpec, StackConfig};
 use pioeval_monitor::SystemAnalysis;
 use pioeval_pfs::{BurstBufferStats, Cluster, ClusterConfig, FabricStats, ServerStats};
@@ -44,13 +45,35 @@ impl MeasurementReport {
 }
 
 /// Run one workload source on a fresh cluster and collect all data
-/// products.
+/// products, using the sequential executor. See [`measure_with_exec`]
+/// for choosing the parallel engine.
 pub fn measure(
     cluster_cfg: &ClusterConfig,
     source: &WorkloadSource,
     nranks: u32,
     stack: StackConfig,
     seed: u64,
+) -> Result<MeasurementReport> {
+    measure_with_exec(
+        cluster_cfg,
+        source,
+        nranks,
+        stack,
+        seed,
+        &ExecMode::Sequential,
+    )
+}
+
+/// [`measure`] with an explicit executor choice. The DES engine is
+/// deterministic across executors, so every data product is identical
+/// whichever mode runs — only wall-clock time differs.
+pub fn measure_with_exec(
+    cluster_cfg: &ClusterConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+    exec: &ExecMode,
 ) -> Result<MeasurementReport> {
     use pioeval_obs::names;
     let _obs_span = pioeval_obs::span(names::SPAN_CORE_MEASURE, "core");
@@ -72,7 +95,7 @@ pub fn measure(
     let handle = launch(&mut cluster, &spec);
     {
         let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
-        cluster.run();
+        cluster.run_exec(exec);
     }
     let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
     let job = collect(&cluster, &handle);
@@ -100,6 +123,31 @@ pub fn measure(
         fabrics,
         burst_buffers,
     })
+}
+
+/// Profile a workload's per-entity event counts with one sequential
+/// warmup trip: build the same cluster and job that [`measure_with_exec`]
+/// would, run it with [`pioeval_des::Simulation::run_counted`], and
+/// return the counts. Feed the result to
+/// `pioeval_des::Partitioner::greedy_from_counts` so a subsequent
+/// parallel measurement places hot entities (busy OSTs, the MDS) on
+/// separate workers.
+pub fn profile_entity_counts(
+    cluster_cfg: &ClusterConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+) -> Result<Vec<u64>> {
+    let mut cluster = Cluster::new(cluster_cfg.clone())?;
+    let spec = JobSpec {
+        programs: source.programs(nranks, seed),
+        stack,
+        start: SimTime::ZERO,
+    };
+    let _handle = launch(&mut cluster, &spec);
+    let (_res, counts) = cluster.run_counted();
+    Ok(counts)
 }
 
 /// One iteration of the closed loop.
@@ -216,6 +264,30 @@ mod tests {
         assert!(report.mds_ops > 0);
         assert!(report.analysis.bytes_written > 0);
         assert!(!report.servers.is_empty());
+    }
+
+    #[test]
+    fn parallel_executor_reproduces_measurement() {
+        use pioeval_des::{Backend, ParallelConfig, Partitioner};
+        let source = WorkloadSource::Synthetic(Box::new(small_ior()));
+        let stack = StackConfig::default;
+        let seq = measure(&small_cluster(), &source, 4, stack(), 1).unwrap();
+        let counts = profile_entity_counts(&small_cluster(), &source, 4, stack(), 1).unwrap();
+        assert!(counts.iter().sum::<u64>() > 0);
+        for backend in [Backend::Threads, Backend::Cooperative] {
+            let exec = ExecMode::Parallel(ParallelConfig {
+                threads: 3,
+                partitioner: Partitioner::greedy_from_counts(&counts),
+                backend,
+                ..ParallelConfig::default()
+            });
+            let par = measure_with_exec(&small_cluster(), &source, 4, stack(), 1, &exec).unwrap();
+            assert_eq!(par.makespan(), seq.makespan(), "{backend:?}");
+            assert_eq!(par.profile.bytes_written(), seq.profile.bytes_written());
+            assert_eq!(par.profile.bytes_read(), seq.profile.bytes_read());
+            assert_eq!(par.mds_ops, seq.mds_ops);
+            assert_eq!(par.dxt.num_segments(), seq.dxt.num_segments());
+        }
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod queue;
 pub mod sim;
 
 pub use event::{EntityId, Envelope, EventKey, EXTERNAL};
-pub use parallel::{run_parallel, ParallelConfig};
+pub use parallel::{run_parallel, Backend, ExecMode, ParallelConfig, Partitioner, WindowPolicy};
 pub use phold::{build_phold, phold_fingerprint, PholdConfig};
 pub use sim::{Ctx, Entity, RunResult, SimConfig, Simulation};

@@ -141,7 +141,7 @@ mod tests {
         let seq_fp = phold_fingerprint(&seq, cfg.lps);
         for threads in [2, 4] {
             let mut par = build_phold(&cfg);
-            let par_res = run_parallel(&mut par, ParallelConfig { threads });
+            let par_res = run_parallel(&mut par, &ParallelConfig::with_threads(threads));
             assert_eq!(par_res.events, seq_res.events, "{threads} threads");
             assert_eq!(
                 phold_fingerprint(&par, cfg.lps),

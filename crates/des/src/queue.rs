@@ -54,6 +54,48 @@ impl<M> EventQueue<M> {
         self.max_len = self.max_len.max(self.heap.len());
     }
 
+    /// Insert an event without updating the high-water mark.
+    ///
+    /// The parallel executor samples queue occupancy at window boundaries
+    /// instead of per push (see `RunResult::max_queue`), so its hot path
+    /// skips the per-push book-keeping.
+    pub fn push_untracked(&mut self, ev: Envelope<M>) {
+        self.heap.push(Entry(ev));
+    }
+
+    /// Bulk-insert a batch, draining `batch` in place.
+    ///
+    /// When the batch is at least as large as the current heap the whole
+    /// set is re-heapified in O(len + batch) instead of paying
+    /// O(batch × log len) sift-ups; smaller batches fall back to plain
+    /// pushes (a push into a random position is O(1) amortized, so a
+    /// rebuild only wins once the batch dominates). Both executors' inbox
+    /// drains route through here.
+    pub fn push_batch(&mut self, batch: &mut Vec<Envelope<M>>) {
+        if batch.len() >= self.heap.len() {
+            let mut items = std::mem::take(&mut self.heap).into_vec();
+            items.extend(batch.drain(..).map(Entry));
+            self.heap = BinaryHeap::from(items);
+        } else {
+            for ev in batch.drain(..) {
+                self.heap.push(Entry(ev));
+            }
+        }
+        self.max_len = self.max_len.max(self.heap.len());
+    }
+
+    /// Remove every queued event, in no particular order, in O(n).
+    ///
+    /// Used to repartition the pending set across executor-local heaps
+    /// without n × O(log n) pops.
+    pub fn take_all(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .map(|e| e.0)
+            .collect()
+    }
+
     /// Remove and return the event with the smallest key.
     pub fn pop(&mut self) -> Option<Envelope<M>> {
         self.heap.pop().map(|e| e.0)
@@ -131,6 +173,53 @@ mod tests {
         assert_eq!(q.max_len, 5);
         assert_eq!(q.len(), 3);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn push_batch_preserves_key_order() {
+        // Small batch (push path) and dominating batch (rebuild path)
+        // must both interleave correctly with existing events.
+        for preload in [0usize, 1, 16] {
+            let mut q = EventQueue::new();
+            for i in 0..preload {
+                q.push(ev(i as u64 * 10, 0, 0, i as u64, i as u32));
+            }
+            let mut batch: Vec<_> = (0..8)
+                .map(|i| ev(5 + i * 10, 1, 1, i, 100 + i as u32))
+                .collect();
+            let expect_len = preload + batch.len();
+            q.push_batch(&mut batch);
+            assert!(batch.is_empty());
+            assert_eq!(q.len(), expect_len);
+            assert_eq!(q.max_len, expect_len);
+            let mut last = None;
+            while let Some(e) = q.pop() {
+                if let Some(prev) = last {
+                    assert!(prev < e.key, "out of order");
+                }
+                last = Some(e.key);
+            }
+        }
+    }
+
+    #[test]
+    fn push_untracked_skips_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.push_untracked(ev(1, 0, 0, 0, 0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.max_len, 0);
+    }
+
+    #[test]
+    fn take_all_empties_queue() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(ev(i, 0, 0, i, i as u32));
+        }
+        let all = q.take_all();
+        assert_eq!(all.len(), 5);
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.msg), None);
     }
 
     #[test]

@@ -116,9 +116,15 @@ pub struct RunResult {
     pub end_time: SimTime,
     /// Number of events processed.
     pub events: u64,
-    /// High-water mark of the pending-event set (sequential executor only;
-    /// the parallel executor reports the sum of per-thread high-water
-    /// marks, an upper bound).
+    /// High-water mark of the pending-event set.
+    ///
+    /// The sequential executor samples after every push. The parallel
+    /// executor samples the *global* pending count at synchronization
+    /// window boundaries (all workers quiesced), so its value is a true
+    /// concurrent occupancy — never the sum of independent per-worker
+    /// peaks — and is at most the sequential value. For workloads whose
+    /// population is constant between boundaries (PHOLD, token rings)
+    /// the two agree exactly; `parallel::tests` pins this.
     pub max_queue: usize,
     /// Whether the run ended via [`Ctx::halt`].
     pub halted: bool,
@@ -223,6 +229,16 @@ impl<M: 'static> Simulation<M> {
         (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
+    /// Change the time limit between runs.
+    ///
+    /// Useful for warmup profiling: run a bounded prefix (for
+    /// [`Simulation::run_counted`] → `Partitioner::greedy_from_counts`),
+    /// then lift the limit and resume — pending events past the old
+    /// limit stay queued and are picked up by the next run.
+    pub fn set_time_limit(&mut self, limit: Option<SimTime>) {
+        self.cfg.time_limit = limit;
+    }
+
     /// Run to completion with the sequential executor.
     ///
     /// Processes events in global [`EventKey`] order until the queue is
@@ -233,6 +249,26 @@ impl<M: 'static> Simulation<M> {
     /// high-water mark are published once at the end — the per-event
     /// loop itself carries zero instrumentation cost.
     pub fn run(&mut self) -> RunResult {
+        self.run_with(|_| {})
+    }
+
+    /// Run to completion with the sequential executor, additionally
+    /// counting how many events each entity handled.
+    ///
+    /// The per-entity counts are the profile a
+    /// [`crate::parallel::Partitioner::Greedy`] partitioner wants: run a
+    /// short warmup (e.g. with a reduced `time_limit`), feed the counts
+    /// to [`crate::parallel::Partitioner::greedy_from_counts`], then
+    /// rebuild and run the full simulation in parallel.
+    pub fn run_counted(&mut self) -> (RunResult, Vec<u64>) {
+        let mut counts = vec![0u64; self.entities.len()];
+        let res = self.run_with(|dst| counts[dst.index()] += 1);
+        (res, counts)
+    }
+
+    /// The sequential event loop with a per-event hook (monomorphized, so
+    /// [`Simulation::run`]'s empty hook costs nothing).
+    fn run_with<F: FnMut(EntityId)>(&mut self, mut hook: F) -> RunResult {
         let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_DES_RUN_SEQ, "des");
         let mut events = 0u64;
         let mut halted = false;
@@ -262,9 +298,8 @@ impl<M: 'static> Simulation<M> {
             };
             entity.on_event(ev, &mut ctx);
             events += 1;
-            for out in emitted.drain(..) {
-                self.queue.push(out);
-            }
+            hook(dst);
+            self.queue.push_batch(&mut emitted);
         }
         let obs = pioeval_obs::global();
         obs.counter(pioeval_obs::names::DES_EVENTS).add(events);
@@ -339,6 +374,20 @@ mod tests {
         assert_eq!((ha, hb), (10, 9));
         assert_eq!(res.end_time, SimTime::from_micros(180));
         assert_eq!(res.events, 19);
+    }
+
+    #[test]
+    fn run_counted_attributes_events_to_entities() {
+        let (mut sim, a, b) = ping_pong(10);
+        sim.schedule(SimTime::ZERO, a, 0);
+        let (res, counts) = sim.run_counted();
+        assert_eq!(res.events, 19);
+        assert_eq!(counts[a.index()], 10);
+        assert_eq!(counts[b.index()], 9);
+        // Counted and plain runs report identical results.
+        let (mut sim2, a2, _) = ping_pong(10);
+        sim2.schedule(SimTime::ZERO, a2, 0);
+        assert_eq!(sim2.run(), res);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub const DES_PAR_NULL_WINDOWS: &str = "des.par.null_windows";
 pub const DES_PAR_THREAD_BUSY_US: &str = "des.par.thread_busy_us";
 /// Histogram: per-worker events processed per run.
 pub const DES_PAR_THREAD_EVENTS: &str = "des.par.thread_events";
+/// Counter: per-worker windows whose adaptive horizon exceeded the fixed
+/// `T + lookahead` window — how often [`DES_PAR_WINDOWS`] crossings were
+/// saved by widening. Zero under the `Fixed` policy.
+pub const DES_PAR_WIDE_WINDOWS: &str = "des.par.wide_windows";
+/// Counter: parallel runs that resolved to the cooperative
+/// (single-thread, barrier-free) backend.
+pub const DES_PAR_RUNS_COOP: &str = "des.par.runs_coop";
 
 /// Span: one sequential-executor run.
 pub const SPAN_DES_RUN_SEQ: &str = "des.run.seq";

@@ -8,7 +8,7 @@ use crate::mds::MetadataServer;
 use crate::msg::PfsMsg;
 use crate::oss::Oss;
 use crate::stats::ServerStats;
-use pioeval_des::{EntityId, RunResult, SimConfig, Simulation};
+use pioeval_des::{EntityId, ExecMode, RunResult, SimConfig, Simulation};
 use pioeval_types::{IoOp, Result, SimDuration, SimTime};
 
 /// Entity ids of the cluster's fixed infrastructure.
@@ -183,12 +183,34 @@ impl Cluster {
     /// [`pioeval_obs`] registry, and per-server service statistics are
     /// published to it afterwards (see [`Cluster::publish_telemetry`]).
     pub fn run(&mut self) -> RunResult {
+        self.run_exec(&ExecMode::Sequential)
+    }
+
+    /// Run the simulation to completion with an explicit executor choice
+    /// (sequential, or the conservative parallel engine with its window /
+    /// partitioner / backend knobs). Same span and telemetry behaviour as
+    /// [`Cluster::run`]; results are bit-identical across executors (see
+    /// the determinism notes in `pioeval-des`).
+    pub fn run_exec(&mut self, exec: &ExecMode) -> RunResult {
         let res = {
             let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_PFS_RUN, "pfs");
-            self.sim.run()
+            exec.run(&mut self.sim)
         };
         self.publish_telemetry();
         res
+    }
+
+    /// Run sequentially while attributing processed events to entities.
+    /// Returns the run result plus per-entity event counts — the profile
+    /// that feeds `pioeval_des::Partitioner::greedy_from_counts` for
+    /// load-aware partitioning of a subsequent parallel run.
+    pub fn run_counted(&mut self) -> (RunResult, Vec<u64>) {
+        let out = {
+            let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_PFS_RUN, "pfs");
+            self.sim.run_counted()
+        };
+        self.publish_telemetry();
+        out
     }
 
     /// Publish per-OSS/MDS service-time and queue-occupancy metrics to

@@ -27,7 +27,7 @@ USAGE:
   pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
   pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
   pioeval lint <FILE> [--json]              static-analyse an input file
-  pioeval bench [--out <FILE>]              benchmark the framework itself
+  pioeval bench [BENCH OPTIONS]             benchmark the framework itself
   pioeval taxonomy                          print the evaluation-cycle taxonomy
   pioeval corpus                            print the survey corpus distribution
 
@@ -48,6 +48,23 @@ OPTIONS:
   --metrics <MODE>     framework telemetry: human | json
                        (json: the metrics document alone on stdout)
   --trace-out <FILE>   write a Chrome/Perfetto trace of the run
+
+DES ENGINE (run/dsl; results are identical across executors):
+  --des-threads <N>      use the conservative parallel engine with N workers
+  --des-window <P>       window policy: fixed | adaptive  [default: adaptive]
+  --des-partition <P>    partitioner: rr | block | greedy [default: rr]
+                         (greedy profiles per-entity load with one
+                         sequential warmup trip, then bin-packs workers)
+
+BENCH OPTIONS:
+  --threads <N>        worker count for the parallel rows      [default: 2]
+  --repeat <K>         runs per bench, report the median       [default: 1]
+  --backend <B>        parallel backend: auto | threads | coop [default: auto]
+  --baseline <FILE>    regression gate: compare events/sec against FILE,
+                       normalized by each side's phold_seq row so the gate
+                       tracks engine overhead rather than host speed
+  --tolerance <PCT>    gate failure threshold                  [default: 15]
+  --out <FILE>         result file    [default: results/BENCH_obs.json]
 ";
 
 /// How `--metrics` renders the framework's own telemetry.
@@ -57,6 +74,15 @@ enum MetricsMode {
     Human,
     /// Flat metrics JSON alone on stdout; everything else on stderr.
     Json,
+}
+
+/// `--des-partition` choices (the greedy profile is gathered later,
+/// once the workload is known).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DesPartition {
+    RoundRobin,
+    Block,
+    Greedy,
 }
 
 /// Parsed command-line options.
@@ -70,6 +96,9 @@ struct Options {
     seed: u64,
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
+    des_threads: Option<usize>,
+    des_window: Option<pioeval::des::WindowPolicy>,
+    des_partition: Option<DesPartition>,
 }
 
 impl Default for Options {
@@ -83,6 +112,9 @@ impl Default for Options {
             seed: 42,
             metrics: None,
             trace_out: None,
+            des_threads: None,
+            des_window: None,
+            des_partition: None,
         }
     }
 }
@@ -148,6 +180,35 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         });
     }
     opts.trace_out = flags.get("trace-out").cloned();
+    if let Some(v) = parse(flags, "des-threads")? {
+        if v == 0 {
+            return Err("--des-threads must be > 0".into());
+        }
+        opts.des_threads = Some(v as usize);
+    }
+    if let Some(v) = flags.get("des-window") {
+        opts.des_window = Some(match v.as_str() {
+            "fixed" => pioeval::des::WindowPolicy::Fixed,
+            "adaptive" => pioeval::des::WindowPolicy::Adaptive,
+            other => {
+                return Err(format!(
+                    "bad --des-window: {other} (expected fixed|adaptive)"
+                ))
+            }
+        });
+    }
+    if let Some(v) = flags.get("des-partition") {
+        opts.des_partition = Some(match v.as_str() {
+            "rr" | "round-robin" => DesPartition::RoundRobin,
+            "block" => DesPartition::Block,
+            "greedy" => DesPartition::Greedy,
+            other => {
+                return Err(format!(
+                    "bad --des-partition: {other} (expected rr|block|greedy)"
+                ))
+            }
+        });
+    }
     for key in flags.keys() {
         if ![
             "ranks",
@@ -159,6 +220,9 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
             "workload",
             "metrics",
             "trace-out",
+            "des-threads",
+            "des-window",
+            "des-partition",
         ]
         .contains(&key.as_str())
         {
@@ -169,6 +233,40 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         return Err("--ranks must be > 0".into());
     }
     Ok(opts)
+}
+
+/// Build the executor choice from the `--des-*` flags. A greedy
+/// partition runs one sequential warmup trip of the same workload to
+/// profile per-entity load before the measured run.
+fn exec_for(
+    opts: &Options,
+    cluster: &ClusterConfig,
+    source: &WorkloadSource,
+) -> Result<pioeval::des::ExecMode, String> {
+    use pioeval::des::{ExecMode, ParallelConfig, Partitioner};
+    if opts.des_threads.is_none() && opts.des_window.is_none() && opts.des_partition.is_none() {
+        return Ok(ExecMode::Sequential);
+    }
+    let mut cfg = ParallelConfig::with_threads(opts.des_threads.unwrap_or(2));
+    if let Some(window) = opts.des_window {
+        cfg.window = window;
+    }
+    match opts.des_partition {
+        Some(DesPartition::Block) => cfg.partitioner = Partitioner::Block,
+        Some(DesPartition::Greedy) => {
+            let counts = pioeval::core::profile_entity_counts(
+                cluster,
+                source,
+                opts.ranks,
+                StackConfig::default(),
+                opts.seed,
+            )
+            .map_err(|e| e.to_string())?;
+            cfg.partitioner = Partitioner::greedy_from_counts(&counts);
+        }
+        Some(DesPartition::RoundRobin) | None => {}
+    }
+    Ok(ExecMode::Parallel(cfg))
 }
 
 fn cluster_from(opts: &Options) -> ClusterConfig {
@@ -382,14 +480,17 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
         ),
     );
+    let source = WorkloadSource::Synthetic(workload);
+    let exec = exec_for(&opts, &cluster, &source)?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        measure(
+        pioeval::core::measure_with_exec(
             &cluster,
-            &WorkloadSource::Synthetic(workload),
+            &source,
             opts.ranks,
             StackConfig::default(),
             opts.seed,
+            &exec,
         )
         .map_err(|e| e.to_string())?
     };
@@ -413,14 +514,17 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
             opts.ranks
         ),
     );
+    let source = WorkloadSource::Synthetic(Box::new(workload));
+    let exec = exec_for(&opts, &cluster, &source)?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        measure(
+        pioeval::core::measure_with_exec(
             &cluster,
-            &WorkloadSource::Synthetic(Box::new(workload)),
+            &source,
             opts.ranks,
             StackConfig::default(),
             opts.seed,
+            &exec,
         )
         .map_err(|e| e.to_string())?
     };
@@ -428,17 +532,135 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     emit_telemetry(&opts)
 }
 
-/// Benchmark the framework itself: PHOLD on both DES executors plus one
-/// IOR-like trip through the full pipeline, reporting wall-clock and
-/// events/sec from the telemetry layer. Results land in a JSON file so
-/// successive commits can be compared.
+/// One bench row: name, event count, median wall-clock ms, events/sec.
+type BenchRow = (String, u64, f64, f64);
+
+/// Run `body` `repeat` times and return (events, median wall). Event
+/// counts must agree across repeats — the engine is deterministic, so a
+/// mismatch is a bug worth failing loudly on.
+fn bench_median(
+    repeat: usize,
+    mut body: impl FnMut() -> Result<u64, String>,
+) -> Result<(u64, std::time::Duration), String> {
+    let mut walls = Vec::with_capacity(repeat);
+    let mut events = None;
+    for _ in 0..repeat {
+        let t0 = std::time::Instant::now();
+        let n = body()?;
+        walls.push(t0.elapsed());
+        if let Some(prev) = events {
+            if prev != n {
+                return Err(format!("nondeterministic bench: {prev} vs {n} events"));
+            }
+        }
+        events = Some(n);
+    }
+    walls.sort();
+    Ok((events.unwrap_or(0), walls[walls.len() / 2]))
+}
+
+/// Numeric JSON value as f64 (the shimmed parser splits number kinds).
+fn json_f64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::F64(f) => Some(*f),
+        serde_json::Value::U64(u) => Some(*u as f64),
+        serde_json::Value::I64(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Regression gate: compare this run's events/sec against a committed
+/// baseline file. Both sides are normalized by their own `phold_seq`
+/// row, so the comparison tracks *engine overhead relative to the
+/// sequential executor* and survives hosts of different absolute speed
+/// (CI runners vs. the machine that committed the baseline). Rows
+/// missing from the baseline are reported but never fail the gate.
+fn bench_gate(rows: &[BenchRow], baseline_path: &str, tolerance_pct: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let doc =
+        serde_json::parse(&text).map_err(|e| format!("{baseline_path}: not valid JSON: {e}"))?;
+    let mut base: Vec<(String, f64)> = Vec::new();
+    if let Some(serde_json::Value::Seq(items)) = doc.get("benches") {
+        for item in items {
+            if let (Some(serde_json::Value::Str(name)), Some(eps)) = (
+                item.get("name"),
+                item.get("events_per_sec").and_then(json_f64),
+            ) {
+                base.push((name.clone(), eps));
+            }
+        }
+    }
+    let eps_of =
+        |set: &[(String, f64)], name: &str| set.iter().find(|(n, _)| n == name).map(|&(_, e)| e);
+    let cur: Vec<(String, f64)> = rows.iter().map(|r| (r.0.clone(), r.3)).collect();
+    let (cur_seq, base_seq) = match (eps_of(&cur, "phold_seq"), eps_of(&base, "phold_seq")) {
+        (Some(c), Some(b)) if c > 0.0 && b > 0.0 => (c, b),
+        _ => {
+            return Err(format!(
+                "{baseline_path}: no usable phold_seq row to normalize by"
+            ))
+        }
+    };
+    let host_scale = cur_seq / base_seq;
+    println!("\ngate: host speed scale {host_scale:.3} (phold_seq now/baseline)");
+    let mut failures = Vec::new();
+    for (name, eps) in &cur {
+        if name == "phold_seq" {
+            continue; // the normalizer itself
+        }
+        let Some(base_eps) = eps_of(&base, name) else {
+            println!("gate: {name:<22} not in baseline — skipped");
+            continue;
+        };
+        let expected = base_eps * host_scale;
+        let delta_pct = (eps / expected - 1.0) * 100.0;
+        let verdict = if delta_pct < -tolerance_pct {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "gate: {name:<22} {eps:>12.0} ev/s vs expected {expected:>12.0} \
+             ({delta_pct:>+6.1}%) {verdict}"
+        );
+        if delta_pct < -tolerance_pct {
+            failures.push(format!("{name} regressed {:.1}%", -delta_pct));
+        }
+    }
+    if failures.is_empty() {
+        println!("gate: pass (tolerance {tolerance_pct:.0}%)");
+        Ok(())
+    } else {
+        Err(format!(
+            "bench regression gate failed (> {tolerance_pct:.0}% below baseline): {}",
+            failures.join(", ")
+        ))
+    }
+}
+
+/// Benchmark the framework itself: PHOLD on both DES executors (plus a
+/// profile-guided greedy-partition variant), an mdtest-style metadata
+/// storm, and an IOR-like trip through the full pipeline, reporting
+/// wall-clock and events/sec from the telemetry layer. Results land in
+/// a JSON file so successive commits can be compared; `--baseline`
+/// turns the comparison into a regression gate.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(args)?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument `{extra}`"));
     }
     for key in flags.keys() {
-        if key != "out" {
+        if ![
+            "out",
+            "threads",
+            "repeat",
+            "backend",
+            "baseline",
+            "tolerance",
+        ]
+        .contains(&key.as_str())
+        {
             return Err(format!("unknown option --{key}"));
         }
     }
@@ -446,52 +668,119 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "results/BENCH_obs.json".to_string());
+    let parse_n = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("bad --{key}: {v} (expected a positive integer)")),
+            },
+        }
+    };
+    let threads = parse_n("threads", 2)?;
+    let repeat = parse_n("repeat", 1)?;
+    let tolerance = match flags.get("tolerance") {
+        None => 15.0,
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| *t >= 0.0)
+            .ok_or(format!("bad --tolerance: {v}"))?,
+    };
+    use pioeval::des::{build_phold, run_parallel, Backend, ParallelConfig, PholdConfig};
+    let backend = match flags.get("backend").map(String::as_str) {
+        None | Some("auto") => Backend::Auto,
+        Some("threads") => Backend::Threads,
+        Some("coop") | Some("cooperative") => Backend::Cooperative,
+        Some(other) => {
+            return Err(format!(
+                "bad --backend: {other} (expected auto|threads|coop)"
+            ))
+        }
+    };
 
-    use pioeval::des::{build_phold, run_parallel, ParallelConfig, PholdConfig};
-    // Fixed configuration so numbers are comparable across commits.
+    // Fixed configuration so numbers are comparable across commits. The
+    // population matches the des crate's default PHOLD regime (8192):
+    // event density per window is what the parallel engine's window
+    // store amortizes over, so this is the representative operating
+    // point, not a cherry-picked one.
     let phold = PholdConfig {
         lps: 256,
-        population: 2048,
+        population: 8192,
         horizon: pioeval::types::SimTime::from_millis(10),
         ..PholdConfig::default()
     };
 
-    let mut rows: Vec<(&str, u64, f64, f64)> = Vec::new();
-    let mut record = |name: &'static str, events: u64, wall: std::time::Duration| {
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut record = |name: String, events: u64, wall: std::time::Duration| {
         let wall_ms = wall.as_secs_f64() * 1e3;
         let eps = events as f64 / wall.as_secs_f64().max(1e-9);
-        println!("{name:<14} {events:>10} events {wall_ms:>9.1} ms {eps:>12.0} events/s");
+        println!("{name:<22} {events:>10} events {wall_ms:>9.1} ms {eps:>12.0} events/s");
         rows.push((name, events, wall_ms, eps));
     };
 
-    let mut sim = build_phold(&phold);
-    let t0 = std::time::Instant::now();
-    let res = sim.run();
-    record("phold_seq", res.events, t0.elapsed());
+    let (events, wall) = bench_median(repeat, || Ok(build_phold(&phold).run().events))?;
+    record("phold_seq".into(), events, wall);
 
-    let mut sim = build_phold(&phold);
-    let t0 = std::time::Instant::now();
-    let res = run_parallel(&mut sim, ParallelConfig { threads: 2 });
-    record("phold_par_t2", res.events, t0.elapsed());
-
-    // One IOR-like trip through the full pipeline; the DES event count
-    // comes from the telemetry layer itself.
-    let des_events = pioeval::obs::global().counter(pioeval::obs::names::DES_EVENTS);
-    let before = des_events.get();
-    let cluster = ClusterConfig {
-        num_clients: 8,
-        ..ClusterConfig::default()
+    let par_cfg = ParallelConfig {
+        threads,
+        backend,
+        ..ParallelConfig::default()
     };
-    let t0 = std::time::Instant::now();
-    measure(
-        &cluster,
-        &WorkloadSource::Synthetic(Box::new(IorLike::default())),
-        4,
-        StackConfig::default(),
-        42,
-    )
-    .map_err(|e| e.to_string())?;
-    record("ior_ranks4", des_events.get() - before, t0.elapsed());
+    let (events, wall) = bench_median(repeat, || {
+        let mut sim = build_phold(&phold);
+        Ok(run_parallel(&mut sim, &par_cfg).events)
+    })?;
+    record(format!("phold_par_t{threads}"), events, wall);
+
+    // Profile-guided variant: per-entity counts from an (untimed)
+    // sequential warmup feed the greedy bin-packing partitioner.
+    let (_, counts) = build_phold(&phold).run_counted();
+    let greedy_cfg = ParallelConfig {
+        partitioner: pioeval::des::Partitioner::greedy_from_counts(&counts),
+        ..par_cfg.clone()
+    };
+    let (events, wall) = bench_median(repeat, || {
+        let mut sim = build_phold(&phold);
+        Ok(run_parallel(&mut sim, &greedy_cfg).events)
+    })?;
+    record(format!("phold_par_t{threads}_greedy"), events, wall);
+
+    // Full-pipeline trips; the DES event count comes from the telemetry
+    // layer itself.
+    let des_events = pioeval::obs::global().counter(pioeval::obs::names::DES_EVENTS);
+    let pipeline_bench = |source: &WorkloadSource, ranks: u32| {
+        bench_median(repeat, || {
+            let cluster = ClusterConfig {
+                num_clients: 8,
+                ..ClusterConfig::default()
+            };
+            let before = des_events.get();
+            measure(&cluster, source, ranks, StackConfig::default(), 42)
+                .map_err(|e| e.to_string())?;
+            Ok(des_events.get() - before)
+        })
+    };
+
+    // Metadata storm: 8 ranks hammering the MDS with create/stat/unlink
+    // on thousands of tiny files (mdtest-style), the metadata-bound
+    // counterpart to the bandwidth-bound IOR row.
+    let storm = WorkloadSource::Synthetic(Box::new(MdtestLike {
+        files_per_rank: 256,
+        ..MdtestLike::default()
+    }));
+    let (events, wall) = pipeline_bench(&storm, 8)?;
+    record("mdtest_storm8".into(), events, wall);
+
+    let ior = WorkloadSource::Synthetic(Box::new(IorLike::default()));
+    let (events, wall) = pipeline_bench(&ior, 4)?;
+    record("ior_ranks4".into(), events, wall);
+
+    // Gate BEFORE writing: the default --out path is also the default
+    // baseline path, so writing first would compare the run to itself.
+    let gate_result = flags
+        .get("baseline")
+        .map(|baseline| bench_gate(&rows, baseline, tolerance));
 
     let mut json = String::from("{\n  \"schema\": \"pioeval-bench/1\",\n  \"benches\": [\n");
     for (i, (name, events, wall_ms, eps)) in rows.iter().enumerate() {
@@ -510,7 +799,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("\nwrote {out}");
-    Ok(())
+
+    match gate_result {
+        Some(res) => res,
+        None => Ok(()),
+    }
 }
 
 fn cmd_taxonomy() {
