@@ -8,12 +8,17 @@
 //! results and profiles, the scheduler log, server statistics, and the
 //! temporal/spatial analysis over the whole window.
 
+use crate::pipeline::TargetConfig;
 use crate::source::WorkloadSource;
-use pioeval_iostack::{collect, launch, JobHandle, JobResult, JobSpec, StackConfig};
+use pioeval_iostack::{
+    collect, collect_on, launch, launch_on, JobHandle, JobResult, JobSpec, StackConfig,
+    StorageTarget,
+};
 use pioeval_monitor::{JobLog, SchedulerLog, SystemAnalysis};
+use pioeval_objstore::GatewayStats;
 use pioeval_pfs::{Cluster, ClusterConfig, ServerStats};
 use pioeval_trace::JobProfile;
-use pioeval_types::{JobId, Result, SimTime};
+use pioeval_types::{Error, JobId, Result, SimDuration, SimTime};
 
 /// One job submission in a campaign.
 pub struct Submission {
@@ -180,6 +185,142 @@ impl Campaign {
     }
 }
 
+/// Per-job interference of a shared run against solo baselines.
+///
+/// The quantity production studies report: how much slower did each job
+/// run because it shared gateways/servers with the others, versus
+/// having the whole system to itself.
+pub struct InterferenceReport {
+    /// Backend name ("pfs" or "objstore").
+    pub target: &'static str,
+    /// Solo makespans: each job alone on a fresh system, submitted at
+    /// time zero, in submission order.
+    pub solo: Vec<SimDuration>,
+    /// Shared makespans: all jobs together (staggered starts honored),
+    /// each measured from its own submit time.
+    pub shared: Vec<SimDuration>,
+    /// Per-gateway statistics from the shared run (empty on PFS).
+    pub gateways: Vec<GatewayStats>,
+}
+
+impl InterferenceReport {
+    /// Per-job slowdown: shared makespan over solo makespan (1.0 = no
+    /// interference). Zero-length solo runs report 1.0.
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.solo
+            .iter()
+            .zip(&self.shared)
+            .map(|(s, sh)| {
+                let solo = s.as_secs_f64();
+                if solo > 0.0 {
+                    sh.as_secs_f64() / solo
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    /// The worst per-job slowdown.
+    pub fn max_slowdown(&self) -> f64 {
+        self.slowdowns().into_iter().fold(1.0, f64::max)
+    }
+}
+
+/// K concurrent jobs against shared gateways/servers, with per-job
+/// solo baselines: runs each submission alone on a fresh system first,
+/// then all together, and reports per-job slowdown.
+pub struct InterferenceCampaign {
+    target: TargetConfig,
+    submissions: Vec<Submission>,
+    seed: u64,
+}
+
+impl InterferenceCampaign {
+    /// A new interference campaign against the given backend.
+    pub fn new(target: TargetConfig, seed: u64) -> Self {
+        InterferenceCampaign {
+            target,
+            submissions: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a job.
+    pub fn submit(&mut self, submission: Submission) -> &mut Self {
+        self.submissions.push(submission);
+        self
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// True when no jobs were submitted.
+    pub fn is_empty(&self) -> bool {
+        self.submissions.is_empty()
+    }
+
+    fn spec_for(&self, i: usize, start: SimTime) -> JobSpec {
+        let sub = &self.submissions[i];
+        JobSpec {
+            programs: sub
+                .source
+                .programs(sub.nranks, pioeval_types::split_seed(self.seed, i as u64)),
+            stack: sub.stack,
+            start,
+        }
+    }
+
+    /// Run the solo baselines, then the shared run.
+    pub fn run(&self) -> Result<InterferenceReport> {
+        if self.submissions.len() < 2 {
+            return Err(Error::Config(
+                "interference campaign needs at least 2 jobs".into(),
+            ));
+        }
+        let makespan = |job: &JobResult| {
+            job.makespan()
+                .ok_or_else(|| Error::Config("campaign job did not finish".into()))
+        };
+
+        // Solo baselines: one fresh system per job, submitted at t=0.
+        let mut solo = Vec::new();
+        for i in 0..self.submissions.len() {
+            let mut target = self.target.build()?;
+            let spec = self.spec_for(i, SimTime::ZERO);
+            let handle = launch_on(&mut target, &spec);
+            target.run();
+            solo.push(makespan(&collect_on(&target, &handle))?);
+        }
+
+        // Shared run: everything on one system, staggered as submitted.
+        let mut target = self.target.build()?;
+        let handles: Vec<JobHandle> = (0..self.submissions.len())
+            .map(|i| {
+                let spec = self.spec_for(i, self.submissions[i].start);
+                launch_on(&mut target, &spec)
+            })
+            .collect();
+        target.run();
+        let shared = handles
+            .iter()
+            .map(|h| makespan(&collect_on(&target, h)))
+            .collect::<Result<Vec<_>>>()?;
+        let gateways = match &mut target {
+            StorageTarget::ObjStore(c) => c.gateway_stats(),
+            StorageTarget::Pfs(_) => Vec::new(),
+        };
+        Ok(InterferenceReport {
+            target: self.target.name(),
+            solo,
+            shared,
+            gateways,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +415,88 @@ mod tests {
         let campaign = Campaign::new(cluster(), 0);
         assert!(campaign.is_empty());
         assert_eq!(campaign.len(), 0);
+    }
+
+    #[test]
+    fn two_jobs_on_shared_gateways_slow_each_other_down() {
+        use pioeval_objstore::ObjStoreConfig;
+        let target = TargetConfig::ObjStore(ObjStoreConfig {
+            num_clients: 16,
+            num_gateways: 1,
+            ..ObjStoreConfig::default()
+        });
+        let mut campaign = InterferenceCampaign::new(target, 3);
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(IorLike {
+                block_size: bytes::mib(8),
+                transfer_size: bytes::mib(1),
+                ..IorLike::default()
+            })),
+            4,
+            SimTime::ZERO,
+        ));
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(CheckpointLike {
+                bytes_per_rank: bytes::mib(8),
+                steps: 1,
+                collective: false,
+                base_file: 9000,
+                ..CheckpointLike::default()
+            })),
+            4,
+            SimTime::ZERO,
+        ));
+        let report = campaign.run().unwrap();
+        assert_eq!(report.target, "objstore");
+        assert_eq!(report.solo.len(), 2);
+        assert_eq!(report.shared.len(), 2);
+        let slowdowns = report.slowdowns();
+        // Sharing never speeds a job up...
+        assert!(
+            slowdowns.iter().all(|&s| s >= 1.0 - 1e-9),
+            "slowdowns {slowdowns:?}"
+        );
+        // ...and contending for one gateway measurably hurts.
+        assert!(
+            report.max_slowdown() > 1.0,
+            "expected interference, slowdowns {slowdowns:?}"
+        );
+        assert_eq!(report.gateways.len(), 1);
+        assert!(report.gateways[0].put_bytes > 0);
+    }
+
+    #[test]
+    fn interference_works_on_the_pfs_path_too() {
+        let target = TargetConfig::Pfs(cluster());
+        let mut campaign = InterferenceCampaign::new(target, 4);
+        for i in 0..2u32 {
+            campaign.submit(Submission::new(
+                WorkloadSource::Synthetic(Box::new(IorLike {
+                    block_size: bytes::mib(4),
+                    base_file: 100 + i * 500,
+                    ..IorLike::default()
+                })),
+                4,
+                SimTime::ZERO,
+            ));
+        }
+        let report = campaign.run().unwrap();
+        assert_eq!(report.target, "pfs");
+        assert!(report.gateways.is_empty());
+        assert!(report.slowdowns().iter().all(|&s| s >= 1.0 - 1e-9));
+    }
+
+    #[test]
+    fn interference_requires_two_jobs() {
+        let mut campaign = InterferenceCampaign::new(TargetConfig::Pfs(cluster()), 0);
+        assert!(campaign.is_empty());
+        assert!(campaign.run().is_err());
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(IorLike::default())),
+            2,
+            SimTime::ZERO,
+        ));
+        assert_eq!(campaign.len(), 1);
+        assert!(campaign.run().is_err());
     }
 }

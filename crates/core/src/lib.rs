@@ -29,10 +29,12 @@ pub mod report;
 pub mod source;
 pub mod taxonomy;
 
-pub use campaign::{poisson_starts, Campaign, CampaignResult, Submission};
+pub use campaign::{
+    poisson_starts, Campaign, CampaignResult, InterferenceCampaign, InterferenceReport, Submission,
+};
 pub use pipeline::{
-    measure, measure_with_exec, profile_entity_counts, EvaluationLoop, LoopIteration,
-    MeasurementReport,
+    measure, measure_target, measure_target_with_exec, measure_with_exec, profile_entity_counts,
+    EvaluationLoop, LoopIteration, MeasurementReport, TargetConfig,
 };
 pub use report::{bar_chart, sparkline, Table};
 pub use source::WorkloadSource;

@@ -10,12 +10,45 @@
 
 use crate::source::WorkloadSource;
 use pioeval_des::ExecMode;
-use pioeval_iostack::{collect, launch, JobResult, JobSpec, StackConfig};
+use pioeval_iostack::{
+    collect_on, launch, launch_on, JobResult, JobSpec, StackConfig, StorageTarget,
+};
 use pioeval_monitor::SystemAnalysis;
+use pioeval_objstore::{GatewayStats, ObjCluster, ObjStoreConfig};
 use pioeval_pfs::{BurstBufferStats, Cluster, ClusterConfig, FabricStats, ServerStats};
 use pioeval_replay::{compare, FidelityReport};
 use pioeval_trace::{DxtTrace, JobProfile};
 use pioeval_types::{Result, SimDuration, SimTime};
+
+/// Which storage backend to build for a measurement or campaign: the
+/// bottom layer of Fig. 2 as an evaluation axis.
+#[derive(Clone, Debug)]
+pub enum TargetConfig {
+    /// A parallel file system cluster.
+    Pfs(ClusterConfig),
+    /// An S3-like object store.
+    ObjStore(ObjStoreConfig),
+}
+
+impl TargetConfig {
+    /// Build a fresh storage target from this configuration.
+    pub fn build(&self) -> Result<StorageTarget> {
+        match self {
+            TargetConfig::Pfs(cfg) => Ok(StorageTarget::Pfs(Cluster::new(cfg.clone())?)),
+            TargetConfig::ObjStore(cfg) => {
+                Ok(StorageTarget::ObjStore(ObjCluster::new(cfg.clone())?))
+            }
+        }
+    }
+
+    /// Short backend name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TargetConfig::Pfs(_) => "pfs",
+            TargetConfig::ObjStore(_) => "objstore",
+        }
+    }
+}
 
 /// Everything one measurement trip produces.
 pub struct MeasurementReport {
@@ -25,16 +58,19 @@ pub struct MeasurementReport {
     pub profile: JobProfile,
     /// DXT-style extended trace.
     pub dxt: DxtTrace,
-    /// Per-OSS server statistics.
+    /// Per-storage-server statistics (OSSes, or object storage nodes).
     pub servers: Vec<ServerStats>,
-    /// Metadata operations the MDS served.
+    /// Metadata operations served (MDS, or object metadata shards).
     pub mds_ops: u64,
     /// System-level temporal/spatial analysis of the server timelines.
     pub analysis: SystemAnalysis,
     /// Transfer statistics of the (compute, storage) fabrics.
     pub fabrics: (FabricStats, FabricStats),
-    /// Burst-buffer statistics per I/O node (empty when tier disabled).
+    /// Burst-buffer statistics per I/O node (empty when tier disabled
+    /// or on the object-store path).
     pub burst_buffers: Vec<BurstBufferStats>,
+    /// Per-gateway statistics (empty on the PFS path).
+    pub gateways: Vec<GatewayStats>,
 }
 
 impl MeasurementReport {
@@ -75,13 +111,53 @@ pub fn measure_with_exec(
     seed: u64,
     exec: &ExecMode,
 ) -> Result<MeasurementReport> {
+    measure_target_with_exec(
+        &TargetConfig::Pfs(cluster_cfg.clone()),
+        source,
+        nranks,
+        stack,
+        seed,
+        exec,
+    )
+}
+
+/// [`measure`] against either storage backend, sequential executor.
+pub fn measure_target(
+    target_cfg: &TargetConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+) -> Result<MeasurementReport> {
+    measure_target_with_exec(
+        target_cfg,
+        source,
+        nranks,
+        stack,
+        seed,
+        &ExecMode::Sequential,
+    )
+}
+
+/// The measurement trip, generic over the storage backend: the same
+/// lowered rank programs run against a PFS or an object store, and the
+/// report's server/metadata fields are filled from whichever tier the
+/// target has (OSS/MDS, or storage-node/shard plus gateway stats).
+pub fn measure_target_with_exec(
+    target_cfg: &TargetConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+    exec: &ExecMode,
+) -> Result<MeasurementReport> {
     use pioeval_obs::names;
     let _obs_span = pioeval_obs::span(names::SPAN_CORE_MEASURE, "core");
     pioeval_obs::global().counter(names::CORE_MEASURES).inc();
 
-    let mut cluster = {
+    let mut target = {
         let _s = pioeval_obs::span(names::SPAN_CORE_BUILD, "core");
-        Cluster::new(cluster_cfg.clone())?
+        target_cfg.build()?
     };
     let programs = {
         let _s = pioeval_obs::span(names::SPAN_CORE_LOWER, "core");
@@ -92,27 +168,39 @@ pub fn measure_with_exec(
         stack,
         start: SimTime::ZERO,
     };
-    let handle = launch(&mut cluster, &spec);
+    let handle = launch_on(&mut target, &spec);
     {
         let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
-        cluster.run_exec(exec);
+        target.run_exec(exec);
     }
     let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
-    let job = collect(&cluster, &handle);
+    let job = collect_on(&target, &handle);
     let all_records = job.all_records();
     // The profile comes from the ranks' always-on streaming counters, so
     // it is complete even when record capture is disabled.
     let profile = job.merged_profile();
     let dxt = DxtTrace::from_records(&all_records);
-    let servers = cluster.oss_stats();
+    let (servers, mds_ops, fabrics, burst_buffers, gateways) = match &mut target {
+        StorageTarget::Pfs(cluster) => (
+            cluster.oss_stats(),
+            cluster.mds_requests(),
+            cluster.fabric_stats(),
+            cluster.ionode_stats(),
+            Vec::new(),
+        ),
+        StorageTarget::ObjStore(cluster) => (
+            cluster.storage_stats(),
+            cluster.shard_requests(),
+            cluster.fabric_stats(),
+            Vec::new(),
+            cluster.gateway_stats(),
+        ),
+    };
     let timelines: Vec<_> = servers
         .iter()
         .flat_map(|s| s.timelines.iter().cloned())
         .collect();
     let analysis = SystemAnalysis::from_timelines(&timelines);
-    let mds_ops = cluster.mds_requests();
-    let fabrics = cluster.fabric_stats();
-    let burst_buffers = cluster.ionode_stats();
     Ok(MeasurementReport {
         job,
         profile,
@@ -122,6 +210,7 @@ pub fn measure_with_exec(
         analysis,
         fabrics,
         burst_buffers,
+        gateways,
     })
 }
 

@@ -5,7 +5,8 @@ use crate::coordinator::JobCoordinator;
 use crate::ops::StackOp;
 use crate::plan::compile;
 use crate::rank::{RankClient, RankCounters};
-use pioeval_des::EntityId;
+use crate::target::{StoragePort, StorageTarget};
+use pioeval_des::{EntityId, Simulation};
 use pioeval_pfs::msg::PfsMsg;
 use pioeval_pfs::Cluster;
 use pioeval_trace::JobProfile;
@@ -123,9 +124,16 @@ impl JobResult {
     }
 }
 
-/// Launch a job onto a cluster: creates the coordinator and one rank
+/// Backend-agnostic launch body: creates the coordinator and one rank
 /// entity per program, and schedules their start messages.
-pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
+/// `port_factory(me, client_index)` yields each rank's storage port.
+fn launch_inner(
+    sim: &mut Simulation<PfsMsg>,
+    clients: &mut Vec<EntityId>,
+    compute_fabric: EntityId,
+    mut port_factory: impl FnMut(EntityId, usize) -> StoragePort,
+    spec: &JobSpec,
+) -> JobHandle {
     let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_IOSTACK_LAUNCH, "iostack");
     let nranks = spec.nranks();
     assert!(nranks > 0, "job must have at least one rank");
@@ -134,18 +142,18 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
     // Entity ids are assigned sequentially, so we can precompute the ids
     // of the coordinator and every rank before constructing them (ranks
     // need each other's ids for shuffle traffic).
-    let base = cluster.sim.num_entities() as u32;
+    let base = sim.num_entities() as u32;
     let coordinator_id = EntityId(base);
     let rank_ids: Vec<EntityId> = (0..nranks).map(|i| EntityId(base + 1 + i)).collect();
 
-    let coord = JobCoordinator::new(cluster.handles.compute_fabric, rank_ids.clone());
-    let actual = cluster.sim.add_entity("coordinator", Box::new(coord));
+    let coord = JobCoordinator::new(compute_fabric, rank_ids.clone());
+    let actual = sim.add_entity("coordinator", Box::new(coord));
     debug_assert_eq!(actual, coordinator_id);
 
     for (i, program) in spec.programs.iter().enumerate() {
         let me = rank_ids[i];
-        let client_index = cluster.clients.len();
-        let port = cluster.handles.port(me, client_index);
+        let client_index = clients.len();
+        let port = port_factory(me, client_index);
         let actions = compile(i as u32, nranks, program, &spec.stack);
         total_actions += actions.len() as u64;
         let entity = RankClient::new(
@@ -156,10 +164,10 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
             actions,
             spec.stack.capture,
         );
-        let actual = cluster.sim.add_entity(format!("rank{i}"), Box::new(entity));
+        let actual = sim.add_entity(format!("rank{i}"), Box::new(entity));
         debug_assert_eq!(actual, me);
-        cluster.clients.push(me);
-        cluster.sim.schedule(spec.start, me, PfsMsg::Start);
+        clients.push(me);
+        sim.schedule(spec.start, me, PfsMsg::Start);
     }
 
     let obs = pioeval_obs::global();
@@ -175,16 +183,48 @@ pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
     }
 }
 
-/// Collect the results of a job after the simulation has run.
-pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
+/// Launch a job onto a PFS cluster: creates the coordinator and one
+/// rank entity per program, and schedules their start messages.
+pub fn launch(cluster: &mut Cluster, spec: &JobSpec) -> JobHandle {
+    let handles = cluster.handles.clone();
+    let compute_fabric = handles.compute_fabric;
+    launch_inner(
+        &mut cluster.sim,
+        &mut cluster.clients,
+        compute_fabric,
+        |me, idx| StoragePort::Pfs(handles.port(me, idx)),
+        spec,
+    )
+}
+
+/// Launch a job onto either storage backend ([`StorageTarget`]): the
+/// same compiled rank programs target the PFS or the object store.
+pub fn launch_on(target: &mut StorageTarget, spec: &JobSpec) -> JobHandle {
+    match target {
+        StorageTarget::Pfs(c) => launch(c, spec),
+        StorageTarget::ObjStore(c) => {
+            let handles = c.handles.clone();
+            let compute_fabric = handles.compute_fabric;
+            launch_inner(
+                &mut c.sim,
+                &mut c.clients,
+                compute_fabric,
+                |me, idx| StoragePort::Obj(handles.port(me, idx)),
+                spec,
+            )
+        }
+    }
+}
+
+/// Backend-agnostic result collection.
+fn collect_from(sim: &Simulation<PfsMsg>, handle: &JobHandle) -> JobResult {
     let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_IOSTACK_COLLECT, "iostack");
     let mut records = Vec::new();
     let mut counters = Vec::new();
     let mut profiles = Vec::new();
     let mut finished = Vec::new();
     for &id in &handle.ranks {
-        let rank = cluster
-            .sim
+        let rank = sim
             .entity_ref::<RankClient>(id)
             .expect("job rank entity missing");
         records.push(rank.records.clone());
@@ -198,6 +238,19 @@ pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
         profiles,
         finished,
         start: handle.start,
+    }
+}
+
+/// Collect the results of a job after the simulation has run.
+pub fn collect(cluster: &Cluster, handle: &JobHandle) -> JobResult {
+    collect_from(&cluster.sim, handle)
+}
+
+/// Collect the results of a job launched via [`launch_on`].
+pub fn collect_on(target: &StorageTarget, handle: &JobHandle) -> JobResult {
+    match target {
+        StorageTarget::Pfs(c) => collect_from(&c.sim, handle),
+        StorageTarget::ObjStore(c) => collect_from(&c.sim, handle),
     }
 }
 
@@ -392,6 +445,71 @@ mod tests {
         assert!(result.records[0].is_empty());
         assert_eq!(result.counters[0].posix_writes, 1);
         assert_eq!(result.counters[0].bytes_written, 4096);
+    }
+
+    #[test]
+    fn same_program_runs_on_the_object_store() {
+        use pioeval_objstore::{ObjCluster, ObjStoreConfig};
+        let c = ObjCluster::new(ObjStoreConfig {
+            num_clients: 16,
+            ..ObjStoreConfig::default()
+        })
+        .unwrap();
+        let mut target = StorageTarget::ObjStore(c);
+        let programs: Vec<Vec<StackOp>> = (0..4)
+            .map(|r| {
+                let f = FileId::new(r);
+                vec![
+                    StackOp::PosixMeta {
+                        op: MetaOp::Create,
+                        file: f,
+                    },
+                    StackOp::PosixData {
+                        kind: IoKind::Write,
+                        file: f,
+                        offset: 0,
+                        len: bytes::mib(4),
+                    },
+                    StackOp::PosixMeta {
+                        op: MetaOp::Close,
+                        file: f,
+                    },
+                    StackOp::PosixMeta {
+                        op: MetaOp::Stat,
+                        file: f,
+                    },
+                    StackOp::PosixData {
+                        kind: IoKind::Read,
+                        file: f,
+                        offset: 0,
+                        len: bytes::mib(1),
+                    },
+                ]
+            })
+            .collect();
+        let spec = JobSpec {
+            programs,
+            stack: StackConfig::default(),
+            start: SimTime::ZERO,
+        };
+        let handle = launch_on(&mut target, &spec);
+        target.run();
+        let result = collect_on(&target, &handle);
+        assert!(result.makespan().is_some(), "job did not finish");
+        assert_eq!(result.bytes_written(), 4 * bytes::mib(4));
+        assert_eq!(result.bytes_read(), 4 * bytes::mib(1));
+        // The bytes actually moved through the gateways...
+        let StorageTarget::ObjStore(c) = &mut target else {
+            unreachable!()
+        };
+        let gws = c.gateway_stats();
+        let put: u64 = gws.iter().map(|g| g.put_bytes).sum();
+        let get: u64 = gws.iter().map(|g| g.get_bytes).sum();
+        assert_eq!(put, 4 * bytes::mib(4));
+        assert_eq!(get, 4 * bytes::mib(1));
+        // ...and landed on the storage nodes (replication factor 2).
+        let written: u64 = c.storage_stats().iter().map(|s| s.bytes_written).sum();
+        assert_eq!(written, 2 * 4 * bytes::mib(4));
     }
 
     #[test]

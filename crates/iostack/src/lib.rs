@@ -39,8 +39,10 @@ pub mod mpiio;
 pub mod ops;
 pub mod plan;
 pub mod rank;
+pub mod target;
 
 pub use config::{CaptureConfig, MpiConfig, StackConfig};
-pub use job::{collect, launch, JobHandle, JobResult, JobSpec};
+pub use job::{collect, collect_on, launch, launch_on, JobHandle, JobResult, JobSpec};
 pub use ops::{AccessSpec, DatasetSpec, Hyperslab, StackOp};
 pub use rank::RankCounters;
+pub use target::{StoragePort, StorageTarget};

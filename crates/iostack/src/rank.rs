@@ -3,9 +3,9 @@
 
 use crate::config::CaptureConfig;
 use crate::plan::{Action, RELEASE_TAG};
+use crate::target::StoragePort;
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
 use pioeval_pfs::msg::{PfsMsg, RequestId};
-use pioeval_pfs::ClientPort;
 use pioeval_trace::JobProfile;
 use pioeval_types::{FileId, IoKind, Layer, LayerRecord, Rank, RecordOp, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -55,7 +55,7 @@ const TOKEN_OVERHEAD: u64 = 2;
 
 /// One rank of a job: interprets its compiled [`Action`] list.
 pub struct RankClient {
-    port: ClientPort,
+    port: StoragePort,
     rank: Rank,
     coordinator: EntityId,
     /// Rank index → rank entity (for shuffle sends).
@@ -90,7 +90,7 @@ pub struct RankClient {
 impl RankClient {
     /// A rank entity executing `actions`.
     pub fn new(
-        port: ClientPort,
+        port: StoragePort,
         rank: Rank,
         coordinator: EntityId,
         rank_entities: Vec<EntityId>,
@@ -362,6 +362,12 @@ impl Entity<PfsMsg> for RankClient {
                 }
             }
             PfsMsg::IoDone(rep) => {
+                if self.pending.remove(&rep.id) && self.pending.is_empty() {
+                    self.complete_storage_action(ctx);
+                }
+            }
+            PfsMsg::ObjDone(rep) => {
+                self.port.on_obj_reply(&rep);
                 if self.pending.remove(&rep.id) && self.pending.is_empty() {
                     self.complete_storage_action(ctx);
                 }

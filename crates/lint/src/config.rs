@@ -9,6 +9,7 @@
 //! parallel engine.
 
 use crate::diag::{Code, LintReport};
+use pioeval_objstore::{ObjStoreConfig, Placement};
 use pioeval_pfs::ClusterConfig;
 use pioeval_types::SimDuration;
 
@@ -152,6 +153,147 @@ pub fn lint_config(cfg: &ClusterConfig, lookahead: SimDuration) -> LintReport {
     report
 }
 
+/// Lint an object-store configuration (the `PIO05x` family), mirroring
+/// `ObjStoreConfig::validate` as diagnostics so every problem is
+/// reported at once, plus the shared fabric/device/lookahead checks.
+pub fn lint_objstore_config(cfg: &ObjStoreConfig, lookahead: SimDuration) -> LintReport {
+    let mut report = LintReport::new();
+
+    for (field, value) in [
+        ("num_clients", cfg.num_clients),
+        ("num_shards", cfg.num_shards),
+        ("num_storage", cfg.num_storage),
+        ("devices_per_node", cfg.devices_per_node),
+        ("gateway.slots", cfg.gateway.slots),
+    ] {
+        if value == 0 {
+            report.error(Code::StructuralZero, None, format!("{field} is 0"));
+        }
+    }
+    if cfg.gateway.proc_bw == 0 {
+        report.error(
+            Code::StructuralZero,
+            None,
+            "gateway.proc_bw is 0: data requests would never finish service",
+        );
+    }
+    if cfg.num_gateways == 0 {
+        report.error(
+            Code::ObjNoGateways,
+            None,
+            "num_gateways is 0: every object request needs a gateway to enter the store",
+        );
+    }
+    if cfg.part_size == 0 {
+        report.error(
+            Code::ObjZeroPartSize,
+            None,
+            "part_size is 0: multipart splitting would never terminate",
+        );
+    }
+
+    // Placement vs. cluster width, for the default and every override.
+    let mut placements = vec![("default placement".to_string(), cfg.placement)];
+    for &(bucket, p) in &cfg.bucket_placements {
+        if bucket >= cfg.num_buckets {
+            report.error(
+                Code::StructuralZero,
+                None,
+                format!(
+                    "bucket override {bucket} out of range (store has {} buckets)",
+                    cfg.num_buckets
+                ),
+            );
+        }
+        placements.push((format!("bucket {bucket} placement"), p));
+    }
+    for (name, p) in placements {
+        match p {
+            Placement::Replicate(n) => {
+                if n == 0 {
+                    report.error(
+                        Code::ObjReplicationExceedsNodes,
+                        None,
+                        format!("{name}: replication factor is 0"),
+                    );
+                } else if n as usize > cfg.num_storage {
+                    report.error(
+                        Code::ObjReplicationExceedsNodes,
+                        None,
+                        format!(
+                            "{name}: replication factor {n} exceeds the {} storage nodes \
+                             (replicas must land on distinct nodes)",
+                            cfg.num_storage
+                        ),
+                    );
+                }
+            }
+            Placement::Erasure { data, parity } => {
+                if data == 0 {
+                    report.error(
+                        Code::ObjErasureExceedsNodes,
+                        None,
+                        format!("{name}: erasure data width is 0"),
+                    );
+                } else if (data + parity) as usize > cfg.num_storage {
+                    report.error(
+                        Code::ObjErasureExceedsNodes,
+                        None,
+                        format!(
+                            "{name}: erasure width {}+{} exceeds the {} storage nodes \
+                             (shards must land on distinct nodes)",
+                            data, parity, cfg.num_storage
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Fabrics and devices, same checks as the PFS path.
+    for (name, f) in [
+        ("compute_fabric", &cfg.compute_fabric),
+        ("storage_fabric", &cfg.storage_fabric),
+    ] {
+        if f.link_bw == 0 {
+            report.error(
+                Code::ZeroFabricBw,
+                None,
+                format!("{name}.link_bw is 0: transfers would never complete"),
+            );
+        }
+        if f.latency < lookahead {
+            report.error(
+                Code::BadLookahead,
+                None,
+                format!(
+                    "{name}.latency {} is below the engine lookahead {} — \
+                     the conservative engine cannot schedule such messages",
+                    f.latency, lookahead
+                ),
+            );
+        }
+    }
+    if lookahead.is_zero() {
+        report.error(
+            Code::BadLookahead,
+            None,
+            "engine lookahead is 0: the conservative parallel engine's \
+             synchronization windows degenerate and the run stalls",
+        );
+    }
+    if cfg.device.read_bw == 0 || cfg.device.write_bw == 0 {
+        report.error(
+            Code::ZeroDeviceBw,
+            None,
+            "storage-node device has zero read or write bandwidth",
+        );
+    }
+
+    report.sort();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +392,83 @@ mod tests {
             ..ClusterConfig::default()
         };
         let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::StructuralZero));
+    }
+
+    #[test]
+    fn default_objstore_config_is_clean() {
+        let r = lint_objstore_config(&ObjStoreConfig::default(), LOOKAHEAD);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.warning_count(), 0, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn replication_over_nodes_pio050() {
+        let cfg = ObjStoreConfig {
+            placement: Placement::Replicate(9), // default store has 4 nodes
+            ..ObjStoreConfig::default()
+        };
+        let r = lint_objstore_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ObjReplicationExceedsNodes));
+        assert!(!r.is_clean());
+        // Zero replication is the same family.
+        let cfg = ObjStoreConfig {
+            placement: Placement::Replicate(0),
+            ..ObjStoreConfig::default()
+        };
+        assert!(lint_objstore_config(&cfg, LOOKAHEAD).has(Code::ObjReplicationExceedsNodes));
+    }
+
+    #[test]
+    fn erasure_over_nodes_pio053() {
+        let cfg = ObjStoreConfig {
+            bucket_placements: vec![(0, Placement::Erasure { data: 4, parity: 2 })],
+            ..ObjStoreConfig::default()
+        };
+        let r = lint_objstore_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ObjErasureExceedsNodes));
+        // The message names the offending bucket.
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::ObjErasureExceedsNodes)
+            .unwrap();
+        assert!(d.message.contains("bucket 0"), "{}", d.message);
+    }
+
+    #[test]
+    fn zero_part_size_pio051_and_no_gateways_pio052() {
+        let cfg = ObjStoreConfig {
+            part_size: 0,
+            num_gateways: 0,
+            ..ObjStoreConfig::default()
+        };
+        let r = lint_objstore_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ObjZeroPartSize));
+        assert!(r.has(Code::ObjNoGateways));
+        // Both reported at once.
+        assert!(r.error_count() >= 2, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn objstore_shares_fabric_and_lookahead_checks() {
+        let mut cfg = ObjStoreConfig::default();
+        cfg.storage_fabric.link_bw = 0;
+        cfg.device.write_bw = 0;
+        let r = lint_objstore_config(&cfg, SimDuration::from_secs(1));
+        assert!(r.has(Code::ZeroFabricBw));
+        assert!(r.has(Code::ZeroDeviceBw));
+        assert!(r.has(Code::BadLookahead));
+    }
+
+    #[test]
+    fn objstore_bucket_override_out_of_range() {
+        let cfg = ObjStoreConfig {
+            num_buckets: 2,
+            bucket_placements: vec![(7, Placement::Replicate(1))],
+            ..ObjStoreConfig::default()
+        };
+        let r = lint_objstore_config(&cfg, LOOKAHEAD);
         assert!(r.has(Code::StructuralZero));
     }
 }

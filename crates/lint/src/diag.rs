@@ -57,6 +57,18 @@ pub enum Code {
     DagDeadStage,
     /// PIO043: workflow stage reads from a stage that produces no files.
     DagEmptyUpstream,
+    /// PIO044: interference campaign declares fewer than two jobs.
+    CampaignTooFewJobs,
+    /// PIO045: campaign job references a workload that was never declared.
+    CampaignUnknownWorkload,
+    /// PIO050: replication factor exceeds the number of storage nodes.
+    ObjReplicationExceedsNodes,
+    /// PIO051: object-store part size is zero.
+    ObjZeroPartSize,
+    /// PIO052: object store configured with no gateways.
+    ObjNoGateways,
+    /// PIO053: erasure width (data + parity) exceeds the storage nodes.
+    ObjErasureExceedsNodes,
 }
 
 impl Code {
@@ -86,6 +98,12 @@ impl Code {
             Code::DagDangling => "PIO041",
             Code::DagDeadStage => "PIO042",
             Code::DagEmptyUpstream => "PIO043",
+            Code::CampaignTooFewJobs => "PIO044",
+            Code::CampaignUnknownWorkload => "PIO045",
+            Code::ObjReplicationExceedsNodes => "PIO050",
+            Code::ObjZeroPartSize => "PIO051",
+            Code::ObjNoGateways => "PIO052",
+            Code::ObjErasureExceedsNodes => "PIO053",
         }
     }
 }
@@ -313,6 +331,12 @@ mod tests {
             Code::DagDangling,
             Code::DagDeadStage,
             Code::DagEmptyUpstream,
+            Code::CampaignTooFewJobs,
+            Code::CampaignUnknownWorkload,
+            Code::ObjReplicationExceedsNodes,
+            Code::ObjZeroPartSize,
+            Code::ObjNoGateways,
+            Code::ObjErasureExceedsNodes,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

@@ -13,15 +13,18 @@
 //!
 //! Three input families are analysed:
 //!
-//! * **DSL workload programs** ([`lint_program`], [`lint_dsl_source`])
-//!   — reference and lifecycle errors, degenerate transfer shapes, lane
-//!   overflows, and a static shared-write race detector that expands
-//!   per-rank access plans symbolically and flags overlapping writes
-//!   not ordered by a `barrier`.
-//! * **Cluster configurations** ([`lint_config`]) — structural holes,
-//!   zero-bandwidth fabrics and devices, stripe layouts wider than the
-//!   cluster, burst buffers smaller than a stripe, and lookahead
-//!   settings that stall the conservative parallel DES engine.
+//! * **DSL workload programs** ([`lint_program`], [`lint_dsl_program`],
+//!   [`lint_dsl_source`]) — reference and lifecycle errors, degenerate
+//!   transfer shapes, lane overflows, a static shared-write race
+//!   detector that expands per-rank access plans symbolically and flags
+//!   overlapping writes not ordered by a `barrier`, and campaign checks
+//!   (interference campaigns need ≥ 2 jobs naming declared workloads).
+//! * **Cluster configurations** ([`lint_config`],
+//!   [`lint_objstore_config`]) — structural holes, zero-bandwidth
+//!   fabrics and devices, stripe layouts wider than the cluster, burst
+//!   buffers smaller than a stripe, lookahead settings that stall the
+//!   conservative parallel DES engine, and object-store placement
+//!   policies wider than the storage tier.
 //! * **Workflow DAGs** ([`lint_dag`]) — cycles under the execution
 //!   order, dangling dependencies, and dead or empty stages.
 //!
@@ -56,6 +59,12 @@
 //! | PIO041 | E | workflow dependency on a nonexistent stage |
 //! | PIO042 | W | non-final stage whose outputs nothing reads |
 //! | PIO043 | E | workflow stage reads from a stage with no outputs |
+//! | PIO044 | W | interference campaign declares fewer than 2 jobs |
+//! | PIO045 | E | campaign job names a workload that was never declared |
+//! | PIO050 | E | replication factor exceeds the storage-node count |
+//! | PIO051 | E | object-store part size is zero |
+//! | PIO052 | E | object store configured with no gateways |
+//! | PIO053 | E | erasure width (data+parity) exceeds the storage nodes |
 //!
 //! ```
 //! use pioeval_lint::{lint_dsl_source, Code};
@@ -70,22 +79,22 @@ mod dag;
 mod diag;
 mod program;
 
-pub use config::lint_config;
+pub use config::{lint_config, lint_objstore_config};
 pub use dag::lint_dag;
 pub use diag::{Code, Diagnostic, LintReport, Severity};
-pub use program::lint_program;
+pub use program::{lint_dsl_program, lint_program};
 
-use pioeval_workloads::parse_dsl_ast;
+use pioeval_workloads::parse_program_ast;
 
 /// Lint DSL source text end to end.
 ///
 /// Parse failures become a single `PIO001` diagnostic (carrying the
-/// line the parser reported); otherwise the parsed program is handed to
-/// [`lint_program`]. `base_file` only affects file-id layout and may be
-/// anything for linting purposes.
+/// line the parser reported); otherwise the parsed program — workload
+/// blocks, main body, and campaign declaration — is handed to
+/// [`lint_dsl_program`].
 pub fn lint_dsl_source(src: &str) -> LintReport {
-    match parse_dsl_ast(src, 0) {
-        Ok(w) => lint_program(&w),
+    match parse_program_ast(src, 0) {
+        Ok(p) => lint_dsl_program(&p),
         Err(e) => {
             let msg = e.to_string();
             let mut report = LintReport::new();
@@ -125,5 +134,60 @@ mod tests {
     fn clean_source_round_trips() {
         let r = lint_dsl_source("file a shared\ncreate a\nwrite a 1m\nclose a");
         assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn single_job_campaign_pio044_is_warning() {
+        let src = "workload w\n  file f perrank\n  create f\n  write f 1m\n  close f\nend\n\
+                   campaign\n  job w ranks 4\nend";
+        let r = lint_dsl_source(src);
+        assert!(r.has(Code::CampaignTooFewJobs), "{:?}", r.diagnostics);
+        assert!(r.is_clean()); // warning only
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::CampaignTooFewJobs)
+            .unwrap();
+        assert_eq!(d.line, Some(7));
+    }
+
+    #[test]
+    fn unknown_campaign_workload_pio045_is_error() {
+        let src = "workload w\n  barrier\nend\ncampaign\n  job w ranks 2\n  job ghost ranks 2\nend";
+        let r = lint_dsl_source(src);
+        assert!(r.has(Code::CampaignUnknownWorkload), "{:?}", r.diagnostics);
+        assert!(!r.is_clean());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::CampaignUnknownWorkload)
+            .unwrap();
+        assert_eq!(d.line, Some(6));
+        assert!(d.message.contains("ghost"));
+    }
+
+    #[test]
+    fn two_job_campaign_is_clean() {
+        let src = "workload a\n  file f perrank\n  create f\n  write f 1m\n  close f\nend\n\
+                   workload b\n  file g perrank\n  create g\n  read g 4k\n  close g\nend\n\
+                   campaign\n  job a ranks 4\n  job b ranks 2 start 10ms\nend";
+        let r = lint_dsl_source(src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert!(!r.has(Code::CampaignTooFewJobs));
+    }
+
+    #[test]
+    fn workload_block_findings_keep_their_lines() {
+        // An undeclared file inside a workload block is still PIO010,
+        // reported at the block's real source line.
+        let src = "workload w\n  write ghost 1m\nend";
+        let r = lint_dsl_source(src);
+        assert!(r.has(Code::UndeclaredFile), "{:?}", r.diagnostics);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::UndeclaredFile)
+            .unwrap();
+        assert_eq!(d.line, Some(2));
     }
 }

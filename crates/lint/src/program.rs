@@ -11,7 +11,7 @@
 
 use crate::diag::{Code, LintReport};
 use pioeval_types::{IoKind, MetaOp};
-use pioeval_workloads::dsl::{DslWorkload, Scope, Stmt, StmtKind};
+use pioeval_workloads::dsl::{DslProgram, DslWorkload, Scope, Stmt, StmtKind};
 use std::collections::{HashMap, HashSet};
 
 /// Ranks used for symbolic expansion. Lane layouts are translation
@@ -34,6 +34,45 @@ pub fn lint_program(w: &DslWorkload) -> LintReport {
     structural_pass(w, &mut report);
     lifecycle_pass(w, &mut report);
     lane_and_race_pass(w, &mut report);
+    report.sort();
+    report
+}
+
+/// Lint a parsed DSL *program*: every `workload` block, the main body,
+/// and the `campaign` declaration (the `PIO044`/`PIO045` family).
+pub fn lint_dsl_program(p: &DslProgram) -> LintReport {
+    let mut report = LintReport::new();
+    for (_, w) in &p.workloads {
+        report.merge(lint_program(w));
+    }
+    if let Some(main) = &p.main {
+        report.merge(lint_program(main));
+    }
+    if let Some(c) = &p.campaign {
+        if c.jobs.len() < 2 {
+            report.warn(
+                Code::CampaignTooFewJobs,
+                Some(c.line),
+                format!(
+                    "interference campaign declares {} job(s); measuring \
+                     per-job slowdown needs at least 2 concurrent jobs",
+                    c.jobs.len()
+                ),
+            );
+        }
+        for job in &c.jobs {
+            if p.workload(&job.workload).is_none() {
+                report.error(
+                    Code::CampaignUnknownWorkload,
+                    Some(job.line),
+                    format!("job references unknown workload `{}`", job.workload),
+                );
+            }
+            if job.ranks == 0 {
+                report.error(Code::StructuralZero, Some(job.line), "job declares 0 ranks");
+            }
+        }
+    }
     report.sort();
     report
 }

@@ -1,0 +1,363 @@
+//! Object-store configuration.
+//!
+//! Defaults approximate a small disaggregated object tier sharing the
+//! PFS simulator's hardware assumptions: the same InfiniBand-class
+//! compute fabric and 10GbE-class storage fabric, HDD-backed storage
+//! nodes, and a handful of protocol gateways in front of them.
+
+use pioeval_pfs::{DeviceConfig, FabricConfig};
+use pioeval_types::{bytes, Error, Result, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How a bucket's objects are placed across storage nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Every part is written whole to `n` distinct nodes; reads pick
+    /// one replica deterministically.
+    Replicate(u32),
+    /// Every part is striped into `data` shards plus `parity` parity
+    /// shards, each on a distinct node; healthy-path reads touch the
+    /// `data` shards only.
+    Erasure {
+        /// Data shards per part.
+        data: u32,
+        /// Parity shards per part.
+        parity: u32,
+    },
+}
+
+impl Placement {
+    /// Number of distinct storage nodes one part touches on write.
+    pub fn width(&self) -> u32 {
+        match *self {
+            Placement::Replicate(n) => n,
+            Placement::Erasure { data, parity } => data + parity,
+        }
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Replicate(2)
+    }
+}
+
+/// Gateway service model: a bounded pool of concurrent request slots
+/// plus a per-request CPU/protocol cost.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Concurrent requests in service; later arrivals queue FIFO.
+    pub slots: usize,
+    /// Fixed protocol-processing cost per request.
+    pub per_op: SimDuration,
+    /// Request-processing bandwidth (checksum/erasure-code pipeline),
+    /// bytes/second; charged on data verbs in addition to `per_op`.
+    pub proc_bw: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            slots: 16,
+            per_op: SimDuration::from_micros(20),
+            proc_bw: 5_000_000_000,
+        }
+    }
+}
+
+/// Metadata-shard KV service costs, per object verb.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// KV insert (begin multipart upload).
+    pub insert: SimDuration,
+    /// KV lookup (HEAD).
+    pub lookup: SimDuration,
+    /// Commit of a multipart upload.
+    pub complete: SimDuration,
+    /// KV delete.
+    pub delete: SimDuration,
+    /// Bucket listing (per call, not per key).
+    pub list: SimDuration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            insert: SimDuration::from_micros(80),
+            lookup: SimDuration::from_micros(25),
+            complete: SimDuration::from_micros(60),
+            delete: SimDuration::from_micros(50),
+            list: SimDuration::from_micros(150),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Service cost of the metadata side of one verb. Data verbs cost
+    /// a lookup (they never reach a shard on the healthy path, but the
+    /// mapping is total so callers need no partial match).
+    pub fn cost(&self, verb: pioeval_pfs::ObjVerb) -> SimDuration {
+        use pioeval_pfs::ObjVerb::*;
+        match verb {
+            CreateUpload => self.insert,
+            CompleteUpload => self.complete,
+            Head | PutPart | GetRange => self.lookup,
+            Delete => self.delete,
+            List => self.list,
+        }
+    }
+}
+
+/// Full object-store description: gateways in front, metadata shards
+/// and storage nodes behind, sharing the PFS fabric/device models.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObjStoreConfig {
+    /// Number of compute clients (sizes routing tables).
+    pub num_clients: usize,
+    /// Protocol gateway nodes; clients are assigned round-robin.
+    pub num_gateways: usize,
+    /// Metadata KV shards; keys are hash-partitioned across them.
+    pub num_shards: usize,
+    /// Storage nodes (each hosts `devices_per_node` backing devices).
+    pub num_storage: usize,
+    /// Backing devices per storage node.
+    pub devices_per_node: usize,
+    /// Compute-side fabric.
+    pub compute_fabric: FabricConfig,
+    /// Storage-side fabric (gateways, shards, and nodes sit behind it).
+    pub storage_fabric: FabricConfig,
+    /// Storage-node device model.
+    pub device: DeviceConfig,
+    /// Gateway service model.
+    pub gateway: GatewayConfig,
+    /// Metadata shard service costs.
+    pub shard: ShardConfig,
+    /// Multipart part size: clients split transfers at these (absolute)
+    /// boundaries and each part is placed independently.
+    pub part_size: u64,
+    /// Number of buckets keys hash into (placement granularity).
+    pub num_buckets: u32,
+    /// Default placement for buckets without an override.
+    pub placement: Placement,
+    /// Per-bucket placement overrides (bucket index → placement).
+    pub bucket_placements: Vec<(u32, Placement)>,
+}
+
+impl Default for ObjStoreConfig {
+    fn default() -> Self {
+        ObjStoreConfig {
+            num_clients: 8,
+            num_gateways: 2,
+            num_shards: 1,
+            num_storage: 4,
+            devices_per_node: 2,
+            compute_fabric: FabricConfig::infiniband(),
+            storage_fabric: FabricConfig::ten_gbe(),
+            device: DeviceConfig::hdd(),
+            gateway: GatewayConfig::default(),
+            shard: ShardConfig::default(),
+            part_size: bytes::mib(1),
+            num_buckets: 1,
+            placement: Placement::default(),
+            bucket_placements: Vec::new(),
+        }
+    }
+}
+
+impl ObjStoreConfig {
+    /// Total backing devices across all storage nodes.
+    pub fn total_devices(&self) -> usize {
+        self.num_storage * self.devices_per_node
+    }
+
+    /// The bucket a key belongs to.
+    pub fn bucket_of(&self, key: pioeval_types::FileId) -> u32 {
+        key.index() as u32 % self.num_buckets.max(1)
+    }
+
+    /// The placement policy governing `key`'s bucket.
+    pub fn placement_for(&self, key: pioeval_types::FileId) -> Placement {
+        let bucket = self.bucket_of(key);
+        self.bucket_placements
+            .iter()
+            .find(|&&(b, _)| b == bucket)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.placement)
+    }
+
+    /// Validate the invariants the simulator (and the lint's PIO05x
+    /// object-store diagnostics) depend on.
+    pub fn validate(&self, lookahead: SimDuration) -> Result<()> {
+        if self.num_clients == 0 {
+            return Err(Error::Config("num_clients must be > 0".into()));
+        }
+        if self.num_gateways == 0 {
+            return Err(Error::Config("need at least one gateway".into()));
+        }
+        if self.num_shards == 0 {
+            return Err(Error::Config("need at least one metadata shard".into()));
+        }
+        if self.num_storage == 0 || self.devices_per_node == 0 {
+            return Err(Error::Config(
+                "need at least one storage node and device".into(),
+            ));
+        }
+        if self.part_size == 0 {
+            return Err(Error::Config("part_size must be > 0".into()));
+        }
+        if self.gateway.slots == 0 {
+            return Err(Error::Config("gateway slots must be > 0".into()));
+        }
+        if self.gateway.proc_bw == 0 {
+            return Err(Error::Config("gateway proc_bw must be > 0".into()));
+        }
+        let mut placements = vec![(u32::MAX, self.placement)];
+        placements.extend(self.bucket_placements.iter().copied());
+        for (bucket, p) in placements {
+            let name = if bucket == u32::MAX {
+                "default placement".to_string()
+            } else {
+                if bucket >= self.num_buckets {
+                    return Err(Error::Config(format!(
+                        "bucket override {bucket} out of range (buckets {})",
+                        self.num_buckets
+                    )));
+                }
+                format!("bucket {bucket} placement")
+            };
+            match p {
+                Placement::Replicate(n) => {
+                    if n == 0 {
+                        return Err(Error::Config(format!("{name}: replication factor is 0")));
+                    }
+                    if n as usize > self.num_storage {
+                        return Err(Error::Config(format!(
+                            "{name}: replication factor {n} exceeds {} storage nodes",
+                            self.num_storage
+                        )));
+                    }
+                }
+                Placement::Erasure { data, parity } => {
+                    if data == 0 {
+                        return Err(Error::Config(format!("{name}: erasure data width is 0")));
+                    }
+                    if (data + parity) as usize > self.num_storage {
+                        return Err(Error::Config(format!(
+                            "{name}: erasure width {} exceeds {} storage nodes",
+                            data + parity,
+                            self.num_storage
+                        )));
+                    }
+                }
+            }
+        }
+        for (fname, f) in [
+            ("compute", &self.compute_fabric),
+            ("storage", &self.storage_fabric),
+        ] {
+            if f.link_bw == 0 {
+                return Err(Error::Config(format!("{fname} fabric link_bw is 0")));
+            }
+            if f.latency < lookahead {
+                return Err(Error::Config(format!(
+                    "{fname} fabric latency {} below engine lookahead {}",
+                    f.latency, lookahead
+                )));
+            }
+        }
+        if self.device.read_bw == 0 || self.device.write_bw == 0 {
+            return Err(Error::Config("storage device bandwidth is 0".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::FileId;
+
+    #[test]
+    fn default_config_validates() {
+        let cfg = ObjStoreConfig::default();
+        assert!(cfg.validate(SimDuration::from_micros(1)).is_ok());
+        assert_eq!(cfg.total_devices(), 8);
+    }
+
+    #[test]
+    fn replication_wider_than_nodes_rejected() {
+        let cfg = ObjStoreConfig {
+            placement: Placement::Replicate(9),
+            ..ObjStoreConfig::default()
+        };
+        assert!(cfg.validate(SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn erasure_wider_than_nodes_rejected() {
+        let cfg = ObjStoreConfig {
+            placement: Placement::Erasure { data: 3, parity: 2 },
+            ..ObjStoreConfig::default()
+        };
+        assert!(cfg.validate(SimDuration::ZERO).is_err());
+        let ok = ObjStoreConfig {
+            placement: Placement::Erasure { data: 3, parity: 1 },
+            ..ObjStoreConfig::default()
+        };
+        assert!(ok.validate(SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn zero_part_size_and_gateways_rejected() {
+        let no_parts = ObjStoreConfig {
+            part_size: 0,
+            ..ObjStoreConfig::default()
+        };
+        assert!(no_parts.validate(SimDuration::ZERO).is_err());
+        let no_gw = ObjStoreConfig {
+            num_gateways: 0,
+            ..ObjStoreConfig::default()
+        };
+        assert!(no_gw.validate(SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn bucket_overrides_select_placement() {
+        let cfg = ObjStoreConfig {
+            num_buckets: 4,
+            bucket_placements: vec![(1, Placement::Erasure { data: 2, parity: 1 })],
+            ..ObjStoreConfig::default()
+        };
+        assert!(cfg.validate(SimDuration::ZERO).is_ok());
+        // Key 5 → bucket 1 → erasure; key 4 → bucket 0 → default.
+        assert_eq!(
+            cfg.placement_for(FileId::new(5)),
+            Placement::Erasure { data: 2, parity: 1 }
+        );
+        assert_eq!(cfg.placement_for(FileId::new(4)), Placement::default());
+        // Out-of-range override is rejected.
+        let bad = ObjStoreConfig {
+            num_buckets: 2,
+            bucket_placements: vec![(7, Placement::Replicate(1))],
+            ..ObjStoreConfig::default()
+        };
+        assert!(bad.validate(SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn shard_costs_cover_all_verbs() {
+        use pioeval_pfs::ObjVerb::*;
+        let cfg = ShardConfig::default();
+        for v in [
+            CreateUpload,
+            PutPart,
+            GetRange,
+            Head,
+            CompleteUpload,
+            Delete,
+            List,
+        ] {
+            assert!(cfg.cost(v) > SimDuration::ZERO, "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! Protocol gateway nodes.
+//!
+//! A gateway is the object store's front door: it owns a *bounded* pool
+//! of request slots (`GatewayConfig::slots`). A request occupies its
+//! slot from admission until the last backend access acknowledges, so
+//! slot exhaustion — not fabric bandwidth — is the first thing
+//! concurrent clients contend on, and the resulting queue wait is
+//! echoed to clients and telemetry.
+//!
+//! Data verbs fan out to storage nodes ([`pioeval_pfs::oss::Oss`]
+//! entities) according to the bucket's [`crate::config::Placement`];
+//! metadata verbs forward to the key's hash-assigned
+//! [`crate::shard::MetaShard`]. Multipart manifests live here: the
+//! gateway sees every PutPart acknowledgment, commits the extent, and
+//! forwards the assembled size when the client completes the upload.
+
+use crate::config::{GatewayConfig, ObjStoreConfig};
+use crate::object::ExtentMap;
+use crate::placement::{self, read_targets, write_targets};
+use pioeval_des::{Ctx, Entity, EntityId, Envelope};
+use pioeval_pfs::msg::route;
+use pioeval_pfs::{IoRequest, ObjReply, ObjRequest, ObjVerb, PfsMsg, RequestId, ServerStats};
+use pioeval_types::{FileId, IoKind, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// One admitted request awaiting its backend fan-out.
+struct InFlight {
+    req: ObjRequest,
+    /// Backend acknowledgments still outstanding.
+    remaining: usize,
+    /// Time spent waiting for a slot.
+    queue_delay: SimDuration,
+    /// Size reported by the metadata shard (meta verbs).
+    size_result: u64,
+}
+
+/// Snapshot of one gateway's service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatewayStats {
+    /// Requests admitted.
+    pub requests: u64,
+    /// Bytes served by range GETs.
+    pub get_bytes: u64,
+    /// Bytes ingested by part uploads.
+    pub put_bytes: u64,
+    /// Total slot-queue wait across requests.
+    pub queue_wait: SimDuration,
+    /// Total protocol-processing (service) time.
+    pub busy: SimDuration,
+    /// High-water mark of the slot wait queue.
+    pub peak_queue_depth: usize,
+}
+
+impl GatewayStats {
+    /// Mean slot-queue wait per request.
+    pub fn mean_queue_wait(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            self.queue_wait / self.requests
+        }
+    }
+
+    /// Mean protocol service time per request.
+    pub fn mean_service_time(&self) -> SimDuration {
+        if self.requests == 0 {
+            SimDuration::ZERO
+        } else {
+            self.busy / self.requests
+        }
+    }
+}
+
+/// An object-store gateway entity.
+pub struct Gateway {
+    me: EntityId,
+    cfg: GatewayConfig,
+    store: ObjStoreConfig,
+    /// Fabric between the gateway and the storage/metadata nodes.
+    storage_fabric: EntityId,
+    /// Storage-node entities, indexed by node id.
+    node_route: Vec<EntityId>,
+    /// Metadata-shard entities, indexed by shard id.
+    shard_route: Vec<EntityId>,
+    /// Requests currently holding a slot.
+    active: usize,
+    /// Arrivals waiting for a slot, FIFO, with their arrival times.
+    waitq: VecDeque<(ObjRequest, SimTime)>,
+    inflight: HashMap<u64, InFlight>,
+    /// Backend request id → in-flight token.
+    backend_map: HashMap<RequestId, u64>,
+    next_token: u64,
+    next_backend_id: RequestId,
+    /// Open multipart uploads keyed by object.
+    uploads: HashMap<FileId, ExtentMap>,
+    /// Aggregate service statistics (single timeline lane).
+    pub stats: ServerStats,
+    /// Bytes served by range GETs.
+    pub get_bytes: u64,
+    /// Bytes ingested by part uploads.
+    pub put_bytes: u64,
+    /// High-water mark of the slot wait queue.
+    pub peak_queue_depth: usize,
+}
+
+impl Gateway {
+    /// A new gateway with routing tables into the storage tier.
+    pub fn new(
+        me: EntityId,
+        store: ObjStoreConfig,
+        storage_fabric: EntityId,
+        node_route: Vec<EntityId>,
+        shard_route: Vec<EntityId>,
+        stats_bin: SimDuration,
+    ) -> Self {
+        Gateway {
+            me,
+            cfg: store.gateway,
+            store,
+            storage_fabric,
+            node_route,
+            shard_route,
+            active: 0,
+            waitq: VecDeque::new(),
+            inflight: HashMap::new(),
+            backend_map: HashMap::new(),
+            next_token: 0,
+            next_backend_id: 0,
+            uploads: HashMap::new(),
+            stats: ServerStats::new(1, stats_bin),
+            get_bytes: 0,
+            put_bytes: 0,
+            peak_queue_depth: 0,
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            requests: self.stats.requests,
+            get_bytes: self.get_bytes,
+            put_bytes: self.put_bytes,
+            queue_wait: self.stats.queue_wait,
+            busy: self.stats.busy,
+            peak_queue_depth: self.peak_queue_depth,
+        }
+    }
+
+    /// Protocol-processing time for one request (fixed cost plus the
+    /// checksum/coding pipeline on data bytes).
+    fn service_time(&self, req: &ObjRequest) -> SimDuration {
+        let mut svc = self.cfg.per_op;
+        if req.verb.is_data() && req.len > 0 {
+            let ns = (req.len as u128 * 1_000_000_000u128).div_ceil(self.cfg.proc_bw as u128);
+            svc += SimDuration::from_nanos(ns as u64);
+        }
+        svc
+    }
+
+    fn fresh_backend_id(&mut self, token: u64) -> RequestId {
+        let id = self.next_backend_id;
+        self.next_backend_id += 1;
+        self.backend_map.insert(id, token);
+        id
+    }
+
+    /// Admit `req` into a slot and launch its backend fan-out.
+    fn start(&mut self, req: ObjRequest, queue_delay: SimDuration, ctx: &mut Ctx<'_, PfsMsg>) {
+        let now = ctx.now();
+        self.active += 1;
+        let svc = self.service_time(&req);
+        self.stats.requests += 1;
+        self.stats.queue_wait += queue_delay;
+        self.stats.busy += svc;
+        match req.verb {
+            ObjVerb::PutPart => {
+                self.put_bytes += req.len;
+                self.stats.bytes_written += req.len;
+                self.stats.timelines[0].record(now + svc, IoKind::Write, req.len);
+            }
+            ObjVerb::GetRange => {
+                self.get_bytes += req.len;
+                self.stats.bytes_read += req.len;
+                self.stats.timelines[0].record(now + svc, IoKind::Read, req.len);
+            }
+            _ => self.stats.timelines[0].record(now + svc, IoKind::Write, 1),
+        }
+        // Backend sends depart when protocol processing finishes.
+        let depart = svc.max(ctx.lookahead());
+
+        let token = self.next_token;
+        self.next_token += 1;
+
+        let backends: usize = match req.verb {
+            ObjVerb::PutPart | ObjVerb::GetRange => {
+                let placement = self.store.placement_for(req.key);
+                let targets = if req.verb == ObjVerb::PutPart {
+                    write_targets(
+                        req.key,
+                        req.part,
+                        req.offset,
+                        req.len,
+                        placement,
+                        self.store.num_storage as u32,
+                        self.store.devices_per_node as u32,
+                    )
+                } else {
+                    read_targets(
+                        req.key,
+                        req.part,
+                        req.offset,
+                        req.len,
+                        placement,
+                        self.store.num_storage as u32,
+                        self.store.devices_per_node as u32,
+                    )
+                };
+                let kind = if req.verb == ObjVerb::PutPart {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                };
+                let n = targets.len();
+                for t in targets {
+                    let io = IoRequest {
+                        id: self.fresh_backend_id(token),
+                        reply_to: self.me,
+                        reply_via: vec![self.storage_fabric],
+                        kind,
+                        file: req.key,
+                        ost: t.device,
+                        obj_offset: t.obj_offset,
+                        len: t.len,
+                    };
+                    let wire = io.wire_size();
+                    let (hop, msg) = route(
+                        &[self.storage_fabric],
+                        self.node_route[t.node as usize],
+                        wire,
+                        PfsMsg::Io(io),
+                    );
+                    ctx.send(hop, depart, msg);
+                }
+                n
+            }
+            _ => {
+                // Metadata verbs forward to the key's hash-assigned shard.
+                let shard =
+                    placement::mix(req.key.index() as u64) as usize % self.shard_route.len();
+                // CompleteUpload carries the assembled manifest size (or
+                // the client's own size hint, whichever is larger) in
+                // `offset` — the shard's size-hint convention.
+                let offset = if req.verb == ObjVerb::CompleteUpload {
+                    let manifest = self
+                        .uploads
+                        .remove(&req.key)
+                        .map(|m| m.assembled_size())
+                        .unwrap_or(0);
+                    manifest.max(req.offset)
+                } else {
+                    req.offset
+                };
+                let fwd = ObjRequest {
+                    id: self.fresh_backend_id(token),
+                    reply_to: self.me,
+                    reply_via: vec![self.storage_fabric],
+                    verb: req.verb,
+                    key: req.key,
+                    offset,
+                    len: 0,
+                    part: 0,
+                };
+                let wire = fwd.wire_size();
+                let (hop, msg) = route(
+                    &[self.storage_fabric],
+                    self.shard_route[shard],
+                    wire,
+                    PfsMsg::Obj(fwd),
+                );
+                ctx.send(hop, depart, msg);
+                1
+            }
+        };
+
+        self.inflight.insert(
+            token,
+            InFlight {
+                req,
+                remaining: backends,
+                queue_delay,
+                size_result: 0,
+            },
+        );
+    }
+
+    /// One backend acknowledgment arrived for `token`.
+    fn backend_done(&mut self, token: u64, ctx: &mut Ctx<'_, PfsMsg>) {
+        let fin = {
+            let inflight = self
+                .inflight
+                .get_mut(&token)
+                .expect("acknowledgment for unknown gateway token");
+            inflight.remaining -= 1;
+            inflight.remaining == 0
+        };
+        if !fin {
+            return;
+        }
+        let InFlight {
+            req,
+            queue_delay,
+            size_result,
+            ..
+        } = self.inflight.remove(&token).unwrap();
+
+        // The manifest extent commits when the part is durable backend-side.
+        if req.verb == ObjVerb::PutPart {
+            self.uploads
+                .entry(req.key)
+                .or_default()
+                .commit(req.part, req.offset, req.len);
+        }
+
+        let reply = ObjReply {
+            id: req.id,
+            verb: req.verb,
+            key: req.key,
+            len: req.len,
+            size: size_result,
+            queue_delay,
+        };
+        let wire = reply.wire_size();
+        let (hop, msg) = route(&req.reply_via, req.reply_to, wire, PfsMsg::ObjDone(reply));
+        ctx.send(hop, ctx.lookahead(), msg);
+
+        self.active -= 1;
+        if let Some((next, arrival)) = self.waitq.pop_front() {
+            let waited = ctx.now().since(arrival);
+            self.start(next, waited, ctx);
+        }
+    }
+
+    /// The manifest of an open upload, if any (inspection/tests).
+    pub fn upload(&self, key: FileId) -> Option<&ExtentMap> {
+        self.uploads.get(&key)
+    }
+}
+
+impl Entity<PfsMsg> for Gateway {
+    fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
+        match ev.msg {
+            PfsMsg::Obj(req) => {
+                if self.active < self.cfg.slots {
+                    self.start(req, SimDuration::ZERO, ctx);
+                } else {
+                    self.waitq.push_back((req, ctx.now()));
+                    self.peak_queue_depth = self.peak_queue_depth.max(self.waitq.len());
+                }
+            }
+            PfsMsg::IoDone(rep) => {
+                let token = self
+                    .backend_map
+                    .remove(&rep.id)
+                    .expect("IoDone for unknown backend id");
+                self.backend_done(token, ctx);
+            }
+            PfsMsg::ObjDone(rep) => {
+                let token = self
+                    .backend_map
+                    .remove(&rep.id)
+                    .expect("ObjDone for unknown backend id");
+                if let Some(inflight) = self.inflight.get_mut(&token) {
+                    inflight.size_result = rep.size;
+                }
+                self.backend_done(token, ctx);
+            }
+            other => panic!("gateway received unexpected message: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Placement;
+    use pioeval_des::{SimConfig, Simulation};
+    use pioeval_pfs::fabric::Fabric;
+    use pioeval_pfs::oss::Oss;
+    use pioeval_pfs::{DeviceConfig, FabricConfig};
+
+    struct Collector {
+        replies: Vec<(SimTime, ObjReply)>,
+    }
+    impl Entity<PfsMsg> for Collector {
+        fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
+            if let PfsMsg::ObjDone(rep) = ev.msg {
+                self.replies.push((ctx.now(), rep));
+            }
+        }
+    }
+
+    /// A tiny store: 1 gateway, 1 shard, `nodes` storage nodes, 1 device
+    /// each, direct client delivery.
+    fn setup(store: ObjStoreConfig) -> (Simulation<PfsMsg>, EntityId, EntityId) {
+        let mut sim = Simulation::new(SimConfig::default());
+        let fabric = sim.add_entity(
+            "storage-fabric",
+            Box::new(Fabric::new(FabricConfig::ten_gbe())),
+        );
+        let bin = SimDuration::from_secs(1);
+        let shard = sim.add_entity(
+            "shard0",
+            Box::new(crate::shard::MetaShard::new(store.shard, bin)),
+        );
+        let mut nodes = Vec::new();
+        for i in 0..store.num_storage {
+            let id = sim.add_entity(
+                format!("node{i}"),
+                Box::new(Oss::new(
+                    (i * store.devices_per_node) as u32,
+                    store.devices_per_node,
+                    DeviceConfig::nvme(),
+                    bin,
+                )),
+            );
+            nodes.push(id);
+        }
+        let gw_id = EntityId(sim.num_entities() as u32);
+        let gw = sim.add_entity(
+            "gw0",
+            Box::new(Gateway::new(gw_id, store, fabric, nodes, vec![shard], bin)),
+        );
+        assert_eq!(gw, gw_id);
+        let client = sim.add_entity("client", Box::new(Collector { replies: vec![] }));
+        (sim, gw, client)
+    }
+
+    fn obj(
+        id: u64,
+        client: EntityId,
+        verb: ObjVerb,
+        key: u32,
+        offset: u64,
+        len: u64,
+        part: u32,
+    ) -> PfsMsg {
+        PfsMsg::Obj(ObjRequest {
+            id,
+            reply_to: client,
+            reply_via: vec![],
+            verb,
+            key: FileId::new(key),
+            offset,
+            len,
+            part,
+        })
+    }
+
+    #[test]
+    fn multipart_put_complete_reports_assembled_size() {
+        let store = ObjStoreConfig {
+            num_storage: 3,
+            devices_per_node: 1,
+            placement: Placement::Replicate(2),
+            ..ObjStoreConfig::default()
+        };
+        let (mut sim, gw, client) = setup(store);
+        sim.schedule(
+            SimTime::ZERO,
+            gw,
+            obj(1, client, ObjVerb::CreateUpload, 5, 0, 0, 0),
+        );
+        // Parts land out of order.
+        sim.schedule(
+            SimTime::from_millis(1),
+            gw,
+            obj(2, client, ObjVerb::PutPart, 5, 1 << 20, 1 << 20, 1),
+        );
+        sim.schedule(
+            SimTime::from_millis(1),
+            gw,
+            obj(3, client, ObjVerb::PutPart, 5, 0, 1 << 20, 0),
+        );
+        sim.run();
+        assert!(sim
+            .entity_ref::<Gateway>(gw)
+            .unwrap()
+            .upload(FileId::new(5))
+            .unwrap()
+            .is_contiguous());
+        sim.schedule(
+            sim_time_after(&sim),
+            gw,
+            obj(4, client, ObjVerb::CompleteUpload, 5, 0, 0, 0),
+        );
+        sim.schedule(
+            sim_time_after(&sim) + SimDuration::from_millis(1),
+            gw,
+            obj(5, client, ObjVerb::Head, 5, 0, 0, 0),
+        );
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        let complete = replies.iter().find(|(_, r)| r.id == 4).unwrap();
+        let head = replies.iter().find(|(_, r)| r.id == 5).unwrap();
+        assert_eq!(complete.1.size, 2 << 20);
+        assert_eq!(head.1.size, 2 << 20);
+        let g = sim.entity_ref::<Gateway>(gw).unwrap();
+        assert_eq!(g.put_bytes, 2 << 20);
+        assert!(g.upload(FileId::new(5)).is_none());
+    }
+
+    #[test]
+    fn replication_multiplies_backend_writes() {
+        let store = ObjStoreConfig {
+            num_storage: 4,
+            devices_per_node: 1,
+            placement: Placement::Replicate(3),
+            ..ObjStoreConfig::default()
+        };
+        let (mut sim, gw, client) = setup(store);
+        sim.schedule(
+            SimTime::ZERO,
+            gw,
+            obj(1, client, ObjVerb::PutPart, 9, 0, 3_000_000, 0),
+        );
+        sim.run();
+        // 3 MB written to each of 3 replicas.
+        let written: u64 = (0..4)
+            .filter_map(|i| {
+                // Entities: fabric=0, shard=1, nodes=2..6, gw, client.
+                sim.entity_mut::<Oss>(EntityId(2 + i)).map(|oss| {
+                    oss.finalize_stats();
+                    oss.stats.bytes_written
+                })
+            })
+            .sum();
+        assert_eq!(written, 9_000_000);
+    }
+
+    #[test]
+    fn bounded_slots_queue_and_report_wait() {
+        let store = ObjStoreConfig {
+            num_storage: 2,
+            devices_per_node: 1,
+            placement: Placement::Replicate(1),
+            gateway: GatewayConfig {
+                slots: 1,
+                ..GatewayConfig::default()
+            },
+            ..ObjStoreConfig::default()
+        };
+        let (mut sim, gw, client) = setup(store);
+        for i in 0..4u64 {
+            sim.schedule(
+                SimTime::ZERO,
+                gw,
+                obj(i, client, ObjVerb::GetRange, 1, i * 4096, 4096, 0),
+            );
+        }
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        assert_eq!(replies.len(), 4);
+        // With one slot the later requests report growing queue waits.
+        let mut waits: Vec<SimDuration> = replies.iter().map(|(_, r)| r.queue_delay).collect();
+        waits.sort();
+        assert_eq!(waits[0], SimDuration::ZERO);
+        assert!(waits[3] > waits[1]);
+        let g = sim.entity_ref::<Gateway>(gw).unwrap();
+        assert_eq!(g.peak_queue_depth, 3);
+        assert_eq!(g.get_bytes, 4 * 4096);
+    }
+
+    /// Next free instant strictly after everything processed so far.
+    fn sim_time_after(sim: &Simulation<PfsMsg>) -> SimTime {
+        sim.now() + SimDuration::from_millis(1)
+    }
+}

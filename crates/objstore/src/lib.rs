@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+//! # pioeval-objstore
+//!
+//! A discrete-event S3-like object store — the "emerging workloads"
+//! storage path the paper argues evaluation frameworks must cover next
+//! to the classic POSIX→PFS stack. The store is built from:
+//!
+//! * **Gateway nodes** ([`gateway::Gateway`]) with *bounded* request
+//!   queues: at most `slots` requests are in service concurrently;
+//!   later arrivals wait FIFO, and the queue wait is reported back to
+//!   clients and to telemetry.
+//! * A **flat-namespace metadata KV** ([`shard::MetaShard`]) — no
+//!   directory tree; object records are hash-partitioned across shards
+//!   by key.
+//! * **PUT/GET/DELETE/LIST** with **multipart upload** and **range
+//!   GET** ([`pioeval_pfs::msg::ObjVerb`]); multipart manifests are
+//!   reassembled with an order-independent extent map
+//!   ([`object::ExtentMap`]).
+//! * **Per-bucket placement** ([`config::Placement`]): N-way
+//!   replication or striped erasure coding across storage nodes.
+//!
+//! The storage nodes themselves are `pioeval-pfs` [`pioeval_pfs::oss::Oss`]
+//! entities and all traffic crosses the same `pioeval-pfs` fabric
+//! entities, so the two backends share hardware assumptions — only the
+//! protocol and data path differ.
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod gateway;
+pub mod object;
+pub mod placement;
+pub mod shard;
+
+pub use client::ObjClientPort;
+pub use cluster::{ObjCluster, ObjHandles};
+pub use config::{GatewayConfig, ObjStoreConfig, Placement, ShardConfig};
+pub use gateway::{Gateway, GatewayStats};
+pub use object::ExtentMap;
+pub use shard::MetaShard;

@@ -1,0 +1,112 @@
+//! Multipart-upload manifests.
+//!
+//! Parts of one upload complete in whatever order the backend finishes
+//! them; the manifest must reassemble to the same object regardless.
+//! [`ExtentMap`] keeps committed extents keyed by part number in a
+//! `BTreeMap`, so iteration (and therefore the fingerprint and the
+//! assembled size) depends only on *which* parts committed, never on
+//! the order they arrived in.
+
+use std::collections::BTreeMap;
+
+/// One committed part: its byte range within the object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// Object-relative byte offset of the part.
+    pub offset: u64,
+    /// Bytes in the part.
+    pub len: u64,
+}
+
+/// Order-independent manifest of a multipart upload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtentMap {
+    parts: BTreeMap<u32, Extent>,
+}
+
+impl ExtentMap {
+    /// Empty manifest.
+    pub fn new() -> Self {
+        ExtentMap::default()
+    }
+
+    /// Commit (or re-commit, last-writer-wins) a part.
+    pub fn commit(&mut self, part: u32, offset: u64, len: u64) {
+        self.parts.insert(part, Extent { offset, len });
+    }
+
+    /// Number of committed parts.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Object size implied by the manifest: the furthest committed byte.
+    pub fn assembled_size(&self) -> u64 {
+        self.parts
+            .values()
+            .map(|e| e.offset + e.len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the committed extents tile `[0, assembled_size())` with
+    /// no gap and no overlap — i.e. CompleteUpload would yield a fully
+    /// materialized object.
+    pub fn is_contiguous(&self) -> bool {
+        let mut next = 0u64;
+        for e in self.parts.values() {
+            if e.offset != next {
+                return false;
+            }
+            next = e.offset + e.len;
+        }
+        true
+    }
+
+    /// Deterministic digest of the manifest, folded in part order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = 0xcbf2_9ce4_8422_2325u64;
+        for (&part, e) in &self.parts {
+            for v in [part as u64, e.offset, e.len] {
+                fp = (fp ^ v).wrapping_mul(0x1000_0000_01B3);
+            }
+        }
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembly_is_order_independent() {
+        let mut forward = ExtentMap::new();
+        let mut backward = ExtentMap::new();
+        for p in 0..8u32 {
+            forward.commit(p, p as u64 * 100, 100);
+        }
+        for p in (0..8u32).rev() {
+            backward.commit(p, p as u64 * 100, 100);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.fingerprint(), backward.fingerprint());
+        assert_eq!(forward.assembled_size(), 800);
+        assert!(forward.is_contiguous());
+    }
+
+    #[test]
+    fn gaps_and_recommits_are_detected() {
+        let mut m = ExtentMap::new();
+        m.commit(0, 0, 100);
+        m.commit(2, 200, 50);
+        assert!(!m.is_contiguous());
+        assert_eq!(m.assembled_size(), 250);
+        m.commit(1, 100, 100);
+        assert!(m.is_contiguous());
+        // Last-writer-wins on re-commit.
+        m.commit(2, 200, 64);
+        assert_eq!(m.num_parts(), 3);
+        assert_eq!(m.assembled_size(), 264);
+    }
+}

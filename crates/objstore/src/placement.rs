@@ -1,0 +1,202 @@
+//! Deterministic data placement.
+//!
+//! Placement is a *pure function* of (key, part, policy, cluster
+//! shape) — consistent-hashing style, with no placement state to
+//! round-trip through the metadata shards. Every replica / erasure
+//! shard of a part lands on a distinct storage node, and consecutive
+//! parts of one object rotate around the ring so large objects spread
+//! across the cluster.
+
+use crate::config::Placement;
+use pioeval_types::{FileId, OstId};
+
+/// One backend access a part expands to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Target {
+    /// Storage node index.
+    pub node: u32,
+    /// Global device id (`node * devices_per_node + local device`).
+    pub device: OstId,
+    /// Offset within the backing object on that device.
+    pub obj_offset: u64,
+    /// Bytes of this shard.
+    pub len: u64,
+}
+
+/// splitmix64-style avalanche, the workspace's standard cheap mixer.
+pub(crate) fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The ring start node for `key` — all placements of an object derive
+/// from this anchor.
+fn anchor(key: FileId, num_storage: u32) -> u64 {
+    mix(key.index() as u64) % num_storage as u64
+}
+
+/// The device (global id) shard `i` of (`key`, `part`) uses on `node`.
+fn device_on(node: u32, key: FileId, part: u32, devices_per_node: u32) -> OstId {
+    let d = mix(((key.index() as u64) << 32) ^ part as u64) % devices_per_node as u64;
+    OstId::new(node * devices_per_node + d as u32)
+}
+
+/// Expand a part *write* into its backend accesses under `placement`.
+///
+/// `offset`/`len` are the part's byte range within the object; the
+/// returned `obj_offset`s address the per-device backing objects
+/// (replicas keep object offsets, erasure shards use `offset / data`).
+pub fn write_targets(
+    key: FileId,
+    part: u32,
+    offset: u64,
+    len: u64,
+    placement: Placement,
+    num_storage: u32,
+    devices_per_node: u32,
+) -> Vec<Target> {
+    let start = anchor(key, num_storage);
+    match placement {
+        Placement::Replicate(n) => (0..n)
+            .map(|r| {
+                let node = ((start + part as u64 + r as u64) % num_storage as u64) as u32;
+                Target {
+                    node,
+                    device: device_on(node, key, part, devices_per_node),
+                    obj_offset: offset,
+                    len,
+                }
+            })
+            .collect(),
+        Placement::Erasure { data, parity } => {
+            let shard_len = len.div_ceil(data as u64).max(1);
+            (0..data + parity)
+                .map(|i| {
+                    let node = ((start + part as u64 + i as u64) % num_storage as u64) as u32;
+                    Target {
+                        node,
+                        device: device_on(node, key, part, devices_per_node),
+                        obj_offset: offset / data as u64,
+                        len: shard_len,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Expand a part *read* (healthy path): one deterministically chosen
+/// replica, or the `data` shards of an erasure-coded part.
+pub fn read_targets(
+    key: FileId,
+    part: u32,
+    offset: u64,
+    len: u64,
+    placement: Placement,
+    num_storage: u32,
+    devices_per_node: u32,
+) -> Vec<Target> {
+    let start = anchor(key, num_storage);
+    match placement {
+        Placement::Replicate(n) => {
+            // Spread read load across replicas by part (deterministic).
+            let r = mix(((key.index() as u64) << 24) ^ part as u64) % n.max(1) as u64;
+            let node = ((start + part as u64 + r) % num_storage as u64) as u32;
+            vec![Target {
+                node,
+                device: device_on(node, key, part, devices_per_node),
+                obj_offset: offset,
+                len,
+            }]
+        }
+        Placement::Erasure { data, .. } => {
+            let shard_len = len.div_ceil(data as u64).max(1);
+            (0..data)
+                .map(|i| {
+                    let node = ((start + part as u64 + i as u64) % num_storage as u64) as u32;
+                    Target {
+                        node,
+                        device: device_on(node, key, part, devices_per_node),
+                        obj_offset: offset / data as u64,
+                        len: shard_len,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_land_on_distinct_nodes() {
+        for key in 0..50u32 {
+            for part in 0..8 {
+                let t = write_targets(
+                    FileId::new(key),
+                    part,
+                    part as u64 * 1024,
+                    1024,
+                    Placement::Replicate(3),
+                    5,
+                    2,
+                );
+                assert_eq!(t.len(), 3);
+                let mut nodes: Vec<u32> = t.iter().map(|x| x.node).collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                assert_eq!(nodes.len(), 3, "key {key} part {part}");
+            }
+        }
+    }
+
+    #[test]
+    fn erasure_stripes_and_shrinks_shards() {
+        let t = write_targets(
+            FileId::new(9),
+            0,
+            0,
+            1 << 20,
+            Placement::Erasure { data: 4, parity: 2 },
+            8,
+            1,
+        );
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().all(|x| x.len == (1 << 20) / 4));
+        let r = read_targets(
+            FileId::new(9),
+            0,
+            0,
+            1 << 20,
+            Placement::Erasure { data: 4, parity: 2 },
+            8,
+            1,
+        );
+        // Healthy-path reads touch data shards only.
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[..4], t[..4]);
+    }
+
+    #[test]
+    fn replicated_reads_pick_one_written_replica() {
+        for key in 0..100u32 {
+            let w = write_targets(FileId::new(key), 3, 0, 4096, Placement::Replicate(3), 7, 2);
+            let r = read_targets(FileId::new(key), 3, 0, 4096, Placement::Replicate(3), 7, 2);
+            assert_eq!(r.len(), 1);
+            assert!(w.contains(&r[0]), "read replica not among written ones");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_part_rotating() {
+        let a = write_targets(FileId::new(1), 0, 0, 10, Placement::Replicate(1), 4, 1);
+        let b = write_targets(FileId::new(1), 0, 0, 10, Placement::Replicate(1), 4, 1);
+        assert_eq!(a, b);
+        let next = write_targets(FileId::new(1), 1, 10, 10, Placement::Replicate(1), 4, 1);
+        assert_eq!(next[0].node, (a[0].node + 1) % 4);
+    }
+}

@@ -96,13 +96,29 @@ pub fn run_summary(snap: &Snapshot) -> RunSummary {
     }
 }
 
-/// The always-printed one-line run summary.
+/// The always-printed one-line run summary. Runs that moved bytes
+/// through object-store gateways append PUT/GET totals; PFS-only runs
+/// keep the original four fields.
 pub fn summary_line(reg: &Registry) -> String {
-    let s = run_summary(&reg.snapshot());
-    format!(
+    let snap = reg.snapshot();
+    let s = run_summary(&snap);
+    let mut line = format!(
         "telemetry: wall {:.1} ms | {} events | {:.0} events/s | queue hwm {}",
         s.wall_ms, s.events_processed, s.events_per_sec, s.queue_hwm
-    )
+    );
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let put = counter(names::OBJ_PUT_BYTES);
+    let get = counter(names::OBJ_GET_BYTES);
+    if put > 0 || get > 0 {
+        line.push_str(&format!(" | obj put {put} B / get {get} B"));
+    }
+    line
 }
 
 /// Flat metrics JSON: headline keys at the top level plus every
@@ -393,6 +409,18 @@ mod tests {
         assert!((s.wall_ms - 2.0).abs() < 1e-9);
         assert!((s.events_per_sec - 500_000.0).abs() < 1.0);
         assert!(summary_line(&r).contains("1000 events"));
+    }
+
+    #[test]
+    fn summary_line_appends_object_bytes_only_when_present() {
+        // PFS-only runs keep the original format.
+        let r = loaded_registry();
+        assert!(!summary_line(&r).contains("obj"));
+        // Gateway byte counters extend the line.
+        r.counter(names::OBJ_PUT_BYTES).add(4096);
+        r.counter(names::OBJ_GET_BYTES).add(1024);
+        let line = summary_line(&r);
+        assert!(line.contains("obj put 4096 B / get 1024 B"), "{line}");
     }
 
     #[test]

@@ -59,6 +59,26 @@ pub const PFS_OSS_PEAK_BIN_BYTES: &str = "pfs.oss.peak_bin_bytes";
 /// Span: one PFS cluster simulation run.
 pub const SPAN_PFS_RUN: &str = "pfs.cluster.run";
 
+/// Counter: object-store cluster simulations completed.
+pub const OBJ_RUNS: &str = "obj.runs";
+/// Counter: requests admitted across all gateways.
+pub const OBJ_GATEWAY_REQUESTS: &str = "obj.gateway.requests";
+/// Counter: bytes served by range GETs across all gateways.
+pub const OBJ_GET_BYTES: &str = "obj.get_bytes";
+/// Counter: bytes ingested by part uploads across all gateways.
+pub const OBJ_PUT_BYTES: &str = "obj.put_bytes";
+/// Histogram: per-gateway mean slot-queue wait (µs) at finalize — the
+/// bounded-queue congestion signal for the object path.
+pub const OBJ_GATEWAY_QUEUE_WAIT_US: &str = "obj.gateway.queue_wait_us";
+/// Histogram: per-gateway mean protocol service time (µs) at finalize.
+pub const OBJ_GATEWAY_SERVICE_US: &str = "obj.gateway.service_us";
+/// Gauge: deepest slot wait queue any gateway saw.
+pub const OBJ_GATEWAY_QUEUE_PEAK: &str = "obj.gateway.queue_peak";
+/// Counter: requests served across all metadata shards.
+pub const OBJ_SHARD_REQUESTS: &str = "obj.shard.requests";
+/// Span: one object-store cluster simulation run.
+pub const SPAN_OBJ_RUN: &str = "obj.cluster.run";
+
 /// Counter: ranks launched onto clusters.
 pub const IOSTACK_RANKS: &str = "iostack.ranks_launched";
 /// Counter: plan actions produced by program compilation.

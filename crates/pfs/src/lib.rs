@@ -38,6 +38,9 @@ pub use cluster::{Cluster, ClusterHandles};
 pub use config::{ClusterConfig, DeviceConfig, FabricConfig, LayoutPolicy, MdsConfig};
 pub use fabric::FabricStats;
 pub use ionode::BurstBufferStats;
-pub use msg::{IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, PfsMsg, RequestId};
+pub use msg::{
+    IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, ObjReply, ObjRequest, ObjVerb, PfsMsg,
+    RequestId,
+};
 pub use stats::{OstTimeline, ServerStats};
 pub use striping::{Layout, StripeChunk};

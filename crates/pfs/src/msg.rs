@@ -113,6 +113,96 @@ pub struct MetaReply {
     pub queue_delay: SimDuration,
 }
 
+/// One verb of the S3-like object protocol spoken between compute
+/// clients and `pioeval-objstore` gateway nodes. The protocol lives in
+/// this crate (next to the PFS verbs) because every entity in a storage
+/// simulation shares one message type; the entities that *serve* these
+/// verbs live in `pioeval-objstore`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjVerb {
+    /// Begin a multipart upload (allocates the object record).
+    CreateUpload,
+    /// Upload one part of a multipart upload.
+    PutPart,
+    /// Read a byte range of an object (range GET).
+    GetRange,
+    /// Fetch object attributes (HEAD).
+    Head,
+    /// Commit a multipart upload (reassembles parts into the object).
+    CompleteUpload,
+    /// Remove an object (DELETE).
+    Delete,
+    /// List keys in a bucket (LIST; flat namespace, per-call cost).
+    List,
+}
+
+impl ObjVerb {
+    /// True for the verbs that move object payload bytes.
+    pub fn is_data(self) -> bool {
+        matches!(self, ObjVerb::PutPart | ObjVerb::GetRange)
+    }
+}
+
+/// An object-protocol request from a client to a gateway node.
+#[derive(Clone, Debug)]
+pub struct ObjRequest {
+    /// Requester-unique id echoed in the reply.
+    pub id: RequestId,
+    /// Entity to deliver the reply to.
+    pub reply_to: EntityId,
+    /// Fabric chain the reply traverses (outermost hop first).
+    pub reply_via: Vec<EntityId>,
+    /// The protocol verb.
+    pub verb: ObjVerb,
+    /// Object key (flat namespace — no directory tree).
+    pub key: FileId,
+    /// Byte offset within the object (range GET / part placement).
+    pub offset: u64,
+    /// Transfer length in bytes (zero for pure metadata verbs).
+    pub len: u64,
+    /// Part number for `PutPart` (offset / part size).
+    pub part: u32,
+}
+
+impl ObjRequest {
+    /// Bytes this request occupies on the wire (header + payload for
+    /// part uploads; header only otherwise).
+    pub fn wire_size(&self) -> u64 {
+        match self.verb {
+            ObjVerb::PutPart => HEADER_BYTES + self.len,
+            _ => HEADER_BYTES,
+        }
+    }
+}
+
+/// Completion of an [`ObjRequest`].
+#[derive(Clone, Debug)]
+pub struct ObjReply {
+    /// Echoed request id.
+    pub id: RequestId,
+    /// Echoed verb.
+    pub verb: ObjVerb,
+    /// Echoed key.
+    pub key: FileId,
+    /// Echoed transfer length.
+    pub len: u64,
+    /// Object size as known by the metadata shard (HEAD / complete).
+    pub size: u64,
+    /// Time the request waited in the gateway's bounded queue.
+    pub queue_delay: SimDuration,
+}
+
+impl ObjReply {
+    /// Bytes this reply occupies on the wire (header + payload for
+    /// range GETs).
+    pub fn wire_size(&self) -> u64 {
+        match self.verb {
+            ObjVerb::GetRange => HEADER_BYTES + self.len,
+            _ => HEADER_BYTES,
+        }
+    }
+}
+
 /// A message in transit through a fabric: deliver `payload` to `dst`,
 /// charging `size` bytes of serialization.
 #[derive(Clone, Debug)]
@@ -138,6 +228,10 @@ pub enum PfsMsg {
     Meta(MetaRequest),
     /// To a requester: metadata completion.
     MetaDone(MetaReply),
+    /// To an object-store gateway: an object-protocol request.
+    Obj(ObjRequest),
+    /// To a requester: object-protocol completion.
+    ObjDone(ObjReply),
     /// Server-internal: a device finished the access identified by `token`.
     DeviceDone {
         /// Correlation token chosen by the server.
@@ -213,6 +307,39 @@ mod tests {
         assert_eq!(rep.wire_size(), HEADER_BYTES + 4096);
         rep.kind = IoKind::Write;
         assert_eq!(rep.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn obj_wire_sizes_follow_payload_direction() {
+        let mut req = ObjRequest {
+            id: 1,
+            reply_to: EntityId(0),
+            reply_via: vec![],
+            verb: ObjVerb::PutPart,
+            key: FileId::new(0),
+            offset: 0,
+            len: 8192,
+            part: 0,
+        };
+        assert_eq!(req.wire_size(), HEADER_BYTES + 8192);
+        req.verb = ObjVerb::GetRange;
+        assert_eq!(req.wire_size(), HEADER_BYTES);
+        req.verb = ObjVerb::Head;
+        assert_eq!(req.wire_size(), HEADER_BYTES);
+
+        let mut rep = ObjReply {
+            id: 1,
+            verb: ObjVerb::GetRange,
+            key: FileId::new(0),
+            len: 8192,
+            size: 0,
+            queue_delay: SimDuration::ZERO,
+        };
+        assert_eq!(rep.wire_size(), HEADER_BYTES + 8192);
+        rep.verb = ObjVerb::PutPart;
+        assert_eq!(rep.wire_size(), HEADER_BYTES);
+        assert!(ObjVerb::PutPart.is_data() && ObjVerb::GetRange.is_data());
+        assert!(!ObjVerb::List.is_data());
     }
 
     #[test]

@@ -260,25 +260,284 @@ pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
 /// the message), so the returned workload always expands cleanly.
 pub fn parse_dsl(src: &str, base_file: u32) -> Result<DslWorkload> {
     let w = parse_dsl_ast(src, base_file)?;
+    check_files(&w.body, &w.files)?;
+    Ok(w)
+}
 
-    fn check(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> {
-        for s in stmts {
-            match &s.kind {
-                StmtKind::Meta(_, f) | StmtKind::Data { file: f, .. } if !files.contains_key(f) => {
+fn check_files(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Meta(_, f) | StmtKind::Data { file: f, .. } if !files.contains_key(f) => {
+                return Err(Error::Parse(format!(
+                    "line {}: undeclared file `{f}`",
+                    s.line
+                )));
+            }
+            StmtKind::Repeat(_, inner) => check_files(inner, files)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// One `job` line inside a `campaign` block.
+#[derive(Clone, Debug)]
+pub struct JobDecl {
+    /// Name of the `workload` block this job runs.
+    pub workload: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Submit-time offset from campaign start.
+    pub start: SimDuration,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `campaign … end` block: jobs to run concurrently on one shared
+/// storage system (interference study).
+#[derive(Clone, Debug)]
+pub struct CampaignDecl {
+    /// Declared jobs, in order.
+    pub jobs: Vec<JobDecl>,
+    /// 1-based source line of the `campaign` keyword.
+    pub line: u32,
+}
+
+/// A parsed DSL *program*: named `workload` blocks, an optional
+/// `campaign` block scheduling them, and the top-level (main) workload
+/// formed by any statements outside all blocks.
+///
+/// A plain workload description (no blocks) parses to a program with
+/// just `main` — [`parse_program`] is a superset of [`parse_dsl`].
+#[derive(Clone, Debug)]
+pub struct DslProgram {
+    /// Named workload blocks, in declaration order. Each gets a
+    /// disjoint file-id range (`base_file + (i + 1) * 10_000`).
+    pub workloads: Vec<(String, DslWorkload)>,
+    /// The `campaign` block, if any.
+    pub campaign: Option<CampaignDecl>,
+    /// Statements outside all blocks (base file id `base_file`).
+    pub main: Option<DslWorkload>,
+}
+
+impl DslProgram {
+    /// Look up a workload block by name.
+    pub fn workload(&self, name: &str) -> Option<&DslWorkload> {
+        self.workloads
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w)
+    }
+}
+
+/// Parse a DSL program into its AST, checking syntax only.
+///
+/// Like [`parse_dsl_ast`], undeclared files and unknown workload
+/// references survive parsing so static analysis (`pioeval-lint`,
+/// codes `PIO010`/`PIO044`/`PIO045`) can report them with source
+/// spans. [`parse_program`] adds those checks.
+pub fn parse_program_ast(src: &str, base_file: u32) -> Result<DslProgram> {
+    /// Who owns a source line: the main body, one workload block, or a
+    /// block-structure line (keyword/`end`/campaign interior) that no
+    /// sub-parse should see.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Owner {
+        Main,
+        Workload(usize),
+        Marker,
+    }
+    let lines: Vec<&str> = src.lines().collect();
+    let strip = |l: &str| l.split('#').next().unwrap_or("").trim().to_string();
+    let mut owner = vec![Owner::Main; lines.len()];
+    let mut names: Vec<String> = Vec::new();
+    let mut campaign: Option<CampaignDecl> = None;
+
+    let mut i = 0;
+    while i < lines.len() {
+        let line_no = (i + 1) as u32;
+        let stripped = strip(lines[i]);
+        let toks: Vec<&str> = stripped.split_whitespace().collect();
+        match toks.first().copied() {
+            Some("workload") => {
+                if toks.len() != 2 {
                     return Err(Error::Parse(format!(
-                        "line {}: undeclared file `{f}`",
-                        s.line
+                        "line {line_no}: usage: workload <name>"
                     )));
                 }
-                StmtKind::Repeat(_, inner) => check(inner, files)?,
-                _ => {}
+                if names.iter().any(|n| n == toks[1]) {
+                    return Err(Error::Parse(format!(
+                        "line {line_no}: duplicate workload `{}`",
+                        toks[1]
+                    )));
+                }
+                let wi = names.len();
+                names.push(toks[1].to_string());
+                owner[i] = Owner::Marker;
+                // Scan to the matching `end`, tracking `repeat` nesting.
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                while j < lines.len() {
+                    let t = strip(lines[j]);
+                    match t.split_whitespace().next() {
+                        Some("repeat") => depth += 1,
+                        Some("end") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some("workload") | Some("campaign") => {
+                            return Err(Error::Parse(format!(
+                                "line {}: blocks cannot nest inside `workload`",
+                                j + 1
+                            )));
+                        }
+                        _ => {}
+                    }
+                    owner[j] = Owner::Workload(wi);
+                    j += 1;
+                }
+                if depth != 0 {
+                    return Err(Error::Parse(format!(
+                        "line {line_no}: unclosed `workload` block"
+                    )));
+                }
+                owner[j] = Owner::Marker;
+                i = j + 1;
+            }
+            Some("campaign") => {
+                if campaign.is_some() {
+                    return Err(Error::Parse(format!(
+                        "line {line_no}: duplicate `campaign` block"
+                    )));
+                }
+                if toks.len() != 1 {
+                    return Err(Error::Parse(format!("line {line_no}: usage: campaign")));
+                }
+                owner[i] = Owner::Marker;
+                let mut jobs = Vec::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < lines.len() {
+                    let jline_no = (j + 1) as u32;
+                    owner[j] = Owner::Marker;
+                    let t = strip(lines[j]);
+                    if t.is_empty() {
+                        j += 1;
+                        continue;
+                    }
+                    let jt: Vec<&str> = t.split_whitespace().collect();
+                    match jt[0] {
+                        "end" => {
+                            closed = true;
+                            break;
+                        }
+                        "job" => {
+                            let usage = || {
+                                Error::Parse(format!(
+                                    "line {jline_no}: usage: job <workload> ranks <n> [start <duration>]"
+                                ))
+                            };
+                            if jt.len() < 4 || jt[2] != "ranks" {
+                                return Err(usage());
+                            }
+                            let ranks: u32 = jt[3].parse().map_err(|_| usage())?;
+                            let start = if jt.len() > 4 {
+                                if jt.len() != 6 || jt[4] != "start" {
+                                    return Err(usage());
+                                }
+                                parse_duration(jt[5]).ok_or_else(|| {
+                                    Error::Parse(format!("line {jline_no}: bad duration"))
+                                })?
+                            } else {
+                                SimDuration::ZERO
+                            };
+                            jobs.push(JobDecl {
+                                workload: jt[1].to_string(),
+                                ranks,
+                                start,
+                                line: jline_no,
+                            });
+                        }
+                        other => {
+                            return Err(Error::Parse(format!(
+                                "line {jline_no}: unknown campaign statement `{other}`"
+                            )));
+                        }
+                    }
+                    j += 1;
+                }
+                if !closed {
+                    return Err(Error::Parse(format!(
+                        "line {line_no}: unclosed `campaign` block"
+                    )));
+                }
+                campaign = Some(CampaignDecl {
+                    jobs,
+                    line: line_no,
+                });
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Re-parse each region through the workload parser, blanking every
+    // line the region does not own so source line numbers survive.
+    let mask = |keep: &dyn Fn(usize) -> bool| -> String {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(k, l)| if keep(k) { *l } else { "" })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let mut workloads = Vec::new();
+    for (wi, name) in names.iter().enumerate() {
+        let body = mask(&|k| owner[k] == Owner::Workload(wi));
+        let base = base_file + ((wi + 1) as u32) * 10_000;
+        workloads.push((name.clone(), parse_dsl_ast(&body, base)?));
+    }
+    let main_w = parse_dsl_ast(&mask(&|k| owner[k] == Owner::Main), base_file)?;
+    let main = if main_w.body.is_empty() && main_w.files.is_empty() {
+        None
+    } else {
+        Some(main_w)
+    };
+    Ok(DslProgram {
+        workloads,
+        campaign,
+        main,
+    })
+}
+
+/// Parse a DSL program, rejecting undeclared files in every block and
+/// campaign jobs that name unknown workloads or zero ranks.
+pub fn parse_program(src: &str, base_file: u32) -> Result<DslProgram> {
+    let p = parse_program_ast(src, base_file)?;
+    for (_, w) in &p.workloads {
+        check_files(&w.body, &w.files)?;
+    }
+    if let Some(main) = &p.main {
+        check_files(&main.body, &main.files)?;
+    }
+    if let Some(c) = &p.campaign {
+        for job in &c.jobs {
+            if p.workload(&job.workload).is_none() {
+                return Err(Error::Parse(format!(
+                    "line {}: job references unknown workload `{}`",
+                    job.line, job.workload
+                )));
+            }
+            if job.ranks == 0 {
+                return Err(Error::Parse(format!(
+                    "line {}: job must have at least one rank",
+                    job.line
+                )));
             }
         }
-        Ok(())
     }
-    check(&w.body, &w.files)?;
-
-    Ok(w)
+    Ok(p)
 }
 
 fn parse_size(s: &str) -> Option<u64> {
@@ -565,6 +824,145 @@ mod tests {
             .find(|s| matches!(s.kind, StmtKind::Repeat(..)))
             .unwrap();
         assert_eq!(repeat.line, 7);
+    }
+
+    const CAMPAIGN: &str = "
+        workload writer
+          file ckpt perrank
+          create ckpt
+          repeat 2
+            write ckpt 1m x4
+          end
+          close ckpt
+        end
+
+        workload reader
+          file train shared lane 8m
+          open train
+          read train 128k x16 random
+          close train
+        end
+
+        campaign
+          job writer ranks 4
+          job reader ranks 2 start 50ms
+        end
+    ";
+
+    #[test]
+    fn program_parses_workloads_and_campaign() {
+        let p = parse_program(CAMPAIGN, 100).unwrap();
+        assert_eq!(p.workloads.len(), 2);
+        assert!(p.main.is_none());
+        let c = p.campaign.as_ref().unwrap();
+        assert_eq!(c.jobs.len(), 2);
+        assert_eq!(c.jobs[0].workload, "writer");
+        assert_eq!(c.jobs[0].ranks, 4);
+        assert_eq!(c.jobs[0].start, SimDuration::ZERO);
+        assert_eq!(c.jobs[1].start, SimDuration::from_millis(50));
+        // Each workload expands independently.
+        let writer = p.workload("writer").unwrap();
+        assert_eq!(writer.programs(4, 1).len(), 4);
+        let reader = p.workload("reader").unwrap();
+        assert_eq!(reader.programs(2, 1).len(), 2);
+    }
+
+    #[test]
+    fn program_workloads_get_disjoint_file_ranges() {
+        let p = parse_program(CAMPAIGN, 100).unwrap();
+        assert_eq!(p.workload("writer").unwrap().base_file, 100 + 10_000);
+        assert_eq!(p.workload("reader").unwrap().base_file, 100 + 20_000);
+        // File ids used by the two workloads never collide.
+        let ids = |w: &DslWorkload, n: u32| -> Vec<u32> {
+            w.programs(n, 1)
+                .iter()
+                .flatten()
+                .filter_map(|op| match op {
+                    StackOp::PosixData { file, .. } | StackOp::PosixMeta { file, .. } => {
+                        Some(file.0)
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = ids(p.workload("writer").unwrap(), 4);
+        let b = ids(p.workload("reader").unwrap(), 2);
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn plain_source_is_a_program_with_only_main() {
+        let p = parse_program(SAMPLE, 500).unwrap();
+        assert!(p.workloads.is_empty());
+        assert!(p.campaign.is_none());
+        let main = p.main.unwrap();
+        assert_eq!(main.base_file, 500);
+        // Identical to what parse_dsl sees.
+        let direct = parse_dsl(SAMPLE, 500).unwrap();
+        assert_eq!(
+            format!("{:?}", main.programs(2, 1)),
+            format!("{:?}", direct.programs(2, 1))
+        );
+    }
+
+    #[test]
+    fn program_errors_carry_line_numbers() {
+        // Unknown workload in a job (accepted by the AST parse, caught
+        // by the checked parse).
+        let src = "campaign\n  job ghost ranks 2\n  job ghost ranks 2\nend";
+        assert!(parse_program_ast(src, 0).is_ok());
+        let err = parse_program(src, 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+        assert!(err.to_string().contains("ghost"));
+        // Zero ranks.
+        let src = "workload w\nbarrier\nend\ncampaign\n  job w ranks 0\nend";
+        let err = parse_program(src, 0).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "got: {err}");
+        // Unclosed blocks report the opening line.
+        let err = parse_program("barrier\nworkload w\nbarrier", 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+        let err = parse_program("campaign\n  job w ranks 2", 0).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "got: {err}");
+        // Bad job syntax.
+        assert!(parse_program("campaign\n  job w\nend", 0).is_err());
+        assert!(parse_program("campaign\n  job w ranks 2 start banana\nend", 0).is_err());
+        assert!(parse_program("campaign\n  frobnicate\nend", 0).is_err());
+        // Duplicate workload names and nested blocks.
+        assert!(parse_program("workload w\nend\nworkload w\nend", 0).is_err());
+        assert!(parse_program("workload w\nworkload v\nend\nend", 0).is_err());
+        // Undeclared file inside a workload block, with its real line.
+        let err = parse_program("workload w\n  write ghost 1m\nend", 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn workload_blocks_may_contain_repeat_blocks() {
+        let src = "
+            workload w
+              file f perrank
+              repeat 3
+                write f 1m
+                repeat 2
+                  read f 4k
+                end
+              end
+            end
+        ";
+        let p = parse_program(src, 0).unwrap();
+        let w = p.workload("w").unwrap();
+        let reads = w.programs(1, 1)[0]
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    StackOp::PosixData {
+                        kind: IoKind::Read,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(reads, 6);
     }
 
     #[test]

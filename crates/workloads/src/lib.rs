@@ -38,7 +38,10 @@ pub use analytics::AnalyticsLike;
 pub use btio::BtIoLike;
 pub use checkpoint::CheckpointLike;
 pub use dlio::DlioLike;
-pub use dsl::{parse_dsl, parse_dsl_ast, DslWorkload};
+pub use dsl::{
+    parse_dsl, parse_dsl_ast, parse_program, parse_program_ast, CampaignDecl, DslProgram,
+    DslWorkload, JobDecl,
+};
 pub use ior::{IorApi, IorLike};
 pub use mdtest::MdtestLike;
 pub use skel::{Phase, SkeletonApp};

@@ -5,18 +5,23 @@
 //!
 //! ```text
 //! pioeval run --workload dlio --ranks 8 --ionodes 2
+//! pioeval run --workload ior --target objstore --gateways 2
 //! pioeval run --workload ior --metrics json --trace-out trace.json
 //! pioeval dsl my_workload.pio --ranks 4
+//! pioeval dsl my_campaign.pio --target objstore   # interference campaign
 //! pioeval lint my_workload.pio
 //! pioeval bench --out results/BENCH_obs.json
 //! pioeval taxonomy
 //! pioeval corpus
 //! ```
 
-use pioeval::lint::{lint_config, lint_dag, lint_dsl_source, lint_program, LintReport};
+use pioeval::core::{InterferenceCampaign, TargetConfig};
+use pioeval::lint::{lint_config, lint_dag, lint_dsl_source, lint_objstore_config, LintReport};
 use pioeval::monitor::SystemAnalysis;
+use pioeval::objstore::ObjStoreConfig;
 use pioeval::prelude::*;
-use pioeval::workloads::parse_dsl;
+use pioeval::types::SimTime;
+use pioeval::workloads::parse_program;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -32,8 +37,10 @@ USAGE:
   pioeval corpus                            print the survey corpus distribution
 
 LINT INPUTS:
-  *.pio            DSL workload program
-  *.json           cluster config, or workflow DAG if a `stages` key is present
+  *.pio            DSL workload program (workload/campaign blocks allowed)
+  *.json           workflow DAG if a `stages` key is present, object-store
+                   config if a `num_gateways` key is present, cluster
+                   config otherwise
 
 WORKLOADS:
   ior | mdtest | checkpoint | btio | dlio | analytics | workflow
@@ -41,13 +48,21 @@ WORKLOADS:
 OPTIONS:
   --ranks <N>          job ranks                       [default: 8]
   --clients <N>        compute clients in the cluster  [default: 64]
-  --ionodes <N>        burst-buffer I/O nodes          [default: 0]
-  --mds <N>            metadata servers                [default: 1]
-  --oss <N>            object storage servers          [default: 4]
+  --target <T>         storage backend: pfs | objstore [default: pfs]
+  --ionodes <N>        burst-buffer I/O nodes (pfs)    [default: 0]
+  --mds <N>            metadata servers / KV shards    [default: 1]
+  --oss <N>            storage servers / storage nodes [default: 4]
+  --gateways <N>       object-store gateways           [default: 2]
   --seed <N>           deterministic seed              [default: 42]
   --metrics <MODE>     framework telemetry: human | json
                        (json: the metrics document alone on stdout)
   --trace-out <FILE>   write a Chrome/Perfetto trace of the run
+
+A DSL file may declare named `workload ... end` blocks plus a
+`campaign ... end` block of `job <workload> ranks <N> [start <DUR>]`
+lines; `pioeval dsl` then runs an interference campaign — each job solo
+first, then all jobs concurrently on the shared target — and reports
+per-job slowdown.
 
 DES ENGINE (run/dsl; results are identical across executors):
   --des-threads <N>      use the conservative parallel engine with N workers
@@ -85,14 +100,25 @@ enum DesPartition {
     Greedy,
 }
 
+/// `--target` choices: which storage stack sits at the bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TargetKind {
+    /// Parallel file system (MDS + OSS, the default).
+    Pfs,
+    /// S3-like object store (gateways + KV shards + storage nodes).
+    ObjStore,
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 struct Options {
     ranks: u32,
     clients: usize,
+    target: TargetKind,
     ionodes: usize,
     mds: usize,
     oss: usize,
+    gateways: usize,
     seed: u64,
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
@@ -106,9 +132,11 @@ impl Default for Options {
         Options {
             ranks: 8,
             clients: 64,
+            target: TargetKind::Pfs,
             ionodes: 0,
             mds: 1,
             oss: 4,
+            gateways: 2,
             seed: 42,
             metrics: None,
             trace_out: None,
@@ -169,8 +197,18 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
     if let Some(v) = parse(flags, "oss")? {
         opts.oss = v as usize;
     }
+    if let Some(v) = parse(flags, "gateways")? {
+        opts.gateways = v as usize;
+    }
     if let Some(v) = parse(flags, "seed")? {
         opts.seed = v;
+    }
+    if let Some(v) = flags.get("target") {
+        opts.target = match v.as_str() {
+            "pfs" => TargetKind::Pfs,
+            "objstore" | "obj" => TargetKind::ObjStore,
+            other => return Err(format!("bad --target: {other} (expected pfs|objstore)")),
+        };
     }
     if let Some(v) = flags.get("metrics") {
         opts.metrics = Some(match v.as_str() {
@@ -213,9 +251,11 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         if ![
             "ranks",
             "clients",
+            "target",
             "ionodes",
             "mds",
             "oss",
+            "gateways",
             "seed",
             "workload",
             "metrics",
@@ -240,7 +280,7 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
 /// profile per-entity load before the measured run.
 fn exec_for(
     opts: &Options,
-    cluster: &ClusterConfig,
+    target: &TargetConfig,
     source: &WorkloadSource,
 ) -> Result<pioeval::des::ExecMode, String> {
     use pioeval::des::{ExecMode, ParallelConfig, Partitioner};
@@ -254,6 +294,11 @@ fn exec_for(
     match opts.des_partition {
         Some(DesPartition::Block) => cfg.partitioner = Partitioner::Block,
         Some(DesPartition::Greedy) => {
+            let TargetConfig::Pfs(cluster) = target else {
+                return Err("--des-partition greedy profiles the PFS entity layout; \
+                     use rr or block with --target objstore"
+                    .into());
+            };
             let counts = pioeval::core::profile_entity_counts(
                 cluster,
                 source,
@@ -277,6 +322,32 @@ fn cluster_from(opts: &Options) -> ClusterConfig {
         ..ClusterConfig::default()
     }
     .with_mds(opts.mds.max(1))
+}
+
+/// Map the CLI knobs onto whichever bottom layer `--target` picked.
+/// The shared flags keep one meaning across both: `--oss` sizes the
+/// storage tier, `--mds` the metadata tier.
+fn target_from(opts: &Options) -> TargetConfig {
+    match opts.target {
+        TargetKind::Pfs => TargetConfig::Pfs(cluster_from(opts)),
+        TargetKind::ObjStore => TargetConfig::ObjStore(ObjStoreConfig {
+            num_clients: opts.clients.max(opts.ranks as usize),
+            num_gateways: opts.gateways.max(1),
+            num_shards: opts.mds.max(1),
+            num_storage: opts.oss.max(1),
+            ..ObjStoreConfig::default()
+        }),
+    }
+}
+
+/// Pre-flight lint for whichever target config will be built.
+fn preflight_target(target: &TargetConfig) -> Result<(), String> {
+    match target {
+        TargetConfig::Pfs(c) => preflight("cluster", &lint_config(c, engine_lookahead())),
+        TargetConfig::ObjStore(c) => {
+            preflight("objstore", &lint_objstore_config(c, engine_lookahead()))
+        }
+    }
 }
 
 /// Helper so the CLI reads cleanly (ClusterConfig has many fields).
@@ -341,6 +412,34 @@ fn render_report(report: &pioeval::core::MeasurementReport) -> String {
         "files touched".to_string(),
         report.profile.num_files().to_string(),
     ]);
+    if !report.gateways.is_empty() {
+        // Object-store path: gateway-side view of the same run.
+        let secs = makespan.as_secs_f64().max(1e-9);
+        let get: u64 = report.gateways.iter().map(|g| g.get_bytes).sum();
+        let put: u64 = report.gateways.iter().map(|g| g.put_bytes).sum();
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        table.row(vec![
+            "obj GET throughput".to_string(),
+            format!("{:.1} MiB/s", mib(get) / secs),
+        ]);
+        table.row(vec![
+            "obj PUT throughput".to_string(),
+            format!("{:.1} MiB/s", mib(put) / secs),
+        ]);
+        let waits: Vec<String> = report
+            .gateways
+            .iter()
+            .map(|g| format!("{}", g.mean_queue_wait()))
+            .collect();
+        table.row(vec!["gateway queue-wait".to_string(), waits.join(" | ")]);
+        let peak = report
+            .gateways
+            .iter()
+            .map(|g| g.peak_queue_depth)
+            .max()
+            .unwrap_or(0);
+        table.row(vec!["gateway peak queue".to_string(), peak.to_string()]);
+    }
     out.push_str(&table.render());
 
     let timelines: Vec<_> = report
@@ -444,6 +543,10 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
             let dag: WorkflowDag = serde_json::from_str(&source)
                 .map_err(|e| format!("{path}: not a workflow DAG: {e}"))?;
             lint_dag(&dag)
+        } else if value.get("num_gateways").is_some() {
+            let cfg: ObjStoreConfig = serde_json::from_str(&source)
+                .map_err(|e| format!("{path}: not an object-store config: {e}"))?;
+            lint_objstore_config(&cfg, engine_lookahead())
         } else {
             let cfg: ClusterConfig = serde_json::from_str(&source)
                 .map_err(|e| format!("{path}: not a cluster config: {e}"))?;
@@ -471,21 +574,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("run requires --workload <NAME>")?;
     let opts = options_from(&flags)?;
     let workload = workload_by_name(name)?;
-    let cluster = cluster_from(&opts);
-    preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
+    let target = target_from(&opts);
+    preflight_target(&target)?;
+    let tier = match &target {
+        TargetConfig::Pfs(_) => format!(
+            "{} I/O nodes, {} MDS, {} OSS",
+            opts.ionodes, opts.mds, opts.oss
+        ),
+        TargetConfig::ObjStore(c) => format!(
+            "{} gateways, {} shards, {} storage nodes",
+            c.num_gateways, c.num_shards, c.num_storage
+        ),
+    };
     say(
         &opts,
         &format!(
-            "running `{name}` with {} ranks on {} clients ({} I/O nodes, {} MDS, {} OSS) ...\n\n",
-            opts.ranks, opts.clients, opts.ionodes, opts.mds, opts.oss
+            "running `{name}` with {} ranks on {} clients via {} ({tier}) ...\n\n",
+            opts.ranks,
+            opts.clients,
+            target.name(),
         ),
     );
     let source = WorkloadSource::Synthetic(workload);
-    let exec = exec_for(&opts, &cluster, &source)?;
+    let exec = exec_for(&opts, &target, &source)?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_with_exec(
-            &cluster,
+        pioeval::core::measure_target_with_exec(
+            &target,
             &source,
             opts.ranks,
             StackConfig::default(),
@@ -503,23 +618,42 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     let path = positional.first().ok_or("dsl requires a <FILE> argument")?;
     let opts = options_from(&flags)?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let workload = parse_dsl(&source, 100_000).map_err(|e| e.to_string())?;
-    let cluster = cluster_from(&opts);
-    preflight(path, &lint_program(&workload))?;
-    preflight("cluster", &lint_config(&cluster, engine_lookahead()))?;
+    let program = parse_program(&source, 100_000).map_err(|e| e.to_string())?;
+    let target = target_from(&opts);
+    preflight(path, &lint_dsl_source(&source))?;
+    preflight_target(&target)?;
+
+    if let Some(campaign_decl) = &program.campaign {
+        return run_campaign(&opts, path, &program, campaign_decl, target);
+    }
+
+    // Plain program: run the main body, or the single workload block if
+    // the file declares exactly one and nothing else.
+    let workload = match (&program.main, program.workloads.as_slice()) {
+        (Some(w), _) => w.clone(),
+        (None, [(_, w)]) => w.clone(),
+        (None, []) => return Err(format!("{path}: empty program")),
+        (None, _) => {
+            return Err(format!(
+                "{path}: several workload blocks but no campaign and no main \
+                 statements — add a `campaign ... end` block to run them"
+            ))
+        }
+    };
     say(
         &opts,
         &format!(
-            "running DSL workload `{path}` with {} ranks ...\n\n",
-            opts.ranks
+            "running DSL workload `{path}` with {} ranks via {} ...\n\n",
+            opts.ranks,
+            target.name(),
         ),
     );
     let source = WorkloadSource::Synthetic(Box::new(workload));
-    let exec = exec_for(&opts, &cluster, &source)?;
+    let exec = exec_for(&opts, &target, &source)?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_with_exec(
-            &cluster,
+        pioeval::core::measure_target_with_exec(
+            &target,
             &source,
             opts.ranks,
             StackConfig::default(),
@@ -530,6 +664,69 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     };
     say(&opts, &render_report(&report));
     emit_telemetry(&opts)
+}
+
+/// Run a DSL-declared interference campaign: each job solo on a fresh
+/// target first (the baseline), then all jobs concurrently on the
+/// shared target, reporting per-job slowdown.
+fn run_campaign(
+    opts: &Options,
+    path: &str,
+    program: &pioeval::workloads::DslProgram,
+    decl: &pioeval::workloads::CampaignDecl,
+    target: TargetConfig,
+) -> Result<(), String> {
+    say(
+        opts,
+        &format!(
+            "running interference campaign `{path}`: {} jobs on a shared {} target ...\n\n",
+            decl.jobs.len(),
+            target.name(),
+        ),
+    );
+    let mut campaign = InterferenceCampaign::new(target, opts.seed);
+    for job in &decl.jobs {
+        let workload = program
+            .workload(&job.workload)
+            .ok_or_else(|| format!("campaign job names unknown workload `{}`", job.workload))?;
+        campaign.submit(Submission::new(
+            WorkloadSource::Synthetic(Box::new(workload.clone())),
+            job.ranks,
+            SimTime::ZERO + job.start,
+        ));
+    }
+    let report = {
+        let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
+        campaign.run().map_err(|e| e.to_string())?
+    };
+    let mut table = Table::new(vec!["job", "ranks", "solo", "shared", "slowdown"]);
+    let slowdowns = report.slowdowns();
+    for (i, job) in decl.jobs.iter().enumerate() {
+        table.row(vec![
+            job.workload.clone(),
+            job.ranks.to_string(),
+            format!("{}", report.solo[i]),
+            format!("{}", report.shared[i]),
+            format!("{:.2}x", slowdowns[i]),
+        ]);
+    }
+    say(opts, &table.render());
+    say(
+        opts,
+        &format!("max slowdown {:.2}x\n", report.max_slowdown()),
+    );
+    if !report.gateways.is_empty() {
+        let waits: Vec<String> = report
+            .gateways
+            .iter()
+            .map(|g| format!("{}", g.mean_queue_wait()))
+            .collect();
+        say(
+            opts,
+            &format!("gateway queue-wait (shared run): {}\n", waits.join(" | ")),
+        );
+    }
+    emit_telemetry(opts)
 }
 
 /// One bench row: name, event count, median wall-clock ms, events/sec.
@@ -775,6 +972,36 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let ior = WorkloadSource::Synthetic(Box::new(IorLike::default()));
     let (events, wall) = pipeline_bench(&ior, 4)?;
     record("ior_ranks4".into(), events, wall);
+
+    // DLIO-style read storm — 8 ranks re-reading a sample set over two
+    // epochs with negligible compute, so the storage tier is the
+    // bottleneck — measured on both bottom layers of the stack. The
+    // _pfs/_obj pair is the emerging-workload counterpart to the
+    // IOR row and puts the object-store path under the same gate.
+    let storm_workload = DlioLike {
+        num_samples: 128,
+        epochs: 2,
+        compute_per_batch: pioeval::types::SimDuration::from_micros(100),
+        ..DlioLike::default()
+    };
+    let dlio = WorkloadSource::Synthetic(Box::new(storm_workload));
+    let target_bench = |target: &TargetConfig| {
+        bench_median(repeat, || {
+            let before = des_events.get();
+            pioeval::core::measure_target(target, &dlio, 8, StackConfig::default(), 42)
+                .map_err(|e| e.to_string())?;
+            Ok(des_events.get() - before)
+        })
+    };
+    let pfs_target = TargetConfig::Pfs(ClusterConfig {
+        num_clients: 8,
+        ..ClusterConfig::default()
+    });
+    let (events, wall) = target_bench(&pfs_target)?;
+    record("dlio_storm_pfs".into(), events, wall);
+    let obj_target = TargetConfig::ObjStore(ObjStoreConfig::default());
+    let (events, wall) = target_bench(&obj_target)?;
+    record("dlio_storm_obj".into(), events, wall);
 
     // Gate BEFORE writing: the default --out path is also the default
     // baseline path, so writing first would compare the run to itself.

@@ -52,6 +52,7 @@ pub use pioeval_iostack as iostack;
 pub use pioeval_lint as lint;
 pub use pioeval_model as model;
 pub use pioeval_monitor as monitor;
+pub use pioeval_objstore as objstore;
 pub use pioeval_obs as obs;
 pub use pioeval_pfs as pfs;
 pub use pioeval_replay as replay;
