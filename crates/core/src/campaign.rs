@@ -288,6 +288,7 @@ impl InterferenceCampaign {
         // Solo baselines: one fresh system per job, submitted at t=0.
         let mut solo = Vec::new();
         for i in 0..self.submissions.len() {
+            pioeval_obs::live::set_phase(&format!("campaign:solo:{i}"));
             let mut target = self.target.build()?;
             let spec = self.spec_for(i, SimTime::ZERO);
             let handle = launch_on(&mut target, &spec);
@@ -296,6 +297,7 @@ impl InterferenceCampaign {
         }
 
         // Shared run: everything on one system, staggered as submitted.
+        pioeval_obs::live::set_phase("campaign:shared");
         let mut target = self.target.build()?;
         let handles: Vec<JobHandle> = (0..self.submissions.len())
             .map(|i| {

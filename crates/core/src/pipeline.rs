@@ -157,10 +157,12 @@ pub fn measure_target_with_exec(
 
     let mut target = {
         let _s = pioeval_obs::span(names::SPAN_CORE_BUILD, "core");
+        pioeval_obs::live::set_phase("measure:build");
         target_cfg.build()?
     };
     let programs = {
         let _s = pioeval_obs::span(names::SPAN_CORE_LOWER, "core");
+        pioeval_obs::live::set_phase("measure:lower");
         source.programs(nranks, seed)
     };
     let spec = JobSpec {
@@ -171,9 +173,11 @@ pub fn measure_target_with_exec(
     let handle = launch_on(&mut target, &spec);
     {
         let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
+        pioeval_obs::live::set_phase("measure:simulate");
         target.run_exec(exec);
     }
     let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
+    pioeval_obs::live::set_phase("measure:collect");
     let job = collect_on(&target, &handle);
     let all_records = job.all_records();
     // The profile comes from the ranks' always-on streaming counters, so

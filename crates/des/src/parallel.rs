@@ -624,6 +624,13 @@ fn run_cooperative<M: 'static>(
     let mut emitted: Vec<Envelope<M>> = Vec::new();
     let mut halt_flag = false;
     let mut stage: Vec<Vec<Envelope<M>>> = (0..threads).map(|_| Vec::new()).collect();
+    // Live-progress instruments, updated once per window/turn boundary
+    // (never inside the event loop) from pre-fetched handles.
+    let live_obs = pioeval_obs::global();
+    let live_events = live_obs.counter(pioeval_obs::names::DES_LIVE_EVENTS);
+    let live_windows = live_obs.counter(pioeval_obs::names::DES_LIVE_WINDOWS);
+    let live_queue = live_obs.gauge(pioeval_obs::names::DES_LIVE_QUEUE);
+    let live_horizon = live_obs.gauge(pioeval_obs::names::DES_LIVE_HORIZON_NS);
     loop {
         // Flush every staging vector so the decide step (and the first
         // turn's horizon) sees the complete pending set.
@@ -644,6 +651,8 @@ fn run_cooperative<M: 'static>(
             break;
         }
         stats.windows += 1;
+        live_windows.inc();
+        live_queue.record(pending as u64);
         for i in 0..threads {
             if i > 0 {
                 // Pick up what earlier turns staged, keeping every
@@ -665,6 +674,7 @@ fn run_cooperative<M: 'static>(
             if wide {
                 stats.wide += 1;
             }
+            live_horizon.record(h);
             if my_next >= h {
                 // A pure synchronization round for this worker: the
                 // conservative engine's null message.
@@ -672,6 +682,7 @@ fn run_cooperative<M: 'static>(
                 continue;
             }
             let started = Instant::now();
+            let processed_before = workers[i].processed;
             let me = &mut workers[i];
             me.store.begin_window(h);
             while !halt_flag {
@@ -709,6 +720,10 @@ fn run_cooperative<M: 'static>(
                 }
             }
             me.busy += started.elapsed();
+            let turn_events = me.processed - processed_before;
+            if turn_events > 0 {
+                live_events.add(turn_events);
+            }
         }
     }
     stats.halted = halt_flag;
@@ -777,6 +792,16 @@ fn run_threaded<M: Send + 'static>(
                 let obs = pioeval_obs::global();
                 let mut tbuf = obs.buffer(&format!("des-worker-{tid}"));
                 tbuf.begin(pioeval_obs::names::SPAN_DES_WORKER, "des");
+                // Live-progress handles, fetched once: each worker adds
+                // its per-window event delta; thread 0 (whose decide-step
+                // snapshot is canonical) also publishes window count,
+                // boundary occupancy, and the horizon. All updates happen
+                // at the window boundary, outside the event loop, so the
+                // sampler thread can never contend with event processing.
+                let live_events = obs.counter(pioeval_obs::names::DES_LIVE_EVENTS);
+                let live_windows = obs.counter(pioeval_obs::names::DES_LIVE_WINDOWS);
+                let live_queue = obs.gauge(pioeval_obs::names::DES_LIVE_QUEUE);
+                let live_horizon = obs.gauge(pioeval_obs::names::DES_LIVE_HORIZON_NS);
                 let mut stats = ExecStats::default();
                 let mut pending: i64 = 0;
                 let mut halt_flag = false;
@@ -881,6 +906,13 @@ fn run_threaded<M: Send + 'static>(
                         // A pure synchronization round for this thread —
                         // the conservative engine's null message.
                         worker.null_windows += 1;
+                    } else {
+                        live_events.add(worker.processed - processed_before);
+                    }
+                    if tid == 0 {
+                        live_windows.inc();
+                        live_queue.record(pending.max(0) as u64);
+                        live_horizon.record(h);
                     }
                     // Publish the next window's snapshot under the
                     // opposite parity, then cross the (single) barrier.

@@ -246,8 +246,11 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Telemetry: the run is recorded as a `des.run.seq` span on the
     /// global [`pioeval_obs`] registry, and the event count and queue
-    /// high-water mark are published once at the end — the per-event
-    /// loop itself carries zero instrumentation cost.
+    /// high-water mark are published once at the end. Live progress
+    /// (`des.live.events`, `des.live.queue_depth`) flushes in 8192-event
+    /// chunks from pre-fetched handles — one local increment per event,
+    /// no registry access — so the live sampler sees mid-run motion
+    /// without the hot loop ever taking a lock.
     pub fn run(&mut self) -> RunResult {
         self.run_with(|_| {})
     }
@@ -270,6 +273,14 @@ impl<M: 'static> Simulation<M> {
     /// [`Simulation::run`]'s empty hook costs nothing).
     fn run_with<F: FnMut(EntityId)>(&mut self, mut hook: F) -> RunResult {
         let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_DES_RUN_SEQ, "des");
+        // Live-progress instruments, pre-fetched so the loop below never
+        // touches a registry map. Counts are flushed in chunks (and once
+        // at the end), so `des.live.events` always totals `events` while
+        // the per-event cost stays at one local increment + compare.
+        const LIVE_CHUNK: u64 = 8192;
+        let live_events = pioeval_obs::global().counter(pioeval_obs::names::DES_LIVE_EVENTS);
+        let live_queue = pioeval_obs::global().gauge(pioeval_obs::names::DES_LIVE_QUEUE);
+        let mut live_pending = 0u64;
         let mut events = 0u64;
         let mut halted = false;
         let mut emitted: Vec<Envelope<M>> = Vec::new();
@@ -298,9 +309,19 @@ impl<M: 'static> Simulation<M> {
             };
             entity.on_event(ev, &mut ctx);
             events += 1;
+            live_pending += 1;
+            if live_pending == LIVE_CHUNK {
+                live_events.add(live_pending);
+                live_pending = 0;
+                live_queue.record(self.queue.len() as u64);
+            }
             hook(dst);
             self.queue.push_batch(&mut emitted);
         }
+        if live_pending > 0 {
+            live_events.add(live_pending);
+        }
+        live_queue.record(self.queue.len() as u64);
         let obs = pioeval_obs::global();
         obs.counter(pioeval_obs::names::DES_EVENTS).add(events);
         obs.counter(pioeval_obs::names::DES_RUNS_SEQ).inc();

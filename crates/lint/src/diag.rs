@@ -69,6 +69,12 @@ pub enum Code {
     ObjNoGateways,
     /// PIO053: erasure width (data + parity) exceeds the storage nodes.
     ObjErasureExceedsNodes,
+    /// PIO060: a live/trace output path points inside `target/` (wiped
+    /// by `cargo clean`, ignored by git — almost always a mistake).
+    OutputInTarget,
+    /// PIO061: a live/trace output path is not writable at pre-flight,
+    /// so a long campaign would only fail at finalize.
+    OutputNotWritable,
 }
 
 impl Code {
@@ -104,6 +110,8 @@ impl Code {
             Code::ObjZeroPartSize => "PIO051",
             Code::ObjNoGateways => "PIO052",
             Code::ObjErasureExceedsNodes => "PIO053",
+            Code::OutputInTarget => "PIO060",
+            Code::OutputNotWritable => "PIO061",
         }
     }
 }
@@ -337,6 +345,8 @@ mod tests {
             Code::ObjZeroPartSize,
             Code::ObjNoGateways,
             Code::ObjErasureExceedsNodes,
+            Code::OutputInTarget,
+            Code::OutputNotWritable,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

@@ -27,6 +27,10 @@
 //!   policies wider than the storage tier.
 //! * **Workflow DAGs** ([`lint_dag`]) — cycles under the execution
 //!   order, dangling dependencies, and dead or empty stages.
+//! * **Output paths** ([`lint_output_path`]) — live/trace telemetry
+//!   destinations that sit inside `target/` or are not writable at
+//!   pre-flight, so long campaigns don't fail (or lose their stream)
+//!   at finalize.
 //!
 //! ## Diagnostic catalogue
 //!
@@ -65,6 +69,8 @@
 //! | PIO051 | E | object-store part size is zero |
 //! | PIO052 | E | object store configured with no gateways |
 //! | PIO053 | E | erasure width (data+parity) exceeds the storage nodes |
+//! | PIO060 | W | live/trace output path is inside a `target/` directory |
+//! | PIO061 | W | live/trace output path not writable at pre-flight |
 //!
 //! ```
 //! use pioeval_lint::{lint_dsl_source, Code};
@@ -77,11 +83,13 @@
 mod config;
 mod dag;
 mod diag;
+mod output;
 mod program;
 
 pub use config::{lint_config, lint_objstore_config};
 pub use dag::lint_dag;
 pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use output::lint_output_path;
 pub use program::{lint_dsl_program, lint_program};
 
 use pioeval_workloads::parse_program_ast;

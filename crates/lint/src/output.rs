@@ -1,0 +1,112 @@
+//! Output-path pre-flight: catch telemetry sinks that will fail (or
+//! vanish) at finalize *before* a long campaign runs.
+//!
+//! `--live-out` and `--trace-out` files are written at the end of a run
+//! (the trace) or opened at its start (the live stream); either way, a
+//! bad destination discovered after hours of simulation wastes the whole
+//! run. These checks are deliberately cheap and side-effect-free: the
+//! writability probe creates the file only if it does not exist yet and
+//! removes it again immediately.
+
+use crate::diag::{Code, LintReport};
+use std::fs::OpenOptions;
+use std::path::{Component, Path};
+
+/// Lint one output-file path (from a flag like `--live-out` or
+/// `--trace-out`; `flag` names it in messages). Both findings are
+/// warnings — the run proceeds, since the path may legitimately become
+/// writable (or the user may not care) — but scripted users can grep
+/// for the stable codes.
+///
+/// * [`Code::OutputInTarget`] (PIO060): any path component is `target` —
+///   the cargo build directory, wiped by `cargo clean` and ignored by
+///   git, so artifacts written there are almost always lost by accident.
+/// * [`Code::OutputNotWritable`] (PIO061): the file cannot be opened for
+///   appending at pre-flight (missing parent directory, permissions,
+///   path is a directory, ...).
+pub fn lint_output_path(flag: &str, path: &str) -> LintReport {
+    let mut report = LintReport::new();
+    let p = Path::new(path);
+    if p.components()
+        .any(|c| matches!(c, Component::Normal(n) if n == "target"))
+    {
+        report.warn(
+            Code::OutputInTarget,
+            None,
+            format!(
+                "{flag} path `{path}` is inside a `target/` directory — \
+                 `cargo clean` deletes it and git ignores it"
+            ),
+        );
+    }
+    let existed = p.exists();
+    match OpenOptions::new().create(true).append(true).open(p) {
+        Ok(f) => {
+            drop(f);
+            if !existed {
+                // The probe created it; leave no trace behind.
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        Err(e) => {
+            report.warn(
+                Code::OutputNotWritable,
+                None,
+                format!("{flag} path `{path}` is not writable: {e}"),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_component_warns_pio060() {
+        let r = lint_output_path("--trace-out", "target/trace.json");
+        assert!(r.has(Code::OutputInTarget), "{:?}", r.diagnostics);
+        assert!(r.is_clean(), "PIO060 is a warning, not an error");
+        let r = lint_output_path("--live-out", "/some/target/deep/f.jsonl");
+        assert!(r.has(Code::OutputInTarget));
+        // `target` must be a whole component, not a substring.
+        let r = lint_output_path(
+            "--live-out",
+            std::env::temp_dir()
+                .join("targeted.jsonl")
+                .to_str()
+                .unwrap(),
+        );
+        assert!(!r.has(Code::OutputInTarget), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unwritable_path_warns_pio061_and_probe_leaves_no_file() {
+        let dir = std::env::temp_dir().join(format!("pioeval_lint_out_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Missing parent directory → not writable.
+        let bad = dir.join("no_such_dir").join("f.jsonl");
+        let r = lint_output_path("--live-out", bad.to_str().unwrap());
+        assert!(r.has(Code::OutputNotWritable), "{:?}", r.diagnostics);
+        assert!(r.is_clean());
+        // Writable path → clean, and the probe must not leave the file.
+        let good = dir.join("fresh.jsonl");
+        let r = lint_output_path("--live-out", good.to_str().unwrap());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(!good.exists(), "probe file must be removed");
+        // An existing file is probed but never deleted.
+        std::fs::write(&good, "keep").unwrap();
+        let r = lint_output_path("--live-out", good.to_str().unwrap());
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(std::fs::read_to_string(&good).unwrap(), "keep");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_path_is_not_writable() {
+        let dir = std::env::temp_dir();
+        let r = lint_output_path("--trace-out", dir.to_str().unwrap());
+        assert!(r.has(Code::OutputNotWritable), "{:?}", r.diagnostics);
+    }
+}

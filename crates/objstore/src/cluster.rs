@@ -199,6 +199,9 @@ impl ObjCluster {
             .record(peak_queue);
         obs.counter(pioeval_obs::names::OBJ_SHARD_REQUESTS)
             .add(self.shard_requests());
+        // Freshly published gateway stats deserve a frame now, not at
+        // the next interval tick.
+        pioeval_obs::live::pulse();
     }
 
     /// Snapshot per-gateway service counters.

@@ -10,7 +10,7 @@ use crate::registry::{Registry, Snapshot};
 use std::fmt::Write as _;
 
 /// Escape `s` as the body of a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -221,8 +221,19 @@ pub fn metrics_json(reg: &Registry) -> String {
 
 /// Chrome trace-event JSON (the `traceEvents` object form): one complete
 /// (`"ph": "X"`) event per span plus thread-name metadata, timestamps in
-/// microseconds since the registry epoch.
+/// microseconds since the registry epoch. Counters render as Perfetto
+/// counter tracks (`"ph": "C"`): with no live time series available,
+/// each nonzero counter gets a two-point 0 → final ramp across the run.
 pub fn chrome_trace(reg: &Registry) -> String {
+    chrome_trace_with_counters(reg, &[])
+}
+
+/// [`chrome_trace`] with explicit counter time series (as retained by a
+/// [`crate::live::LiveExporter`]): each `(name, points)` series becomes a
+/// Perfetto counter track with one `"ph": "C"` event per sample, so the
+/// counter's trajectory lines up with the span tracks. An empty `series`
+/// falls back to two-point ramps from the final snapshot.
+pub fn chrome_trace_with_counters(reg: &Registry, series: &[(String, Vec<(u64, u64)>)]) -> String {
     let snap = reg.snapshot();
     let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
     let mut first = true;
@@ -254,6 +265,39 @@ pub fn chrome_trace(reg: &Registry) -> String {
             num(ev.dur_ns as f64 / 1e3),
             ev.depth
         );
+    }
+    let counter_event = |out: &mut String, first: &mut bool, name: &str, ts_us: u64, v: u64| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"name\": \"{}\", \
+             \"ts\": {ts_us}, \"args\": {{\"value\": {v}}}}}",
+            esc(name)
+        );
+    };
+    if series.is_empty() {
+        // Post-mortem fallback: a flat-to-final ramp per nonzero counter
+        // spanning the outermost recorded interval.
+        let end_us = snap
+            .spans
+            .iter()
+            .map(|e| e.start_ns.saturating_add(e.dur_ns))
+            .max()
+            .unwrap_or(0)
+            / 1_000;
+        for (name, v) in snap.counters.iter().filter(|(_, v)| *v > 0) {
+            counter_event(&mut out, &mut first, name, 0, 0);
+            counter_event(&mut out, &mut first, name, end_us.max(1), *v);
+        }
+    } else {
+        for (name, points) in series {
+            for &(ts_us, v) in points {
+                counter_event(&mut out, &mut first, name, ts_us, v);
+            }
+        }
     }
     out.push_str("\n]}");
     out
@@ -389,8 +433,9 @@ mod tests {
         let json = chrome_trace(&r);
         let v = serde_json::parse(&json).expect("trace JSON must parse");
         let events = as_seq(v.get("traceEvents").unwrap());
-        // 1 thread-name metadata event + 2 spans.
-        assert_eq!(events.len(), 3);
+        // 1 thread-name metadata event + 2 spans + a 2-point fallback
+        // counter ramp for the single nonzero counter.
+        assert_eq!(events.len(), 5);
         let spans: Vec<_> = events
             .iter()
             .filter(|e| as_str(e.get("ph").unwrap()) == "X")
@@ -398,6 +443,46 @@ mod tests {
         assert_eq!(spans.len(), 2);
         assert_eq!(as_str(spans[0].get("name").unwrap()), names::SPAN_RUN);
         assert_eq!(as_str(spans[1].get("name").unwrap()), "child\nspan");
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| as_str(e.get("ph").unwrap()) == "C")
+            .collect();
+        assert_eq!(counters.len(), 2, "fallback ramp is exactly 2 points");
+        assert_eq!(as_str(counters[0].get("name").unwrap()), names::DES_EVENTS);
+        assert_eq!(
+            as_u64(counters[0].get("args").unwrap().get("value").unwrap()),
+            0
+        );
+        assert_eq!(
+            as_u64(counters[1].get("args").unwrap().get("value").unwrap()),
+            1000
+        );
+        // The ramp ends at the outermost span's end (2 ms = 2000 µs).
+        assert_eq!(as_u64(counters[1].get("ts").unwrap()), 2000);
+    }
+
+    #[test]
+    fn chrome_trace_renders_live_counter_series_as_c_events() {
+        let r = loaded_registry();
+        let series = vec![(
+            names::DES_EVENTS.to_string(),
+            vec![(0u64, 0u64), (500, 400), (1500, 900), (2000, 1000)],
+        )];
+        let json = chrome_trace_with_counters(&r, &series);
+        let v = serde_json::parse(&json).expect("trace JSON must parse");
+        let events = as_seq(v.get("traceEvents").unwrap());
+        let c: Vec<_> = events
+            .iter()
+            .filter(|e| as_str(e.get("ph").unwrap()) == "C")
+            .collect();
+        assert_eq!(c.len(), 4, "one C event per retained sample");
+        let ts: Vec<u64> = c.iter().map(|e| as_u64(e.get("ts").unwrap())).collect();
+        assert_eq!(ts, vec![0, 500, 1500, 2000]);
+        let vals: Vec<u64> = c
+            .iter()
+            .map(|e| as_u64(e.get("args").unwrap().get("value").unwrap()))
+            .collect();
+        assert_eq!(vals, vec![0, 400, 900, 1000]);
     }
 
     #[test]
@@ -421,6 +506,88 @@ mod tests {
         r.counter(names::OBJ_GET_BYTES).add(1024);
         let line = summary_line(&r);
         assert!(line.contains("obj put 4096 B / get 1024 B"), "{line}");
+    }
+
+    /// A registry shaped like a PR 4 object-store run: gateway counters,
+    /// byte totals, queue-wait/service histograms, queue-peak gauge.
+    fn objstore_registry() -> Registry {
+        let r = Registry::new();
+        r.counter(names::DES_EVENTS).add(5000);
+        r.counter(names::OBJ_RUNS).inc();
+        r.counter(names::OBJ_GATEWAY_REQUESTS).add(640);
+        r.counter(names::OBJ_SHARD_REQUESTS).add(128);
+        r.counter(names::OBJ_PUT_BYTES).add(1 << 20);
+        r.counter(names::OBJ_GET_BYTES).add(1 << 19);
+        r.gauge(names::OBJ_GATEWAY_QUEUE_PEAK).record(17);
+        r.histogram(names::OBJ_GATEWAY_QUEUE_WAIT_US).observe(250);
+        r.histogram(names::OBJ_GATEWAY_QUEUE_WAIT_US).observe(900);
+        r.histogram(names::OBJ_GATEWAY_SERVICE_US).observe(40);
+        let mut buf = r.buffer("main");
+        buf.push_raw(names::SPAN_RUN, "cli", 0, 4_000_000, 0);
+        buf.push_raw(names::SPAN_OBJ_RUN, "objstore", 10, 3_000_000, 1);
+        r.merge(buf);
+        r
+    }
+
+    #[test]
+    fn run_summary_ignores_gateway_counters_for_headline_figures() {
+        let r = objstore_registry();
+        let s = run_summary(&r.snapshot());
+        // The headline events figure is DES events, not obj.* traffic.
+        assert_eq!(s.events_processed, 5000);
+        assert!(
+            (s.wall_ms - 4.0).abs() < 1e-9,
+            "pioeval.run wins over obj span"
+        );
+        assert_eq!(s.queue_hwm, 0, "gateway queue peak is not the DES hwm");
+    }
+
+    #[test]
+    fn metrics_json_round_trips_obj_gateway_names() {
+        let r = objstore_registry();
+        let v = serde_json::parse(&metrics_json(&r)).expect("metrics JSON must parse");
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            as_u64(counters.get(names::OBJ_GATEWAY_REQUESTS).unwrap()),
+            640
+        );
+        assert_eq!(as_u64(counters.get(names::OBJ_PUT_BYTES).unwrap()), 1 << 20);
+        assert_eq!(as_u64(counters.get(names::OBJ_GET_BYTES).unwrap()), 1 << 19);
+        assert_eq!(
+            as_u64(counters.get(names::OBJ_SHARD_REQUESTS).unwrap()),
+            128
+        );
+        let peak = v.get("gauges").unwrap().get(names::OBJ_GATEWAY_QUEUE_PEAK);
+        assert_eq!(as_u64(peak.unwrap().get("max").unwrap()), 17);
+        let wait = v
+            .get("histograms")
+            .unwrap()
+            .get(names::OBJ_GATEWAY_QUEUE_WAIT_US)
+            .expect("queue-wait histogram exported");
+        assert_eq!(as_u64(wait.get("count").unwrap()), 2);
+        assert_eq!(as_u64(wait.get("sum").unwrap()), 1150);
+        let spans = v.get("spans").unwrap();
+        assert_eq!(
+            as_u64(
+                spans
+                    .get(names::SPAN_OBJ_RUN)
+                    .unwrap()
+                    .get("count")
+                    .unwrap()
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn summary_line_formats_gateway_byte_totals() {
+        let r = objstore_registry();
+        let line = summary_line(&r);
+        assert!(line.contains("5000 events"), "{line}");
+        assert!(
+            line.contains(&format!("obj put {} B / get {} B", 1 << 20, 1 << 19)),
+            "{line}"
+        );
     }
 
     #[test]

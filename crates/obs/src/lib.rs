@@ -34,6 +34,9 @@
 //! * Spans — named wall-clock intervals with parent/child nesting,
 //!   recorded per thread and exported as Chrome trace events
 //!   (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev)-loadable).
+//! * [`LiveExporter`] — a sampler thread streaming delta-encoded JSONL
+//!   frames to a tailable file or TCP clients while the run is going
+//!   (see [`mod@live`]), without ever locking a hot path.
 //!
 //! ## Quickstart
 //!
@@ -52,13 +55,15 @@
 //! ```
 
 pub mod export;
+pub mod live;
 pub mod metrics;
 pub mod names;
 pub mod registry;
 pub mod span;
 
+pub use live::{LiveConfig, LiveExporter};
 pub use metrics::{Counter, Gauge, GaugeSnapshot, HistSnapshot, Histogram};
-pub use registry::{Registry, Snapshot};
+pub use registry::{InstrumentTotals, Registry, Snapshot};
 pub use span::{LocalBuffer, SpanEvent, SpanGuard};
 
 use std::sync::OnceLock;

@@ -116,7 +116,7 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 }
 
 /// Point-in-time view of a [`Histogram`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Number of samples observed.
     pub count: u64,

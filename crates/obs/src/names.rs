@@ -32,6 +32,22 @@ pub const DES_PAR_WIDE_WINDOWS: &str = "des.par.wide_windows";
 /// (single-thread, barrier-free) backend.
 pub const DES_PAR_RUNS_COOP: &str = "des.par.runs_coop";
 
+/// Counter: events committed so far *inside* the currently running DES
+/// executor — the live sampler's progress signal. Unlike [`DES_EVENTS`]
+/// (published once at finalize) this advances mid-run, flushed in chunks
+/// by the sequential loop and once per window by the parallel workers,
+/// and its final total equals the run's event count.
+pub const DES_LIVE_EVENTS: &str = "des.live.events";
+/// Gauge: pending-event-set depth sampled at the last flush/window
+/// boundary of the running executor (coordinator view).
+pub const DES_LIVE_QUEUE: &str = "des.live.queue_depth";
+/// Gauge: the parallel engine's current safe-execution horizon (ns of
+/// virtual time) at the last window boundary.
+pub const DES_LIVE_HORIZON_NS: &str = "des.live.horizon_ns";
+/// Counter: synchronization windows committed so far by the running
+/// parallel executor (live analog of [`DES_PAR_WINDOWS`]).
+pub const DES_LIVE_WINDOWS: &str = "des.live.windows";
+
 /// Span: one sequential-executor run.
 pub const SPAN_DES_RUN_SEQ: &str = "des.run.seq";
 /// Span: one parallel-executor run.

@@ -5,6 +5,7 @@ use crate::metrics::{
 };
 use crate::span::{LocalBuffer, SpanEvent};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -24,6 +25,10 @@ pub struct Registry {
     hists: Mutex<HashMap<String, Arc<HistInner>>>,
     events: Mutex<EventLog>,
     threads: Mutex<Vec<String>>,
+    /// Currently open [`crate::SpanGuard`]s (the live sampler's
+    /// span-depth signal; buffer-recorded worker spans are merged only
+    /// at finalize and so never appear here mid-run).
+    open_spans: AtomicU64,
 }
 
 #[derive(Default)]
@@ -50,6 +55,25 @@ pub struct Snapshot {
     pub dropped_events: u64,
 }
 
+/// A lightweight, spans-free view of a registry's instruments — what the
+/// live sampler reads on every tick. Taking one clones the three
+/// instrument maps (name strings plus lock-free atomic reads) but never
+/// the span log, so its cost is bounded by the instrument count, not by
+/// how long the run has been going.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InstrumentTotals {
+    /// Counters as `(name, value)`, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, snapshot)`, name-sorted.
+    pub gauges: Vec<(String, GaugeSnapshot)>,
+    /// Histograms as `(name, snapshot)`, name-sorted.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Spans currently open on the guard path (nesting depth signal).
+    pub open_spans: u64,
+    /// Completed spans merged into the registry so far.
+    pub spans_done: u64,
+}
+
 impl Default for Registry {
     fn default() -> Self {
         Self::new()
@@ -66,6 +90,7 @@ impl Registry {
             hists: Mutex::new(HashMap::new()),
             events: Mutex::new(EventLog::default()),
             threads: Mutex::new(Vec::new()),
+            open_spans: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +118,21 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut map = self.hists.lock().expect("histogram map poisoned");
         Histogram(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Note that a guard-path span just opened (see [`crate::SpanGuard`]).
+    pub(crate) fn span_opened(&self) {
+        self.open_spans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note that a guard-path span just closed.
+    pub(crate) fn span_closed(&self) {
+        // Saturating: reset() may race a guard drop in tests; never wrap.
+        let _ = self
+            .open_spans
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 
     /// Register a recording thread; returns its tid.
@@ -128,6 +168,52 @@ impl Registry {
             } else {
                 log.events.push(ev);
             }
+        }
+    }
+
+    /// A spans-free instrument snapshot: the live sampler's read path.
+    ///
+    /// Lock discipline: acquires each instrument-map mutex briefly (map
+    /// iteration plus atomic loads) and the event-log mutex just long
+    /// enough to read its length — never the per-thread span buffers,
+    /// which are private to their workers until merged at finalize. The
+    /// engines' hot loops hold none of these locks (they update cached
+    /// `Arc`'d atomics), so sampling can never block them.
+    pub fn snapshot_instruments(&self) -> InstrumentTotals {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Counter(Arc::clone(v)).get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, GaugeSnapshot)> = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Gauge(Arc::clone(v)).get()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hists: Vec<(String, HistSnapshot)> = self
+            .hists
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v)).get()))
+            .collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        let spans_done = {
+            let log = self.events.lock().expect("event log poisoned");
+            log.events.len() as u64 + log.dropped
+        };
+        InstrumentTotals {
+            counters,
+            gauges,
+            hists,
+            open_spans: self.open_spans.load(Ordering::Relaxed),
+            spans_done,
         }
     }
 
@@ -186,6 +272,7 @@ impl Registry {
         log.dropped = 0;
         drop(log);
         self.threads.lock().expect("thread table poisoned").clear();
+        self.open_spans.store(0, Ordering::Relaxed);
     }
 }
 

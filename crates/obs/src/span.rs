@@ -62,6 +62,7 @@ impl SpanGuard {
             d.set(depth + 1);
             depth
         });
+        registry.span_opened();
         let start = Instant::now();
         SpanGuard {
             registry,
@@ -76,6 +77,7 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        self.registry.span_closed();
         GUARD_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let tid = GUARD_TID.with(|t| {
             if t.get() == u32::MAX {

@@ -248,6 +248,9 @@ impl Cluster {
             obs.histogram(pioeval_obs::names::PFS_MDS_SERVICE_US)
                 .observe(stats.mean_service_time().as_nanos() / 1_000);
         }
+        // Freshly published server stats deserve a frame now, not at the
+        // next interval tick (a fast run may finish before one fires).
+        pioeval_obs::live::pulse();
     }
 
     /// Completion records of a raw client.

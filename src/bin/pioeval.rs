@@ -32,7 +32,9 @@ USAGE:
   pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
   pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
   pioeval lint <FILE> [--json]              static-analyse an input file
+  pioeval watch <FILE|ADDR> [WATCH OPTIONS] tail a live telemetry stream
   pioeval bench [BENCH OPTIONS]             benchmark the framework itself
+  pioeval compare [--last <N>]              trend view over archived bench runs
   pioeval taxonomy                          print the evaluation-cycle taxonomy
   pioeval corpus                            print the survey corpus distribution
 
@@ -57,6 +59,15 @@ OPTIONS:
   --metrics <MODE>     framework telemetry: human | json
                        (json: the metrics document alone on stdout)
   --trace-out <FILE>   write a Chrome/Perfetto trace of the run
+                       (counters render as Perfetto counter tracks)
+  --quiet              suppress the always-on telemetry summary line
+  --live-out <FILE>    stream delta-encoded telemetry frames (JSONL) to
+                       FILE while the run is going; tail with
+                       `pioeval watch FILE`
+  --live-addr <ADDR>   serve the same frames to TCP clients on ADDR
+                       (e.g. 127.0.0.1:0; the bound port is printed)
+  --live-interval <MS> live sampling interval in ms       [default: 250]
+  --run-id <ID>        run id stamped into live frames
 
 A DSL file may declare named `workload ... end` blocks plus a
 `campaign ... end` block of `job <workload> ranks <N> [start <DUR>]`
@@ -71,6 +82,13 @@ DES ENGINE (run/dsl; results are identical across executors):
                          (greedy profiles per-entity load with one
                          sequential warmup trip, then bin-packs workers)
 
+WATCH OPTIONS (pioeval watch <FILE|host:port>):
+  --follow-until-done  exit 0 only after a `done` frame arrives (CI);
+                       an idle timeout without one is an error
+  --timeout <SECS>     idle timeout                       [default: 30]
+  --json               no live table; print the replayed totals as one
+                       JSON document at exit (round-trip checking)
+
 BENCH OPTIONS:
   --threads <N>        worker count for the parallel rows      [default: 2]
   --repeat <K>         runs per bench, report the median       [default: 1]
@@ -80,6 +98,14 @@ BENCH OPTIONS:
                        tracks engine overhead rather than host speed
   --tolerance <PCT>    gate failure threshold                  [default: 15]
   --out <FILE>         result file    [default: results/BENCH_obs.json]
+  --timestamp <TS>     timestamp recorded in the history line  [default:
+                       unix seconds]
+  --history <FILE>     append {rev, timestamp, benches} to this JSONL
+                       archive     [default: results/BENCH_history.jsonl]
+
+COMPARE OPTIONS (pioeval compare):
+  --last <N>           trend window: the N most recent runs    [default: 8]
+  --history <FILE>     archive to read  [default: results/BENCH_history.jsonl]
 ";
 
 /// How `--metrics` renders the framework's own telemetry.
@@ -122,6 +148,11 @@ struct Options {
     seed: u64,
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
+    quiet: bool,
+    live_out: Option<String>,
+    live_addr: Option<String>,
+    live_interval_ms: Option<u64>,
+    run_id: Option<String>,
     des_threads: Option<usize>,
     des_window: Option<pioeval::des::WindowPolicy>,
     des_partition: Option<DesPartition>,
@@ -140,6 +171,11 @@ impl Default for Options {
             seed: 42,
             metrics: None,
             trace_out: None,
+            quiet: false,
+            live_out: None,
+            live_addr: None,
+            live_interval_ms: None,
+            run_id: None,
             des_threads: None,
             des_window: None,
             des_partition: None,
@@ -154,18 +190,27 @@ impl Options {
     }
 }
 
-/// Split args into positional values and `--key value` flags.
+/// Flags that take no value; parsed as `key -> "true"`.
+const BOOL_FLAGS: &[&str] = &["quiet", "json", "follow-until-done"];
+
+/// Split args into positional values and `--key value` flags (boolean
+/// flags from [`BOOL_FLAGS`] consume no value).
 fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("missing value for --{key}"))?;
-            flags.insert(key.to_string(), value.clone());
-            i += 2;
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.insert(key.to_string(), value.clone());
+                i += 2;
+            }
         } else {
             positional.push(args[i].clone());
             i += 1;
@@ -218,6 +263,16 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         });
     }
     opts.trace_out = flags.get("trace-out").cloned();
+    opts.quiet = flags.contains_key("quiet");
+    opts.live_out = flags.get("live-out").cloned();
+    opts.live_addr = flags.get("live-addr").cloned();
+    if let Some(v) = parse(flags, "live-interval")? {
+        if v == 0 {
+            return Err("--live-interval must be > 0".into());
+        }
+        opts.live_interval_ms = Some(v);
+    }
+    opts.run_id = flags.get("run-id").cloned();
     if let Some(v) = parse(flags, "des-threads")? {
         if v == 0 {
             return Err("--des-threads must be > 0".into());
@@ -260,6 +315,11 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
             "workload",
             "metrics",
             "trace-out",
+            "quiet",
+            "live-out",
+            "live-addr",
+            "live-interval",
+            "run-id",
             "des-threads",
             "des-window",
             "des-partition",
@@ -483,20 +543,70 @@ fn say(opts: &Options, text: &str) {
     }
 }
 
-/// Post-run telemetry output shared by `run` and `dsl`: the always-on
-/// one-line summary, the optional `--metrics` document, and the optional
-/// `--trace-out` Chrome trace file.
+/// Start the live frame exporter when `--live-out`/`--live-addr` ask for
+/// one, after pre-flight linting every output path the run will write
+/// (PIO060/061 — warnings, so a suspect path is reported but never
+/// aborts). Call before the measured work; [`emit_telemetry`] finalizes.
+fn install_live(opts: &Options, default_run_id: &str) -> Result<(), String> {
+    let mut outputs: Vec<(&str, &String)> = Vec::new();
+    if let Some(p) = &opts.trace_out {
+        outputs.push(("--trace-out", p));
+    }
+    if let Some(p) = &opts.live_out {
+        outputs.push(("--live-out", p));
+    }
+    for (flag, path) in outputs {
+        preflight(flag, &pioeval::lint::lint_output_path(flag, path))?;
+    }
+    if opts.live_out.is_none() && opts.live_addr.is_none() {
+        return Ok(());
+    }
+    let cfg = pioeval::obs::LiveConfig {
+        interval: opts.live_interval_ms.map(std::time::Duration::from_millis),
+        file: opts.live_out.clone().map(std::path::PathBuf::from),
+        addr: opts.live_addr.clone(),
+        run_id: opts
+            .run_id
+            .clone()
+            .unwrap_or_else(|| default_run_id.to_string()),
+    };
+    let exporter = pioeval::obs::LiveExporter::start(pioeval::obs::global(), cfg)
+        .map_err(|e| format!("cannot start live exporter: {e}"))?;
+    if let Some(addr) = exporter.local_addr() {
+        say(opts, &format!("live: serving frames on {addr}\n"));
+    }
+    if let Some(path) = &opts.live_out {
+        say(opts, &format!("live: streaming frames to {path}\n"));
+    }
+    pioeval::obs::live::install(exporter);
+    Ok(())
+}
+
+/// Post-run telemetry output shared by `run` and `dsl`: finalize the
+/// live stream first (its `done` frame and the post-mortem documents
+/// must describe the same totals), then the one-line summary (unless
+/// `--quiet`), the optional `--metrics` document, and the optional
+/// `--trace-out` Chrome trace file — with live counter time-series
+/// rendered as Perfetto counter tracks when a sampler ran.
 fn emit_telemetry(opts: &Options) -> Result<(), String> {
+    let live = pioeval::obs::live::finish();
     let reg = pioeval::obs::global();
-    say(opts, &format!("\n{}\n", summary_line(reg)));
+    if !opts.quiet {
+        say(opts, &format!("\n{}\n", summary_line(reg)));
+        if let Some(report) = &live {
+            say(opts, &format!("live: {} frames emitted\n", report.frames));
+        }
+    }
     match opts.metrics {
         Some(MetricsMode::Json) => println!("{}", metrics_json(reg)),
         Some(MetricsMode::Human) => print!("\n{}", human_summary(reg)),
         None => {}
     }
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, chrome_trace(reg))
-            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        let series: &[(String, Vec<(u64, u64)>)] =
+            live.as_ref().map(|r| r.series.as_slice()).unwrap_or(&[]);
+        let trace = pioeval::obs::export::chrome_trace_with_counters(reg, series);
+        std::fs::write(path, trace).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
         say(opts, &format!("trace written to {path}\n"));
     }
     Ok(())
@@ -597,6 +707,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     let source = WorkloadSource::Synthetic(workload);
     let exec = exec_for(&opts, &target, &source)?;
+    install_live(&opts, &format!("run-{name}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
         pioeval::core::measure_target_with_exec(
@@ -650,6 +761,7 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     );
     let source = WorkloadSource::Synthetic(Box::new(workload));
     let exec = exec_for(&opts, &target, &source)?;
+    install_live(&opts, &format!("dsl-{path}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
         pioeval::core::measure_target_with_exec(
@@ -695,6 +807,7 @@ fn run_campaign(
             SimTime::ZERO + job.start,
         ));
     }
+    install_live(opts, &format!("campaign-{path}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
         campaign.run().map_err(|e| e.to_string())?
@@ -762,6 +875,16 @@ fn json_f64(v: &serde_json::Value) -> Option<f64> {
         serde_json::Value::F64(f) => Some(*f),
         serde_json::Value::U64(u) => Some(*u as f64),
         serde_json::Value::I64(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Numeric JSON value as u64 (frames carry only non-negative integers).
+fn json_u64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::U64(u) => Some(*u),
+        serde_json::Value::I64(i) if *i >= 0 => Some(*i as u64),
+        serde_json::Value::F64(f) if *f >= 0.0 => Some(*f as u64),
         _ => None,
     }
 }
@@ -855,6 +978,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "backend",
             "baseline",
             "tolerance",
+            "timestamp",
+            "history",
         ]
         .contains(&key.as_str())
         {
@@ -943,6 +1068,31 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     })?;
     record(format!("phold_par_t{threads}_greedy"), events, wall);
 
+    // Sampler-on variant of the parallel row: the live exporter streams
+    // frames to a scratch file at the default interval while the same
+    // PHOLD run executes. Its gap to phold_par_t{N} is the observation
+    // overhead, and the gate keeps it bounded once a baseline records it.
+    let live_path =
+        std::env::temp_dir().join(format!("pioeval_bench_live_{}.jsonl", std::process::id()));
+    let (events, wall) = bench_median(repeat, || {
+        let exporter = pioeval::obs::LiveExporter::start(
+            pioeval::obs::global(),
+            pioeval::obs::LiveConfig {
+                interval: None,
+                file: Some(live_path.clone()),
+                addr: None,
+                run_id: "bench-live".to_string(),
+            },
+        )
+        .map_err(|e| format!("cannot start live exporter: {e}"))?;
+        let mut sim = build_phold(&phold);
+        let events = run_parallel(&mut sim, &par_cfg).events;
+        exporter.finish();
+        Ok(events)
+    })?;
+    let _ = std::fs::remove_file(&live_path);
+    record(format!("phold_par_t{threads}_live"), events, wall);
+
     // Full-pipeline trips; the DES event count comes from the telemetry
     // layer itself.
     let des_events = pioeval::obs::global().counter(pioeval::obs::names::DES_EVENTS);
@@ -1027,10 +1177,489 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("\nwrote {out}");
 
+    // Archive the run for `pioeval compare`: one JSONL line per bench
+    // invocation, tagged with the git revision and a timestamp.
+    let history = flags
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_history.jsonl".to_string());
+    let timestamp = match flags.get("timestamp") {
+        Some(t) => t.clone(),
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|_| "0".to_string()),
+    };
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut line = format!(
+        "{{\"schema\": \"pioeval-bench-history/1\", \"rev\": \"{rev}\", \
+         \"timestamp\": \"{timestamp}\", \"benches\": ["
+    );
+    for (i, (name, _, _, eps)) in rows.iter().enumerate() {
+        let sep = if i > 0 { ", " } else { "" };
+        line.push_str(&format!(
+            "{sep}{{\"name\": \"{name}\", \"events_per_sec\": {eps:.1}}}"
+        ));
+    }
+    line.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(&history).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .map_err(|e| format!("cannot append to {history}: {e}"))?;
+    println!("appended to {history} (rev {rev})");
+
     match gate_result {
         Some(res) => res,
         None => Ok(()),
     }
+}
+
+/// Replay state for `pioeval watch`: the totals a frame stream
+/// accumulates to. Summing delta frames (with `sync` frames re-basing)
+/// converges to the same counter totals as the run's post-mortem
+/// `--metrics json` document — that round trip is tested in CI.
+#[derive(Default)]
+struct WatchState {
+    run: String,
+    phase: String,
+    frames: u64,
+    done: bool,
+    counters: Vec<(String, u64)>,
+    /// Gauge name -> (last, max).
+    gauges: Vec<(String, (u64, u64))>,
+    spans_done: u64,
+    open_spans: u64,
+    last_t_us: u64,
+    /// Rates over the most recent frame interval.
+    ev_rate: f64,
+    byte_rate: f64,
+}
+
+impl WatchState {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    fn gauge_last(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, (last, _))| last)
+            .unwrap_or(0)
+    }
+
+    /// Fold one parsed frame into the replay.
+    fn apply(&mut self, frame: &serde_json::Value) -> Result<(), String> {
+        let str_of = |key: &str| -> Option<String> {
+            match frame.get(key) {
+                Some(serde_json::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let kind = str_of("kind").unwrap_or_else(|| "delta".to_string());
+        let t_us = frame
+            .get("t_us")
+            .and_then(json_u64)
+            .ok_or("frame missing t_us")?;
+        if kind == "sync" {
+            // A sync frame is the full totals delta-encoded against
+            // zero: restart the replay from scratch.
+            self.counters.clear();
+            self.gauges.clear();
+            self.spans_done = 0;
+        }
+        let mut ev_delta = 0u64;
+        let mut byte_delta = 0u64;
+        if let Some(serde_json::Value::Map(entries)) = frame.get("counters") {
+            for (name, v) in entries {
+                let inc = json_u64(v).unwrap_or(0);
+                if name == pioeval::obs::names::DES_LIVE_EVENTS {
+                    ev_delta = inc;
+                }
+                if name.contains("bytes") {
+                    byte_delta += inc;
+                }
+                match self.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some(entry) => entry.1 += inc,
+                    None => self.counters.push((name.clone(), inc)),
+                }
+            }
+        }
+        if let Some(serde_json::Value::Map(entries)) = frame.get("gauges") {
+            for (name, g) in entries {
+                let last = g.get("last").and_then(json_u64).unwrap_or(0);
+                let max = g.get("max").and_then(json_u64).unwrap_or(0);
+                match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                    Some(entry) => entry.1 = (last, entry.1 .1.max(max)),
+                    None => self.gauges.push((name.clone(), (last, max))),
+                }
+            }
+        }
+        self.spans_done += frame.get("spans_done").and_then(json_u64).unwrap_or(0);
+        self.open_spans = frame.get("open_spans").and_then(json_u64).unwrap_or(0);
+        if let Some(run) = str_of("run") {
+            self.run = run;
+        }
+        if let Some(phase) = str_of("phase") {
+            self.phase = phase;
+        }
+        // Rates from the deltas over the frame interval; a sync frame
+        // compresses the whole history into one frame, so no rate there.
+        let dt_s = t_us.saturating_sub(self.last_t_us) as f64 / 1e6;
+        if kind != "sync" && self.frames > 0 && dt_s > 0.0 {
+            self.ev_rate = ev_delta as f64 / dt_s;
+            self.byte_rate = byte_delta as f64 / dt_s;
+        }
+        self.last_t_us = t_us;
+        self.frames += 1;
+        self.done |= kind == "done";
+        Ok(())
+    }
+
+    /// One status line: elapsed, phase, totals, rates, queue depth.
+    fn status_line(&self) -> String {
+        format!(
+            "[{:>8.2}s] {:<20} {:>11} ev {:>11.0} ev/s {:>7.1} MiB/s  queue {:>5}  spans {}/{} open",
+            self.last_t_us as f64 / 1e6,
+            self.phase,
+            self.counter(pioeval::obs::names::DES_LIVE_EVENTS),
+            self.ev_rate,
+            self.byte_rate / (1 << 20) as f64,
+            self.gauge_last(pioeval::obs::names::DES_LIVE_QUEUE),
+            self.spans_done,
+            self.open_spans,
+        )
+    }
+
+    /// Final replayed totals as one JSON document (`pioeval-watch/1`).
+    /// Counter values here must equal the producing run's post-mortem
+    /// `metrics_json` counters.
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\"schema\": \"pioeval-watch/1\"");
+        let _ = write!(
+            s,
+            ", \"run\": \"{}\", \"frames\": {}, \"done\": {}, \"spans_done\": {}",
+            self.run.replace('"', "\\\""),
+            self.frames,
+            self.done,
+            self.spans_done
+        );
+        s.push_str(", \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            let _ = write!(s, "{}\"{n}\": {v}", if i > 0 { ", " } else { "" });
+        }
+        s.push_str("}, \"gauges\": {");
+        for (i, (n, (last, max))) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\"{n}\": {{\"last\": {last}, \"max\": {max}}}",
+                if i > 0 { ", " } else { "" }
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Tail of a growing JSONL file: yields complete new lines per poll.
+struct FileTail {
+    path: String,
+    offset: u64,
+}
+
+impl FileTail {
+    /// Read lines appended since the previous call. A missing file is
+    /// "no lines yet" (the producer may not have created it), and a
+    /// partial trailing line stays unconsumed until its newline lands.
+    fn read_lines(&mut self) -> Vec<String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return Vec::new();
+        };
+        if f.seek(SeekFrom::Start(self.offset)).is_err() {
+            return Vec::new();
+        }
+        let mut buf = String::new();
+        if f.read_to_string(&mut buf).is_err() {
+            return Vec::new();
+        }
+        let consumed = buf.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        self.offset += consumed as u64;
+        buf[..consumed].lines().map(str::to_string).collect()
+    }
+}
+
+/// Tail of a live TCP frame stream (read timeout keeps polls short).
+struct TcpTail {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    pending: String,
+    closed: bool,
+}
+
+impl TcpTail {
+    fn read_lines(&mut self) -> Vec<String> {
+        use std::io::BufRead;
+        let mut out = Vec::new();
+        loop {
+            let mut chunk = String::new();
+            match self.reader.read_line(&mut chunk) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(_) => {
+                    self.pending.push_str(&chunk);
+                    if self.pending.ends_with('\n') {
+                        out.push(self.pending.trim_end().to_string());
+                        self.pending.clear();
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Keep any partial line for the next poll.
+                    self.pending.push_str(&chunk);
+                    break;
+                }
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `pioeval watch <FILE|host:port>`: tail a live frame stream and render
+/// an in-place refreshing status line (plain lines when stdout is not a
+/// terminal). `--follow-until-done` makes a missing `done` frame an
+/// error; `--json` prints the replayed totals as one document at exit.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    use std::io::{IsTerminal, Write as _};
+    let (positional, flags) = parse_flags(args)?;
+    for key in flags.keys() {
+        if !["follow-until-done", "json", "timeout"].contains(&key.as_str()) {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let target = positional
+        .first()
+        .ok_or("watch requires a <FILE|ADDR> argument")?;
+    if positional.len() > 1 {
+        return Err(format!("unexpected argument `{}`", positional[1]));
+    }
+    let follow = flags.contains_key("follow-until-done");
+    let json_out = flags.contains_key("json");
+    let timeout = match flags.get("timeout") {
+        None => 30.0,
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| *t > 0.0)
+            .ok_or(format!("bad --timeout: {v}"))?,
+    };
+
+    // A parseable socket address is a TCP stream; anything else a file.
+    let mut tcp = match target.parse::<std::net::SocketAddr>() {
+        Ok(addr) => {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .map_err(|e| e.to_string())?;
+            Some(TcpTail {
+                reader: std::io::BufReader::new(stream),
+                pending: String::new(),
+                closed: false,
+            })
+        }
+        Err(_) => None,
+    };
+    let mut file = tcp.is_none().then(|| FileTail {
+        path: target.clone(),
+        offset: 0,
+    });
+
+    let in_place = std::io::stdout().is_terminal() && !json_out;
+    let mut state = WatchState::default();
+    let mut idle = std::time::Instant::now();
+    loop {
+        let lines = match (&mut tcp, &mut file) {
+            (Some(t), _) => t.read_lines(),
+            (None, Some(f)) => f.read_lines(),
+            (None, None) => unreachable!("watch source"),
+        };
+        let got_frames = !lines.is_empty();
+        for line in &lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = serde_json::parse(line).map_err(|e| format!("bad frame `{line}`: {e}"))?;
+            state.apply(&frame)?;
+            if !json_out {
+                if in_place {
+                    print!("\r{:<100}", state.status_line());
+                    let _ = std::io::stdout().flush();
+                } else {
+                    println!("{}", state.status_line());
+                }
+            }
+        }
+        if state.done {
+            break;
+        }
+        if got_frames {
+            idle = std::time::Instant::now();
+        } else {
+            let stream_closed = tcp.as_ref().is_some_and(|t| t.closed);
+            if stream_closed || idle.elapsed().as_secs_f64() > timeout {
+                if follow {
+                    return Err(format!(
+                        "stream ended without a `done` frame ({} frames replayed)",
+                        state.frames
+                    ));
+                }
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+    if in_place && state.frames > 0 {
+        println!();
+    }
+    if json_out {
+        println!("{}", state.to_json());
+    } else {
+        println!(
+            "watch: {} frames from `{}`, {} events, done={}",
+            state.frames,
+            state.run,
+            state.counter(pioeval::obs::names::DES_LIVE_EVENTS),
+            state.done
+        );
+    }
+    Ok(())
+}
+
+/// One archived bench run: (git rev, timestamp, [(bench name, ev/s)]).
+type HistoryEntry = (String, String, Vec<(String, f64)>);
+
+/// `pioeval compare`: render per-benchmark trends over the archived
+/// bench history (`results/BENCH_history.jsonl`, appended by every
+/// `pioeval bench` run) — UMAMI-style, but in a terminal: one sparkline
+/// per benchmark over the last N runs plus the latest-vs-previous delta.
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    for key in flags.keys() {
+        if !["last", "history"].contains(&key.as_str()) {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let last = match flags.get("last") {
+        None => 8usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => return Err(format!("bad --last: {v} (expected an integer >= 2)")),
+        },
+    };
+    let history = flags
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_history.jsonl".to_string());
+    let text = std::fs::read_to_string(&history)
+        .map_err(|e| format!("cannot read {history}: {e} (run `pioeval bench` first)"))?;
+
+    let mut entries: Vec<HistoryEntry> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = serde_json::parse(line)
+            .map_err(|e| format!("{history}:{}: not valid JSON: {e}", lineno + 1))?;
+        let str_of = |key: &str| -> String {
+            match doc.get(key) {
+                Some(serde_json::Value::Str(s)) => s.clone(),
+                Some(other) => json_f64(other).map(|f| format!("{f}")).unwrap_or_default(),
+                None => "?".to_string(),
+            }
+        };
+        let mut benches = Vec::new();
+        if let Some(serde_json::Value::Seq(items)) = doc.get("benches") {
+            for item in items {
+                if let (Some(serde_json::Value::Str(name)), Some(eps)) = (
+                    item.get("name"),
+                    item.get("events_per_sec").and_then(json_f64),
+                ) {
+                    benches.push((name.clone(), eps));
+                }
+            }
+        }
+        entries.push((str_of("rev"), str_of("timestamp"), benches));
+    }
+    if entries.len() < 2 {
+        return Err(format!(
+            "{history}: need at least 2 archived runs to compare (have {})",
+            entries.len()
+        ));
+    }
+    let window = &entries[entries.len().saturating_sub(last)..];
+    let latest = window.last().expect("window nonempty");
+    let previous = &window[window.len() - 2];
+    println!(
+        "bench trend over the last {} runs ({} .. {}), newest right:\n",
+        window.len(),
+        window[0].0,
+        latest.0
+    );
+    let eps_of = |set: &[(String, f64)], name: &str| -> Option<f64> {
+        set.iter().find(|(n, _)| n == name).map(|&(_, e)| e)
+    };
+    for (name, latest_eps) in &latest.2 {
+        let series: Vec<f64> = window
+            .iter()
+            .filter_map(|(_, _, benches)| eps_of(benches, name))
+            .collect();
+        let delta = match eps_of(&previous.2, name) {
+            Some(prev_eps) if prev_eps > 0.0 => {
+                format!("{:+6.1}% vs prev", (latest_eps / prev_eps - 1.0) * 100.0)
+            }
+            _ => "new".to_string(),
+        };
+        println!(
+            "{name:<22} {:<10} {latest_eps:>12.0} ev/s  {delta}",
+            pioeval::core::sparkline(&series)
+        );
+    }
+    Ok(())
 }
 
 fn cmd_taxonomy() {
@@ -1063,7 +1692,9 @@ fn main() -> ExitCode {
             Ok(false) => return ExitCode::FAILURE, // findings already printed
             Err(e) => Err(e),
         },
+        Some("watch") => cmd_watch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("taxonomy") => {
             cmd_taxonomy();
             Ok(())
@@ -1133,6 +1764,104 @@ mod tests {
             assert!(workload_by_name(name).is_ok(), "{name}");
         }
         assert!(workload_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let (pos, flags) =
+            parse_flags(&strs(&["--quiet", "file.pio", "--ranks", "4", "--json"])).unwrap();
+        assert_eq!(pos, vec!["file.pio"]);
+        assert_eq!(flags["quiet"], "true");
+        assert_eq!(flags["json"], "true");
+        assert_eq!(flags["ranks"], "4");
+        let opts = options_from(&{
+            let (_, f) = parse_flags(&strs(&[
+                "--quiet",
+                "--live-out",
+                "/tmp/f.jsonl",
+                "--live-interval",
+                "50",
+                "--run-id",
+                "r1",
+            ]))
+            .unwrap();
+            f
+        })
+        .unwrap();
+        assert!(opts.quiet);
+        assert_eq!(opts.live_out.as_deref(), Some("/tmp/f.jsonl"));
+        assert_eq!(opts.live_interval_ms, Some(50));
+        assert_eq!(opts.run_id.as_deref(), Some("r1"));
+        let (_, zero) = parse_flags(&strs(&["--live-interval", "0"])).unwrap();
+        assert!(options_from(&zero).is_err());
+    }
+
+    #[test]
+    fn watch_state_replays_deltas_and_rebases_on_sync() {
+        let mut st = WatchState::default();
+        let apply =
+            |st: &mut WatchState, line: &str| st.apply(&serde_json::parse(line).unwrap()).unwrap();
+        apply(
+            &mut st,
+            "{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"seq\":0,\"t_us\":100,\
+             \"kind\":\"delta\",\"phase\":\"a\",\"open_spans\":1,\
+             \"counters\":{\"des.live.events\":10,\"obj.put_bytes\":512},\
+             \"gauges\":{\"des.live.queue_depth\":{\"last\":4,\"max\":9}}}",
+        );
+        apply(
+            &mut st,
+            "{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"seq\":1,\"t_us\":1100,\
+             \"kind\":\"delta\",\"phase\":\"b\",\"open_spans\":0,\
+             \"counters\":{\"des.live.events\":5},\"spans_done\":2}",
+        );
+        assert_eq!(st.counter("des.live.events"), 15);
+        assert_eq!(st.counter("obj.put_bytes"), 512);
+        assert_eq!(st.gauge_last("des.live.queue_depth"), 4);
+        assert_eq!(st.spans_done, 2);
+        assert_eq!(st.phase, "b");
+        assert!((st.ev_rate - 5000.0).abs() < 1.0, "{}", st.ev_rate);
+        // A sync frame replaces the accumulated totals outright.
+        apply(
+            &mut st,
+            "{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"seq\":2,\"t_us\":1200,\
+             \"kind\":\"sync\",\"phase\":\"b\",\"open_spans\":0,\
+             \"counters\":{\"des.live.events\":40}}",
+        );
+        assert_eq!(st.counter("des.live.events"), 40);
+        assert_eq!(st.counter("obj.put_bytes"), 0);
+        assert!(!st.done);
+        apply(
+            &mut st,
+            "{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"seq\":3,\"t_us\":1300,\
+             \"kind\":\"done\",\"phase\":\"b\",\"open_spans\":0}",
+        );
+        assert!(st.done);
+        let doc = serde_json::parse(&st.to_json()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("des.live.events"))
+                .and_then(json_u64),
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn file_tail_yields_only_complete_lines() {
+        use std::io::Write as _;
+        let path = std::env::temp_dir().join(format!("pioeval_tail_{}.jsonl", std::process::id()));
+        let mut tail = FileTail {
+            path: path.to_str().unwrap().to_string(),
+            offset: 0,
+        };
+        assert!(tail.read_lines().is_empty(), "missing file = no lines yet");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(b"one\ntwo\npart").unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.read_lines(), vec!["one", "two"]);
+        f.write_all(b"ial\n").unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.read_lines(), vec!["partial"]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

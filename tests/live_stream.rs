@@ -1,0 +1,317 @@
+//! End-to-end live telemetry checks: a run with `--live-out` must emit
+//! monotonically-timestamped delta frames that `pioeval watch` replays
+//! to exactly the totals the same run reports post-mortem via
+//! `--metrics json` (round-trip equivalence), `--quiet` must silence
+//! the always-on summary line, `watch --follow-until-done` must fail on
+//! a stream that never completes, `compare` must render trends over an
+//! archived bench history, and suspicious `--live-out` paths must draw
+//! a PIO060 warning without aborting the run.
+
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        Value::F64(f) => *f as u64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn as_str(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+fn as_map(v: &Value) -> &[(String, Value)] {
+    match v {
+        Value::Map(entries) => entries,
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pioeval-live-test-{}-{name}", std::process::id()))
+}
+
+fn pioeval(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pioeval"))
+        .args(args)
+        .output()
+        .expect("failed to spawn pioeval")
+}
+
+#[test]
+fn live_out_round_trips_to_watch_totals() {
+    let live = scratch("roundtrip.jsonl");
+    let live_s = live.to_str().unwrap();
+    let output = pioeval(&[
+        "run",
+        "--workload",
+        "ior",
+        "--ranks",
+        "4",
+        "--metrics",
+        "json",
+        "--run-id",
+        "rt1",
+        "--live-interval",
+        "10",
+        "--live-out",
+        live_s,
+    ]);
+    assert!(
+        output.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let metrics =
+        serde_json::parse(&String::from_utf8(output.stdout).unwrap()).expect("metrics document");
+
+    let watch = pioeval(&["watch", live_s, "--follow-until-done", "--json"]);
+    std::fs::remove_file(&live).ok();
+    assert!(
+        watch.status.success(),
+        "watch failed: {}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let replay =
+        serde_json::parse(&String::from_utf8(watch.stdout).unwrap()).expect("watch document");
+    assert_eq!(as_str(replay.get("schema").unwrap()), "pioeval-watch/1");
+    assert_eq!(as_str(replay.get("run").unwrap()), "rt1");
+    assert!(as_u64(replay.get("frames").unwrap()) >= 2);
+    assert_eq!(replay.get("done"), Some(&Value::Bool(true)));
+
+    // Round trip: summed frame deltas == post-mortem counter totals.
+    let post = replay.get("counters").expect("replayed counters");
+    for (name, total) in as_map(metrics.get("counters").expect("metrics counters")) {
+        let total = as_u64(total);
+        if total == 0 {
+            continue; // never-incremented counters emit no frames
+        }
+        let replayed = post.get(name).map(as_u64);
+        assert_eq!(
+            replayed,
+            Some(total),
+            "counter {name} diverged between stream replay and post-mortem"
+        );
+    }
+    // And nothing extra: every replayed counter exists post-mortem.
+    let metric_counters = metrics.get("counters").unwrap();
+    for (name, replayed) in as_map(post) {
+        assert_eq!(
+            metric_counters.get(name).map(as_u64),
+            Some(as_u64(replayed)),
+            "counter {name} replayed but absent post-mortem"
+        );
+    }
+}
+
+#[test]
+fn live_frames_are_monotonic_delta_encoded_and_end_with_done() {
+    let live = scratch("frames.jsonl");
+    let output = pioeval(&[
+        "run",
+        "--workload",
+        "dlio",
+        "--ranks",
+        "8",
+        "--live-interval",
+        "5",
+        "--live-out",
+        live.to_str().unwrap(),
+    ]);
+    assert!(output.status.success());
+    let text = std::fs::read_to_string(&live).expect("live frames written");
+    std::fs::remove_file(&live).ok();
+    let frames: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::parse(l).expect("frame parses"))
+        .collect();
+    assert!(
+        frames.len() >= 2,
+        "expected >=2 frames, got {}",
+        frames.len()
+    );
+    let mut last_t = 0;
+    let mut last_seq = None;
+    for f in &frames {
+        assert_eq!(as_str(f.get("schema").unwrap()), "pioeval-live/1");
+        let t = as_u64(f.get("t_us").unwrap());
+        assert!(t >= last_t, "t_us must be monotonic");
+        last_t = t;
+        let seq = as_u64(f.get("seq").unwrap());
+        if let Some(prev) = last_seq {
+            assert_eq!(seq, prev + 1, "seq must be dense");
+        }
+        last_seq = Some(seq);
+    }
+    assert_eq!(
+        as_str(frames.last().unwrap().get("kind").unwrap()),
+        "done",
+        "stream must end with a done frame"
+    );
+    // Delta encoding: the full-run totals must need more than one frame's
+    // counters section, i.e. at least one intermediate delta fired.
+    assert!(
+        frames
+            .iter()
+            .filter(|f| f.get("counters").is_some())
+            .count()
+            >= 1
+    );
+}
+
+#[test]
+fn quiet_flag_suppresses_summary_line() {
+    let output = pioeval(&["run", "--workload", "ior", "--ranks", "2", "--quiet"]);
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.contains("telemetry:"),
+        "--quiet must drop the summary line: {stdout}"
+    );
+    // The measurement report itself still prints.
+    assert!(stdout.contains("makespan"), "report missing: {stdout}");
+}
+
+#[test]
+fn watch_follow_until_done_fails_without_done_frame() {
+    let live = scratch("nodone.jsonl");
+    std::fs::write(
+        &live,
+        "{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"seq\":0,\"t_us\":10,\
+         \"kind\":\"delta\",\"phase\":\"a\",\"open_spans\":1,\
+         \"counters\":{\"des.live.events\":5}}\n",
+    )
+    .unwrap();
+    let watch = pioeval(&[
+        "watch",
+        live.to_str().unwrap(),
+        "--follow-until-done",
+        "--timeout",
+        "0.3",
+    ]);
+    assert!(
+        !watch.status.success(),
+        "follow-until-done must fail when the stream never completes"
+    );
+    // Without the flag the same truncated stream is fine.
+    let watch = pioeval(&[
+        "watch",
+        live.to_str().unwrap(),
+        "--timeout",
+        "0.3",
+        "--json",
+    ]);
+    std::fs::remove_file(&live).ok();
+    assert!(watch.status.success());
+    let replay = serde_json::parse(&String::from_utf8(watch.stdout).unwrap()).unwrap();
+    assert_eq!(replay.get("done"), Some(&Value::Bool(false)));
+    assert_eq!(
+        replay
+            .get("counters")
+            .and_then(|c| c.get("des.live.events"))
+            .map(as_u64),
+        Some(5)
+    );
+}
+
+#[test]
+fn compare_renders_trends_over_archived_history() {
+    let hist = scratch("history.jsonl");
+    std::fs::write(
+        &hist,
+        concat!(
+            "{\"schema\": \"pioeval-bench-history/1\", \"rev\": \"abc1234\", \"timestamp\": \"1\", ",
+            "\"benches\": [{\"name\": \"phold_seq\", \"events_per_sec\": 100.0}, ",
+            "{\"name\": \"phold_par_t2\", \"events_per_sec\": 150.0}]}\n",
+            "{\"schema\": \"pioeval-bench-history/1\", \"rev\": \"def5678\", \"timestamp\": \"2\", ",
+            "\"benches\": [{\"name\": \"phold_seq\", \"events_per_sec\": 110.0}, ",
+            "{\"name\": \"phold_par_t2\", \"events_per_sec\": 165.0}]}\n",
+        ),
+    )
+    .unwrap();
+    let output = pioeval(&[
+        "compare",
+        "--last",
+        "2",
+        "--history",
+        hist.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&hist).ok();
+    assert!(
+        output.status.success(),
+        "compare failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("phold_par_t2"), "{stdout}");
+    assert!(stdout.contains("vs prev"), "{stdout}");
+    assert!(stdout.contains("def5678"), "newest rev shown: {stdout}");
+}
+
+#[test]
+fn live_out_inside_target_warns_pio060_but_runs() {
+    // `target/` exists in a cargo workspace and is exactly the trap
+    // PIO060 calls out; the run must still succeed.
+    let live = format!("target/pioeval-live-test-{}.jsonl", std::process::id());
+    let output = pioeval(&[
+        "run",
+        "--workload",
+        "ior",
+        "--ranks",
+        "2",
+        "--quiet",
+        "--live-out",
+        &live,
+    ]);
+    std::fs::remove_file(&live).ok();
+    assert!(
+        output.status.success(),
+        "PIO060 is a warning, not an error: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("PIO060"), "warning missing: {stderr}");
+}
+
+#[test]
+fn trace_out_carries_live_counter_tracks() {
+    let live = scratch("trace-live.jsonl");
+    let trace = scratch("trace.json");
+    let output = pioeval(&[
+        "run",
+        "--workload",
+        "ior",
+        "--ranks",
+        "4",
+        "--live-interval",
+        "10",
+        "--live-out",
+        live.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(output.status.success());
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    std::fs::remove_file(&live).ok();
+    std::fs::remove_file(&trace).ok();
+    let doc = serde_json::parse(&text).expect("trace parses");
+    let Some(Value::Seq(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    let counter_tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").map(as_str) == Some("C"))
+        .map(|e| as_str(e.get("name").unwrap()))
+        .collect();
+    assert!(
+        counter_tracks.contains(&"des.live.events"),
+        "live counter series missing from trace: {counter_tracks:?}"
+    );
+}
