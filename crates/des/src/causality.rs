@@ -1,0 +1,285 @@
+//! Run-time causality sanitizer for the conservative parallel engine
+//! (`--features causality-check`).
+//!
+//! The conservative window protocol rests on two invariants:
+//!
+//! 1. **Commit monotonicity.** A worker's window horizons only grow,
+//!    and no event ever executes strictly below a horizon the worker
+//!    has already committed (finished a window at). An event below the
+//!    committed horizon is a straggler — the parallel run can no longer
+//!    reproduce the sequential trajectory.
+//! 2. **Send ordering.** Cross-worker mailbox batches arrive in the
+//!    order they were sent (per channel), and every delivered event is
+//!    at or above the receiver's committed horizon.
+//!
+//! Both are *supposed* to hold by construction; this module asserts
+//! them at run time so a future scheduling bug aborts loudly with a
+//! diagnostic snapshot (worker, window id, horizon, offending event
+//! time) instead of silently corrupting results. The guard costs one
+//! branch and one max per event, so it is compiled in only under the
+//! `causality-check` cargo feature; release builds carry zero overhead.
+//!
+//! Single-worker runs bypass the parallel machinery entirely (the
+//! sequential executor is definitionally causal) and are not guarded.
+
+/// Per-worker causality state: the committed horizon, the open
+/// window's horizon, and a Lamport clock over executed events.
+#[derive(Debug)]
+pub struct CausalityGuard {
+    worker: usize,
+    /// Horizon of the last *finished* window: no event may ever
+    /// execute strictly below this again.
+    committed: u64,
+    /// Horizon of the currently open window, if one is open.
+    window: Option<u64>,
+    /// Lamport clock: max event timestamp executed so far.
+    clock: u64,
+    /// Number of windows this worker has opened (the window id).
+    windows: u64,
+}
+
+impl CausalityGuard {
+    /// A fresh guard for `worker`, with nothing committed.
+    pub fn new(worker: usize) -> Self {
+        CausalityGuard {
+            worker,
+            committed: 0,
+            window: None,
+            clock: 0,
+            windows: 0,
+        }
+    }
+
+    /// The committed horizon (exclusive lower bound for future events).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Open a window at horizon `h`. Horizons must be monotone: a
+    /// window below an already-committed horizon means the decide step
+    /// went backwards in time.
+    #[track_caller]
+    pub fn begin_window(&mut self, h: u64) {
+        assert!(
+            h >= self.committed,
+            "causality violation: worker {} window {} opens at horizon {} \
+             below its committed horizon {} (clock {})",
+            self.worker,
+            self.windows,
+            h,
+            self.committed,
+            self.clock,
+        );
+        self.windows += 1;
+        self.window = Some(h);
+    }
+
+    /// Record the execution of an event at `t` nanos. Panics if the
+    /// event lies strictly below the committed horizon (a straggler)
+    /// or at/above the open window's horizon (a window-store leak).
+    #[track_caller]
+    pub fn check_execute(&mut self, t: u64) {
+        let h = self
+            .window
+            .expect("causality-check: event executed outside any window");
+        assert!(
+            t >= self.committed,
+            "causality violation: worker {} window {} executed an event at \
+             {} ns, strictly below its committed horizon {} ns (window \
+             horizon {}, clock {})",
+            self.worker,
+            self.windows,
+            t,
+            self.committed,
+            h,
+            self.clock,
+        );
+        assert!(
+            t < h,
+            "causality violation: worker {} window {} executed an event at \
+             {} ns, at or beyond the window horizon {} ns (committed {}, \
+             clock {})",
+            self.worker,
+            self.windows,
+            t,
+            h,
+            self.committed,
+            self.clock,
+        );
+        self.clock = self.clock.max(t);
+    }
+
+    /// Close the open window and commit its horizon.
+    pub fn end_window(&mut self) {
+        if let Some(h) = self.window.take() {
+            self.committed = self.committed.max(h);
+        }
+    }
+}
+
+/// One cross-worker mailbox hand-off, published by the sender next to
+/// the batch itself: the sending worker, its per-channel sequence
+/// number, and the minimum event timestamp in the batch.
+#[derive(Clone, Copy, Debug)]
+pub struct CausalStamp {
+    /// Sending worker index.
+    pub from: usize,
+    /// Per-(from → to) channel sequence number, starting at 0.
+    pub seq: u64,
+    /// Minimum event time (nanos) in the stamped batch.
+    pub min_time: u64,
+}
+
+/// Receiver-side check of [`CausalStamp`]s: per-channel sequence
+/// numbers must arrive in send order with no gaps, and no delivered
+/// batch may dip below the receiver's committed horizon.
+#[derive(Debug)]
+pub struct ChannelCheck {
+    worker: usize,
+    /// Next expected sequence number per sending worker.
+    expect: Vec<u64>,
+}
+
+impl ChannelCheck {
+    /// A fresh checker for `worker` receiving from `threads` senders.
+    pub fn new(worker: usize, threads: usize) -> Self {
+        ChannelCheck {
+            worker,
+            expect: vec![0; threads],
+        }
+    }
+
+    /// Validate one delivered stamp against the receiver's committed
+    /// horizon at drain time.
+    #[track_caller]
+    pub fn on_deliver(&mut self, stamp: &CausalStamp, committed: u64) {
+        let expected = self.expect[stamp.from];
+        assert!(
+            stamp.seq == expected,
+            "causality violation: worker {} received batch seq {} from \
+             worker {} but expected seq {} (mailbox reordered or dropped)",
+            self.worker,
+            stamp.seq,
+            stamp.from,
+            expected,
+        );
+        self.expect[stamp.from] = expected + 1;
+        assert!(
+            stamp.min_time >= committed,
+            "causality violation: worker {} received a batch from worker \
+             {} (seq {}) whose earliest event at {} ns is below the \
+             receiver's committed horizon {} ns",
+            self.worker,
+            stamp.from,
+            stamp.seq,
+            stamp.min_time,
+            committed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_window_sequence_passes() {
+        let mut g = CausalityGuard::new(0);
+        g.begin_window(100);
+        g.check_execute(0);
+        g.check_execute(99);
+        g.end_window();
+        g.begin_window(250);
+        g.check_execute(100);
+        g.check_execute(249);
+        g.end_window();
+        assert_eq!(g.committed(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly below its committed horizon")]
+    fn straggler_event_fires_the_sanitizer() {
+        // Commit a window at horizon 1000, then let an event at 999
+        // slip through: the sanitizer must abort.
+        let mut g = CausalityGuard::new(3);
+        g.begin_window(1000);
+        g.check_execute(500);
+        g.end_window();
+        g.begin_window(2000);
+        g.check_execute(999);
+    }
+
+    #[test]
+    #[should_panic(expected = "below its committed horizon")]
+    fn regressing_horizon_fires_the_sanitizer() {
+        let mut g = CausalityGuard::new(1);
+        g.begin_window(1000);
+        g.end_window();
+        g.begin_window(999);
+    }
+
+    #[test]
+    #[should_panic(expected = "at or beyond the window horizon")]
+    fn event_beyond_window_horizon_fires_the_sanitizer() {
+        let mut g = CausalityGuard::new(0);
+        g.begin_window(100);
+        g.check_execute(100);
+    }
+
+    #[test]
+    fn in_order_channel_delivery_passes() {
+        let mut c = ChannelCheck::new(1, 4);
+        c.on_deliver(
+            &CausalStamp {
+                from: 0,
+                seq: 0,
+                min_time: 50,
+            },
+            0,
+        );
+        c.on_deliver(
+            &CausalStamp {
+                from: 0,
+                seq: 1,
+                min_time: 120,
+            },
+            100,
+        );
+        c.on_deliver(
+            &CausalStamp {
+                from: 2,
+                seq: 0,
+                min_time: 100,
+            },
+            100,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox reordered or dropped")]
+    fn out_of_order_delivery_fires_the_sanitizer() {
+        let mut c = ChannelCheck::new(0, 2);
+        c.on_deliver(
+            &CausalStamp {
+                from: 1,
+                seq: 1,
+                min_time: 10,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below the receiver's committed horizon")]
+    fn late_delivery_fires_the_sanitizer() {
+        let mut c = ChannelCheck::new(0, 2);
+        c.on_deliver(
+            &CausalStamp {
+                from: 1,
+                seq: 0,
+                min_time: 99,
+            },
+            100,
+        );
+    }
+}

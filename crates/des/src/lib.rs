@@ -29,7 +29,18 @@
 //! least [`Simulation::lookahead`]. The storage simulator in `pioeval-pfs`
 //! satisfies this naturally: every cross-node message traverses a fabric
 //! link with non-zero latency. Self-messages may use any delay.
+//!
+//! **Causality sanitizer.** Building with `--features causality-check`
+//! compiles per-worker Lamport-clock guards into both parallel backends
+//! (the `causality` module, compiled only under that feature): every
+//! executed event is asserted to lie inside its
+//! worker's open window and at/above its committed horizon, and every
+//! cross-worker mailbox delivery is checked for send ordering.
+//! Violations abort with a diagnostic snapshot. The default build
+//! carries zero overhead.
 
+#[cfg(feature = "causality-check")]
+pub mod causality;
 pub mod event;
 pub mod parallel;
 pub mod phold;

@@ -624,6 +624,10 @@ fn run_cooperative<M: 'static>(
     let mut emitted: Vec<Envelope<M>> = Vec::new();
     let mut halt_flag = false;
     let mut stage: Vec<Vec<Envelope<M>>> = (0..threads).map(|_| Vec::new()).collect();
+    #[cfg(feature = "causality-check")]
+    let mut guards: Vec<crate::causality::CausalityGuard> = (0..threads)
+        .map(crate::causality::CausalityGuard::new)
+        .collect();
     // Live-progress instruments, updated once per window/turn boundary
     // (never inside the event loop) from pre-fetched handles.
     let live_obs = pioeval_obs::global();
@@ -685,12 +689,16 @@ fn run_cooperative<M: 'static>(
             let processed_before = workers[i].processed;
             let me = &mut workers[i];
             me.store.begin_window(h);
+            #[cfg(feature = "causality-check")]
+            guards[i].begin_window(h);
             while !halt_flag {
                 let Some(ev) = me.store.pop_window() else {
                     break;
                 };
                 let dst = ev.dst();
                 let now = ev.time();
+                #[cfg(feature = "causality-check")]
+                guards[i].check_execute(now.as_nanos());
                 me.end_max = me.end_max.max(now.as_nanos());
                 let slot = me.slots[dst.index()];
                 let (_, entity) = &mut me.entities[slot];
@@ -720,6 +728,8 @@ fn run_cooperative<M: 'static>(
                 }
             }
             me.busy += started.elapsed();
+            #[cfg(feature = "causality-check")]
+            guards[i].end_window();
             let turn_events = me.processed - processed_before;
             if turn_events > 0 {
                 live_events.add(turn_events);
@@ -774,6 +784,12 @@ fn run_threaded<M: Send + 'static>(
     let mailboxes: Vec<Mutex<Vec<Envelope<M>>>> = (0..threads * threads)
         .map(|_| Mutex::new(Vec::new()))
         .collect();
+    // Causality side-channel, parallel to `mailboxes`: every batch swap
+    // is mirrored by a stamp push, validated on drain.
+    #[cfg(feature = "causality-check")]
+    let stamps: Vec<Mutex<Vec<crate::causality::CausalStamp>>> = (0..threads * threads)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
 
     let mut joined: Vec<(Worker<M>, ExecStats)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -785,6 +801,8 @@ fn run_threaded<M: Send + 'static>(
             let halt = &halt;
             let out_min = &out_min;
             let mailboxes = &mailboxes;
+            #[cfg(feature = "causality-check")]
+            let stamps = &stamps;
             handles.push(scope.spawn(move || {
                 // Telemetry spans are kept in thread-locals for the whole
                 // run and merged once at the end: the window loop never
@@ -809,6 +827,12 @@ fn run_threaded<M: Send + 'static>(
                 let mut staged: Vec<Vec<Envelope<M>>> = (0..threads).map(|_| Vec::new()).collect();
                 let mut stage_min: Vec<u64> = vec![u64::MAX; threads];
                 let mut inbox: Vec<Envelope<M>> = Vec::new();
+                #[cfg(feature = "causality-check")]
+                let mut guard = crate::causality::CausalityGuard::new(tid);
+                #[cfg(feature = "causality-check")]
+                let mut chan = crate::causality::ChannelCheck::new(tid, threads);
+                #[cfg(feature = "causality-check")]
+                let mut send_seq: Vec<u64> = vec![0; threads];
                 // Publish the initial snapshot under parity 0.
                 next[0][tid].store(worker.store.next_nanos(), Ordering::Relaxed);
                 delta[0][tid].store(worker.store.len() as i64, Ordering::Relaxed);
@@ -850,6 +874,13 @@ fn run_threaded<M: Send + 'static>(
                             worker.store.append(&mut inbox);
                         }
                     }
+                    #[cfg(feature = "causality-check")]
+                    for k in 0..threads {
+                        let mut sl = stamps[k * threads + tid].lock();
+                        for st in sl.drain(..) {
+                            chan.on_deliver(&st, guard.committed());
+                        }
+                    }
                     if t == u64::MAX || was_halted || stop_at.is_some_and(|limit| t > limit) {
                         stats.halted = was_halted;
                         break;
@@ -864,12 +895,16 @@ fn run_threaded<M: Send + 'static>(
                     if my_next < h {
                         let started = Instant::now();
                         worker.store.begin_window(h);
+                        #[cfg(feature = "causality-check")]
+                        guard.begin_window(h);
                         while !halt_flag {
                             let Some(ev) = worker.store.pop_window() else {
                                 break;
                             };
                             let dst = ev.dst();
                             let now = ev.time();
+                            #[cfg(feature = "causality-check")]
+                            guard.check_execute(now.as_nanos());
                             worker.end_max = worker.end_max.max(now.as_nanos());
                             let slot = worker.slots[dst.index()];
                             let (_, entity) = &mut worker.entities[slot];
@@ -901,6 +936,8 @@ fn run_threaded<M: Send + 'static>(
                             }
                         }
                         worker.busy += started.elapsed();
+                        #[cfg(feature = "causality-check")]
+                        guard.end_window();
                     }
                     if worker.processed == processed_before {
                         // A pure synchronization round for this thread —
@@ -922,6 +959,8 @@ fn run_threaded<M: Send + 'static>(
                             continue;
                         }
                         out_min[q][tid * threads + w].store(stage_min[w], Ordering::Relaxed);
+                        #[cfg(feature = "causality-check")]
+                        let batch_min = stage_min[w];
                         stage_min[w] = u64::MAX;
                         if !staged[w].is_empty() {
                             let mut slot = mailboxes[tid * threads + w].lock();
@@ -929,6 +968,17 @@ fn run_threaded<M: Send + 'static>(
                                 std::mem::swap(&mut *slot, &mut staged[w]);
                             } else {
                                 slot.append(&mut staged[w]);
+                            }
+                            drop(slot);
+                            #[cfg(feature = "causality-check")]
+                            {
+                                let st = crate::causality::CausalStamp {
+                                    from: tid,
+                                    seq: send_seq[w],
+                                    min_time: batch_min,
+                                };
+                                send_seq[w] += 1;
+                                stamps[tid * threads + w].lock().push(st);
                             }
                         }
                     }

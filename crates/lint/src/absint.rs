@@ -1,0 +1,1186 @@
+//! Abstract interpretation of workload CFGs over a strided-interval
+//! byte-range domain.
+//!
+//! Every per-(rank, file) cursor is tracked as a *symbolic value*
+//! `base + Σ kᵢ·strideᵢ + [0, spread]` where each `kᵢ ∈ [0, tripsᵢ)` is
+//! the induction variable of an enclosing `repeat` loop. Loops are
+//! handled in closed form: a *probe* pass runs the body once to learn
+//! the per-iteration cursor and epoch deltas (all DSL transfer functions
+//! are affine, so one probe is exact), then a *collection* pass runs the
+//! body once more with a widened state carrying `(delta, trips)` as a
+//! fresh stride dimension, and the loop's exit state is computed
+//! directly as `entry + trips·delta`. There is no iteration budget
+//! anywhere: a `repeat 1000000000` costs the same as a `repeat 2`.
+//!
+//! Cross-rank reasoning is symbolic in the rank: a shared file places
+//! rank `r` at byte `r·lane`, so two accesses race iff there exist
+//! iteration vectors and a rank distance `δ ≠ 0` with
+//! `δ·lane ∈ (posₐ − pos_b − w_b, posₐ − pos_b + wₐ)` in the same
+//! barrier epoch. After simplification each access contributes at most
+//! one residual stride, and that decision reduces to "does an
+//! arithmetic progression hit a residue window mod `lane`", solved
+//! exactly in `O(log)` by a Euclidean descent ([`min_mod`]) — sound for
+//! *any* number of ranks, not a sampled probe set.
+//!
+//! Diagnostics emitted here: `PIO019` (lane spill), `PIO020` (shared
+//! write race), `PIO021` (barrier under `onrank`), `PIO022` (dead
+//! code), `PIO023` (read never written), `PIO024` (access past the
+//! declared file size).
+
+use crate::cfg::{BlockKind, Cfg};
+use crate::diag::{Code, LintReport};
+use pioeval_types::{IoKind, MetaOp};
+use pioeval_workloads::dsl::{DslWorkload, Scope, Stmt, StmtKind};
+use std::collections::{HashMap, HashSet};
+
+/// A symbolic byte offset: `base + Σ kᵢ·strides[i] + [0, spread]`.
+#[derive(Clone, Debug, Default)]
+struct SymVal {
+    base: u64,
+    /// Join slack from merging `onrank` branches (interval width).
+    spread: u64,
+    /// Per-loop strides, parallel to `Interp::loops` (outermost first).
+    strides: Vec<u64>,
+}
+
+impl SymVal {
+    fn zero(dims: usize) -> Self {
+        SymVal {
+            base: 0,
+            spread: 0,
+            strides: vec![0; dims],
+        }
+    }
+
+    fn advance(&mut self, bytes: u64) {
+        self.base = self.base.saturating_add(bytes);
+    }
+
+    /// Interval join (hull) with stride-wise max.
+    fn merge(&mut self, other: &SymVal) {
+        let lo = self.base.min(other.base);
+        let hi =
+            (self.base.saturating_add(self.spread)).max(other.base.saturating_add(other.spread));
+        self.base = lo;
+        self.spread = hi - lo;
+        if self.strides.len() < other.strides.len() {
+            self.strides.resize(other.strides.len(), 0);
+        }
+        for (i, s) in other.strides.iter().enumerate() {
+            self.strides[i] = self.strides[i].max(*s);
+        }
+    }
+}
+
+/// Abstract machine state: one cursor per file plus the barrier epoch.
+#[derive(Clone, Debug, Default)]
+struct State {
+    cursors: HashMap<String, SymVal>,
+    epoch: SymVal,
+}
+
+impl State {
+    fn merge(&mut self, other: &State) {
+        let keys: Vec<String> = self
+            .cursors
+            .keys()
+            .chain(other.cursors.keys())
+            .cloned()
+            .collect();
+        for k in keys {
+            let theirs = other.cursors.get(&k).cloned().unwrap_or_default();
+            self.cursors.entry(k).or_default().merge(&theirs);
+        }
+        self.epoch.merge(&other.epoch);
+    }
+}
+
+/// One stride dimension of an access: the enclosing loop's trip count
+/// and how far the position / epoch move per iteration.
+#[derive(Clone, Copy, Debug)]
+struct RecDim {
+    trips: u64,
+    pos: u64,
+    epoch: u64,
+}
+
+/// One data access, rank-relative, in closed form.
+#[derive(Clone, Debug)]
+struct AccessRec {
+    line: u32,
+    file: String,
+    write: bool,
+    /// `Some(r)` when the access sits under `onrank r`.
+    guard: Option<u32>,
+    base: u64,
+    spread: u64,
+    /// Bytes per placement.
+    width: u64,
+    dims: Vec<RecDim>,
+    epoch_base: u64,
+    epoch_spread: u64,
+}
+
+impl AccessRec {
+    /// Highest rank-relative byte the access can reach (exclusive).
+    fn reach(&self) -> u64 {
+        let mut r = self
+            .base
+            .saturating_add(self.spread)
+            .saturating_add(self.width);
+        for d in &self.dims {
+            r = r.saturating_add(d.pos.saturating_mul(d.trips.saturating_sub(1)));
+        }
+        r
+    }
+}
+
+/// The interpreter: walks the CFG once per region, accumulating access
+/// records and emitting position diagnostics.
+struct Interp<'a> {
+    w: &'a DslWorkload,
+    cfg: &'a Cfg,
+    /// Trip counts of the open loop nest, outermost first.
+    loops: Vec<u64>,
+    records: Vec<AccessRec>,
+    overflow_warned: HashSet<u32>,
+    size_warned: HashSet<u32>,
+    dead_warned: HashSet<u32>,
+    barrier_warned: HashSet<u32>,
+}
+
+/// Run the full analysis for one workload body.
+pub(crate) fn analyze(w: &DslWorkload, cfg: &Cfg, report: &mut LintReport) {
+    let mut it = Interp {
+        w,
+        cfg,
+        loops: Vec::new(),
+        records: Vec::new(),
+        overflow_warned: HashSet::new(),
+        size_warned: HashSet::new(),
+        dead_warned: HashSet::new(),
+        barrier_warned: HashSet::new(),
+    };
+    let mut state = State::default();
+    it.run(cfg.entry, cfg.exit, &mut state, true, report);
+    it.race_scan(report);
+    it.read_never_written(report);
+    for (_, line) in cfg.unreachable_regions() {
+        report.warn(
+            Code::UnreachableCode,
+            Some(line),
+            "statement is unreachable (enclosing `repeat 0` never executes)",
+        );
+    }
+}
+
+impl<'a> Interp<'a> {
+    fn normalize(&self, v: &mut SymVal) {
+        v.strides.resize(self.loops.len(), 0);
+    }
+
+    /// Interpret the region from `start` until `stop` (exclusive).
+    fn run(
+        &mut self,
+        start: usize,
+        stop: usize,
+        state: &mut State,
+        record: bool,
+        report: &mut LintReport,
+    ) {
+        let cfg = self.cfg;
+        let mut cur = start;
+        while cur != stop {
+            let block = &cfg.blocks[cur];
+            match block.kind {
+                BlockKind::Entry | BlockKind::Exit | BlockKind::Join => {
+                    cur = block.succ[0];
+                }
+                BlockKind::Body => {
+                    let guard = block.guards.last().copied();
+                    for s in &block.stmts {
+                        self.apply(s, guard, state, record, report);
+                    }
+                    cur = block.succ[0];
+                }
+                BlockKind::Barrier { line } => {
+                    state.epoch.advance(1);
+                    if record && !block.guards.is_empty() && self.barrier_warned.insert(line) {
+                        report.error(
+                            Code::RankDivergentBarrier,
+                            Some(line),
+                            format!(
+                                "`barrier` inside `onrank {}` runs on one rank only; \
+                                 the other ranks never reach it and the program \
+                                 deadlocks",
+                                block.guards.last().unwrap()
+                            ),
+                        );
+                    }
+                    cur = block.succ[0];
+                }
+                BlockKind::LoopHead {
+                    trips,
+                    body,
+                    follow,
+                    ..
+                } => {
+                    self.do_loop(trips, body, cur, state, record, report);
+                    cur = follow;
+                }
+                BlockKind::RankGuard {
+                    rank,
+                    line,
+                    body,
+                    join,
+                } => {
+                    let conflict = block.guards.iter().any(|&g| g != rank);
+                    if conflict {
+                        if record && self.dead_warned.insert(line) {
+                            report.warn(
+                                Code::UnreachableCode,
+                                Some(line),
+                                format!(
+                                    "`onrank {rank}` is nested inside an `onrank` \
+                                     for a different rank and never executes"
+                                ),
+                            );
+                        }
+                    } else {
+                        let mut taken = state.clone();
+                        self.run(body, join, &mut taken, record, report);
+                        state.merge(&taken);
+                    }
+                    cur = cfg.blocks[join].succ[0];
+                }
+            }
+        }
+    }
+
+    /// Closed-form loop handling: probe once for the per-iteration
+    /// delta, collect once with a widened state, exit directly at
+    /// `entry + trips·delta`.
+    fn do_loop(
+        &mut self,
+        trips: u64,
+        body: usize,
+        head: usize,
+        state: &mut State,
+        record: bool,
+        report: &mut LintReport,
+    ) {
+        if trips == 0 {
+            return;
+        }
+        if trips == 1 {
+            self.run(body, head, state, record, report);
+            return;
+        }
+        let entry = state.clone();
+        let mut probe = state.clone();
+        self.run(body, head, &mut probe, false, report);
+
+        let mut keys: Vec<String> = probe.cursors.keys().cloned().collect();
+        keys.sort(); // deterministic record order is irrelevant, state isn't observable — sort anyway
+        let delta = |e: &SymVal, p: &SymVal| {
+            (
+                p.base.saturating_sub(e.base),
+                p.spread.saturating_sub(e.spread),
+            )
+        };
+
+        if record {
+            let mut widened = entry.clone();
+            self.loops.push(trips);
+            for k in &keys {
+                let e = entry.cursors.get(k).cloned().unwrap_or_default();
+                let (d, ds) = delta(&e, &probe.cursors[k]);
+                let v = widened.cursors.entry(k.clone()).or_default();
+                self.normalize_to(v, self.loops.len() - 1);
+                v.strides.push(d);
+                v.spread = v.spread.saturating_add(ds.saturating_mul(trips - 1));
+            }
+            let (de, dse) = delta(&entry.epoch, &probe.epoch);
+            self.normalize_to(&mut widened.epoch, self.loops.len() - 1);
+            widened.epoch.strides.push(de);
+            widened.epoch.spread = widened
+                .epoch
+                .spread
+                .saturating_add(dse.saturating_mul(trips - 1));
+            self.run(body, head, &mut widened, true, report);
+            self.loops.pop();
+        }
+
+        for k in &keys {
+            let e = entry.cursors.get(k).cloned().unwrap_or_default();
+            let (d, ds) = delta(&e, &probe.cursors[k]);
+            let v = state.cursors.entry(k.clone()).or_default();
+            v.base = e.base.saturating_add(d.saturating_mul(trips));
+            v.spread = e.spread.saturating_add(ds.saturating_mul(trips));
+            v.strides = e.strides;
+            self.normalize(v);
+        }
+        let (de, dse) = delta(&entry.epoch, &probe.epoch);
+        state.epoch.base = entry.epoch.base.saturating_add(de.saturating_mul(trips));
+        state.epoch.spread = entry.epoch.spread.saturating_add(dse.saturating_mul(trips));
+    }
+
+    fn normalize_to(&self, v: &mut SymVal, len: usize) {
+        v.strides.resize(len, 0);
+    }
+
+    /// Transfer function for one straight-line statement.
+    fn apply(
+        &mut self,
+        s: &Stmt,
+        guard: Option<u32>,
+        state: &mut State,
+        record: bool,
+        report: &mut LintReport,
+    ) {
+        let StmtKind::Data {
+            kind,
+            file,
+            size,
+            count,
+            random,
+            at,
+        } = &s.kind
+        else {
+            return; // Meta/Compute do not move cursors
+        };
+        let Some(decl) = self.w.files.get(file) else {
+            return; // PIO010 already
+        };
+        if *size == 0 || *count == 0 {
+            return; // PIO016/PIO017 already
+        }
+        let shared = decl.scope == Scope::Shared;
+        let width = size.saturating_mul(*count);
+
+        let start = if *random {
+            SymVal::zero(self.loops.len())
+        } else if let Some(off) = at {
+            let mut v = SymVal::zero(self.loops.len());
+            v.base = *off;
+            v
+        } else {
+            let cur = state.cursors.entry(file.clone()).or_default();
+            self.normalize(cur);
+            let start = cur.clone();
+            cur.advance(width);
+            start
+        };
+
+        if !record {
+            return;
+        }
+        let mut epoch = state.epoch.clone();
+        self.normalize(&mut epoch);
+
+        let dims: Vec<RecDim> = self
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(i, &trips)| RecDim {
+                trips,
+                pos: start.strides[i],
+                epoch: epoch.strides[i],
+            })
+            .filter(|d| d.pos != 0 || d.epoch != 0)
+            .collect();
+
+        let rec = AccessRec {
+            line: s.line,
+            file: file.clone(),
+            write: *kind == IoKind::Write,
+            guard,
+            base: start.base,
+            spread: start.spread,
+            width: if *random { decl.lane.max(*size) } else { width },
+            dims,
+            epoch_base: epoch.base,
+            epoch_spread: epoch.spread,
+        };
+
+        // PIO019: the access leaves the rank's lane of a shared file.
+        if shared {
+            let spills = if *random {
+                *size > decl.lane
+            } else {
+                rec.reach() > decl.lane
+            };
+            if spills && self.overflow_warned.insert(s.line) {
+                let msg = if *random {
+                    format!(
+                        "random {} of {size} bytes exceeds the {}-byte lane \
+                         of shared file `{file}`",
+                        verb(*kind),
+                        decl.lane
+                    )
+                } else {
+                    format!(
+                        "sequential {} reaches byte {} of the {}-byte lane of \
+                         shared file `{file}` (spills into the next rank's lane)",
+                        verb(*kind),
+                        rec.reach(),
+                        decl.lane
+                    )
+                };
+                report.warn(Code::LaneOverflow, Some(s.line), msg);
+            }
+        }
+
+        // PIO024: the access reaches past the declared file size.
+        if let Some(declared) = decl.size {
+            let over = if *random {
+                decl.lane.max(*size) > declared
+            } else {
+                rec.reach() > declared
+            };
+            let cross_rank = shared && decl.lane > declared;
+            if (over || cross_rank) && self.size_warned.insert(s.line) {
+                let detail = if over {
+                    format!("reaches byte {}", rec.reach())
+                } else {
+                    format!(
+                        "puts rank 1 at byte {} (one {}-byte lane in)",
+                        decl.lane, decl.lane
+                    )
+                };
+                report.warn(
+                    Code::CursorPastDeclaredSize,
+                    Some(s.line),
+                    format!(
+                        "{} of `{file}` {detail}, past its declared \
+                         {declared}-byte size",
+                        verb(*kind),
+                    ),
+                );
+            }
+        }
+
+        // Random reads have no meaningful range for PIO020/PIO023.
+        if !(*random && *kind == IoKind::Read) {
+            self.records.push(rec);
+        }
+    }
+
+    /// PIO020: symbolic cross-rank overlap scan over shared-file writes.
+    fn race_scan(&self, report: &mut LintReport) {
+        let mut flagged: HashSet<(String, u32, u32)> = HashSet::new();
+        let mut files: Vec<&str> = self
+            .records
+            .iter()
+            .filter(|r| r.write)
+            .map(|r| r.file.as_str())
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        for file in files {
+            let Some(decl) = self.w.files.get(file) else {
+                continue;
+            };
+            if decl.scope != Scope::Shared || decl.lane == 0 {
+                continue;
+            }
+            let lane = decl.lane as i128;
+            let writes: Vec<(&AccessRec, Simple)> = self
+                .records
+                .iter()
+                .filter(|r| r.write && r.file == file)
+                .map(|r| (r, simplify(r)))
+                .collect();
+            for (i, (ra, sa)) in writes.iter().enumerate() {
+                for (rb, sb) in &writes[i..] {
+                    if std::ptr::eq(*ra, *rb) && ra.guard.is_some() {
+                        continue; // a guarded stmt exists on one rank only
+                    }
+                    let Some(approx) = pair_races(sa, sb, ra.guard, rb.guard, lane) else {
+                        continue;
+                    };
+                    let (lo, hi) = (ra.line.min(rb.line), ra.line.max(rb.line));
+                    if !flagged.insert((file.to_string(), lo, hi)) {
+                        continue;
+                    }
+                    let who = match (ra.guard, rb.guard) {
+                        (Some(x), Some(y)) => format!("ranks {} and {}", x.min(y), x.max(y)),
+                        _ => "two ranks".to_string(),
+                    };
+                    let action = if approx { "may write" } else { "write" };
+                    report.error(
+                        Code::SharedWriteRace,
+                        Some(lo),
+                        format!(
+                            "{who} {action} overlapping bytes of shared file \
+                             `{file}` with no barrier between (lines {lo} and {hi})"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// PIO023: a sequential/positioned read of a file this program
+    /// creates, whose range no write statement can touch.
+    fn read_never_written(&self, report: &mut LintReport) {
+        // First lifecycle op per file, in source order.
+        let mut first_op: HashMap<&str, MetaOp> = HashMap::new();
+        fn scan<'b>(stmts: &'b [Stmt], first: &mut HashMap<&'b str, MetaOp>) {
+            for s in stmts {
+                match &s.kind {
+                    StmtKind::Meta(op @ (MetaOp::Create | MetaOp::Open), f) => {
+                        first.entry(f.as_str()).or_insert(*op);
+                    }
+                    StmtKind::Repeat(_, inner) | StmtKind::OnRank(_, inner) => {
+                        scan(inner, first);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        scan(&self.w.body, &mut first_op);
+
+        let mut warned: HashSet<u32> = HashSet::new();
+        for r in &self.records {
+            if r.write || warned.contains(&r.line) {
+                continue;
+            }
+            if first_op.get(r.file.as_str()) != Some(&MetaOp::Create) {
+                continue; // opened pre-existing file: contents unknown, stay quiet
+            }
+            let decl = &self.w.files[&r.file];
+            let (rlo, rhi) = (r.base, r.reach());
+            let covered = self.records.iter().any(|w| {
+                if !w.write || w.file != r.file {
+                    return false;
+                }
+                let (wlo, mut whi) = (w.base, w.reach());
+                if decl.scope == Scope::Shared && whi > decl.lane {
+                    whi = u64::MAX; // spilling writes reach other ranks' lanes
+                }
+                wlo < rhi && rlo < whi
+            });
+            if !covered {
+                warned.insert(r.line);
+                report.warn(
+                    Code::ReadNeverWritten,
+                    Some(r.line),
+                    format!(
+                        "read of bytes [{rlo}, {rhi}) of `{}`, which no \
+                         statement writes (the file is created empty in \
+                         this program)",
+                        r.file
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn verb(kind: IoKind) -> &'static str {
+    match kind {
+        IoKind::Read => "read",
+        IoKind::Write => "write",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Race decision procedure
+// ---------------------------------------------------------------------------
+
+/// An access reduced to at most one residual stride dimension.
+#[derive(Clone, Copy, Debug)]
+struct Simple {
+    base: u64,
+    /// Width including join slack and densified dimensions.
+    width: u64,
+    /// `(trips, pos_stride, epoch_stride)` of the surviving dimension.
+    dim: Option<(u64, u64, u64)>,
+    /// Epoch interval (inclusive) of the non-dimensional part.
+    elo: u64,
+    ehi: u64,
+    /// Whether any over-approximation was applied.
+    approx: bool,
+}
+
+/// Collapse an access record to at most one stride dimension.
+///
+/// Epoch-free dimensions whose placements tile contiguously
+/// (`width ≥ stride`) densify exactly into the width, innermost first.
+/// If more than one dimension survives, all but one are densified as an
+/// over-approximation (`approx = true`); the kept dimension prefers an
+/// epoch-coupled one so barrier reasoning stays exact.
+fn simplify(r: &AccessRec) -> Simple {
+    let mut width = r.width.saturating_add(r.spread);
+    let elo = r.epoch_base;
+    let mut ehi = r.epoch_base.saturating_add(r.epoch_spread);
+    let mut approx = false;
+    let mut kept: Vec<(u64, u64, u64)> = Vec::new();
+    for d in r.dims.iter().rev() {
+        if d.epoch == 0 {
+            if d.pos == 0 {
+                continue;
+            }
+            if width >= d.pos {
+                width = width.saturating_add(d.pos.saturating_mul(d.trips - 1));
+            } else {
+                kept.push((d.trips, d.pos, d.epoch));
+            }
+        } else {
+            kept.push((d.trips, d.pos, d.epoch));
+        }
+    }
+    // Keep the best dimension exact, densify the rest.
+    kept.sort_by_key(|&(t, p, e)| (e > 0, p.saturating_mul(t.saturating_sub(1))));
+    let keeper = kept.pop();
+    for (t, p, e) in kept {
+        width = width.saturating_add(p.saturating_mul(t - 1));
+        ehi = ehi.saturating_add(e.saturating_mul(t - 1));
+        approx = true;
+    }
+    // Guard against astronomically large extents: fall back to a dense
+    // hull so downstream i128 arithmetic cannot overflow.
+    let dim = match keeper {
+        Some((t, p, e)) if p.checked_mul(t - 1).is_none() || e.checked_mul(t - 1).is_none() => {
+            width = u64::MAX;
+            ehi = u64::MAX;
+            approx = true;
+            None
+        }
+        other => other,
+    };
+    Simple {
+        base: r.base,
+        width,
+        dim,
+        elo,
+        ehi,
+        approx,
+    }
+}
+
+/// A one-variable position problem: the signed rank-relative distance
+/// between two accesses is `X(u) = c + u·s` for `u ∈ [0, n)`, and they
+/// overlap at rank distance δ iff `δ·lane ∈ (X − wb, X + wa)`.
+#[derive(Clone, Copy, Debug)]
+struct Prob {
+    c: i128,
+    s: i128,
+    n: u64,
+    wa: i128,
+    wb: i128,
+    approx: bool,
+}
+
+fn span(lo: u64, hi: u64, lo2: u64, hi2: u64) -> bool {
+    lo <= hi2 && lo2 <= hi
+}
+
+/// Couple the two accesses' epochs and reduce to a [`Prob`], or `None`
+/// when their epochs can never match.
+fn couple(a: &Simple, b: &Simple) -> Option<Prob> {
+    let mut wa = a.width as i128;
+    let mut wb = b.width as i128;
+    let approx = a.approx || b.approx;
+    let c0 = a.base as i128 - b.base as i128;
+    let prob = |c, s, n, wa, wb, approx| {
+        Some(Prob {
+            c,
+            s,
+            n,
+            wa,
+            wb,
+            approx,
+        })
+    };
+
+    match (a.dim, b.dim) {
+        (None, None) => {
+            if !span(a.elo, a.ehi, b.elo, b.ehi) {
+                return None;
+            }
+            prob(c0, 0, 1, wa, wb, approx)
+        }
+        (Some((n, s, e)), None) => {
+            if e == 0 {
+                if !span(a.elo, a.ehi, b.elo, b.ehi) {
+                    return None;
+                }
+                return prob(c0, s as i128, n, wa, wb, approx);
+            }
+            // a's epoch is elo + k·e (+slack); match b's interval.
+            let (k1, k2) = epoch_k_range(a.elo, a.ehi, e, n, b.elo, b.ehi)?;
+            prob(
+                c0 + k1 as i128 * s as i128,
+                s as i128,
+                k2 - k1 + 1,
+                wa,
+                wb,
+                approx,
+            )
+        }
+        (None, Some((n, s, e))) => {
+            if e == 0 {
+                if !span(a.elo, a.ehi, b.elo, b.ehi) {
+                    return None;
+                }
+                return prob(c0, -(s as i128), n, wa, wb, approx);
+            }
+            let (k1, k2) = epoch_k_range(b.elo, b.ehi, e, n, a.elo, a.ehi)?;
+            prob(
+                c0 - k1 as i128 * s as i128,
+                -(s as i128),
+                k2 - k1 + 1,
+                wa,
+                wb,
+                approx,
+            )
+        }
+        (Some((na, sa, ea)), Some((nb, sb, eb))) => {
+            let (sa_i, sb_i) = (sa as i128, sb as i128);
+            match (ea, eb) {
+                (0, 0) => {
+                    if !span(a.elo, a.ehi, b.elo, b.ehi) {
+                        return None;
+                    }
+                    if sa == sb {
+                        // m = ka − kb is a single free variable.
+                        let n = na.saturating_add(nb) - 1;
+                        prob(c0 - (nb as i128 - 1) * sa_i, sa_i, n, wa, wb, approx)
+                    } else {
+                        // Densify the smaller-extent side.
+                        let (ext_a, ext_b) = (sa_i * (na as i128 - 1), sb_i * (nb as i128 - 1));
+                        if ext_a <= ext_b {
+                            wa += ext_a;
+                            prob(c0, -sb_i, nb, wa, wb, true)
+                        } else {
+                            wb += ext_b;
+                            prob(c0, sa_i, na, wa, wb, true)
+                        }
+                    }
+                }
+                (_, 0) => {
+                    // a's epoch moves; pin ka to b's fixed epoch interval.
+                    let (k1, k2) = epoch_k_range(a.elo, a.ehi, ea, na, b.elo, b.ehi)?;
+                    two_var(c0, sa_i, k1, k2, sb_i, nb, wa, wb, approx)
+                }
+                (0, _) => {
+                    let (k1, k2) = epoch_k_range(b.elo, b.ehi, eb, nb, a.elo, a.ehi)?;
+                    let p = two_var(-c0, sb_i, k1, k2, sa_i, na, wb, wa, approx)?;
+                    // Mirror back: X_ab = −X_ba, windows swap.
+                    prob(
+                        -(p.c + (p.n as i128 - 1) * p.s),
+                        p.s,
+                        p.n,
+                        p.wb,
+                        p.wa,
+                        p.approx,
+                    )
+                }
+                (_, _) => {
+                    if a.ehi > a.elo || b.ehi > b.elo || ea > 1 << 32 || eb > 1 << 32 {
+                        // Epoch slack: fall back to smeared intervals.
+                        let ahi = a.ehi.saturating_add(ea.saturating_mul(na - 1));
+                        let bhi = b.ehi.saturating_add(eb.saturating_mul(nb - 1));
+                        if !span(a.elo, ahi, b.elo, bhi) {
+                            return None;
+                        }
+                        wa += sa_i * (na as i128 - 1);
+                        wb += sb_i * (nb as i128 - 1);
+                        return prob(c0, 0, 1, wa, wb, true);
+                    }
+                    // Exact: elo_a + ka·ea = elo_b + kb·eb.
+                    let (g, x, _) = ext_gcd(ea as i128, eb as i128);
+                    let r = b.elo as i128 - a.elo as i128;
+                    if r.rem_euclid(g) != 0 {
+                        return None;
+                    }
+                    let (pa, pb) = (eb as i128 / g, ea as i128 / g);
+                    // Normalize the Bezout base solution into [0, pa) so
+                    // products below stay far from i128 overflow (the
+                    // strides are capped at 2^32 above).
+                    let ka0 = (x.rem_euclid(pa) * (r / g).rem_euclid(pa)).rem_euclid(pa);
+                    // kb0 from the epoch equation.
+                    let kb0 = (a.elo as i128 + ka0 * ea as i128 - b.elo as i128) / eb as i128;
+                    // t ranges keeping ka ∈ [0, na), kb ∈ [0, nb).
+                    let t1 = div_ceil(-ka0, pa).max(div_ceil(-kb0, pb));
+                    let t2 = div_floor(na as i128 - 1 - ka0, pa)
+                        .min(div_floor(nb as i128 - 1 - kb0, pb));
+                    if t1 > t2 {
+                        return None;
+                    }
+                    let s = sa_i * pa - sb_i * pb;
+                    let c = c0 + (ka0 + t1 * pa) * sa_i - (kb0 + t1 * pb) * sb_i;
+                    prob(c, s, (t2 - t1 + 1) as u64, wa, wb, approx)
+                }
+            }
+        }
+    }
+}
+
+/// `X = c0 + ka·sa − kb·sb`, `ka ∈ [k1, k2]`, `kb ∈ [0, nb)`: reduce to
+/// one variable, densifying `ka` if the strides differ.
+#[allow(clippy::too_many_arguments)]
+fn two_var(
+    c0: i128,
+    sa: i128,
+    k1: u64,
+    k2: u64,
+    sb: i128,
+    nb: u64,
+    wa: i128,
+    wb: i128,
+    approx: bool,
+) -> Option<Prob> {
+    let (k1i, k2i) = (k1 as i128, k2 as i128);
+    if sa == 0 || k1 == k2 {
+        // ka contributes a constant; kb is the free variable, presented
+        // ascending via u = (nb−1) − kb.
+        Some(Prob {
+            c: c0 + k1i * sa - (nb as i128 - 1) * sb,
+            s: sb,
+            n: nb,
+            wa,
+            wb,
+            approx,
+        })
+    } else if sb == 0 {
+        Some(Prob {
+            c: c0 + k1i * sa,
+            s: sa,
+            n: k2 - k1 + 1,
+            wa,
+            wb,
+            approx,
+        })
+    } else if sa == sb {
+        // m = ka − kb ∈ [k1 − (nb−1), k2].
+        Some(Prob {
+            c: c0 + (k1i - (nb as i128 - 1)) * sa,
+            s: sa,
+            n: (k2 - k1) + nb,
+            wa,
+            wb,
+            approx,
+        })
+    } else {
+        // Densify ka over [k1, k2].
+        Some(Prob {
+            c: c0 + k1i * sa,
+            s: -sb,
+            n: nb,
+            wa: wa + (k2i - k1i) * sa,
+            wb,
+            approx: true,
+        })
+    }
+}
+
+/// Range of `k ∈ [0, n)` with `[elo + k·e, ehi + k·e] ∩ [blo, bhi] ≠ ∅`.
+fn epoch_k_range(elo: u64, ehi: u64, e: u64, n: u64, blo: u64, bhi: u64) -> Option<(u64, u64)> {
+    let (elo, ehi, e) = (elo as i128, ehi as i128, e as i128);
+    let (blo, bhi) = (blo as i128, bhi as i128);
+    let k1 = div_ceil(blo - ehi, e).max(0);
+    let k2 = div_floor(bhi - elo, e).min(n as i128 - 1);
+    if k1 > k2 {
+        None
+    } else {
+        Some((k1 as u64, k2 as u64))
+    }
+}
+
+/// Decide whether two simplified accesses can overlap on distinct ranks.
+/// Returns `Some(approx)` on a race.
+fn pair_races(
+    a: &Simple,
+    b: &Simple,
+    ga: Option<u32>,
+    gb: Option<u32>,
+    lane: i128,
+) -> Option<bool> {
+    match (ga, gb) {
+        (Some(x), Some(y)) if x == y => None,
+        (Some(x), Some(y)) => {
+            let p = couple(a, b)?;
+            let d = y as i128 - x as i128;
+            // δ·lane ∈ (X − wb, X + wa) ⟺ X ∈ (δ·lane − wa, δ·lane + wb).
+            exists_in_open(p.c, p.s, p.n, d * lane - p.wa, d * lane + p.wb).then_some(p.approx)
+        }
+        _ => {
+            let p = couple(a, b)?;
+            // Direction 1: b's rank sits δ ≥ 1 above a's.
+            let dmax1 = match gb {
+                Some(0) => None, // b pinned to rank 0: nothing below it? no — above a means a < 0
+                Some(g) => Some(g as i128),
+                None => Some(i128::MAX),
+            };
+            // (gb = Some(g): a's rank = g − δ ≥ 0 ⇒ δ ≤ g.)
+            let hit1 = match dmax1 {
+                Some(d) if d >= 1 => exists_shift(p.c, p.s, p.n, p.wa, p.wb, lane, d),
+                _ => false,
+            };
+            if hit1 {
+                return Some(p.approx);
+            }
+            // Direction 2: a's rank sits δ ≥ 1 above b's. Mirror X.
+            let dmax2 = match ga {
+                Some(0) => None,
+                Some(g) => Some(g as i128),
+                None => Some(i128::MAX),
+            };
+            let hit2 = match dmax2 {
+                Some(d) if d >= 1 => {
+                    // X' = −X: reflect the progression, swap the widths.
+                    let c2 = -(p.c + (p.n as i128 - 1) * p.s);
+                    exists_shift(c2, p.s, p.n, p.wb, p.wa, lane, d)
+                }
+                _ => false,
+            };
+            hit2.then_some(p.approx)
+        }
+    }
+}
+
+/// `∃ u ∈ [0, n): lo < c + u·s < hi` (open interval).
+fn exists_in_open(c: i128, s: i128, n: u64, lo: i128, hi: i128) -> bool {
+    if n == 0 || lo + 1 > hi - 1 {
+        return false;
+    }
+    let (c, s) = if s < 0 {
+        (c + (n as i128 - 1) * s, -s) // reflect u → n−1−u
+    } else {
+        (c, s)
+    };
+    if s == 0 {
+        return c > lo && c < hi;
+    }
+    let u1 = div_ceil(lo + 1 - c, s).max(0);
+    let u2 = div_floor(hi - 1 - c, s).min(n as i128 - 1);
+    u1 <= u2
+}
+
+/// `∃ u ∈ [0, n), δ ∈ [1, dmax]: δ·L ∈ (X − wb, X + wa)`, `X = c + u·s`.
+///
+/// Split on which multiple of `L` lands in the window: branch A takes
+/// `δ = ⌊X/L⌋` (needs `X mod L < wb` and `X ≥ L`), branch B takes
+/// `δ = ⌊X/L⌋ + 1` (needs `X mod L > L − wa` and `X ≥ 0`); together
+/// they cover every multiple inside the window. Each branch restricts
+/// `u` to the subrange where its `X` constraint holds (X is monotone in
+/// `u`) and then asks whether the arithmetic progression hits the
+/// residue window — exact via [`min_mod`].
+fn exists_shift(c: i128, s: i128, n: u64, wa: i128, wb: i128, lane: i128, dmax: i128) -> bool {
+    debug_assert!(lane > 0 && n >= 1 && dmax >= 1);
+    if wa <= 0 || wb <= 0 {
+        return false;
+    }
+    let (c, s) = if s < 0 {
+        (c + (n as i128 - 1) * s, -s)
+    } else {
+        (c, s)
+    };
+    let xmax_a = dmax
+        .checked_add(1)
+        .and_then(|d| d.checked_mul(lane))
+        .map(|v| v - 1);
+    let xmax_b = dmax.checked_mul(lane).map(|v| v - 1);
+    if branch_hits(c, s, n, lane, lane, xmax_a, 0, wb)
+        || branch_hits(c, s, n, lane, 0, xmax_b, wa - 1, wa - 1)
+    {
+        return true;
+    }
+    // Widths wider than the lane reach X outside both kernel windows:
+    // X < 0 still overlaps at δ = 1 when X > lane − wa, and X past the
+    // δ = dmax window still overlaps there when X < dmax·lane + wb.
+    // Both are plain interval checks (w = lane makes the kernel vacuous).
+    if wa > lane && branch_hits(c, s, n, lane, lane - wa + 1, Some(-1), 0, lane) {
+        return true;
+    }
+    if wb > lane {
+        if let Some(xa) = xmax_a {
+            let hi = (xa - lane + 1).saturating_add(wb - 1);
+            if branch_hits(c, s, n, lane, xa + 1, Some(hi), 0, lane) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One branch of [`exists_shift`]: restrict `u` to `X(u) ∈ [xlo, xhi]`,
+/// then decide `∃u: (X(u) + add) mod lane < w`.
+#[allow(clippy::too_many_arguments)]
+fn branch_hits(
+    c: i128,
+    s: i128,
+    n: u64,
+    lane: i128,
+    xlo: i128,
+    xhi: Option<i128>,
+    add: i128,
+    w: i128,
+) -> bool {
+    if w <= 0 {
+        return false;
+    }
+    let (u1, u2) = if s == 0 {
+        if c < xlo || xhi.is_some_and(|h| c > h) {
+            return false;
+        }
+        (0i128, 0i128)
+    } else {
+        let u1 = div_ceil(xlo - c, s).max(0);
+        let u2 = xhi
+            .map(|h| div_floor(h - c, s))
+            .unwrap_or(n as i128 - 1)
+            .min(n as i128 - 1);
+        if u1 > u2 {
+            return false;
+        }
+        (u1, u2)
+    };
+    if w >= lane {
+        return true;
+    }
+    let start = c + u1 * s + add;
+    let a = start.rem_euclid(lane) as u128;
+    let step = s.rem_euclid(lane) as u128;
+    min_mod(a, step, lane as u128, (u2 - u1 + 1) as u128) < w as u128
+}
+
+/// Minimum of `(a + i·b) mod m` over `i ∈ [0, n)`, in `O(log m)`.
+///
+/// Between wraps the walk only increases, so the minimum is either `a`
+/// or a just-after-wrap value; those values are themselves an
+/// arithmetic progression mod `b` (`(a − j·m) mod b` for wrap `j`),
+/// giving a Euclid-style descent on the modulus.
+fn min_mod(a: u128, b: u128, m: u128, n: u128) -> u128 {
+    debug_assert!(a < m && b < m && n >= 1);
+    if b == 0 || n == 1 {
+        return a;
+    }
+    // Number of wraps along the walk.
+    let k = match b.checked_mul(n - 1) {
+        Some(t) => (a + t) / m,
+        None => u128::MAX, // astronomically many
+    };
+    if k == 0 {
+        return a;
+    }
+    let bp = (b - m % b) % b; // ≡ −m (mod b)
+    let a2 = (a % b + bp) % b; // first post-wrap value
+                               // The post-wrap progression cycles within b steps.
+    let kcap = k.min(b);
+    a.min(min_mod(a2, bp, b, kcap))
+}
+
+fn div_floor(a: i128, b: i128) -> i128 {
+    let (q, r) = (a / b, a % b);
+    if r != 0 && (r < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let (q, r) = (a / b, a % b);
+    if r != 0 && (r < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g`, `a, b > 0`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn min_mod_brute(a: u128, b: u128, m: u128, n: u128) -> u128 {
+        (0..n).map(|i| (a + i * b) % m).min().unwrap()
+    }
+
+    // The vendored proptest shim only implements range strategies for
+    // the native-width integers, so draw u64/i64 and widen inside.
+    proptest! {
+        #[test]
+        fn min_mod_matches_brute_force(
+            a in 0u64..97,
+            b in 0u64..97,
+            m in 1u64..97,
+            n in 1u64..300,
+        ) {
+            let (a, b, m, n) = (a as u128 % m as u128, b as u128 % m as u128, m as u128, n as u128);
+            prop_assert_eq!(min_mod(a, b, m, n), min_mod_brute(a, b, m, n));
+        }
+
+        #[test]
+        fn exists_shift_matches_brute_force(
+            c in -2000i64..2000,
+            s in 0i64..60,
+            n in 1u64..40,
+            wa in 1i64..50,
+            wb in 1i64..50,
+            lane in 1i64..120,
+            dmax in 1i64..8,
+        ) {
+            let (c, s, wa, wb, lane, dmax) =
+                (c as i128, s as i128, wa as i128, wb as i128, lane as i128, dmax as i128);
+            let brute = (0..n as i128).any(|u| {
+                let x = c + u * s;
+                (1..=dmax).any(|d| d * lane > x - wb && d * lane < x + wa)
+            });
+            prop_assert_eq!(
+                exists_shift(c, s, n, wa, wb, lane, dmax),
+                brute,
+                "c={c} s={s} n={n} wa={wa} wb={wb} lane={lane} dmax={dmax}"
+            );
+        }
+
+        #[test]
+        fn exists_in_open_matches_brute_force(
+            c in -500i64..500,
+            s in -40i64..40,
+            n in 1u64..50,
+            lo in -500i64..500,
+            len in 0i64..200,
+        ) {
+            let (c, s, lo) = (c as i128, s as i128, lo as i128);
+            let hi = lo + len as i128;
+            let brute = (0..n as i128).any(|u| {
+                let x = c + u * s;
+                x > lo && x < hi
+            });
+            prop_assert_eq!(exists_in_open(c, s, n, lo, hi), brute);
+        }
+    }
+
+    #[test]
+    fn min_mod_handles_large_inputs() {
+        // 2^60-scale values must not overflow or recurse deeply.
+        let m = 1u128 << 60;
+        let v = min_mod(123_456_789, (1 << 59) + 12_345, m, 1 << 50);
+        assert!(v < m);
+    }
+
+    #[test]
+    fn ext_gcd_is_bezout() {
+        for (a, b) in [(12, 18), (35, 64), (7, 7), (1, 99), (100, 1)] {
+            let (g, x, y) = ext_gcd(a, b);
+            assert_eq!(a * x + b * y, g);
+            assert_eq!(a % g, 0);
+            assert_eq!(b % g, 0);
+        }
+    }
+}

@@ -34,6 +34,18 @@ pub enum Code {
     /// PIO020: two ranks write overlapping byte ranges of a shared file
     /// with no barrier ordering the writes.
     SharedWriteRace,
+    /// PIO021: a `barrier` executes on only a subset of ranks (inside an
+    /// `onrank` block), so barrier counts diverge across ranks and the
+    /// program deadlocks at run time.
+    RankDivergentBarrier,
+    /// PIO022: statement is unreachable (inside `repeat 0`, or inside
+    /// `onrank` blocks guarding contradictory ranks).
+    UnreachableCode,
+    /// PIO023: read of a byte range no statement ever writes (on a file
+    /// created, not opened, by this program — so it starts empty).
+    ReadNeverWritten,
+    /// PIO024: the cursor runs past the file's declared `size`.
+    CursorPastDeclaredSize,
     /// PIO030: stripe count exceeds the number of OSTs (will be clamped).
     StripeOverOsts,
     /// PIO031: zero stripe size or stripe count.
@@ -93,6 +105,10 @@ impl Code {
             Code::EmptyRepeat => "PIO018",
             Code::LaneOverflow => "PIO019",
             Code::SharedWriteRace => "PIO020",
+            Code::RankDivergentBarrier => "PIO021",
+            Code::UnreachableCode => "PIO022",
+            Code::ReadNeverWritten => "PIO023",
+            Code::CursorPastDeclaredSize => "PIO024",
             Code::StripeOverOsts => "PIO030",
             Code::ZeroStripe => "PIO031",
             Code::ZeroFabricBw => "PIO032",
@@ -112,6 +128,234 @@ impl Code {
             Code::ObjErasureExceedsNodes => "PIO053",
             Code::OutputInTarget => "PIO060",
             Code::OutputNotWritable => "PIO061",
+        }
+    }
+
+    /// Every assigned code, in `PIO0xx` order. Drives `--explain`
+    /// listings and the uniqueness test.
+    pub const ALL: &'static [Code] = &[
+        Code::Syntax,
+        Code::UndeclaredFile,
+        Code::UnusedFile,
+        Code::DoubleCreate,
+        Code::IoBeforeCreate,
+        Code::UseAfterClose,
+        Code::NeverClosed,
+        Code::ZeroSize,
+        Code::ZeroCount,
+        Code::EmptyRepeat,
+        Code::LaneOverflow,
+        Code::SharedWriteRace,
+        Code::RankDivergentBarrier,
+        Code::UnreachableCode,
+        Code::ReadNeverWritten,
+        Code::CursorPastDeclaredSize,
+        Code::StripeOverOsts,
+        Code::ZeroStripe,
+        Code::ZeroFabricBw,
+        Code::ZeroDeviceBw,
+        Code::BadLookahead,
+        Code::BurstBufferTooSmall,
+        Code::StructuralZero,
+        Code::DagCycle,
+        Code::DagDangling,
+        Code::DagDeadStage,
+        Code::DagEmptyUpstream,
+        Code::CampaignTooFewJobs,
+        Code::CampaignUnknownWorkload,
+        Code::ObjReplicationExceedsNodes,
+        Code::ObjZeroPartSize,
+        Code::ObjNoGateways,
+        Code::ObjErasureExceedsNodes,
+        Code::OutputInTarget,
+        Code::OutputNotWritable,
+    ];
+
+    /// Look up a code by its `PIO0xx` identifier (case-insensitive).
+    pub fn parse(s: &str) -> Option<Code> {
+        let s = s.to_ascii_uppercase();
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// A short title for the code (the first line of `--explain`).
+    pub const fn title(self) -> &'static str {
+        match self {
+            Code::Syntax => "input could not be parsed",
+            Code::UndeclaredFile => "reference to an undeclared file",
+            Code::UnusedFile => "file declared but never used",
+            Code::DoubleCreate => "create of a file that is already open",
+            Code::IoBeforeCreate => "operation before the file is created or opened",
+            Code::UseAfterClose => "operation after the file was closed",
+            Code::NeverClosed => "file still open at end of program",
+            Code::ZeroSize => "data operation transfers zero bytes",
+            Code::ZeroCount => "data operation repeated zero times",
+            Code::EmptyRepeat => "`repeat 0` block never executes",
+            Code::LaneOverflow => "access runs past the rank's lane",
+            Code::SharedWriteRace => "cross-rank overlapping writes with no barrier",
+            Code::RankDivergentBarrier => "barrier reached by a subset of ranks",
+            Code::UnreachableCode => "statement can never execute",
+            Code::ReadNeverWritten => "read of a byte range nothing writes",
+            Code::CursorPastDeclaredSize => "access past the declared file size",
+            Code::StripeOverOsts => "stripe count exceeds the OST count",
+            Code::ZeroStripe => "zero stripe size or stripe count",
+            Code::ZeroFabricBw => "fabric link with zero bandwidth",
+            Code::ZeroDeviceBw => "storage device with zero bandwidth",
+            Code::BadLookahead => "lookahead is zero or exceeds a fabric latency",
+            Code::BurstBufferTooSmall => "burst buffer smaller than one stripe",
+            Code::StructuralZero => "structurally empty cluster or job",
+            Code::DagCycle => "workflow stage reads itself or a later stage",
+            Code::DagDangling => "workflow stage reads a missing stage",
+            Code::DagDeadStage => "workflow stage output nothing reads",
+            Code::DagEmptyUpstream => "workflow stage reads a stage with no files",
+            Code::CampaignTooFewJobs => "campaign with fewer than two jobs",
+            Code::CampaignUnknownWorkload => "job references an unknown workload",
+            Code::ObjReplicationExceedsNodes => "replication factor exceeds storage nodes",
+            Code::ObjZeroPartSize => "object-store part size is zero",
+            Code::ObjNoGateways => "object store with no gateways",
+            Code::ObjErasureExceedsNodes => "erasure width exceeds storage nodes",
+            Code::OutputInTarget => "output path inside target/",
+            Code::OutputNotWritable => "output path not writable",
+        }
+    }
+
+    /// A multi-line explanation of what the code means, why it matters,
+    /// and how the analysis finds it (`pioeval lint --explain PIO0xx`).
+    pub const fn explain(self) -> &'static str {
+        match self {
+            Code::Syntax => {
+                "The input failed to parse; nothing else can be checked. The parse\n\
+                 error (with its source line) is included in the message."
+            }
+            Code::UndeclaredFile => {
+                "A statement names a file with no `file <name> ...` declaration.\n\
+                 Expansion would have no lane or scope to assign, so this is an error."
+            }
+            Code::UnusedFile => {
+                "The file is declared but no statement references it. Usually a typo\n\
+                 in a statement (which then also raises PIO010) or leftover cruft."
+            }
+            Code::DoubleCreate => {
+                "`create` ran while the file was already open — commonly a `create`\n\
+                 inside a `repeat` block that should sit before the loop."
+            }
+            Code::IoBeforeCreate => {
+                "A data or handle operation ran before any `create`/`open`. The\n\
+                 lifecycle pass runs the open/close state machine over every path,\n\
+                 executing `repeat` bodies twice so cross-iteration bugs surface."
+            }
+            Code::UseAfterClose => {
+                "A data or handle operation ran after `close`. See PIO013 for how\n\
+                 the lifecycle pass walks the program."
+            }
+            Code::NeverClosed => {
+                "The file is still open when the program ends. Harmless for the\n\
+                 simulator but usually indicates a missing `close`."
+            }
+            Code::ZeroSize => {
+                "A read or write transfers 0 bytes. The simulator would accept it\n\
+                 but it almost certainly means a bad size literal."
+            }
+            Code::ZeroCount => "`x0` makes the statement a no-op; dead code, warning only.",
+            Code::EmptyRepeat => {
+                "`repeat 0` never runs its body. The body is also reported\n\
+                 unreachable (PIO022) via the control-flow graph."
+            }
+            Code::LaneOverflow => {
+                "On a shared file each rank owns the byte lane\n\
+                 [rank*lane, (rank+1)*lane). The abstract interpreter tracks every\n\
+                 cursor as a strided interval (base + k*stride per loop level) and\n\
+                 flags accesses whose closed-form maximum leaves the lane. Spilling\n\
+                 into a neighbour's lane is legal but usually unintended — and a\n\
+                 race (PIO020) if the neighbour writes there in the same epoch."
+            }
+            Code::SharedWriteRace => {
+                "Two ranks write overlapping bytes of a shared file in the same\n\
+                 barrier epoch, so the final contents depend on scheduling. The\n\
+                 detector works on the program's control-flow graph: write ranges\n\
+                 are strided intervals in closed form (no loop unrolling, no\n\
+                 iteration budget), epochs are affine in loop counters, and the\n\
+                 cross-rank shift is solved exactly over all rank distances — the\n\
+                 result is sound for any rank count."
+            }
+            Code::RankDivergentBarrier => {
+                "A `barrier` sits inside an `onrank` block, so only that rank\n\
+                 arrives at the collective while every other rank skips it. Barrier\n\
+                 counts diverge across ranks and the program deadlocks at run time."
+            }
+            Code::UnreachableCode => {
+                "The statement can never execute: its basic block is unreachable in\n\
+                 the control-flow graph (a `repeat 0` body) or its `onrank` guards\n\
+                 contradict (nested `onrank` with different ranks)."
+            }
+            Code::ReadNeverWritten => {
+                "A read covers a byte range that no statement in the program writes,\n\
+                 on a file the program itself creates (so it starts empty). The\n\
+                 simulator will happily read zeroes; real benchmarks usually intend\n\
+                 to read data written earlier. Files `open`ed (pre-existing) are\n\
+                 exempt. Best-effort: rank-guarded writes are credited to all ranks."
+            }
+            Code::CursorPastDeclaredSize => {
+                "The file declares `size <bytes>` and some access's closed-form\n\
+                 maximum reaches past it. For shared files the per-rank lane\n\
+                 [0, lane) is checked against the declared size as well."
+            }
+            Code::StripeOverOsts => {
+                "layout.stripe_count exceeds the number of OSTs; the simulator\n\
+                 clamps it, so declared and effective layout disagree."
+            }
+            Code::ZeroStripe => "A zero stripe size or stripe count makes striping undefined.",
+            Code::ZeroFabricBw => "A fabric link with zero bandwidth would never drain.",
+            Code::ZeroDeviceBw => "A storage device with zero bandwidth would never drain.",
+            Code::BadLookahead => {
+                "The conservative parallel engine requires 0 < lookahead <= every\n\
+                 cross-node fabric latency; violating either stalls or breaks it."
+            }
+            Code::BurstBufferTooSmall => {
+                "A burst buffer smaller than one stripe cannot absorb any write."
+            }
+            Code::StructuralZero => {
+                "A structurally empty configuration: zero clients, servers, or job\n\
+                 ranks. Nothing can be simulated."
+            }
+            Code::DagCycle => {
+                "Workflow stages execute in index order; a stage reading its own or\n\
+                 a later stage's output can never be satisfied."
+            }
+            Code::DagDangling => "The stage reads from a stage index that does not exist.",
+            Code::DagDeadStage => {
+                "A non-final stage writes files that no later stage reads; its\n\
+                 output is dead weight in the pipeline."
+            }
+            Code::DagEmptyUpstream => {
+                "The stage reads from a stage that produces zero files per rank."
+            }
+            Code::CampaignTooFewJobs => {
+                "An interference campaign needs at least two concurrent jobs to\n\
+                 measure cross-job slowdown."
+            }
+            Code::CampaignUnknownWorkload => {
+                "A `job` line names a workload block that was never declared."
+            }
+            Code::ObjReplicationExceedsNodes => {
+                "Replication factor exceeds the number of storage nodes, so some\n\
+                 replicas would share a node (no extra durability)."
+            }
+            Code::ObjZeroPartSize => "Multipart uploads with a zero part size make no progress.",
+            Code::ObjNoGateways => "Every object request passes a gateway; zero gateways stall.",
+            Code::ObjErasureExceedsNodes => {
+                "data + parity shards exceed the storage nodes, so shards share\n\
+                 nodes and the code cannot tolerate a node loss."
+            }
+            Code::OutputInTarget => {
+                "The output path points inside target/ — wiped by `cargo clean`,\n\
+                 ignored by git; almost always a mistake."
+            }
+            Code::OutputNotWritable => {
+                "Pre-flight probed the output path (opening the file if it exists,\n\
+                 otherwise creating and removing a sibling probe file) and the OS\n\
+                 refused; a long campaign would only fail at finalize. The message\n\
+                 carries the OS error string."
+            }
         }
     }
 }
@@ -315,46 +559,24 @@ mod tests {
 
     #[test]
     fn codes_are_stable_and_unique() {
-        let all = [
-            Code::Syntax,
-            Code::UndeclaredFile,
-            Code::UnusedFile,
-            Code::DoubleCreate,
-            Code::IoBeforeCreate,
-            Code::UseAfterClose,
-            Code::NeverClosed,
-            Code::ZeroSize,
-            Code::ZeroCount,
-            Code::EmptyRepeat,
-            Code::LaneOverflow,
-            Code::SharedWriteRace,
-            Code::StripeOverOsts,
-            Code::ZeroStripe,
-            Code::ZeroFabricBw,
-            Code::ZeroDeviceBw,
-            Code::BadLookahead,
-            Code::BurstBufferTooSmall,
-            Code::StructuralZero,
-            Code::DagCycle,
-            Code::DagDangling,
-            Code::DagDeadStage,
-            Code::DagEmptyUpstream,
-            Code::CampaignTooFewJobs,
-            Code::CampaignUnknownWorkload,
-            Code::ObjReplicationExceedsNodes,
-            Code::ObjZeroPartSize,
-            Code::ObjNoGateways,
-            Code::ObjErasureExceedsNodes,
-            Code::OutputInTarget,
-            Code::OutputNotWritable,
-        ];
         let mut seen = std::collections::HashSet::new();
-        for c in all {
+        for &c in Code::ALL {
             let s = c.as_str();
             assert!(s.starts_with("PIO"), "{s}");
             assert_eq!(s.len(), 6, "{s}");
             assert!(seen.insert(s), "duplicate code {s}");
+            assert!(!c.title().is_empty());
+            assert!(!c.explain().is_empty());
+            assert_eq!(Code::parse(s), Some(c));
+            assert_eq!(Code::parse(&s.to_ascii_lowercase()), Some(c));
         }
+        assert_eq!(seen.len(), Code::ALL.len());
+        assert_eq!(Code::parse("PIO999"), None);
+        // New codes slot into the DSL range in order.
+        assert_eq!(Code::RankDivergentBarrier.as_str(), "PIO021");
+        assert_eq!(Code::UnreachableCode.as_str(), "PIO022");
+        assert_eq!(Code::ReadNeverWritten.as_str(), "PIO023");
+        assert_eq!(Code::CursorPastDeclaredSize.as_str(), "PIO024");
     }
 
     #[test]

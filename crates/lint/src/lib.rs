@@ -15,10 +15,18 @@
 //!
 //! * **DSL workload programs** ([`lint_program`], [`lint_dsl_program`],
 //!   [`lint_dsl_source`]) — reference and lifecycle errors, degenerate
-//!   transfer shapes, lane overflows, a static shared-write race
-//!   detector that expands per-rank access plans symbolically and flags
-//!   overlapping writes not ordered by a `barrier`, and campaign checks
-//!   (interference campaigns need ≥ 2 jobs naming declared workloads).
+//!   transfer shapes, and a control-flow-graph abstract interpreter
+//!   ([`mod@cfg`] lowers each workload into blocks split at `barrier`s with
+//!   `repeat`/`onrank` as structured loop/guard nodes; a fixed-point
+//!   pass then tracks per-file cursors as strided intervals, symbolic
+//!   in the rank and in every enclosing loop's trip index). Lane
+//!   overflow, cross-rank write races not ordered by a `barrier`,
+//!   rank-divergent barriers, unreachable statements, reads of
+//!   never-written ranges, and accesses past the declared file size are
+//!   all decided in closed form — sound for any rank count and any
+//!   `repeat` trip count, with no iteration budget or rank sampling.
+//!   Campaign checks ride along (interference campaigns need ≥ 2 jobs
+//!   naming declared workloads).
 //! * **Cluster configurations** ([`lint_config`],
 //!   [`lint_objstore_config`]) — structural holes, zero-bandwidth
 //!   fabrics and devices, stripe layouts wider than the cluster, burst
@@ -52,6 +60,10 @@
 //! | PIO018 | W | `repeat 0` block (dead code) |
 //! | PIO019 | W | sequential access spills out of a shared file's lane |
 //! | PIO020 | E | cross-rank overlapping shared-file writes, no barrier |
+//! | PIO021 | E | `barrier` inside `onrank` (rank-divergent collective) |
+//! | PIO022 | W | structurally unreachable statements (dead code) |
+//! | PIO023 | W | read of a byte range nothing ever writes |
+//! | PIO024 | W | cursor runs past the file's declared `size` |
 //! | PIO030 | W | stripe count exceeds the number of OSTs |
 //! | PIO031 | E | zero stripe size or stripe count |
 //! | PIO032 | E | fabric with zero link bandwidth |
@@ -80,12 +92,15 @@
 //! assert!(!report.is_clean());
 //! ```
 
+mod absint;
+pub mod cfg;
 mod config;
 mod dag;
 mod diag;
 mod output;
 mod program;
 
+pub use cfg::{lower_program, lower_workload, ProgramCfg};
 pub use config::{lint_config, lint_objstore_config};
 pub use dag::lint_dag;
 pub use diag::{Code, Diagnostic, LintReport, Severity};

@@ -4,13 +4,17 @@
 //! `--live-out` and `--trace-out` files are written at the end of a run
 //! (the trace) or opened at its start (the live stream); either way, a
 //! bad destination discovered after hours of simulation wastes the whole
-//! run. These checks are deliberately cheap and side-effect-free: the
-//! writability probe creates the file only if it does not exist yet and
-//! removes it again immediately.
+//! run. These checks are deliberately cheap and side-effect-free: an
+//! existing destination is opened for append (never created, never
+//! truncated), and a missing one is probed through a uniquely named
+//! sibling file that is always removed — the target itself is never
+//! created, so a concurrently created file can never be deleted by the
+//! probe.
 
 use crate::diag::{Code, LintReport};
 use std::fs::OpenOptions;
 use std::path::{Component, Path};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lint one output-file path (from a flag like `--live-out` or
 /// `--trace-out`; `flag` names it in messages). Both findings are
@@ -39,24 +43,53 @@ pub fn lint_output_path(flag: &str, path: &str) -> LintReport {
             ),
         );
     }
-    let existed = p.exists();
-    match OpenOptions::new().create(true).append(true).open(p) {
-        Ok(f) => {
-            drop(f);
-            if !existed {
-                // The probe created it; leave no trace behind.
-                let _ = std::fs::remove_file(p);
-            }
-        }
-        Err(e) => {
-            report.warn(
-                Code::OutputNotWritable,
-                None,
-                format!("{flag} path `{path}` is not writable: {e}"),
-            );
-        }
+    if let Err(e) = probe_writable(p) {
+        report.warn(
+            Code::OutputNotWritable,
+            None,
+            format!("{flag} path `{path}` is not writable: {e}"),
+        );
     }
     report
+}
+
+/// Serial for unique sibling-probe names within this process.
+static PROBE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Check that `p` can be written, reporting the OS error if not.
+///
+/// An existing file is opened for append — no create, no truncate, and
+/// nothing to clean up. A missing file is tested indirectly: a
+/// `create_new` probe against a uniquely named sibling in the same
+/// directory, removed again immediately. The target path itself is
+/// never created, so there is no window in which a file created
+/// concurrently by someone else could be mistaken for our probe and
+/// deleted.
+fn probe_writable(p: &Path) -> std::io::Result<()> {
+    if p.exists() {
+        return OpenOptions::new().append(true).open(p).map(drop);
+    }
+    let parent = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    loop {
+        let probe = parent.join(format!(
+            ".pioeval_probe_{}_{}",
+            std::process::id(),
+            PROBE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        match OpenOptions::new().write(true).create_new(true).open(&probe) {
+            Ok(f) => {
+                drop(f);
+                let _ = std::fs::remove_file(&probe);
+                return Ok(());
+            }
+            // A leftover from a previous crashed probe: pick a new name.
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +141,30 @@ mod tests {
         let dir = std::env::temp_dir();
         let r = lint_output_path("--trace-out", dir.to_str().unwrap());
         assert!(r.has(Code::OutputNotWritable), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn probe_leaves_directory_empty_and_reports_os_error() {
+        let dir = std::env::temp_dir().join(format!("pioeval_lint_probe_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = lint_output_path("--live-out", dir.join("t.jsonl").to_str().unwrap());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // The sibling probe must not survive the check.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // The PIO061 message carries the operating-system error text.
+        let bad = dir.join("nope").join("t.jsonl");
+        let r = lint_output_path("--live-out", bad.to_str().unwrap());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::OutputNotWritable)
+            .unwrap();
+        assert!(
+            d.message.contains("os error") || d.message.contains("No such file"),
+            "{}",
+            d.message
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,39 +1,30 @@
 //! DSL program analysis: reference/lifecycle checks, size sanity, lane
 //! overflow, and a static shared-write race detector.
 //!
-//! The race detector symbolically expands the program for a few probe
-//! ranks, tracking each rank's per-file cursor exactly as the runtime
-//! expander does, and segments time into *epochs* at `barrier`
-//! statements. Two writes to the same shared file race iff they come
-//! from different ranks, touch overlapping byte ranges, and fall in the
-//! same epoch — writes separated by a barrier are ordered and never
-//! flagged.
+//! Position reasoning (lane overflow, cross-rank races, dead code,
+//! never-written reads, declared-size checks) is done by lowering the
+//! body into a CFG ([`crate::cfg`]) and abstractly interpreting it over
+//! a strided-interval domain ([`crate::absint`]) — loop-closed-form,
+//! with no iteration budget and symbolic in both the rank count and the
+//! `repeat` trip counts. Barriers segment time into *epochs*: two
+//! writes to the same shared file race iff they can come from different
+//! ranks, touch overlapping bytes, and fall in the same epoch.
+//!
+//! The previous expansion-based detector (probe ranks + iteration
+//! budget) is preserved under `#[cfg(test)]` as a differential oracle.
 
 use crate::diag::{Code, LintReport};
 use pioeval_types::{IoKind, MetaOp};
-use pioeval_workloads::dsl::{DslProgram, DslWorkload, Scope, Stmt, StmtKind};
+use pioeval_workloads::dsl::{DslProgram, DslWorkload, Stmt, StmtKind};
 use std::collections::{HashMap, HashSet};
-
-/// Ranks used for symbolic expansion. Lane layouts are translation
-/// invariant (rank r's lane is `r * lane`), so any cross-rank overlap
-/// shows up between adjacent probe ranks; three ranks give one rank of
-/// margin for patterns that skip a neighbor.
-const PROBE_RANKS: u32 = 3;
-
-/// Global budget of `repeat` iterations literally expanded per probe
-/// rank. Interval merging keeps memory flat, so this bounds wall time
-/// only; any practical workload fits. Past the budget, cursor and epoch
-/// advancement continue in closed form (behaviour is periodic — every
-/// iteration advances both by the same amounts), lane overflow is still
-/// detected from the final cursor, and only race detection degrades.
-const ITERATION_BUDGET: u64 = 4_000_000;
 
 /// Lint a parsed DSL workload.
 pub fn lint_program(w: &DslWorkload) -> LintReport {
     let mut report = LintReport::new();
     structural_pass(w, &mut report);
     lifecycle_pass(w, &mut report);
-    lane_and_race_pass(w, &mut report);
+    let cfg = crate::cfg::lower_workload("workload", w);
+    crate::absint::analyze(w, &cfg, &mut report);
     report.sort();
     report
 }
@@ -139,6 +130,7 @@ fn structural_pass(w: &DslWorkload, report: &mut LintReport) {
                     }
                     walk(inner, w, referenced, report);
                 }
+                StmtKind::OnRank(_, inner) => walk(inner, w, referenced, report),
                 StmtKind::Compute(_) | StmtKind::Barrier => {}
             }
         }
@@ -293,6 +285,8 @@ fn lifecycle_pass(w: &DslWorkload, report: &mut LintReport) {
                         walk(inner, state, seen, report);
                     }
                 }
+                // The guarded rank sees the block; model its view.
+                StmtKind::OnRank(_, inner) => walk(inner, state, seen, report),
                 StmtKind::Compute(_) | StmtKind::Barrier => {}
             }
         }
@@ -311,232 +305,291 @@ fn lifecycle_pass(w: &DslWorkload, report: &mut LintReport) {
     }
 }
 
-/// A byte range one rank may write in one epoch, attributed to a line.
-struct WriteInterval {
-    rank: u32,
-    epoch: u64,
-    start: u64,
-    end: u64,
-    line: u32,
-}
+/// The pre-CFG expansion-based lane/race detector, kept verbatim (plus
+/// `writeat`/`onrank` support) as the differential-testing oracle for
+/// the abstract interpreter. Unlike the shipping engine it samples
+/// [`legacy::PROBE_RANKS`] concrete ranks and literally expands loops
+/// under [`legacy::ITERATION_BUDGET`], so it is only trusted on
+/// programs whose reach stays within the probe window and budget.
+#[cfg(test)]
+pub(crate) mod legacy {
+    use super::*;
+    use pioeval_workloads::dsl::Scope;
 
-/// Symbolic per-rank expansion state for one probe rank.
-struct SymRank<'a> {
-    w: &'a DslWorkload,
-    rank: u32,
-    cursors: HashMap<&'a str, u64>,
-    epoch: u64,
-    /// Remaining literal `repeat` iterations (see [`ITERATION_BUDGET`]).
-    budget: u64,
-    /// Write intervals per shared file name.
-    intervals: HashMap<&'a str, Vec<WriteInterval>>,
-    /// Index of the last interval per (file, epoch, line), for merging
-    /// contiguous/identical records (keeps `repeat` expansion compact).
-    last: HashMap<(&'a str, u64, u32), usize>,
-}
+    /// Ranks used for symbolic expansion.
+    pub(crate) const PROBE_RANKS: u32 = 3;
 
-impl<'a> SymRank<'a> {
-    fn record(&mut self, file: &'a str, start: u64, end: u64, line: u32) {
-        let list = self.intervals.entry(file).or_default();
-        let key = (file, self.epoch, line);
-        if let Some(&i) = self.last.get(&key) {
-            let prev = &mut list[i];
-            if prev.end == start {
-                prev.end = end; // contiguous continuation (sequential)
-                return;
-            }
-            if prev.start == start && prev.end == end {
-                return; // identical potential range (random)
-            }
-        }
-        list.push(WriteInterval {
-            rank: self.rank,
-            epoch: self.epoch,
-            start,
-            end,
-            line,
-        });
-        self.last.insert(key, list.len() - 1);
+    /// Global budget of `repeat` iterations literally expanded per probe
+    /// rank. Past the budget, cursor and epoch advancement continue in
+    /// closed form and race detection degrades.
+    pub(crate) const ITERATION_BUDGET: u64 = 4_000_000;
+
+    /// A byte range one rank may write in one epoch.
+    struct WriteInterval {
+        rank: u32,
+        epoch: u64,
+        start: u64,
+        end: u64,
+        line: u32,
     }
 
-    fn walk(&mut self, stmts: &'a [Stmt], report: &mut LintReport, warned: &mut HashSet<u32>) {
-        for s in stmts {
-            match &s.kind {
-                StmtKind::Data {
-                    kind,
-                    file: name,
-                    size,
-                    count,
-                    random,
-                } => {
-                    let Some(decl) = self.w.files.get(name) else {
-                        continue;
-                    };
-                    if *size == 0 || *count == 0 {
-                        continue; // flagged by the structural pass
-                    }
-                    let shared = decl.scope == Scope::Shared;
-                    let lane_base = if shared {
-                        self.rank as u64 * decl.lane
-                    } else {
-                        0
-                    };
-                    if *random {
-                        // Offsets are drawn inside the lane; the reachable
-                        // range is the lane itself (or the transfer, if it
-                        // is even larger than the lane).
-                        let reach = decl.lane.max(*size);
-                        if shared && *size > decl.lane && self.rank == 0 && warned.insert(s.line) {
-                            report.warn(
-                                Code::LaneOverflow,
-                                Some(s.line),
-                                format!(
-                                    "random {} of {} bytes exceeds the \
-                                     {}-byte lane of shared file `{name}`",
-                                    verb(*kind),
-                                    size,
-                                    decl.lane
-                                ),
-                            );
-                        }
-                        if shared && *kind == IoKind::Write {
-                            self.record(name, lane_base, lane_base + reach, s.line);
-                        }
-                    } else {
-                        let cursor = self.cursors.entry(name).or_insert(0);
-                        let start_rel = *cursor;
-                        let end_rel = start_rel + size * count;
-                        *cursor = end_rel;
-                        if shared && end_rel > decl.lane && self.rank == 0 && warned.insert(s.line)
-                        {
-                            report.warn(
-                                Code::LaneOverflow,
-                                Some(s.line),
-                                format!(
-                                    "sequential {} reaches byte {} of the \
-                                     {}-byte lane of shared file `{name}` \
-                                     (spills into the next rank's lane)",
-                                    verb(*kind),
-                                    end_rel,
-                                    decl.lane
-                                ),
-                            );
-                        }
-                        if shared && *kind == IoKind::Write {
-                            self.record(name, lane_base + start_rel, lane_base + end_rel, s.line);
-                        }
-                    }
+    /// Symbolic per-rank expansion state for one probe rank.
+    struct SymRank<'a> {
+        w: &'a DslWorkload,
+        rank: u32,
+        cursors: HashMap<&'a str, u64>,
+        epoch: u64,
+        budget: u64,
+        intervals: HashMap<&'a str, Vec<WriteInterval>>,
+        /// Index of the last interval per (file, epoch, line), for
+        /// merging contiguous/identical records.
+        last: HashMap<(&'a str, u64, u32), usize>,
+    }
+
+    impl<'a> SymRank<'a> {
+        fn record(&mut self, file: &'a str, start: u64, end: u64, line: u32) {
+            let list = self.intervals.entry(file).or_default();
+            let key = (file, self.epoch, line);
+            if let Some(&i) = self.last.get(&key) {
+                let prev = &mut list[i];
+                if prev.end == start {
+                    prev.end = end; // contiguous continuation (sequential)
+                    return;
                 }
-                StmtKind::Barrier => self.epoch += 1,
-                StmtKind::Repeat(n, inner) => {
-                    let epoch_before = self.epoch;
-                    let cursors_before = self.cursors.clone();
-                    let mut executed = 0u64;
-                    while executed < *n && self.budget > 0 {
-                        self.budget -= 1;
-                        self.walk(inner, report, warned);
-                        executed += 1;
-                    }
-                    if *n > executed && executed > 0 {
-                        // Budget exhausted: apply the remaining iterations
-                        // in closed form — each iteration advances every
-                        // cursor and the epoch by the same amount.
-                        let remaining = *n - executed;
-                        let epoch_delta = (self.epoch - epoch_before) / executed;
-                        self.epoch += epoch_delta * remaining;
-                        for (file, cur) in self.cursors.iter_mut() {
-                            let before = cursors_before.get(file).copied().unwrap_or(0);
-                            let delta = (*cur - before) / executed;
-                            *cur += delta * remaining;
+                if prev.start == start && prev.end == end {
+                    return; // identical potential range (random)
+                }
+            }
+            list.push(WriteInterval {
+                rank: self.rank,
+                epoch: self.epoch,
+                start,
+                end,
+                line,
+            });
+            self.last.insert(key, list.len() - 1);
+        }
+
+        fn walk(&mut self, stmts: &'a [Stmt], report: &mut LintReport, warned: &mut HashSet<u32>) {
+            for s in stmts {
+                match &s.kind {
+                    StmtKind::Data {
+                        kind,
+                        file: name,
+                        size,
+                        count,
+                        random,
+                        at,
+                    } => {
+                        let Some(decl) = self.w.files.get(name) else {
+                            continue;
+                        };
+                        if *size == 0 || *count == 0 {
+                            continue; // flagged by the structural pass
                         }
-                        // Lane departures past the literal horizon are
-                        // still visible from the final cursor; attribute
-                        // them to the `repeat` line.
-                        if self.rank == 0 {
-                            for (file, cur) in &self.cursors {
-                                let Some(decl) = self.w.files.get(*file) else {
-                                    continue;
-                                };
+                        let shared = decl.scope == Scope::Shared;
+                        let lane_base = if shared {
+                            self.rank as u64 * decl.lane
+                        } else {
+                            0
+                        };
+                        if let Some(off) = at {
+                            // pwrite/pread: explicit offset, cursor untouched.
+                            let end_rel = off + size * count;
+                            if shared
+                                && end_rel > decl.lane
+                                && self.rank == 0
+                                && warned.insert(s.line)
+                            {
+                                report.warn(
+                                    Code::LaneOverflow,
+                                    Some(s.line),
+                                    format!(
+                                        "sequential {} reaches byte {end_rel} of the \
+                                         {}-byte lane of shared file `{name}` \
+                                         (spills into the next rank's lane)",
+                                        verb(*kind),
+                                        decl.lane
+                                    ),
+                                );
+                            }
+                            if shared && *kind == IoKind::Write {
+                                self.record(name, lane_base + off, lane_base + end_rel, s.line);
+                            }
+                        } else if *random {
+                            // Offsets are drawn inside the lane; the
+                            // reachable range is the lane itself (or the
+                            // transfer, if it is even larger).
+                            let reach = decl.lane.max(*size);
+                            if shared
+                                && *size > decl.lane
+                                && self.rank == 0
+                                && warned.insert(s.line)
+                            {
+                                report.warn(
+                                    Code::LaneOverflow,
+                                    Some(s.line),
+                                    format!(
+                                        "random {} of {} bytes exceeds the \
+                                         {}-byte lane of shared file `{name}`",
+                                        verb(*kind),
+                                        size,
+                                        decl.lane
+                                    ),
+                                );
+                            }
+                            if shared && *kind == IoKind::Write {
+                                self.record(name, lane_base, lane_base + reach, s.line);
+                            }
+                        } else {
+                            let cursor = self.cursors.entry(name).or_insert(0);
+                            let start_rel = *cursor;
+                            let end_rel = start_rel + size * count;
+                            *cursor = end_rel;
+                            if shared
+                                && end_rel > decl.lane
+                                && self.rank == 0
+                                && warned.insert(s.line)
+                            {
+                                report.warn(
+                                    Code::LaneOverflow,
+                                    Some(s.line),
+                                    format!(
+                                        "sequential {} reaches byte {} of the \
+                                         {}-byte lane of shared file `{name}` \
+                                         (spills into the next rank's lane)",
+                                        verb(*kind),
+                                        end_rel,
+                                        decl.lane
+                                    ),
+                                );
+                            }
+                            if shared && *kind == IoKind::Write {
+                                self.record(
+                                    name,
+                                    lane_base + start_rel,
+                                    lane_base + end_rel,
+                                    s.line,
+                                );
+                            }
+                        }
+                    }
+                    StmtKind::Barrier => self.epoch += 1,
+                    StmtKind::Repeat(n, inner) => {
+                        let epoch_before = self.epoch;
+                        let cursors_before = self.cursors.clone();
+                        let mut executed = 0u64;
+                        while executed < *n && self.budget > 0 {
+                            self.budget -= 1;
+                            self.walk(inner, report, warned);
+                            executed += 1;
+                        }
+                        if *n > executed && executed > 0 {
+                            // Budget exhausted: apply the remaining
+                            // iterations in closed form — each iteration
+                            // advances every cursor and the epoch by the
+                            // same amount.
+                            let remaining = *n - executed;
+                            let epoch_delta = (self.epoch - epoch_before) / executed;
+                            self.epoch += epoch_delta * remaining;
+                            for (file, cur) in self.cursors.iter_mut() {
                                 let before = cursors_before.get(file).copied().unwrap_or(0);
-                                if decl.scope == Scope::Shared
-                                    && *cur > decl.lane
-                                    && *cur > before
-                                    && warned.insert(s.line)
-                                {
-                                    report.warn(
-                                        Code::LaneOverflow,
-                                        Some(s.line),
-                                        format!(
-                                            "repeated sequential access reaches \
-                                             byte {cur} of the {}-byte lane of \
-                                             shared file `{file}`",
-                                            decl.lane
-                                        ),
-                                    );
+                                let delta = (*cur - before) / executed;
+                                *cur += delta * remaining;
+                            }
+                            // Lane departures past the literal horizon are
+                            // still visible from the final cursor.
+                            if self.rank == 0 {
+                                for (file, cur) in &self.cursors {
+                                    let Some(decl) = self.w.files.get(*file) else {
+                                        continue;
+                                    };
+                                    let before = cursors_before.get(file).copied().unwrap_or(0);
+                                    if decl.scope == Scope::Shared
+                                        && *cur > decl.lane
+                                        && *cur > before
+                                        && warned.insert(s.line)
+                                    {
+                                        report.warn(
+                                            Code::LaneOverflow,
+                                            Some(s.line),
+                                            format!(
+                                                "repeated sequential access reaches \
+                                                 byte {cur} of the {}-byte lane of \
+                                                 shared file `{file}`",
+                                                decl.lane
+                                            ),
+                                        );
+                                    }
                                 }
                             }
                         }
                     }
+                    StmtKind::OnRank(r, inner) => {
+                        if self.rank == *r {
+                            self.walk(inner, report, warned);
+                        }
+                    }
+                    StmtKind::Meta(..) | StmtKind::Compute(_) => {}
                 }
-                StmtKind::Meta(..) | StmtKind::Compute(_) => {}
             }
         }
     }
-}
 
-/// Lane-overflow warnings plus the shared-write race detector.
-fn lane_and_race_pass(w: &DslWorkload, report: &mut LintReport) {
-    let mut per_rank: Vec<SymRank<'_>> = Vec::new();
-    let mut warned: HashSet<u32> = HashSet::new();
-    for rank in 0..PROBE_RANKS {
-        let mut sym = SymRank {
-            w,
-            rank,
-            cursors: HashMap::new(),
-            epoch: 0,
-            budget: ITERATION_BUDGET,
-            intervals: HashMap::new(),
-            last: HashMap::new(),
-        };
-        sym.walk(&w.body, report, &mut warned);
-        per_rank.push(sym);
-    }
+    /// Lane-overflow warnings plus the shared-write race detector.
+    pub(crate) fn lane_and_race_pass(w: &DslWorkload, report: &mut LintReport) {
+        let mut per_rank: Vec<SymRank<'_>> = Vec::new();
+        let mut warned: HashSet<u32> = HashSet::new();
+        for rank in 0..PROBE_RANKS {
+            let mut sym = SymRank {
+                w,
+                rank,
+                cursors: HashMap::new(),
+                epoch: 0,
+                budget: ITERATION_BUDGET,
+                intervals: HashMap::new(),
+                last: HashMap::new(),
+            };
+            sym.walk(&w.body, report, &mut warned);
+            per_rank.push(sym);
+        }
 
-    // Cross-rank overlap scan, per shared file, same epoch only.
-    let mut flagged: HashSet<(String, u32, u32)> = HashSet::new();
-    let names: HashSet<&str> = per_rank
-        .iter()
-        .flat_map(|r| r.intervals.keys().copied())
-        .collect();
-    for name in names {
-        let all: Vec<&WriteInterval> = per_rank
+        // Cross-rank overlap scan, per shared file, same epoch only.
+        let mut flagged: HashSet<(String, u32, u32)> = HashSet::new();
+        let names: HashSet<&str> = per_rank
             .iter()
-            .filter_map(|r| r.intervals.get(name))
-            .flatten()
+            .flat_map(|r| r.intervals.keys().copied())
             .collect();
-        for (i, a) in all.iter().enumerate() {
-            for b in &all[i + 1..] {
-                if a.rank == b.rank || a.epoch != b.epoch {
-                    continue;
-                }
-                if a.start < b.end && b.start < a.end {
-                    let (lo, hi) = (a.line.min(b.line), a.line.max(b.line));
-                    if !flagged.insert((name.to_string(), lo, hi)) {
+        for name in names {
+            let all: Vec<&WriteInterval> = per_rank
+                .iter()
+                .filter_map(|r| r.intervals.get(name))
+                .flatten()
+                .collect();
+            for (i, a) in all.iter().enumerate() {
+                for b in &all[i + 1..] {
+                    if a.rank == b.rank || a.epoch != b.epoch {
                         continue;
                     }
-                    let olo = a.start.max(b.start);
-                    let ohi = a.end.min(b.end);
-                    report.error(
-                        Code::SharedWriteRace,
-                        Some(lo),
-                        format!(
-                            "ranks {} and {} both write bytes [{olo}, {ohi}) \
-                             of shared file `{name}` with no barrier between \
-                             (lines {lo} and {hi})",
-                            a.rank.min(b.rank),
-                            a.rank.max(b.rank),
-                        ),
-                    );
+                    if a.start < b.end && b.start < a.end {
+                        let (lo, hi) = (a.line.min(b.line), a.line.max(b.line));
+                        if !flagged.insert((name.to_string(), lo, hi)) {
+                            continue;
+                        }
+                        let olo = a.start.max(b.start);
+                        let ohi = a.end.min(b.end);
+                        report.error(
+                            Code::SharedWriteRace,
+                            Some(lo),
+                            format!(
+                                "ranks {} and {} both write bytes [{olo}, {ohi}) \
+                                 of shared file `{name}` with no barrier between \
+                                 (lines {lo} and {hi})",
+                                a.rank.min(b.rank),
+                                a.rank.max(b.rank),
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -699,5 +752,191 @@ mod tests {
         let r = lint(src);
         assert!(r.has(Code::LaneOverflow), "{:?}", r.diagnostics);
         assert!(r.has(Code::SharedWriteRace), "{:?}", r.diagnostics);
+    }
+
+    // ---- CFG / abstract-interpretation era diagnostics ----------------
+
+    #[test]
+    fn rank_divergent_barrier_pio021() {
+        let r = lint("file a shared\ncreate a\nonrank 0\nbarrier\nend\nwrite a 1m\nclose a");
+        assert!(r.has(Code::RankDivergentBarrier), "{:?}", r.diagnostics);
+        assert!(!r.is_clean());
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::RankDivergentBarrier)
+            .unwrap();
+        assert_eq!(d.line, Some(4));
+        // Unguarded barriers are collective and fine.
+        let r = lint("file a shared\ncreate a\nbarrier\nwrite a 1m\nclose a");
+        assert!(!r.has(Code::RankDivergentBarrier), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dead_code_pio022() {
+        // A `repeat 0` body is structurally unreachable.
+        let r = lint("file a shared\ncreate a\nrepeat 0\nwrite a 1m\nend\nclose a");
+        assert!(r.has(Code::UnreachableCode), "{:?}", r.diagnostics);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::UnreachableCode)
+            .unwrap();
+        assert_eq!(d.line, Some(4));
+        // Conflicting nested rank guards can never both hold.
+        let r = lint("file a shared\ncreate a\nonrank 0\nonrank 1\nwrite a 1m\nend\nend\nclose a");
+        assert!(r.has(Code::UnreachableCode), "{:?}", r.diagnostics);
+        // Redundant identical guards are reachable.
+        let r = lint("file a shared\ncreate a\nonrank 0\nonrank 0\nwrite a 1m\nend\nend\nclose a");
+        assert!(!r.has(Code::UnreachableCode), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn read_never_written_pio023() {
+        // Freshly created file, read but never written.
+        let r = lint("file a perrank\ncreate a\nread a 4k\nclose a");
+        assert!(r.has(Code::ReadNeverWritten), "{:?}", r.diagnostics);
+        assert!(r.is_clean()); // warning only
+                               // A positioned read of a written range is meaningful.
+        let r = lint("file a perrank\ncreate a\nwrite a 4k\nreadat a 0 4k\nclose a");
+        assert!(!r.has(Code::ReadNeverWritten), "{:?}", r.diagnostics);
+        // Pre-existing (opened) files may hold content already.
+        let r = lint("file a perrank\nopen a\nread a 4k\nclose a");
+        assert!(!r.has(Code::ReadNeverWritten), "{:?}", r.diagnostics);
+        // Random reads sample the whole lane; stay quiet.
+        let r = lint("file a perrank\ncreate a\nread a 4k random\nclose a");
+        assert!(!r.has(Code::ReadNeverWritten), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn cursor_past_declared_size_pio024() {
+        let r = lint("file a perrank size 8k\ncreate a\nwrite a 4k x3\nclose a");
+        assert!(r.has(Code::CursorPastDeclaredSize), "{:?}", r.diagnostics);
+        assert!(r.is_clean()); // warning only
+        let r = lint("file a perrank size 16k\ncreate a\nwrite a 4k x3\nclose a");
+        assert!(!r.has(Code::CursorPastDeclaredSize), "{:?}", r.diagnostics);
+        // A shared file whose lane alone exceeds the declared size puts
+        // every rank but 0 past the end before the first byte moves.
+        let r = lint("file d shared lane 64m size 1m\ncreate d\nwrite d 4k\nclose d");
+        assert!(r.has(Code::CursorPastDeclaredSize), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn races_beyond_legacy_budget_are_caught() {
+        // The legacy expansion-based detector spends its whole iteration
+        // budget in the burn loop (2100 · (1 + 2000) literal iterations
+        // > 4M), then reaches the raced loop with budget 0: zero
+        // iterations execute, the closed-form continuation has nothing
+        // to extrapolate from, and both the spill and the race are
+        // silently missed. The CFG engine has no budget — every loop is
+        // closed form — and catches both.
+        let src = "file burn perrank\nfile d shared lane 64m\ncreate burn\ncreate d\n\
+                   repeat 2100\nrepeat 2000\nwrite burn 256\nend\nend\n\
+                   repeat 100000\nwriteat d 0 4k\nwrite d 1k\nend\nclose burn\nclose d";
+        let w = parse_dsl_ast(src, 1000).unwrap();
+        let new = lint_program(&w);
+        assert!(new.has(Code::LaneOverflow), "{:?}", new.diagnostics);
+        assert!(new.has(Code::SharedWriteRace), "{:?}", new.diagnostics);
+
+        let mut old = LintReport::new();
+        legacy::lane_and_race_pass(&w, &mut old);
+        assert!(!old.has(Code::LaneOverflow), "{:?}", old.diagnostics);
+        assert!(!old.has(Code::SharedWriteRace), "{:?}", old.diagnostics);
+    }
+
+    // ---- Differential testing against the legacy oracle ---------------
+
+    /// One op template: (kind, file, size choice, count, offset choice).
+    type DiffOp = (u8, usize, usize, u64, u64);
+
+    const DIFF_SIZES: [&str; 3] = ["4k", "16k", "64k"];
+
+    /// Render a generated shape whose reach stays under 3 lanes (so the
+    /// legacy 3-probe-rank window sees every racing δ) and whose loops
+    /// stay far under the legacy iteration budget.
+    fn render_diff(prefix: &[DiffOp], body: &[DiffOp], trips: u64, suffix: &[DiffOp]) -> String {
+        let mut s =
+            String::from("file f0 shared lane 4m\nfile f1 shared lane 4m\ncreate f0\ncreate f1\n");
+        fn emit(s: &mut String, &(kind, fsel, ssel, count, osel): &DiffOp) {
+            let f = fsel % 2;
+            let size = DIFF_SIZES[ssel % 3];
+            let n = 1 + count % 3;
+            match kind % 5 {
+                0 => s.push_str(&format!("write f{f} {size} x{n}\n")),
+                1 => {
+                    let off = (osel % 64) * 128 * 1024;
+                    s.push_str(&format!("writeat f{f} {off} {size} x{n}\n"));
+                }
+                2 => s.push_str(&format!("read f{f} {size} random\n")),
+                3 => s.push_str("barrier\n"),
+                _ => s.push_str("compute 1ms\n"),
+            }
+        }
+        for op in prefix {
+            emit(&mut s, op);
+        }
+        s.push_str(&format!("repeat {trips}\n"));
+        for op in body {
+            emit(&mut s, op);
+        }
+        s.push_str("end\n");
+        for op in suffix {
+            emit(&mut s, op);
+        }
+        s.push_str("close f0\nclose f1\n");
+        s
+    }
+
+    fn pio019_lines(r: &LintReport) -> Vec<u32> {
+        let mut v: Vec<u32> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::LaneOverflow)
+            .filter_map(|d| d.line)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Both engines end PIO020 messages with `(lines X and Y)`.
+    fn pio020_pairs(r: &LintReport) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::SharedWriteRace)
+            .map(|d| {
+                let tail = d.message.rsplit("(lines ").next().unwrap();
+                let nums: Vec<u32> = tail
+                    .trim_end_matches(')')
+                    .split(" and ")
+                    .map(|t| t.trim().parse().unwrap())
+                    .collect();
+                (nums[0], nums[1])
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn cfg_engine_agrees_with_legacy_oracle(
+            prefix in proptest::collection::vec((0u8..5, 0usize..2, 0usize..3, 0u64..3, 0u64..64), 0..3),
+            body in proptest::collection::vec((0u8..5, 0usize..2, 0usize..3, 0u64..3, 0u64..64), 0..4),
+            trips in 1u64..5,
+            suffix in proptest::collection::vec((0u8..5, 0usize..2, 0usize..3, 0u64..3, 0u64..64), 0..3),
+        ) {
+            let src = render_diff(&prefix, &body, trips, &suffix);
+            let w = parse_dsl_ast(&src, 1000).unwrap();
+            let new = lint_program(&w);
+            let mut old = LintReport::new();
+            legacy::lane_and_race_pass(&w, &mut old);
+            proptest::prop_assert_eq!(pio019_lines(&new), pio019_lines(&old), "{}", &src);
+            proptest::prop_assert_eq!(pio020_pairs(&new), pio020_pairs(&old), "{}", &src);
+        }
     }
 }

@@ -17,6 +17,10 @@
 //!   compute 50ms
 //! end
 //! read data 4k x100 random       # 100 random 4 KiB reads within the lane
+//! writeat data 8m 64k x4         # pwrite-style: explicit lane offset, cursor untouched
+//! onrank 0
+//!   write out 1m                 # only rank 0 executes this block
+//! end
 //! barrier
 //! stat data
 //! close data
@@ -25,7 +29,12 @@
 //! Sizes accept `k`/`m`/`g` suffixes (binary); durations accept
 //! `us`/`ms`/`s`. Sequential accesses advance a per-(rank, file) cursor;
 //! `random` draws offsets from the rank's seeded RNG within the file's
-//! lane. Expansion is deterministic in `(nranks, seed)`.
+//! lane; `writeat`/`readat` take an explicit lane-relative offset
+//! (pwrite/pread semantics — the cursor is not consulted or advanced).
+//! `onrank N … end` restricts its block to a single rank. A `file`
+//! declaration may carry `size <bytes>` to declare the intended total
+//! file size (used by static analysis, not by expansion). Expansion is
+//! deterministic in `(nranks, seed)`.
 //!
 //! The parsed AST ([`DslWorkload`], [`Stmt`], [`FileDecl`]) is public
 //! and every node carries its 1-based source line, so downstream tools
@@ -60,6 +69,10 @@ pub struct FileDecl {
     pub scope: Scope,
     /// Per-rank lane size in bytes.
     pub lane: u64,
+    /// Declared total file size in bytes (`size <bytes>`), if any.
+    /// Purely declarative: expansion ignores it; static analysis
+    /// (`pioeval-lint` code `PIO024`) checks cursors against it.
+    pub size: Option<u64>,
     /// 1-based source line of the declaration.
     pub line: u32,
 }
@@ -90,6 +103,10 @@ pub enum StmtKind {
         count: u64,
         /// Random offsets within the lane instead of sequential.
         random: bool,
+        /// Explicit lane-relative start offset (`writeat`/`readat`).
+        /// `None` means cursor-sequential (or random). When set, the
+        /// per-(rank, file) cursor is neither consulted nor advanced.
+        at: Option<u64>,
     },
     /// Pure computation for the given duration.
     Compute(SimDuration),
@@ -97,6 +114,8 @@ pub enum StmtKind {
     Barrier,
     /// Repeat the inner block N times.
     Repeat(u64, Vec<Stmt>),
+    /// Execute the inner block only on the given rank.
+    OnRank(u32, Vec<Stmt>),
 }
 
 /// A parsed DSL workload.
@@ -118,11 +137,20 @@ pub struct DslWorkload {
 /// prefixed with `line N:` (for unclosed blocks, the line of the
 /// opening `repeat`).
 pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
+    /// What kind of block a stack entry is building.
+    enum Block {
+        /// The top-level body (bottom of the stack, never popped).
+        Top,
+        /// A `repeat <n>` block.
+        Repeat(u64),
+        /// An `onrank <r>` block.
+        OnRank(u32),
+    }
     let mut files = HashMap::new();
     let mut file_count = 0u32;
-    // Stack of blocks being built: (repeat count, opening line, stmts).
+    // Stack of blocks being built: (kind, opening line, stmts).
     // Bottom is the top-level body.
-    let mut stack: Vec<(u64, u32, Vec<Stmt>)> = vec![(1, 0, Vec::new())];
+    let mut stack: Vec<(Block, u32, Vec<Stmt>)> = vec![(Block::Top, 0, Vec::new())];
 
     for (lineno, raw) in src.lines().enumerate() {
         let line_no = (lineno + 1) as u32;
@@ -131,7 +159,7 @@ pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
             continue;
         }
         let err = |msg: &str| Error::Parse(format!("line {line_no}: {msg}"));
-        let push = |stack: &mut Vec<(u64, u32, Vec<Stmt>)>, kind: StmtKind| {
+        let push = |stack: &mut Vec<(Block, u32, Vec<Stmt>)>, kind: StmtKind| {
             stack.last_mut().unwrap().2.push(Stmt {
                 line: line_no,
                 kind,
@@ -141,24 +169,37 @@ pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
         match toks[0] {
             "file" => {
                 if toks.len() < 3 {
-                    return Err(err("usage: file <name> shared|perrank [lane <size>]"));
+                    return Err(err(
+                        "usage: file <name> shared|perrank [lane <size>] [size <bytes>]",
+                    ));
                 }
                 let scope = match toks[2] {
                     "shared" => Scope::Shared,
                     "perrank" => Scope::PerRank,
                     other => return Err(err(&format!("unknown scope `{other}`"))),
                 };
-                let lane = if toks.len() >= 5 && toks[3] == "lane" {
-                    parse_size(toks[4]).ok_or_else(|| err("bad lane size"))?
-                } else {
-                    DEFAULT_LANE
-                };
+                let mut lane = DEFAULT_LANE;
+                let mut size = None;
+                let mut rest = toks[3..].iter();
+                while let Some(key) = rest.next() {
+                    let value = rest
+                        .next()
+                        .ok_or_else(|| err(&format!("`{key}` needs a value")))?;
+                    match *key {
+                        "lane" => lane = parse_size(value).ok_or_else(|| err("bad lane size"))?,
+                        "size" => {
+                            size = Some(parse_size(value).ok_or_else(|| err("bad file size"))?)
+                        }
+                        other => return Err(err(&format!("unknown file attribute `{other}`"))),
+                    }
+                }
                 files.insert(
                     toks[1].to_string(),
                     FileDecl {
                         index: file_count,
                         scope,
                         lane,
+                        size,
                         line: line_no,
                     },
                 );
@@ -209,6 +250,40 @@ pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
                         size,
                         count,
                         random,
+                        at: None,
+                    },
+                );
+            }
+            "writeat" | "readat" => {
+                if toks.len() < 4 {
+                    return Err(err("usage: writeat|readat <file> <offset> <size> [xN]"));
+                }
+                let kind = if toks[0] == "writeat" {
+                    IoKind::Write
+                } else {
+                    IoKind::Read
+                };
+                let at = parse_size(toks[2]).ok_or_else(|| err("bad offset"))?;
+                let size = parse_size(toks[3]).ok_or_else(|| err("bad size"))?;
+                let mut count = 1u64;
+                for t in &toks[4..] {
+                    if let Some(n) = t.strip_prefix('x') {
+                        count = n.parse().map_err(|_| err("bad repeat count"))?;
+                    } else {
+                        // `random` deliberately excluded: an explicit
+                        // offset and a random offset contradict.
+                        return Err(err(&format!("unknown modifier `{t}`")));
+                    }
+                }
+                push(
+                    &mut stack,
+                    StmtKind::Data {
+                        kind,
+                        file: toks[1].to_string(),
+                        size,
+                        count,
+                        random: false,
+                        at: Some(at),
                     },
                 );
             }
@@ -225,24 +300,40 @@ pub fn parse_dsl_ast(src: &str, base_file: u32) -> Result<DslWorkload> {
                     return Err(err("usage: repeat <n>"));
                 }
                 let n: u64 = toks[1].parse().map_err(|_| err("bad repeat count"))?;
-                stack.push((n, line_no, Vec::new()));
+                stack.push((Block::Repeat(n), line_no, Vec::new()));
+            }
+            "onrank" => {
+                if toks.len() != 2 {
+                    return Err(err("usage: onrank <rank>"));
+                }
+                let r: u32 = toks[1].parse().map_err(|_| err("bad rank"))?;
+                stack.push((Block::OnRank(r), line_no, Vec::new()));
             }
             "end" => {
                 if stack.len() < 2 {
-                    return Err(err("`end` without `repeat`"));
+                    return Err(err("`end` without `repeat` or `onrank`"));
                 }
-                let (n, open_line, stmts) = stack.pop().unwrap();
+                let (block, open_line, stmts) = stack.pop().unwrap();
+                let kind = match block {
+                    Block::Repeat(n) => StmtKind::Repeat(n, stmts),
+                    Block::OnRank(r) => StmtKind::OnRank(r, stmts),
+                    Block::Top => unreachable!("top entry never popped"),
+                };
                 stack.last_mut().unwrap().2.push(Stmt {
                     line: open_line,
-                    kind: StmtKind::Repeat(n, stmts),
+                    kind,
                 });
             }
             other => return Err(err(&format!("unknown statement `{other}`"))),
         }
     }
-    if let Some((_, open_line, _)) = stack.get(1) {
+    if let Some((block, open_line, _)) = stack.get(1) {
+        let what = match block {
+            Block::OnRank(_) => "onrank",
+            _ => "repeat",
+        };
         return Err(Error::Parse(format!(
-            "line {open_line}: unclosed `repeat` block"
+            "line {open_line}: unclosed `{what}` block"
         )));
     }
     let body = stack.pop().unwrap().2;
@@ -273,7 +364,7 @@ fn check_files(stmts: &[Stmt], files: &HashMap<String, FileDecl>) -> Result<()> 
                     s.line
                 )));
             }
-            StmtKind::Repeat(_, inner) => check_files(inner, files)?,
+            StmtKind::Repeat(_, inner) | StmtKind::OnRank(_, inner) => check_files(inner, files)?,
             _ => {}
         }
     }
@@ -379,7 +470,7 @@ pub fn parse_program_ast(src: &str, base_file: u32) -> Result<DslProgram> {
                 while j < lines.len() {
                     let t = strip(lines[j]);
                     match t.split_whitespace().next() {
-                        Some("repeat") => depth += 1,
+                        Some("repeat") | Some("onrank") => depth += 1,
                         Some("end") => {
                             depth -= 1;
                             if depth == 0 {
@@ -610,12 +701,17 @@ impl Expander<'_> {
                     size,
                     count,
                     random,
+                    at,
                 } => {
                     let decl = self.w.files[name].clone();
                     let file = self.file_id(&decl);
                     let base = self.lane_base(&decl);
-                    for _ in 0..*count {
-                        let offset = if *random {
+                    for i in 0..*count {
+                        let offset = if let Some(at) = at {
+                            // pwrite/pread: explicit lane-relative start;
+                            // xN transfers are sequential from there.
+                            base + at + i * size
+                        } else if *random {
                             let span = decl.lane.saturating_sub(*size).max(1);
                             base + self.rng.gen_range(0..span)
                         } else {
@@ -636,6 +732,11 @@ impl Expander<'_> {
                 StmtKind::Barrier => self.out.push(StackOp::Barrier),
                 StmtKind::Repeat(n, inner) => {
                     for _ in 0..*n {
+                        self.expand(inner);
+                    }
+                }
+                StmtKind::OnRank(r, inner) => {
+                    if self.rank == *r {
                         self.expand(inner);
                     }
                 }
@@ -963,6 +1064,69 @@ mod tests {
             })
             .count();
         assert_eq!(reads, 6);
+    }
+
+    #[test]
+    fn writeat_expands_at_explicit_offsets_without_moving_the_cursor() {
+        let src = "
+            file data shared lane 16m
+            create data
+            writeat data 8m 64k x2
+            write data 1m
+            close data
+        ";
+        let w = parse_dsl(src, 500).unwrap();
+        let p = &w.programs(2, 1)[1]; // rank 1: lane base 16m
+        let offs: Vec<(u64, u64)> = p
+            .iter()
+            .filter_map(|op| match op {
+                StackOp::PosixData { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        let lane = 16 << 20;
+        let (m8, k64, m1) = (8 << 20, 64 << 10, 1 << 20);
+        // Two pwrites from lane+8m, then the cursor write still starts
+        // at the lane base: `writeat` never advanced it.
+        assert_eq!(
+            offs,
+            vec![(lane + m8, k64), (lane + m8 + k64, k64), (lane, m1),]
+        );
+    }
+
+    #[test]
+    fn onrank_blocks_expand_on_exactly_one_rank() {
+        let src = "
+            file out perrank
+            create out
+            onrank 1
+              write out 1m x3
+            end
+            close out
+        ";
+        let w = parse_dsl(src, 0).unwrap();
+        let programs = w.programs(3, 1);
+        let writes = |p: &[StackOp]| {
+            p.iter()
+                .filter(|op| matches!(op, StackOp::PosixData { .. }))
+                .count()
+        };
+        assert_eq!(writes(&programs[0]), 0);
+        assert_eq!(writes(&programs[1]), 3);
+        assert_eq!(writes(&programs[2]), 0);
+    }
+
+    #[test]
+    fn file_size_attribute_parses_in_any_order() {
+        let w = parse_dsl("file a shared size 1g lane 4m\nfile b perrank", 0).unwrap();
+        assert_eq!(w.files["a"].size, Some(1 << 30));
+        assert_eq!(w.files["a"].lane, 4 << 20);
+        assert_eq!(w.files["b"].size, None);
+        assert!(parse_dsl("file a shared size", 0).is_err());
+        assert!(parse_dsl("file a shared stripe 4m", 0).is_err());
+        assert!(parse_dsl("writeat x 1m", 0).is_err()); // missing size
+        assert!(parse_dsl("file x shared\nwriteat x 0 1m random", 0).is_err());
+        assert!(parse_dsl("onrank 0\nbarrier", 0).is_err()); // unclosed
     }
 
     #[test]

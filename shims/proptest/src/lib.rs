@@ -105,7 +105,23 @@ pub mod strategy {
             }
         )*};
     }
-    range_value!(u8, u16, u32, u64, usize, i32, i64);
+    range_value!(u8, u16, u32, u64, usize);
+
+    // Signed types map through an order-preserving bias so ranges with
+    // negative endpoints still satisfy `to_u64(lo) <= to_u64(hi)`.
+    macro_rules! signed_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn to_u64(self) -> u64 {
+                    (self as i64 as u64) ^ (1u64 << 63)
+                }
+                fn from_u64(v: u64) -> Self {
+                    (v ^ (1u64 << 63)) as i64 as $t
+                }
+            }
+        )*};
+    }
+    signed_range_value!(i32, i64);
 
     impl<T: RangeValue> Strategy for std::ops::Range<T> {
         type Value = T;

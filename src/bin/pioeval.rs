@@ -31,7 +31,8 @@ pioeval — parallel I/O evaluation framework
 USAGE:
   pioeval run --workload <NAME> [OPTIONS]   simulate a bundled workload
   pioeval dsl <FILE> [OPTIONS]              simulate a DSL-described workload
-  pioeval lint <FILE> [--json]              static-analyse an input file
+  pioeval lint <FILE> [LINT OPTIONS]        static-analyse an input file
+  pioeval lint --explain <PIO0xx>           explain one diagnostic code
   pioeval watch <FILE|ADDR> [WATCH OPTIONS] tail a live telemetry stream
   pioeval bench [BENCH OPTIONS]             benchmark the framework itself
   pioeval compare [--last <N>]              trend view over archived bench runs
@@ -43,6 +44,13 @@ LINT INPUTS:
   *.json           workflow DAG if a `stages` key is present, object-store
                    config if a `num_gateways` key is present, cluster
                    config otherwise
+
+LINT OPTIONS:
+  --json             diagnostics as one JSON document on stdout
+  --deny-warnings    exit non-zero on any diagnostic, warnings included
+  --cfg-out <FILE>   also dump the lowered per-workload control-flow
+                     graph (DSL inputs only): Graphviz if FILE ends in
+                     .dot, JSON otherwise
 
 WORKLOADS:
   ior | mdtest | checkpoint | btio | dlio | analytics | workflow
@@ -191,7 +199,7 @@ impl Options {
 }
 
 /// Flags that take no value; parsed as `key -> "true"`.
-const BOOL_FLAGS: &[&str] = &["quiet", "json", "follow-until-done"];
+const BOOL_FLAGS: &[&str] = &["quiet", "json", "follow-until-done", "deny-warnings"];
 
 /// Split args into positional values and `--key value` flags (boolean
 /// flags from [`BOOL_FLAGS`] consume no value).
@@ -638,13 +646,38 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let json_out = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let (positional, flags) = parse_flags(&args)?;
-    if let Some(key) = flags.keys().next() {
-        return Err(format!("unknown option --{key}"));
+    if let Some(code_str) = flags.get("explain") {
+        let code = pioeval::lint::Code::parse(code_str)
+            .ok_or_else(|| format!("unknown diagnostic code `{code_str}`"))?;
+        println!("{} — {}\n\n{}", code.as_str(), code.title(), code.explain());
+        return Ok(true);
+    }
+    let deny_warnings = flags.contains_key("deny-warnings");
+    let cfg_out = flags.get("cfg-out").cloned();
+    for key in flags.keys() {
+        if !matches!(key.as_str(), "deny-warnings" | "cfg-out") {
+            return Err(format!("unknown option --{key}"));
+        }
     }
     let path = positional
         .first()
         .ok_or("lint requires a <FILE> argument")?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    if let Some(out) = &cfg_out {
+        if path.ends_with(".json") {
+            return Err("--cfg-out requires a DSL workload input (.pio)".to_string());
+        }
+        let program = pioeval::workloads::parse_program_ast(&source, 0)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let pcfg = pioeval::lint::lower_program(&program);
+        let text = if out.ends_with(".dot") {
+            pcfg.to_dot()
+        } else {
+            pcfg.to_json()
+        };
+        std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
 
     let report = if path.ends_with(".json") {
         let value =
@@ -674,7 +707,11 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
             println!("{path}: clean");
         }
     }
-    Ok(report.is_clean())
+    if deny_warnings {
+        Ok(report.diagnostics.is_empty())
+    } else {
+        Ok(report.is_clean())
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -1092,6 +1129,35 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     })?;
     let _ = std::fs::remove_file(&live_path);
     record(format!("phold_par_t{threads}_live"), events, wall);
+
+    // Lint wall-time on a generated large DSL program (~10k statements):
+    // CFG lowering plus the abstract-interpretation passes end to end,
+    // with repeat/barrier/onrank structure so every lowering path is on
+    // the hot loop. `events` counts DSL statements, so the throughput
+    // column reads statements linted per second.
+    let lint_src = {
+        let mut s =
+            String::from("file data shared lane 64m\nfile log perrank\ncreate data\ncreate log\n");
+        for i in 0..1250u64 {
+            s.push_str(&format!(
+                "repeat {}\nwrite data 4k\nwrite log 1k\nend\nbarrier\n\
+                 onrank {}\nwrite log 2k\nend\nbarrier\n",
+                2 + i % 7,
+                i % 8,
+            ));
+        }
+        s.push_str("close data\nclose log\n");
+        s
+    };
+    let lint_statements = lint_src.lines().count() as u64;
+    let (events, wall) = bench_median(repeat, || {
+        let report = lint_dsl_source(&lint_src);
+        if !report.is_clean() {
+            return Err("lint_cfg_large fixture no longer lints clean".to_string());
+        }
+        Ok(lint_statements)
+    })?;
+    record("lint_cfg_large".into(), events, wall);
 
     // Full-pipeline trips; the DES event count comes from the telemetry
     // layer itself.

@@ -53,6 +53,23 @@ const BROKEN: &[(&str, Code, bool)] = &[
     ("never_closed.pio", Code::UnusedFile, false),
     ("lane_overflow.pio", Code::LaneOverflow, false),
     ("race_overlap.pio", Code::SharedWriteRace, true),
+    ("race_beyond_budget.pio", Code::SharedWriteRace, true),
+    (
+        "pio021_guarded_barrier.pio",
+        Code::RankDivergentBarrier,
+        true,
+    ),
+    ("pio022_dead_code.pio", Code::UnreachableCode, false),
+    (
+        "pio023_read_never_written.pio",
+        Code::ReadNeverWritten,
+        false,
+    ),
+    (
+        "pio024_past_declared_size.pio",
+        Code::CursorPastDeclaredSize,
+        false,
+    ),
     ("config_zero_stripe.json", Code::ZeroStripe, true),
     ("config_zero_fabric_bw.json", Code::ZeroFabricBw, true),
     ("config_empty_cluster.json", Code::StructuralZero, true),
