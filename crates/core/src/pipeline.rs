@@ -11,7 +11,8 @@
 use crate::source::WorkloadSource;
 use pioeval_des::ExecMode;
 use pioeval_iostack::{
-    collect_on, launch, launch_on, JobResult, JobSpec, StackConfig, StorageTarget,
+    collect_on, drain_request_events, enable_request_trace, launch, launch_on, JobResult, JobSpec,
+    StackConfig, StorageTarget,
 };
 use pioeval_monitor::SystemAnalysis;
 use pioeval_objstore::{GatewayStats, ObjCluster, ObjStoreConfig};
@@ -71,6 +72,9 @@ pub struct MeasurementReport {
     pub burst_buffers: Vec<BurstBufferStats>,
     /// Per-gateway statistics (empty on the PFS path).
     pub gateways: Vec<GatewayStats>,
+    /// Assembled per-request trace (Some only when the measurement ran
+    /// with request tracing enabled; see [`measure_target_traced`]).
+    pub requests: Option<pioeval_reqtrace::Assembly>,
 }
 
 impl MeasurementReport {
@@ -151,6 +155,27 @@ pub fn measure_target_with_exec(
     seed: u64,
     exec: &ExecMode,
 ) -> Result<MeasurementReport> {
+    measure_target_traced(target_cfg, source, nranks, stack, seed, exec, false)
+}
+
+/// [`measure_target_with_exec`] with optional per-request tracing.
+///
+/// With `request_trace` on, every client RPC is stamped with a trace id
+/// and followed through fabrics, servers, and device queues in
+/// simulated time; the assembled, latency-attributed requests land in
+/// [`MeasurementReport::requests`]. Recording is per-entity and
+/// contention-free, and the drained trace is deterministic across DES
+/// executors.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_target_traced(
+    target_cfg: &TargetConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+    exec: &ExecMode,
+    request_trace: bool,
+) -> Result<MeasurementReport> {
     use pioeval_obs::names;
     let _obs_span = pioeval_obs::span(names::SPAN_CORE_MEASURE, "core");
     pioeval_obs::global().counter(names::CORE_MEASURES).inc();
@@ -171,6 +196,9 @@ pub fn measure_target_with_exec(
         start: SimTime::ZERO,
     };
     let handle = launch_on(&mut target, &spec);
+    if request_trace {
+        enable_request_trace(&mut target, &handle);
+    }
     {
         let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
         pioeval_obs::live::set_phase("measure:simulate");
@@ -178,6 +206,10 @@ pub fn measure_target_with_exec(
     }
     let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
     pioeval_obs::live::set_phase("measure:collect");
+    let requests = request_trace.then(|| {
+        let events = drain_request_events(&mut target, &handle);
+        pioeval_reqtrace::assemble(&events)
+    });
     let job = collect_on(&target, &handle);
     let all_records = job.all_records();
     // The profile comes from the ranks' always-on streaming counters, so
@@ -215,6 +247,7 @@ pub fn measure_target_with_exec(
         fabrics,
         burst_buffers,
         gateways,
+        requests,
     })
 }
 
@@ -357,6 +390,44 @@ mod tests {
         assert!(report.mds_ops > 0);
         assert!(report.analysis.bytes_written > 0);
         assert!(!report.servers.is_empty());
+    }
+
+    #[test]
+    fn traced_measurement_attributes_latency_exactly() {
+        let targets = [
+            TargetConfig::Pfs(small_cluster()),
+            TargetConfig::ObjStore(ObjStoreConfig {
+                num_clients: 8,
+                ..ObjStoreConfig::default()
+            }),
+        ];
+        for target in targets {
+            let source = WorkloadSource::Synthetic(Box::new(small_ior()));
+            let report = measure_target_traced(
+                &target,
+                &source,
+                4,
+                StackConfig::default(),
+                1,
+                &ExecMode::Sequential,
+                true,
+            )
+            .unwrap();
+            let asm = report.requests.as_ref().unwrap();
+            assert!(!asm.requests.is_empty(), "{} traced nothing", target.name());
+            for r in &asm.requests {
+                assert_eq!(
+                    r.breakdown().iter().sum::<u64>(),
+                    r.latency().as_nanos(),
+                    "{}: request {:#x} segments must sum to latency",
+                    target.name(),
+                    r.tid
+                );
+            }
+            // Untraced runs carry no request assembly.
+            let plain = measure_target(&target, &source, 4, StackConfig::default(), 1).unwrap();
+            assert!(plain.requests.is_none());
+        }
     }
 
     #[test]

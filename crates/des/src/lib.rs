@@ -49,5 +49,5 @@ pub mod sim;
 
 pub use event::{EntityId, Envelope, EventKey, EXTERNAL};
 pub use parallel::{run_parallel, Backend, ExecMode, ParallelConfig, Partitioner, WindowPolicy};
-pub use phold::{build_phold, phold_fingerprint, PholdConfig};
+pub use phold::{build_phold, build_phold_traced, phold_fingerprint, PholdConfig};
 pub use sim::{Ctx, Entity, RunResult, SimConfig, Simulation};

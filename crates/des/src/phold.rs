@@ -10,8 +10,22 @@
 
 use crate::event::EntityId;
 use crate::sim::{Ctx, Entity, SimConfig, Simulation};
-use pioeval_types::{rng, split_seed, SimDuration, SimTime};
+use pioeval_types::{rng, split_seed, tid_for, ReqMark, ReqRecorder, SimDuration, SimTime};
 use rand::Rng;
+
+/// Cap on marks a traced PHOLD LP keeps before discarding: the traced
+/// bench row measures recording cost, not the memory of holding marks
+/// the benchmark never reads back.
+const TRACE_KEEP: usize = 65_536;
+
+/// Record one mark every this many handled events in the traced PHOLD
+/// variant. PHOLD events are ~100 ns apiece — orders of magnitude
+/// cheaper than any modeled I/O event — and real traced runs record
+/// marks per RPC hop, a small fraction of engine events. Sampling keeps
+/// the probe's mark:event ratio in that realistic range while the
+/// `enabled` branch (the tracer's true always-on per-event cost) still
+/// executes on every event.
+const TRACE_SAMPLE: u64 = 64;
 
 /// One PHOLD logical process.
 pub struct PholdLp {
@@ -24,6 +38,9 @@ pub struct PholdLp {
     /// Order-sensitive fingerprint of everything observed (determinism
     /// checks).
     pub fingerprint: u64,
+    /// Sampled request-trace marks when enabled ([`build_phold_traced`]):
+    /// the overhead probe for the tracing hot path.
+    pub reqtrace: ReqRecorder,
 }
 
 impl Entity<u64> for PholdLp {
@@ -31,6 +48,17 @@ impl Entity<u64> for PholdLp {
         self.handled += 1;
         self.fingerprint =
             self.fingerprint.wrapping_mul(0x100000001B3) ^ ev.msg ^ ev.time().as_nanos();
+        if self.reqtrace.enabled && self.handled.is_multiple_of(TRACE_SAMPLE) {
+            let me = ctx.me().0;
+            if self.reqtrace.events.len() >= TRACE_KEEP {
+                self.reqtrace.events.clear();
+            }
+            self.reqtrace.record(
+                tid_for(me, self.handled),
+                me,
+                ReqMark::Done { at: ev.time() },
+            );
+        }
         let dst = EntityId(self.rng.gen_range(0..self.n));
         let delay =
             self.min_delay + SimDuration::from_nanos(self.rng.gen_range(0..=self.max_extra));
@@ -84,6 +112,7 @@ pub fn build_phold(cfg: &PholdConfig) -> Simulation<u64> {
                 max_extra: cfg.lookahead.as_nanos() * cfg.delay_spread.max(1),
                 handled: 0,
                 fingerprint: 0,
+                reqtrace: ReqRecorder::default(),
             }),
         );
     }
@@ -93,6 +122,23 @@ pub fn build_phold(cfg: &PholdConfig) -> Simulation<u64> {
     for m in 0..cfg.population {
         let t = SimTime::from_nanos(seed_rng.gen_range(0..=cfg.lookahead.as_nanos()));
         sim.schedule(t, EntityId(m % cfg.lps), m as u64);
+    }
+    sim
+}
+
+/// Build a PHOLD simulation with the request-trace recorder enabled on
+/// every LP: the enabled-check runs on every handled event (the
+/// tracer's always-on cost) and every `TRACE_SAMPLE`-th event records
+/// a full mark with a non-zero tid (tid build + `Vec` push), matching
+/// the mark:event ratio of a traced measurement run. Benchmarking this
+/// against [`build_phold`] pins the overhead the tracer adds to a
+/// simulation.
+pub fn build_phold_traced(cfg: &PholdConfig) -> Simulation<u64> {
+    let mut sim = build_phold(cfg);
+    for i in 0..cfg.lps {
+        if let Some(lp) = sim.entity_mut::<PholdLp>(EntityId(i)) {
+            lp.reqtrace.enabled = true;
+        }
     }
     sim
 }
@@ -149,6 +195,53 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn traced_phold_matches_untraced() {
+        let cfg = small();
+        let mut plain = build_phold(&cfg);
+        let plain_res = plain.run();
+        let mut traced = build_phold_traced(&cfg);
+        let traced_res = traced.run();
+        assert_eq!(traced_res.events, plain_res.events);
+        assert_eq!(
+            phold_fingerprint(&traced, cfg.lps),
+            phold_fingerprint(&plain, cfg.lps)
+        );
+        let lp = traced
+            .entity_ref::<PholdLp>(EntityId(0))
+            .expect("PHOLD LP missing");
+        assert!(!lp.reqtrace.events.is_empty(), "no marks recorded");
+        let untraced_lp = plain
+            .entity_ref::<PholdLp>(EntityId(0))
+            .expect("PHOLD LP missing");
+        assert!(untraced_lp.reqtrace.events.is_empty());
+    }
+
+    #[test]
+    #[ignore = "timing probe, run manually with --release"]
+    fn reqtrace_overhead_probe() {
+        let cfg = PholdConfig {
+            lps: 256,
+            population: 8192,
+            horizon: SimTime::from_millis(10),
+            ..PholdConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let mut plain = build_phold(&cfg);
+        let plain_res = plain.run();
+        let plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let mut traced = build_phold_traced(&cfg);
+        let traced_res = traced.run();
+        let traced_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "plain {} events {plain_ms:.1} ms | traced {} events {traced_ms:.1} ms | +{:.1}%",
+            plain_res.events,
+            traced_res.events,
+            (traced_ms / plain_ms - 1.0) * 100.0
+        );
     }
 
     #[test]

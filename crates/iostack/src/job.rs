@@ -10,7 +10,7 @@ use pioeval_des::{EntityId, Simulation};
 use pioeval_pfs::msg::PfsMsg;
 use pioeval_pfs::Cluster;
 use pioeval_trace::JobProfile;
-use pioeval_types::{LayerRecord, Rank, SimDuration, SimTime};
+use pioeval_types::{LayerRecord, Rank, ReqEvent, SimDuration, SimTime};
 
 /// A job: one program per rank plus stack configuration.
 #[derive(Clone, Debug)]
@@ -239,6 +239,42 @@ fn collect_from(sim: &Simulation<PfsMsg>, handle: &JobHandle) -> JobResult {
         finished,
         start: handle.start,
     }
+}
+
+/// Turn on end-to-end request tracing for a launched job: every
+/// infrastructure entity (fabrics, servers, gateways) starts recording
+/// and every rank stamps its outgoing RPCs with trace ids. Call after
+/// [`launch_on`] and before running the simulation.
+pub fn enable_request_trace(target: &mut StorageTarget, handle: &JobHandle) {
+    target.enable_infra_trace();
+    let sim = match target {
+        StorageTarget::Pfs(c) => &mut c.sim,
+        StorageTarget::ObjStore(c) => &mut c.sim,
+    };
+    for &id in &handle.ranks {
+        if let Some(rank) = sim.entity_mut::<RankClient>(id) {
+            rank.enable_request_trace();
+        }
+    }
+}
+
+/// Drain every request-trace event of a completed run: infrastructure
+/// recorders first (ascending entity id), then each rank's recorder in
+/// rank order. Each recorder is only ever appended by its own entity,
+/// so this merge order — and therefore the drained event sequence — is
+/// identical under the sequential and parallel DES executors.
+pub fn drain_request_events(target: &mut StorageTarget, handle: &JobHandle) -> Vec<ReqEvent> {
+    let mut out = target.drain_infra_trace();
+    let sim = match target {
+        StorageTarget::Pfs(c) => &mut c.sim,
+        StorageTarget::ObjStore(c) => &mut c.sim,
+    };
+    for &id in &handle.ranks {
+        if let Some(rank) = sim.entity_mut::<RankClient>(id) {
+            out.extend(rank.reqtrace.drain());
+        }
+    }
+    out
 }
 
 /// Collect the results of a job after the simulation has run.

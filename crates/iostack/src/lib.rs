@@ -42,7 +42,10 @@ pub mod rank;
 pub mod target;
 
 pub use config::{CaptureConfig, MpiConfig, StackConfig};
-pub use job::{collect, collect_on, launch, launch_on, JobHandle, JobResult, JobSpec};
+pub use job::{
+    collect, collect_on, drain_request_events, enable_request_trace, launch, launch_on, JobHandle,
+    JobResult, JobSpec,
+};
 pub use ops::{AccessSpec, DatasetSpec, Hyperslab, StackOp};
 pub use rank::RankCounters;
 pub use target::{StoragePort, StorageTarget};

@@ -72,6 +72,22 @@ impl StoragePort {
             p.on_obj_reply(rep);
         }
     }
+
+    /// Enable or disable request-trace id emission on outgoing requests.
+    pub fn set_trace(&mut self, on: bool) {
+        match self {
+            StoragePort::Pfs(p) => p.set_trace(on),
+            StoragePort::Obj(p) => p.set_trace(on),
+        }
+    }
+
+    /// Is request-trace id emission enabled?
+    pub fn trace_enabled(&self) -> bool {
+        match self {
+            StoragePort::Pfs(p) => p.trace_enabled(),
+            StoragePort::Obj(p) => p.trace_enabled(),
+        }
+    }
 }
 
 /// A fully assembled storage backend for a job to run against.
@@ -104,6 +120,25 @@ impl StorageTarget {
         match self {
             StorageTarget::Pfs(c) => c.handles.compute_fabric,
             StorageTarget::ObjStore(c) => c.handles.compute_fabric,
+        }
+    }
+
+    /// Turn on request-trace recording in every infrastructure entity
+    /// (fabrics, servers, gateways). Client-side emission is enabled
+    /// separately via [`crate::enable_request_trace`].
+    pub fn enable_infra_trace(&mut self) {
+        match self {
+            StorageTarget::Pfs(c) => c.enable_request_trace(),
+            StorageTarget::ObjStore(c) => c.enable_request_trace(),
+        }
+    }
+
+    /// Drain the request-trace events recorded by the infrastructure
+    /// entities, in deterministic (entity-id) order.
+    pub fn drain_infra_trace(&mut self) -> Vec<pioeval_types::ReqEvent> {
+        match self {
+            StorageTarget::Pfs(c) => c.drain_request_events(),
+            StorageTarget::ObjStore(c) => c.drain_request_events(),
         }
     }
 }

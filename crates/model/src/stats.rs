@@ -31,21 +31,13 @@ pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
     stddev(xs) / m
 }
 
-/// Linear-interpolated percentile, `p` in [0, 100].
+/// Exact nearest-rank percentile, `p` in [0, 100]. Delegates to the
+/// workspace-wide shared implementation (see
+/// [`mod@pioeval_types::percentile`] for the rank formula and documented
+/// tie behavior) so model statistics, straggler detection, and
+/// request-trace analytics all report identical quantiles.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.total_cmp(b));
-    let rank = (p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        v[lo]
-    } else {
-        v[lo] + (v[hi] - v[lo]) * (rank - lo as f64)
-    }
+    pioeval_types::percentile(xs, p)
 }
 
 /// Sample covariance (n−1 denominator).
@@ -385,11 +377,12 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_interpolate() {
+    fn percentiles_use_nearest_rank() {
         let xs = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 100.0), 4.0);
-        assert_eq!(percentile(&xs, 50.0), 2.5);
+        // Nearest-rank: the lower central value, never an interpolation.
+        assert_eq!(percentile(&xs, 50.0), 2.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
     }
 

@@ -1,0 +1,151 @@
+//! Request-trace bottleneck classification.
+//!
+//! The request tracer attributes every nanosecond of each request's
+//! end-to-end latency to one of four layers (queue wait, server
+//! protocol service, storage-device service, fabric/wire). This module
+//! turns those per-layer shares into a categorical diagnosis — *what is
+//! this run bottlenecked on?* — which the end-to-end monitoring views
+//! can surface next to throughput and straggler panels.
+//!
+//! Inputs are plain share fractions so the classifier has no dependency
+//! on the tracer itself: callers hand it the `(queue, service, device,
+//! fabric)` shares from a trace summary (whole-population or tail-only).
+
+use serde::Serialize;
+
+/// The dominant latency layer of a traced run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum BottleneckClass {
+    /// Requests mostly wait in server queues / admission slots:
+    /// contention — add servers, widen gateway windows, or spread load.
+    QueueDominated,
+    /// Requests mostly spend time in protocol processing at servers:
+    /// per-request overheads — batch requests or enlarge transfers.
+    ServiceDominated,
+    /// Requests mostly wait on storage media: the devices themselves
+    /// are the limit — more/faster devices or better caching.
+    DeviceDominated,
+    /// Requests mostly sit on the wire: network bandwidth/latency
+    /// bound — fewer hops, fatter links, or larger transfers.
+    FabricDominated,
+    /// No single layer reaches the dominance threshold.
+    Balanced,
+}
+
+impl BottleneckClass {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BottleneckClass::QueueDominated => "queue-dominated",
+            BottleneckClass::ServiceDominated => "service-dominated",
+            BottleneckClass::DeviceDominated => "device-dominated",
+            BottleneckClass::FabricDominated => "fabric-dominated",
+            BottleneckClass::Balanced => "balanced",
+        }
+    }
+
+    /// One-line operator guidance for the diagnosis.
+    pub fn advice(self) -> &'static str {
+        match self {
+            BottleneckClass::QueueDominated => {
+                "contention: requests wait in server queues; add capacity or spread load"
+            }
+            BottleneckClass::ServiceDominated => {
+                "per-request overhead: batch small requests or enlarge transfers"
+            }
+            BottleneckClass::DeviceDominated => {
+                "storage media bound: more/faster devices or better caching"
+            }
+            BottleneckClass::FabricDominated => {
+                "network bound: fewer hops, more bandwidth, or larger transfers"
+            }
+            BottleneckClass::Balanced => "no single dominant layer",
+        }
+    }
+}
+
+/// Share of summed latency a layer must reach to count as dominant.
+pub const DOMINANCE_THRESHOLD: f64 = 0.4;
+
+/// Classify a run from its per-layer latency shares
+/// `(queue, service, device, fabric)`, each in `0..=1`.
+///
+/// The largest share wins if it reaches [`DOMINANCE_THRESHOLD`];
+/// otherwise the run is [`BottleneckClass::Balanced`]. Ties at the top
+/// resolve in the order queue, service, device, fabric (the order an
+/// operator can act on most directly).
+pub fn classify_bottleneck(shares: [f64; 4]) -> BottleneckClass {
+    const CLASSES: [BottleneckClass; 4] = [
+        BottleneckClass::QueueDominated,
+        BottleneckClass::ServiceDominated,
+        BottleneckClass::DeviceDominated,
+        BottleneckClass::FabricDominated,
+    ];
+    let mut best = 0;
+    for i in 1..4 {
+        if shares[i] > shares[best] {
+            best = i;
+        }
+    }
+    if shares[best] >= DOMINANCE_THRESHOLD {
+        CLASSES[best]
+    } else {
+        BottleneckClass::Balanced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_layer_wins() {
+        assert_eq!(
+            classify_bottleneck([0.7, 0.1, 0.1, 0.1]),
+            BottleneckClass::QueueDominated
+        );
+        assert_eq!(
+            classify_bottleneck([0.1, 0.1, 0.6, 0.2]),
+            BottleneckClass::DeviceDominated
+        );
+        assert_eq!(
+            classify_bottleneck([0.0, 0.5, 0.1, 0.4]),
+            BottleneckClass::ServiceDominated
+        );
+        assert_eq!(
+            classify_bottleneck([0.1, 0.1, 0.3, 0.5]),
+            BottleneckClass::FabricDominated
+        );
+    }
+
+    #[test]
+    fn no_dominant_layer_is_balanced() {
+        assert_eq!(
+            classify_bottleneck([0.3, 0.3, 0.2, 0.2]),
+            BottleneckClass::Balanced
+        );
+        assert_eq!(classify_bottleneck([0.0; 4]), BottleneckClass::Balanced);
+    }
+
+    #[test]
+    fn ties_resolve_in_actionability_order() {
+        assert_eq!(
+            classify_bottleneck([0.5, 0.5, 0.0, 0.0]),
+            BottleneckClass::QueueDominated
+        );
+    }
+
+    #[test]
+    fn names_and_advice_exist() {
+        for c in [
+            BottleneckClass::QueueDominated,
+            BottleneckClass::ServiceDominated,
+            BottleneckClass::DeviceDominated,
+            BottleneckClass::FabricDominated,
+            BottleneckClass::Balanced,
+        ] {
+            assert!(!c.name().is_empty());
+            assert!(!c.advice().is_empty());
+        }
+    }
+}

@@ -17,8 +17,11 @@
 //!   recommendations.
 //! * [`scheduler`] — workload-manager (Slurm-like) job logs, the third
 //!   data source the paper lists alongside profiles and server stats.
+//! * [`bottleneck`] — categorical queue/service/device/fabric diagnosis
+//!   from the request tracer's per-layer latency attribution.
 
 pub mod analysis;
+pub mod bottleneck;
 pub mod classify;
 pub mod endtoend;
 pub mod interference;
@@ -28,6 +31,7 @@ pub mod scheduler;
 pub mod straggler;
 
 pub use analysis::{SystemAnalysis, WindowMix};
+pub use bottleneck::{classify_bottleneck, BottleneckClass, DOMINANCE_THRESHOLD};
 pub use classify::{classify_jobs, signature, JobClasses, Signature};
 pub use endtoend::{EndToEndView, MetricRow};
 pub use interference::{interference_report, InterferenceReport};

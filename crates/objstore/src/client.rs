@@ -17,7 +17,7 @@
 use pioeval_des::EntityId;
 use pioeval_pfs::msg::{route, HEADER_BYTES};
 use pioeval_pfs::{ObjReply, ObjRequest, ObjVerb, PfsMsg, RequestId};
-use pioeval_types::{FileId, IoKind, MetaOp, Result};
+use pioeval_types::{tid_for, FileId, IoKind, MetaOp, Result};
 use std::collections::HashMap;
 
 /// Client-side protocol state for one compute client.
@@ -31,6 +31,9 @@ pub struct ObjClientPort {
     part_size: u64,
     sizes: HashMap<FileId, u64>,
     next_id: RequestId,
+    /// When set, outgoing requests carry a request-trace id derived from
+    /// `me` and the request id; when clear they carry the untraced `tid 0`.
+    trace: bool,
 }
 
 impl ObjClientPort {
@@ -50,7 +53,18 @@ impl ObjClientPort {
             part_size: part_size.max(1),
             sizes: HashMap::new(),
             next_id: 0,
+            trace: false,
         }
+    }
+
+    /// Enable or disable request-trace id emission on outgoing requests.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Is request-trace id emission enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
     }
 
     fn fresh_id(&mut self) -> RequestId {
@@ -82,8 +96,9 @@ impl ObjClientPort {
         len: u64,
         part: u32,
     ) -> ObjRequest {
+        let id = self.fresh_id();
         ObjRequest {
-            id: self.fresh_id(),
+            id,
             reply_to: self.me,
             reply_via: vec![self.storage_fabric, self.compute_fabric],
             verb,
@@ -91,6 +106,11 @@ impl ObjClientPort {
             offset,
             len,
             part,
+            tid: if self.trace {
+                tid_for(self.me.0, id)
+            } else {
+                0
+            },
         }
     }
 
@@ -276,6 +296,7 @@ mod tests {
             len: 0,
             size: 777,
             queue_delay: pioeval_types::SimDuration::ZERO,
+            tid: 0,
         });
         assert_eq!(p.file_size(FileId::new(4)), 777);
     }

@@ -20,7 +20,9 @@ use crate::placement::{self, read_targets, write_targets};
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
 use pioeval_pfs::msg::route;
 use pioeval_pfs::{IoRequest, ObjReply, ObjRequest, ObjVerb, PfsMsg, RequestId, ServerStats};
-use pioeval_types::{FileId, IoKind, SimDuration, SimTime};
+use pioeval_types::{
+    percentile_u64, tid_for, FileId, IoKind, ReqMark, ReqRecorder, ServerKind, SimDuration, SimTime,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// One admitted request awaiting its backend fan-out.
@@ -30,6 +32,8 @@ struct InFlight {
     remaining: usize,
     /// Time spent waiting for a slot.
     queue_delay: SimDuration,
+    /// When the request first arrived at the gateway (before any slot wait).
+    arrived: SimTime,
     /// Size reported by the metadata shard (meta verbs).
     size_result: u64,
 }
@@ -49,6 +53,14 @@ pub struct GatewayStats {
     pub busy: SimDuration,
     /// High-water mark of the slot wait queue.
     pub peak_queue_depth: usize,
+    /// Median per-request slot-queue wait (nearest-rank).
+    pub queue_p50: SimDuration,
+    /// 95th-percentile per-request slot-queue wait.
+    pub queue_p95: SimDuration,
+    /// 99th-percentile per-request slot-queue wait.
+    pub queue_p99: SimDuration,
+    /// 99.9th-percentile per-request slot-queue wait.
+    pub queue_p999: SimDuration,
 }
 
 impl GatewayStats {
@@ -101,6 +113,11 @@ pub struct Gateway {
     pub put_bytes: u64,
     /// High-water mark of the slot wait queue.
     pub peak_queue_depth: usize,
+    /// Per-request slot-queue waits in admission order (nanoseconds),
+    /// the population behind the snapshot's queue-wait percentiles.
+    queue_wait_samples: Vec<u64>,
+    /// Per-request trace recorder (admission/fan-out marks).
+    pub reqtrace: ReqRecorder,
 }
 
 impl Gateway {
@@ -131,11 +148,14 @@ impl Gateway {
             get_bytes: 0,
             put_bytes: 0,
             peak_queue_depth: 0,
+            queue_wait_samples: Vec::new(),
+            reqtrace: ReqRecorder::default(),
         }
     }
 
     /// Snapshot of the service counters.
     pub fn snapshot(&self) -> GatewayStats {
+        let q = |p: f64| SimDuration::from_nanos(percentile_u64(&self.queue_wait_samples, p));
         GatewayStats {
             requests: self.stats.requests,
             get_bytes: self.get_bytes,
@@ -143,6 +163,10 @@ impl Gateway {
             queue_wait: self.stats.queue_wait,
             busy: self.stats.busy,
             peak_queue_depth: self.peak_queue_depth,
+            queue_p50: q(50.0),
+            queue_p95: q(95.0),
+            queue_p99: q(99.0),
+            queue_p999: q(99.9),
         }
     }
 
@@ -164,14 +188,22 @@ impl Gateway {
         id
     }
 
-    /// Admit `req` into a slot and launch its backend fan-out.
-    fn start(&mut self, req: ObjRequest, queue_delay: SimDuration, ctx: &mut Ctx<'_, PfsMsg>) {
+    /// Admit `req` (which first arrived at `arrived`) into a slot and
+    /// launch its backend fan-out.
+    fn start(
+        &mut self,
+        req: ObjRequest,
+        arrived: SimTime,
+        queue_delay: SimDuration,
+        ctx: &mut Ctx<'_, PfsMsg>,
+    ) {
         let now = ctx.now();
         self.active += 1;
         let svc = self.service_time(&req);
         self.stats.requests += 1;
         self.stats.queue_wait += queue_delay;
         self.stats.busy += svc;
+        self.queue_wait_samples.push(queue_delay.as_nanos());
         match req.verb {
             ObjVerb::PutPart => {
                 self.put_bytes += req.len;
@@ -222,8 +254,24 @@ impl Gateway {
                 };
                 let n = targets.len();
                 for t in targets {
+                    let id = self.fresh_backend_id(token);
+                    let child_tid = if req.tid != 0 {
+                        tid_for(self.me.0, id)
+                    } else {
+                        0
+                    };
+                    if child_tid != 0 {
+                        self.reqtrace.record(
+                            req.tid,
+                            self.me.0,
+                            ReqMark::Spawn {
+                                child: child_tid,
+                                at: now,
+                            },
+                        );
+                    }
                     let io = IoRequest {
-                        id: self.fresh_backend_id(token),
+                        id,
                         reply_to: self.me,
                         reply_via: vec![self.storage_fabric],
                         kind,
@@ -231,6 +279,7 @@ impl Gateway {
                         ost: t.device,
                         obj_offset: t.obj_offset,
                         len: t.len,
+                        tid: child_tid,
                     };
                     let wire = io.wire_size();
                     let (hop, msg) = route(
@@ -260,8 +309,24 @@ impl Gateway {
                 } else {
                     req.offset
                 };
+                let id = self.fresh_backend_id(token);
+                let child_tid = if req.tid != 0 {
+                    tid_for(self.me.0, id)
+                } else {
+                    0
+                };
+                if child_tid != 0 {
+                    self.reqtrace.record(
+                        req.tid,
+                        self.me.0,
+                        ReqMark::Spawn {
+                            child: child_tid,
+                            at: now,
+                        },
+                    );
+                }
                 let fwd = ObjRequest {
-                    id: self.fresh_backend_id(token),
+                    id,
                     reply_to: self.me,
                     reply_via: vec![self.storage_fabric],
                     verb: req.verb,
@@ -269,6 +334,7 @@ impl Gateway {
                     offset,
                     len: 0,
                     part: 0,
+                    tid: child_tid,
                 };
                 let wire = fwd.wire_size();
                 let (hop, msg) = route(
@@ -288,6 +354,7 @@ impl Gateway {
                 req,
                 remaining: backends,
                 queue_delay,
+                arrived,
                 size_result: 0,
             },
         );
@@ -309,9 +376,24 @@ impl Gateway {
         let InFlight {
             req,
             queue_delay,
+            arrived,
             size_result,
             ..
         } = self.inflight.remove(&token).unwrap();
+
+        // The gateway's span covers the whole slot residency: slot wait
+        // (queue), protocol processing, and the backend fan-out, which
+        // the spawned children let the analyzer break down further.
+        self.reqtrace.record(
+            req.tid,
+            self.me.0,
+            ReqMark::Server {
+                kind: ServerKind::Gateway,
+                arrive: arrived,
+                queue: queue_delay,
+                depart: ctx.now(),
+            },
+        );
 
         // The manifest extent commits when the part is durable backend-side.
         if req.verb == ObjVerb::PutPart {
@@ -328,6 +410,7 @@ impl Gateway {
             len: req.len,
             size: size_result,
             queue_delay,
+            tid: req.tid,
         };
         let wire = reply.wire_size();
         let (hop, msg) = route(&req.reply_via, req.reply_to, wire, PfsMsg::ObjDone(reply));
@@ -336,7 +419,7 @@ impl Gateway {
         self.active -= 1;
         if let Some((next, arrival)) = self.waitq.pop_front() {
             let waited = ctx.now().since(arrival);
-            self.start(next, waited, ctx);
+            self.start(next, arrival, waited, ctx);
         }
     }
 
@@ -351,7 +434,7 @@ impl Entity<PfsMsg> for Gateway {
         match ev.msg {
             PfsMsg::Obj(req) => {
                 if self.active < self.cfg.slots {
-                    self.start(req, SimDuration::ZERO, ctx);
+                    self.start(req, ctx.now(), SimDuration::ZERO, ctx);
                 } else {
                     self.waitq.push_back((req, ctx.now()));
                     self.peak_queue_depth = self.peak_queue_depth.max(self.waitq.len());
@@ -453,6 +536,7 @@ mod tests {
             offset,
             len,
             part,
+            tid: 0,
         })
     }
 

@@ -12,7 +12,7 @@
 use pioeval_des::{Ctx, Entity, Envelope};
 use pioeval_pfs::msg::route;
 use pioeval_pfs::{ObjReply, ObjVerb, PfsMsg};
-use pioeval_types::{FileId, IoKind, SimDuration, SimTime};
+use pioeval_types::{FileId, IoKind, ReqMark, ReqRecorder, ServerKind, SimDuration, SimTime};
 use std::collections::HashMap;
 
 use crate::config::ShardConfig;
@@ -35,6 +35,8 @@ pub struct MetaShard {
     /// Aggregate service statistics (timeline lane 0 records one unit
     /// per verb in the write lane, mirroring the MDS convention).
     pub stats: pioeval_pfs::ServerStats,
+    /// Per-request trace recorder (KV-service marks for traced requests).
+    pub reqtrace: ReqRecorder,
 }
 
 impl MetaShard {
@@ -45,6 +47,7 @@ impl MetaShard {
             records: HashMap::new(),
             next_free: SimTime::ZERO,
             stats: pioeval_pfs::ServerStats::new(1, stats_bin),
+            reqtrace: ReqRecorder::default(),
         }
     }
 
@@ -106,6 +109,17 @@ impl Entity<PfsMsg> for MetaShard {
         self.stats.busy += cost;
         self.stats.timelines[0].record(completion, IoKind::Write, 1);
 
+        self.reqtrace.record(
+            req.tid,
+            ctx.me().0,
+            ReqMark::Server {
+                kind: ServerKind::Shard,
+                arrive: now,
+                queue: queue_delay,
+                depart: completion,
+            },
+        );
+
         // `offset` doubles as the size hint on CompleteUpload (len is 0
         // for every metadata verb, so the field is otherwise unused).
         let size = self.apply(req.verb, req.key, req.offset, now);
@@ -116,6 +130,7 @@ impl Entity<PfsMsg> for MetaShard {
             len: req.len,
             size,
             queue_delay,
+            tid: req.tid,
         };
         let wire = reply.wire_size();
         let (first_hop, msg) = route(&req.reply_via, req.reply_to, wire, PfsMsg::ObjDone(reply));
@@ -163,6 +178,7 @@ mod tests {
             offset,
             len: 0,
             part: 0,
+            tid: 0,
         })
     }
 

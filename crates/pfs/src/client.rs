@@ -15,7 +15,7 @@
 use crate::msg::{route, IoRequest, MetaReply, MetaRequest, PfsMsg, RequestId, HEADER_BYTES};
 use crate::striping::Layout;
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
-use pioeval_types::{Error, FileId, IoKind, IoOp, MetaOp, Result, SimTime};
+use pioeval_types::{tid_for, Error, FileId, IoKind, IoOp, MetaOp, Result, SimTime};
 use std::collections::{HashMap, HashSet};
 
 /// Client-side protocol state for one compute client.
@@ -34,6 +34,9 @@ pub struct ClientPort {
     layouts: HashMap<FileId, Layout>,
     sizes: HashMap<FileId, u64>,
     next_id: RequestId,
+    /// When set, outgoing requests carry a request-trace id derived from
+    /// `me` and the request id; when clear they carry the untraced `tid 0`.
+    trace: bool,
 }
 
 impl ClientPort {
@@ -61,12 +64,32 @@ impl ClientPort {
             layouts: HashMap::new(),
             sizes: HashMap::new(),
             next_id: 0,
+            trace: false,
         }
+    }
+
+    /// Enable or disable request-trace id emission on outgoing requests.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Is request-trace id emission enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
     }
 
     fn fresh_id(&mut self) -> RequestId {
         self.next_id += 1;
         self.next_id
+    }
+
+    /// The trace id for request `id` (0 when tracing is off).
+    fn tid(&self, id: RequestId) -> u64 {
+        if self.trace {
+            tid_for(self.me.0, id)
+        } else {
+            0
+        }
     }
 
     /// The size this client believes `file` has (local view).
@@ -96,6 +119,7 @@ impl ClientPort {
             op,
             file,
             size_hint: self.file_size(file),
+            tid: self.tid(id),
         };
         let (hop, msg) = route(
             &[self.compute_fabric, self.storage_fabric],
@@ -150,6 +174,7 @@ impl ClientPort {
                     ost: chunk.ost,
                     obj_offset: chunk.obj_offset + pos,
                     len: piece,
+                    tid: self.tid(id),
                 };
                 let size = req.wire_size();
                 let (hop, msg) = route(&via, dst, size, PfsMsg::Io(req));
@@ -399,6 +424,7 @@ mod tests {
             layout: Some(Layout::new(1024, 1, 0, 1)),
             size: 0,
             queue_delay: pioeval_types::SimDuration::ZERO,
+            tid: 0,
         };
         port.on_meta_reply(&rep);
         assert!(port.layout(FileId::new(5)).is_some());
@@ -446,6 +472,7 @@ mod tests {
             layout: None,
             size: 777,
             queue_delay: pioeval_types::SimDuration::ZERO,
+            tid: 0,
         });
         assert_eq!(port.file_size(FileId::new(4)), 777);
     }

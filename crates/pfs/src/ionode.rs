@@ -25,7 +25,9 @@ use crate::config::DeviceConfig;
 use crate::device::DeviceModel;
 use crate::msg::{route, IoReply, IoRequest, PfsMsg, RequestId};
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
-use pioeval_types::{FileId, IoKind, OstId, SimDuration};
+use pioeval_types::{
+    tid_for, FileId, IoKind, OstId, ReqMark, ReqRecorder, ServerKind, SimDuration, SimTime,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// A unit of data awaiting drain to the PFS.
@@ -54,7 +56,7 @@ enum SsdPending {
 /// Why a reply from the OSS is pending.
 enum OssPending {
     /// A forwarded client request; relay the reply to the original client.
-    Forwarded { orig: IoRequest },
+    Forwarded { orig: IoRequest, arrived: SimTime },
     /// A background drain write; free buffer space on completion.
     Drain { chunk: DrainChunk },
 }
@@ -96,6 +98,8 @@ pub struct IoNode {
     next_req_id: RequestId,
     /// Traffic counters.
     pub stats: BurstBufferStats,
+    /// Per-request trace recorder (buffer-service and forwarding marks).
+    pub reqtrace: ReqRecorder,
 }
 
 impl IoNode {
@@ -122,6 +126,7 @@ impl IoNode {
             next_token: 0,
             next_req_id: 0,
             stats: BurstBufferStats::default(),
+            reqtrace: ReqRecorder::default(),
         }
     }
 
@@ -173,8 +178,26 @@ impl IoNode {
 
     fn forward(&mut self, req: IoRequest, ctx: &mut Ctx<'_, PfsMsg>) {
         self.stats.forwarded += 1;
+        let now = ctx.now();
         let id = self.next_req_id;
         self.next_req_id += 1;
+        // Traced parents spawn a traced child request so the downstream
+        // OSS/fabric segments can be re-attributed to the original request.
+        let child_tid = if req.tid != 0 {
+            tid_for(ctx.me().0, id)
+        } else {
+            0
+        };
+        if child_tid != 0 {
+            self.reqtrace.record(
+                req.tid,
+                ctx.me().0,
+                ReqMark::Spawn {
+                    child: child_tid,
+                    at: now,
+                },
+            );
+        }
         let oss = self.ost_route[req.ost.index()];
         let fwd = IoRequest {
             id,
@@ -185,9 +208,15 @@ impl IoNode {
             ost: req.ost,
             obj_offset: req.obj_offset,
             len: req.len,
+            tid: child_tid,
         };
-        self.oss_pending
-            .insert(id, OssPending::Forwarded { orig: req });
+        self.oss_pending.insert(
+            id,
+            OssPending::Forwarded {
+                orig: req,
+                arrived: now,
+            },
+        );
         let size = fwd.wire_size();
         let (hop, msg) = route(&[self.storage_fabric], oss, size, PfsMsg::Io(fwd));
         ctx.send(hop, ctx.lookahead(), msg);
@@ -202,6 +231,8 @@ impl IoNode {
             let id = self.next_req_id;
             self.next_req_id += 1;
             let oss = self.ost_route[chunk.ost.index()];
+            // Background drains are never traced: they are decoupled from
+            // any client request's latency.
             let req = IoRequest {
                 id,
                 reply_to: ctx.me(),
@@ -211,6 +242,7 @@ impl IoNode {
                 ost: chunk.ost,
                 obj_offset: chunk.obj_offset,
                 len: chunk.len,
+                tid: 0,
             };
             self.oss_pending.insert(id, OssPending::Drain { chunk });
             let size = req.wire_size();
@@ -234,6 +266,7 @@ impl IoNode {
             len: req.len,
             from_burst_buffer,
             queue_delay,
+            tid: req.tid,
         };
         let size = reply.wire_size();
         let (hop, msg) = route(&req.reply_via, req.reply_to, size, PfsMsg::IoDone(reply));
@@ -266,6 +299,16 @@ impl Entity<PfsMsg> for IoNode {
                         let queue_delay = self.ssd.queue_delay(now);
                         let completion =
                             self.ssd.access(now, IoKind::Write, req.obj_offset, req.len);
+                        self.reqtrace.record(
+                            req.tid,
+                            ctx.me().0,
+                            ReqMark::Server {
+                                kind: ServerKind::IoNodeSsd,
+                                arrive: now,
+                                queue: queue_delay,
+                                depart: completion,
+                            },
+                        );
                         let token = self.next_token;
                         self.next_token += 1;
                         self.ssd_pending
@@ -281,6 +324,16 @@ impl Entity<PfsMsg> for IoNode {
                         let queue_delay = self.ssd.queue_delay(now);
                         let completion =
                             self.ssd.access(now, IoKind::Read, req.obj_offset, req.len);
+                        self.reqtrace.record(
+                            req.tid,
+                            ctx.me().0,
+                            ReqMark::Server {
+                                kind: ServerKind::IoNodeSsd,
+                                arrive: now,
+                                queue: queue_delay,
+                                depart: completion,
+                            },
+                        );
                         let token = self.next_token;
                         self.next_token += 1;
                         self.ssd_pending
@@ -308,7 +361,21 @@ impl Entity<PfsMsg> for IoNode {
                     .remove(&rep.id)
                     .expect("OSS reply for unknown request")
                 {
-                    OssPending::Forwarded { orig } => {
+                    OssPending::Forwarded { orig, arrived } => {
+                        // Close the forwarding interval on the parent
+                        // request; the spawned child's own marks let the
+                        // analyzer re-attribute this span into fabric /
+                        // queue / device portions.
+                        self.reqtrace.record(
+                            orig.tid,
+                            ctx.me().0,
+                            ReqMark::Server {
+                                kind: ServerKind::IoNodeSsd,
+                                arrive: arrived,
+                                queue: SimDuration::ZERO,
+                                depart: ctx.now(),
+                            },
+                        );
                         self.reply_to_client(&orig, false, rep.queue_delay, ctx);
                     }
                     OssPending::Drain { chunk } => {
@@ -387,6 +454,7 @@ mod tests {
             ost: OstId::new(0),
             obj_offset: offset,
             len,
+            tid: 0,
         })
     }
 
@@ -400,6 +468,7 @@ mod tests {
             ost: OstId::new(0),
             obj_offset: offset,
             len,
+            tid: 0,
         })
     }
 

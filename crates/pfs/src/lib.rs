@@ -39,8 +39,8 @@ pub use config::{ClusterConfig, DeviceConfig, FabricConfig, LayoutPolicy, MdsCon
 pub use fabric::FabricStats;
 pub use ionode::BurstBufferStats;
 pub use msg::{
-    IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, ObjReply, ObjRequest, ObjVerb, PfsMsg,
-    RequestId,
+    payload_bytes, payload_tid, IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, ObjReply,
+    ObjRequest, ObjVerb, PfsMsg, RequestId, Tid,
 };
 pub use stats::{OstTimeline, ServerStats};
 pub use striping::{Layout, StripeChunk};

@@ -12,7 +12,9 @@ use crate::msg::{route, MetaReply, PfsMsg, HEADER_BYTES};
 use crate::stats::{OstTimeline, ServerStats};
 use crate::striping::Layout;
 use pioeval_des::{Ctx, Entity, Envelope};
-use pioeval_types::{FileId, IoKind, MetaOp, SimDuration, SimTime};
+use pioeval_types::{
+    FileId, IoKind, MetaOp, ReqMark, ReqRecorder, ServerKind, SimDuration, SimTime,
+};
 use std::collections::HashMap;
 
 /// Per-file namespace entry.
@@ -57,6 +59,8 @@ pub struct MetadataServer {
     pub events: Vec<MetaEvent>,
     /// Whether to retain the event stream (large runs may disable it).
     pub record_events: bool,
+    /// Per-request trace recorder (metadata-service marks for traced requests).
+    pub reqtrace: ReqRecorder,
 }
 
 impl MetadataServer {
@@ -78,6 +82,7 @@ impl MetadataServer {
             stats: ServerStats::new(1, stats_bin),
             events: Vec::new(),
             record_events: true,
+            reqtrace: ReqRecorder::default(),
         }
     }
 
@@ -192,6 +197,17 @@ impl Entity<PfsMsg> for MetadataServer {
             });
         }
 
+        self.reqtrace.record(
+            req.tid,
+            ctx.me().0,
+            ReqMark::Server {
+                kind: ServerKind::Mds,
+                arrive: now,
+                queue: queue_delay,
+                depart: completion,
+            },
+        );
+
         let (layout, size) = self.apply(req.op, req.file, req.size_hint, now);
         let reply = MetaReply {
             id: req.id,
@@ -200,6 +216,7 @@ impl Entity<PfsMsg> for MetadataServer {
             layout,
             size,
             queue_delay,
+            tid: req.tid,
         };
         let (first_hop, msg) = route(
             &req.reply_via,
@@ -253,6 +270,7 @@ mod tests {
             op,
             file: FileId::new(file),
             size_hint: 0,
+            tid: 0,
         })
     }
 
@@ -305,6 +323,7 @@ mod tests {
             op: MetaOp::Close,
             file: FileId::new(7),
             size_hint: 4096,
+            tid: 0,
         });
         sim.schedule(SimTime::from_millis(1), mds, close);
         sim.schedule(

@@ -14,6 +14,10 @@ use pioeval_types::{FileId, IoKind, MetaOp, OstId, SimDuration};
 /// Correlates replies with outstanding requests (unique per requester).
 pub type RequestId = u64;
 
+/// A globally-unique request-trace id ([`pioeval_types::reqtrace`]);
+/// `0` means the request is untraced and all recording is skipped.
+pub type Tid = u64;
+
 /// Fixed protocol header size added to every message, bytes.
 pub const HEADER_BYTES: u64 = 256;
 
@@ -36,6 +40,8 @@ pub struct IoRequest {
     pub obj_offset: u64,
     /// Transfer length in bytes.
     pub len: u64,
+    /// Request-trace id (0 = untraced), echoed in the reply.
+    pub tid: Tid,
 }
 
 impl IoRequest {
@@ -66,6 +72,8 @@ pub struct IoReply {
     pub from_burst_buffer: bool,
     /// Time the request spent queued at the serving device.
     pub queue_delay: SimDuration,
+    /// Echoed request-trace id (0 = untraced).
+    pub tid: Tid,
 }
 
 impl IoReply {
@@ -94,6 +102,8 @@ pub struct MetaRequest {
     /// Size observed by the client (applied on `Close`/`Fsync`, mirroring
     /// Lustre's lazy size-on-MDS update).
     pub size_hint: u64,
+    /// Request-trace id (0 = untraced), echoed in the reply.
+    pub tid: Tid,
 }
 
 /// Completion of a [`MetaRequest`].
@@ -111,6 +121,8 @@ pub struct MetaReply {
     pub size: u64,
     /// Time the request spent queued at the MDS.
     pub queue_delay: SimDuration,
+    /// Echoed request-trace id (0 = untraced).
+    pub tid: Tid,
 }
 
 /// One verb of the S3-like object protocol spoken between compute
@@ -162,6 +174,8 @@ pub struct ObjRequest {
     pub len: u64,
     /// Part number for `PutPart` (offset / part size).
     pub part: u32,
+    /// Request-trace id (0 = untraced), echoed in the reply.
+    pub tid: Tid,
 }
 
 impl ObjRequest {
@@ -190,6 +204,8 @@ pub struct ObjReply {
     pub size: u64,
     /// Time the request waited in the gateway's bounded queue.
     pub queue_delay: SimDuration,
+    /// Echoed request-trace id (0 = untraced).
+    pub tid: Tid,
 }
 
 impl ObjReply {
@@ -275,6 +291,36 @@ pub fn route(via: &[EntityId], dst: EntityId, size: u64, msg: PfsMsg) -> (Entity
     (current_dst, current)
 }
 
+/// The request-trace id carried by `msg`, looking through any nested
+/// `Route` wrapping to the innermost request/reply. Returns 0 (untraced)
+/// for messages that carry no request.
+pub fn payload_tid(msg: &PfsMsg) -> Tid {
+    match msg {
+        PfsMsg::Route(p) => payload_tid(&p.payload),
+        PfsMsg::Io(r) => r.tid,
+        PfsMsg::IoDone(r) => r.tid,
+        PfsMsg::Meta(r) => r.tid,
+        PfsMsg::MetaDone(r) => r.tid,
+        PfsMsg::Obj(r) => r.tid,
+        PfsMsg::ObjDone(r) => r.tid,
+        _ => 0,
+    }
+}
+
+/// The logical transfer length (bytes) carried by `msg`, looking
+/// through any nested `Route` wrapping. Returns 0 for metadata and
+/// control messages.
+pub fn payload_bytes(msg: &PfsMsg) -> u64 {
+    match msg {
+        PfsMsg::Route(p) => payload_bytes(&p.payload),
+        PfsMsg::Io(r) => r.len,
+        PfsMsg::IoDone(r) => r.len,
+        PfsMsg::Obj(r) => r.len,
+        PfsMsg::ObjDone(r) => r.len,
+        _ => 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +336,7 @@ mod tests {
             ost: OstId::new(0),
             obj_offset: 0,
             len: 4096,
+            tid: 0,
         };
         assert_eq!(req.wire_size(), HEADER_BYTES + 4096);
         req.kind = IoKind::Read;
@@ -303,6 +350,7 @@ mod tests {
             len: 4096,
             from_burst_buffer: false,
             queue_delay: SimDuration::ZERO,
+            tid: 0,
         };
         assert_eq!(rep.wire_size(), HEADER_BYTES + 4096);
         rep.kind = IoKind::Write;
@@ -320,6 +368,7 @@ mod tests {
             offset: 0,
             len: 8192,
             part: 0,
+            tid: 0,
         };
         assert_eq!(req.wire_size(), HEADER_BYTES + 8192);
         req.verb = ObjVerb::GetRange;
@@ -334,6 +383,7 @@ mod tests {
             len: 8192,
             size: 0,
             queue_delay: SimDuration::ZERO,
+            tid: 0,
         };
         assert_eq!(rep.wire_size(), HEADER_BYTES + 8192);
         rep.verb = ObjVerb::PutPart;

@@ -9,7 +9,7 @@ use crate::device::DeviceModel;
 use crate::msg::{route, IoReply, PfsMsg};
 use crate::stats::ServerStats;
 use pioeval_des::{Ctx, Entity, Envelope};
-use pioeval_types::{OstId, SimDuration};
+use pioeval_types::{OstId, ReqMark, ReqRecorder, ServerKind, SimDuration};
 use std::collections::HashMap;
 
 /// One pending device access awaiting its completion event.
@@ -28,6 +28,8 @@ pub struct Oss {
     next_token: u64,
     /// Aggregate service statistics (one timeline lane per OST).
     pub stats: ServerStats,
+    /// Per-request trace recorder (device-service marks for traced requests).
+    pub reqtrace: ReqRecorder,
 }
 
 impl Oss {
@@ -51,6 +53,7 @@ impl Oss {
             pending: HashMap::new(),
             next_token: 0,
             stats: ServerStats::new(count, stats_bin),
+            reqtrace: ReqRecorder::default(),
         }
     }
 
@@ -90,6 +93,16 @@ impl Entity<PfsMsg> for Oss {
                 self.stats.requests += 1;
                 self.stats.queue_wait += queue_delay;
                 self.stats.timelines[local].record(completion, req.kind, req.len);
+                self.reqtrace.record(
+                    req.tid,
+                    ctx.me().0,
+                    ReqMark::Server {
+                        kind: ServerKind::OssDevice,
+                        arrive: now,
+                        queue: queue_delay,
+                        depart: completion,
+                    },
+                );
 
                 let token = self.next_token;
                 self.next_token += 1;
@@ -109,6 +122,7 @@ impl Entity<PfsMsg> for Oss {
                     len: req.len,
                     from_burst_buffer: false,
                     queue_delay,
+                    tid: req.tid,
                 };
                 let size = reply.wire_size();
                 let (first_hop, msg) =
@@ -163,6 +177,7 @@ mod tests {
             ost: OstId::new(ost),
             obj_offset: offset,
             len,
+            tid: 0,
         })
     }
 

@@ -1,0 +1,531 @@
+//! Span assembly: raw recorder events → attributed per-request records.
+
+use pioeval_types::{ReqEvent, ReqMark, ReqOp, SimDuration, SimTime, Tid, NO_COLLECTIVE};
+use std::collections::HashMap;
+
+/// Pseudo-entity id for wire/lookahead gaps between recorded marks
+/// (time on the wire that no single fabric entity observed).
+pub const WIRE_ENTITY: u32 = u32::MAX;
+
+/// The four latency layers every nanosecond of a request is charged to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Waiting in a server FIFO queue or gateway admission slot.
+    Queue,
+    /// Server protocol processing (non-device residency).
+    Service,
+    /// Storage-media service (OST / burst-buffer SSD device time).
+    Device,
+    /// Fabric transmission plus wire/lookahead gaps between marks.
+    Fabric,
+}
+
+/// All buckets, in reporting order.
+pub const BUCKETS: [Bucket; 4] = [
+    Bucket::Queue,
+    Bucket::Service,
+    Bucket::Device,
+    Bucket::Fabric,
+];
+
+impl Bucket {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::Queue => "queue",
+            Bucket::Service => "service",
+            Bucket::Device => "device",
+            Bucket::Fabric => "fabric",
+        }
+    }
+
+    /// Parse a [`Bucket::name`] back.
+    pub fn parse(name: &str) -> Option<Bucket> {
+        BUCKETS.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Index into [`BUCKETS`]-shaped arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Bucket::Queue => 0,
+            Bucket::Service => 1,
+            Bucket::Device => 2,
+            Bucket::Fabric => 3,
+        }
+    }
+}
+
+/// One attributed segment of a request's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The entity the time was spent at ([`WIRE_ENTITY`] for gaps).
+    pub entity: u32,
+    /// Where: a [`pioeval_types::ServerKind`] name, `"fabric"`, or
+    /// `"wire"`.
+    pub label: String,
+    /// Which latency layer the segment is charged to.
+    pub bucket: Bucket,
+    /// Segment start (inclusive).
+    pub start: SimTime,
+    /// Segment end (exclusive).
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Segment length.
+    pub fn len(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// True for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// One fully-assembled traced request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// Globally-unique trace id.
+    pub tid: Tid,
+    /// Issuing rank index.
+    pub rank: u32,
+    /// Operation class.
+    pub op: ReqOp,
+    /// Target file / object key index.
+    pub file: u32,
+    /// Payload bytes (0 for metadata).
+    pub bytes: u64,
+    /// Collective-instance index, or [`NO_COLLECTIVE`].
+    pub collective: u32,
+    /// Client send time.
+    pub issue: SimTime,
+    /// Client reply-delivery time.
+    pub done: SimTime,
+    /// Attributed segments tiling `[issue, done]` in order.
+    pub spans: Vec<Span>,
+}
+
+impl RequestRecord {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.done.since(self.issue)
+    }
+
+    /// Nanoseconds attributed to `bucket`.
+    pub fn bucket_ns(&self, bucket: Bucket) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.bucket == bucket)
+            .map(|s| s.len().as_nanos())
+            .sum()
+    }
+
+    /// Per-bucket nanoseconds, indexed like [`BUCKETS`].
+    pub fn breakdown(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for s in &self.spans {
+            out[s.bucket.index()] += s.len().as_nanos();
+        }
+        out
+    }
+
+    /// True when this request ran inside a collective operation.
+    pub fn in_collective(&self) -> bool {
+        self.collective != NO_COLLECTIVE
+    }
+}
+
+/// The result of assembling a run's raw events.
+#[derive(Clone, Debug, Default)]
+pub struct Assembly {
+    /// Completed root requests, sorted by (issue time, tid).
+    pub requests: Vec<RequestRecord>,
+    /// Root requests with an Issue mark but no Done mark (the run ended
+    /// with the request in flight).
+    pub incomplete: usize,
+}
+
+/// Group raw events by request and attribute each completed root
+/// request's latency. Child requests (tids without an Issue mark) are
+/// folded into their parents via their Spawn marks; they never appear
+/// as records of their own.
+pub fn assemble(events: &[ReqEvent]) -> Assembly {
+    let mut by_tid: HashMap<Tid, Vec<ReqEvent>> = HashMap::new();
+    for ev in events {
+        by_tid.entry(ev.tid).or_default().push(*ev);
+    }
+    for list in by_tid.values_mut() {
+        list.sort_by_key(|e| (e.mark.start(), e.entity, e.seq));
+    }
+
+    let mut roots: Vec<(SimTime, Tid)> = Vec::new();
+    for (&tid, list) in &by_tid {
+        if let Some(at) = list.iter().find_map(|e| match e.mark {
+            ReqMark::Issue { at, .. } => Some(at),
+            _ => None,
+        }) {
+            roots.push((at, tid));
+        }
+    }
+    roots.sort();
+
+    let mut out = Assembly::default();
+    for (_, tid) in roots {
+        let list = &by_tid[&tid];
+        let Some((rank, op, file, bytes, collective, issue)) =
+            list.iter().find_map(|e| match e.mark {
+                ReqMark::Issue {
+                    rank,
+                    op,
+                    file,
+                    bytes,
+                    collective,
+                    at,
+                } => Some((rank, op, file, bytes, collective, at)),
+                _ => None,
+            })
+        else {
+            continue;
+        };
+        let Some(done) = list.iter().rev().find_map(|e| match e.mark {
+            ReqMark::Done { at } => Some(at),
+            _ => None,
+        }) else {
+            out.incomplete += 1;
+            continue;
+        };
+        let mut spans = Vec::new();
+        let cursor = walk(tid, issue, &by_tid, &mut spans);
+        // The Done mark always advances the cursor to the delivery time,
+        // so the spans tile [issue, done] exactly.
+        debug_assert_eq!(cursor, done);
+        spans.retain(|s| !s.is_empty());
+        out.requests.push(RequestRecord {
+            tid,
+            rank,
+            op,
+            file,
+            bytes,
+            collective,
+            issue,
+            done,
+            spans,
+        });
+    }
+    out
+}
+
+/// Append a wire-gap span covering `[from, to)` (no-op when empty).
+fn gap(spans: &mut Vec<Span>, from: SimTime, to: SimTime) {
+    if to > from {
+        spans.push(Span {
+            entity: WIRE_ENTITY,
+            label: "wire".to_string(),
+            bucket: Bucket::Fabric,
+            start: from,
+            end: to,
+        });
+    }
+}
+
+/// The last instant any of `tid`'s marks covers (used to pick the
+/// critical child among fan-out siblings).
+fn last_covered(tid: Tid, by_tid: &HashMap<Tid, Vec<ReqEvent>>) -> Option<SimTime> {
+    by_tid
+        .get(&tid)?
+        .iter()
+        .map(|e| match e.mark {
+            ReqMark::Issue { at, .. } => at,
+            ReqMark::Hop { depart, .. } => depart,
+            ReqMark::Server { depart, .. } => depart,
+            ReqMark::Spawn { at, .. } => at,
+            ReqMark::Done { at } => at,
+        })
+        .max()
+}
+
+/// Walk `tid`'s marks starting at `from`, appending attributed spans
+/// that tile the timeline with a monotone cursor, and return the final
+/// cursor position. Marks are clamped forward so that spans can never
+/// overlap even if the recorded intervals were inconsistent.
+fn walk(
+    tid: Tid,
+    from: SimTime,
+    by_tid: &HashMap<Tid, Vec<ReqEvent>>,
+    spans: &mut Vec<Span>,
+) -> SimTime {
+    let mut cursor = from;
+    let Some(list) = by_tid.get(&tid) else {
+        return cursor;
+    };
+    let marks: Vec<(u32, ReqMark)> = list.iter().map(|e| (e.entity, e.mark)).collect();
+    let mut i = 0;
+    while i < marks.len() {
+        let (entity, mark) = marks[i];
+        match mark {
+            ReqMark::Issue { .. } => i += 1,
+            ReqMark::Hop { arrive, depart } => {
+                let arrive = arrive.max(cursor);
+                let depart = depart.max(arrive);
+                gap(spans, cursor, arrive);
+                spans.push(Span {
+                    entity,
+                    label: "fabric".to_string(),
+                    bucket: Bucket::Fabric,
+                    start: arrive,
+                    end: depart,
+                });
+                cursor = depart;
+                i += 1;
+            }
+            ReqMark::Server {
+                kind,
+                arrive,
+                queue,
+                depart,
+            } => {
+                let arrive = arrive.max(cursor);
+                let depart = depart.max(arrive);
+                gap(spans, cursor, arrive);
+                let queue_end = arrive.saturating_add(queue).min(depart);
+                spans.push(Span {
+                    entity,
+                    label: kind.name().to_string(),
+                    bucket: Bucket::Queue,
+                    start: arrive,
+                    end: queue_end,
+                });
+                // Collect the children this server spawned for this
+                // request (their Spawn marks sort inside our interval).
+                let mut children: Vec<(Tid, SimTime)> = Vec::new();
+                let mut j = i + 1;
+                while j < marks.len() {
+                    match marks[j].1 {
+                        ReqMark::Spawn { child, at } if at <= depart => {
+                            children.push((child, at));
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                i = j;
+                let inner = if kind.is_device() {
+                    Bucket::Device
+                } else {
+                    Bucket::Service
+                };
+                // Refine through the critical child: the spawned
+                // sub-request that finishes last bounds the parent's
+                // completion, so its own hops/queues/devices replace
+                // the parent's opaque residency where they overlap.
+                let critical = children
+                    .iter()
+                    .filter_map(|&(c, at)| last_covered(c, by_tid).map(|end| (end, c, at)))
+                    .max();
+                if let Some((_, child, spawn_at)) = critical {
+                    let spawn_at = spawn_at.clamp(queue_end, depart);
+                    spans.push(Span {
+                        entity,
+                        label: kind.name().to_string(),
+                        bucket: inner,
+                        start: queue_end,
+                        end: spawn_at,
+                    });
+                    let child_end = walk(child, spawn_at, by_tid, spans).min(depart);
+                    spans.push(Span {
+                        entity,
+                        label: kind.name().to_string(),
+                        bucket: inner,
+                        start: child_end,
+                        end: depart,
+                    });
+                } else {
+                    spans.push(Span {
+                        entity,
+                        label: kind.name().to_string(),
+                        bucket: inner,
+                        start: queue_end,
+                        end: depart,
+                    });
+                }
+                cursor = depart;
+            }
+            // A Spawn not following a Server mark has nothing to refine.
+            ReqMark::Spawn { .. } => i += 1,
+            ReqMark::Done { at } => {
+                let at = at.max(cursor);
+                gap(spans, cursor, at);
+                cursor = at;
+                i += 1;
+            }
+        }
+    }
+    cursor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::ServerKind;
+
+    fn ev(tid: Tid, entity: u32, seq: u32, mark: ReqMark) -> ReqEvent {
+        ReqEvent {
+            tid,
+            entity,
+            seq,
+            mark,
+        }
+    }
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn simple_request_tiles_exactly() {
+        // issue@0 → fabric 10..20 → oss arrive@30 queue 5 depart@100
+        // → fabric 110..120 → done@130.
+        let events = vec![
+            ev(
+                7,
+                1,
+                0,
+                ReqMark::Issue {
+                    rank: 0,
+                    op: ReqOp::Write,
+                    file: 3,
+                    bytes: 4096,
+                    collective: NO_COLLECTIVE,
+                    at: t(0),
+                },
+            ),
+            ev(
+                7,
+                2,
+                0,
+                ReqMark::Hop {
+                    arrive: t(10),
+                    depart: t(20),
+                },
+            ),
+            ev(
+                7,
+                3,
+                0,
+                ReqMark::Server {
+                    kind: ServerKind::OssDevice,
+                    arrive: t(30),
+                    queue: SimDuration::from_nanos(5),
+                    depart: t(100),
+                },
+            ),
+            ev(
+                7,
+                2,
+                1,
+                ReqMark::Hop {
+                    arrive: t(110),
+                    depart: t(120),
+                },
+            ),
+            ev(7, 1, 1, ReqMark::Done { at: t(130) }),
+        ];
+        let asm = assemble(&events);
+        assert_eq!(asm.requests.len(), 1);
+        assert_eq!(asm.incomplete, 0);
+        let r = &asm.requests[0];
+        assert_eq!(r.latency(), SimDuration::from_nanos(130));
+        let b = r.breakdown();
+        assert_eq!(b[Bucket::Queue.index()], 5);
+        assert_eq!(b[Bucket::Device.index()], 65);
+        assert_eq!(b[Bucket::Service.index()], 0);
+        // fabric = hops (10+10) + gaps (0..10, 20..30, 100..110, 120..130).
+        assert_eq!(b[Bucket::Fabric.index()], 60);
+        assert_eq!(b.iter().sum::<u64>(), 130);
+    }
+
+    #[test]
+    fn critical_child_refines_parent_residency() {
+        // Gateway holds 10..100 (queue 20), spawns child@40; child device
+        // 50..80 (queue 10). Parent service = [30,40] + [80,100] = 30.
+        let events = vec![
+            ev(
+                1,
+                9,
+                0,
+                ReqMark::Issue {
+                    rank: 2,
+                    op: ReqOp::Read,
+                    file: 0,
+                    bytes: 100,
+                    collective: 4,
+                    at: t(0),
+                },
+            ),
+            ev(
+                1,
+                5,
+                0,
+                ReqMark::Server {
+                    kind: ServerKind::Gateway,
+                    arrive: t(10),
+                    queue: SimDuration::from_nanos(20),
+                    depart: t(100),
+                },
+            ),
+            ev(
+                1,
+                5,
+                1,
+                ReqMark::Spawn {
+                    child: 99,
+                    at: t(40),
+                },
+            ),
+            ev(
+                99,
+                6,
+                0,
+                ReqMark::Server {
+                    kind: ServerKind::OssDevice,
+                    arrive: t(50),
+                    queue: SimDuration::from_nanos(10),
+                    depart: t(80),
+                },
+            ),
+            ev(1, 9, 1, ReqMark::Done { at: t(120) }),
+        ];
+        let asm = assemble(&events);
+        assert_eq!(asm.requests.len(), 1, "child tid must not become a record");
+        let r = &asm.requests[0];
+        assert!(r.in_collective());
+        let b = r.breakdown();
+        assert_eq!(b[Bucket::Queue.index()], 20 + 10);
+        assert_eq!(b[Bucket::Service.index()], 30);
+        assert_eq!(b[Bucket::Device.index()], 20);
+        // gaps: 0..10 (wire), 40..50 (to child), 100..120 (reply).
+        assert_eq!(b[Bucket::Fabric.index()], 40);
+        assert_eq!(b.iter().sum::<u64>(), 120);
+    }
+
+    #[test]
+    fn unfinished_requests_count_as_incomplete() {
+        let events = vec![ev(
+            3,
+            1,
+            0,
+            ReqMark::Issue {
+                rank: 0,
+                op: ReqOp::Meta(pioeval_types::MetaOp::Create),
+                file: 1,
+                bytes: 0,
+                collective: NO_COLLECTIVE,
+                at: t(5),
+            },
+        )];
+        let asm = assemble(&events);
+        assert!(asm.requests.is_empty());
+        assert_eq!(asm.incomplete, 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! On-disk trace formats: the JSONL request-trace file and the
+//! simulated-time Chrome trace export.
+//!
+//! All timestamps in both formats are **simulated** nanoseconds (the
+//! DES clock), not wall-clock time — the wall-clock self-telemetry
+//! Chrome trace comes from `--trace-out` instead.
+
+use crate::assemble::{Bucket, RequestRecord, Span};
+use pioeval_types::{ReqOp, SimTime, NO_COLLECTIVE};
+
+/// Format tag carried by the JSONL header line.
+pub const FORMAT: &str = "pioeval-reqtrace/1";
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render the JSONL trace file: one header line
+/// (`{"format":"pioeval-reqtrace/1",...}`) followed by one line per
+/// completed request, in (issue time, tid) order.
+pub fn write_jsonl(requests: &[RequestRecord], incomplete: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"format\":\"{FORMAT}\",\"requests\":{},\"incomplete\":{}}}\n",
+        requests.len(),
+        incomplete
+    ));
+    for r in requests {
+        let b = r.breakdown();
+        out.push_str(&format!(
+            "{{\"tid\":{},\"rank\":{},\"op\":\"{}\",\"file\":{},\"bytes\":{},\"collective\":{},\
+             \"issue_ns\":{},\"done_ns\":{},\"latency_ns\":{},\
+             \"queue_ns\":{},\"service_ns\":{},\"device_ns\":{},\"fabric_ns\":{},\"spans\":[",
+            r.tid,
+            r.rank,
+            r.op.name(),
+            r.file,
+            r.bytes,
+            if r.in_collective() {
+                r.collective.to_string()
+            } else {
+                "null".to_string()
+            },
+            r.issue.as_nanos(),
+            r.done.as_nanos(),
+            r.latency().as_nanos(),
+            b[0],
+            b[1],
+            b[2],
+            b[3],
+        ));
+        for (i, s) in r.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut label = String::new();
+            esc(&s.label, &mut label);
+            out.push_str(&format!(
+                "{{\"entity\":{},\"label\":\"{label}\",\"bucket\":\"{}\",\"start_ns\":{},\"end_ns\":{}}}",
+                s.entity,
+                s.bucket.name(),
+                s.start.as_nanos(),
+                s.end.as_nanos(),
+            ));
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+fn get_u64(v: &serde_json::Value, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(serde_json::Value::U64(n)) => Ok(*n),
+        Some(serde_json::Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+        Some(serde_json::Value::F64(f)) if *f >= 0.0 => Ok(*f as u64),
+        other => Err(format!("field {key:?}: expected number, got {other:?}")),
+    }
+}
+
+fn get_str<'a>(v: &'a serde_json::Value, key: &str) -> Result<&'a str, String> {
+    match v.get(key) {
+        Some(serde_json::Value::Str(s)) => Ok(s),
+        other => Err(format!("field {key:?}: expected string, got {other:?}")),
+    }
+}
+
+/// Parse a JSONL trace file back into request records. Verifies the
+/// header's format tag; returns `(requests, incomplete)`.
+pub fn read_jsonl(text: &str) -> Result<(Vec<RequestRecord>, usize), String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty trace file")?;
+    let header = serde_json::parse(header_line).map_err(|e| format!("header: {e}"))?;
+    let format = get_str(&header, "format")?;
+    if format != FORMAT {
+        return Err(format!(
+            "unsupported trace format {format:?} (want {FORMAT:?})"
+        ));
+    }
+    let incomplete = get_u64(&header, "incomplete").unwrap_or(0) as usize;
+
+    let mut requests = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let v = serde_json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 2))?;
+        let op_name = get_str(&v, "op")?;
+        let op = ReqOp::parse(op_name).ok_or_else(|| format!("unknown op {op_name:?}"))?;
+        let collective = match v.get("collective") {
+            Some(serde_json::Value::Null) | None => NO_COLLECTIVE,
+            Some(serde_json::Value::U64(n)) => *n as u32,
+            other => return Err(format!("field \"collective\": bad value {other:?}")),
+        };
+        let mut spans = Vec::new();
+        if let Some(serde_json::Value::Seq(items)) = v.get("spans") {
+            for s in items {
+                let bucket_name = get_str(s, "bucket")?;
+                let bucket = Bucket::parse(bucket_name)
+                    .ok_or_else(|| format!("unknown bucket {bucket_name:?}"))?;
+                spans.push(Span {
+                    entity: get_u64(s, "entity")? as u32,
+                    label: get_str(s, "label")?.to_string(),
+                    bucket,
+                    start: SimTime::from_nanos(get_u64(s, "start_ns")?),
+                    end: SimTime::from_nanos(get_u64(s, "end_ns")?),
+                });
+            }
+        }
+        requests.push(RequestRecord {
+            tid: get_u64(&v, "tid")?,
+            rank: get_u64(&v, "rank")? as u32,
+            op,
+            file: get_u64(&v, "file")? as u32,
+            bytes: get_u64(&v, "bytes")?,
+            collective,
+            issue: SimTime::from_nanos(get_u64(&v, "issue_ns")?),
+            done: SimTime::from_nanos(get_u64(&v, "done_ns")?),
+            spans,
+        });
+    }
+    Ok((requests, incomplete))
+}
+
+/// Render a simulated-time Chrome trace (`chrome://tracing` /
+/// Perfetto): one track per server/gateway/fabric entity carrying its
+/// attributed spans, plus one track per rank carrying each request's
+/// whole `[issue, done]` interval. Timestamps are simulated
+/// microseconds.
+pub fn chrome_trace(requests: &[RequestRecord]) -> String {
+    let us = |t: SimTime| t.as_nanos() as f64 / 1000.0;
+    let mut events: Vec<String> = Vec::new();
+    for r in requests {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"tid\":{},\"bytes\":{}}}}}",
+            r.op.name(),
+            r.rank,
+            us(r.issue),
+            us(r.done) - us(r.issue),
+            r.tid,
+            r.bytes,
+        ));
+        for s in &r.spans {
+            if s.entity == crate::assemble::WIRE_ENTITY {
+                continue;
+            }
+            let mut label = String::new();
+            esc(&s.label, &mut label);
+            events.push(format!(
+                "{{\"name\":\"{label} {}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":2,\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"tid\":{}}}}}",
+                r.op.name(),
+                s.bucket.name(),
+                s.entity,
+                us(s.start),
+                us(s.end) - us(s.start),
+                r.tid,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pioeval_types::SimDuration;
+
+    fn sample() -> Vec<RequestRecord> {
+        let t = SimTime::from_nanos;
+        vec![RequestRecord {
+            tid: (5u64 + 1) << 32 | 9,
+            rank: 4,
+            op: ReqOp::Read,
+            file: 2,
+            bytes: 4096,
+            collective: 1,
+            issue: t(100),
+            done: t(400),
+            spans: vec![
+                Span {
+                    entity: crate::assemble::WIRE_ENTITY,
+                    label: "wire".into(),
+                    bucket: Bucket::Fabric,
+                    start: t(100),
+                    end: t(150),
+                },
+                Span {
+                    entity: 12,
+                    label: "oss".into(),
+                    bucket: Bucket::Device,
+                    start: t(150),
+                    end: t(400),
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let reqs = sample();
+        let text = write_jsonl(&reqs, 3);
+        assert!(text.starts_with(&format!("{{\"format\":\"{FORMAT}\"")));
+        let (back, incomplete) = read_jsonl(&text).unwrap();
+        assert_eq!(incomplete, 3);
+        assert_eq!(back, reqs);
+        assert_eq!(back[0].latency(), SimDuration::from_nanos(300));
+    }
+
+    #[test]
+    fn jsonl_rejects_wrong_format() {
+        let err = read_jsonl("{\"format\":\"bogus/9\"}\n").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_skips_wire_gaps_and_is_json() {
+        let text = chrome_trace(&sample());
+        let v = serde_json::parse(text.trim()).unwrap();
+        let Some(serde_json::Value::Seq(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        // One request-level event + one server span (wire gap skipped).
+        assert_eq!(events.len(), 2);
+    }
+}

@@ -22,6 +22,8 @@ pub mod ids;
 pub mod io;
 pub mod layer;
 pub mod pattern;
+pub mod percentile;
+pub mod reqtrace;
 pub mod rng;
 pub mod time;
 pub mod units;
@@ -31,6 +33,10 @@ pub use ids::{ClientId, FileId, JobId, NodeId, OstId, Rank};
 pub use io::{IoKind, IoOp, MetaOp, RankProgram};
 pub use layer::{Layer, LayerRecord, RecordOp};
 pub use pattern::{AccessPattern, PatternDetector};
+pub use percentile::{percentile, percentile_u64};
+pub use reqtrace::{
+    tid_for, tid_owner, ReqEvent, ReqMark, ReqOp, ReqRecorder, ServerKind, Tid, NO_COLLECTIVE,
+};
 pub use rng::{rng, split_seed};
 pub use time::{SimDuration, SimTime};
 pub use units::{

@@ -34,6 +34,7 @@ USAGE:
   pioeval lint <FILE> [LINT OPTIONS]        static-analyse an input file
   pioeval lint --explain <PIO0xx>           explain one diagnostic code
   pioeval watch <FILE|ADDR> [WATCH OPTIONS] tail a live telemetry stream
+  pioeval requests <FILE> [REQ OPTIONS]     analyze a --request-trace file
   pioeval bench [BENCH OPTIONS]             benchmark the framework itself
   pioeval compare [--last <N>]              trend view over archived bench runs
   pioeval taxonomy                          print the evaluation-cycle taxonomy
@@ -66,8 +67,18 @@ OPTIONS:
   --seed <N>           deterministic seed              [default: 42]
   --metrics <MODE>     framework telemetry: human | json
                        (json: the metrics document alone on stdout)
-  --trace-out <FILE>   write a Chrome/Perfetto trace of the run
-                       (counters render as Perfetto counter tracks)
+  --trace-out <FILE>   write a *wall-clock* Chrome/Perfetto trace of the
+                       framework's own telemetry spans (counters render
+                       as Perfetto counter tracks)
+  --request-trace <FILE>
+                       record every I/O request's path through the stack
+                       in *simulated time* and write per-request spans
+                       with exact queue/service/device/fabric latency
+                       attribution as JSONL; analyze with
+                       `pioeval requests FILE`. Distinct from
+                       --trace-out: that times the simulator, this times
+                       the simulated requests. The two flags therefore
+                       refuse to share one output path.
   --quiet              suppress the always-on telemetry summary line
   --live-out <FILE>    stream delta-encoded telemetry frames (JSONL) to
                        FILE while the run is going; tail with
@@ -89,6 +100,15 @@ DES ENGINE (run/dsl; results are identical across executors):
   --des-partition <P>    partitioner: rr | block | greedy [default: rr]
                          (greedy profiles per-entity load with one
                          sequential warmup trip, then bin-packs workers)
+
+REQ OPTIONS (pioeval requests <FILE>):
+  --json               machine-readable analysis document on stdout
+                       (percentiles, per-layer attribution, bottleneck)
+  --chrome <FILE>      also export the spans as a simulated-time
+                       Chrome/Perfetto trace (one track per rank and
+                       per server entity)
+  --tail <PCT>         tail percentile for the attribution panel
+                       [default: 99]
 
 WATCH OPTIONS (pioeval watch <FILE|host:port>):
   --follow-until-done  exit 0 only after a `done` frame arrives (CI);
@@ -156,6 +176,7 @@ struct Options {
     seed: u64,
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
+    request_trace: Option<String>,
     quiet: bool,
     live_out: Option<String>,
     live_addr: Option<String>,
@@ -179,6 +200,7 @@ impl Default for Options {
             seed: 42,
             metrics: None,
             trace_out: None,
+            request_trace: None,
             quiet: false,
             live_out: None,
             live_addr: None,
@@ -271,6 +293,17 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
         });
     }
     opts.trace_out = flags.get("trace-out").cloned();
+    opts.request_trace = flags.get("request-trace").cloned();
+    if let (Some(a), Some(b)) = (&opts.trace_out, &opts.request_trace) {
+        if a == b {
+            return Err(format!(
+                "--trace-out and --request-trace both point at `{a}`: \
+                 they write different documents (wall-clock telemetry \
+                 trace vs. simulated-time request trace) — give each \
+                 its own path"
+            ));
+        }
+    }
     opts.quiet = flags.contains_key("quiet");
     opts.live_out = flags.get("live-out").cloned();
     opts.live_addr = flags.get("live-addr").cloned();
@@ -323,6 +356,7 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
             "workload",
             "metrics",
             "trace-out",
+            "request-trace",
             "quiet",
             "live-out",
             "live-addr",
@@ -500,6 +534,15 @@ fn render_report(report: &pioeval::core::MeasurementReport) -> String {
             .map(|g| format!("{}", g.mean_queue_wait()))
             .collect();
         table.row(vec!["gateway queue-wait".to_string(), waits.join(" | ")]);
+        let pcts: Vec<String> = report
+            .gateways
+            .iter()
+            .map(|g| format!("{}/{}/{}", g.queue_p50, g.queue_p99, g.queue_p999))
+            .collect();
+        table.row(vec![
+            "gateway queue p50/p99/p999".to_string(),
+            pcts.join(" | "),
+        ]);
         let peak = report
             .gateways
             .iter()
@@ -560,6 +603,9 @@ fn install_live(opts: &Options, default_run_id: &str) -> Result<(), String> {
     if let Some(p) = &opts.trace_out {
         outputs.push(("--trace-out", p));
     }
+    if let Some(p) = &opts.request_trace {
+        outputs.push(("--request-trace", p));
+    }
     if let Some(p) = &opts.live_out {
         outputs.push(("--live-out", p));
     }
@@ -617,6 +663,39 @@ fn emit_telemetry(opts: &Options) -> Result<(), String> {
         std::fs::write(path, trace).map_err(|e| format!("cannot write trace to {path}: {e}"))?;
         say(opts, &format!("trace written to {path}\n"));
     }
+    Ok(())
+}
+
+/// Write the simulated-time request trace (`--request-trace`) and print
+/// a one-line tail/attribution digest under the report, so a traced run
+/// is useful even before `pioeval requests` opens the file.
+fn emit_request_trace(
+    opts: &Options,
+    report: &pioeval::core::MeasurementReport,
+) -> Result<(), String> {
+    let (Some(path), Some(asm)) = (&opts.request_trace, &report.requests) else {
+        return Ok(());
+    };
+    let text = pioeval::reqtrace::write_jsonl(&asm.requests, asm.incomplete);
+    std::fs::write(path, text).map_err(|e| format!("cannot write request trace to {path}: {e}"))?;
+    let summary = pioeval::reqtrace::summarize(&asm.requests, asm.incomplete);
+    let shares = summary.shares();
+    let diag = pioeval::monitor::classify_bottleneck(shares);
+    say(
+        opts,
+        &format!(
+            "request trace: {} requests to {path}\n\
+             request p99 {} | queue {:.0}% service {:.0}% device {:.0}% \
+             fabric {:.0}% | {}\n",
+            asm.requests.len(),
+            summary.latency.p99,
+            shares[0] * 100.0,
+            shares[1] * 100.0,
+            shares[2] * 100.0,
+            shares[3] * 100.0,
+            diag.name(),
+        ),
+    );
     Ok(())
 }
 
@@ -747,17 +826,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     install_live(&opts, &format!("run-{name}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_target_with_exec(
+        pioeval::core::measure_target_traced(
             &target,
             &source,
             opts.ranks,
             StackConfig::default(),
             opts.seed,
             &exec,
+            opts.request_trace.is_some(),
         )
         .map_err(|e| e.to_string())?
     };
     say(&opts, &render_report(&report));
+    emit_request_trace(&opts, &report)?;
     emit_telemetry(&opts)
 }
 
@@ -801,17 +882,19 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     install_live(&opts, &format!("dsl-{path}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_target_with_exec(
+        pioeval::core::measure_target_traced(
             &target,
             &source,
             opts.ranks,
             StackConfig::default(),
             opts.seed,
             &exec,
+            opts.request_trace.is_some(),
         )
         .map_err(|e| e.to_string())?
     };
     say(&opts, &render_report(&report));
+    emit_request_trace(&opts, &report)?;
     emit_telemetry(&opts)
 }
 
@@ -825,6 +908,13 @@ fn run_campaign(
     decl: &pioeval::workloads::CampaignDecl,
     target: TargetConfig,
 ) -> Result<(), String> {
+    if opts.request_trace.is_some() {
+        return Err(
+            "--request-trace is not supported for campaigns; trace one job \
+             at a time with `pioeval dsl`/`pioeval run` instead"
+                .into(),
+        );
+    }
     say(
         opts,
         &format!(
@@ -1092,6 +1182,17 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     })?;
     record(format!("phold_par_t{threads}"), events, wall);
 
+    // Tracing-overhead probe: the same parallel PHOLD run with the
+    // request-trace recorder enabled on every LP (one mark per event,
+    // non-zero tid). Its gap to phold_par_t{N} is the tracer's hot-path
+    // cost; the explicit <=5% check below and the baseline gate both
+    // keep it pinned.
+    let (events, wall) = bench_median(repeat, || {
+        let mut sim = pioeval::des::build_phold_traced(&phold);
+        Ok(run_parallel(&mut sim, &par_cfg).events)
+    })?;
+    record(format!("phold_par_t{threads}_reqtrace"), events, wall);
+
     // Profile-guided variant: per-entity counts from an (untimed)
     // sequential warmup feed the greedy bin-packing partitioner.
     let (_, counts) = build_phold(&phold).run_counted();
@@ -1219,6 +1320,29 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (events, wall) = target_bench(&obj_target)?;
     record("dlio_storm_obj".into(), events, wall);
 
+    // Request tracing must stay cheap enough to leave on: compare the
+    // traced parallel PHOLD row to its untraced twin in THIS run (same
+    // host, same moment), independent of any baseline file.
+    let eps_of_row = |name: String| rows.iter().find(|r| r.0 == name).map(|r| r.3);
+    let reqtrace_budget_pct = 5.0;
+    if let (Some(plain), Some(traced)) = (
+        eps_of_row(format!("phold_par_t{threads}")),
+        eps_of_row(format!("phold_par_t{threads}_reqtrace")),
+    ) {
+        let overhead_pct = (1.0 - traced / plain.max(1e-9)) * 100.0;
+        println!(
+            "\nreqtrace overhead: {overhead_pct:+.1}% events/sec vs \
+             phold_par_t{threads} (budget {reqtrace_budget_pct:.0}%)"
+        );
+        if overhead_pct > reqtrace_budget_pct {
+            return Err(format!(
+                "request-trace overhead {overhead_pct:.1}% exceeds the \
+                 {reqtrace_budget_pct:.0}% budget (phold_par_t{threads}_reqtrace \
+                 vs phold_par_t{threads})"
+            ));
+        }
+    }
+
     // Gate BEFORE writing: the default --out path is also the default
     // baseline path, so writing first would compare the run to itself.
     let gate_result = flags
@@ -1306,6 +1430,9 @@ struct WatchState {
     run: String,
     phase: String,
     frames: u64,
+    /// Lines that did not parse (or lacked mandatory fields) and were
+    /// skipped; surfaced so a lossy stream is visible in the totals.
+    malformed: u64,
     done: bool,
     counters: Vec<(String, u64)>,
     /// Gauge name -> (last, max).
@@ -1426,9 +1553,11 @@ impl WatchState {
         let mut s = String::from("{\"schema\": \"pioeval-watch/1\"");
         let _ = write!(
             s,
-            ", \"run\": \"{}\", \"frames\": {}, \"done\": {}, \"spans_done\": {}",
+            ", \"run\": \"{}\", \"frames\": {}, \"malformed\": {}, \
+             \"done\": {}, \"spans_done\": {}",
             self.run.replace('"', "\\\""),
             self.frames,
+            self.malformed,
             self.done,
             self.spans_done
         );
@@ -1586,8 +1715,22 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
             if line.trim().is_empty() {
                 continue;
             }
-            let frame = serde_json::parse(line).map_err(|e| format!("bad frame `{line}`: {e}"))?;
-            state.apply(&frame)?;
+            // A malformed or truncated frame (producer died mid-write,
+            // torn append, stray garbage) must not abort the watch: the
+            // stream beyond it is still good. Warn and skip the line.
+            let frame = match serde_json::parse(line) {
+                Ok(frame) => frame,
+                Err(e) => {
+                    state.malformed += 1;
+                    eprintln!("watch: skipping malformed frame ({e}): {line}");
+                    continue;
+                }
+            };
+            if let Err(e) = state.apply(&frame) {
+                state.malformed += 1;
+                eprintln!("watch: skipping frame ({e}): {line}");
+                continue;
+            }
             if !json_out {
                 if in_place {
                     print!("\r{:<100}", state.status_line());
@@ -1623,12 +1766,271 @@ fn cmd_watch(args: &[String]) -> Result<(), String> {
         println!("{}", state.to_json());
     } else {
         println!(
-            "watch: {} frames from `{}`, {} events, done={}",
+            "watch: {} frames from `{}`, {} events, done={}{}",
             state.frames,
             state.run,
             state.counter(pioeval::obs::names::DES_LIVE_EVENTS),
-            state.done
+            state.done,
+            if state.malformed > 0 {
+                format!(" ({} malformed lines skipped)", state.malformed)
+            } else {
+                String::new()
+            }
         );
+    }
+    Ok(())
+}
+
+/// Five percentile cells (p50, p95, p99, p999, max) for a table row.
+fn percentile_cells(p: &pioeval::reqtrace::PercentileSet) -> Vec<String> {
+    vec![
+        format!("{}", p.p50),
+        format!("{}", p.p95),
+        format!("{}", p.p99),
+        format!("{}", p.p999),
+        format!("{}", p.max),
+    ]
+}
+
+/// Human rendering of a request-trace analysis.
+fn render_requests(
+    path: &str,
+    summary: &pioeval::reqtrace::TraceSummary,
+    tail: &pioeval::reqtrace::TailAttribution,
+    paths: &[pioeval::reqtrace::CollectivePath],
+    diag: pioeval::monitor::BottleneckClass,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} requests ({} incomplete at run end)\n",
+        summary.requests, summary.incomplete
+    );
+
+    let mut table = Table::new(vec![
+        "layer", "share", "total", "p50", "p95", "p99", "p999", "max",
+    ]);
+    let mut row = vec![
+        "end-to-end".to_string(),
+        String::new(),
+        format!("{}", summary.total_latency),
+    ];
+    row.extend(percentile_cells(&summary.latency));
+    table.row(row);
+    for l in &summary.layers {
+        let mut row = vec![
+            l.bucket.name().to_string(),
+            format!("{:.1}%", l.share * 100.0),
+            format!("{}", l.total),
+        ];
+        row.extend(percentile_cells(&l.percentiles));
+        table.row(row);
+    }
+    out.push_str(&table.render());
+
+    let mut table = Table::new(vec!["op", "count", "p50", "p95", "p99", "p999", "max"]);
+    for o in &summary.ops {
+        let mut row = vec![o.op.clone(), o.count.to_string()];
+        row.extend(percentile_cells(&o.latency));
+        table.row(row);
+    }
+    out.push('\n');
+    out.push_str(&table.render());
+
+    let ts = tail.shares();
+    let _ = writeln!(
+        out,
+        "\ntail: {} request(s) at/above p{} ({}) spend \
+         queue {:.0}% service {:.0}% device {:.0}% fabric {:.0}%",
+        tail.count,
+        tail.percentile,
+        tail.threshold,
+        ts[0] * 100.0,
+        ts[1] * 100.0,
+        ts[2] * 100.0,
+        ts[3] * 100.0,
+    );
+    let _ = writeln!(out, "bottleneck: {} — {}", diag.name(), diag.advice());
+
+    if !paths.is_empty() {
+        let mut table = Table::new(vec![
+            "collective",
+            "ranks",
+            "reqs",
+            "start",
+            "end",
+            "slowest rank",
+            "slowest q/s/d/f",
+        ]);
+        for p in paths {
+            let t = p.slowest_totals;
+            table.row(vec![
+                p.instance.to_string(),
+                p.ranks.to_string(),
+                p.requests.to_string(),
+                format!("{}", p.start),
+                format!("{}", p.end),
+                format!("{} ({} reqs)", p.slowest_rank, p.slowest_requests),
+                format!(
+                    "{}/{}/{}/{}",
+                    SimDuration::from_nanos(t[0]),
+                    SimDuration::from_nanos(t[1]),
+                    SimDuration::from_nanos(t[2]),
+                    SimDuration::from_nanos(t[3]),
+                ),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Machine rendering of a request-trace analysis
+/// (`pioeval-requests/1`, one JSON document).
+fn requests_json(
+    summary: &pioeval::reqtrace::TraceSummary,
+    tail: &pioeval::reqtrace::TailAttribution,
+    paths: &[pioeval::reqtrace::CollectivePath],
+    diag: pioeval::monitor::BottleneckClass,
+) -> String {
+    use std::fmt::Write as _;
+    let pset = |p: &pioeval::reqtrace::PercentileSet| {
+        format!(
+            "{{\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}}}",
+            p.p50.as_nanos(),
+            p.p95.as_nanos(),
+            p.p99.as_nanos(),
+            p.p999.as_nanos(),
+            p.max.as_nanos()
+        )
+    };
+    let mut s = String::from("{\"schema\": \"pioeval-requests/1\"");
+    let _ = write!(
+        s,
+        ", \"requests\": {}, \"incomplete\": {}, \"total_latency_ns\": {}, \
+         \"latency\": {}",
+        summary.requests,
+        summary.incomplete,
+        summary.total_latency.as_nanos(),
+        pset(&summary.latency)
+    );
+    s.push_str(", \"layers\": [");
+    for (i, l) in summary.layers.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"layer\": \"{}\", \"total_ns\": {}, \"share\": {:.6}, \
+             \"percentiles\": {}}}",
+            if i > 0 { ", " } else { "" },
+            l.bucket.name(),
+            l.total.as_nanos(),
+            l.share,
+            pset(&l.percentiles)
+        );
+    }
+    s.push_str("], \"ops\": [");
+    for (i, o) in summary.ops.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"op\": \"{}\", \"count\": {}, \"latency\": {}}}",
+            if i > 0 { ", " } else { "" },
+            o.op,
+            o.count,
+            pset(&o.latency)
+        );
+    }
+    let ts = tail.shares();
+    let _ = write!(
+        s,
+        "], \"tail\": {{\"percentile\": {}, \"threshold_ns\": {}, \
+         \"count\": {}, \"shares\": [{:.6}, {:.6}, {:.6}, {:.6}]}}",
+        tail.percentile,
+        tail.threshold.as_nanos(),
+        tail.count,
+        ts[0],
+        ts[1],
+        ts[2],
+        ts[3]
+    );
+    let _ = write!(
+        s,
+        ", \"bottleneck\": {{\"class\": \"{}\", \"advice\": \"{}\"}}",
+        diag.name(),
+        diag.advice()
+    );
+    s.push_str(", \"collectives\": [");
+    for (i, p) in paths.iter().enumerate() {
+        let t = p.slowest_totals;
+        let _ = write!(
+            s,
+            "{}{{\"instance\": {}, \"ranks\": {}, \"requests\": {}, \
+             \"start_ns\": {}, \"end_ns\": {}, \"slowest_rank\": {}, \
+             \"slowest_requests\": {}, \
+             \"slowest_totals_ns\": [{}, {}, {}, {}]}}",
+            if i > 0 { ", " } else { "" },
+            p.instance,
+            p.ranks,
+            p.requests,
+            p.start.as_nanos(),
+            p.end.as_nanos(),
+            p.slowest_rank,
+            p.slowest_requests,
+            t[0],
+            t[1],
+            t[2],
+            t[3]
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// `pioeval requests <FILE>`: analyze a simulated-time request trace
+/// written by `--request-trace`: end-to-end and per-layer tail
+/// percentiles, per-op stats, tail-latency attribution, per-collective
+/// critical paths, and a bottleneck diagnosis.
+fn cmd_requests(args: &[String]) -> Result<(), String> {
+    use pioeval::reqtrace as rt;
+    let (positional, flags) = parse_flags(args)?;
+    for key in flags.keys() {
+        if !["json", "chrome", "tail"].contains(&key.as_str()) {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let path = positional
+        .first()
+        .ok_or("requests requires a <FILE> argument")?;
+    if positional.len() > 1 {
+        return Err(format!("unexpected argument `{}`", positional[1]));
+    }
+    let json_out = flags.contains_key("json");
+    let tail_pct = match flags.get("tail") {
+        None => 99.0,
+        Some(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|p| *p > 0.0 && *p < 100.0)
+            .ok_or(format!("bad --tail: {v} (expected 0 < PCT < 100)"))?,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (requests, incomplete) = rt::read_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(out) = flags.get("chrome") {
+        std::fs::write(out, rt::chrome_trace(&requests))
+            .map_err(|e| format!("cannot write chrome trace to {out}: {e}"))?;
+        if !json_out {
+            println!("simulated-time chrome trace written to {out}");
+        }
+    }
+    let summary = rt::summarize(&requests, incomplete);
+    let tail = rt::tail_attribution(&requests, tail_pct);
+    let paths = rt::collective_paths(&requests);
+    let diag = pioeval::monitor::classify_bottleneck(summary.shares());
+    if json_out {
+        println!("{}", requests_json(&summary, &tail, &paths, diag));
+    } else {
+        print!("{}", render_requests(path, &summary, &tail, &paths, diag));
     }
     Ok(())
 }
@@ -1759,6 +2161,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
         },
         Some("watch") => cmd_watch(&args[1..]),
+        Some("requests") => cmd_requests(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("taxonomy") => {
@@ -1928,6 +2331,116 @@ mod tests {
         f.flush().unwrap();
         assert_eq!(tail.read_lines(), vec!["partial"]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn request_trace_flag_parses_and_rejects_collision() {
+        let (_, flags) = parse_flags(&strs(&["--request-trace", "/tmp/req.jsonl"])).unwrap();
+        let opts = options_from(&flags).unwrap();
+        assert_eq!(opts.request_trace.as_deref(), Some("/tmp/req.jsonl"));
+        // Same path for the wall-clock and the simulated-time trace is
+        // a configuration error (one would clobber the other).
+        let (_, collide) = parse_flags(&strs(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--request-trace",
+            "/tmp/t.json",
+        ]))
+        .unwrap();
+        let err = options_from(&collide).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+        assert!(err.contains("--request-trace"), "{err}");
+        // Distinct paths are fine.
+        let (_, ok) = parse_flags(&strs(&[
+            "--trace-out",
+            "/tmp/t.json",
+            "--request-trace",
+            "/tmp/r.jsonl",
+        ]))
+        .unwrap();
+        assert!(options_from(&ok).is_ok());
+    }
+
+    #[test]
+    fn watch_survives_malformed_frames() {
+        use std::io::Write as _;
+        // Regression: `pioeval watch` used to hard-abort on the first
+        // unparseable line; a torn append from a dying producer must
+        // only skip that line.
+        let path =
+            std::env::temp_dir().join(format!("pioeval_watch_bad_{}.jsonl", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(
+            f,
+            "{{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"t_us\":100,\
+             \"kind\":\"delta\",\"counters\":{{\"des.live.events\":10}}}}"
+        )
+        .unwrap();
+        // Truncated mid-write, plain garbage, and a frame missing the
+        // mandatory t_us field.
+        writeln!(f, "{{\"schema\":\"pioeval-live/1\",\"run\":").unwrap();
+        writeln!(f, "not json at all").unwrap();
+        writeln!(
+            f,
+            "{{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"kind\":\"delta\"}}"
+        )
+        .unwrap();
+        writeln!(
+            f,
+            "{{\"schema\":\"pioeval-live/1\",\"run\":\"r\",\"t_us\":200,\"kind\":\"done\"}}"
+        )
+        .unwrap();
+        drop(f);
+        let res = cmd_watch(&strs(&[path.to_str().unwrap(), "--json"]));
+        assert!(res.is_ok(), "{res:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn requests_analyzer_round_trips_a_trace() {
+        // Build a tiny assembly, write it the same way `--request-trace`
+        // does, and run the analyzer over the file in both modes.
+        use pioeval::reqtrace as rt;
+        use pioeval::types::{ReqOp, SimTime, NO_COLLECTIVE};
+        let issue = SimTime::from_nanos(10);
+        let done = SimTime::from_nanos(110);
+        let req = rt::RequestRecord {
+            tid: (1u64) << 32 | 7,
+            rank: 0,
+            op: ReqOp::Write,
+            file: 3,
+            bytes: 4096,
+            collective: NO_COLLECTIVE,
+            issue,
+            done,
+            spans: vec![rt::Span {
+                entity: 2,
+                label: "oss".into(),
+                bucket: rt::Bucket::Device,
+                start: issue,
+                end: done,
+            }],
+        };
+        let path =
+            std::env::temp_dir().join(format!("pioeval_requests_cli_{}.jsonl", std::process::id()));
+        std::fs::write(&path, rt::write_jsonl(std::slice::from_ref(&req), 0)).unwrap();
+        let chrome = std::env::temp_dir().join(format!(
+            "pioeval_requests_cli_{}.chrome.json",
+            std::process::id()
+        ));
+        let res = cmd_requests(&strs(&[path.to_str().unwrap()]));
+        assert!(res.is_ok(), "{res:?}");
+        let res = cmd_requests(&strs(&[
+            path.to_str().unwrap(),
+            "--json",
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ]));
+        assert!(res.is_ok(), "{res:?}");
+        let chrome_doc = std::fs::read_to_string(&chrome).unwrap();
+        assert!(serde_json::parse(&chrome_doc).is_ok());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&chrome);
     }
 
     #[test]

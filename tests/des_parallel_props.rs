@@ -202,3 +202,64 @@ proptest! {
         prop_assert_eq!(fingerprints(&par, nodes), seq_fp);
     }
 }
+
+proptest! {
+    // Full traced measurement trips are orders of magnitude heavier
+    // than the synthetic topologies above, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Request traces are executor-independent: the serialized JSONL
+    /// from a sequential traced run is byte-identical to every parallel
+    /// configuration's, on both storage targets. (Per-entity recorders
+    /// are only appended by their own entity, and the finalize-time
+    /// merge drains entities in a fixed order — so not just the set of
+    /// marks but the entire document must match.)
+    #[test]
+    fn request_traces_identical_across_executors(
+        ranks in 1u32..4,
+        seed in 0u64..1 << 16,
+        threads in 2usize..=4,
+        objstore in proptest::bool::ANY,
+        policy in prop::sample::select(vec![WindowPolicy::Fixed, WindowPolicy::Adaptive]),
+    ) {
+        use pioeval::core::{measure_target_traced, TargetConfig};
+        use pioeval::des::ExecMode;
+        use pioeval::prelude::*;
+
+        let source = WorkloadSource::Synthetic(Box::new(IorLike::default()));
+        let target = if objstore {
+            TargetConfig::ObjStore(pioeval::objstore::ObjStoreConfig {
+                num_clients: 8,
+                ..Default::default()
+            })
+        } else {
+            TargetConfig::Pfs(ClusterConfig {
+                num_clients: 8,
+                ..Default::default()
+            })
+        };
+        let trace_of = |exec: &ExecMode| {
+            let report = measure_target_traced(
+                &target,
+                &source,
+                ranks,
+                StackConfig::default(),
+                seed,
+                exec,
+                true,
+            )
+            .expect("traced measurement");
+            let asm = report.requests.expect("assembly");
+            (asm.requests.len(), pioeval::reqtrace::write_jsonl(&asm.requests, asm.incomplete))
+        };
+        let (seq_n, seq_doc) = trace_of(&ExecMode::Sequential);
+        prop_assert!(seq_n > 0, "no requests traced");
+        let cfg = ParallelConfig {
+            threads,
+            window: policy,
+            ..ParallelConfig::default()
+        };
+        let (_, par_doc) = trace_of(&ExecMode::Parallel(cfg));
+        prop_assert_eq!(seq_doc, par_doc, "request trace diverged across executors");
+    }
+}
