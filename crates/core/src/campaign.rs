@@ -201,6 +201,11 @@ pub struct InterferenceReport {
     pub shared: Vec<SimDuration>,
     /// Per-gateway statistics from the shared run (empty on PFS).
     pub gateways: Vec<GatewayStats>,
+    /// Resilience metrics from the shared run (Some only when the
+    /// target carried a resilience configuration). Solo baselines run
+    /// with failure injection stripped, so slowdowns attribute both
+    /// contention *and* failure-recovery cost to the shared system.
+    pub resilience: Option<pioeval_resil::ResilienceReport>,
 }
 
 impl InterferenceReport {
@@ -262,6 +267,21 @@ impl InterferenceCampaign {
         self.submissions.is_empty()
     }
 
+    /// The target configuration with failure injection stripped: solo
+    /// baselines measure each job on a *healthy* system, so the shared
+    /// run's slowdown captures failures as interference.
+    fn healthy_target(&self) -> TargetConfig {
+        let mut cfg = self.target.clone();
+        let resil = match &mut cfg {
+            TargetConfig::Pfs(c) => c.resil.as_mut(),
+            TargetConfig::ObjStore(c) => c.resil.as_mut(),
+        };
+        if let Some(r) = resil {
+            r.failures = pioeval_resil::FailureSchedule::default();
+        }
+        cfg
+    }
+
     fn spec_for(&self, i: usize, start: SimTime) -> JobSpec {
         let sub = &self.submissions[i];
         JobSpec {
@@ -285,11 +305,13 @@ impl InterferenceCampaign {
                 .ok_or_else(|| Error::Config("campaign job did not finish".into()))
         };
 
-        // Solo baselines: one fresh system per job, submitted at t=0.
+        // Solo baselines: one fresh, failure-free system per job,
+        // submitted at t=0.
+        let healthy = self.healthy_target();
         let mut solo = Vec::new();
         for i in 0..self.submissions.len() {
             pioeval_obs::live::set_phase(&format!("campaign:solo:{i}"));
-            let mut target = self.target.build()?;
+            let mut target = healthy.build()?;
             let spec = self.spec_for(i, SimTime::ZERO);
             let handle = launch_on(&mut target, &spec);
             target.run();
@@ -314,11 +336,13 @@ impl InterferenceCampaign {
             StorageTarget::ObjStore(c) => c.gateway_stats(),
             StorageTarget::Pfs(_) => Vec::new(),
         };
+        let resilience = target.resilience();
         Ok(InterferenceReport {
             target: self.target.name(),
             solo,
             shared,
             gateways,
+            resilience,
         })
     }
 }
@@ -486,6 +510,48 @@ mod tests {
         assert_eq!(report.target, "pfs");
         assert!(report.gateways.is_empty());
         assert!(report.slowdowns().iter().all(|&s| s >= 1.0 - 1e-9));
+    }
+
+    #[test]
+    fn interference_shared_run_carries_resilience() {
+        use pioeval_resil::{AckMode, FailureEvent, FailureKind, FailureSchedule, ResilConfig};
+        let target = TargetConfig::Pfs(ClusterConfig {
+            num_clients: 16,
+            num_ionodes: 2,
+            resil: Some(ResilConfig {
+                ack_mode: AckMode::LocalOnly,
+                failures: FailureSchedule {
+                    scripted: vec![FailureEvent {
+                        kind: FailureKind::IoNodeLoss,
+                        target: 1,
+                        at: SimDuration::from_millis(1),
+                    }],
+                    ..FailureSchedule::default()
+                },
+                ..ResilConfig::default()
+            }),
+            ..ClusterConfig::default()
+        });
+        let mut campaign = InterferenceCampaign::new(target, 11);
+        for i in 0..2u32 {
+            campaign.submit(Submission::new(
+                WorkloadSource::Synthetic(Box::new(IorLike {
+                    block_size: bytes::mib(4),
+                    base_file: 300 + i * 500,
+                    ..IorLike::default()
+                })),
+                4,
+                SimTime::ZERO,
+            ));
+        }
+        let report = campaign.run().unwrap();
+        // The shared run keeps the injected failure; solo baselines ran
+        // on a healthy system (stripped schedule) yet still complete.
+        let resil = report.resilience.expect("shared run must carry resilience");
+        assert_eq!(resil.failures_injected, 1);
+        assert!(resil.acked_bytes > 0);
+        assert!(resil.conserves_bytes());
+        assert_eq!(report.solo.len(), 2);
     }
 
     #[test]

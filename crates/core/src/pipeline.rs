@@ -75,6 +75,9 @@ pub struct MeasurementReport {
     /// Assembled per-request trace (Some only when the measurement ran
     /// with request tracing enabled; see [`measure_target_traced`]).
     pub requests: Option<pioeval_reqtrace::Assembly>,
+    /// Resilience metrics (Some only when the target carried a
+    /// resilience configuration: write-ack policy, failure injection).
+    pub resilience: Option<pioeval_resil::ResilienceReport>,
 }
 
 impl MeasurementReport {
@@ -232,6 +235,7 @@ pub fn measure_target_traced(
             cluster.gateway_stats(),
         ),
     };
+    let resilience = target.resilience();
     let timelines: Vec<_> = servers
         .iter()
         .flat_map(|s| s.timelines.iter().cloned())
@@ -248,6 +252,7 @@ pub fn measure_target_traced(
         burst_buffers,
         gateways,
         requests,
+        resilience,
     })
 }
 
@@ -428,6 +433,39 @@ mod tests {
             let plain = measure_target(&target, &source, 4, StackConfig::default(), 1).unwrap();
             assert!(plain.requests.is_none());
         }
+    }
+
+    #[test]
+    fn resilience_surfaces_through_measurement_reports() {
+        use pioeval_resil::{AckMode, FailureEvent, FailureKind, FailureSchedule, ResilConfig};
+        let cfg = ClusterConfig {
+            num_clients: 8,
+            num_ionodes: 2,
+            resil: Some(ResilConfig {
+                ack_mode: AckMode::LocalOnly,
+                failures: FailureSchedule {
+                    scripted: vec![FailureEvent {
+                        kind: FailureKind::IoNodeLoss,
+                        target: 0,
+                        at: SimDuration::from_millis(2),
+                    }],
+                    ..FailureSchedule::default()
+                },
+                ..ResilConfig::default()
+            }),
+            ..ClusterConfig::default()
+        };
+        let source = WorkloadSource::Synthetic(Box::new(small_ior()));
+        let report = measure(&cfg, &source, 4, StackConfig::default(), 1).unwrap();
+        let resil = report
+            .resilience
+            .expect("resil config must surface a report");
+        assert!(resil.acked_bytes > 0);
+        assert_eq!(resil.failures_injected, 1);
+        assert!(resil.conserves_bytes());
+        // Default runs keep the field empty.
+        let plain = measure(&small_cluster(), &source, 4, StackConfig::default(), 1).unwrap();
+        assert!(plain.resilience.is_none());
     }
 
     #[test]

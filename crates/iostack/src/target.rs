@@ -141,4 +141,13 @@ impl StorageTarget {
             StorageTarget::ObjStore(c) => c.drain_request_events(),
         }
     }
+
+    /// Aggregate the backend's resilience report (`None` when no
+    /// resilience configuration was supplied).
+    pub fn resilience(&self) -> Option<pioeval_resil::ResilienceReport> {
+        match self {
+            StorageTarget::Pfs(c) => c.resilience(),
+            StorageTarget::ObjStore(c) => c.resilience(),
+        }
+    }
 }

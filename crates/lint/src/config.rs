@@ -11,6 +11,7 @@
 use crate::diag::{Code, LintReport};
 use pioeval_objstore::{ObjStoreConfig, Placement};
 use pioeval_pfs::ClusterConfig;
+use pioeval_resil::{AckMode, FailureKind, FailureSchedule};
 use pioeval_types::SimDuration;
 
 /// Lint a cluster configuration against the engine `lookahead` it will
@@ -131,6 +132,109 @@ pub fn lint_config(cfg: &ClusterConfig, lookahead: SimDuration) -> LintReport {
                 None,
                 format!("ost override {ost} has zero read or write bandwidth"),
             );
+        }
+    }
+
+    // Resilience tier (PIO07x family).
+    if let Some(resil) = &cfg.resil {
+        // PIO070: the policy waits for a replica ACK that can never
+        // arrive — the run behaves exactly like local_only while the
+        // report claims a stronger policy.
+        if resil.ack_mode.waits_for_replica() {
+            if resil.replication < 2 {
+                report.warn(
+                    Code::ResilAckReplicaMismatch,
+                    None,
+                    format!(
+                        "ack mode `{}` waits for a replica but replication is {}: \
+                         writes ACK exactly as local_only would",
+                        resil.ack_mode.as_str(),
+                        resil.replication
+                    ),
+                );
+            }
+            if cfg.num_ionodes < 2 {
+                report.warn(
+                    Code::ResilAckReplicaMismatch,
+                    None,
+                    format!(
+                        "ack mode `{}` needs a peer I/O node to replicate to but the \
+                         cluster has {}",
+                        resil.ack_mode.as_str(),
+                        cfg.num_ionodes
+                    ),
+                );
+            }
+        }
+        // PIO071: the geographic leg reads its cost from the site matrix.
+        if resil.ack_mode == AckMode::Geographic {
+            if resil.geo.sites.len() < 2 {
+                report.error(
+                    Code::ResilGeoMatrixInvalid,
+                    None,
+                    format!(
+                        "geographic ack mode declares {} site(s); the cross-site \
+                         replica leg needs at least 2",
+                        resil.geo.sites.len()
+                    ),
+                );
+            } else if !resil.geo.is_square() {
+                report.error(
+                    Code::ResilGeoMatrixInvalid,
+                    None,
+                    format!(
+                        "geo latency matrix is not {n}x{n} for the {n} declared sites",
+                        n = resil.geo.sites.len()
+                    ),
+                );
+            } else if !resil.geo.is_symmetric() {
+                report.warn(
+                    Code::ResilGeoMatrixInvalid,
+                    None,
+                    "geo latency matrix is asymmetric: the replica leg uses the \
+                     maximum cross-site entry",
+                );
+            }
+        }
+        lint_failure_schedule(&resil.failures, &mut report);
+        // PIO073: targets and kinds the PFS backend cannot express.
+        for ev in &resil.failures.scripted {
+            match ev.kind {
+                FailureKind::IoNodeLoss => {
+                    if ev.target as usize >= cfg.num_ionodes {
+                        report.error(
+                            Code::ResilFailureTargetMissing,
+                            None,
+                            format!(
+                                "failure targets I/O node {} but the cluster has {} \
+                                 (the event would be silently skipped)",
+                                ev.target, cfg.num_ionodes
+                            ),
+                        );
+                    }
+                }
+                FailureKind::DegradedRead | FailureKind::GatewayFailover => {
+                    report.warn(
+                        Code::ResilFailureTargetMissing,
+                        None,
+                        format!(
+                            "failure kind `{}` has no effect on the PFS backend \
+                             (only I/O-node loss is injected there)",
+                            ev.kind.as_str()
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(mtbf) = &resil.failures.mtbf {
+            if mtbf.kind == FailureKind::IoNodeLoss && cfg.num_ionodes == 0 {
+                report.error(
+                    Code::ResilFailureTargetMissing,
+                    None,
+                    "MTBF schedule draws I/O-node failures but the cluster has no \
+                     I/O nodes",
+                );
+            }
         }
     }
 
@@ -290,8 +394,78 @@ pub fn lint_objstore_config(cfg: &ObjStoreConfig, lookahead: SimDuration) -> Lin
         );
     }
 
+    // Resilience tier (PIO07x family).
+    if let Some(resil) = &cfg.resil {
+        // PIO070: the object store's durability comes from placement
+        // width; the burst-buffer ack policy does not apply.
+        if resil.ack_mode != AckMode::LocalOnly {
+            report.warn(
+                Code::ResilAckReplicaMismatch,
+                None,
+                format!(
+                    "ack mode `{}` has no effect on the object-store backend; \
+                     durability there comes from placement width",
+                    resil.ack_mode.as_str()
+                ),
+            );
+        }
+        lint_failure_schedule(&resil.failures, &mut report);
+        // PIO073: node/read failures target storage nodes, gateway
+        // failures target gateways.
+        for ev in &resil.failures.scripted {
+            let (pool, what) = match ev.kind {
+                FailureKind::IoNodeLoss | FailureKind::DegradedRead => {
+                    (cfg.num_storage, "storage node")
+                }
+                FailureKind::GatewayFailover => (cfg.num_gateways, "gateway"),
+            };
+            if ev.target as usize >= pool {
+                report.error(
+                    Code::ResilFailureTargetMissing,
+                    None,
+                    format!(
+                        "failure targets {what} {} but the store has {pool} \
+                         (the event would be silently skipped)",
+                        ev.target
+                    ),
+                );
+            }
+        }
+    }
+
     report.sort();
     report
+}
+
+/// Shared PIO072 checks on a failure schedule: scripted events past the
+/// stated horizon (warning — they still fire, but the horizon suggests
+/// the author expects them inside it), and MTBF sampling with no
+/// horizon to draw from (error — the schedule can never produce an
+/// event).
+fn lint_failure_schedule(failures: &FailureSchedule, report: &mut LintReport) {
+    if !failures.horizon.is_zero() {
+        for ev in &failures.scripted {
+            if ev.at > failures.horizon {
+                report.warn(
+                    Code::ResilFailureBeyondHorizon,
+                    None,
+                    format!(
+                        "scripted {} failure at {} lies beyond the schedule horizon {}",
+                        ev.kind.as_str(),
+                        ev.at,
+                        failures.horizon
+                    ),
+                );
+            }
+        }
+    }
+    if failures.mtbf.is_some() && failures.horizon.is_zero() {
+        report.error(
+            Code::ResilFailureBeyondHorizon,
+            None,
+            "MTBF schedule with a zero horizon can never draw a failure",
+        );
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +633,173 @@ mod tests {
         assert!(r.has(Code::ZeroFabricBw));
         assert!(r.has(Code::ZeroDeviceBw));
         assert!(r.has(Code::BadLookahead));
+    }
+
+    fn resil(ack_mode: AckMode) -> pioeval_resil::ResilConfig {
+        pioeval_resil::ResilConfig {
+            ack_mode,
+            ..pioeval_resil::ResilConfig::default()
+        }
+    }
+
+    #[test]
+    fn ack_replica_mismatch_pio070_is_warning() {
+        // Waiting for a replica with replication 1 / a single I/O node.
+        let cfg = ClusterConfig {
+            num_ionodes: 1,
+            resil: Some(pioeval_resil::ResilConfig {
+                replication: 1,
+                ..resil(AckMode::LocalPlusOne)
+            }),
+            ..ClusterConfig::default()
+        };
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilAckReplicaMismatch));
+        assert!(r.is_clean()); // warning only
+        assert_eq!(r.warning_count(), 2, "{:?}", r.diagnostics);
+        // A well-replicated pair is clean.
+        let ok = ClusterConfig {
+            num_ionodes: 2,
+            resil: Some(pioeval_resil::ResilConfig {
+                replication: 2,
+                ..resil(AckMode::LocalPlusOne)
+            }),
+            ..ClusterConfig::default()
+        };
+        assert!(!lint_config(&ok, LOOKAHEAD).has(Code::ResilAckReplicaMismatch));
+        // On the object store the ack mode is inert whatever its value.
+        let obj = ObjStoreConfig {
+            resil: Some(resil(AckMode::Geographic)),
+            ..ObjStoreConfig::default()
+        };
+        let r = lint_objstore_config(&obj, LOOKAHEAD);
+        assert!(r.has(Code::ResilAckReplicaMismatch));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn geo_matrix_problems_pio071() {
+        // One site cannot stretch anywhere: error.
+        let geo = pioeval_resil::GeoProfile {
+            sites: vec!["local".into()],
+            latency_us: vec![vec![500]],
+            ..pioeval_resil::GeoProfile::default()
+        };
+        let cfg = ClusterConfig {
+            num_ionodes: 2,
+            resil: Some(pioeval_resil::ResilConfig {
+                replication: 2,
+                geo,
+                ..resil(AckMode::Geographic)
+            }),
+            ..ClusterConfig::default()
+        };
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilGeoMatrixInvalid));
+        assert!(!r.is_clean());
+        // Asymmetric matrix: warning.
+        let geo = pioeval_resil::GeoProfile {
+            sites: vec!["a".into(), "b".into()],
+            latency_us: vec![vec![500, 250_000], vec![100_000, 500]],
+            ..pioeval_resil::GeoProfile::default()
+        };
+        let cfg = ClusterConfig {
+            num_ionodes: 2,
+            resil: Some(pioeval_resil::ResilConfig {
+                replication: 2,
+                geo,
+                ..resil(AckMode::Geographic)
+            }),
+            ..ClusterConfig::default()
+        };
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilGeoMatrixInvalid));
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn failure_beyond_horizon_pio072() {
+        use pioeval_resil::{FailureEvent, MtbfSchedule};
+        let mut cfg = ClusterConfig {
+            num_ionodes: 2,
+            resil: Some(resil(AckMode::LocalOnly)),
+            ..ClusterConfig::default()
+        };
+        let failures = &mut cfg.resil.as_mut().unwrap().failures;
+        failures.horizon = SimDuration::from_secs(1);
+        failures.scripted.push(FailureEvent {
+            kind: FailureKind::IoNodeLoss,
+            target: 0,
+            at: SimDuration::from_secs(5),
+        });
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilFailureBeyondHorizon));
+        assert!(r.is_clean()); // still fires, warning only
+                               // MTBF with no horizon can never draw: error.
+        let failures = &mut cfg.resil.as_mut().unwrap().failures;
+        failures.horizon = SimDuration::ZERO;
+        failures.scripted.clear();
+        failures.mtbf = Some(MtbfSchedule {
+            kind: FailureKind::IoNodeLoss,
+            targets: 0,
+            mean: SimDuration::from_secs(1),
+        });
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilFailureBeyondHorizon));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn failure_target_missing_pio073() {
+        use pioeval_resil::FailureEvent;
+        // PFS: node index past the I/O-node count is an error.
+        let mut cfg = ClusterConfig {
+            num_ionodes: 2,
+            resil: Some(resil(AckMode::LocalOnly)),
+            ..ClusterConfig::default()
+        };
+        cfg.resil
+            .as_mut()
+            .unwrap()
+            .failures
+            .scripted
+            .push(FailureEvent {
+                kind: FailureKind::IoNodeLoss,
+                target: 7,
+                at: SimDuration::from_millis(1),
+            });
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilFailureTargetMissing));
+        assert!(!r.is_clean());
+        // PFS: gateway failures are inert there — warning.
+        cfg.resil.as_mut().unwrap().failures.scripted = vec![FailureEvent {
+            kind: FailureKind::GatewayFailover,
+            target: 0,
+            at: SimDuration::from_millis(1),
+        }];
+        let r = lint_config(&cfg, LOOKAHEAD);
+        assert!(r.has(Code::ResilFailureTargetMissing));
+        assert!(r.is_clean());
+        // Object store: gateway index checked against the gateway pool.
+        let mut obj = ObjStoreConfig {
+            resil: Some(resil(AckMode::LocalOnly)),
+            ..ObjStoreConfig::default()
+        };
+        obj.resil.as_mut().unwrap().failures.scripted = vec![FailureEvent {
+            kind: FailureKind::GatewayFailover,
+            target: 9,
+            at: SimDuration::from_millis(1),
+        }];
+        let r = lint_objstore_config(&obj, LOOKAHEAD);
+        assert!(r.has(Code::ResilFailureTargetMissing));
+        assert!(!r.is_clean());
+        // In-range targets on both backends are clean.
+        obj.resil.as_mut().unwrap().failures.scripted = vec![FailureEvent {
+            kind: FailureKind::GatewayFailover,
+            target: 1,
+            at: SimDuration::from_millis(1),
+        }];
+        assert!(!lint_objstore_config(&obj, LOOKAHEAD).has(Code::ResilFailureTargetMissing));
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub enum Code {
     /// PIO061: a live/trace output path is not writable at pre-flight,
     /// so a long campaign would only fail at finalize.
     OutputNotWritable,
+    /// PIO070: the write-ack policy and replication setting disagree
+    /// (waiting for a replica that can never exist, or replication on a
+    /// backend where the ack mode has no effect).
+    ResilAckReplicaMismatch,
+    /// PIO071: geographic ack mode with a malformed site latency matrix
+    /// (not square, missing sites, or asymmetric).
+    ResilGeoMatrixInvalid,
+    /// PIO072: a failure is scheduled beyond the stated horizon, or an
+    /// MTBF schedule has no horizon to draw from.
+    ResilFailureBeyondHorizon,
+    /// PIO073: a failure targets an entity the cluster does not have.
+    ResilFailureTargetMissing,
 }
 
 impl Code {
@@ -128,6 +140,10 @@ impl Code {
             Code::ObjErasureExceedsNodes => "PIO053",
             Code::OutputInTarget => "PIO060",
             Code::OutputNotWritable => "PIO061",
+            Code::ResilAckReplicaMismatch => "PIO070",
+            Code::ResilGeoMatrixInvalid => "PIO071",
+            Code::ResilFailureBeyondHorizon => "PIO072",
+            Code::ResilFailureTargetMissing => "PIO073",
         }
     }
 
@@ -169,6 +185,10 @@ impl Code {
         Code::ObjErasureExceedsNodes,
         Code::OutputInTarget,
         Code::OutputNotWritable,
+        Code::ResilAckReplicaMismatch,
+        Code::ResilGeoMatrixInvalid,
+        Code::ResilFailureBeyondHorizon,
+        Code::ResilFailureTargetMissing,
     ];
 
     /// Look up a code by its `PIO0xx` identifier (case-insensitive).
@@ -215,6 +235,10 @@ impl Code {
             Code::ObjErasureExceedsNodes => "erasure width exceeds storage nodes",
             Code::OutputInTarget => "output path inside target/",
             Code::OutputNotWritable => "output path not writable",
+            Code::ResilAckReplicaMismatch => "ack policy and replication disagree",
+            Code::ResilGeoMatrixInvalid => "geographic site matrix is malformed",
+            Code::ResilFailureBeyondHorizon => "failure scheduled beyond the horizon",
+            Code::ResilFailureTargetMissing => "failure targets a missing entity",
         }
     }
 
@@ -355,6 +379,37 @@ impl Code {
                  otherwise creating and removing a sibling probe file) and the OS\n\
                  refused; a long campaign would only fail at finalize. The message\n\
                  carries the OS error string."
+            }
+            Code::ResilAckReplicaMismatch => {
+                "The write-ack policy waits for replica acknowledgements\n\
+                 (local_plus_one or geographic) but the configuration cannot\n\
+                 provide one: replication below 2, or fewer than two I/O nodes\n\
+                 to replicate between. Writes would ACK exactly as local_only\n\
+                 does while the report claims a stronger policy. On the\n\
+                 object-store backend the ack mode has no effect at all —\n\
+                 durability there comes from placement width."
+            }
+            Code::ResilGeoMatrixInvalid => {
+                "The geographic ack mode reads the cross-site latency from the\n\
+                 site matrix; a matrix that is not square, names fewer than two\n\
+                 sites, or is asymmetric gives the replica leg an undefined or\n\
+                 direction-dependent cost. Missing/non-square matrices are\n\
+                 errors; asymmetry is a warning (the maximum entry is used)."
+            }
+            Code::ResilFailureBeyondHorizon => {
+                "A scripted failure fires after the schedule's stated horizon\n\
+                 (it will still fire — the horizon only bounds MTBF sampling),\n\
+                 or an MTBF schedule has a zero horizon and so can never draw\n\
+                 an event. The former is a warning, the latter an error."
+            }
+            Code::ResilFailureTargetMissing => {
+                "A scripted failure names a target index outside the cluster\n\
+                 (node beyond the I/O-node or storage-node count, gateway\n\
+                 beyond the gateway count), or a failure kind the backend\n\
+                 cannot express (gateway/degraded-read failures on the PFS\n\
+                 path, I/O-node semantics on a store without that tier). The\n\
+                 simulator skips such events, so the run would silently\n\
+                 measure less than the schedule promises."
             }
         }
     }

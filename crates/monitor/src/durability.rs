@@ -1,0 +1,129 @@
+//! Durability verdicts over resilience measurements.
+//!
+//! The resilience tier reports raw byte accounting — bytes ACKed to
+//! clients, bytes made durable by replication/drain, bytes lost to
+//! failures that struck before replication completed. This module turns
+//! that accounting into a categorical verdict an operator can act on,
+//! the same way [`crate::bottleneck`] turns latency shares into a
+//! diagnosis. Inputs are plain numbers so the classifier has no
+//! dependency on the resilience crate itself.
+
+use serde::Serialize;
+
+/// Categorical outcome of a run's durability accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum DurabilityVerdict {
+    /// No failures were injected and every ACKed byte became durable.
+    Durable,
+    /// Failures struck, but replication/takeover covered every ACKed
+    /// byte: the ack policy was strong enough for this failure pattern.
+    Recovered,
+    /// Failures destroyed bytes that had already been ACKed to clients:
+    /// the ack policy left a data-loss window.
+    DataLoss,
+    /// The byte accounting does not balance — a simulator or collection
+    /// bug, not a policy property.
+    Unclean,
+}
+
+impl DurabilityVerdict {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityVerdict::Durable => "durable",
+            DurabilityVerdict::Recovered => "recovered",
+            DurabilityVerdict::DataLoss => "data-loss",
+            DurabilityVerdict::Unclean => "unclean",
+        }
+    }
+
+    /// One-line operator guidance for the verdict.
+    pub fn advice(self) -> &'static str {
+        match self {
+            DurabilityVerdict::Durable => "healthy run: every ACKed byte became durable",
+            DurabilityVerdict::Recovered => {
+                "failures occurred but replication covered the ACK window; policy sufficient"
+            }
+            DurabilityVerdict::DataLoss => {
+                "ACKed bytes were lost; ack after replication (local_plus_one/geographic) \
+                 or shorten the replication lag"
+            }
+            DurabilityVerdict::Unclean => "byte accounting does not balance; inspect the run",
+        }
+    }
+}
+
+/// Classify a run from its resilience byte accounting.
+///
+/// `acked` is bytes acknowledged to clients, `replicated` bytes made
+/// durable, `lost` bytes destroyed after ACK, `failures` the number of
+/// injected failure events. At quiesce the tier maintains
+/// `acked == replicated + lost`; a run violating that identity is
+/// [`DurabilityVerdict::Unclean`] regardless of the other fields.
+pub fn assess_durability(
+    acked: u64,
+    replicated: u64,
+    lost: u64,
+    failures: u64,
+) -> DurabilityVerdict {
+    if acked != replicated + lost {
+        DurabilityVerdict::Unclean
+    } else if lost > 0 {
+        DurabilityVerdict::DataLoss
+    } else if failures > 0 {
+        DurabilityVerdict::Recovered
+    } else {
+        DurabilityVerdict::Durable
+    }
+}
+
+/// Fraction of ACKed bytes that were lost (`0.0` when nothing was
+/// ACKed): the headline number of the paper's resilience axis.
+pub fn loss_fraction(acked: u64, lost: u64) -> f64 {
+    if acked == 0 {
+        0.0
+    } else {
+        lost as f64 / acked as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_cover_the_quadrants() {
+        assert_eq!(
+            assess_durability(100, 100, 0, 0),
+            DurabilityVerdict::Durable
+        );
+        assert_eq!(
+            assess_durability(100, 100, 0, 2),
+            DurabilityVerdict::Recovered
+        );
+        assert_eq!(
+            assess_durability(100, 80, 20, 1),
+            DurabilityVerdict::DataLoss
+        );
+        assert_eq!(assess_durability(100, 90, 0, 1), DurabilityVerdict::Unclean);
+    }
+
+    #[test]
+    fn loss_fraction_is_guarded() {
+        assert_eq!(loss_fraction(0, 0), 0.0);
+        assert!((loss_fraction(200, 50) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_and_advice_exist() {
+        for v in [
+            DurabilityVerdict::Durable,
+            DurabilityVerdict::Recovered,
+            DurabilityVerdict::DataLoss,
+            DurabilityVerdict::Unclean,
+        ] {
+            assert!(!v.name().is_empty());
+            assert!(!v.advice().is_empty());
+        }
+    }
+}

@@ -19,10 +19,13 @@
 //!   data source the paper lists alongside profiles and server stats.
 //! * [`bottleneck`] — categorical queue/service/device/fabric diagnosis
 //!   from the request tracer's per-layer latency attribution.
+//! * [`durability`] — categorical durability verdicts from the
+//!   resilience tier's byte accounting (ACKed vs. durable vs. lost).
 
 pub mod analysis;
 pub mod bottleneck;
 pub mod classify;
+pub mod durability;
 pub mod endtoend;
 pub mod interference;
 pub mod loadbalance;
@@ -33,6 +36,7 @@ pub mod straggler;
 pub use analysis::{SystemAnalysis, WindowMix};
 pub use bottleneck::{classify_bottleneck, BottleneckClass, DOMINANCE_THRESHOLD};
 pub use classify::{classify_jobs, signature, JobClasses, Signature};
+pub use durability::{assess_durability, loss_fraction, DurabilityVerdict};
 pub use endtoend::{EndToEndView, MetricRow};
 pub use interference::{interference_report, InterferenceReport};
 pub use loadbalance::{rebalance, LoadReport};

@@ -15,7 +15,8 @@ use pioeval_des::{EntityId, ExecMode, RunResult, SimConfig, Simulation};
 use pioeval_pfs::fabric::Fabric;
 use pioeval_pfs::oss::Oss;
 use pioeval_pfs::{PfsMsg, ServerStats};
-use pioeval_types::{ReqEvent, Result, SimDuration};
+use pioeval_resil::{FailureKind, ResilienceReport, ResilienceStats};
+use pioeval_types::{ReqEvent, Result, SimDuration, SimTime};
 
 /// Entity ids of the store's fixed infrastructure.
 #[derive(Clone, Debug)]
@@ -57,6 +58,8 @@ pub struct ObjCluster {
     /// Client entities registered by the caller (the I/O stack).
     pub clients: Vec<EntityId>,
     stats_bin: SimDuration,
+    /// Failure events scheduled into this run (expanded at build time).
+    failures_injected: u64,
 }
 
 impl ObjCluster {
@@ -125,6 +128,49 @@ impl ObjCluster {
             })
             .collect();
 
+        // Resilience tier: peer-gateway failover ring and the expanded
+        // failure schedule as plain initial events (so sequential and
+        // parallel executors see the same run). Node failures go to
+        // every gateway (shared membership view); gateway failovers go
+        // to the failing gateway only.
+        let mut failures_injected = 0u64;
+        if let Some(resil) = config.resil.clone() {
+            for (g, &id) in gateways.iter().enumerate() {
+                let peers: Vec<EntityId> = (1..gateways.len())
+                    .map(|step| gateways[(g + step) % gateways.len()])
+                    .collect();
+                let gw = sim.entity_mut::<Gateway>(id).expect("gateway missing");
+                gw.set_resil(resil.rebuild_time, peers);
+            }
+            let pool = match resil.failures.mtbf.map(|m| m.kind) {
+                Some(FailureKind::GatewayFailover) => gateways.len(),
+                _ => nodes.len(),
+            };
+            for ev in resil.failures.expand(pool as u32) {
+                let at = SimTime::ZERO + ev.at;
+                let fail = PfsMsg::Fail {
+                    kind: ev.kind,
+                    target: ev.target,
+                };
+                match ev.kind {
+                    FailureKind::IoNodeLoss | FailureKind::DegradedRead
+                        if (ev.target as usize) < nodes.len() =>
+                    {
+                        for &gw in &gateways {
+                            sim.schedule(at, gw, fail.clone());
+                        }
+                        failures_injected += 1;
+                    }
+                    FailureKind::GatewayFailover if (ev.target as usize) < gateways.len() => {
+                        sim.schedule(at, gateways[ev.target as usize], fail);
+                        failures_injected += 1;
+                    }
+                    // Out-of-range targets are linted; skip them here.
+                    _ => {}
+                }
+            }
+        }
+
         Ok(ObjCluster {
             sim,
             handles: ObjHandles {
@@ -137,6 +183,7 @@ impl ObjCluster {
             },
             clients: Vec::new(),
             stats_bin,
+            failures_injected,
         })
     }
 
@@ -199,9 +246,52 @@ impl ObjCluster {
             .record(peak_queue);
         obs.counter(pioeval_obs::names::OBJ_SHARD_REQUESTS)
             .add(self.shard_requests());
+        if let Some(r) = self.resilience() {
+            obs.counter(pioeval_obs::names::RESIL_ACKED_BYTES)
+                .add(r.acked_bytes);
+            obs.counter(pioeval_obs::names::RESIL_REPLICATED_BYTES)
+                .add(r.replicated_bytes);
+            obs.counter(pioeval_obs::names::RESIL_DATA_LOSS_BYTES)
+                .add(r.data_loss_bytes);
+            obs.counter(pioeval_obs::names::RESIL_FAILURES)
+                .add(r.failures_injected);
+            obs.counter(pioeval_obs::names::RESIL_DEGRADED_READS)
+                .add(r.degraded_reads);
+            obs.counter(pioeval_obs::names::RESIL_REQUEUED)
+                .add(r.requeued);
+            obs.gauge(pioeval_obs::names::RESIL_RECOVERY_US)
+                .record(r.recovery.as_nanos() / 1_000);
+        }
         // Freshly published gateway stats deserve a frame now, not at
         // the next interval tick.
         pioeval_obs::live::pulse();
+    }
+
+    /// Aggregate the resilience report for this run. `Some` only when a
+    /// resilience configuration was supplied (so default runs keep their
+    /// reports unchanged); stats are folded in gateway index order.
+    pub fn resilience(&self) -> Option<ResilienceReport> {
+        let resil = self.handles.config.resil.as_ref()?;
+        let mut read_bytes = 0u64;
+        let stats: Vec<ResilienceStats> = self
+            .handles
+            .gateways
+            .iter()
+            .map(|&id| {
+                let gw = self
+                    .sim
+                    .entity_ref::<Gateway>(id)
+                    .expect("gateway entity missing");
+                read_bytes += gw.get_bytes;
+                gw.resil.clone()
+            })
+            .collect();
+        Some(ResilienceReport::from_stats(
+            resil.ack_mode,
+            self.failures_injected,
+            read_bytes,
+            &stats,
+        ))
     }
 
     /// Snapshot per-gateway service counters.

@@ -141,6 +141,10 @@ pub struct ObjStoreConfig {
     pub placement: Placement,
     /// Per-bucket placement overrides (bucket index → placement).
     pub bucket_placements: Vec<(u32, Placement)>,
+    /// Resilience tier: failure schedule (storage-node loss, degraded
+    /// reads, gateway failover) and rebuild time. `None` (the default,
+    /// and what configs without the key deserialize to) injects nothing.
+    pub resil: Option<pioeval_resil::ResilConfig>,
 }
 
 impl Default for ObjStoreConfig {
@@ -160,6 +164,7 @@ impl Default for ObjStoreConfig {
             num_buckets: 1,
             placement: Placement::default(),
             bucket_placements: Vec::new(),
+            resil: None,
         }
     }
 }

@@ -14,16 +14,17 @@
 //! gateway sees every PutPart acknowledgment, commits the extent, and
 //! forwards the assembled size when the client completes the upload.
 
-use crate::config::{GatewayConfig, ObjStoreConfig};
+use crate::config::{GatewayConfig, ObjStoreConfig, Placement};
 use crate::object::ExtentMap;
-use crate::placement::{self, read_targets, write_targets};
+use crate::placement::{self, read_targets, write_targets, Target};
 use pioeval_des::{Ctx, Entity, EntityId, Envelope};
 use pioeval_pfs::msg::route;
 use pioeval_pfs::{IoRequest, ObjReply, ObjRequest, ObjVerb, PfsMsg, RequestId, ServerStats};
+use pioeval_resil::{FailureKind, ResilienceStats};
 use pioeval_types::{
     percentile_u64, tid_for, FileId, IoKind, ReqMark, ReqRecorder, ServerKind, SimDuration, SimTime,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// One admitted request awaiting its backend fan-out.
 struct InFlight {
@@ -116,6 +117,23 @@ pub struct Gateway {
     /// Per-request slot-queue waits in admission order (nanoseconds),
     /// the population behind the snapshot's queue-wait percentiles.
     queue_wait_samples: Vec<u64>,
+    // --- resilience tier ---
+    /// Peer gateways, ring order starting after this one (failover
+    /// re-drains through `peers[0]`).
+    peers: Vec<EntityId>,
+    rebuild_time: SimDuration,
+    /// Storage nodes currently failed or degraded (node → failure kind);
+    /// reads touching them are served degraded.
+    lost: BTreeMap<u32, FailureKind>,
+    /// Pending recoveries in injection order (`None` = this gateway).
+    recovering: VecDeque<(Option<u32>, SimTime)>,
+    /// This gateway is failed over; arrivals re-drain through a peer.
+    failed: bool,
+    /// Bytes this gateway ACKed whose placement width is 1, per node —
+    /// the only objstore bytes a single node loss can take out.
+    sole_bytes: HashMap<u32, u64>,
+    /// Durability accounting for the resilience report.
+    pub resil: ResilienceStats,
     /// Per-request trace recorder (admission/fan-out marks).
     pub reqtrace: ReqRecorder,
 }
@@ -149,8 +167,23 @@ impl Gateway {
             put_bytes: 0,
             peak_queue_depth: 0,
             queue_wait_samples: Vec::new(),
+            peers: Vec::new(),
+            rebuild_time: SimDuration::from_millis(500),
+            lost: BTreeMap::new(),
+            recovering: VecDeque::new(),
+            failed: false,
+            sole_bytes: HashMap::new(),
+            resil: ResilienceStats::default(),
             reqtrace: ReqRecorder::default(),
         }
+    }
+
+    /// Wire the resilience tier: rebuild time and the peer-gateway ring
+    /// (failover re-drains through the first peer). Called by the
+    /// cluster builder after all gateways exist.
+    pub fn set_resil(&mut self, rebuild_time: SimDuration, peers: Vec<EntityId>) {
+        self.rebuild_time = rebuild_time;
+        self.peers = peers;
     }
 
     /// Snapshot of the service counters.
@@ -237,15 +270,7 @@ impl Gateway {
                         self.store.devices_per_node as u32,
                     )
                 } else {
-                    read_targets(
-                        req.key,
-                        req.part,
-                        req.offset,
-                        req.len,
-                        placement,
-                        self.store.num_storage as u32,
-                        self.store.devices_per_node as u32,
-                    )
+                    self.read_targets_maybe_degraded(&req, placement)
                 };
                 let kind = if req.verb == ObjVerb::PutPart {
                     IoKind::Write
@@ -360,6 +385,66 @@ impl Gateway {
         );
     }
 
+    /// Targets for a range GET, rerouting around failed/degraded
+    /// storage nodes.
+    ///
+    /// Replicated buckets redirect to the first surviving replica (no
+    /// extra bytes). Erasure buckets reconstruct from the full surviving
+    /// stripe — surviving data shards plus parity — and the bytes beyond
+    /// the healthy `data`-shard read are counted as degraded-read
+    /// amplification. If nothing survives, the healthy targets are used
+    /// unchanged (the range is unreadable in reality; the simulation
+    /// still completes and the degraded counters record the event).
+    fn read_targets_maybe_degraded(
+        &mut self,
+        req: &ObjRequest,
+        placement: Placement,
+    ) -> Vec<Target> {
+        let healthy = read_targets(
+            req.key,
+            req.part,
+            req.offset,
+            req.len,
+            placement,
+            self.store.num_storage as u32,
+            self.store.devices_per_node as u32,
+        );
+        if self.lost.is_empty() || healthy.iter().all(|t| !self.lost.contains_key(&t.node)) {
+            return healthy;
+        }
+        let stripe = write_targets(
+            req.key,
+            req.part,
+            req.offset,
+            req.len,
+            placement,
+            self.store.num_storage as u32,
+            self.store.devices_per_node as u32,
+        );
+        self.resil.degraded_reads += 1;
+        match placement {
+            Placement::Replicate(_) => stripe
+                .iter()
+                .copied()
+                .find(|t| !self.lost.contains_key(&t.node))
+                .map(|t| vec![t])
+                .unwrap_or(healthy),
+            Placement::Erasure { .. } => {
+                let survivors: Vec<Target> = stripe
+                    .into_iter()
+                    .filter(|t| !self.lost.contains_key(&t.node))
+                    .collect();
+                if survivors.is_empty() {
+                    return healthy;
+                }
+                let healthy_bytes: u64 = healthy.iter().map(|t| t.len).sum();
+                let read_bytes: u64 = survivors.iter().map(|t| t.len).sum();
+                self.resil.degraded_extra_bytes += read_bytes.saturating_sub(healthy_bytes);
+                survivors
+            }
+        }
+    }
+
     /// One backend acknowledgment arrived for `token`.
     fn backend_done(&mut self, token: u64, ctx: &mut Ctx<'_, PfsMsg>) {
         let fin = {
@@ -401,6 +486,27 @@ impl Gateway {
                 .entry(req.key)
                 .or_default()
                 .commit(req.part, req.offset, req.len);
+            // Durability accounting: the part is on its placement width
+            // of nodes when the client is ACKed. Width-1 parts sit on
+            // exactly one node — remember which, so a later loss of that
+            // node moves them from replicated to the data-loss window.
+            let placement = self.store.placement_for(req.key);
+            self.resil.acked_bytes += req.len;
+            self.resil.replicated_bytes += req.len;
+            if placement.width() < 2 {
+                let t = write_targets(
+                    req.key,
+                    req.part,
+                    req.offset,
+                    req.len,
+                    placement,
+                    self.store.num_storage as u32,
+                    self.store.devices_per_node as u32,
+                );
+                if let Some(t0) = t.first() {
+                    *self.sole_bytes.entry(t0.node).or_default() += req.len;
+                }
+            }
         }
 
         let reply = ObjReply {
@@ -433,11 +539,84 @@ impl Entity<PfsMsg> for Gateway {
     fn on_event(&mut self, ev: Envelope<PfsMsg>, ctx: &mut Ctx<'_, PfsMsg>) {
         match ev.msg {
             PfsMsg::Obj(req) => {
-                if self.active < self.cfg.slots {
+                if self.failed && !self.peers.is_empty() {
+                    // Failed over: arrivals re-drain through the peer
+                    // (replies still carry the original reply route, so
+                    // clients never notice which gateway served them).
+                    self.resil.requeued += 1;
+                    let wire = req.wire_size();
+                    let (hop, msg) = route(
+                        &[self.storage_fabric],
+                        self.peers[0],
+                        wire,
+                        PfsMsg::Obj(req),
+                    );
+                    ctx.send(hop, ctx.lookahead(), msg);
+                } else if self.active < self.cfg.slots {
                     self.start(req, ctx.now(), SimDuration::ZERO, ctx);
                 } else {
                     self.waitq.push_back((req, ctx.now()));
                     self.peak_queue_depth = self.peak_queue_depth.max(self.waitq.len());
+                }
+            }
+            PfsMsg::Fail { kind, target } => {
+                match kind {
+                    FailureKind::GatewayFailover => {
+                        // Delivered only to the failing gateway itself.
+                        if self.failed || self.peers.is_empty() {
+                            return;
+                        }
+                        self.failed = true;
+                        self.resil.failures += 1;
+                        // Queued (not yet admitted) requests re-drain
+                        // through the next gateway in the ring; admitted
+                        // requests finish on their held slots.
+                        let q: Vec<(ObjRequest, SimTime)> = self.waitq.drain(..).collect();
+                        self.resil.requeued += q.len() as u64;
+                        for (req, _) in q {
+                            let wire = req.wire_size();
+                            let (hop, msg) = route(
+                                &[self.storage_fabric],
+                                self.peers[0],
+                                wire,
+                                PfsMsg::Obj(req),
+                            );
+                            ctx.send(hop, ctx.lookahead(), msg);
+                        }
+                        self.recovering.push_back((None, ctx.now()));
+                        ctx.send_self(self.rebuild_time, PfsMsg::Recover);
+                    }
+                    FailureKind::IoNodeLoss => {
+                        // Delivered to every gateway (shared membership
+                        // view). Width-1 bytes on the node move from
+                        // replicated to the data-loss window.
+                        let lost_sole = self.sole_bytes.remove(&target).unwrap_or(0);
+                        self.resil.data_loss_bytes += lost_sole;
+                        self.resil.replicated_bytes =
+                            self.resil.replicated_bytes.saturating_sub(lost_sole);
+                        self.lost.insert(target, kind);
+                        self.recovering.push_back((Some(target), ctx.now()));
+                        ctx.send_self(self.rebuild_time, PfsMsg::Recover);
+                    }
+                    FailureKind::DegradedRead => {
+                        // Data intact, reads served degraded until the
+                        // node recovers.
+                        self.lost.insert(target, kind);
+                        self.recovering.push_back((Some(target), ctx.now()));
+                        ctx.send_self(self.rebuild_time, PfsMsg::Recover);
+                    }
+                }
+            }
+            PfsMsg::Recover => {
+                if let Some((what, since)) = self.recovering.pop_front() {
+                    match what {
+                        Some(node) => {
+                            self.lost.remove(&node);
+                        }
+                        None => self.failed = false,
+                    }
+                    let span = ctx.now().since(since).as_nanos();
+                    self.resil.recovery_ns = self.resil.recovery_ns.max(span);
                 }
             }
             PfsMsg::IoDone(rep) => {
@@ -657,5 +836,193 @@ mod tests {
     /// Next free instant strictly after everything processed so far.
     fn sim_time_after(sim: &Simulation<PfsMsg>) -> SimTime {
         sim.now() + SimDuration::from_millis(1)
+    }
+
+    #[test]
+    fn node_loss_takes_out_single_copy_bytes() {
+        let store = ObjStoreConfig {
+            num_storage: 3,
+            devices_per_node: 1,
+            placement: Placement::Replicate(1),
+            ..ObjStoreConfig::default()
+        };
+        let (mut sim, gw, client) = setup(store);
+        sim.entity_mut::<Gateway>(gw)
+            .unwrap()
+            .set_resil(SimDuration::from_millis(500), vec![]);
+        sim.schedule(
+            SimTime::ZERO,
+            gw,
+            obj(1, client, ObjVerb::PutPart, 9, 0, 1 << 20, 0),
+        );
+        sim.run();
+        // The part landed on exactly one node; losing all three nodes
+        // is guaranteed to include it.
+        let t = sim_time_after(&sim);
+        for n in 0..3u32 {
+            sim.schedule(
+                t,
+                gw,
+                PfsMsg::Fail {
+                    kind: FailureKind::IoNodeLoss,
+                    target: n,
+                },
+            );
+        }
+        sim.run();
+        let g = sim.entity_ref::<Gateway>(gw).unwrap();
+        assert_eq!(g.resil.acked_bytes, 1 << 20);
+        assert_eq!(g.resil.data_loss_bytes, 1 << 20);
+        assert_eq!(
+            g.resil.acked_bytes,
+            g.resil.replicated_bytes + g.resil.data_loss_bytes,
+            "conservation: acked = replicated + lost"
+        );
+        assert!(g.resil.recovery_ns >= 500_000_000);
+    }
+
+    #[test]
+    fn degraded_erasure_read_amplifies_and_recovers() {
+        let store = ObjStoreConfig {
+            num_storage: 4,
+            devices_per_node: 1,
+            placement: Placement::Erasure { data: 2, parity: 2 },
+            ..ObjStoreConfig::default()
+        };
+        let (mut sim, gw, client) = setup(store.clone());
+        sim.entity_mut::<Gateway>(gw)
+            .unwrap()
+            .set_resil(SimDuration::from_millis(500), vec![]);
+        sim.schedule(
+            SimTime::ZERO,
+            gw,
+            obj(1, client, ObjVerb::PutPart, 4, 0, 1 << 20, 0),
+        );
+        sim.run();
+        // Degrade the node serving the part's first data shard.
+        let victim = crate::placement::read_targets(
+            FileId::new(4),
+            0,
+            0,
+            1 << 20,
+            store.placement,
+            store.num_storage as u32,
+            store.devices_per_node as u32,
+        )[0]
+        .node;
+        let t = sim_time_after(&sim);
+        sim.schedule(
+            t,
+            gw,
+            PfsMsg::Fail {
+                kind: FailureKind::DegradedRead,
+                target: victim,
+            },
+        );
+        sim.schedule(
+            t + SimDuration::from_micros(1),
+            gw,
+            obj(2, client, ObjVerb::GetRange, 4, 0, 1 << 20, 0),
+        );
+        sim.run();
+        let g = sim.entity_ref::<Gateway>(gw).unwrap();
+        assert_eq!(g.resil.degraded_reads, 1);
+        // Reconstruction reads the 3 surviving shards instead of the 2
+        // healthy data shards: one extra shard of amplification.
+        assert_eq!(g.resil.degraded_extra_bytes, (1 << 20) / 2);
+        // No data was lost — the node only served reads degraded.
+        assert_eq!(g.resil.data_loss_bytes, 0);
+        // After the rebuild time the node recovers; reads are healthy.
+        let t2 = sim_time_after(&sim) + SimDuration::from_secs(1);
+        sim.schedule(t2, gw, obj(3, client, ObjVerb::GetRange, 4, 0, 1 << 20, 0));
+        sim.run();
+        let g = sim.entity_ref::<Gateway>(gw).unwrap();
+        assert_eq!(g.resil.degraded_reads, 1, "recovered reads are healthy");
+    }
+
+    #[test]
+    fn gateway_failover_redrains_queue_through_peer() {
+        // Two gateways, one slot each: queue up requests on gw0, then
+        // fail it over — the queue must re-drain through gw1 and every
+        // client still gets its reply.
+        let store = ObjStoreConfig {
+            num_storage: 2,
+            devices_per_node: 1,
+            placement: Placement::Replicate(1),
+            gateway: GatewayConfig {
+                slots: 1,
+                ..GatewayConfig::default()
+            },
+            ..ObjStoreConfig::default()
+        };
+        let mut sim = Simulation::new(SimConfig::default());
+        let fabric = sim.add_entity(
+            "storage-fabric",
+            Box::new(Fabric::new(FabricConfig::ten_gbe())),
+        );
+        let bin = SimDuration::from_secs(1);
+        let shard = sim.add_entity(
+            "shard0",
+            Box::new(crate::shard::MetaShard::new(store.shard, bin)),
+        );
+        let nodes: Vec<EntityId> = (0..store.num_storage)
+            .map(|i| {
+                sim.add_entity(
+                    format!("node{i}"),
+                    Box::new(Oss::new(i as u32, 1, DeviceConfig::nvme(), bin)),
+                )
+            })
+            .collect();
+        let mut gws = Vec::new();
+        for i in 0..2 {
+            let me = EntityId(sim.num_entities() as u32);
+            let id = sim.add_entity(
+                format!("gw{i}"),
+                Box::new(Gateway::new(
+                    me,
+                    store.clone(),
+                    fabric,
+                    nodes.clone(),
+                    vec![shard],
+                    bin,
+                )),
+            );
+            assert_eq!(id, me);
+            gws.push(id);
+        }
+        sim.entity_mut::<Gateway>(gws[0])
+            .unwrap()
+            .set_resil(SimDuration::from_millis(500), vec![gws[1]]);
+        sim.entity_mut::<Gateway>(gws[1])
+            .unwrap()
+            .set_resil(SimDuration::from_millis(500), vec![gws[0]]);
+        let client = sim.add_entity("client", Box::new(Collector { replies: vec![] }));
+        // Four arrivals fill the single slot and queue three; the
+        // failover (scheduled after them at the same instant) re-drains
+        // the queued three through gw1.
+        for i in 0..4u64 {
+            sim.schedule(
+                SimTime::ZERO,
+                gws[0],
+                obj(i, client, ObjVerb::GetRange, 1, i * 4096, 4096, 0),
+            );
+        }
+        sim.schedule(
+            SimTime::ZERO,
+            gws[0],
+            PfsMsg::Fail {
+                kind: FailureKind::GatewayFailover,
+                target: 0,
+            },
+        );
+        sim.run();
+        let replies = &sim.entity_ref::<Collector>(client).unwrap().replies;
+        assert_eq!(replies.len(), 4, "every request still gets its reply");
+        let g0 = sim.entity_ref::<Gateway>(gws[0]).unwrap();
+        assert_eq!(g0.resil.failures, 1);
+        assert_eq!(g0.resil.requeued, 3);
+        assert!(g0.resil.recovery_ns >= 500_000_000);
+        let g1 = sim.entity_ref::<Gateway>(gws[1]).unwrap();
+        assert_eq!(g1.stats.requests, 3, "peer served the re-drained queue");
     }
 }

@@ -122,3 +122,20 @@ pub const SPAN_CORE_COLLECT: &str = "core.collect_products";
 /// Span: the CLI's outermost run interval; the exporters use its
 /// duration as the run's wall-clock time.
 pub const SPAN_RUN: &str = "pioeval.run";
+
+/// Counter: bytes acknowledged to clients by the resilience tier.
+pub const RESIL_ACKED_BYTES: &str = "resil.acked_bytes";
+/// Counter: ACKed bytes that reached a durable home.
+pub const RESIL_REPLICATED_BYTES: &str = "resil.replicated_bytes";
+/// Counter: data-loss window — bytes ACKed but unreplicated at failure.
+pub const RESIL_DATA_LOSS_BYTES: &str = "resil.data_loss_bytes";
+/// Counter: failure events injected into runs.
+pub const RESIL_FAILURES: &str = "resil.failures";
+/// Counter: reads served degraded (replica redirect / erasure rebuild).
+pub const RESIL_DEGRADED_READS: &str = "resil.degraded_reads";
+/// Counter: requests re-driven through a peer after a failover.
+pub const RESIL_REQUEUED: &str = "resil.requeued";
+/// Gauge: worst failure-to-recovered span of the latest run, µs.
+pub const RESIL_RECOVERY_US: &str = "resil.recovery_us";
+/// Histogram: tail replication lag (absorb → durable) per run, µs.
+pub const RESIL_REPL_LAG_US: &str = "resil.repl_lag_us";

@@ -1,7 +1,7 @@
 //! Cluster assembly: builds the full Fig. 1 topology into a simulation.
 
 use crate::client::{ClientPort, OpRecord, RawClient};
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, FabricConfig};
 use crate::fabric::Fabric;
 use crate::ionode::IoNode;
 use crate::mds::MetadataServer;
@@ -9,6 +9,7 @@ use crate::msg::PfsMsg;
 use crate::oss::Oss;
 use crate::stats::ServerStats;
 use pioeval_des::{EntityId, ExecMode, RunResult, SimConfig, Simulation};
+use pioeval_resil::{FailureKind, ResilienceReport, ResilienceStats};
 use pioeval_types::{IoOp, ReqEvent, Result, SimDuration, SimTime};
 
 /// Entity ids of the cluster's fixed infrastructure.
@@ -26,6 +27,9 @@ pub struct ClusterHandles {
     pub oss: Vec<EntityId>,
     /// Global OST index → hosting OSS entity.
     pub ost_route: Vec<EntityId>,
+    /// Replication fabric between I/O nodes (present when the ack mode
+    /// waits for replicas; geo-stretched under `geographic`).
+    pub repl_fabric: Option<EntityId>,
     /// The configuration the cluster was built from.
     pub config: ClusterConfig,
 }
@@ -60,6 +64,8 @@ pub struct Cluster {
     /// Raw clients registered via [`Cluster::add_raw_client`].
     pub clients: Vec<EntityId>,
     stats_bin: SimDuration,
+    /// Failure events scheduled into this run (expanded at build time).
+    failures_injected: u64,
 }
 
 impl Cluster {
@@ -139,6 +145,57 @@ impl Cluster {
             ionodes.push(id);
         }
 
+        // Resilience tier: replication fabric, ack-policy wiring on the
+        // I/O nodes, and the expanded failure schedule as plain initial
+        // events (so sequential and parallel executors see the same run).
+        let mut repl_fabric = None;
+        let mut failures_injected = 0u64;
+        if let Some(resil) = config.resil.clone() {
+            if !ionodes.is_empty() && resil.ack_mode.waits_for_replica() {
+                repl_fabric = Some(sim.add_entity(
+                    "repl-fabric",
+                    Box::new(Fabric::new(FabricConfig {
+                        latency: resil.geo.replica_latency(resil.ack_mode),
+                        link_bw: resil.geo.link_bw,
+                        agg_bw: 0,
+                    })),
+                ));
+            }
+            for (i, &id) in ionodes.iter().enumerate() {
+                let peers: Vec<EntityId> = ionodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &p)| p)
+                    .collect();
+                let node = sim.entity_mut::<IoNode>(id).expect("I/O node missing");
+                node.set_resil(
+                    resil.ack_mode,
+                    resil.replicas(),
+                    resil.rebuild_time,
+                    peers,
+                    repl_fabric,
+                );
+            }
+            for ev in resil.failures.expand(ionodes.len() as u32) {
+                // Only I/O-node loss applies to the PFS tier; other kinds
+                // target the object store and are linted if present here.
+                if ev.kind == FailureKind::IoNodeLoss && (ev.target as usize) < ionodes.len() {
+                    // Failure control events are scheduled directly at the
+                    // node, never routed through a fabric.
+                    sim.schedule(
+                        SimTime::ZERO + ev.at,
+                        ionodes[ev.target as usize],
+                        PfsMsg::Fail {
+                            kind: ev.kind,
+                            target: ev.target,
+                        },
+                    );
+                    failures_injected += 1;
+                }
+            }
+        }
+
         Ok(Cluster {
             sim,
             handles: ClusterHandles {
@@ -148,10 +205,12 @@ impl Cluster {
                 ionodes,
                 oss,
                 ost_route,
+                repl_fabric,
                 config,
             },
             clients: Vec::new(),
             stats_bin,
+            failures_injected,
         })
     }
 
@@ -248,9 +307,52 @@ impl Cluster {
             obs.histogram(pioeval_obs::names::PFS_MDS_SERVICE_US)
                 .observe(stats.mean_service_time().as_nanos() / 1_000);
         }
+        if let Some(r) = self.resilience() {
+            obs.counter(pioeval_obs::names::RESIL_ACKED_BYTES)
+                .add(r.acked_bytes);
+            obs.counter(pioeval_obs::names::RESIL_REPLICATED_BYTES)
+                .add(r.replicated_bytes);
+            obs.counter(pioeval_obs::names::RESIL_DATA_LOSS_BYTES)
+                .add(r.data_loss_bytes);
+            obs.counter(pioeval_obs::names::RESIL_FAILURES)
+                .add(r.failures_injected);
+            obs.counter(pioeval_obs::names::RESIL_REQUEUED)
+                .add(r.requeued);
+            obs.gauge(pioeval_obs::names::RESIL_RECOVERY_US)
+                .record(r.recovery.as_nanos() / 1_000);
+            obs.histogram(pioeval_obs::names::RESIL_REPL_LAG_US)
+                .observe(r.repl_lag_p99.as_nanos() / 1_000);
+        }
         // Freshly published server stats deserve a frame now, not at the
         // next interval tick (a fast run may finish before one fires).
         pioeval_obs::live::pulse();
+    }
+
+    /// Aggregate the resilience report for this run. `Some` only when a
+    /// resilience configuration was supplied (so default runs keep their
+    /// reports unchanged); stats are folded in I/O-node index order.
+    pub fn resilience(&self) -> Option<ResilienceReport> {
+        let resil = self.handles.config.resil.as_ref()?;
+        let stats: Vec<ResilienceStats> = self
+            .handles
+            .ionodes
+            .iter()
+            .map(|&id| {
+                self.sim
+                    .entity_ref::<IoNode>(id)
+                    .expect("I/O node entity missing")
+                    .resil
+                    .clone()
+            })
+            .collect();
+        // The PFS tier serves no degraded reads (that path lives on the
+        // object store), so the amplification baseline is zero bytes.
+        Some(ResilienceReport::from_stats(
+            resil.ack_mode,
+            self.failures_injected,
+            0,
+            &stats,
+        ))
     }
 
     /// Completion records of a raw client.
@@ -334,7 +436,9 @@ impl Cluster {
     /// separately via [`ClientPort::set_trace`] — both are needed for a
     /// request to be traced end to end. Call before the run.
     pub fn enable_request_trace(&mut self) {
-        for id in [self.handles.compute_fabric, self.handles.storage_fabric] {
+        let mut fabrics = vec![self.handles.compute_fabric, self.handles.storage_fabric];
+        fabrics.extend(self.handles.repl_fabric);
+        for id in fabrics {
             if let Some(f) = self.sim.entity_mut::<Fabric>(id) {
                 f.reqtrace.enabled = true;
             }
@@ -362,6 +466,7 @@ impl Cluster {
     pub fn drain_request_events(&mut self) -> Vec<ReqEvent> {
         let mut out = Vec::new();
         let mut ids = vec![self.handles.compute_fabric, self.handles.storage_fabric];
+        ids.extend(self.handles.repl_fabric);
         ids.extend(self.handles.mds.iter().copied());
         ids.extend(self.handles.oss.iter().copied());
         ids.extend(self.handles.ionodes.iter().copied());

@@ -186,6 +186,11 @@ pub struct ClusterConfig {
     /// Per-OST device overrides (global OST index → device model), for
     /// degraded-device / straggler injection studies.
     pub ost_overrides: Vec<(u32, DeviceConfig)>,
+    /// Resilience tier: write-ack policy, geo latency profile, and
+    /// failure schedule for the burst buffers. `None` (the default, and
+    /// what configs without the key deserialize to) keeps the historical
+    /// local-only behavior with no failures.
+    pub resil: Option<pioeval_resil::ResilConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -206,6 +211,7 @@ impl Default for ClusterConfig {
             max_rpc_size: bytes::mib(1),
             layout: LayoutPolicy::default(),
             ost_overrides: Vec::new(),
+            resil: None,
         }
     }
 }
@@ -268,6 +274,26 @@ impl ClusterConfig {
                 return Err(Error::Config(format!(
                     "ost override {ost} has zero bandwidth"
                 )));
+            }
+        }
+        if let Some(resil) = &self.resil {
+            if resil.ack_mode.waits_for_replica() {
+                if !resil.geo.is_square() {
+                    return Err(Error::Config(
+                        "resil geo latency matrix must be square over the site list".into(),
+                    ));
+                }
+                if resil.geo.link_bw == 0 {
+                    return Err(Error::Config("resil geo link_bw is 0".into()));
+                }
+                // The replication fabric is a real DES entity; its
+                // latency must cover the lookahead like any other fabric.
+                let lat = resil.geo.replica_latency(resil.ack_mode);
+                if lat < lookahead {
+                    return Err(Error::Config(format!(
+                        "replication fabric latency {lat} below engine lookahead {lookahead}"
+                    )));
+                }
             }
         }
         Ok(())

@@ -40,7 +40,7 @@ pub use fabric::FabricStats;
 pub use ionode::BurstBufferStats;
 pub use msg::{
     payload_bytes, payload_tid, IoReply, IoRequest, MetaReply, MetaRequest, NetPacket, ObjReply,
-    ObjRequest, ObjVerb, PfsMsg, RequestId, Tid,
+    ObjRequest, ObjVerb, PfsMsg, ReplicaAck, ReplicaChunk, RequestId, Tid,
 };
 pub use stats::{OstTimeline, ServerStats};
 pub use striping::{Layout, StripeChunk};

@@ -219,6 +219,51 @@ impl ObjReply {
     }
 }
 
+/// A burst-buffer replication copy: a primary I/O node ships one
+/// absorbed chunk to a peer SSD so the client ACK can cover two copies
+/// (write-ack policies `local_plus_one` / `geographic`).
+#[derive(Clone, Debug)]
+pub struct ReplicaChunk {
+    /// Primary-unique id echoed in the [`PfsMsg::ReplicaDone`] ack.
+    pub id: RequestId,
+    /// The primary I/O node the ack goes back to.
+    pub reply_to: EntityId,
+    /// Fabric chain the ack traverses (the replication fabric).
+    pub reply_via: Vec<EntityId>,
+    /// The logical file the chunk belongs to.
+    pub file: FileId,
+    /// OST the primary will eventually drain the chunk to (echoed so a
+    /// surviving peer can re-drain it after the primary fails).
+    pub ost: OstId,
+    /// Offset within the file's backing object on that OST.
+    pub obj_offset: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+    /// Request-trace id of the replication leg (0 = untraced).
+    pub tid: Tid,
+}
+
+impl ReplicaChunk {
+    /// Bytes this copy occupies on the wire (header + payload).
+    pub fn wire_size(&self) -> u64 {
+        HEADER_BYTES + self.len
+    }
+}
+
+/// Acknowledgement of a [`ReplicaChunk`].
+#[derive(Clone, Debug)]
+pub struct ReplicaAck {
+    /// Echoed replication id.
+    pub id: RequestId,
+    /// Echoed chunk length.
+    pub len: u64,
+    /// False when the peer was itself failed and dropped the copy; the
+    /// primary must not count the chunk as replicated.
+    pub stored: bool,
+    /// Echoed request-trace id (0 = untraced).
+    pub tid: Tid,
+}
+
 /// A message in transit through a fabric: deliver `payload` to `dst`,
 /// charging `size` bytes of serialization.
 #[derive(Clone, Debug)]
@@ -248,6 +293,30 @@ pub enum PfsMsg {
     Obj(ObjRequest),
     /// To a requester: object-protocol completion.
     ObjDone(ObjReply),
+    /// To a peer I/O node: absorb a replication copy of a burst-buffer
+    /// chunk (rides the replication fabric).
+    Replicate(ReplicaChunk),
+    /// To a primary I/O node: the peer's replication acknowledgement.
+    ReplicaDone(ReplicaAck),
+    /// To a surviving peer: the named primary I/O node failed — re-drain
+    /// any replica chunks held on its behalf to backing storage.
+    Takeover {
+        /// Entity index (`EntityId.0`) of the failed primary.
+        primary: u32,
+    },
+    /// Failure-injector control message, scheduled directly at build
+    /// time (never routed through a fabric): the receiving entity
+    /// enacts the failure.
+    Fail {
+        /// What breaks.
+        kind: pioeval_resil::FailureKind,
+        /// Component index the failure names (interpretation depends on
+        /// the receiving entity: storage-node index for gateways, the
+        /// receiver itself for I/O nodes).
+        target: u32,
+    },
+    /// Self-scheduled recovery: the failed component rejoins.
+    Recover,
     /// Server-internal: a device finished the access identified by `token`.
     DeviceDone {
         /// Correlation token chosen by the server.
@@ -303,6 +372,8 @@ pub fn payload_tid(msg: &PfsMsg) -> Tid {
         PfsMsg::MetaDone(r) => r.tid,
         PfsMsg::Obj(r) => r.tid,
         PfsMsg::ObjDone(r) => r.tid,
+        PfsMsg::Replicate(r) => r.tid,
+        PfsMsg::ReplicaDone(r) => r.tid,
         _ => 0,
     }
 }
@@ -317,6 +388,7 @@ pub fn payload_bytes(msg: &PfsMsg) -> u64 {
         PfsMsg::IoDone(r) => r.len,
         PfsMsg::Obj(r) => r.len,
         PfsMsg::ObjDone(r) => r.len,
+        PfsMsg::Replicate(r) => r.len,
         _ => 0,
     }
 }

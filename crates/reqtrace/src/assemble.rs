@@ -197,9 +197,15 @@ pub fn assemble(events: &[ReqEvent]) -> Assembly {
         };
         let mut spans = Vec::new();
         let cursor = walk(tid, issue, &by_tid, &mut spans);
-        // The Done mark always advances the cursor to the delivery time,
-        // so the spans tile [issue, done] exactly.
-        debug_assert_eq!(cursor, done);
+        // The Done mark advances the cursor at least to the delivery
+        // time. Eagerly-recorded residencies can reach past it (an SSD
+        // completion recorded at absorb, outlived by a failure-flushed
+        // early ACK), so clamp the tiling to [issue, done].
+        debug_assert!(cursor >= done, "cursor stopped short of done");
+        for s in &mut spans {
+            s.start = s.start.min(done);
+            s.end = s.end.min(done);
+        }
         spans.retain(|s| !s.is_empty());
         out.requests.push(RequestRecord {
             tid,
@@ -332,7 +338,17 @@ fn walk(
                         start: queue_end,
                         end: spawn_at,
                     });
+                    let child_base = spans.len();
                     let child_end = walk(child, spawn_at, by_tid, spans).min(depart);
+                    // A child can outlive its parent's recorded
+                    // residency — a replication leg still in flight
+                    // when its failed node flushed the client ACK —
+                    // so clamp its spans to the parent's window to
+                    // keep the tiling non-overlapping.
+                    for s in &mut spans[child_base..] {
+                        s.start = s.start.min(depart);
+                        s.end = s.end.min(depart);
+                    }
                     spans.push(Span {
                         entity,
                         label: kind.name().to_string(),

@@ -1,0 +1,282 @@
+//! Deterministic, seedable failure schedules.
+//!
+//! A schedule is *expanded to a concrete, sorted event list before the
+//! simulation starts* — scripted events verbatim, MTBF draws via
+//! inverse-transform exponential sampling from the schedule's seed — so
+//! the injected events are plain initial DES events and sequential and
+//! parallel executors observe exactly the same failures.
+
+use pioeval_types::{rng, split_seed, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// An I/O node (PFS burst buffer) or object storage node drops:
+    /// buffered-but-undrained bytes are lost, the node rejoins empty
+    /// after the rebuild time.
+    IoNodeLoss,
+    /// Reads hitting the target storage node must be served degraded
+    /// (replica redirect or erasure reconstruction); no data is lost.
+    DegradedRead,
+    /// An object gateway fails over: its queued requests re-drain
+    /// through a peer gateway until it rejoins.
+    GatewayFailover,
+}
+
+impl FailureKind {
+    /// Stable spec / DSL spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::IoNodeLoss => "node",
+            FailureKind::DegradedRead => "read",
+            FailureKind::GatewayFailover => "gateway",
+        }
+    }
+
+    /// Parse the spec spelling.
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        match s {
+            "node" => Some(FailureKind::IoNodeLoss),
+            "read" => Some(FailureKind::DegradedRead),
+            "gateway" => Some(FailureKind::GatewayFailover),
+            _ => None,
+        }
+    }
+}
+
+/// One concrete injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// What breaks.
+    pub kind: FailureKind,
+    /// Index of the component that breaks (I/O node, storage node, or
+    /// gateway index depending on `kind` and target).
+    pub target: u32,
+    /// Simulated time at which it breaks.
+    pub at: SimDuration,
+}
+
+/// Stochastic schedule: exponentially distributed failures with the
+/// given mean time between failures, up to the schedule horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtbfSchedule {
+    /// Kind of failure each draw injects.
+    pub kind: FailureKind,
+    /// Number of candidate targets to draw from; `0` means "fill in
+    /// from the cluster size at expansion" (the builder passes it).
+    pub targets: u32,
+    /// Mean time between failures.
+    pub mean: SimDuration,
+}
+
+/// A failure schedule: scripted events plus an optional MTBF process.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    /// Events injected verbatim.
+    pub scripted: Vec<FailureEvent>,
+    /// Stochastic arrivals expanded deterministically from `seed`.
+    pub mtbf: Option<MtbfSchedule>,
+    /// Horizon bounding the MTBF expansion; scripted events beyond it
+    /// are linted (they may never fire). Zero means "no horizon".
+    pub horizon: SimDuration,
+    /// Seed for the MTBF expansion. The CLI derives this from `--seed`
+    /// (`split_seed(seed, …)`), so runs are reproducible end to end.
+    pub seed: u64,
+}
+
+impl FailureSchedule {
+    /// No failures at all?
+    pub fn is_empty(&self) -> bool {
+        self.scripted.is_empty() && self.mtbf.is_none()
+    }
+
+    /// Expand to the concrete, time-sorted event list the cluster
+    /// builder schedules. `default_targets` supplies the candidate pool
+    /// for MTBF draws whose `targets` is zero. Deterministic: same
+    /// schedule + same seed → same events, always.
+    pub fn expand(&self, default_targets: u32) -> Vec<FailureEvent> {
+        let mut events = self.scripted.clone();
+        if let Some(m) = self.mtbf {
+            let targets = if m.targets == 0 {
+                default_targets
+            } else {
+                m.targets
+            };
+            if targets > 0 && !m.mean.is_zero() && !self.horizon.is_zero() {
+                let mut r = rng(split_seed(self.seed, 0x00FA_11ED));
+                let mean = m.mean.as_secs_f64();
+                let mut t = 0.0f64;
+                loop {
+                    // Inverse-transform exponential inter-arrival, the
+                    // same recipe as the campaign's Poisson job starts.
+                    let u: f64 = r.gen_range(f64::EPSILON..1.0);
+                    t += -mean * u.ln();
+                    if t >= self.horizon.as_secs_f64() {
+                        break;
+                    }
+                    let target = (r.gen::<u64>() % targets as u64) as u32;
+                    events.push(FailureEvent {
+                        kind: m.kind,
+                        target,
+                        at: SimDuration::from_secs_f64(t),
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.target));
+        events
+    }
+
+    /// Parse a CLI `--fail` spec: comma-separated items of the form
+    /// `kind:target@time` (scripted) or `mtbf:kind:mean@horizon`
+    /// (stochastic), e.g. `node:3@2.5s,gateway:0@1s` or
+    /// `mtbf:node:500ms@10s`. Kinds: `node`, `read`, `gateway`.
+    pub fn parse_spec(spec: &str) -> Result<FailureSchedule, String> {
+        let mut sched = FailureSchedule::default();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(rest) = item.strip_prefix("mtbf:") {
+                let (head, horizon) = rest
+                    .split_once('@')
+                    .ok_or_else(|| format!("mtbf spec `{item}` missing `@horizon`"))?;
+                let (kind, mean) = head
+                    .split_once(':')
+                    .ok_or_else(|| format!("mtbf spec `{item}` wants mtbf:kind:mean@horizon"))?;
+                let kind = FailureKind::parse(kind)
+                    .ok_or_else(|| format!("unknown failure kind `{kind}` in `{item}`"))?;
+                let mean = parse_duration(mean)
+                    .ok_or_else(|| format!("bad duration `{mean}` in `{item}`"))?;
+                let horizon = parse_duration(horizon)
+                    .ok_or_else(|| format!("bad duration `{horizon}` in `{item}`"))?;
+                if sched.mtbf.is_some() {
+                    return Err("only one mtbf process per schedule".into());
+                }
+                sched.mtbf = Some(MtbfSchedule {
+                    kind,
+                    targets: 0,
+                    mean,
+                });
+                sched.horizon = horizon;
+            } else {
+                let (head, at) = item
+                    .split_once('@')
+                    .ok_or_else(|| format!("failure spec `{item}` wants kind:target@time"))?;
+                let (kind, target) = head
+                    .split_once(':')
+                    .ok_or_else(|| format!("failure spec `{item}` wants kind:target@time"))?;
+                let kind = FailureKind::parse(kind)
+                    .ok_or_else(|| format!("unknown failure kind `{kind}` in `{item}`"))?;
+                let target: u32 = target
+                    .parse()
+                    .map_err(|_| format!("bad target index `{target}` in `{item}`"))?;
+                let at =
+                    parse_duration(at).ok_or_else(|| format!("bad duration `{at}` in `{item}`"))?;
+                sched.scripted.push(FailureEvent { kind, target, at });
+            }
+        }
+        Ok(sched)
+    }
+}
+
+/// Parse `2.5s` / `500ms` / `250us` / `10s`-style durations
+/// (fractional values allowed).
+pub fn parse_duration(s: &str) -> Option<SimDuration> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1e-6)
+    } else if let Some(v) = s.strip_suffix("ns") {
+        (v, 1e-9)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        return None;
+    };
+    let v: f64 = num.parse().ok()?;
+    if !(v.is_finite() && v >= 0.0) {
+        return None;
+    }
+    Some(SimDuration::from_secs_f64(v * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_specs_parse() {
+        let s = FailureSchedule::parse_spec("node:3@2.5s, gateway:0@1s,read:1@500ms").unwrap();
+        assert_eq!(s.scripted.len(), 3);
+        assert_eq!(
+            s.scripted[0],
+            FailureEvent {
+                kind: FailureKind::IoNodeLoss,
+                target: 3,
+                at: SimDuration::from_millis(2500),
+            }
+        );
+        assert_eq!(s.scripted[1].kind, FailureKind::GatewayFailover);
+        assert_eq!(s.scripted[2].at, SimDuration::from_millis(500));
+        assert!(s.mtbf.is_none());
+    }
+
+    #[test]
+    fn mtbf_specs_parse_and_expand_deterministically() {
+        let mut s = FailureSchedule::parse_spec("mtbf:node:500ms@10s").unwrap();
+        let m = s.mtbf.expect("mtbf");
+        assert_eq!(m.kind, FailureKind::IoNodeLoss);
+        assert_eq!(m.mean, SimDuration::from_millis(500));
+        assert_eq!(s.horizon, SimDuration::from_secs(10));
+
+        s.seed = 7;
+        let a = s.expand(4);
+        let b = s.expand(4);
+        assert_eq!(a, b, "expansion must be deterministic");
+        assert!(!a.is_empty(), "10s horizon at 500ms MTBF draws events");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        assert!(a.iter().all(|e| e.at < SimDuration::from_secs(10)));
+        assert!(a.iter().all(|e| e.target < 4));
+
+        s.seed = 8;
+        let c = s.expand(4);
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn expansion_merges_scripted_and_mtbf_sorted() {
+        let mut s = FailureSchedule::parse_spec("node:0@9.9s,mtbf:node:1s@10s").unwrap();
+        s.seed = 42;
+        let ev = s.expand(2);
+        assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(ev
+            .iter()
+            .any(|e| e.at == SimDuration::from_millis(9900) && e.target == 0));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "node:3",
+            "node@2s",
+            "quorum:1@2s",
+            "node:x@2s",
+            "node:1@2parsecs",
+            "mtbf:node:500ms",
+            "mtbf:node:500ms@10s,mtbf:read:1s@10s",
+        ] {
+            assert!(FailureSchedule::parse_spec(bad).is_err(), "{bad} accepted");
+        }
+        // Empty spec is a valid empty schedule.
+        assert!(FailureSchedule::parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn durations_parse_with_fractions() {
+        assert_eq!(parse_duration("2.5s"), Some(SimDuration::from_millis(2500)));
+        assert_eq!(parse_duration("500ms"), Some(SimDuration::from_millis(500)));
+        assert_eq!(parse_duration("250us"), Some(SimDuration::from_micros(250)));
+        assert_eq!(parse_duration("-1s"), None);
+        assert_eq!(parse_duration("fast"), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Resilience subsystem: write-ack policies, failure injection, and
+//! durability metrics.
+//!
+//! The paper's evaluation taxonomy treats storage-side buffering and
+//! degraded operation as first-class dimensions. This crate supplies the
+//! *vocabulary* for that axis — it holds no simulation logic itself:
+//!
+//! - [`AckMode`] / [`GeoProfile`] / [`ResilConfig`]: when a burst-buffer
+//!   write ACKs to the client (local SSD landing, one local replica, or
+//!   a geo-stretched replica ~250 ms away) and the latency profile the
+//!   replication fabric is built from.
+//! - [`FailureSchedule`] / [`FailureEvent`]: a deterministic, seedable
+//!   failure injector — scripted events (`node:3@2.5s`) plus stochastic
+//!   MTBF draws expanded to a concrete event list *before* the run, so
+//!   sequential and parallel executors see byte-identical schedules.
+//! - [`ResilienceStats`] / [`ResilienceReport`]: per-entity durability
+//!   accounting (ACKed vs replicated bytes, data-loss window, recovery
+//!   time, replication-lag samples, degraded-read amplification) and the
+//!   aggregated report surfaced through `MeasurementReport`.
+//!
+//! The storage simulators (`pioeval-pfs`, `pioeval-objstore`) depend on
+//! this crate and drive the actual state machines; `pioeval-core`
+//! aggregates the stats into reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod failure;
+mod policy;
+mod report;
+
+pub use failure::{FailureEvent, FailureKind, FailureSchedule, MtbfSchedule};
+pub use policy::{AckMode, GeoProfile, ResilConfig};
+pub use report::{ResilienceReport, ResilienceStats};

@@ -1,0 +1,236 @@
+//! Write-ack policies and geo-stretched latency profiles.
+
+use crate::failure::FailureSchedule;
+use pioeval_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// When a burst-buffer write is acknowledged to the client.
+///
+/// The mode trades ACK latency against the data-loss window: the bytes
+/// that were ACKed but whose only copy sat on a failed node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AckMode {
+    /// ACK as soon as the local burst-buffer SSD write lands. Fastest
+    /// ACK; every byte is exposed until its background drain completes.
+    #[default]
+    LocalOnly,
+    /// Hold the ACK until one replica on a peer I/O node (same site,
+    /// ~0.5 ms away) confirms. A single node loss cannot lose ACKed data.
+    LocalPlusOne,
+    /// Hold the ACK until a replica on a *remote-site* peer confirms,
+    /// crossing the geo fabric (~250 ms). Survives whole-site loss.
+    Geographic,
+}
+
+impl AckMode {
+    /// Stable CLI / config spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AckMode::LocalOnly => "local_only",
+            AckMode::LocalPlusOne => "local_plus_one",
+            AckMode::Geographic => "geographic",
+        }
+    }
+
+    /// Parse the CLI spelling back into a mode.
+    pub fn parse(s: &str) -> Option<AckMode> {
+        match s {
+            "local_only" => Some(AckMode::LocalOnly),
+            "local_plus_one" => Some(AckMode::LocalPlusOne),
+            "geographic" => Some(AckMode::Geographic),
+            _ => None,
+        }
+    }
+
+    /// Whether this mode holds the client ACK for a replica confirmation.
+    pub fn waits_for_replica(self) -> bool {
+        !matches!(self, AckMode::LocalOnly)
+    }
+}
+
+/// Geo-stretched site topology: named sites and the site-to-site
+/// replication latency matrix the replication fabric is built from.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeoProfile {
+    /// Site names; row/column `i` of the matrix belongs to `sites[i]`.
+    pub sites: Vec<String>,
+    /// One-way replication latency in microseconds, `latency_us[from][to]`.
+    /// The diagonal is the intra-site replica hop (used by
+    /// `local_plus_one`), off-diagonal entries are cross-site (used by
+    /// `geographic`).
+    pub latency_us: Vec<Vec<u64>>,
+    /// Per-link bandwidth of the replication fabric, bytes/sec.
+    pub link_bw: u64,
+}
+
+impl Default for GeoProfile {
+    /// Two sites, ~0.5 ms intra-site replica hop, ~250 ms cross-site.
+    fn default() -> Self {
+        GeoProfile {
+            sites: vec!["siteA".into(), "siteB".into()],
+            latency_us: vec![vec![500, 250_000], vec![250_000, 500]],
+            link_bw: 1_250_000_000,
+        }
+    }
+}
+
+impl GeoProfile {
+    /// The matrix has one row per site and one column per row.
+    pub fn is_square(&self) -> bool {
+        self.latency_us.len() == self.sites.len()
+            && self.latency_us.iter().all(|r| r.len() == self.sites.len())
+    }
+
+    /// `latency_us[i][j] == latency_us[j][i]` for every pair.
+    pub fn is_symmetric(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let n = self.sites.len();
+        (0..n).all(|i| (0..n).all(|j| self.latency_us[i][j] == self.latency_us[j][i]))
+    }
+
+    /// Intra-site replica-hop latency (max over the diagonal).
+    pub fn local_latency(&self) -> SimDuration {
+        let us = (0..self.sites.len().min(self.latency_us.len()))
+            .filter_map(|i| self.latency_us[i].get(i).copied())
+            .max()
+            .unwrap_or(500);
+        SimDuration::from_micros(us)
+    }
+
+    /// Cross-site replication latency (max off-diagonal entry).
+    pub fn cross_site_latency(&self) -> SimDuration {
+        let mut worst = 0;
+        for (i, row) in self.latency_us.iter().enumerate() {
+            for (j, &us) in row.iter().enumerate() {
+                if i != j {
+                    worst = worst.max(us);
+                }
+            }
+        }
+        if worst == 0 {
+            worst = 250_000;
+        }
+        SimDuration::from_micros(worst)
+    }
+
+    /// Latency the replication fabric should be built with for `mode`.
+    pub fn replica_latency(&self, mode: AckMode) -> SimDuration {
+        match mode {
+            AckMode::Geographic => self.cross_site_latency(),
+            _ => self.local_latency(),
+        }
+    }
+}
+
+/// Resilience configuration attached to a storage target.
+///
+/// Storage configs hold this as an `Option` (the vendored serde shim
+/// has no field defaulting), so configs written before this crate
+/// existed deserialize unchanged and fall back to [`ResilConfig::default`]:
+/// local-only acks, replication 2, no failures.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilConfig {
+    /// Write-ack policy for the burst-buffer tier.
+    pub ack_mode: AckMode,
+    /// Total desired copies of each ACKed byte, *including* the local
+    /// burst-buffer copy. `2` means one replica. Zero behaves like one.
+    pub replication: u32,
+    /// Site topology and latency profile for the replication fabric.
+    pub geo: GeoProfile,
+    /// How long a failed component stays down before it rejoins.
+    pub rebuild_time: SimDuration,
+    /// Failure schedule injected into the run.
+    pub failures: FailureSchedule,
+}
+
+impl Default for ResilConfig {
+    fn default() -> Self {
+        ResilConfig {
+            ack_mode: AckMode::LocalOnly,
+            replication: 2,
+            geo: GeoProfile::default(),
+            rebuild_time: SimDuration::from_millis(500),
+            failures: FailureSchedule::default(),
+        }
+    }
+}
+
+impl ResilConfig {
+    /// Replicas to place beyond the local copy.
+    pub fn replicas(&self) -> u32 {
+        self.replication.saturating_sub(1)
+    }
+
+    /// True when the config changes nothing relative to a plain run:
+    /// local-only acks and an empty failure schedule.
+    pub fn is_inert(&self) -> bool {
+        self.ack_mode == AckMode::LocalOnly && self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_mode_round_trips_through_cli_spelling() {
+        for mode in [
+            AckMode::LocalOnly,
+            AckMode::LocalPlusOne,
+            AckMode::Geographic,
+        ] {
+            assert_eq!(AckMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(AckMode::parse("quorum"), None);
+    }
+
+    #[test]
+    fn default_geo_profile_is_square_symmetric_and_stretched() {
+        let g = GeoProfile::default();
+        assert!(g.is_square());
+        assert!(g.is_symmetric());
+        assert_eq!(g.local_latency(), SimDuration::from_micros(500));
+        assert_eq!(g.cross_site_latency(), SimDuration::from_millis(250));
+        assert_eq!(
+            g.replica_latency(AckMode::Geographic),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(
+            g.replica_latency(AckMode::LocalPlusOne),
+            SimDuration::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn lopsided_matrices_are_detected() {
+        let mut g = GeoProfile::default();
+        g.latency_us[0][1] = 1;
+        assert!(g.is_square());
+        assert!(!g.is_symmetric());
+        g.latency_us.pop();
+        assert!(!g.is_square());
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let c = ResilConfig::default();
+        assert!(c.is_inert());
+        assert_eq!(c.replication, 2);
+        assert_eq!(c.replicas(), 1);
+        assert!(!c.ack_mode.waits_for_replica());
+    }
+
+    #[test]
+    fn config_survives_serde() {
+        let mut c = ResilConfig {
+            ack_mode: AckMode::Geographic,
+            ..Default::default()
+        };
+        c.replication = 3;
+        let js = serde_json::to_string(&c).unwrap();
+        let back: ResilConfig = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+    }
+}

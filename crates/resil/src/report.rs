@@ -1,0 +1,200 @@
+//! Per-entity durability accounting and the aggregated resilience
+//! report surfaced through `MeasurementReport`.
+
+use crate::policy::AckMode;
+use pioeval_types::{percentile_u64, SimDuration};
+use serde::Serialize;
+
+/// Raw durability counters one storage entity (I/O node or gateway)
+/// accumulates during a run.
+///
+/// The invariant the accounting maintains on the burst-buffer path:
+/// every ACKed byte is eventually counted *exactly once* as either
+/// replicated (it reached the OSS or a surviving replica) or lost
+/// (it sat only on a failed node) — `acked = replicated + lost`
+/// once the run quiesces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceStats {
+    /// Bytes acknowledged to clients by this entity.
+    pub acked_bytes: u64,
+    /// ACKed bytes that reached a durable home (drained to backing
+    /// storage, or confirmed on a replica per the ack policy).
+    pub replicated_bytes: u64,
+    /// Data-loss window: bytes ACKed but unreplicated when a failure
+    /// hit this entity.
+    pub data_loss_bytes: u64,
+    /// Failure events this entity absorbed.
+    pub failures: u64,
+    /// Worst failure-to-recovered span observed here, nanoseconds.
+    pub recovery_ns: u64,
+    /// Per-chunk replication-lag samples (absorb → durable), ns.
+    pub repl_lag_ns: Vec<u64>,
+    /// Reads served degraded (replica redirect / erasure rebuild).
+    pub degraded_reads: u64,
+    /// Extra bytes read beyond the healthy path to serve degraded reads.
+    pub degraded_extra_bytes: u64,
+    /// Requests re-drained through a peer after a gateway failover.
+    pub requeued: u64,
+}
+
+impl ResilienceStats {
+    /// Fold another entity's counters into this one (lag samples are
+    /// concatenated in call order, so aggregation stays deterministic
+    /// when callers iterate entities in index order).
+    pub fn merge(&mut self, other: &ResilienceStats) {
+        self.acked_bytes += other.acked_bytes;
+        self.replicated_bytes += other.replicated_bytes;
+        self.data_loss_bytes += other.data_loss_bytes;
+        self.failures += other.failures;
+        self.recovery_ns = self.recovery_ns.max(other.recovery_ns);
+        self.repl_lag_ns.extend_from_slice(&other.repl_lag_ns);
+        self.degraded_reads += other.degraded_reads;
+        self.degraded_extra_bytes += other.degraded_extra_bytes;
+        self.requeued += other.requeued;
+    }
+}
+
+/// Aggregated resilience measurables for one run, attached to
+/// `MeasurementReport` and the interference campaign report.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ResilienceReport {
+    /// Ack policy the run executed under.
+    pub ack_mode: AckMode,
+    /// Failure events injected into the run.
+    pub failures_injected: u64,
+    /// Bytes acknowledged to clients across the tier.
+    pub acked_bytes: u64,
+    /// ACKed bytes that reached a durable home.
+    pub replicated_bytes: u64,
+    /// Bytes ACKed but unreplicated at the moment of failure — the
+    /// data-loss window the ack policy is supposed to close.
+    pub data_loss_bytes: u64,
+    /// Worst failure-to-recovered span across entities.
+    pub recovery: SimDuration,
+    /// Median replication lag (absorb → durable).
+    pub repl_lag_p50: SimDuration,
+    /// Tail replication lag.
+    pub repl_lag_p99: SimDuration,
+    /// Reads served degraded.
+    pub degraded_reads: u64,
+    /// Extra bytes read to serve degraded reads.
+    pub degraded_extra_bytes: u64,
+    /// Degraded-read amplification: (healthy + extra) / healthy bytes
+    /// over the degraded reads. `1.0` when nothing was degraded.
+    pub degraded_read_amplification: f64,
+    /// Requests re-drained through peers after gateway failovers.
+    pub requeued: u64,
+}
+
+impl ResilienceReport {
+    /// Aggregate per-entity stats (in entity-index order) into the
+    /// run-level report.
+    pub fn from_stats(
+        ack_mode: AckMode,
+        failures_injected: u64,
+        read_bytes: u64,
+        stats: &[ResilienceStats],
+    ) -> ResilienceReport {
+        let mut total = ResilienceStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        let mut lags = total.repl_lag_ns.clone();
+        lags.sort_unstable();
+        let amplification = if total.degraded_extra_bytes == 0 || read_bytes == 0 {
+            1.0
+        } else {
+            (read_bytes + total.degraded_extra_bytes) as f64 / read_bytes as f64
+        };
+        ResilienceReport {
+            ack_mode,
+            failures_injected,
+            acked_bytes: total.acked_bytes,
+            replicated_bytes: total.replicated_bytes,
+            data_loss_bytes: total.data_loss_bytes,
+            recovery: SimDuration::from_nanos(total.recovery_ns),
+            repl_lag_p50: SimDuration::from_nanos(percentile_u64(&lags, 50.0)),
+            repl_lag_p99: SimDuration::from_nanos(percentile_u64(&lags, 99.0)),
+            degraded_reads: total.degraded_reads,
+            degraded_extra_bytes: total.degraded_extra_bytes,
+            degraded_read_amplification: amplification,
+            requeued: total.requeued,
+        }
+    }
+
+    /// The conservation identity the accounting maintains once the run
+    /// quiesces: ACKed = replicated + lost.
+    pub fn conserves_bytes(&self) -> bool {
+        self.acked_bytes == self.replicated_bytes + self.data_loss_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_recovery() {
+        let mut a = ResilienceStats {
+            acked_bytes: 100,
+            replicated_bytes: 60,
+            data_loss_bytes: 40,
+            failures: 1,
+            recovery_ns: 5,
+            repl_lag_ns: vec![1, 2],
+            ..Default::default()
+        };
+        let b = ResilienceStats {
+            acked_bytes: 10,
+            replicated_bytes: 10,
+            recovery_ns: 9,
+            repl_lag_ns: vec![3],
+            degraded_reads: 2,
+            degraded_extra_bytes: 7,
+            requeued: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.acked_bytes, 110);
+        assert_eq!(a.replicated_bytes, 70);
+        assert_eq!(a.recovery_ns, 9);
+        assert_eq!(a.repl_lag_ns, vec![1, 2, 3]);
+        assert_eq!(a.requeued, 4);
+    }
+
+    #[test]
+    fn report_aggregates_and_checks_conservation() {
+        let stats = [
+            ResilienceStats {
+                acked_bytes: 100,
+                replicated_bytes: 60,
+                data_loss_bytes: 40,
+                failures: 1,
+                recovery_ns: 1_000_000,
+                repl_lag_ns: vec![10, 20, 30, 40],
+                ..Default::default()
+            },
+            ResilienceStats {
+                acked_bytes: 50,
+                replicated_bytes: 50,
+                degraded_reads: 1,
+                degraded_extra_bytes: 25,
+                ..Default::default()
+            },
+        ];
+        let r = ResilienceReport::from_stats(AckMode::LocalOnly, 1, 100, &stats);
+        assert!(r.conserves_bytes());
+        assert_eq!(r.acked_bytes, 150);
+        assert_eq!(r.data_loss_bytes, 40);
+        assert_eq!(r.recovery, SimDuration::from_millis(1));
+        assert!(r.repl_lag_p50 >= SimDuration::from_nanos(10));
+        assert!((r.degraded_read_amplification - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplification_is_unity_without_degradation() {
+        let r = ResilienceReport::from_stats(AckMode::Geographic, 0, 0, &[]);
+        assert_eq!(r.degraded_read_amplification, 1.0);
+        assert!(r.conserves_bytes());
+    }
+}

@@ -106,6 +106,9 @@ pub enum ServerKind {
     Gateway,
     /// An object-store metadata KV shard.
     Shard,
+    /// A peer burst-buffer SSD absorbing a replication copy (write-ack
+    /// policies `local_plus_one` / `geographic`).
+    Replica,
 }
 
 impl ServerKind {
@@ -117,13 +120,17 @@ impl ServerKind {
             ServerKind::IoNodeSsd => "ionode",
             ServerKind::Gateway => "gateway",
             ServerKind::Shard => "shard",
+            ServerKind::Replica => "replica",
         }
     }
 
     /// True when the non-queue part of the interval is *device* time
     /// (storage media) rather than protocol *service* time.
     pub fn is_device(self) -> bool {
-        matches!(self, ServerKind::OssDevice | ServerKind::IoNodeSsd)
+        matches!(
+            self,
+            ServerKind::OssDevice | ServerKind::IoNodeSsd | ServerKind::Replica
+        )
     }
 
     /// Parse a [`ServerKind::name`] back.
@@ -134,6 +141,7 @@ impl ServerKind {
             "ionode" => Some(ServerKind::IoNodeSsd),
             "gateway" => Some(ServerKind::Gateway),
             "shard" => Some(ServerKind::Shard),
+            "replica" => Some(ServerKind::Replica),
             _ => None,
         }
     }
@@ -293,10 +301,12 @@ mod tests {
             ServerKind::IoNodeSsd,
             ServerKind::Gateway,
             ServerKind::Shard,
+            ServerKind::Replica,
         ] {
             assert_eq!(ServerKind::parse(kind.name()), Some(kind));
         }
         assert!(ServerKind::OssDevice.is_device());
+        assert!(ServerKind::Replica.is_device());
         assert!(!ServerKind::Gateway.is_device());
     }
 

@@ -384,12 +384,30 @@ pub struct JobDecl {
     pub line: u32,
 }
 
+/// One `fail` line inside a `campaign` block: a scripted failure
+/// injected into the shared run (`fail node 3 at 2.5s`).
+#[derive(Clone, Debug)]
+pub struct FailDecl {
+    /// Failure kind name: `node` (I/O or storage node loss), `read`
+    /// (degraded erasure reads), or `gateway` (gateway failover).
+    pub kind: String,
+    /// Target entity index.
+    pub target: u32,
+    /// Fire time, offset from campaign start.
+    pub at: SimDuration,
+    /// 1-based source line.
+    pub line: u32,
+}
+
 /// A `campaign … end` block: jobs to run concurrently on one shared
-/// storage system (interference study).
+/// storage system (interference study), plus any scripted failures to
+/// inject into the shared run.
 #[derive(Clone, Debug)]
 pub struct CampaignDecl {
     /// Declared jobs, in order.
     pub jobs: Vec<JobDecl>,
+    /// Declared failure injections, in order.
+    pub failures: Vec<FailDecl>,
     /// 1-based source line of the `campaign` keyword.
     pub line: u32,
 }
@@ -507,6 +525,7 @@ pub fn parse_program_ast(src: &str, base_file: u32) -> Result<DslProgram> {
                 }
                 owner[i] = Owner::Marker;
                 let mut jobs = Vec::new();
+                let mut failures = Vec::new();
                 let mut j = i + 1;
                 let mut closed = false;
                 while j < lines.len() {
@@ -550,6 +569,33 @@ pub fn parse_program_ast(src: &str, base_file: u32) -> Result<DslProgram> {
                                 line: jline_no,
                             });
                         }
+                        "fail" => {
+                            let usage = || {
+                                Error::Parse(format!(
+                                    "line {jline_no}: usage: fail <node|read|gateway> <index> at <duration>"
+                                ))
+                            };
+                            if jt.len() != 5 || jt[3] != "at" {
+                                return Err(usage());
+                            }
+                            if !matches!(jt[1], "node" | "read" | "gateway") {
+                                return Err(Error::Parse(format!(
+                                    "line {jline_no}: unknown failure kind `{}` \
+                                     (expected node, read, or gateway)",
+                                    jt[1]
+                                )));
+                            }
+                            let target: u32 = jt[2].parse().map_err(|_| usage())?;
+                            let at = parse_duration(jt[4]).ok_or_else(|| {
+                                Error::Parse(format!("line {jline_no}: bad duration"))
+                            })?;
+                            failures.push(FailDecl {
+                                kind: jt[1].to_string(),
+                                target,
+                                at,
+                                line: jline_no,
+                            });
+                        }
                         other => {
                             return Err(Error::Parse(format!(
                                 "line {jline_no}: unknown campaign statement `{other}`"
@@ -565,6 +611,7 @@ pub fn parse_program_ast(src: &str, base_file: u32) -> Result<DslProgram> {
                 }
                 campaign = Some(CampaignDecl {
                     jobs,
+                    failures,
                     line: line_no,
                 });
                 i = j + 1;
@@ -647,16 +694,22 @@ fn parse_size(s: &str) -> Option<u64> {
 
 fn parse_duration(s: &str) -> Option<SimDuration> {
     let s = s.to_ascii_lowercase();
-    if let Some(n) = s.strip_suffix("us") {
-        return n.parse().ok().map(SimDuration::from_micros);
+    let (num, scale_ns) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000u64)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        return None;
+    };
+    if let Ok(v) = num.parse::<u64>() {
+        return Some(SimDuration::from_nanos(v.checked_mul(scale_ns)?));
     }
-    if let Some(n) = s.strip_suffix("ms") {
-        return n.parse().ok().map(SimDuration::from_millis);
-    }
-    if let Some(n) = s.strip_suffix('s') {
-        return n.parse().ok().map(SimDuration::from_secs);
-    }
-    None
+    // Fractional values (`2.5s`) for failure times and staggered starts.
+    let v: f64 = num.parse().ok()?;
+    (v.is_finite() && v >= 0.0)
+        .then(|| SimDuration::from_nanos((v * scale_ns as f64).round() as u64))
 }
 
 /// Per-rank expansion state.
@@ -966,6 +1019,41 @@ mod tests {
         assert_eq!(writer.programs(4, 1).len(), 4);
         let reader = p.workload("reader").unwrap();
         assert_eq!(reader.programs(2, 1).len(), 2);
+    }
+
+    #[test]
+    fn campaign_fail_lines_parse_and_validate() {
+        let src = "
+            workload writer
+              file f perrank
+              create f
+              write f 1m x4
+              close f
+            end
+            campaign
+              job writer ranks 4
+              job writer ranks 2 start 10ms
+              fail node 1 at 2.5s
+              fail gateway 0 at 1s
+            end
+        ";
+        let p = parse_program(src, 0).unwrap();
+        let c = p.campaign.as_ref().unwrap();
+        assert_eq!(c.failures.len(), 2);
+        assert_eq!(c.failures[0].kind, "node");
+        assert_eq!(c.failures[0].target, 1);
+        assert_eq!(c.failures[0].at, SimDuration::from_nanos(2_500_000_000));
+        assert_eq!(c.failures[1].kind, "gateway");
+        // Unknown kinds and malformed lines are rejected with the line.
+        let bad = "campaign\n  job w ranks 2\n  job w ranks 2\n  fail disk 0 at 1s\nend";
+        let err = parse_program_ast(bad, 0).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "got: {err}");
+        assert!(err.to_string().contains("disk"));
+        let bad = "campaign\n  fail node 0\nend";
+        assert!(parse_program_ast(bad, 0).is_err());
+        // Campaigns without `fail` lines keep an empty schedule.
+        let p = parse_program(CAMPAIGN, 100).unwrap();
+        assert!(p.campaign.unwrap().failures.is_empty());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use checkpoint::CheckpointLike;
 pub use dlio::DlioLike;
 pub use dsl::{
     parse_dsl, parse_dsl_ast, parse_program, parse_program_ast, CampaignDecl, DslProgram,
-    DslWorkload, JobDecl,
+    DslWorkload, FailDecl, JobDecl,
 };
 pub use ior::{IorApi, IorLike};
 pub use mdtest::MdtestLike;

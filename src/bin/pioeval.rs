@@ -65,6 +65,19 @@ OPTIONS:
   --oss <N>            storage servers / storage nodes [default: 4]
   --gateways <N>       object-store gateways           [default: 2]
   --seed <N>           deterministic seed              [default: 42]
+  --ack-mode <M>       burst-buffer write-ack policy:
+                       local_only | local_plus_one | geographic
+                       (geographic stretches replication across the
+                       default two-site geo profile)
+  --replication <N>    replica count for the write-back tier; on
+                       --target objstore also widens object placement
+  --fail <SPEC>        failure schedule, comma-separated:
+                       kind:target@time scripted events or
+                       mtbf:kind:mean@horizon stochastic processes,
+                       kinds node | read | gateway — e.g.
+                       `node:0@2.5ms` or `mtbf:node:50ms@1s`.
+                       Stochastic draws are seeded from --seed, so a
+                       fixed seed reproduces the exact failure times
   --metrics <MODE>     framework telemetry: human | json
                        (json: the metrics document alone on stdout)
   --trace-out <FILE>   write a *wall-clock* Chrome/Perfetto trace of the
@@ -92,7 +105,10 @@ A DSL file may declare named `workload ... end` blocks plus a
 `campaign ... end` block of `job <workload> ranks <N> [start <DUR>]`
 lines; `pioeval dsl` then runs an interference campaign — each job solo
 first, then all jobs concurrently on the shared target — and reports
-per-job slowdown.
+per-job slowdown. A campaign block may also script failures with
+`fail <node|read|gateway> <INDEX> at <DUR>` lines; they are injected
+into the shared run only (solo baselines stay healthy), so the
+slowdown column attributes contention plus failure-recovery cost.
 
 DES ENGINE (run/dsl; results are identical across executors):
   --des-threads <N>      use the conservative parallel engine with N workers
@@ -130,6 +146,9 @@ BENCH OPTIONS:
                        unix seconds]
   --history <FILE>     append {rev, timestamp, benches} to this JSONL
                        archive     [default: results/BENCH_history.jsonl]
+  --seed <N>           workload + failure-schedule seed for the
+                       pipeline rows (PHOLD rows are seed-independent;
+                       keep the default when gating)      [default: 42]
 
 COMPARE OPTIONS (pioeval compare):
   --last <N>           trend window: the N most recent runs    [default: 8]
@@ -174,6 +193,9 @@ struct Options {
     oss: usize,
     gateways: usize,
     seed: u64,
+    ack_mode: Option<pioeval::resil::AckMode>,
+    replication: Option<u32>,
+    fail: Option<pioeval::resil::FailureSchedule>,
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
     request_trace: Option<String>,
@@ -198,6 +220,9 @@ impl Default for Options {
             oss: 4,
             gateways: 2,
             seed: 42,
+            ack_mode: None,
+            replication: None,
+            fail: None,
             metrics: None,
             trace_out: None,
             request_trace: None,
@@ -278,6 +303,25 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
     if let Some(v) = parse(flags, "seed")? {
         opts.seed = v;
     }
+    if let Some(v) = flags.get("ack-mode") {
+        opts.ack_mode = Some(pioeval::resil::AckMode::parse(v).ok_or_else(|| {
+            format!("bad --ack-mode: {v} (expected local_only|local_plus_one|geographic)")
+        })?);
+    }
+    if let Some(v) = flags.get("replication") {
+        let n: u32 = v
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("bad --replication: {v} (expected a positive integer)"))?;
+        opts.replication = Some(n);
+    }
+    if let Some(v) = flags.get("fail") {
+        opts.fail = Some(
+            pioeval::resil::FailureSchedule::parse_spec(v)
+                .map_err(|e| format!("bad --fail: {e}"))?,
+        );
+    }
     if let Some(v) = flags.get("target") {
         opts.target = match v.as_str() {
             "pfs" => TargetKind::Pfs,
@@ -353,6 +397,9 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
             "oss",
             "gateways",
             "seed",
+            "ack-mode",
+            "replication",
+            "fail",
             "workload",
             "metrics",
             "trace-out",
@@ -421,9 +468,36 @@ fn cluster_from(opts: &Options) -> ClusterConfig {
         num_clients: opts.clients.max(opts.ranks as usize),
         num_ionodes: opts.ionodes,
         num_oss: opts.oss.max(1),
+        resil: resil_from(opts),
         ..ClusterConfig::default()
     }
     .with_mds(opts.mds.max(1))
+}
+
+/// Seed stream for failure schedules, split off `--seed` so the
+/// injector's RNG never aliases the workload generators'.
+const RESIL_SEED_STREAM: u64 = 0x5EED_FA11;
+
+/// The resilience configuration `--ack-mode`/`--replication`/`--fail`
+/// describe, or `None` when none of them was given (the target then
+/// runs without the resilience tier, exactly as before the flags
+/// existed).
+fn resil_from(opts: &Options) -> Option<pioeval::resil::ResilConfig> {
+    if opts.ack_mode.is_none() && opts.replication.is_none() && opts.fail.is_none() {
+        return None;
+    }
+    let mut cfg = pioeval::resil::ResilConfig::default();
+    if let Some(mode) = opts.ack_mode {
+        cfg.ack_mode = mode;
+    }
+    if let Some(n) = opts.replication {
+        cfg.replication = n;
+    }
+    if let Some(failures) = &opts.fail {
+        cfg.failures = failures.clone();
+    }
+    cfg.failures.seed = pioeval::types::split_seed(opts.seed, RESIL_SEED_STREAM);
+    Some(cfg)
 }
 
 /// Map the CLI knobs onto whichever bottom layer `--target` picked.
@@ -432,13 +506,22 @@ fn cluster_from(opts: &Options) -> ClusterConfig {
 fn target_from(opts: &Options) -> TargetConfig {
     match opts.target {
         TargetKind::Pfs => TargetConfig::Pfs(cluster_from(opts)),
-        TargetKind::ObjStore => TargetConfig::ObjStore(ObjStoreConfig {
-            num_clients: opts.clients.max(opts.ranks as usize),
-            num_gateways: opts.gateways.max(1),
-            num_shards: opts.mds.max(1),
-            num_storage: opts.oss.max(1),
-            ..ObjStoreConfig::default()
-        }),
+        TargetKind::ObjStore => {
+            let mut cfg = ObjStoreConfig {
+                num_clients: opts.clients.max(opts.ranks as usize),
+                num_gateways: opts.gateways.max(1),
+                num_shards: opts.mds.max(1),
+                num_storage: opts.oss.max(1),
+                resil: resil_from(opts),
+                ..ObjStoreConfig::default()
+            };
+            // On the object path durability comes from placement width,
+            // so --replication widens the default placement too.
+            if let Some(n) = opts.replication {
+                cfg.placement = pioeval::objstore::Placement::Replicate(n);
+            }
+            TargetConfig::ObjStore(cfg)
+        }
     }
 }
 
@@ -550,6 +633,52 @@ fn render_report(report: &pioeval::core::MeasurementReport) -> String {
             .max()
             .unwrap_or(0);
         table.row(vec!["gateway peak queue".to_string(), peak.to_string()]);
+    }
+    if let Some(res) = &report.resilience {
+        let bytes = |b: u64| format!("{}", pioeval::types::ByteSize(b));
+        let verdict = pioeval::monitor::assess_durability(
+            res.acked_bytes,
+            res.replicated_bytes,
+            res.data_loss_bytes,
+            res.failures_injected,
+        );
+        table.row(vec![
+            "ack policy".to_string(),
+            res.ack_mode.as_str().to_string(),
+        ]);
+        table.row(vec![
+            "failures injected".to_string(),
+            res.failures_injected.to_string(),
+        ]);
+        table.row(vec!["acked bytes".to_string(), bytes(res.acked_bytes)]);
+        table.row(vec![
+            "durable bytes".to_string(),
+            bytes(res.replicated_bytes),
+        ]);
+        table.row(vec![
+            "data-loss window".to_string(),
+            bytes(res.data_loss_bytes),
+        ]);
+        table.row(vec![
+            "recovery time".to_string(),
+            format!("{}", res.recovery),
+        ]);
+        table.row(vec![
+            "repl lag p50/p99".to_string(),
+            format!("{}/{}", res.repl_lag_p50, res.repl_lag_p99),
+        ]);
+        table.row(vec![
+            "degraded reads".to_string(),
+            format!(
+                "{} ({:.2}x amplification)",
+                res.degraded_reads, res.degraded_read_amplification
+            ),
+        ]);
+        table.row(vec![
+            "requests re-drained".to_string(),
+            res.requeued.to_string(),
+        ]);
+        table.row(vec!["durability".to_string(), verdict.name().to_string()]);
     }
     out.push_str(&table.render());
 
@@ -848,7 +977,10 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     let opts = options_from(&flags)?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let program = parse_program(&source, 100_000).map_err(|e| e.to_string())?;
-    let target = target_from(&opts);
+    let mut target = target_from(&opts);
+    if let Some(campaign_decl) = &program.campaign {
+        apply_campaign_failures(&mut target, campaign_decl, opts.seed)?;
+    }
     preflight(path, &lint_dsl_source(&source))?;
     preflight_target(&target)?;
 
@@ -896,6 +1028,36 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     say(&opts, &render_report(&report));
     emit_request_trace(&opts, &report)?;
     emit_telemetry(&opts)
+}
+
+/// Fold a campaign's scripted `fail` lines into the target's
+/// resilience configuration (creating one if the CLI flags didn't),
+/// seeded from `--seed` so reruns inject identical schedules. The
+/// campaign strips these for its solo baselines, so only the shared
+/// run sees them.
+fn apply_campaign_failures(
+    target: &mut TargetConfig,
+    decl: &pioeval::workloads::CampaignDecl,
+    seed: u64,
+) -> Result<(), String> {
+    if decl.failures.is_empty() {
+        return Ok(());
+    }
+    let resil = match target {
+        TargetConfig::Pfs(c) => c.resil.get_or_insert_with(Default::default),
+        TargetConfig::ObjStore(c) => c.resil.get_or_insert_with(Default::default),
+    };
+    for f in &decl.failures {
+        let kind = pioeval::resil::FailureKind::parse(&f.kind)
+            .ok_or_else(|| format!("line {}: unknown failure kind `{}`", f.line, f.kind))?;
+        resil.failures.scripted.push(pioeval::resil::FailureEvent {
+            kind,
+            target: f.target,
+            at: f.at,
+        });
+    }
+    resil.failures.seed = pioeval::types::split_seed(seed, RESIL_SEED_STREAM);
+    Ok(())
 }
 
 /// Run a DSL-declared interference campaign: each job solo on a fresh
@@ -964,6 +1126,26 @@ fn run_campaign(
         say(
             opts,
             &format!("gateway queue-wait (shared run): {}\n", waits.join(" | ")),
+        );
+    }
+    if let Some(res) = &report.resilience {
+        let verdict = pioeval::monitor::assess_durability(
+            res.acked_bytes,
+            res.replicated_bytes,
+            res.data_loss_bytes,
+            res.failures_injected,
+        );
+        say(
+            opts,
+            &format!(
+                "resilience (shared run): {} acks, {} failures, \
+                 data-loss window {}, recovery {}, durability {}\n",
+                res.ack_mode.as_str(),
+                res.failures_injected,
+                pioeval::types::ByteSize(res.data_loss_bytes),
+                res.recovery,
+                verdict.name(),
+            ),
         );
     }
     emit_telemetry(opts)
@@ -1107,6 +1289,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "tolerance",
             "timestamp",
             "history",
+            "seed",
         ]
         .contains(&key.as_str())
         {
@@ -1128,6 +1311,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     };
     let threads = parse_n("threads", 2)?;
     let repeat = parse_n("repeat", 1)?;
+    let seed: u64 = match flags.get("seed") {
+        None => 42,
+        Some(v) => v.parse().map_err(|_| format!("bad --seed: {v}"))?,
+    };
     let tolerance = match flags.get("tolerance") {
         None => 15.0,
         Some(v) => v
@@ -1270,7 +1457,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 ..ClusterConfig::default()
             };
             let before = des_events.get();
-            measure(&cluster, source, ranks, StackConfig::default(), 42)
+            measure(&cluster, source, ranks, StackConfig::default(), seed)
                 .map_err(|e| e.to_string())?;
             Ok(des_events.get() - before)
         })
@@ -1305,7 +1492,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let target_bench = |target: &TargetConfig| {
         bench_median(repeat, || {
             let before = des_events.get();
-            pioeval::core::measure_target(target, &dlio, 8, StackConfig::default(), 42)
+            pioeval::core::measure_target(target, &dlio, 8, StackConfig::default(), seed)
                 .map_err(|e| e.to_string())?;
             Ok(des_events.get() - before)
         })
@@ -1319,6 +1506,43 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let obj_target = TargetConfig::ObjStore(ObjStoreConfig::default());
     let (events, wall) = target_bench(&obj_target)?;
     record("dlio_storm_obj".into(), events, wall);
+
+    // Burst-buffer write-back rows: the IOR write pattern absorbed by
+    // two I/O nodes with an I/O-node loss injected mid-run, once with
+    // local-only acks and once geo-stretched, so the gate tracks the
+    // replication fabric, failure injector, and recovery machinery —
+    // not just the healthy data path.
+    let bb_target = |ack_mode: pioeval::resil::AckMode| {
+        let mut resil = pioeval::resil::ResilConfig {
+            ack_mode,
+            ..pioeval::resil::ResilConfig::default()
+        };
+        resil.failures.scripted.push(pioeval::resil::FailureEvent {
+            kind: pioeval::resil::FailureKind::IoNodeLoss,
+            target: 0,
+            at: pioeval::types::SimDuration::from_millis(2),
+        });
+        resil.failures.seed = pioeval::types::split_seed(seed, RESIL_SEED_STREAM);
+        TargetConfig::Pfs(ClusterConfig {
+            num_clients: 8,
+            num_ionodes: 2,
+            resil: Some(resil),
+            ..ClusterConfig::default()
+        })
+    };
+    let bb_ior = WorkloadSource::Synthetic(Box::new(IorLike::default()));
+    let bb_bench = |target: &TargetConfig| {
+        bench_median(repeat, || {
+            let before = des_events.get();
+            pioeval::core::measure_target(target, &bb_ior, 4, StackConfig::default(), seed)
+                .map_err(|e| e.to_string())?;
+            Ok(des_events.get() - before)
+        })
+    };
+    let (events, wall) = bb_bench(&bb_target(pioeval::resil::AckMode::LocalOnly))?;
+    record("ior_bb_local".into(), events, wall);
+    let (events, wall) = bb_bench(&bb_target(pioeval::resil::AckMode::Geographic))?;
+    record("ior_bb_geo".into(), events, wall);
 
     // Request tracing must stay cheap enough to leave on: compare the
     // traced parallel PHOLD row to its untraced twin in THIS run (same

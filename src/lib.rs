@@ -57,6 +57,7 @@ pub use pioeval_obs as obs;
 pub use pioeval_pfs as pfs;
 pub use pioeval_replay as replay;
 pub use pioeval_reqtrace as reqtrace;
+pub use pioeval_resil as resil;
 pub use pioeval_trace as trace;
 pub use pioeval_types as types;
 pub use pioeval_workloads as workloads;

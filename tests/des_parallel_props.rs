@@ -263,3 +263,148 @@ proptest! {
         prop_assert_eq!(seq_doc, par_doc, "request trace diverged across executors");
     }
 }
+
+proptest! {
+    // Full measurement trips again: few cases, broad parameter draws.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Injected failures never break executor equivalence: the same run
+    /// with a scripted I/O-node loss (and optionally a stochastic MTBF
+    /// process) yields identical makespans, per-entity fingerprints,
+    /// and — crucially — an identical resilience report on the
+    /// sequential and every drawn parallel configuration. The byte
+    /// conservation identity `acked = replicated + lost` must also hold
+    /// at quiesce, whatever the failure timing hit.
+    #[test]
+    fn failure_injection_preserves_executor_equivalence(
+        ranks in 1u32..4,
+        seed in 0u64..1 << 16,
+        threads in 2usize..=4,
+        fail_ms in 1u64..30,
+        ack_kind in 0u8..3,
+        mtbf in proptest::bool::ANY,
+        policy in prop::sample::select(vec![WindowPolicy::Fixed, WindowPolicy::Adaptive]),
+    ) {
+        use pioeval::core::{measure_target_traced, TargetConfig};
+        use pioeval::des::ExecMode;
+        use pioeval::prelude::*;
+        use pioeval::resil::{AckMode, FailureEvent, FailureKind, MtbfSchedule, ResilConfig};
+
+        let ack_mode = match ack_kind {
+            0 => AckMode::LocalOnly,
+            1 => AckMode::LocalPlusOne,
+            _ => AckMode::Geographic,
+        };
+        let mut resil = ResilConfig { ack_mode, ..ResilConfig::default() };
+        resil.failures.scripted.push(FailureEvent {
+            kind: FailureKind::IoNodeLoss,
+            target: 0,
+            at: SimDuration::from_millis(fail_ms),
+        });
+        if mtbf {
+            resil.failures.mtbf = Some(MtbfSchedule {
+                kind: FailureKind::IoNodeLoss,
+                targets: 0, // every I/O node is a candidate
+                mean: SimDuration::from_millis(40),
+            });
+            resil.failures.horizon = SimDuration::from_millis(200);
+        }
+        resil.failures.seed = pioeval::types::split_seed(seed, 0xFA11);
+        let target = TargetConfig::Pfs(ClusterConfig {
+            num_clients: 8,
+            num_ionodes: 2,
+            resil: Some(resil),
+            ..Default::default()
+        });
+        let source = WorkloadSource::Synthetic(Box::new(IorLike::default()));
+        let run = |exec: &ExecMode| {
+            measure_target_traced(
+                &target,
+                &source,
+                ranks,
+                StackConfig::default(),
+                seed,
+                exec,
+                false,
+            )
+            .expect("measurement with injected failures")
+        };
+
+        let seq = run(&ExecMode::Sequential);
+        let seq_res = seq.resilience.clone().expect("resilience report");
+        prop_assert!(seq_res.acked_bytes > 0, "nothing was acknowledged");
+        prop_assert!(
+            seq_res.conserves_bytes(),
+            "conservation violated: acked {} != replicated {} + lost {}",
+            seq_res.acked_bytes, seq_res.replicated_bytes, seq_res.data_loss_bytes
+        );
+
+        let cfg = ParallelConfig {
+            threads,
+            window: policy,
+            ..ParallelConfig::default()
+        };
+        let par = run(&ExecMode::Parallel(cfg));
+        prop_assert_eq!(par.makespan(), seq.makespan(), "makespan diverged");
+        prop_assert_eq!(
+            par.resilience.expect("resilience report"), seq_res,
+            "resilience report diverged across executors"
+        );
+    }
+
+    /// The gated ack policies close the data-loss window: whatever the
+    /// write volume and failure timing, `geographic` never reports
+    /// ACKed-but-lost bytes (an ACK only ever follows replica
+    /// confirmation), while byte conservation holds for every policy.
+    #[test]
+    fn gated_acks_close_the_loss_window(
+        ranks in 1u32..4,
+        seed in 0u64..1 << 16,
+        fail_ms in 1u64..50,
+        transfer_kib in 64u64..2048,
+    ) {
+        use pioeval::core::{measure_target, TargetConfig};
+        use pioeval::prelude::*;
+        use pioeval::resil::{AckMode, FailureEvent, FailureKind, ResilConfig};
+
+        let report_for = |ack_mode: AckMode| {
+            let mut resil = ResilConfig { ack_mode, ..ResilConfig::default() };
+            resil.failures.scripted.push(FailureEvent {
+                kind: FailureKind::IoNodeLoss,
+                target: 0,
+                at: SimDuration::from_millis(fail_ms),
+            });
+            let target = TargetConfig::Pfs(ClusterConfig {
+                num_clients: 8,
+                num_ionodes: 2,
+                resil: Some(resil),
+                ..Default::default()
+            });
+            let workload = IorLike {
+                transfer_size: transfer_kib * 1024,
+                block_size: transfer_kib * 1024 * 4,
+                ..IorLike::default()
+            };
+            let source = WorkloadSource::Synthetic(Box::new(workload));
+            measure_target(&target, &source, ranks, StackConfig::default(), seed)
+                .expect("measurement")
+                .resilience
+                .expect("resilience report")
+        };
+
+        for mode in [AckMode::LocalOnly, AckMode::LocalPlusOne, AckMode::Geographic] {
+            let res = report_for(mode);
+            prop_assert!(
+                res.conserves_bytes(),
+                "{:?}: acked {} != replicated {} + lost {}",
+                mode, res.acked_bytes, res.replicated_bytes, res.data_loss_bytes
+            );
+            if mode == AckMode::Geographic {
+                prop_assert_eq!(
+                    res.data_loss_bytes, 0,
+                    "geographic ACKs must imply durability"
+                );
+            }
+        }
+    }
+}

@@ -74,6 +74,16 @@ const BROKEN: &[(&str, Code, bool)] = &[
     ("config_zero_fabric_bw.json", Code::ZeroFabricBw, true),
     ("config_empty_cluster.json", Code::StructuralZero, true),
     ("config_stripe_over_osts.json", Code::StripeOverOsts, false),
+    (
+        "config_resil_mismatch.json",
+        Code::ResilAckReplicaMismatch,
+        false,
+    ),
+    (
+        "config_resil_bad_target.json",
+        Code::ResilFailureTargetMissing,
+        true,
+    ),
     ("dag_cycle.json", Code::DagCycle, true),
     ("dag_dangling.json", Code::DagDangling, true),
     ("dag_empty_upstream.json", Code::DagEmptyUpstream, true),
@@ -225,6 +235,37 @@ fn regenerate_json_fixtures() {
     let mut cfg = ClusterConfig::default();
     cfg.layout.stripe_count = 64;
     write("config_stripe_over_osts.json", &cfg);
+
+    // Waits for a replica ACK that a single unreplicated I/O node can
+    // never send: PIO070 (warning).
+    let cfg = ClusterConfig {
+        num_ionodes: 1,
+        resil: Some(pioeval::resil::ResilConfig {
+            ack_mode: pioeval::resil::AckMode::LocalPlusOne,
+            replication: 1,
+            ..pioeval::resil::ResilConfig::default()
+        }),
+        ..ClusterConfig::default()
+    };
+    write("config_resil_mismatch.json", &cfg);
+
+    // Scripted failure on an I/O node the cluster does not have: PIO073.
+    let mut cfg = ClusterConfig {
+        num_ionodes: 2,
+        resil: Some(pioeval::resil::ResilConfig::default()),
+        ..ClusterConfig::default()
+    };
+    cfg.resil
+        .as_mut()
+        .unwrap()
+        .failures
+        .scripted
+        .push(pioeval::resil::FailureEvent {
+            kind: pioeval::resil::FailureKind::IoNodeLoss,
+            target: 7,
+            at: SimDuration::from_millis(1),
+        });
+    write("config_resil_bad_target.json", &cfg);
 
     write(
         "dag_three_stage.json",
