@@ -78,6 +78,10 @@ pub struct MeasurementReport {
     /// Resilience metrics (Some only when the target carried a
     /// resilience configuration: write-ack policy, failure injection).
     pub resilience: Option<pioeval_resil::ResilienceReport>,
+    /// The parallel executor's per-worker phase profile (Some only when
+    /// the measurement ran with profiling enabled *and* the executor was
+    /// genuinely parallel; see [`measure_target_instrumented`]).
+    pub exec_profile: Option<pioeval_types::ExecProfile>,
 }
 
 impl MeasurementReport {
@@ -179,6 +183,35 @@ pub fn measure_target_traced(
     exec: &ExecMode,
     request_trace: bool,
 ) -> Result<MeasurementReport> {
+    measure_target_instrumented(
+        target_cfg,
+        source,
+        nranks,
+        stack,
+        seed,
+        exec,
+        request_trace,
+        false,
+    )
+}
+
+/// [`measure_target_traced`] with the parallel executor's scaling
+/// observatory: with `profile` on (and a parallel `exec`), the DES
+/// workers record per-window phase timelines — compute, mailbox-drain,
+/// barrier-wait, horizon-stall — which land merged in
+/// [`MeasurementReport::exec_profile`]. Like request tracing, recording
+/// is per-worker and lock-free; a sequential run yields `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_target_instrumented(
+    target_cfg: &TargetConfig,
+    source: &WorkloadSource,
+    nranks: u32,
+    stack: StackConfig,
+    seed: u64,
+    exec: &ExecMode,
+    request_trace: bool,
+    profile: bool,
+) -> Result<MeasurementReport> {
     use pioeval_obs::names;
     let _obs_span = pioeval_obs::span(names::SPAN_CORE_MEASURE, "core");
     pioeval_obs::global().counter(names::CORE_MEASURES).inc();
@@ -202,11 +235,16 @@ pub fn measure_target_traced(
     if request_trace {
         enable_request_trace(&mut target, &handle);
     }
-    {
+    let exec_profile = {
         let _s = pioeval_obs::span(names::SPAN_CORE_SIMULATE, "core");
         pioeval_obs::live::set_phase("measure:simulate");
-        target.run_exec(exec);
-    }
+        if profile {
+            target.run_exec_profiled(exec).1
+        } else {
+            target.run_exec(exec);
+            None
+        }
+    };
     let _collect_span = pioeval_obs::span(names::SPAN_CORE_COLLECT, "core");
     pioeval_obs::live::set_phase("measure:collect");
     let requests = request_trace.then(|| {
@@ -253,6 +291,7 @@ pub fn measure_target_traced(
         gateways,
         requests,
         resilience,
+        exec_profile,
     })
 }
 

@@ -48,6 +48,9 @@ pub mod queue;
 pub mod sim;
 
 pub use event::{EntityId, Envelope, EventKey, EXTERNAL};
-pub use parallel::{run_parallel, Backend, ExecMode, ParallelConfig, Partitioner, WindowPolicy};
+pub use parallel::{
+    run_parallel, run_parallel_profiled, Backend, ExecMode, ParallelConfig, Partitioner,
+    WindowPolicy,
+};
 pub use phold::{build_phold, build_phold_traced, phold_fingerprint, PholdConfig};
 pub use sim::{Ctx, Entity, RunResult, SimConfig, Simulation};

@@ -48,7 +48,9 @@ use crate::event::Envelope;
 use crate::queue::EventQueue;
 use crate::sim::{Ctx, Entity, RunResult, Simulation};
 use parking_lot::Mutex;
-use pioeval_types::{SimDuration, SimTime};
+use pioeval_types::{
+    ExecProfile, PhaseRecorder, ProfPhase, SimDuration, SimTime, WorkerProfile, NO_LIMITER,
+};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -204,6 +206,20 @@ impl ExecMode {
         match self {
             ExecMode::Sequential => sim.run(),
             ExecMode::Parallel(cfg) => run_parallel(sim, cfg),
+        }
+    }
+
+    /// Run `sim` with the selected executor, recording per-worker phase
+    /// timelines. The profile is `Some` only for a genuinely parallel
+    /// run (parallel mode, more than one effective worker); sequential
+    /// execution has no phases to attribute.
+    pub fn run_profiled<M: Send + 'static>(
+        &self,
+        sim: &mut Simulation<M>,
+    ) -> (RunResult, Option<ExecProfile>) {
+        match self {
+            ExecMode::Sequential => (sim.run(), None),
+            ExecMode::Parallel(cfg) => run_parallel_profiled(sim, cfg),
         }
     }
 }
@@ -531,6 +547,29 @@ fn checkin<M: 'static>(sim: &mut Simulation<M>, workers: &mut [Worker<M>]) -> (u
 /// more events than the sequential executor would; all events processed
 /// are still processed in the same per-entity order.
 pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: &ParallelConfig) -> RunResult {
+    run_parallel_inner(sim, cfg, false).0
+}
+
+/// [`run_parallel`] with the scaling observatory enabled: every worker
+/// records a per-window phase timeline (compute / mailbox-drain /
+/// barrier / horizon-stall) into a private lock-free [`PhaseRecorder`],
+/// merged in worker order at finalize. Returns the run result plus the
+/// merged [`ExecProfile`] (`None` when the run degenerates to a single
+/// worker and executes sequentially). The unprofiled path is untouched:
+/// [`run_parallel`] passes `profile = false` and every mark site is a
+/// single `Option` branch.
+pub fn run_parallel_profiled<M: Send + 'static>(
+    sim: &mut Simulation<M>,
+    cfg: &ParallelConfig,
+) -> (RunResult, Option<ExecProfile>) {
+    run_parallel_inner(sim, cfg, true)
+}
+
+fn run_parallel_inner<M: Send + 'static>(
+    sim: &mut Simulation<M>,
+    cfg: &ParallelConfig,
+    profile: bool,
+) -> (RunResult, Option<ExecProfile>) {
     let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_DES_RUN_PAR, "des");
     let n = sim.num_entities();
     let threads = cfg.threads.max(1).min(n.max(1));
@@ -542,7 +581,7 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: &ParallelCo
         let obs = pioeval_obs::global();
         obs.counter(pioeval_obs::names::DES_RUNS_PAR).inc();
         obs.counter(pioeval_obs::names::DES_PAR_RUNS_COOP).inc();
-        return res;
+        return (res, None);
     }
     let backend = cfg.backend.resolve(threads);
     let lookahead = sim.lookahead();
@@ -550,11 +589,23 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: &ParallelCo
     let owners = cfg.partitioner.assign(n, threads);
     let mut workers = checkout(sim, &owners, threads);
 
-    let stats = match backend {
-        Backend::Cooperative => {
-            run_cooperative(cfg.window, lookahead, stop_at, &owners, &mut workers)
-        }
-        _ => run_threaded(cfg.window, lookahead, stop_at, &owners, &mut workers),
+    let (stats, worker_profiles) = match backend {
+        Backend::Cooperative => run_cooperative(
+            cfg.window,
+            lookahead,
+            stop_at,
+            &owners,
+            &mut workers,
+            profile,
+        ),
+        _ => run_threaded(
+            cfg.window,
+            lookahead,
+            stop_at,
+            &owners,
+            &mut workers,
+            profile,
+        ),
     };
     let (events, end_max) = checkin(sim, &mut workers);
 
@@ -579,11 +630,71 @@ pub fn run_parallel<M: Send + 'static>(sim: &mut Simulation<M>, cfg: &ParallelCo
             .observe(worker.processed);
     }
 
-    RunResult {
-        end_time: SimTime::from_nanos(end_max),
-        events,
-        max_queue: stats.max_pending,
-        halted: stats.halted,
+    let profile_doc = worker_profiles.map(|ws| ExecProfile {
+        threads: threads as u32,
+        backend: match backend {
+            Backend::Cooperative => "cooperative",
+            _ => "threads",
+        }
+        .to_string(),
+        window_policy: match cfg.window {
+            WindowPolicy::Fixed => "fixed",
+            WindowPolicy::Adaptive => "adaptive",
+        }
+        .to_string(),
+        partitioner: match &cfg.partitioner {
+            Partitioner::RoundRobin => "round_robin",
+            Partitioner::Block => "block",
+            Partitioner::Greedy(_) => "greedy",
+        }
+        .to_string(),
+        lookahead_ns: lookahead.as_nanos().max(1),
+        wall_ns: ws.iter().map(|w| w.span_ns).max().unwrap_or(0),
+        windows: stats.windows,
+        workers: ws,
+    });
+
+    (
+        RunResult {
+            end_time: SimTime::from_nanos(end_max),
+            events,
+            max_queue: stats.max_pending,
+            halted: stats.halted,
+        },
+        profile_doc,
+    )
+}
+
+/// The peer worker whose published clock actually bounded a window's
+/// horizon `h`, or [`NO_LIMITER`] when the worker was limited by its own
+/// reflected-send bound, the stop time, or had the global minimum
+/// itself. `others` / `argmin` are the minimum next-event time among
+/// peers and the (lowest) peer holding it.
+fn window_limiter(
+    policy: WindowPolicy,
+    my_next: u64,
+    others: u64,
+    argmin: u32,
+    la: u64,
+    h: u64,
+) -> u32 {
+    if others == u64::MAX {
+        return NO_LIMITER;
+    }
+    let direct = others.saturating_add(la);
+    let peer_bound = match policy {
+        // Fixed horizon is `global_min + la`: a peer binds when it holds
+        // the global minimum (ties attributed to the peer).
+        WindowPolicy::Fixed => others <= my_next,
+        // Adaptive horizon is `min(direct, reflected)`.
+        WindowPolicy::Adaptive => direct <= my_next.saturating_add(la.saturating_mul(2)),
+    };
+    // `direct <= h` rules out the stop-time clamp having tightened past
+    // the peer bound.
+    if peer_bound && direct <= h {
+        argmin
+    } else {
+        NO_LIMITER
     }
 }
 
@@ -617,9 +728,20 @@ fn run_cooperative<M: 'static>(
     stop_at: Option<u64>,
     owners: &[u32],
     workers: &mut [Worker<M>],
-) -> ExecStats {
+    profile: bool,
+) -> (ExecStats, Option<Vec<WorkerProfile>>) {
     let threads = workers.len();
     let la = lookahead.as_nanos().max(1);
+    // Phase recorders, one per (multiplexed) worker. Under cooperative
+    // scheduling the gap between a worker's turns is the other workers'
+    // compute, so it is attributed as coordination: barrier-wait when
+    // the worker then runs, horizon-stall when its turn is null with
+    // work pending — the same classification the threaded backend uses.
+    let mut recs: Option<Vec<PhaseRecorder>> = profile.then(|| {
+        (0..threads)
+            .map(|i| PhaseRecorder::start(i as u32))
+            .collect()
+    });
     let mut stats = ExecStats::default();
     let mut emitted: Vec<Envelope<M>> = Vec::new();
     let mut halt_flag = false;
@@ -669,9 +791,14 @@ fn run_cooperative<M: 'static>(
             // own horizon, widening ours beyond the snapshot bound.
             let my_next = workers[i].store.next_nanos();
             let mut others = u64::MAX;
+            let mut near_peer = NO_LIMITER;
             for (j, worker) in workers.iter().enumerate() {
                 if j != i {
-                    others = others.min(worker.store.next_nanos());
+                    let nj = worker.store.next_nanos();
+                    if nj < others {
+                        others = nj;
+                        near_peer = j as u32;
+                    }
                 }
             }
             let (h, wide) = horizon(policy, threads, my_next, others, t, la, stop_at);
@@ -679,16 +806,36 @@ fn run_cooperative<M: 'static>(
                 stats.wide += 1;
             }
             live_horizon.record(h);
+            let limiter = if recs.is_some() {
+                window_limiter(policy, my_next, others, near_peer, la, h)
+            } else {
+                NO_LIMITER
+            };
             if my_next >= h {
                 // A pure synchronization round for this worker: the
                 // conservative engine's null message.
                 workers[i].null_windows += 1;
+                if let Some(rs) = recs.as_mut() {
+                    let r = &mut rs[i];
+                    r.mark(if my_next < u64::MAX {
+                        ProfPhase::HorizonStall
+                    } else {
+                        ProfPhase::Barrier
+                    });
+                    r.end_window(0, limiter);
+                }
                 continue;
+            }
+            if let Some(rs) = recs.as_mut() {
+                rs[i].mark(ProfPhase::Barrier);
             }
             let started = Instant::now();
             let processed_before = workers[i].processed;
             let me = &mut workers[i];
             me.store.begin_window(h);
+            if let Some(rs) = recs.as_mut() {
+                rs[i].mark(ProfPhase::MailboxDrain);
+            }
             #[cfg(feature = "causality-check")]
             guards[i].begin_window(h);
             while !halt_flag {
@@ -734,10 +881,21 @@ fn run_cooperative<M: 'static>(
             if turn_events > 0 {
                 live_events.add(turn_events);
             }
+            if let Some(rs) = recs.as_mut() {
+                let r = &mut rs[i];
+                r.mark(ProfPhase::Compute);
+                r.end_window(turn_events, limiter);
+            }
         }
     }
     stats.halted = halt_flag;
-    stats
+    let profiles = recs.map(|rs| {
+        rs.into_iter()
+            .zip(workers.iter())
+            .map(|(r, w)| r.finish(w.entities.len() as u64, w.processed))
+            .collect()
+    });
+    (stats, profiles)
 }
 
 /// Threaded backend: one OS thread per worker, one spin barrier per
@@ -754,7 +912,8 @@ fn run_threaded<M: Send + 'static>(
     stop_at: Option<u64>,
     owners: &[u32],
     workers: &mut Vec<Worker<M>>,
-) -> ExecStats {
+    profile: bool,
+) -> (ExecStats, Option<Vec<WorkerProfile>>) {
     let threads = workers.len();
     let la = lookahead.as_nanos().max(1);
     let cores = std::thread::available_parallelism()
@@ -791,7 +950,8 @@ fn run_threaded<M: Send + 'static>(
         .map(|_| Mutex::new(Vec::new()))
         .collect();
 
-    let mut joined: Vec<(Worker<M>, ExecStats)> = Vec::with_capacity(threads);
+    let mut joined: Vec<(Worker<M>, ExecStats, Option<WorkerProfile>)> =
+        Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (tid, mut worker) in workers.drain(..).enumerate() {
@@ -810,6 +970,11 @@ fn run_threaded<M: Send + 'static>(
                 let obs = pioeval_obs::global();
                 let mut tbuf = obs.buffer(&format!("des-worker-{tid}"));
                 tbuf.begin(pioeval_obs::names::SPAN_DES_WORKER, "des");
+                // Phase recorder: worker-private, lock-free, merged in
+                // worker order at join — the reqtrace discipline. Every
+                // mark site below is a single `Option` branch when
+                // profiling is off.
+                let mut rec = profile.then(|| PhaseRecorder::start(tid as u32));
                 // Live-progress handles, fetched once: each worker adds
                 // its per-window event delta; thread 0 (whose decide-step
                 // snapshot is canonical) also publishes window count,
@@ -837,6 +1002,9 @@ fn run_threaded<M: Send + 'static>(
                 next[0][tid].store(worker.store.next_nanos(), Ordering::Relaxed);
                 delta[0][tid].store(worker.store.len() as i64, Ordering::Relaxed);
                 barrier.wait();
+                if let Some(r) = rec.as_mut() {
+                    r.mark(ProfPhase::Barrier);
+                }
                 let mut p = 0usize;
                 loop {
                     // Read the window snapshot: identical on every thread,
@@ -845,6 +1013,7 @@ fn run_threaded<M: Send + 'static>(
                     let mut t = u64::MAX;
                     let mut my_next = u64::MAX;
                     let mut others = u64::MAX;
+                    let mut near_peer = NO_LIMITER;
                     let mut was_halted = false;
                     for j in 0..threads {
                         let mut nj = next[p][j].load(Ordering::Relaxed);
@@ -856,8 +1025,9 @@ fn run_threaded<M: Send + 'static>(
                         t = t.min(nj);
                         if j == tid {
                             my_next = nj;
-                        } else {
-                            others = others.min(nj);
+                        } else if nj < others {
+                            others = nj;
+                            near_peer = j as u32;
                         }
                     }
                     stats.max_pending = stats.max_pending.max(pending.max(0) as usize);
@@ -881,6 +1051,13 @@ fn run_threaded<M: Send + 'static>(
                             chan.on_deliver(&st, guard.committed());
                         }
                     }
+                    if let Some(r) = rec.as_mut() {
+                        // Snapshot read plus inbox intake: the window's
+                        // mailbox-drain phase (marked before the
+                        // termination check so the final partial window
+                        // is still accounted).
+                        r.mark(ProfPhase::MailboxDrain);
+                    }
                     if t == u64::MAX || was_halted || stop_at.is_some_and(|limit| t > limit) {
                         stats.halted = was_halted;
                         break;
@@ -890,6 +1067,11 @@ fn run_threaded<M: Send + 'static>(
                     if wide {
                         stats.wide += 1;
                     }
+                    let limiter = if rec.is_some() {
+                        window_limiter(policy, my_next, others, near_peer, la, h)
+                    } else {
+                        NO_LIMITER
+                    };
                     let mut generated: i64 = 0;
                     let processed_before = worker.processed;
                     if my_next < h {
@@ -938,6 +1120,9 @@ fn run_threaded<M: Send + 'static>(
                         worker.busy += started.elapsed();
                         #[cfg(feature = "causality-check")]
                         guard.end_window();
+                        if let Some(r) = rec.as_mut() {
+                            r.mark(ProfPhase::Compute);
+                        }
                     }
                     if worker.processed == processed_before {
                         // A pure synchronization round for this thread —
@@ -990,10 +1175,24 @@ fn run_threaded<M: Send + 'static>(
                     halt[q][tid].store(halt_flag, Ordering::Relaxed);
                     p = q;
                     barrier.wait();
+                    if let Some(r) = rec.as_mut() {
+                        // The wait segment: barrier coordination proper,
+                        // unless this worker's whole window was excluded
+                        // by the horizon while it still had work — the
+                        // definition of a horizon stall.
+                        r.mark(if my_next >= h && my_next < u64::MAX {
+                            ProfPhase::HorizonStall
+                        } else {
+                            ProfPhase::Barrier
+                        });
+                        r.end_window(worker.processed - processed_before, limiter);
+                    }
                 }
                 tbuf.end();
                 obs.merge(tbuf);
-                (worker, stats)
+                let worker_profile =
+                    rec.map(|r| r.finish(worker.entities.len() as u64, worker.processed));
+                (worker, stats, worker_profile)
             }));
         }
         for handle in handles {
@@ -1002,7 +1201,8 @@ fn run_threaded<M: Send + 'static>(
     });
 
     let mut merged = ExecStats::default();
-    for (tid, (worker, stats)) in joined.into_iter().enumerate() {
+    let mut profiles: Vec<WorkerProfile> = Vec::with_capacity(if profile { threads } else { 0 });
+    for (tid, (worker, stats, worker_profile)) in joined.into_iter().enumerate() {
         if tid == 0 {
             // Window count, boundary occupancy, and the halt decision are
             // computed from the same shared snapshots on every thread.
@@ -1011,9 +1211,10 @@ fn run_threaded<M: Send + 'static>(
             merged.halted = stats.halted;
         }
         merged.wide += stats.wide;
+        profiles.extend(worker_profile);
         workers.push(worker);
     }
-    merged
+    (merged, profile.then_some(profiles))
 }
 
 #[cfg(test)]
@@ -1119,7 +1320,8 @@ mod tests {
                     let stop_at = sim.config().time_limit.map(SimTime::as_nanos);
                     let mut workers = checkout(&mut sim, &owners, 2);
                     let t0 = Instant::now();
-                    let stats = run_cooperative(policy, lookahead, stop_at, &owners, &mut workers);
+                    let (stats, _) =
+                        run_cooperative(policy, lookahead, stop_at, &owners, &mut workers, false);
                     let wall = t0.elapsed();
                     if policy == WindowPolicy::Fixed {
                         fixed_best = fixed_best.min(wall);
@@ -1346,6 +1548,77 @@ mod tests {
         );
         // Short profiles are padded with weight 1.
         assert_eq!(Partitioner::greedy_from_counts(&[]).assign(3, 3).len(), 3);
+    }
+
+    /// Profiling must not perturb results, and the recorded timelines
+    /// must conserve (phase sums tile each worker's span exactly), cover
+    /// every worker, and agree with the shared window count — on both
+    /// backends.
+    #[test]
+    fn profiled_run_matches_and_conserves() {
+        let nodes = 13;
+        let mut seq_sim = build_ring(nodes, 8, 50);
+        let seq_res = seq_sim.run();
+        let seq_fp = fingerprints(&seq_sim, nodes);
+        for backend in [Backend::Threads, Backend::Cooperative] {
+            let cfg = ParallelConfig {
+                threads: 3,
+                backend,
+                ..ParallelConfig::default()
+            };
+            let mut par_sim = build_ring(nodes, 8, 50);
+            let (res, profile) = run_parallel_profiled(&mut par_sim, &cfg);
+            assert_eq!(fingerprints(&par_sim, nodes), seq_fp, "{backend:?}");
+            assert_eq!(res.events, seq_res.events);
+            let profile = profile.expect("parallel run must yield a profile");
+            assert_eq!(profile.threads, 3);
+            assert_eq!(profile.workers.len(), 3);
+            assert!(profile.conserves(), "{backend:?}: phase sums != spans");
+            assert!(profile.windows > 0);
+            assert!(profile.wall_ns > 0);
+            let events: u64 = profile.workers.iter().map(|w| w.events).sum();
+            assert_eq!(events, res.events, "{backend:?}: event attribution");
+            let entities: u64 = profile.workers.iter().map(|w| w.entities).sum();
+            assert_eq!(entities, nodes as u64);
+            for w in &profile.workers {
+                assert_eq!(w.windows, profile.windows, "every worker sees every window");
+                assert!(w.samples.len() as u64 + w.dropped_samples == w.windows);
+            }
+        }
+    }
+
+    /// A single effective worker runs sequentially: no profile.
+    #[test]
+    fn profiled_single_worker_degenerates_to_sequential() {
+        let mut sim = build_ring(5, 3, 10);
+        let (res, profile) = run_parallel_profiled(&mut sim, &ParallelConfig::with_threads(1));
+        assert!(profile.is_none());
+        assert!(res.events > 0);
+    }
+
+    /// Horizon-limiter attribution: with everything on worker 0 of a
+    /// block partition, worker 1 owns no entities and can never be
+    /// named as worker 0's limiter; worker 1's windows (if any stall
+    /// occurs) must point at worker 0.
+    #[test]
+    fn limiter_points_at_the_loaded_partition() {
+        let cfg = ParallelConfig {
+            threads: 2,
+            partitioner: Partitioner::Greedy(vec![100, 100, 100, 100, 0, 0, 0, 0]),
+            backend: Backend::Cooperative,
+            ..ParallelConfig::default()
+        };
+        let mut sim = build_ring(8, 8, 60);
+        let (_, profile) = run_parallel_profiled(&mut sim, &cfg);
+        let profile = profile.unwrap();
+        for w in &profile.workers {
+            for s in &w.samples {
+                if s.limiter != NO_LIMITER {
+                    assert_ne!(s.limiter, w.worker, "a worker cannot limit itself");
+                    assert!(s.limiter < 2);
+                }
+            }
+        }
     }
 
     #[test]

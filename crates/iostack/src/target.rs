@@ -115,6 +115,19 @@ impl StorageTarget {
         }
     }
 
+    /// [`StorageTarget::run_exec`] with per-worker phase profiling: also
+    /// returns the parallel executor's merged [`pioeval_types::ExecProfile`]
+    /// (`None` for sequential execution).
+    pub fn run_exec_profiled(
+        &mut self,
+        exec: &ExecMode,
+    ) -> (RunResult, Option<pioeval_types::ExecProfile>) {
+        match self {
+            StorageTarget::Pfs(c) => c.run_exec_profiled(exec),
+            StorageTarget::ObjStore(c) => c.run_exec_profiled(exec),
+        }
+    }
+
     /// The compute-side fabric entity (job coordinators attach to it).
     pub fn compute_fabric(&self) -> EntityId {
         match self {

@@ -21,6 +21,9 @@
 //!   from the request tracer's per-layer latency attribution.
 //! * [`durability`] — categorical durability verdicts from the
 //!   resilience tier's byte accounting (ACKed vs. durable vs. lost).
+//! * [`profiler`] — lost-parallelism attribution for the parallel DES
+//!   engine's per-worker phase timelines (partition skew vs. lookahead
+//!   limit, critical workers, what-if speedup ceilings).
 
 pub mod analysis;
 pub mod bottleneck;
@@ -30,6 +33,7 @@ pub mod endtoend;
 pub mod interference;
 pub mod loadbalance;
 pub mod metadata;
+pub mod profiler;
 pub mod scheduler;
 pub mod straggler;
 
@@ -41,5 +45,9 @@ pub use endtoend::{EndToEndView, MetricRow};
 pub use interference::{interference_report, InterferenceReport};
 pub use loadbalance::{rebalance, LoadReport};
 pub use metadata::MetadataActivity;
+pub use profiler::{
+    analyze_profile, profile_chrome_trace, Cause, CriticalWorker, LostParallelism, ProfileAnalysis,
+    WorkerBreakdown,
+};
 pub use scheduler::{JobLog, SchedulerLog};
 pub use straggler::{find_stragglers, LaneHealth, StragglerReport};

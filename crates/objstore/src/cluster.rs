@@ -211,6 +211,21 @@ impl ObjCluster {
         res
     }
 
+    /// [`ObjCluster::run_exec`] with the parallel executor's scaling
+    /// observatory enabled: also returns the merged per-worker phase
+    /// profile (`None` when the run executed sequentially).
+    pub fn run_exec_profiled(
+        &mut self,
+        exec: &ExecMode,
+    ) -> (RunResult, Option<pioeval_types::ExecProfile>) {
+        let out = {
+            let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_OBJ_RUN, "obj");
+            exec.run_profiled(&mut self.sim)
+        };
+        self.publish_telemetry();
+        out
+    }
+
     /// Run sequentially while attributing processed events to entities
     /// (feeds load-aware partitioning of a subsequent parallel run).
     pub fn run_counted(&mut self) -> (RunResult, Vec<u64>) {

@@ -237,6 +237,16 @@ pub fn chrome_trace_with_counters(reg: &Registry, series: &[(String, Vec<(u64, u
     let snap = reg.snapshot();
     let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
     let mut first = true;
+    // Perfetto groups tracks by process; without a process_name metadata
+    // event the UI shows a bare "pid 1" header. Emit it whenever the
+    // trace has any content at all (an empty registry stays empty).
+    if !snap.threads.is_empty() || !snap.spans.is_empty() {
+        out.push_str(
+            "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+             \"args\": {\"name\": \"pioeval\"}}",
+        );
+        first = false;
+    }
     for (tid, name) in snap.threads.iter().enumerate() {
         if !first {
             out.push_str(",\n");
@@ -433,9 +443,19 @@ mod tests {
         let json = chrome_trace(&r);
         let v = serde_json::parse(&json).expect("trace JSON must parse");
         let events = as_seq(v.get("traceEvents").unwrap());
-        // 1 thread-name metadata event + 2 spans + a 2-point fallback
-        // counter ramp for the single nonzero counter.
-        assert_eq!(events.len(), 5);
+        // 1 process-name + 1 thread-name metadata event + 2 spans + a
+        // 2-point fallback counter ramp for the single nonzero counter.
+        assert_eq!(events.len(), 6);
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| as_str(e.get("ph").unwrap()) == "M")
+            .collect();
+        assert_eq!(as_str(meta[0].get("name").unwrap()), "process_name");
+        assert_eq!(
+            as_str(meta[0].get("args").unwrap().get("name").unwrap()),
+            "pioeval"
+        );
+        assert_eq!(as_str(meta[1].get("name").unwrap()), "thread_name");
         let spans: Vec<_> = events
             .iter()
             .filter(|e| as_str(e.get("ph").unwrap()) == "X")

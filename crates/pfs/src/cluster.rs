@@ -259,6 +259,21 @@ impl Cluster {
         res
     }
 
+    /// [`Cluster::run_exec`] with the parallel executor's scaling
+    /// observatory enabled: also returns the merged per-worker phase
+    /// profile (`None` when the run executed sequentially).
+    pub fn run_exec_profiled(
+        &mut self,
+        exec: &ExecMode,
+    ) -> (RunResult, Option<pioeval_types::ExecProfile>) {
+        let out = {
+            let _obs_span = pioeval_obs::span(pioeval_obs::names::SPAN_PFS_RUN, "pfs");
+            exec.run_profiled(&mut self.sim)
+        };
+        self.publish_telemetry();
+        out
+    }
+
     /// Run sequentially while attributing processed events to entities.
     /// Returns the run result plus per-entity event counts — the profile
     /// that feeds `pioeval_des::Partitioner::greedy_from_counts` for

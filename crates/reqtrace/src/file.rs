@@ -154,6 +154,47 @@ pub fn read_jsonl(text: &str) -> Result<(Vec<RequestRecord>, usize), String> {
 pub fn chrome_trace(requests: &[RequestRecord]) -> String {
     let us = |t: SimTime| t.as_nanos() as f64 / 1000.0;
     let mut events: Vec<String> = Vec::new();
+    // Metadata events first, so Perfetto names the two process groups
+    // and every track inside them instead of showing bare pid/tid
+    // numbers. Ranks live under pid 1, server/gateway entities under
+    // pid 2 (named by the label attributed spans carry).
+    if !requests.is_empty() {
+        events.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"ranks\"}}"
+                .to_string(),
+        );
+        events.push(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"servers\"}}"
+                .to_string(),
+        );
+        let mut ranks: Vec<u32> = requests.iter().map(|r| r.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for rank in ranks {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{rank},\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ));
+        }
+        let mut entities: Vec<(u32, &str)> = requests
+            .iter()
+            .flat_map(|r| r.spans.iter())
+            .filter(|s| s.entity != crate::assemble::WIRE_ENTITY)
+            .map(|s| (s.entity, s.label.as_str()))
+            .collect();
+        entities.sort_unstable();
+        entities.dedup_by_key(|(e, _)| *e);
+        for (entity, label) in entities {
+            let mut name = String::new();
+            esc(label, &mut name);
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{entity},\
+                 \"args\":{{\"name\":\"{name} ({entity})\"}}}}"
+            ));
+        }
+    }
     for r in requests {
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
@@ -245,7 +286,31 @@ mod tests {
         let Some(serde_json::Value::Seq(events)) = v.get("traceEvents") else {
             panic!("missing traceEvents");
         };
-        // One request-level event + one server span (wire gap skipped).
-        assert_eq!(events.len(), 2);
+        // 2 process_name + 1 rank thread_name + 1 entity thread_name
+        // metadata events, then one request-level event + one server
+        // span (wire gap skipped).
+        assert_eq!(events.len(), 6);
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(serde_json::Value::Str(s)) if s == "M"))
+            .collect();
+        assert_eq!(meta.len(), 4);
+        let named = |e: &serde_json::Value| match e.get("args").and_then(|a| a.get("name")) {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            other => panic!("metadata event without args.name: {other:?}"),
+        };
+        assert_eq!(named(meta[0]), "ranks");
+        assert_eq!(named(meta[1]), "servers");
+        assert_eq!(named(meta[2]), "rank 4");
+        assert_eq!(named(meta[3]), "oss (12)");
+    }
+
+    #[test]
+    fn chrome_export_of_empty_trace_has_no_events() {
+        let v = serde_json::parse(chrome_trace(&[]).trim()).unwrap();
+        let Some(serde_json::Value::Seq(events)) = v.get("traceEvents") else {
+            panic!("missing traceEvents");
+        };
+        assert!(events.is_empty());
     }
 }

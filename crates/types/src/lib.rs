@@ -23,6 +23,7 @@ pub mod io;
 pub mod layer;
 pub mod pattern;
 pub mod percentile;
+pub mod profile;
 pub mod reqtrace;
 pub mod rng;
 pub mod time;
@@ -34,6 +35,10 @@ pub use io::{IoKind, IoOp, MetaOp, RankProgram};
 pub use layer::{Layer, LayerRecord, RecordOp};
 pub use pattern::{AccessPattern, PatternDetector};
 pub use percentile::{percentile, percentile_u64};
+pub use profile::{
+    ExecProfile, PhaseRecorder, ProfPhase, WindowSample, WorkerProfile, NO_LIMITER, PROF_PHASES,
+    PROF_SAMPLE_CAP,
+};
 pub use reqtrace::{
     tid_for, tid_owner, ReqEvent, ReqMark, ReqOp, ReqRecorder, ServerKind, Tid, NO_COLLECTIVE,
 };

@@ -35,6 +35,7 @@ USAGE:
   pioeval lint --explain <PIO0xx>           explain one diagnostic code
   pioeval watch <FILE|ADDR> [WATCH OPTIONS] tail a live telemetry stream
   pioeval requests <FILE> [REQ OPTIONS]     analyze a --request-trace file
+  pioeval profile <FILE> [PROFILE OPTIONS]  analyze a --profile-out file
   pioeval bench [BENCH OPTIONS]             benchmark the framework itself
   pioeval compare [--last <N>]              trend view over archived bench runs
   pioeval taxonomy                          print the evaluation-cycle taxonomy
@@ -92,6 +93,14 @@ OPTIONS:
                        --trace-out: that times the simulator, this times
                        the simulated requests. The two flags therefore
                        refuse to share one output path.
+  --profile-out <FILE>
+                       with --des-threads: record each worker's
+                       per-window phase timeline (compute / mailbox /
+                       barrier / horizon-stall, wall-clock) and write
+                       the merged pioeval-profile/1 JSON document;
+                       analyze with `pioeval profile FILE`. Sequential
+                       runs have no workers to profile — the flag is
+                       then noted and skipped
   --quiet              suppress the always-on telemetry summary line
   --live-out <FILE>    stream delta-encoded telemetry frames (JSONL) to
                        FILE while the run is going; tail with
@@ -126,6 +135,14 @@ REQ OPTIONS (pioeval requests <FILE>):
   --tail <PCT>         tail percentile for the attribution panel
                        [default: 99]
 
+PROFILE OPTIONS (pioeval profile <FILE>):
+  --json               machine-readable lost-parallelism attribution on
+                       stdout (per-worker phase breakdown, critical
+                       workers, named causes, what-if speedup ceilings)
+  --chrome <FILE>      also export the phase timelines as a wall-clock
+                       Chrome/Perfetto trace: one named track per
+                       worker plus a window-boundary track
+
 WATCH OPTIONS (pioeval watch <FILE|host:port>):
   --follow-until-done  exit 0 only after a `done` frame arrives (CI);
                        an idle timeout without one is an error
@@ -149,6 +166,8 @@ BENCH OPTIONS:
   --seed <N>           workload + failure-schedule seed for the
                        pipeline rows (PHOLD rows are seed-independent;
                        keep the default when gating)      [default: 42]
+  --profile-out <FILE> write the profiled PHOLD row's merged
+                       pioeval-profile/1 JSON document to FILE
 
 COMPARE OPTIONS (pioeval compare):
   --last <N>           trend window: the N most recent runs    [default: 8]
@@ -199,6 +218,7 @@ struct Options {
     metrics: Option<MetricsMode>,
     trace_out: Option<String>,
     request_trace: Option<String>,
+    profile_out: Option<String>,
     quiet: bool,
     live_out: Option<String>,
     live_addr: Option<String>,
@@ -226,6 +246,7 @@ impl Default for Options {
             metrics: None,
             trace_out: None,
             request_trace: None,
+            profile_out: None,
             quiet: false,
             live_out: None,
             live_addr: None,
@@ -338,6 +359,7 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
     }
     opts.trace_out = flags.get("trace-out").cloned();
     opts.request_trace = flags.get("request-trace").cloned();
+    opts.profile_out = flags.get("profile-out").cloned();
     if let (Some(a), Some(b)) = (&opts.trace_out, &opts.request_trace) {
         if a == b {
             return Err(format!(
@@ -345,6 +367,15 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
                  they write different documents (wall-clock telemetry \
                  trace vs. simulated-time request trace) — give each \
                  its own path"
+            ));
+        }
+    }
+    if let Some(p) = &opts.profile_out {
+        if opts.trace_out.as_deref() == Some(p) || opts.request_trace.as_deref() == Some(p) {
+            return Err(format!(
+                "--profile-out shares `{p}` with another trace flag: the \
+                 execution profile is its own document — give it its own \
+                 path"
             ));
         }
     }
@@ -404,6 +435,7 @@ fn options_from(flags: &HashMap<String, String>) -> Result<Options, String> {
             "metrics",
             "trace-out",
             "request-trace",
+            "profile-out",
             "quiet",
             "live-out",
             "live-addr",
@@ -828,6 +860,42 @@ fn emit_request_trace(
     Ok(())
 }
 
+/// Write the per-worker execution profile (`--profile-out`) and print a
+/// one-line attribution digest under the report, so a profiled run is
+/// useful even before `pioeval profile` opens the file.
+fn emit_profile(opts: &Options, report: &pioeval::core::MeasurementReport) -> Result<(), String> {
+    let Some(path) = &opts.profile_out else {
+        return Ok(());
+    };
+    let Some(prof) = &report.exec_profile else {
+        eprintln!(
+            "note: --profile-out skipped: the run executed sequentially \
+             (profiling needs --des-threads >= 2)"
+        );
+        return Ok(());
+    };
+    std::fs::write(path, prof.to_json())
+        .map_err(|e| format!("cannot write execution profile to {path}: {e}"))?;
+    let a = pioeval::monitor::analyze_profile(prof);
+    let top = a
+        .causes
+        .first()
+        .map(|c| format!("{} ({:.0}%)", c.name, 100.0 * c.share))
+        .unwrap_or_else(|| "none".to_string());
+    say(
+        opts,
+        &format!(
+            "execution profile: {} workers, {} windows to {path}\n\
+             parallel efficiency {:.0}% | {} | top cause: {top}\n",
+            a.threads,
+            a.windows,
+            100.0 * a.parallel_efficiency,
+            a.classification.name(),
+        ),
+    );
+    Ok(())
+}
+
 /// Lookahead the measurement engine runs under — the lint target.
 fn engine_lookahead() -> pioeval::types::SimDuration {
     pioeval::des::SimConfig::default().lookahead
@@ -955,7 +1023,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     install_live(&opts, &format!("run-{name}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_target_traced(
+        pioeval::core::measure_target_instrumented(
             &target,
             &source,
             opts.ranks,
@@ -963,11 +1031,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             opts.seed,
             &exec,
             opts.request_trace.is_some(),
+            opts.profile_out.is_some(),
         )
         .map_err(|e| e.to_string())?
     };
     say(&opts, &render_report(&report));
     emit_request_trace(&opts, &report)?;
+    emit_profile(&opts, &report)?;
     emit_telemetry(&opts)
 }
 
@@ -1014,7 +1084,7 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
     install_live(&opts, &format!("dsl-{path}-{}", opts.seed))?;
     let report = {
         let _run = pioeval::obs::span(pioeval::obs::names::SPAN_RUN, "cli");
-        pioeval::core::measure_target_traced(
+        pioeval::core::measure_target_instrumented(
             &target,
             &source,
             opts.ranks,
@@ -1022,11 +1092,13 @@ fn cmd_dsl(args: &[String]) -> Result<(), String> {
             opts.seed,
             &exec,
             opts.request_trace.is_some(),
+            opts.profile_out.is_some(),
         )
         .map_err(|e| e.to_string())?
     };
     say(&opts, &render_report(&report));
     emit_request_trace(&opts, &report)?;
+    emit_profile(&opts, &report)?;
     emit_telemetry(&opts)
 }
 
@@ -1290,6 +1362,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "timestamp",
             "history",
             "seed",
+            "profile-out",
         ]
         .contains(&key.as_str())
         {
@@ -1379,6 +1452,28 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         Ok(run_parallel(&mut sim, &par_cfg).events)
     })?;
     record(format!("phold_par_t{threads}_reqtrace"), events, wall);
+
+    // Profiler-overhead probe: the same parallel PHOLD run with the
+    // per-worker phase recorder on. Its gap to phold_par_t{N} is the
+    // profiler's hot-path cost (two clock reads per window per worker);
+    // the explicit <=5% check below and the baseline gate both keep it
+    // pinned. The last repeat's merged profile is kept for --profile-out.
+    let mut bench_profile: Option<pioeval::types::ExecProfile> = None;
+    let (events, wall) = bench_median(repeat, || {
+        let mut sim = build_phold(&phold);
+        let (res, prof) = pioeval::des::run_parallel_profiled(&mut sim, &par_cfg);
+        bench_profile = prof;
+        Ok(res.events)
+    })?;
+    record(format!("phold_par_t{threads}_profiled"), events, wall);
+    if let Some(path) = flags.get("profile-out") {
+        let prof = bench_profile
+            .as_ref()
+            .ok_or("--profile-out needs --threads >= 2 (a single worker is not profiled)")?;
+        std::fs::write(path, prof.to_json())
+            .map_err(|e| format!("cannot write execution profile to {path}: {e}"))?;
+        println!("wrote execution profile to {path}");
+    }
 
     // Profile-guided variant: per-entity counts from an (untimed)
     // sequential warmup feed the greedy bin-packing partitioner.
@@ -1567,6 +1662,27 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Same discipline for the phase profiler: profiled-vs-plain gap in
+    // THIS run, so the 5% promise on --profile-out holds on every host.
+    let profile_budget_pct = 5.0;
+    if let (Some(plain), Some(profiled)) = (
+        eps_of_row(format!("phold_par_t{threads}")),
+        eps_of_row(format!("phold_par_t{threads}_profiled")),
+    ) {
+        let overhead_pct = (1.0 - profiled / plain.max(1e-9)) * 100.0;
+        println!(
+            "profiler overhead: {overhead_pct:+.1}% events/sec vs \
+             phold_par_t{threads} (budget {profile_budget_pct:.0}%)"
+        );
+        if overhead_pct > profile_budget_pct {
+            return Err(format!(
+                "phase-profiler overhead {overhead_pct:.1}% exceeds the \
+                 {profile_budget_pct:.0}% budget (phold_par_t{threads}_profiled \
+                 vs phold_par_t{threads})"
+            ));
+        }
+    }
+
     // Gate BEFORE writing: the default --out path is also the default
     // baseline path, so writing first would compare the run to itself.
     let gate_result = flags
@@ -1613,9 +1729,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
+    // Record the engine configuration alongside the numbers, so
+    // `pioeval compare` can group trends by configuration instead of
+    // silently mixing, say, t2/coop rows with t8/threads rows.
+    let backend_name = match backend {
+        Backend::Auto => "auto",
+        Backend::Threads => "threads",
+        Backend::Cooperative => "coop",
+    };
+    let window_name = match par_cfg.window {
+        pioeval::des::WindowPolicy::Fixed => "fixed",
+        pioeval::des::WindowPolicy::Adaptive => "adaptive",
+    };
     let mut line = format!(
         "{{\"schema\": \"pioeval-bench-history/1\", \"rev\": \"{rev}\", \
-         \"timestamp\": \"{timestamp}\", \"benches\": ["
+         \"timestamp\": \"{timestamp}\", \"threads\": {threads}, \
+         \"backend\": \"{backend_name}\", \"window\": \"{window_name}\", \
+         \"benches\": ["
     );
     for (i, (name, _, _, eps)) in rows.iter().enumerate() {
         let sep = if i > 0 { ", " } else { "" };
@@ -2259,8 +2389,309 @@ fn cmd_requests(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One archived bench run: (git rev, timestamp, [(bench name, ev/s)]).
-type HistoryEntry = (String, String, Vec<(String, f64)>);
+/// Parse a `pioeval-profile/1` document (as written by `--profile-out`)
+/// back into the in-memory [`pioeval::types::ExecProfile`].
+fn parse_profile(doc: &serde_json::Value) -> Result<pioeval::types::ExecProfile, String> {
+    use pioeval::types::{ExecProfile, ProfPhase, WindowSample, WorkerProfile, NO_LIMITER};
+    let str_of = |v: &serde_json::Value, key: &str| -> Result<String, String> {
+        match v.get(key) {
+            Some(serde_json::Value::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field \"{key}\": expected a string, got {other:?}")),
+        }
+    };
+    let u64_of = |v: &serde_json::Value, key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(json_u64)
+            .ok_or_else(|| format!("field \"{key}\": expected an unsigned integer"))
+    };
+    let phases_of = |v: &serde_json::Value| -> Result<[u64; pioeval::types::PROF_PHASES], String> {
+        let mut out = [0u64; pioeval::types::PROF_PHASES];
+        for p in ProfPhase::ALL {
+            out[p.index()] = u64_of(v, &format!("{}_ns", p.name()))?;
+        }
+        Ok(out)
+    };
+    let schema = str_of(doc, "schema")?;
+    if schema != ExecProfile::SCHEMA {
+        return Err(format!(
+            "unsupported profile schema {schema:?} (want {:?})",
+            ExecProfile::SCHEMA
+        ));
+    }
+    let mut workers = Vec::new();
+    if let Some(serde_json::Value::Seq(items)) = doc.get("workers") {
+        for w in items {
+            let mut samples = Vec::new();
+            if let Some(serde_json::Value::Seq(ss)) = w.get("samples") {
+                for s in ss {
+                    let limiter = match s.get("limiter") {
+                        Some(serde_json::Value::I64(i)) if *i < 0 => NO_LIMITER,
+                        Some(v) => json_u64(v)
+                            .ok_or_else(|| "field \"limiter\": expected an integer".to_string())?
+                            as u32,
+                        None => NO_LIMITER,
+                    };
+                    samples.push(WindowSample {
+                        start_ns: u64_of(s, "start_ns")?,
+                        phase_ns: phases_of(s)?,
+                        events: u64_of(s, "events")?,
+                        limiter,
+                    });
+                }
+            }
+            workers.push(WorkerProfile {
+                worker: u64_of(w, "worker")? as u32,
+                entities: u64_of(w, "entities")?,
+                events: u64_of(w, "events")?,
+                windows: u64_of(w, "windows")?,
+                null_windows: u64_of(w, "null_windows")?,
+                span_ns: u64_of(w, "span_ns")?,
+                phase_ns: phases_of(w)?,
+                samples,
+                dropped_samples: u64_of(w, "dropped_samples")?,
+            });
+        }
+    }
+    if workers.is_empty() {
+        return Err("profile has no workers".to_string());
+    }
+    Ok(ExecProfile {
+        threads: u64_of(doc, "threads")? as u32,
+        backend: str_of(doc, "backend")?,
+        window_policy: str_of(doc, "window_policy")?,
+        partitioner: str_of(doc, "partitioner")?,
+        lookahead_ns: u64_of(doc, "lookahead_ns")?,
+        wall_ns: u64_of(doc, "wall_ns")?,
+        windows: u64_of(doc, "windows")?,
+        workers,
+    })
+}
+
+/// Escape `s` as the body of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `pioeval profile --json` attribution document (hand-rolled like
+/// every other machine surface in this binary).
+fn profile_json(p: &pioeval::types::ExecProfile, a: &pioeval::monitor::ProfileAnalysis) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "{{\"schema\": \"{}\", \"threads\": {}, \"backend\": \"{}\", \
+         \"window_policy\": \"{}\", \"partitioner\": \"{}\", \
+         \"wall_ns\": {}, \"windows\": {}, \"total_compute_ns\": {}, \
+         \"parallel_efficiency\": {:.6}, \"compute_imbalance\": {:.6}, \
+         \"stall_share\": {:.6}, \"barrier_share\": {:.6}, \
+         \"mailbox_share\": {:.6}, \"classification\": \"{}\", \
+         \"ceiling_ideal_partition\": {:.4}, \
+         \"ceiling_infinite_lookahead\": {:.4}",
+        pioeval::types::ExecProfile::SCHEMA,
+        a.threads,
+        json_escape(&p.backend),
+        json_escape(&p.window_policy),
+        json_escape(&p.partitioner),
+        a.wall_ns,
+        a.windows,
+        a.total_compute_ns,
+        a.parallel_efficiency,
+        a.compute_imbalance,
+        a.stall_share,
+        a.barrier_share,
+        a.mailbox_share,
+        a.classification.name(),
+        a.ceiling_ideal_partition,
+        a.ceiling_infinite_lookahead,
+    );
+    s.push_str(", \"causes\": [");
+    for (i, c) in a.causes.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"name\": \"{}\", \"share\": {:.6}, \"detail\": \"{}\"}}",
+            if i > 0 { ", " } else { "" },
+            json_escape(&c.name),
+            c.share,
+            json_escape(&c.detail)
+        );
+    }
+    s.push_str("], \"critical\": [");
+    for (i, c) in a.critical.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"worker\": {}, \"windows_limiting\": {}, \"share\": {:.6}}}",
+            if i > 0 { ", " } else { "" },
+            c.worker,
+            c.windows_limiting,
+            c.share
+        );
+    }
+    s.push_str("], \"workers\": [");
+    for (i, w) in a.workers.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"worker\": {}, \"entities\": {}, \"events\": {}, \
+             \"span_ns\": {}, \"compute_ns\": {}, \"mailbox_ns\": {}, \
+             \"barrier_ns\": {}, \"stall_ns\": {}, \
+             \"blocked_share\": {:.6}, \"null_share\": {:.6}}}",
+            if i > 0 { ", " } else { "" },
+            w.worker,
+            w.entities,
+            w.events,
+            w.span_ns,
+            w.phase_ns[pioeval::types::ProfPhase::Compute.index()],
+            w.phase_ns[pioeval::types::ProfPhase::MailboxDrain.index()],
+            w.phase_ns[pioeval::types::ProfPhase::Barrier.index()],
+            w.phase_ns[pioeval::types::ProfPhase::HorizonStall.index()],
+            w.blocked_share,
+            w.null_share
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Render the human `pioeval profile` report.
+fn render_profile(
+    path: &str,
+    p: &pioeval::types::ExecProfile,
+    a: &pioeval::monitor::ProfileAnalysis,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "execution profile `{path}`: {} workers, {} backend, {} window, \
+         {} partition | lookahead {} ns",
+        a.threads, p.backend, p.window_policy, p.partitioner, p.lookahead_ns
+    );
+    let _ = writeln!(
+        out,
+        "wall {:.2} ms | {} windows | parallel efficiency {:.0}% | \
+         compute imbalance {:.2}",
+        a.wall_ns as f64 / 1e6,
+        a.windows,
+        100.0 * a.parallel_efficiency,
+        a.compute_imbalance
+    );
+    out.push('\n');
+    let mut table = Table::new(vec![
+        "worker", "entities", "events", "compute", "mailbox", "barrier", "stall", "null win",
+    ]);
+    let pct = |num: u64, den: u64| format!("{:.1}%", 100.0 * num as f64 / (den as f64).max(1.0));
+    for w in &a.workers {
+        table.row(vec![
+            w.worker.to_string(),
+            w.entities.to_string(),
+            w.events.to_string(),
+            pct(
+                w.phase_ns[pioeval::types::ProfPhase::Compute.index()],
+                w.span_ns,
+            ),
+            pct(
+                w.phase_ns[pioeval::types::ProfPhase::MailboxDrain.index()],
+                w.span_ns,
+            ),
+            pct(
+                w.phase_ns[pioeval::types::ProfPhase::Barrier.index()],
+                w.span_ns,
+            ),
+            pct(
+                w.phase_ns[pioeval::types::ProfPhase::HorizonStall.index()],
+                w.span_ns,
+            ),
+            format!("{:.0}%", 100.0 * w.null_share),
+        ]);
+    }
+    out.push_str(&table.render());
+    if !a.critical.is_empty() {
+        out.push_str("\ncritical workers (whose clock bounded peers' horizons)\n");
+        for c in &a.critical {
+            let _ = writeln!(
+                out,
+                "  worker {} limited {:.0}% of peer-bounded windows ({})",
+                c.worker,
+                100.0 * c.share,
+                c.windows_limiting
+            );
+        }
+    }
+    let _ = writeln!(out, "\nclassification: {}", a.classification.name());
+    for c in &a.causes {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>5.1}%  {}",
+            c.name,
+            100.0 * c.share,
+            c.detail
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nwhat-if ceilings: ideal partitioning x{:.2} | infinite lookahead x{:.2}",
+        a.ceiling_ideal_partition, a.ceiling_infinite_lookahead
+    );
+    out
+}
+
+/// `pioeval profile <FILE>`: lost-parallelism attribution over a
+/// `--profile-out` document — per-worker phase breakdown, critical
+/// (horizon-limiting) workers, skew-vs-lookahead classification, and
+/// what-if speedup ceilings.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(args)?;
+    for key in flags.keys() {
+        if !["json", "chrome"].contains(&key.as_str()) {
+            return Err(format!("unknown option --{key}"));
+        }
+    }
+    let path = positional
+        .first()
+        .ok_or("profile requires a <FILE> argument")?;
+    if positional.len() > 1 {
+        return Err(format!("unexpected argument `{}`", positional[1]));
+    }
+    let json_out = flags.contains_key("json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let prof = parse_profile(&doc).map_err(|e| format!("{path}: {e}"))?;
+    if !prof.conserves() {
+        return Err(format!(
+            "{path}: phase durations do not tile the worker spans — \
+             corrupt or truncated profile"
+        ));
+    }
+    if let Some(out) = flags.get("chrome") {
+        std::fs::write(out, pioeval::monitor::profile_chrome_trace(&prof))
+            .map_err(|e| format!("cannot write chrome trace to {out}: {e}"))?;
+        if !json_out {
+            println!("per-worker chrome trace written to {out}");
+        }
+    }
+    let analysis = pioeval::monitor::analyze_profile(&prof);
+    if json_out {
+        println!("{}", profile_json(&prof, &analysis));
+    } else {
+        print!("{}", render_profile(path, &prof, &analysis));
+    }
+    Ok(())
+}
+
+/// One archived bench run: (git rev, timestamp, engine config,
+/// [(bench name, ev/s)]). The config string is `t{N}/{backend}/{window}`
+/// for rows recorded since those fields existed, `unlabeled` before.
+type HistoryEntry = (String, String, String, Vec<(String, f64)>);
 
 /// `pioeval compare`: render per-benchmark trends over the archived
 /// bench history (`results/BENCH_history.jsonl`, appended by every
@@ -2315,7 +2746,17 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        entries.push((str_of("rev"), str_of("timestamp"), benches));
+        let config = match (
+            doc.get("threads").and_then(json_u64),
+            doc.get("backend"),
+            doc.get("window"),
+        ) {
+            (Some(t), Some(serde_json::Value::Str(b)), Some(serde_json::Value::Str(w))) => {
+                format!("t{t}/{b}/{w}")
+            }
+            _ => "unlabeled".to_string(),
+        };
+        entries.push((str_of("rev"), str_of("timestamp"), config, benches));
     }
     if entries.len() < 2 {
         return Err(format!(
@@ -2324,32 +2765,49 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         ));
     }
     let window = &entries[entries.len().saturating_sub(last)..];
-    let latest = window.last().expect("window nonempty");
-    let previous = &window[window.len() - 2];
     println!(
-        "bench trend over the last {} runs ({} .. {}), newest right:\n",
+        "bench trend over the last {} runs ({} .. {}), newest right:",
         window.len(),
         window[0].0,
-        latest.0
+        window.last().expect("window nonempty").0
     );
     let eps_of = |set: &[(String, f64)], name: &str| -> Option<f64> {
         set.iter().find(|(n, _)| n == name).map(|&(_, e)| e)
     };
-    for (name, latest_eps) in &latest.2 {
-        let series: Vec<f64> = window
-            .iter()
-            .filter_map(|(_, _, benches)| eps_of(benches, name))
-            .collect();
-        let delta = match eps_of(&previous.2, name) {
-            Some(prev_eps) if prev_eps > 0.0 => {
-                format!("{:+6.1}% vs prev", (latest_eps / prev_eps - 1.0) * 100.0)
-            }
-            _ => "new".to_string(),
-        };
+    // Trends are only meaningful within one engine configuration:
+    // group the window by its recorded (threads, backend, window
+    // policy) and render each group's sparklines separately.
+    let mut configs: Vec<&str> = Vec::new();
+    for (_, _, config, _) in window {
+        if !configs.contains(&config.as_str()) {
+            configs.push(config);
+        }
+    }
+    for config in configs {
+        let group: Vec<&HistoryEntry> = window.iter().filter(|e| e.2 == config).collect();
+        let latest = group.last().expect("group nonempty");
         println!(
-            "{name:<22} {:<10} {latest_eps:>12.0} ev/s  {delta}",
-            pioeval::core::sparkline(&series)
+            "\nengine config {config} ({} run{}):",
+            group.len(),
+            if group.len() == 1 { "" } else { "s" }
         );
+        let previous = group.len().checked_sub(2).map(|i| group[i]);
+        for (name, latest_eps) in &latest.3 {
+            let series: Vec<f64> = group
+                .iter()
+                .filter_map(|(_, _, _, benches)| eps_of(benches, name))
+                .collect();
+            let delta = match previous.and_then(|p| eps_of(&p.3, name)) {
+                Some(prev_eps) if prev_eps > 0.0 => {
+                    format!("{:+6.1}% vs prev", (latest_eps / prev_eps - 1.0) * 100.0)
+                }
+                _ => "new".to_string(),
+            };
+            println!(
+                "{name:<22} {:<10} {latest_eps:>12.0} ev/s  {delta}",
+                pioeval::core::sparkline(&series)
+            );
+        }
     }
     Ok(())
 }
@@ -2386,6 +2844,7 @@ fn main() -> ExitCode {
         },
         Some("watch") => cmd_watch(&args[1..]),
         Some("requests") => cmd_requests(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("taxonomy") => {
